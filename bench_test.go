@@ -1,0 +1,335 @@
+// Benchmarks regenerating every figure and table of the paper's
+// evaluation (§5), plus micro-benchmarks of the core data structures.
+//
+// Figure benchmarks run the corresponding harness experiment at a
+// reduced scale (Quick mode) and report the headline series as custom
+// metrics, so `go test -bench=.` prints the same rows the paper plots.
+// cmd/runexp regenerates each figure at adjustable scale for closer
+// inspection.
+package sharedq_test
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"sharedq"
+	"sharedq/internal/comm"
+	"sharedq/internal/crescando"
+	"sharedq/internal/exec"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+	"sharedq/internal/shareddb"
+	"sharedq/internal/ssb"
+)
+
+// benchParams are the reduced scales used for `go test -bench`.
+var benchParams = sharedq.Params{SF: 0.002, MaxQ: 8, Seed: 1, Quick: true, Duration: 300 * time.Millisecond}
+
+// runExperiment runs one harness experiment per benchmark iteration and
+// reports the last table's final row as metrics.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := sharedq.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var rep *sharedq.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = e.Run(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Report the last row of the first table: the highest-load point of
+	// the figure's headline series.
+	t := rep.Tables[0]
+	if len(t.Rows) == 0 {
+		return
+	}
+	last := t.Rows[len(t.Rows)-1]
+	for i := 1; i < len(last) && i < len(t.Header); i++ {
+		if v, err := strconv.ParseFloat(last[i], 64); err == nil {
+			b.ReportMetric(v, sanitize(t.Header[i])+"_ms")
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// --- One benchmark per paper figure/table ---
+
+func BenchmarkFig06aPushSP(b *testing.B)         { runExperiment(b, "6a") }
+func BenchmarkFig06bPullSP(b *testing.B)         { runExperiment(b, "6b") }
+func BenchmarkFig06cSpeedups(b *testing.B)       { runExperiment(b, "6c") }
+func BenchmarkFig10LMemory(b *testing.B)         { runExperiment(b, "10l") }
+func BenchmarkFig10RDisk(b *testing.B)           { runExperiment(b, "10r") }
+func BenchmarkFig11Selectivity(b *testing.B)     { runExperiment(b, "11") }
+func BenchmarkFig12HighConcurrency(b *testing.B) { runExperiment(b, "12") }
+func BenchmarkFig13ScaleFactor(b *testing.B)     { runExperiment(b, "13") }
+func BenchmarkFig14SixteenPlans(b *testing.B)    { runExperiment(b, "14") }
+func BenchmarkFig15Similarity(b *testing.B)      { runExperiment(b, "15") }
+func BenchmarkFig16ResponseTime(b *testing.B)    { runExperiment(b, "16rt") }
+func BenchmarkFig16Throughput(b *testing.B)      { runExperiment(b, "16tp") }
+func BenchmarkWoPInterarrival(b *testing.B)      { runExperiment(b, "wop") }
+func BenchmarkBatchedExecution(b *testing.B)     { runExperiment(b, "batch") }
+func BenchmarkAblationSPLSize(b *testing.B)      { runExperiment(b, "splsize") }
+func BenchmarkAblationDistParts(b *testing.B)    { runExperiment(b, "distparts") }
+
+func BenchmarkTable1Advisor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{1, 8, 64, 512} {
+			_ = sharedq.Advise(n, 24)
+		}
+	}
+}
+
+// --- Configuration micro-comparisons on a shared system ---
+
+var (
+	benchSysOnce sync.Once
+	benchSys     *sharedq.System
+)
+
+func benchSystem(b *testing.B) *sharedq.System {
+	b.Helper()
+	benchSysOnce.Do(func() {
+		var err error
+		benchSys, err = sharedq.NewSystem(sharedq.SystemConfig{SF: 0.002, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+	})
+	return benchSys
+}
+
+// BenchmarkModes measures one batch of 8 pooled Q3.2 instances under
+// every engine configuration — the per-mode cost picture behind the
+// rules of thumb (Table 1).
+func BenchmarkModes(b *testing.B) {
+	sys := benchSystem(b)
+	for _, mode := range sharedq.Modes() {
+		b.Run(mode.String(), func(b *testing.B) {
+			qs := make([]string, 8)
+			for i := range qs {
+				qs[i] = ssb.Q32PoolPlan(i % 4)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sharedq.RunBatch(sys, sharedq.Options{Mode: mode}, qs, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCommModels compares FIFO and SPL end to end on the circular
+// scan path (the §4 comparison).
+func BenchmarkCommModels(b *testing.B) {
+	sys := benchSystem(b)
+	for _, m := range []sharedq.Comm{sharedq.CommFIFO, sharedq.CommSPL} {
+		b.Run(m.String(), func(b *testing.B) {
+			qs := make([]string, 8)
+			for i := range qs {
+				qs[i] = ssb.TPCHQ1()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sharedq.RunBatch(sys, sharedq.Options{Mode: sharedq.QPipeCS, Comm: m}, qs, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Data-structure micro-benchmarks ---
+
+func BenchmarkSPLProduceConsume(b *testing.B) {
+	page := comm.NewPage([]pages.Row{{pages.Int(1)}})
+	b.ReportAllocs()
+	for _, consumers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("consumers=%d", consumers), func(b *testing.B) {
+			s := comm.NewSPL(8)
+			var wg sync.WaitGroup
+			for c := 0; c < consumers; c++ {
+				cons := s.AddConsumer(false, -1)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						if _, ok := cons.Next(); !ok {
+							return
+						}
+					}
+				}()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Append(page)
+			}
+			s.Close()
+			wg.Wait()
+		})
+	}
+}
+
+func BenchmarkFIFOPutGet(b *testing.B) {
+	f := comm.NewFIFO(8)
+	page := comm.NewPage([]pages.Row{{pages.Int(1)}})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, ok := f.Get(); !ok {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Put(page)
+	}
+	f.Close()
+	<-done
+}
+
+func BenchmarkPageClone(b *testing.B) {
+	rows := make([]pages.Row, comm.DefaultPageRows)
+	for i := range rows {
+		rows[i] = pages.Row{pages.Int(int64(i)), pages.Str("payload"), pages.Float(1.5)}
+	}
+	p := comm.NewPage(rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Clone()
+	}
+}
+
+func BenchmarkHashTableBuildProbe(b *testing.B) {
+	const n = 10000
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ht := exec.NewHashTable(n, nil)
+			for k := 0; k < n; k++ {
+				ht.Insert(pages.Int(int64(k)), pages.Row{pages.Int(int64(k))})
+			}
+		}
+	})
+	b.Run("probe", func(b *testing.B) {
+		ht := exec.NewHashTable(n, nil)
+		for k := 0; k < n; k++ {
+			ht.Insert(pages.Int(int64(k)), pages.Row{pages.Int(int64(k))})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ht.Lookup(pages.Int(int64(i % n)))
+		}
+	})
+}
+
+func BenchmarkRowCodec(b *testing.B) {
+	r := pages.Row{pages.Int(123456), pages.Int(42), pages.Str("UNITED KI1"), pages.Float(99.25)}
+	enc := pages.EncodeRow(nil, r)
+	b.Run("encode", func(b *testing.B) {
+		buf := make([]byte, 0, 64)
+		for i := 0; i < b.N; i++ {
+			buf = pages.EncodeRow(buf[:0], r)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pages.DecodeRow(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSSBGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sharedq.NewSystem(sharedq.SystemConfig{SF: 0.001, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extension substrates (Table 2 systems) ---
+
+func BenchmarkSharedDBBatch(b *testing.B) {
+	sys := benchSystem(b)
+	for _, n := range []int{1, 8} {
+		b.Run(fmt.Sprintf("queries=%d", n), func(b *testing.B) {
+			qs := make([]string, n)
+			for i := range qs {
+				qs[i] = ssb.Q32PoolPlan(i % 4)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := shareddb.New(sys.Env, shareddb.Config{Window: time.Millisecond})
+				var wg sync.WaitGroup
+				for _, sql := range qs {
+					q, err := plan.Build(sys.Cat, sql)
+					if err != nil {
+						b.Fatal(err)
+					}
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if _, err := eng.Submit(q); err != nil {
+							b.Error(err)
+						}
+					}()
+				}
+				wg.Wait()
+			}
+		})
+	}
+}
+
+func BenchmarkCrescandoScan(b *testing.B) {
+	rows := make([]pages.Row, 50000)
+	for i := range rows {
+		rows[i] = pages.Row{pages.Int(int64(i)), pages.Int(0)}
+	}
+	s := crescando.NewScan(rows, 1024)
+	defer s.Close()
+	b.Run("read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := len(s.Read(nil).Rows); got != 50000 {
+				b.Fatalf("read %d rows", got)
+			}
+		}
+	})
+	b.Run("mixed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				s.Update(nil, 1, pages.Int(int64(i)))
+			}()
+			go func() {
+				defer wg.Done()
+				s.Read(nil)
+			}()
+			wg.Wait()
+		}
+	})
+}

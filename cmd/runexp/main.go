@@ -1,0 +1,72 @@
+// Command runexp regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	runexp -list
+//	runexp -fig 6a
+//	runexp -fig 10l -sf 0.05 -maxq 64
+//	runexp -all -quick
+//
+// Each experiment prints the series/rows of the corresponding figure at
+// a laptop scale; -sf and -maxq raise the scale toward the paper's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sharedq"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiments")
+		sf    = flag.Float64("sf", 0, "scale factor override")
+		maxq  = flag.Int("maxq", 0, "maximum concurrency override")
+		seed  = flag.Int64("seed", 1, "workload seed")
+		quick = flag.Bool("quick", false, "trim sweeps to three points")
+		dur   = flag.Duration("dur", 0, "closed-loop duration per point (fig 16tp)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range sharedq.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	params := sharedq.Params{SF: *sf, MaxQ: *maxq, Seed: *seed, Quick: *quick, Duration: *dur}
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range sharedq.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	case *fig != "":
+		ids = []string{*fig}
+	default:
+		fmt.Fprintln(os.Stderr, "runexp: pass -fig <id>, -all, or -list")
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		e, ok := sharedq.ExperimentByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "runexp: unknown experiment %q (see -list)\n", id)
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		rep, err := e.Run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "runexp: experiment %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		fmt.Printf("\n(%s finished in %s)\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+}

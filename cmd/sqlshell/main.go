@@ -1,0 +1,69 @@
+// Command sqlshell is an interactive SQL shell over the engine.
+// Statements are read line by line (end each with a newline); the
+// engine configuration and scale are flags.
+//
+//	sqlshell -sf 0.01 -mode cjoin-sp
+//	> SELECT c_nation, SUM(lo_revenue) AS rev FROM lineorder, customer WHERE lo_custkey = c_custkey GROUP BY c_nation ORDER BY rev DESC LIMIT 5
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sharedq"
+	"sharedq/internal/exec"
+)
+
+func main() {
+	var (
+		sf   = flag.Float64("sf", 0.01, "scale factor")
+		seed = flag.Int64("seed", 1, "generator seed")
+		mode = flag.String("mode", "qpipe-sp", "engine mode (baseline, qpipe, qpipe-cs, qpipe-sp, cjoin, cjoin-sp)")
+	)
+	flag.Parse()
+
+	m, err := sharedq.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlshell:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("loading SSB at SF %g...\n", *sf)
+	sys, err := sharedq.NewSystem(sharedq.SystemConfig{SF: *sf, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlshell:", err)
+		os.Exit(1)
+	}
+	eng := sharedq.NewEngine(sys, sharedq.Options{Mode: m})
+	defer eng.Close()
+	fmt.Printf("engine %s ready; tables: %s\n", m, strings.Join(sys.Cat.Names(), ", "))
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("> ")
+	for sc.Scan() {
+		sql := strings.TrimSpace(sc.Text())
+		switch {
+		case sql == "":
+		case sql == "\\q" || sql == "exit" || sql == "quit":
+			return
+		case sql == "\\stats":
+			for k, v := range eng.Stats() {
+				fmt.Printf("  %-20s %d\n", k, v)
+			}
+		default:
+			t0 := time.Now()
+			rows, schema, err := eng.Query(sql)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Print(exec.FormatRows(schema, rows))
+				fmt.Printf("(%d rows in %s)\n", len(rows), time.Since(t0).Round(time.Microsecond))
+			}
+		}
+		fmt.Print("> ")
+	}
+}

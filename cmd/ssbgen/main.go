@@ -1,0 +1,61 @@
+// Command ssbgen generates and inspects the Star Schema Benchmark
+// database used by the experiments.
+//
+// Usage:
+//
+//	ssbgen -sf 0.1                 # table sizes at SF 0.1
+//	ssbgen -sf 0.01 -table customer -sample 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sharedq"
+	"sharedq/internal/exec"
+	"sharedq/internal/heap"
+)
+
+func main() {
+	var (
+		sf     = flag.Float64("sf", 0.01, "scale factor")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		table  = flag.String("table", "", "table to sample (default: summary of all)")
+		sample = flag.Int("sample", 5, "rows to print with -table")
+	)
+	flag.Parse()
+
+	sys, err := sharedq.NewSystem(sharedq.SystemConfig{SF: *sf, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssbgen:", err)
+		os.Exit(1)
+	}
+
+	if *table == "" {
+		fmt.Printf("%-12s %12s %8s %10s\n", "table", "rows", "pages", "bytes")
+		var totalPages int
+		for _, name := range sys.Cat.Names() {
+			t := sys.Cat.MustGet(name)
+			fmt.Printf("%-12s %12d %8d %10d\n", t.Name, t.NumRows, t.NumPages, t.NumPages*32*1024)
+			totalPages += t.NumPages
+		}
+		fmt.Printf("%-12s %12s %8d %10d\n", "total", "", totalPages, totalPages*32*1024)
+		return
+	}
+
+	t, err := sys.Cat.Get(*table)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssbgen:", err)
+		os.Exit(1)
+	}
+	rows, err := heap.ScanAll(sys.Pool, t, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssbgen:", err)
+		os.Exit(1)
+	}
+	if *sample < len(rows) {
+		rows = rows[:*sample]
+	}
+	fmt.Print(exec.FormatRows(t.Schema, rows))
+}

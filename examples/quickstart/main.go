@@ -1,0 +1,45 @@
+// Quickstart: load a small SSB database, run one analytical query under
+// two engine configurations, and print results plus sharing statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sharedq"
+	"sharedq/internal/exec"
+)
+
+func main() {
+	// A system is the simulated machine: device, FS cache, buffer pool,
+	// catalog, metrics. SF 0.01 is ~80 MB of SSB data.
+	sys, err := sharedq.NewSystem(sharedq.SystemConfig{SF: 0.01, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const q = `SELECT c_nation, SUM(lo_revenue) AS rev, COUNT(*) AS orders
+FROM lineorder, customer
+WHERE lo_custkey = c_custkey AND c_region = 'ASIA'
+GROUP BY c_nation
+ORDER BY rev DESC
+LIMIT 5`
+
+	for _, mode := range []sharedq.Mode{sharedq.Baseline, sharedq.CJOINSP} {
+		eng := sharedq.NewEngine(sys, sharedq.Options{Mode: mode})
+		rows, schema, err := eng.Query(q)
+		if err != nil {
+			log.Fatalf("%s: %v", mode, err)
+		}
+		fmt.Printf("--- %s ---\n%s", mode, exec.FormatRows(schema, rows))
+		if stats := eng.Stats(); len(stats) > 0 {
+			fmt.Printf("stats: %v\n", stats)
+		}
+		eng.Close()
+		fmt.Println()
+	}
+
+	// The library's rules-of-thumb advisor (Table 1 of the paper).
+	fmt.Println("advice for 8 queries on 24 cores: ", sharedq.Advise(8, 24).Mode)
+	fmt.Println("advice for 256 queries on 24 cores:", sharedq.Advise(256, 24).Mode)
+}

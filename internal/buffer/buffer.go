@@ -1,0 +1,261 @@
+// Package buffer implements the database buffer pool: a fixed set of
+// page frames with pin/unpin semantics and clock eviction, fetching
+// pages through the simulated FS cache and device.
+//
+// The paper's query-centric configuration suffers from "scanner threads
+// compet[ing] for bringing pages into the buffer pool"; the pool's
+// single-flight fetch path and its hit/miss statistics let the
+// experiments observe exactly that contention, while circular scans
+// avoid it by having one scanner per table.
+package buffer
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sharedq/internal/disk"
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+)
+
+// PageID names a page: a file on the device plus a page number.
+type PageID struct {
+	File string
+	Page int
+}
+
+func (id PageID) String() string { return fmt.Sprintf("%s:%d", id.File, id.Page) }
+
+// frame is one buffer slot.
+type frame struct {
+	id    PageID
+	data  []byte
+	pins  atomic.Int32
+	ref   atomic.Bool // clock reference bit
+	valid bool
+	busy  *sync.WaitGroup // non-nil while a fetch is in flight
+}
+
+// Policy selects the pool's replacement strategy. The paper's related
+// work (§2.1) surveys buffer management strategies [5,16,19,22]; the
+// pool implements the two classics so the substrate can be studied
+// under either.
+type Policy int
+
+// Replacement policies.
+const (
+	// PolicyClock is second-chance clock replacement (the default).
+	PolicyClock Policy = iota
+	// PolicyLRU evicts the least recently used unpinned frame.
+	PolicyLRU
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == PolicyLRU {
+		return "LRU"
+	}
+	return "Clock"
+}
+
+// Pool is a buffer pool. All methods are safe for concurrent use.
+type Pool struct {
+	cache  *disk.FSCache
+	direct atomic.Bool // bypass FS cache (O_DIRECT experiments)
+	policy Policy
+
+	mu     sync.Mutex
+	frames []*frame
+	table  map[PageID]int // PageID -> frame index
+	hand   int            // clock hand
+	stamp  int64          // LRU logical clock
+	lastAt []int64        // per-frame last-use stamp (LRU)
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewPool creates a pool of capacity frames backed by cache, using
+// clock replacement.
+func NewPool(cache *disk.FSCache, capacity int) *Pool {
+	return NewPoolPolicy(cache, capacity, PolicyClock)
+}
+
+// NewPoolPolicy creates a pool with an explicit replacement policy.
+func NewPoolPolicy(cache *disk.FSCache, capacity int, policy Policy) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	p := &Pool{
+		cache:  cache,
+		policy: policy,
+		frames: make([]*frame, capacity),
+		table:  make(map[PageID]int, capacity),
+		lastAt: make([]int64, capacity),
+	}
+	for i := range p.frames {
+		p.frames[i] = &frame{data: make([]byte, pages.PageSize)}
+	}
+	return p
+}
+
+// Policy returns the pool's replacement policy.
+func (p *Pool) Policy() Policy { return p.policy }
+
+// SetDirectIO toggles FS-cache bypass for subsequent fetches.
+func (p *Pool) SetDirectIO(direct bool) { p.direct.Store(direct) }
+
+// Capacity returns the number of frames.
+func (p *Pool) Capacity() int { return len(p.frames) }
+
+// Hits returns the number of pool hits.
+func (p *Pool) Hits() int64 { return p.hits.Load() }
+
+// Misses returns the number of pool misses (device/FS-cache fetches).
+func (p *Pool) Misses() int64 { return p.misses.Load() }
+
+// Fetch pins the page identified by id and returns its frame data.
+// The caller must Unpin the page when done. The returned slice aliases
+// the frame and is valid only while pinned.
+func (p *Pool) Fetch(id PageID, col *metrics.Collector) ([]byte, error) {
+	for {
+		p.mu.Lock()
+		if idx, ok := p.table[id]; ok {
+			f := p.frames[idx]
+			if f.busy != nil {
+				// Another goroutine is fetching this page; wait for it
+				// (single-flight: scanners contending for the same page
+				// trigger one device read).
+				wg := f.busy
+				p.mu.Unlock()
+				wg.Wait()
+				continue
+			}
+			f.pins.Add(1)
+			f.ref.Store(true)
+			p.stamp++
+			p.lastAt[idx] = p.stamp
+			p.mu.Unlock()
+			p.hits.Add(1)
+			col.AddIOCached(pages.PageSize)
+			return f.data, nil
+		}
+		// Miss: claim a victim frame, mark it busy, fetch outside the lock.
+		idx, err := p.victimLocked()
+		if err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+		f := p.frames[idx]
+		if f.valid {
+			delete(p.table, f.id)
+		}
+		f.id = id
+		f.valid = true
+		f.pins.Store(1)
+		f.ref.Store(true)
+		p.stamp++
+		p.lastAt[idx] = p.stamp
+		wg := &sync.WaitGroup{}
+		wg.Add(1)
+		f.busy = wg
+		p.table[id] = idx
+		p.mu.Unlock()
+
+		p.misses.Add(1)
+		err = p.cache.ReadPage(id.File, id.Page, f.data, p.direct.Load(), col)
+
+		p.mu.Lock()
+		f.busy = nil
+		if err != nil {
+			// Undo the claim so the frame can be reused.
+			delete(p.table, id)
+			f.valid = false
+			f.pins.Store(0)
+		}
+		p.mu.Unlock()
+		wg.Done()
+		if err != nil {
+			return nil, err
+		}
+		return f.data, nil
+	}
+}
+
+// victimLocked selects an unpinned frame per the pool's policy.
+// Caller holds p.mu.
+func (p *Pool) victimLocked() (int, error) {
+	if p.policy == PolicyLRU {
+		return p.victimLRULocked()
+	}
+	n := len(p.frames)
+	for sweep := 0; sweep < 2*n; sweep++ {
+		idx := p.hand
+		p.hand = (p.hand + 1) % n
+		f := p.frames[idx]
+		if f.pins.Load() > 0 || f.busy != nil {
+			continue
+		}
+		if f.ref.CompareAndSwap(true, false) {
+			continue // second chance
+		}
+		return idx, nil
+	}
+	return 0, fmt.Errorf("buffer: all %d frames pinned", n)
+}
+
+// victimLRULocked picks the unpinned frame with the oldest use stamp.
+// Caller holds p.mu.
+func (p *Pool) victimLRULocked() (int, error) {
+	best := -1
+	var bestAt int64
+	for i, f := range p.frames {
+		if f.pins.Load() > 0 || f.busy != nil {
+			continue
+		}
+		if !f.valid {
+			return i, nil // free frame
+		}
+		if best == -1 || p.lastAt[i] < bestAt {
+			best, bestAt = i, p.lastAt[i]
+		}
+	}
+	if best == -1 {
+		return 0, fmt.Errorf("buffer: all %d frames pinned", len(p.frames))
+	}
+	return best, nil
+}
+
+// Unpin releases a pin taken by Fetch.
+func (p *Pool) Unpin(id PageID) {
+	p.mu.Lock()
+	idx, ok := p.table[id]
+	p.mu.Unlock()
+	if !ok {
+		return
+	}
+	if n := p.frames[idx].pins.Add(-1); n < 0 {
+		panic(fmt.Sprintf("buffer: unpin of unpinned page %v", id))
+	}
+}
+
+// Clear evicts every unpinned page, modelling a cold buffer pool at the
+// start of a measurement.
+func (p *Pool) Clear() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.valid && f.pins.Load() == 0 && f.busy == nil {
+			delete(p.table, f.id)
+			f.valid = false
+			f.ref.Store(false)
+		}
+	}
+}
+
+// ResetStats zeroes hit/miss counters.
+func (p *Pool) ResetStats() {
+	p.hits.Store(0)
+	p.misses.Store(0)
+}

@@ -1,0 +1,304 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+
+	"sharedq/internal/disk"
+	"sharedq/internal/pages"
+)
+
+func newPool(t *testing.T, npages, capacity int) (*Pool, *disk.Device) {
+	t.Helper()
+	dev := disk.NewDevice(disk.Config{Timed: false})
+	for i := 0; i < npages; i++ {
+		p := make([]byte, pages.PageSize)
+		p[0] = byte(i)
+		if _, err := dev.AppendPage("t", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache := disk.NewFSCache(dev, disk.CacheConfig{ReadAhead: 1})
+	return NewPool(cache, capacity), dev
+}
+
+func TestFetchAndHit(t *testing.T) {
+	p, _ := newPool(t, 4, 8)
+	id := PageID{"t", 2}
+	data, err := p.Fetch(id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 2 {
+		t.Errorf("page content = %d", data[0])
+	}
+	p.Unpin(id)
+	if _, err := p.Fetch(id, nil); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(id)
+	if p.Hits() != 1 || p.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", p.Hits(), p.Misses())
+	}
+}
+
+func TestFetchMissing(t *testing.T) {
+	p, _ := newPool(t, 2, 4)
+	if _, err := p.Fetch(PageID{"nope", 0}, nil); err == nil {
+		t.Error("fetch of missing file should fail")
+	}
+	// Failed fetch must not leak the frame.
+	for i := 0; i < 10; i++ {
+		if _, err := p.Fetch(PageID{"t", i % 2}, nil); err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(PageID{"t", i % 2})
+	}
+}
+
+func TestEvictionUnderPressure(t *testing.T) {
+	p, _ := newPool(t, 16, 4)
+	for i := 0; i < 16; i++ {
+		id := PageID{"t", i}
+		data, err := p.Fetch(id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if data[0] != byte(i) {
+			t.Errorf("page %d content = %d", i, data[0])
+		}
+		p.Unpin(id)
+	}
+	if p.Misses() != 16 {
+		t.Errorf("misses = %d, want 16 (capacity 4 forces eviction)", p.Misses())
+	}
+}
+
+func TestAllPinned(t *testing.T) {
+	p, _ := newPool(t, 8, 2)
+	a, b := PageID{"t", 0}, PageID{"t", 1}
+	if _, err := p.Fetch(a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Fetch(b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Fetch(PageID{"t", 2}, nil); err == nil {
+		t.Error("fetch with all frames pinned should fail")
+	}
+	p.Unpin(a)
+	if _, err := p.Fetch(PageID{"t", 2}, nil); err != nil {
+		t.Errorf("fetch after unpin failed: %v", err)
+	}
+}
+
+func TestUnpinUnknownIsNoop(t *testing.T) {
+	p, _ := newPool(t, 2, 2)
+	p.Unpin(PageID{"t", 99}) // must not panic
+}
+
+func TestDoubleUnpinPanics(t *testing.T) {
+	p, _ := newPool(t, 2, 2)
+	id := PageID{"t", 0}
+	if _, err := p.Fetch(id, nil); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(id)
+	defer func() {
+		if recover() == nil {
+			t.Error("double unpin should panic")
+		}
+	}()
+	p.Unpin(id)
+}
+
+func TestClear(t *testing.T) {
+	p, _ := newPool(t, 4, 8)
+	for i := 0; i < 4; i++ {
+		p.Fetch(PageID{"t", i}, nil)
+		p.Unpin(PageID{"t", i})
+	}
+	p.Clear()
+	p.ResetStats()
+	p.Fetch(PageID{"t", 0}, nil)
+	p.Unpin(PageID{"t", 0})
+	if p.Misses() != 1 {
+		t.Errorf("fetch after Clear: misses=%d, want 1", p.Misses())
+	}
+}
+
+func TestClearKeepsPinned(t *testing.T) {
+	p, _ := newPool(t, 4, 8)
+	id := PageID{"t", 1}
+	data, _ := p.Fetch(id, nil)
+	p.Clear()
+	p.ResetStats()
+	if _, err := p.Fetch(id, nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.Hits() != 1 {
+		t.Error("pinned page evicted by Clear")
+	}
+	if data[0] != 1 {
+		t.Error("pinned data corrupted")
+	}
+	p.Unpin(id)
+	p.Unpin(id)
+}
+
+func TestConcurrentFetchSingleFlight(t *testing.T) {
+	p, dev := newPool(t, 1, 8)
+	var wg sync.WaitGroup
+	const readers = 16
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data, err := p.Fetch(PageID{"t", 0}, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if data[0] != 0 {
+				t.Error("content mismatch")
+			}
+			p.Unpin(PageID{"t", 0})
+		}()
+	}
+	wg.Wait()
+	if dev.BytesRead() != pages.PageSize {
+		t.Errorf("device read %d bytes; single-flight should read one page", dev.BytesRead())
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	p, _ := newPool(t, 32, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := PageID{"t", (i*7 + g) % 32}
+				data, err := p.Fetch(id, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if data[0] != byte(id.Page) {
+					t.Errorf("page %d content = %d", id.Page, data[0])
+					return
+				}
+				p.Unpin(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestCapacityMinimum(t *testing.T) {
+	dev := disk.NewDevice(disk.Config{})
+	cache := disk.NewFSCache(dev, disk.CacheConfig{})
+	p := NewPool(cache, 0)
+	if p.Capacity() != 1 {
+		t.Errorf("Capacity = %d, want 1", p.Capacity())
+	}
+}
+
+func TestDirectIOPassthrough(t *testing.T) {
+	dev := disk.NewDevice(disk.Config{Timed: false})
+	pg := make([]byte, pages.PageSize)
+	dev.AppendPage("t", pg)
+	cache := disk.NewFSCache(dev, disk.CacheConfig{ReadAhead: 1})
+	p := NewPool(cache, 4)
+	p.SetDirectIO(true)
+	if _, err := p.Fetch(PageID{"t", 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(PageID{"t", 0})
+	if cache.Len() != 0 {
+		t.Errorf("direct I/O populated FS cache: %d pages", cache.Len())
+	}
+}
+
+func TestPageIDString(t *testing.T) {
+	if (PageID{"f", 3}).String() != "f:3" {
+		t.Error("PageID.String format")
+	}
+}
+
+func newLRUPool(t *testing.T, npages, capacity int) *Pool {
+	t.Helper()
+	dev := disk.NewDevice(disk.Config{Timed: false})
+	for i := 0; i < npages; i++ {
+		p := make([]byte, pages.PageSize)
+		p[0] = byte(i)
+		if _, err := dev.AppendPage("t", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache := disk.NewFSCache(dev, disk.CacheConfig{ReadAhead: 1})
+	return NewPoolPolicy(cache, capacity, PolicyLRU)
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyClock.String() != "Clock" || PolicyLRU.String() != "LRU" {
+		t.Error("policy names")
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	p := newLRUPool(t, 4, 3)
+	fetch := func(i int) {
+		t.Helper()
+		id := PageID{"t", i}
+		if _, err := p.Fetch(id, nil); err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(id)
+	}
+	fetch(0)
+	fetch(1)
+	fetch(2)
+	fetch(0) // refresh page 0: page 1 is now the oldest
+	fetch(3) // evicts page 1
+	p.ResetStats()
+	fetch(0)
+	fetch(2)
+	fetch(3)
+	if p.Misses() != 0 {
+		t.Errorf("pages 0/2/3 should be resident, misses=%d", p.Misses())
+	}
+	fetch(1)
+	if p.Misses() != 1 {
+		t.Errorf("page 1 should have been evicted, misses=%d", p.Misses())
+	}
+}
+
+func TestLRUCorrectnessUnderChurn(t *testing.T) {
+	p := newLRUPool(t, 16, 4)
+	for i := 0; i < 200; i++ {
+		id := PageID{"t", (i * 7) % 16}
+		data, err := p.Fetch(id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if data[0] != byte(id.Page) {
+			t.Fatalf("page %d content = %d", id.Page, data[0])
+		}
+		p.Unpin(id)
+	}
+}
+
+func TestLRUAllPinned(t *testing.T) {
+	p := newLRUPool(t, 4, 2)
+	p.Fetch(PageID{"t", 0}, nil)
+	p.Fetch(PageID{"t", 1}, nil)
+	if _, err := p.Fetch(PageID{"t", 2}, nil); err == nil {
+		t.Error("all-pinned fetch should fail")
+	}
+	p.Unpin(PageID{"t", 0})
+	if _, err := p.Fetch(PageID{"t", 2}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package catalog holds table metadata: schemas, row/page counts, and
+// the foreign-key relationships that make a schema a star schema.
+// The planner uses the catalog both to resolve column references and to
+// recognise star queries (fact table joined to dimensions on FK = PK),
+// which is what makes a query eligible for the CJOIN global query plan.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sharedq/internal/pages"
+)
+
+// ForeignKey links a fact-table column to a dimension table's key column.
+type ForeignKey struct {
+	Column    string // column in this table, e.g. lo_custkey
+	RefTable  string // referenced dimension, e.g. customer
+	RefColumn string // referenced key, e.g. c_custkey
+}
+
+// Table describes one stored relation.
+type Table struct {
+	Name        string
+	Schema      *pages.Schema
+	NumRows     int64
+	NumPages    int
+	ForeignKeys []ForeignKey
+	IsFact      bool // fact table of a star schema
+}
+
+// FKTo returns the foreign key from this table to dim, if any.
+func (t *Table) FKTo(dim string) (ForeignKey, bool) {
+	for _, fk := range t.ForeignKeys {
+		if fk.RefTable == dim {
+			return fk, true
+		}
+	}
+	return ForeignKey{}, false
+}
+
+// Catalog is a concurrent registry of tables.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Add registers a table, replacing any previous definition.
+func (c *Catalog) Add(t *Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[t.Name] = t
+}
+
+// Get returns the named table.
+func (c *Catalog) Get(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", name)
+	}
+	return t, nil
+}
+
+// MustGet returns the named table or panics; for use in tests and
+// generators where absence is a programming error.
+func (c *Catalog) MustGet(name string) *Table {
+	t, err := c.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Names returns all table names in sorted order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FactTable returns the star schema's fact table, if one is registered.
+func (c *Catalog) FactTable() (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, t := range c.tables {
+		if t.IsFact {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// ResolveColumn finds which of the given tables defines column name.
+// It returns the table and the column's ordinal, or an error if the
+// column is missing or ambiguous.
+func (c *Catalog) ResolveColumn(tableNames []string, name string) (*Table, int, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var found *Table
+	idx := -1
+	for _, tn := range tableNames {
+		t, ok := c.tables[tn]
+		if !ok {
+			return nil, 0, fmt.Errorf("catalog: no table %q", tn)
+		}
+		if i := t.Schema.Index(name); i >= 0 {
+			if found != nil {
+				return nil, 0, fmt.Errorf("catalog: column %q ambiguous between %s and %s", name, found.Name, t.Name)
+			}
+			found, idx = t, i
+		}
+	}
+	if found == nil {
+		return nil, 0, fmt.Errorf("catalog: column %q not found in %v", name, tableNames)
+	}
+	return found, idx, nil
+}

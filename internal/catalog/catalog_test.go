@@ -1,0 +1,111 @@
+package catalog
+
+import (
+	"testing"
+
+	"sharedq/internal/pages"
+)
+
+func sampleCatalog() *Catalog {
+	c := New()
+	c.Add(&Table{
+		Name:   "lineorder",
+		IsFact: true,
+		Schema: pages.NewSchema(
+			pages.Column{Name: "lo_custkey", Kind: pages.KindInt},
+			pages.Column{Name: "lo_revenue", Kind: pages.KindInt},
+		),
+		ForeignKeys: []ForeignKey{
+			{Column: "lo_custkey", RefTable: "customer", RefColumn: "c_custkey"},
+		},
+	})
+	c.Add(&Table{
+		Name: "customer",
+		Schema: pages.NewSchema(
+			pages.Column{Name: "c_custkey", Kind: pages.KindInt},
+			pages.Column{Name: "c_nation", Kind: pages.KindString},
+		),
+	})
+	return c
+}
+
+func TestGetAndNames(t *testing.T) {
+	c := sampleCatalog()
+	if _, err := c.Get("lineorder"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("zzz"); err == nil {
+		t.Error("Get(zzz) should fail")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "customer" || names[1] != "lineorder" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	c := sampleCatalog()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet of missing table should panic")
+		}
+	}()
+	c.MustGet("zzz")
+}
+
+func TestFactTable(t *testing.T) {
+	c := sampleCatalog()
+	f, ok := c.FactTable()
+	if !ok || f.Name != "lineorder" {
+		t.Errorf("FactTable = %v, %v", f, ok)
+	}
+	empty := New()
+	if _, ok := empty.FactTable(); ok {
+		t.Error("empty catalog has a fact table")
+	}
+}
+
+func TestFKTo(t *testing.T) {
+	c := sampleCatalog()
+	lo := c.MustGet("lineorder")
+	fk, ok := lo.FKTo("customer")
+	if !ok || fk.Column != "lo_custkey" || fk.RefColumn != "c_custkey" {
+		t.Errorf("FKTo = %v, %v", fk, ok)
+	}
+	if _, ok := lo.FKTo("part"); ok {
+		t.Error("FKTo(part) should be absent")
+	}
+}
+
+func TestResolveColumn(t *testing.T) {
+	c := sampleCatalog()
+	tbl, idx, err := c.ResolveColumn([]string{"lineorder", "customer"}, "c_nation")
+	if err != nil || tbl.Name != "customer" || idx != 1 {
+		t.Errorf("ResolveColumn = %v, %d, %v", tbl, idx, err)
+	}
+	if _, _, err := c.ResolveColumn([]string{"lineorder"}, "c_nation"); err == nil {
+		t.Error("resolve of absent column should fail")
+	}
+	if _, _, err := c.ResolveColumn([]string{"nope"}, "x"); err == nil {
+		t.Error("resolve with missing table should fail")
+	}
+}
+
+func TestResolveColumnAmbiguous(t *testing.T) {
+	c := sampleCatalog()
+	c.Add(&Table{
+		Name:   "customer2",
+		Schema: pages.NewSchema(pages.Column{Name: "c_nation", Kind: pages.KindString}),
+	})
+	if _, _, err := c.ResolveColumn([]string{"customer", "customer2"}, "c_nation"); err == nil {
+		t.Error("ambiguous column should fail")
+	}
+}
+
+func TestAddReplaces(t *testing.T) {
+	c := sampleCatalog()
+	c.Add(&Table{Name: "customer", Schema: pages.NewSchema()})
+	if c.MustGet("customer").Schema.Len() != 0 {
+		t.Error("Add did not replace")
+	}
+}

@@ -1,0 +1,135 @@
+package cjoin
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapSetTestClear(t *testing.T) {
+	var b Bitmap
+	b = b.Set(3)
+	b = b.Set(64)
+	b = b.Set(200)
+	for _, i := range []int{3, 64, 200} {
+		if !b.Test(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if b.Test(4) || b.Test(65) || b.Test(199) || b.Test(1000) {
+		t.Error("unexpected bits set")
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Error("bit 64 not cleared")
+	}
+	b.Clear(100000) // out of range: no-op, no panic
+}
+
+func TestBitmapAnyCount(t *testing.T) {
+	var b Bitmap
+	if b.Any() || b.Count() != 0 {
+		t.Error("empty bitmap not empty")
+	}
+	b = b.Set(0)
+	b = b.Set(63)
+	b = b.Set(64)
+	if !b.Any() || b.Count() != 3 {
+		t.Errorf("Count = %d", b.Count())
+	}
+}
+
+func TestBitmapClone(t *testing.T) {
+	b := Bitmap{}.Set(5)
+	c := b.Clone()
+	c.Clear(5)
+	if !b.Test(5) {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestNewBitmapWidth(t *testing.T) {
+	if len(NewBitmap(0)) != 0 || len(NewBitmap(1)) != 1 || len(NewBitmap(64)) != 1 || len(NewBitmap(65)) != 2 {
+		t.Error("NewBitmap width wrong")
+	}
+}
+
+func TestFilterAndSemantics(t *testing.T) {
+	// Query 0 references the dim and is selected; query 1 references and
+	// is not selected; query 2 does not reference the dim.
+	tuple := Bitmap{}.Set(0).Set(1).Set(2)
+	sel := Bitmap{}.Set(0)
+	ref := Bitmap{}.Set(0).Set(1)
+	if !tuple.FilterAnd(sel, ref) {
+		t.Fatal("tuple should survive")
+	}
+	if !tuple.Test(0) {
+		t.Error("selected referencing query lost its bit")
+	}
+	if tuple.Test(1) {
+		t.Error("unselected referencing query kept its bit")
+	}
+	if !tuple.Test(2) {
+		t.Error("non-referencing query lost its bit")
+	}
+}
+
+func TestFilterAndNoMatch(t *testing.T) {
+	// No dimension row matched: sel is nil; only non-referencing
+	// queries survive.
+	tuple := Bitmap{}.Set(0).Set(1)
+	ref := Bitmap{}.Set(0)
+	if !tuple.FilterAnd(nil, ref) {
+		t.Fatal("non-referencing query should survive")
+	}
+	if tuple.Test(0) || !tuple.Test(1) {
+		t.Errorf("tuple = %v", tuple)
+	}
+}
+
+func TestFilterAndAllDropped(t *testing.T) {
+	tuple := Bitmap{}.Set(0)
+	ref := Bitmap{}.Set(0)
+	if tuple.FilterAnd(nil, ref) {
+		t.Error("tuple should be dropped")
+	}
+}
+
+func TestFilterAndWidthMismatch(t *testing.T) {
+	// Tuple is wider than sel and ref: high bits pass through.
+	tuple := Bitmap{}.Set(0).Set(100)
+	sel := Bitmap{}.Set(0)
+	ref := Bitmap{}.Set(0)
+	if !tuple.FilterAnd(sel, ref) || !tuple.Test(100) || !tuple.Test(0) {
+		t.Errorf("width mismatch handling: %v", tuple)
+	}
+}
+
+func TestFilterAndProperty(t *testing.T) {
+	// Property: bit i survives iff (not referenced) or (selected).
+	f := func(tu, se, re uint16) bool {
+		var tuple, sel, ref Bitmap
+		for i := 0; i < 16; i++ {
+			if tu&(1<<i) != 0 {
+				tuple = tuple.Set(i)
+			}
+			if se&(1<<i) != 0 {
+				sel = sel.Set(i)
+			}
+			if re&(1<<i) != 0 {
+				ref = ref.Set(i)
+			}
+		}
+		before := tuple.Clone()
+		tuple.FilterAnd(sel, ref)
+		for i := 0; i < 16; i++ {
+			want := before.Test(i) && (!ref.Test(i) || sel.Test(i))
+			if tuple.Test(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package cjoin
+
+import (
+	"sharedq/internal/pages"
+)
+
+// dimTable is the shared hash table of one filter: dimension key →
+// (dimension row, bitmap of queries whose predicates select the row).
+// It uses the same FNV hashing as the query-centric exec.HashTable so
+// the Hashing CPU category is comparable across configurations.
+//
+// The table holds the union of the tuples selected by all concurrent
+// queries — the bookkeeping overhead that makes shared operators lose
+// to query-centric ones at low concurrency (§5.2.2).
+type dimTable struct {
+	buckets []dimBucket
+	size    int
+}
+
+type dimBucket struct {
+	key  pages.Value
+	row  pages.Row
+	sel  Bitmap
+	next *dimBucket
+	used bool
+}
+
+func newDimTable(sizeHint int) *dimTable {
+	n := 16
+	for n < sizeHint*2 {
+		n *= 2
+	}
+	return &dimTable{buckets: make([]dimBucket, n)}
+}
+
+func (d *dimTable) idx(k pages.Value) int {
+	return int(k.Hash() & uint64(len(d.buckets)-1))
+}
+
+// setBit records that the query with the given bit selects row r
+// (keyed by k), inserting the row on first touch.
+func (d *dimTable) setBit(k pages.Value, r pages.Row, bit int) {
+	b := &d.buckets[d.idx(k)]
+	if !b.used {
+		b.key, b.row, b.used = k, r, true
+		b.sel = Bitmap{}.Set(bit)
+		d.size++
+		return
+	}
+	for e := b; ; e = e.next {
+		if e.key.Equal(k) {
+			e.sel = e.sel.Set(bit)
+			return
+		}
+		if e.next == nil {
+			nb := &dimBucket{key: k, row: r, used: true}
+			nb.sel = Bitmap{}.Set(bit)
+			e.next = nb
+			d.size++
+			return
+		}
+	}
+}
+
+// clearBit removes a completed query's bit from every entry. Entries
+// whose bitmaps empty are retired lazily (left in place; their sel
+// reads as all-zero, which FilterAnd treats as not selected).
+func (d *dimTable) clearBit(bit int) {
+	for i := range d.buckets {
+		for e := &d.buckets[i]; e != nil && e.used; e = e.next {
+			e.sel.Clear(bit)
+		}
+	}
+}
+
+// lookup returns the dimension row and selection bitmap for key k.
+func (d *dimTable) lookup(k pages.Value) (pages.Row, Bitmap) {
+	for e := &d.buckets[d.idx(k)]; e != nil && e.used; e = e.next {
+		if e.key.Equal(k) {
+			return e.row, e.sel
+		}
+	}
+	return nil, nil
+}
+
+// keys returns the number of distinct dimension keys held.
+func (d *dimTable) keys() int { return d.size }

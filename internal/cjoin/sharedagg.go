@@ -1,0 +1,181 @@
+package cjoin
+
+import (
+	"fmt"
+
+	"sharedq/internal/exec"
+	"sharedq/internal/expr"
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+)
+
+// SharedAggregator is the shared aggregate operator the paper
+// attributes to DataPath (§2.4: "a shared aggregate operator that
+// calculates a running sum for each group and query") and discusses as
+// an SP target (§3.1 "Shared aggregations"). It extends the GQP above
+// the joins: tuples annotated with query bitmaps are aggregated once
+// per (group, query) pair instead of once per query, so the grouping
+// work — key extraction and hash lookups — is shared across all
+// queries that group by the same columns.
+//
+// Queries may aggregate different expressions: each query contributes
+// its own accumulator list per group; a tuple updates query q's
+// accumulators only when its bitmap carries q's bit.
+//
+// The operator works on a fixed set of queries (like SharedDB's batched
+// operators): all queries must be registered before feeding tuples.
+type SharedAggregator struct {
+	groupBy []int // ordinals into the joined row, shared by all queries
+	queries []*aggQuery
+	col     *metrics.Collector
+
+	groups map[string]*sharedGroup
+	order  []string
+	keyBuf []byte
+}
+
+type aggQuery struct {
+	bit  int
+	plan *plan.Query
+	pred expr.Pred // fact predicate, evaluated on the joined tuple
+}
+
+type sharedGroup struct {
+	keyVals []pages.Value
+	accs    [][]*expr.Acc // [query][agg]
+}
+
+// NewSharedAggregator creates the operator for the given shared
+// group-by layout (ordinals into the joined-tuple schema).
+func NewSharedAggregator(groupBy []int, col *metrics.Collector) *SharedAggregator {
+	return &SharedAggregator{
+		groupBy: groupBy,
+		col:     col,
+		groups:  make(map[string]*sharedGroup),
+	}
+}
+
+// Register adds a query. Its plan must group by exactly the shared
+// group-by columns (same ordinals, same order); its aggregates may
+// differ freely from other queries'.
+func (s *SharedAggregator) Register(bit int, q *plan.Query, factPred expr.Pred) error {
+	if len(q.GroupBy) != len(s.groupBy) {
+		return fmt.Errorf("cjoin: query groups by %d columns, operator by %d", len(q.GroupBy), len(s.groupBy))
+	}
+	for i, g := range q.GroupBy {
+		if g != s.groupBy[i] {
+			return fmt.Errorf("cjoin: group-by column %d differs (%d vs %d)", i, g, s.groupBy[i])
+		}
+	}
+	if len(s.groups) > 0 {
+		return fmt.Errorf("cjoin: cannot register after tuples were added (batched operator)")
+	}
+	s.queries = append(s.queries, &aggQuery{bit: bit, plan: q, pred: factPred})
+	return nil
+}
+
+// NumQueries returns the number of registered queries.
+func (s *SharedAggregator) NumQueries() int { return len(s.queries) }
+
+// Add folds one annotated tuple batch: rows in the joined layout with
+// parallel bitmaps. Group-key hashing happens once per tuple,
+// independent of the number of queries — the sharing win.
+func (s *SharedAggregator) Add(rows []pages.Row, bms []Bitmap) {
+	stop := s.col.Timer(metrics.Aggregation)
+	defer stop()
+	for i, r := range rows {
+		bm := bms[i]
+		if bm == nil || !bm.Any() {
+			continue
+		}
+		key := s.key(r)
+		g, ok := s.groups[key]
+		if !ok {
+			g = &sharedGroup{accs: make([][]*expr.Acc, len(s.queries))}
+			for qi, q := range s.queries {
+				g.accs[qi] = make([]*expr.Acc, len(q.plan.Aggs))
+				for ai := range q.plan.Aggs {
+					g.accs[qi][ai] = expr.NewAcc(q.plan.Aggs[ai])
+				}
+			}
+			g.keyVals = make([]pages.Value, len(s.groupBy))
+			for ki, idx := range s.groupBy {
+				g.keyVals[ki] = r[idx]
+			}
+			s.groups[key] = g
+			s.order = append(s.order, key)
+		}
+		for qi, q := range s.queries {
+			if !bm.Test(q.bit) {
+				continue
+			}
+			if q.pred != nil && !q.pred(r) {
+				continue
+			}
+			for _, acc := range g.accs[qi] {
+				acc.Add(r)
+			}
+		}
+	}
+}
+
+// key encodes the shared group-by values (same scheme as the
+// query-centric aggregator).
+func (s *SharedAggregator) key(r pages.Row) string {
+	b := s.keyBuf[:0]
+	for _, idx := range s.groupBy {
+		v := r[idx]
+		switch v.Kind {
+		case pages.KindInt:
+			u := uint64(v.I)
+			b = append(b, 1, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+				byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+		case pages.KindString:
+			b = append(b, 2)
+			b = append(b, v.S...)
+			b = append(b, 0)
+		default:
+			u := uint64(int64(v.F * 100))
+			b = append(b, 3, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+				byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+		}
+	}
+	s.keyBuf = b
+	return string(b)
+}
+
+// NumGroups returns the number of groups seen.
+func (s *SharedAggregator) NumGroups() int { return len(s.groups) }
+
+// Rows materializes query qi's output rows (its SELECT layout), sorted
+// per its ORDER BY via exec.SortRows. Groups to which the query
+// contributed no tuples are omitted, matching per-query semantics.
+func (s *SharedAggregator) Rows(qi int) []pages.Row {
+	q := s.queries[qi]
+	out := make([]pages.Row, 0, len(s.order))
+	for _, key := range s.order {
+		g := s.groups[key]
+		touched := false
+		for _, acc := range g.accs[qi] {
+			if acc.Count() > 0 {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		row := make(pages.Row, len(q.plan.Output))
+		for i, oc := range q.plan.Output {
+			switch {
+			case oc.AggIdx >= 0:
+				row[i] = g.accs[qi][oc.AggIdx].Result()
+			case oc.GroupIdx >= 0:
+				row[i] = g.keyVals[oc.GroupIdx]
+			}
+		}
+		out = append(out, row)
+	}
+	return exec.SortRows(q.plan, s.col, out)
+}

@@ -1,0 +1,225 @@
+package cjoin
+
+import (
+	"reflect"
+	"testing"
+
+	"sharedq/internal/exec"
+	"sharedq/internal/expr"
+	"sharedq/internal/heap"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+)
+
+// sharedAggFixture plans two queries with the same GROUP BY but
+// different aggregates/predicates, plus their joined input tuples with
+// bitmaps assigning rows to queries.
+func TestSharedAggregatorTwoQueries(t *testing.T) {
+	env := testEnv(t)
+	q1, err := plan.Build(env.Cat, `SELECT c_nation, SUM(lo_revenue) AS rev
+FROM lineorder, customer WHERE lo_custkey = c_custkey GROUP BY c_nation ORDER BY c_nation`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := plan.Build(env.Cat, `SELECT c_nation, COUNT(*) AS n, SUM(lo_quantity) AS qty
+FROM lineorder, customer WHERE lo_custkey = c_custkey GROUP BY c_nation ORDER BY c_nation`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sa := NewSharedAggregator(q1.GroupBy, env.Col)
+	if err := sa.Register(0, q1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Register(1, q2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sa.NumQueries() != 2 {
+		t.Fatal("queries not registered")
+	}
+
+	// Build joined tuples the slow way and feed every tuple to both
+	// queries (bitmap 0b11).
+	joined := joinAll(t, env, q1)
+	bms := make([]Bitmap, len(joined))
+	for i := range bms {
+		bms[i] = Bitmap{}.Set(0).Set(1)
+	}
+	sa.Add(joined, bms)
+
+	want1, err := exec.Execute(env, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := exec.Execute(env, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sa.Rows(0); !reflect.DeepEqual(got, want1) {
+		t.Errorf("query 1 shared agg: %d rows, want %d", len(got), len(want1))
+	}
+	if got := sa.Rows(1); !reflect.DeepEqual(got, want2) {
+		t.Errorf("query 2 shared agg: %d rows, want %d", len(got), len(want2))
+	}
+}
+
+// joinAll materializes all joined tuples of q (nested-loop reference).
+func joinAll(t *testing.T, env *exec.Env, q *plan.Query) []pages.Row {
+	t.Helper()
+	dims := make([]map[int64]pages.Row, len(q.Dims))
+	for i, d := range q.Dims {
+		tbl := env.Cat.MustGet(d.Table)
+		all, err := heap.ScanAll(env.Pool, tbl, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := make(map[int64]pages.Row)
+		for _, r := range all {
+			if d.Pred == nil || expr.Truthy(d.Pred.Eval(r)) {
+				m[r[d.DimKeyIdx].I] = r
+			}
+		}
+		dims[i] = m
+	}
+	facts, err := heap.ScanAll(env.Pool, q.Fact, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []pages.Row
+	for _, f := range facts {
+		joined := f
+		ok := true
+		for i, d := range q.Dims {
+			dr, found := dims[i][f[d.FactColIdx].I]
+			if !found {
+				ok = false
+				break
+			}
+			j := make(pages.Row, 0, len(joined)+len(dr))
+			j = append(j, joined...)
+			j = append(j, dr...)
+			joined = j
+		}
+		if ok {
+			out = append(out, joined)
+		}
+	}
+	return out
+}
+
+func TestSharedAggregatorBitmapRouting(t *testing.T) {
+	env := testEnv(t)
+	q, err := plan.Build(env.Cat, `SELECT c_nation, COUNT(*) AS n
+FROM lineorder, customer WHERE lo_custkey = c_custkey GROUP BY c_nation`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := NewSharedAggregator(q.GroupBy, env.Col)
+	sa.Register(0, q, nil)
+	sa.Register(1, q, nil)
+
+	mk := func(nation string) pages.Row {
+		r := make(pages.Row, q.JoinedSchema.Len())
+		for i := range r {
+			r[i] = pages.Int(0)
+		}
+		r[q.JoinedSchema.Index("c_nation")] = pages.Str(nation)
+		return r
+	}
+	// Row 1 belongs to both queries; row 2 only to query 1; row 3 to
+	// nobody (dropped upstream, nil bitmap).
+	sa.Add([]pages.Row{mk("PERU"), mk("PERU"), mk("CHINA")},
+		[]Bitmap{Bitmap{}.Set(0).Set(1), Bitmap{}.Set(0), nil})
+
+	r0 := sa.Rows(0)
+	r1 := sa.Rows(1)
+	if len(r0) != 1 || r0[0][1].I != 2 {
+		t.Errorf("query 0 rows = %v, want PERU count 2", r0)
+	}
+	if len(r1) != 1 || r1[0][1].I != 1 {
+		t.Errorf("query 1 rows = %v, want PERU count 1", r1)
+	}
+}
+
+func TestSharedAggregatorFactPredicate(t *testing.T) {
+	env := testEnv(t)
+	q, err := plan.Build(env.Cat, `SELECT c_nation, COUNT(*) AS n
+FROM lineorder, customer WHERE lo_custkey = c_custkey GROUP BY c_nation`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qtyIdx := q.JoinedSchema.Index("lo_quantity")
+	pred := func(r pages.Row) bool { return r[qtyIdx].I > 10 }
+
+	sa := NewSharedAggregator(q.GroupBy, env.Col)
+	sa.Register(0, q, pred)
+	mk := func(qty int64) pages.Row {
+		r := make(pages.Row, q.JoinedSchema.Len())
+		for i := range r {
+			r[i] = pages.Int(0)
+		}
+		r[qtyIdx] = pages.Int(qty)
+		r[q.JoinedSchema.Index("c_nation")] = pages.Str("PERU")
+		return r
+	}
+	sa.Add([]pages.Row{mk(5), mk(20), mk(30)},
+		[]Bitmap{Bitmap{}.Set(0), Bitmap{}.Set(0), Bitmap{}.Set(0)})
+	rows := sa.Rows(0)
+	if len(rows) != 1 || rows[0][1].I != 2 {
+		t.Errorf("fact-predicate filtering = %v, want count 2", rows)
+	}
+}
+
+func TestSharedAggregatorRegisterValidation(t *testing.T) {
+	env := testEnv(t)
+	q1, _ := plan.Build(env.Cat, `SELECT c_nation, COUNT(*) AS n
+FROM lineorder, customer WHERE lo_custkey = c_custkey GROUP BY c_nation`)
+	q2, _ := plan.Build(env.Cat, `SELECT c_city, COUNT(*) AS n
+FROM lineorder, customer WHERE lo_custkey = c_custkey GROUP BY c_city`)
+	sa := NewSharedAggregator(q1.GroupBy, env.Col)
+	if err := sa.Register(0, q1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Register(1, q2, nil); err == nil {
+		t.Error("mismatched group-by should fail")
+	}
+	// Registration after tuples arrive is rejected (batched operator).
+	r := make(pages.Row, q1.JoinedSchema.Len())
+	for i := range r {
+		r[i] = pages.Int(0)
+	}
+	r[q1.JoinedSchema.Index("c_nation")] = pages.Str("PERU")
+	sa.Add([]pages.Row{r}, []Bitmap{Bitmap{}.Set(0)})
+	if err := sa.Register(2, q1, nil); err == nil {
+		t.Error("late registration should fail")
+	}
+}
+
+func TestSharedAggregatorUntouchedGroupsOmitted(t *testing.T) {
+	env := testEnv(t)
+	q, _ := plan.Build(env.Cat, `SELECT c_nation, COUNT(*) AS n
+FROM lineorder, customer WHERE lo_custkey = c_custkey GROUP BY c_nation`)
+	sa := NewSharedAggregator(q.GroupBy, env.Col)
+	sa.Register(0, q, nil)
+	sa.Register(1, q, nil)
+	mk := func(nation string) pages.Row {
+		r := make(pages.Row, q.JoinedSchema.Len())
+		for i := range r {
+			r[i] = pages.Int(0)
+		}
+		r[q.JoinedSchema.Index("c_nation")] = pages.Str(nation)
+		return r
+	}
+	// CHINA tuples belong only to query 0.
+	sa.Add([]pages.Row{mk("CHINA"), mk("PERU")},
+		[]Bitmap{Bitmap{}.Set(0), Bitmap{}.Set(0).Set(1)})
+	if got := len(sa.Rows(0)); got != 2 {
+		t.Errorf("query 0 groups = %d, want 2", got)
+	}
+	if got := len(sa.Rows(1)); got != 1 {
+		t.Errorf("query 1 groups = %d, want 1 (CHINA untouched)", got)
+	}
+	if sa.NumGroups() != 2 {
+		t.Errorf("shared groups = %d", sa.NumGroups())
+	}
+}

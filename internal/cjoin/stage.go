@@ -1,0 +1,551 @@
+package cjoin
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sharedq/internal/comm"
+	"sharedq/internal/exec"
+	"sharedq/internal/expr"
+	"sharedq/internal/heap"
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+	"sharedq/internal/qpipe"
+)
+
+// Config tunes the CJOIN stage.
+type Config struct {
+	// PipelineThreads is the number of worker threads passing fact
+	// tuples through the filter chain (the paper's horizontal
+	// configuration). Default 4.
+	PipelineThreads int
+	// DistributorParts is the number of distributor-part threads. The
+	// original CJOIN's single-threaded distributor is a bottleneck the
+	// integration fixes by adding parts (§3.2); set 1 to reproduce the
+	// bottleneck in the ablation benchmark. Default 4.
+	DistributorParts int
+	// SP enables Simultaneous Pipelining on the CJOIN stage (step WoP):
+	// an identical star-query packet attaches as a satellite and never
+	// enters the GQP (§3.3) — the CJOIN-SP configuration.
+	SP bool
+	// Ports configures the output communication model and sizes.
+	Ports qpipe.PortConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.PipelineThreads <= 0 {
+		c.PipelineThreads = 4
+	}
+	if c.DistributorParts <= 0 {
+		c.DistributorParts = 4
+	}
+	if c.Ports.PageRows <= 0 {
+		c.Ports.PageRows = comm.DefaultPageRows
+	}
+	return c
+}
+
+// query is one admitted CJOIN packet.
+type query struct {
+	plan *plan.Query
+	bit  int
+	out  qpipe.OutPort
+	myIn qpipe.InPort // the owner's reader, attached before admission
+	sig  string
+
+	entryPage   int
+	pagesSeen   int          // fact pages emitted while active (guarded by stage.mu)
+	outstanding atomic.Int64 // batches in flight carrying this query's bit
+	done        atomic.Bool  // preprocessor completed the circular window
+	closed      atomic.Bool
+
+	wopMu   sync.Mutex // guards started against satellite attachment
+	started bool       // first output emitted; step WoP closed
+
+	dimPos   []int // filter-chain position of each of the plan's dims
+	factPred expr.Pred
+}
+
+// filter is one dimension's shared selection + shared hash join.
+type filter struct {
+	table      string
+	dimKeyIdx  int
+	factColIdx int
+	ht         *dimTable
+	ref        Bitmap // queries referencing this dimension
+}
+
+// batch is the unit flowing through the pipeline: a fact page's rows,
+// their bitmaps, and the matched dimension rows per filter position.
+type batch struct {
+	facts   []pages.Row
+	bms     []Bitmap
+	dims    [][]pages.Row // [filter][tuple]
+	queries []*query      // active queries at emission
+}
+
+// Stage is the CJOIN operator packaged as a QPipe stage: it accepts
+// star-query packets and evaluates all of their joins on one shared
+// pipeline.
+type Stage struct {
+	env   *exec.Env
+	cfg   Config
+	stats *metrics.CounterSet
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []*query
+	active   []*query
+	hosts    map[string]*query // SP registry (step WoP)
+	nextBit  int
+	freeBit  []int
+	dirtyBit []int  // freed bits not yet cleared from the filters
+	mask     Bitmap // bits of active queries
+	scanPos  int    // next fact page index
+	closed   bool
+
+	inflight atomic.Int64 // batches emitted but not yet fully distributed
+
+	filterMu sync.RWMutex
+	filters  []*filter
+
+	preQ  chan *batch
+	distQ chan *batch
+	wg    sync.WaitGroup
+
+	admissionNanos atomic.Int64
+	errMu          sync.Mutex
+	err            error
+}
+
+// NewStage creates and starts a CJOIN stage over env. Close must be
+// called to stop its goroutines.
+func NewStage(env *exec.Env, cfg Config) *Stage {
+	cfg = cfg.withDefaults()
+	if cfg.Ports.Col == nil {
+		cfg.Ports.Col = env.Col
+	}
+	st := &Stage{
+		env:   env,
+		cfg:   cfg,
+		stats: metrics.NewCounterSet(),
+		hosts: make(map[string]*query),
+		preQ:  make(chan *batch, cfg.PipelineThreads*2),
+		distQ: make(chan *batch, cfg.DistributorParts*2),
+	}
+	st.cond = sync.NewCond(&st.mu)
+
+	st.wg.Add(1)
+	go st.preprocessor()
+
+	var filterWG sync.WaitGroup
+	for i := 0; i < cfg.PipelineThreads; i++ {
+		st.wg.Add(1)
+		filterWG.Add(1)
+		go func() {
+			defer st.wg.Done()
+			defer filterWG.Done()
+			st.pipelineWorker()
+		}()
+	}
+	go func() {
+		filterWG.Wait()
+		close(st.distQ)
+	}()
+	for i := 0; i < cfg.DistributorParts; i++ {
+		st.wg.Add(1)
+		go func() {
+			defer st.wg.Done()
+			st.distributorPart()
+		}()
+	}
+	return st
+}
+
+// Close stops the stage's goroutines. Outstanding queries are
+// completed first if their windows have closed; callers should not
+// Close while queries are in flight.
+func (st *Stage) Close() {
+	st.mu.Lock()
+	st.closed = true
+	st.cond.Broadcast()
+	st.mu.Unlock()
+	st.wg.Wait()
+}
+
+// Stats returns sharing and admission counters: cjoin_admitted,
+// cjoin_batches (admission batches), cjoin_shared (SP satellites).
+func (st *Stage) Stats() map[string]int64 { return st.stats.Snapshot() }
+
+// AdmissionTime returns the cumulative time spent in admission phases
+// (the "CJOIN Admission" series of Figure 11).
+func (st *Stage) AdmissionTime() time.Duration {
+	return time.Duration(st.admissionNanos.Load())
+}
+
+func (st *Stage) fail(err error) {
+	st.errMu.Lock()
+	defer st.errMu.Unlock()
+	if st.err == nil {
+		st.err = err
+	}
+}
+
+// Err returns the first asynchronous pipeline error.
+func (st *Stage) Err() error {
+	st.errMu.Lock()
+	defer st.errMu.Unlock()
+	return st.err
+}
+
+// Submit runs one star query through the global query plan and returns
+// its output rows. Safe for concurrent use.
+func (st *Stage) Submit(q *plan.Query) ([]pages.Row, error) {
+	if !q.IsStarJoinable() {
+		return nil, fmt.Errorf("cjoin: %q is not a star query", q.SQL)
+	}
+	sig := q.JoinPrefixSignature(len(q.Dims) - 1)
+
+	st.mu.Lock()
+	if st.cfg.SP {
+		if h, ok := st.hosts[sig]; ok {
+			h.wopMu.Lock()
+			if !h.started {
+				// Step WoP open: the new packet is identical to an
+				// admitted one — reuse its results and skip admission,
+				// bitmap extension and redundant evaluation entirely
+				// (§3.3).
+				in := h.out.AddReader(true)
+				h.wopMu.Unlock()
+				st.mu.Unlock()
+				st.stats.Get("cjoin_shared").Inc()
+				rows := qpipe.Drain(st.env, q, in)
+				return rows, st.Err()
+			}
+			h.wopMu.Unlock()
+		}
+	}
+	qq := &query{
+		plan:     q,
+		out:      st.cfg.Ports.NewOutPort(),
+		sig:      sig,
+		factPred: expr.CompilePred(q.FactPred),
+	}
+	qq.myIn = qq.out.AddReader(true)
+	st.pending = append(st.pending, qq)
+	if st.cfg.SP {
+		st.hosts[sig] = qq
+	}
+	st.cond.Broadcast()
+	st.mu.Unlock()
+
+	rows := qpipe.Drain(st.env, q, qq.myIn)
+	st.unregister(qq)
+	return rows, st.Err()
+}
+
+func (st *Stage) unregister(qq *query) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.hosts[qq.sig] == qq {
+		delete(st.hosts, qq.sig)
+	}
+}
+
+// preprocessor runs the circular scan of the fact table, admitting
+// pending batches between pages and completing queries at their
+// wrap-around points.
+func (st *Stage) preprocessor() {
+	defer st.wg.Done()
+	defer close(st.preQ)
+	fact, _ := st.env.Cat.FactTable()
+	for {
+		st.mu.Lock()
+		// Admission: one pause per batch of pending queries.
+		if len(st.pending) > 0 {
+			batchQ := st.pending
+			st.pending = nil
+			st.admit(batchQ)
+		}
+		// Completion: queries whose entry page comes up again have seen
+		// the full fact table.
+		var completed []*query
+		for i := 0; i < len(st.active); {
+			qq := st.active[i]
+			if qq.entryPage == st.scanPos && qq.pagesSeen > 0 {
+				st.mask.Clear(qq.bit)
+				st.dirtyBit = append(st.dirtyBit, qq.bit)
+				st.active = append(st.active[:i], st.active[i+1:]...)
+				qq.done.Store(true)
+				completed = append(completed, qq)
+				continue
+			}
+			i++
+		}
+		if len(st.active) == 0 {
+			if st.closed {
+				st.mu.Unlock()
+				st.finishQueries(completed)
+				return
+			}
+			if len(st.pending) == 0 && len(completed) == 0 {
+				// Idle: nothing running, nothing to finish. Sleep until
+				// a submission (or Close) arrives.
+				st.cond.Wait()
+				st.mu.Unlock()
+				continue
+			}
+			st.mu.Unlock()
+			st.finishQueries(completed)
+			continue
+		}
+		idx := st.scanPos
+		st.scanPos = (st.scanPos + 1) % maxInt(fact.NumPages, 1)
+		snapshot := make([]*query, len(st.active))
+		copy(snapshot, st.active)
+		mask := st.mask.Clone()
+		for _, qq := range st.active {
+			qq.pagesSeen++
+			qq.outstanding.Add(1)
+		}
+		st.inflight.Add(1)
+		st.mu.Unlock()
+		st.finishQueries(completed)
+
+		stop := st.env.Col.Timer(metrics.Scans)
+		rows, err := heap.ReadPageRows(st.env.Pool, fact.Name, idx, nil, st.env.Col)
+		stop()
+		if err != nil {
+			st.fail(err)
+			st.mu.Lock()
+			for _, qq := range st.active {
+				st.mask.Clear(qq.bit)
+				st.dirtyBit = append(st.dirtyBit, qq.bit)
+				qq.done.Store(true)
+				completed = append(completed, qq)
+			}
+			st.active = nil
+			st.inflight.Add(-1)
+			st.mu.Unlock()
+			st.finishQueries(completed)
+			continue
+		}
+		b := &batch{facts: rows, bms: make([]Bitmap, len(rows)), queries: snapshot}
+		for i := range b.bms {
+			b.bms[i] = mask.Clone()
+		}
+		st.preQ <- b
+	}
+}
+
+// finishQueries closes the outputs of completed queries that have no
+// batches in flight; distributor parts close the rest as their last
+// batches drain.
+func (st *Stage) finishQueries(qs []*query) {
+	for _, qq := range qs {
+		if qq.outstanding.Load() == 0 {
+			st.closeQuery(qq)
+		}
+	}
+}
+
+func (st *Stage) closeQuery(qq *query) {
+	if qq.closed.CompareAndSwap(false, true) {
+		qq.out.Close()
+	}
+}
+
+// admit performs the batched admission phase (§3.2): assign bits, add
+// or update filters by scanning the referenced dimension tables, and
+// record each query's entry point on the circular fact scan.
+// Caller holds st.mu; the filter chain is locked for writing, which
+// drains in-flight probes — the pipeline pause.
+func (st *Stage) admit(qs []*query) {
+	t0 := time.Now()
+	defer func() {
+		d := time.Since(t0)
+		st.admissionNanos.Add(int64(d))
+		st.env.Col.Add(metrics.Locks, d)
+	}()
+	st.stats.Get("cjoin_batches").Inc()
+
+	// Pause the pipeline: wait until every emitted batch has fully
+	// drained through the distributor, so filter mutation and bit reuse
+	// cannot corrupt in-flight tuples. This stall is admission cost (e).
+	for st.inflight.Load() > 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	st.filterMu.Lock()
+	defer st.filterMu.Unlock()
+
+	// Retire freed bits: clear them from every filter so they can be
+	// reassigned without leaking the old query's selections.
+	for _, bit := range st.dirtyBit {
+		for _, f := range st.filters {
+			f.ref.Clear(bit)
+			f.ht.clearBit(bit)
+		}
+		st.freeBit = append(st.freeBit, bit)
+	}
+	st.dirtyBit = nil
+
+	for _, qq := range qs {
+		if len(st.freeBit) > 0 {
+			qq.bit = st.freeBit[len(st.freeBit)-1]
+			st.freeBit = st.freeBit[:len(st.freeBit)-1]
+		} else {
+			qq.bit = st.nextBit
+			st.nextBit++
+		}
+		qq.entryPage = st.scanPos
+		qq.pagesSeen = 0
+		qq.dimPos = make([]int, len(qq.plan.Dims))
+
+		for di, d := range qq.plan.Dims {
+			fi := st.findOrAddFilter(d)
+			qq.dimPos[di] = fi
+			f := st.filters[fi]
+			f.ref = f.ref.Set(qq.bit)
+			if err := st.updateFilter(f, d, qq.bit); err != nil {
+				st.fail(err)
+			}
+		}
+		st.mask = st.mask.Set(qq.bit)
+		st.active = append(st.active, qq)
+		st.stats.Get("cjoin_admitted").Inc()
+	}
+}
+
+func (st *Stage) findOrAddFilter(d plan.DimJoin) int {
+	for i, f := range st.filters {
+		if f.table == d.Table {
+			return i
+		}
+	}
+	st.filters = append(st.filters, &filter{
+		table:      d.Table,
+		dimKeyIdx:  d.DimKeyIdx,
+		factColIdx: d.FactColIdx,
+		ht:         newDimTable(1024),
+	})
+	return len(st.filters) - 1
+}
+
+// updateFilter scans the dimension table (admission cost (a)),
+// evaluates the new query's predicate on every row (cost (b)) and sets
+// the query's bit on selected rows, inserting rows as needed (costs
+// (c), (d)).
+func (st *Stage) updateFilter(f *filter, d plan.DimJoin, bit int) error {
+	t, err := st.env.Cat.Get(d.Table)
+	if err != nil {
+		return err
+	}
+	pred := expr.CompilePred(d.Pred)
+	return exec.ScanTable(st.env, t, func(rows []pages.Row) error {
+		stop := st.env.Col.Timer(metrics.Joins)
+		defer stop()
+		for _, r := range rows {
+			if pred != nil && !pred(r) {
+				continue
+			}
+			f.ht.setBit(r[f.dimKeyIdx], r, bit)
+		}
+		return nil
+	})
+}
+
+// pipelineWorker passes batches through the filter chain: shared hash
+// join probes plus bitmap ANDs, dropping tuples whose bitmaps empty.
+func (st *Stage) pipelineWorker() {
+	for b := range st.preQ {
+		st.filterMu.RLock()
+		filters := st.filters
+		b.dims = make([][]pages.Row, len(filters))
+		alive := len(b.facts)
+		sels := make([]Bitmap, len(b.facts))
+		for fi, f := range filters {
+			if alive == 0 {
+				break
+			}
+			b.dims[fi] = make([]pages.Row, len(b.facts))
+			stopH := st.env.Col.Timer(metrics.Hashing)
+			for ti, fr := range b.facts {
+				if b.bms[ti] == nil {
+					continue
+				}
+				b.dims[fi][ti], sels[ti] = f.ht.lookup(fr[f.factColIdx])
+			}
+			stopH()
+			stopJ := st.env.Col.Timer(metrics.Joins)
+			for ti := range b.facts {
+				if b.bms[ti] == nil {
+					continue
+				}
+				if !b.bms[ti].FilterAnd(sels[ti], f.ref) {
+					b.bms[ti] = nil
+					alive--
+				}
+			}
+			stopJ()
+		}
+		st.filterMu.RUnlock()
+		st.distQ <- b
+	}
+}
+
+// distributorPart routes each batch's surviving tuples to the relevant
+// queries: per query, it selects tuples with the query's bit, applies
+// the query's fact predicate (CJOIN evaluates fact predicates on output
+// tuples, §3.2), assembles rows in the query's joined-schema layout and
+// emits them to the query's output buffer.
+func (st *Stage) distributorPart() {
+	for b := range st.distQ {
+		for _, qq := range b.queries {
+			st.deliver(b, qq)
+		}
+		for _, qq := range b.queries {
+			if qq.outstanding.Add(-1) == 0 && qq.done.Load() {
+				st.closeQuery(qq)
+			}
+		}
+		st.inflight.Add(-1)
+	}
+}
+
+func (st *Stage) deliver(b *batch, qq *query) {
+	stop := st.env.Col.Timer(metrics.Misc)
+	var out []pages.Row
+	for ti, bm := range b.bms {
+		if bm == nil || !bm.Test(qq.bit) {
+			continue
+		}
+		fr := b.facts[ti]
+		if qq.factPred != nil && !qq.factPred(fr) {
+			continue
+		}
+		row := make(pages.Row, 0, qq.plan.JoinedSchema.Len())
+		row = append(row, fr...)
+		for _, fi := range qq.dimPos {
+			row = append(row, b.dims[fi][ti]...)
+		}
+		out = append(out, row)
+	}
+	stop()
+	if len(out) > 0 {
+		qq.wopMu.Lock()
+		qq.started = true
+		qq.wopMu.Unlock()
+		qq.out.Emit(comm.NewPage(out))
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

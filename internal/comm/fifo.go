@@ -1,0 +1,90 @@
+package comm
+
+import (
+	"sync"
+)
+
+// FIFO is a bounded single-producer single-consumer page buffer, the
+// push-only exchange of the original QPipe design. The buffer also
+// regulates differently paced actors: Put blocks when the consumer
+// lags, Get blocks when the producer lags.
+type FIFO struct {
+	mu     sync.Mutex
+	nf     *sync.Cond // not full
+	ne     *sync.Cond // not empty
+	buf    []*Page
+	cap    int
+	closed bool
+}
+
+// DefaultFIFOPages bounds a FIFO at 8 pages (the paper uses a 256 KB
+// maximum with 32 KB pages).
+const DefaultFIFOPages = 8
+
+// NewFIFO returns a FIFO holding at most capacity pages
+// (DefaultFIFOPages when capacity <= 0).
+func NewFIFO(capacity int) *FIFO {
+	if capacity <= 0 {
+		capacity = DefaultFIFOPages
+	}
+	f := &FIFO{cap: capacity}
+	f.nf = sync.NewCond(&f.mu)
+	f.ne = sync.NewCond(&f.mu)
+	return f
+}
+
+// Put appends a page, blocking while the buffer is full. Putting to a
+// closed FIFO is a no-op (the consumer has gone away).
+func (f *FIFO) Put(p *Page) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.buf) >= f.cap && !f.closed {
+		f.nf.Wait()
+	}
+	if f.closed {
+		return
+	}
+	f.buf = append(f.buf, p)
+	f.ne.Signal()
+}
+
+// Get removes the oldest page, blocking while the buffer is empty.
+// It returns ok=false once the FIFO is closed and drained.
+func (f *FIFO) Get() (*Page, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.buf) == 0 && !f.closed {
+		f.ne.Wait()
+	}
+	if len(f.buf) == 0 {
+		return nil, false
+	}
+	p := f.buf[0]
+	f.buf = f.buf[1:]
+	f.nf.Signal()
+	return p, true
+}
+
+// Close marks the end of the stream. Pending pages remain readable;
+// blocked producers and consumers wake up.
+func (f *FIFO) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	f.ne.Broadcast()
+	f.nf.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (f *FIFO) Closed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
+
+// Len returns the number of buffered pages.
+func (f *FIFO) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.buf)
+}

@@ -1,0 +1,80 @@
+// Package comm provides the two inter-operator communication models the
+// paper compares:
+//
+//   - FIFO: bounded first-in first-out buffers with push-only,
+//     copy-based delivery. Under Simultaneous Pipelining the host's
+//     single thread copies each result page into every satellite's FIFO
+//     sequentially — the serialization point of Figure 7a that makes
+//     push-based sharing harmful at low concurrency (Fig 6a).
+//   - SPL: Shared Pages Lists (Figure 8), a pull-based single-producer
+//     multi-consumer page list. Consumers read the list independently;
+//     the last reader of a page unlinks it; bounded size throttles the
+//     producer; per-consumer entry points implement the linear Window
+//     of Opportunity (circular scans, §4.2).
+package comm
+
+import (
+	"sharedq/internal/pages"
+)
+
+// DefaultPageRows approximates the paper's 32 KB exchange pages for SSB
+// rows (~110 encoded bytes each).
+const DefaultPageRows = 290
+
+// Page is one unit of data exchanged between operators: a batch of rows
+// sized to roughly one storage page (32 KB), as in QPipe's page-based
+// exchange.
+type Page struct {
+	Rows []pages.Row
+	// Index is the table page index for circular-scan SPLs (linear
+	// WoP); -1 for ordinary result streams.
+	Index int
+}
+
+// NewPage returns a result page (Index = -1) holding rows.
+func NewPage(rows []pages.Row) *Page { return &Page{Rows: rows, Index: -1} }
+
+// Clone deep-copies the page. Push-based SP forwards results by
+// copying (the design the paper's original QPipe implementation uses),
+// so the copy cost sits on the host's critical path by construction.
+func (p *Page) Clone() *Page {
+	rows := make([]pages.Row, len(p.Rows))
+	for i, r := range p.Rows {
+		rows[i] = r.Clone()
+	}
+	return &Page{Rows: rows, Index: p.Index}
+}
+
+// Builder accumulates rows into pages of at most maxRows rows.
+type Builder struct {
+	maxRows int
+	rows    []pages.Row
+}
+
+// NewBuilder returns a Builder emitting pages of maxRows rows
+// (DefaultPageRows if maxRows <= 0).
+func NewBuilder(maxRows int) *Builder {
+	if maxRows <= 0 {
+		maxRows = DefaultPageRows
+	}
+	return &Builder{maxRows: maxRows}
+}
+
+// Add appends a row; it returns a full page when one completes, else nil.
+func (b *Builder) Add(r pages.Row) *Page {
+	b.rows = append(b.rows, r)
+	if len(b.rows) >= b.maxRows {
+		return b.Flush()
+	}
+	return nil
+}
+
+// Flush returns the pending partial page (nil when empty) and resets.
+func (b *Builder) Flush() *Page {
+	if len(b.rows) == 0 {
+		return nil
+	}
+	p := NewPage(b.rows)
+	b.rows = nil
+	return p
+}

@@ -1,0 +1,269 @@
+package comm
+
+import (
+	"sync"
+)
+
+// DefaultSPLPages bounds an SPL at 8 pages, the paper's 256 KB maximum
+// with 32 KB pages (§4.1: larger maxima barely affect performance).
+const DefaultSPLPages = 8
+
+// EntryAuto, passed as a consumer's entryIndex, derives the circular-
+// scan entry point from the first page the consumer actually receives.
+// This makes mid-scan attachment race-free: no coordination with the
+// producer's position is needed.
+const EntryAuto = -2
+
+// splNode is one linked-list entry of an SPL (Figure 8): the page, the
+// count of consumers still due to read it, and the list of finishing
+// consumers whose circular-scan entry point is this page.
+type splNode struct {
+	page      *Page
+	next      *splNode
+	readers   int
+	finishing map[*Consumer]bool
+}
+
+// SPL is a Shared Pages List: a bounded linked list of pages written by
+// a single producer and read independently by multiple consumers.
+// The last consumer to read a page unlinks it. Pull-based SP shares one
+// SPL among the host's and all satellites' parents, so the producer
+// never forwards results — the serialization point of push-based SP
+// disappears (§4).
+type SPL struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+
+	first, last *splNode
+	length      int
+	maxPages    int
+	closed      bool
+	active      map[*Consumer]bool
+
+	produced int64 // pages ever appended
+	maxSeen  int   // high-water mark of length, for tests/ablation
+}
+
+// NewSPL returns an SPL bounded at maxPages (DefaultSPLPages if <= 0).
+func NewSPL(maxPages int) *SPL {
+	if maxPages <= 0 {
+		maxPages = DefaultSPLPages
+	}
+	s := &SPL{maxPages: maxPages, active: make(map[*Consumer]bool)}
+	s.notEmpty = sync.NewCond(&s.mu)
+	s.notFull = sync.NewCond(&s.mu)
+	return s
+}
+
+// Consumer is one reader of an SPL. Each consumer sees every page
+// appended after it attached (plus, with fromStart, the pages still in
+// the list), exactly once, in order.
+type Consumer struct {
+	spl        *SPL
+	cur        *splNode // next unread node; nil when caught up
+	prev       *splNode // last returned node, released on the next call
+	entryIndex int      // circular-scan entry point; -1 for plain streams
+	appended   int      // nodes appended since attach
+	done       bool
+}
+
+// AddConsumer attaches a reader. With fromStart, the consumer also
+// reads the pages currently buffered (step-WoP satellites attach before
+// the first output page, so they see everything). entryIndex is the
+// consumer's circular-scan point of entry — the producer finishes the
+// consumer when it next emits that page index — or -1 for streams that
+// end with Close.
+func (s *SPL) AddConsumer(fromStart bool, entryIndex int) *Consumer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := &Consumer{spl: s, entryIndex: entryIndex}
+	if fromStart && s.first != nil {
+		c.cur = s.first
+		for n := s.first; n != nil; n = n.next {
+			n.readers++
+			c.appended++
+		}
+	}
+	s.active[c] = true
+	return c
+}
+
+// ActiveConsumers returns the number of attached, unfinished consumers.
+func (s *SPL) ActiveConsumers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.active)
+}
+
+// Append adds a page at the head of the list, blocking while the list
+// is at its maximum size. Pages appended while no consumer is attached
+// are dropped. Appending to a closed SPL is a no-op.
+func (s *SPL) Append(p *Page) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.length >= s.maxPages && !s.closed && len(s.active) > 0 {
+		s.notFull.Wait()
+	}
+	if s.closed || len(s.active) == 0 {
+		return
+	}
+	n := &splNode{page: p, readers: len(s.active)}
+	// Linear WoP (§4.2): consumers whose entry point is this page index
+	// have now seen a full cycle; they finish when they reach this node.
+	if p.Index >= 0 {
+		for c := range s.active {
+			if c.entryIndex == p.Index && c.appended > 0 {
+				if n.finishing == nil {
+					n.finishing = make(map[*Consumer]bool)
+				}
+				n.finishing[c] = true
+				delete(s.active, c)
+			}
+		}
+	}
+	for c := range s.active {
+		c.appended++
+		if c.cur == nil {
+			c.cur = n
+		}
+		if c.entryIndex == EntryAuto && p.Index >= 0 && c.appended == 1 {
+			c.entryIndex = p.Index
+		}
+	}
+	for c := range n.finishing {
+		c.appended++
+		if c.cur == nil {
+			c.cur = n
+		}
+	}
+	if s.last == nil {
+		s.first, s.last = n, n
+	} else {
+		s.last.next = n
+		s.last = n
+	}
+	s.length++
+	s.produced++
+	if s.length > s.maxSeen {
+		s.maxSeen = s.length
+	}
+	s.notEmpty.Broadcast()
+}
+
+// Close marks the end of the stream: consumers finish once they drain
+// the buffered pages.
+func (s *SPL) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.notEmpty.Broadcast()
+	s.notFull.Broadcast()
+}
+
+// Produced returns the number of pages ever appended.
+func (s *SPL) Produced() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.produced
+}
+
+// MaxLength returns the high-water mark of the list length.
+func (s *SPL) MaxLength() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxSeen
+}
+
+// Len returns the current list length.
+func (s *SPL) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.length
+}
+
+// releaseLocked decrements a node's reader count and unlinks fully read
+// nodes from the front of the list. Caller holds s.mu.
+func (s *SPL) releaseLocked(n *splNode) {
+	n.readers--
+	for s.first != nil && s.first.readers <= 0 {
+		s.first = s.first.next
+		if s.first == nil {
+			s.last = nil
+		}
+		s.length--
+	}
+	s.notFull.Broadcast()
+}
+
+// Next returns the consumer's next page. It blocks until a page is
+// available and returns ok=false when the stream ends for this
+// consumer: the SPL was closed and drained, or — for circular scans —
+// the consumer wrapped around to its entry page.
+func (c *Consumer) Next() (*Page, bool) {
+	s := c.spl
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.prev != nil {
+		s.releaseLocked(c.prev)
+		c.prev = nil
+	}
+	for {
+		if c.done {
+			return nil, false
+		}
+		if c.cur != nil {
+			n := c.cur
+			if n.finishing[c] {
+				// Wrap-around: this is the consumer's entry page,
+				// re-emitted. Exit without consuming it.
+				c.done = true
+				c.cur = nil
+				s.releaseLocked(n)
+				return nil, false
+			}
+			c.cur = n.next
+			c.prev = n
+			return n.page, true
+		}
+		if s.closed {
+			c.done = true
+			delete(s.active, c)
+			return nil, false
+		}
+		s.notEmpty.Wait()
+	}
+}
+
+// Close detaches the consumer early (e.g. a cancelled query), releasing
+// its claim on all unread pages so the producer is not throttled by a
+// reader that will never come back.
+func (c *Consumer) Close() {
+	s := c.spl
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.done {
+		return
+	}
+	c.done = true
+	delete(s.active, c)
+	if c.prev != nil {
+		s.releaseLocked(c.prev)
+		c.prev = nil
+	}
+	for n := c.cur; n != nil; n = n.next {
+		if n.finishing[c] {
+			s.releaseLocked(n)
+			break
+		}
+		s.releaseLocked(n)
+	}
+	c.cur = nil
+}
+
+// Done reports whether the consumer has finished.
+func (c *Consumer) Done() bool {
+	c.spl.mu.Lock()
+	defer c.spl.mu.Unlock()
+	return c.done
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+)
+
+// AdaptiveEngine operationalizes the paper's conclusion ("analytical
+// query engines should dynamically choose between query-centric
+// operators with SP for low concurrency and GQP with shared operators
+// enhanced by SP for high concurrency"): it runs a QPipe-SP engine and
+// a CJOIN-SP engine over the same system and routes each incoming star
+// query by the current concurrency, per the Table 1 rules of thumb.
+// Non-star queries always run on the QPipe-SP engine.
+type AdaptiveEngine struct {
+	sys      *System
+	qp       *Engine // QPipeSP
+	cj       *Engine // CJOINSP
+	cores    int
+	inflight atomic.Int64
+	routedQP atomic.Int64
+	routedCJ atomic.Int64
+}
+
+// NewAdaptiveEngine builds the two engines. cores sets the saturation
+// threshold (0 = runtime.NumCPU()).
+func NewAdaptiveEngine(sys *System, cores int, opts Options) *AdaptiveEngine {
+	if cores <= 0 {
+		cores = runtime.NumCPU()
+	}
+	qpOpts, cjOpts := opts, opts
+	qpOpts.Mode = QPipeSP
+	cjOpts.Mode = CJOINSP
+	return &AdaptiveEngine{
+		sys:   sys,
+		qp:    NewEngine(sys, qpOpts),
+		cj:    NewEngine(sys, cjOpts),
+		cores: cores,
+	}
+}
+
+// Close releases both engines.
+func (a *AdaptiveEngine) Close() {
+	a.qp.Close()
+	a.cj.Close()
+}
+
+// Submit routes the query: GQP when the system is saturated (in-flight
+// queries exceed the core count), query-centric with SP otherwise.
+func (a *AdaptiveEngine) Submit(q *plan.Query) ([]pages.Row, error) {
+	n := int(a.inflight.Add(1))
+	defer a.inflight.Add(-1)
+	if q.IsStarJoinable() && Advise(n, a.cores).Mode == CJOINSP {
+		a.routedCJ.Add(1)
+		return a.cj.Submit(q)
+	}
+	a.routedQP.Add(1)
+	return a.qp.Submit(q)
+}
+
+// Query parses, plans and executes sql adaptively.
+func (a *AdaptiveEngine) Query(sql string) ([]pages.Row, *pages.Schema, error) {
+	q, err := plan.Build(a.sys.Cat, sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := a.Submit(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, q.OutputSchema, nil
+}
+
+// Routing reports how many queries each engine received.
+func (a *AdaptiveEngine) Routing() (queryCentric, gqp int64) {
+	return a.routedQP.Load(), a.routedCJ.Load()
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"sharedq/internal/ssb"
+)
+
+func TestAdaptiveMatchesBaseline(t *testing.T) {
+	sys := testSystem(t)
+	rng := rand.New(rand.NewSource(41))
+	sqls := []string{ssb.Q32(rng), ssb.Q11(rng), ssb.TPCHQ1()}
+	base := NewEngine(sys, Options{Mode: Baseline})
+	a := NewAdaptiveEngine(sys, 4, Options{})
+	defer a.Close()
+	for _, sql := range sqls {
+		want, _, err := base.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := a.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("adaptive diverged on %q", sql[:30])
+		}
+	}
+}
+
+func TestAdaptiveRoutesLowConcurrencyToQueryCentric(t *testing.T) {
+	sys := testSystem(t)
+	a := NewAdaptiveEngine(sys, 8, Options{}) // threshold 8 cores
+	defer a.Close()
+	rng := rand.New(rand.NewSource(42))
+	// Sequential submissions: in-flight is always 1 <= 8.
+	for i := 0; i < 3; i++ {
+		if _, _, err := a.Query(ssb.Q32(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qc, gqp := a.Routing()
+	if qc != 3 || gqp != 0 {
+		t.Errorf("routing = %d/%d, want 3/0", qc, gqp)
+	}
+}
+
+func TestAdaptiveRoutesHighConcurrencyToGQP(t *testing.T) {
+	sys := testSystem(t)
+	a := NewAdaptiveEngine(sys, 1, Options{}) // threshold 1 core
+	defer a.Close()
+	rng := rand.New(rand.NewSource(43))
+	const n = 6
+	sqls := make([]string, n)
+	for i := range sqls {
+		sqls[i] = ssb.Q32Pool(rng, 2)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := a.Query(sqls[i]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	_, gqp := a.Routing()
+	if gqp == 0 {
+		t.Error("no queries routed to the GQP under saturation")
+	}
+}
+
+func TestAdaptiveNonStarAlwaysQueryCentric(t *testing.T) {
+	sys := testSystem(t)
+	a := NewAdaptiveEngine(sys, 1, Options{})
+	defer a.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := a.Query(ssb.TPCHQ1()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	_, gqp := a.Routing()
+	if gqp != 0 {
+		t.Errorf("non-star queries routed to GQP: %d", gqp)
+	}
+}
+
+func TestAdaptiveBadSQL(t *testing.T) {
+	sys := testSystem(t)
+	a := NewAdaptiveEngine(sys, 0, Options{})
+	defer a.Close()
+	if _, _, err := a.Query("SELEC"); err == nil {
+		t.Error("bad SQL should fail")
+	}
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"sharedq/internal/pages"
+	"sharedq/internal/qpipe"
+	"sharedq/internal/ssb"
+)
+
+func testSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(SystemConfig{SF: 0.0005, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(SystemConfig{}); err == nil {
+		t.Error("SF=0 should fail")
+	}
+}
+
+func TestNewSystemLoadsCatalog(t *testing.T) {
+	sys := testSystem(t)
+	fact, ok := sys.Cat.FactTable()
+	if !ok || fact.NumRows == 0 || fact.NumPages == 0 {
+		t.Fatalf("fact table not loaded: %+v", fact)
+	}
+	if len(sys.Cat.Names()) != 6 {
+		t.Errorf("tables = %v", sys.Cat.Names())
+	}
+}
+
+func TestModeStringAndParse(t *testing.T) {
+	for _, m := range Modes() {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%s) = %v, %v", m, got, err)
+		}
+	}
+	if _, err := ParseMode("nope"); err == nil {
+		t.Error("unknown mode should fail")
+	}
+	if m, err := ParseMode("cjoin-sp"); err != nil || m != CJOINSP {
+		t.Errorf("case-insensitive parse = %v, %v", m, err)
+	}
+}
+
+// TestAllModesAgree is the system-level sharing-correctness invariant:
+// every configuration must return identical results for the same query
+// mix, sequentially and concurrently.
+func TestAllModesAgree(t *testing.T) {
+	sys := testSystem(t)
+	rng := rand.New(rand.NewSource(17))
+	sqls := []string{
+		ssb.TPCHQ1(),
+		ssb.Q11(rng),
+		ssb.Q21(rng),
+		ssb.Q32Selectivity(rng, 6, 6),
+		ssb.Q32PoolPlan(3),
+	}
+	base := NewEngine(sys, Options{Mode: Baseline})
+	wants := make([][]pages.Row, len(sqls))
+	for i, sql := range sqls {
+		rows, _, err := base.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = rows
+	}
+	for _, mode := range []Mode{QPipe, QPipeCS, QPipeSP, CJOIN, CJOINSP} {
+		e := NewEngine(sys, Options{Mode: mode, Comm: qpipe.CommSPL})
+		for i, sql := range sqls {
+			rows, _, err := e.Query(sql)
+			if err != nil {
+				t.Fatalf("%s: %v", mode, err)
+			}
+			if !reflect.DeepEqual(rows, wants[i]) {
+				t.Errorf("%s: query %d returned %d rows, baseline %d",
+					mode, i, len(rows), len(wants[i]))
+			}
+		}
+		e.Close()
+	}
+}
+
+func TestAllModesAgreeConcurrent(t *testing.T) {
+	sys := testSystem(t)
+	rng := rand.New(rand.NewSource(23))
+	const n = 9
+	sqls := make([]string, n)
+	for i := range sqls {
+		sqls[i] = ssb.Q32Pool(rng, 3)
+	}
+	base := NewEngine(sys, Options{Mode: Baseline})
+	wants := make([][]pages.Row, n)
+	for i, sql := range sqls {
+		rows, _, err := base.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = rows
+	}
+	for _, mode := range []Mode{QPipeSP, CJOIN, CJOINSP} {
+		e := NewEngine(sys, Options{Mode: mode})
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				rows, _, err := e.Query(sqls[i])
+				if err != nil {
+					t.Errorf("%s: %v", mode, err)
+					return
+				}
+				if !reflect.DeepEqual(rows, wants[i]) {
+					t.Errorf("%s: concurrent query %d diverged", mode, i)
+				}
+			}(i)
+		}
+		wg.Wait()
+		e.Close()
+	}
+}
+
+func TestCJOINFallbackForNonStar(t *testing.T) {
+	sys := testSystem(t)
+	e := NewEngine(sys, Options{Mode: CJOIN})
+	defer e.Close()
+	base := NewEngine(sys, Options{Mode: Baseline})
+	want, _, err := base.Query(ssb.TPCHQ1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := e.Query(ssb.TPCHQ1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("non-star fallback diverged")
+	}
+}
+
+func TestEngineStats(t *testing.T) {
+	sys := testSystem(t)
+	e := NewEngine(sys, Options{Mode: CJOINSP})
+	defer e.Close()
+	rng := rand.New(rand.NewSource(5))
+	if _, _, err := e.Query(ssb.Q32(rng)); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s["cjoin_admitted"] != 1 {
+		t.Errorf("stats = %v", s)
+	}
+	if e.CJOINAdmissionTime() <= 0 {
+		t.Error("admission time missing")
+	}
+}
+
+func TestQueryReturnsSchema(t *testing.T) {
+	sys := testSystem(t)
+	e := NewEngine(sys, Options{Mode: Baseline})
+	_, schema, err := e.Query("SELECT COUNT(*) AS n FROM lineorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Len() != 1 || schema.Columns[0].Name != "n" {
+		t.Errorf("schema = %v", schema)
+	}
+}
+
+func TestQueryBadSQL(t *testing.T) {
+	sys := testSystem(t)
+	e := NewEngine(sys, Options{Mode: Baseline})
+	if _, _, err := e.Query("SELEC x"); err == nil {
+		t.Error("bad SQL should fail")
+	}
+}
+
+func TestClearCachesAndResetMetrics(t *testing.T) {
+	sys := testSystem(t)
+	e := NewEngine(sys, Options{Mode: Baseline})
+	if _, _, err := e.Query("SELECT COUNT(*) AS n FROM customer"); err != nil {
+		t.Fatal(err)
+	}
+	sys.ClearCaches()
+	sys.ResetMetrics()
+	if sys.Col.TotalBusy() != 0 || sys.Dev.BytesRead() != 0 {
+		t.Error("metrics not reset")
+	}
+	if sys.Cache.Len() != 0 {
+		t.Error("cache not cleared")
+	}
+}
+
+func TestPredictPushSP(t *testing.T) {
+	w := 100 * time.Millisecond
+	f := 10 * time.Millisecond
+	// Low concurrency, enough cores: sharing should lose (Fig 6a/6c).
+	if PredictPushSP(PushSPCost{PivotWork: w, ForwardPerConsumer: f, Consumers: 4, Cores: 24}) {
+		t.Error("push sharing predicted beneficial at low concurrency")
+	}
+	// High concurrency, few cores: sharing should win.
+	if !PredictPushSP(PushSPCost{PivotWork: w, ForwardPerConsumer: f, Consumers: 64, Cores: 4}) {
+		t.Error("push sharing predicted harmful at high concurrency")
+	}
+	// Single consumer: nothing to share.
+	if PredictPushSP(PushSPCost{PivotWork: w, ForwardPerConsumer: f, Consumers: 1, Cores: 1}) {
+		t.Error("sharing with one consumer")
+	}
+	// Degenerate cores.
+	if !PredictPushSP(PushSPCost{PivotWork: w, ForwardPerConsumer: time.Millisecond, Consumers: 16, Cores: 0}) {
+		t.Error("cores=0 should clamp to 1")
+	}
+}
+
+func TestPredictPushSPForwardDominates(t *testing.T) {
+	// Forwarding cost so high that sharing never wins.
+	w := 10 * time.Millisecond
+	f := 100 * time.Millisecond
+	if PredictPushSP(PushSPCost{PivotWork: w, ForwardPerConsumer: f, Consumers: 64, Cores: 2}) {
+		t.Error("sharing predicted beneficial despite dominant forwarding cost")
+	}
+}
+
+func TestAdviseRulesOfThumb(t *testing.T) {
+	low := Advise(8, 24)
+	if low.Mode != QPipeSP || !low.SharedScans {
+		t.Errorf("low concurrency advice = %+v", low)
+	}
+	high := Advise(256, 24)
+	if high.Mode != CJOINSP || !high.SharedScans {
+		t.Errorf("high concurrency advice = %+v", high)
+	}
+}
+
+func TestDirectIOToggle(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{SF: 0.0005, Seed: 3, DirectIO: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(sys, Options{Mode: Baseline})
+	if _, _, err := e.Query("SELECT COUNT(*) AS n FROM supplier"); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Cache.Len() != 0 {
+		t.Error("direct I/O populated the FS cache")
+	}
+	sys.SetDirectIO(false)
+	sys.Pool.Clear() // force FS-cache traffic on the re-read
+	if _, _, err := e.Query("SELECT COUNT(*) AS n FROM supplier"); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Cache.Len() == 0 {
+		t.Error("cached I/O did not populate the FS cache")
+	}
+}
+
+func TestDiskResidentSystem(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{
+		SF: 0.0005, Seed: 3, DiskResident: true,
+		BandwidthMBps: 100000, SeekTime: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Dev.Timed() {
+		t.Error("disk-resident system should time the device")
+	}
+	e := NewEngine(sys, Options{Mode: QPipeCS})
+	rows, _, err := e.Query("SELECT COUNT(*) AS n FROM customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].I != sys.Cat.MustGet(ssb.TableCustomer).NumRows {
+		t.Errorf("count = %v", rows[0][0])
+	}
+}
+
+func TestPredictGQP(t *testing.T) {
+	base := GQPCost{
+		Cores:             24,
+		FactScan:          100 * time.Millisecond,
+		PerQueryWork:      50 * time.Millisecond,
+		SharedWork:        200 * time.Millisecond,
+		AdmissionPerQuery: 5 * time.Millisecond,
+	}
+	low := base
+	low.Queries = 8 // fits the cores: one round of 150ms beats 340ms GQP
+	if PredictGQP(low) {
+		t.Error("GQP predicted beneficial at low concurrency")
+	}
+	high := base
+	high.Queries = 256 // 11 rounds of 150ms = 1.65s vs 1.58s GQP
+	if !PredictGQP(high) {
+		t.Error("GQP predicted harmful at high concurrency")
+	}
+	if PredictGQP(GQPCost{Queries: 1}) {
+		t.Error("single query should never use the GQP")
+	}
+	zero := base
+	zero.Queries = 64
+	zero.Cores = 0 // clamps to 1: 64 rounds, GQP clearly wins
+	if !PredictGQP(zero) {
+		t.Error("cores=0 should clamp to 1")
+	}
+}
+
+func TestPredictGQPAdmissionDominates(t *testing.T) {
+	c := GQPCost{
+		Queries:           64,
+		Cores:             4,
+		FactScan:          10 * time.Millisecond,
+		PerQueryWork:      time.Millisecond,
+		SharedWork:        10 * time.Millisecond,
+		AdmissionPerQuery: 50 * time.Millisecond, // pathological admission
+	}
+	if PredictGQP(c) {
+		t.Error("GQP predicted beneficial despite dominant admission cost")
+	}
+}

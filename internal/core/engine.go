@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+
+	"sharedq/internal/cjoin"
+	"sharedq/internal/exec"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+	"sharedq/internal/qpipe"
+)
+
+// Mode selects one of the execution-engine configurations under
+// comparison (§5.1).
+type Mode int
+
+// Engine configurations. The zero value is Baseline.
+const (
+	Baseline Mode = iota
+	QPipe
+	QPipeCS
+	QPipeSP
+	CJOIN
+	CJOINSP
+)
+
+// String returns the configuration name as the figures label it.
+func (m Mode) String() string {
+	switch m {
+	case Baseline:
+		return "Baseline"
+	case QPipe:
+		return "QPipe"
+	case QPipeCS:
+		return "QPipe-CS"
+	case QPipeSP:
+		return "QPipe-SP"
+	case CJOIN:
+		return "CJOIN"
+	case CJOINSP:
+		return "CJOIN-SP"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Modes lists all configurations in presentation order.
+func Modes() []Mode { return []Mode{Baseline, QPipe, QPipeCS, QPipeSP, CJOIN, CJOINSP} }
+
+// ParseMode resolves a configuration name ("qpipe-sp", "CJOIN", ...).
+func ParseMode(name string) (Mode, error) {
+	for _, m := range Modes() {
+		if equalFold(m.String(), name) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown mode %q", name)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Options tunes an Engine beyond its Mode.
+type Options struct {
+	Mode Mode
+	// Comm selects the communication model (default CommSPL, the
+	// paper's optimized pull-based SP; CommFIFO reproduces the original
+	// push-based design of Fig 6a).
+	Comm qpipe.Comm
+	// SPLMaxPages / FIFOCap bound the exchange buffers (default 8
+	// pages = 256 KB of 32 KB pages).
+	SPLMaxPages int
+	FIFOCap     int
+	// PageRows overrides rows per exchanged page.
+	PageRows int
+	// ShareResults additionally enables top-level SP for fully
+	// identical plans in the QPipe modes (§3.1 "Identical queries").
+	// Off by default, matching the paper's experimental methodology.
+	ShareResults bool
+	// CJOINPipelineThreads / CJOINDistributorParts tune the CJOIN
+	// stage (see cjoin.Config).
+	CJOINPipelineThreads  int
+	CJOINDistributorParts int
+}
+
+// Engine executes queries under one configuration. All methods are
+// safe for concurrent use; concurrent Submits are where sharing
+// happens.
+type Engine struct {
+	sys  *System
+	opts Options
+	qp   *qpipe.Engine // nil in Baseline mode
+	cj   *cjoin.Stage  // non-nil in CJOIN/CJOINSP modes
+}
+
+// NewEngine builds an engine over sys.
+func NewEngine(sys *System, opts Options) *Engine {
+	e := &Engine{sys: sys, opts: opts}
+	qcfg := qpipe.Config{
+		Comm:         opts.Comm,
+		SPLMaxPages:  opts.SPLMaxPages,
+		FIFOCap:      opts.FIFOCap,
+		PageRows:     opts.PageRows,
+		ShareResults: opts.ShareResults,
+	}
+	switch opts.Mode {
+	case Baseline:
+		// no engine state: volcano per query
+	case QPipe:
+		e.qp = qpipe.New(sys.Env, qcfg)
+	case QPipeCS:
+		qcfg.ShareScan = true
+		e.qp = qpipe.New(sys.Env, qcfg)
+	case QPipeSP:
+		qcfg.ShareScan = true
+		qcfg.ShareJoin = true
+		e.qp = qpipe.New(sys.Env, qcfg)
+	case CJOIN, CJOINSP:
+		// Non-star queries fall back to circular-scan QPipe.
+		qcfg.ShareScan = true
+		e.qp = qpipe.New(sys.Env, qcfg)
+		e.cj = cjoin.NewStage(sys.Env, cjoin.Config{
+			PipelineThreads:  opts.CJOINPipelineThreads,
+			DistributorParts: opts.CJOINDistributorParts,
+			SP:               opts.Mode == CJOINSP,
+			Ports: qpipe.PortConfig{
+				Model:    opts.Comm,
+				SPLMax:   opts.SPLMaxPages,
+				FIFOCap:  opts.FIFOCap,
+				PageRows: opts.PageRows,
+				Col:      sys.Col,
+			},
+		})
+	}
+	return e
+}
+
+// Mode returns the engine's configuration.
+func (e *Engine) Mode() Mode { return e.opts.Mode }
+
+// System returns the substrate the engine runs on.
+func (e *Engine) System() *System { return e.sys }
+
+// Close releases engine goroutines (the CJOIN pipeline). Safe to call
+// once, after all submissions have returned.
+func (e *Engine) Close() {
+	if e.cj != nil {
+		e.cj.Close()
+	}
+}
+
+// Plan parses and plans a SQL string against the system catalog.
+func (e *Engine) Plan(sql string) (*plan.Query, error) {
+	return plan.Build(e.sys.Cat, sql)
+}
+
+// Query parses, plans and executes sql, returning the result rows and
+// their schema.
+func (e *Engine) Query(sql string) ([]pages.Row, *pages.Schema, error) {
+	q, err := e.Plan(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := e.Submit(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, q.OutputSchema, nil
+}
+
+// Submit executes a planned query under the engine's configuration.
+func (e *Engine) Submit(q *plan.Query) ([]pages.Row, error) {
+	switch {
+	case e.opts.Mode == Baseline:
+		return exec.Execute(e.sys.Env, q)
+	case e.cj != nil && q.IsStarJoinable():
+		return e.cj.Submit(q)
+	default:
+		return e.qp.Submit(q)
+	}
+}
+
+// Stats merges the sharing counters of the engine's stages: QPipe's
+// scan/join counters and CJOIN's admission/sharing counters.
+func (e *Engine) Stats() map[string]int64 {
+	out := make(map[string]int64)
+	if e.qp != nil {
+		for k, v := range e.qp.Stats() {
+			out[k] = v
+		}
+	}
+	if e.cj != nil {
+		for k, v := range e.cj.Stats() {
+			out[k] = v
+		}
+		out["cjoin_admission_ms"] = e.cj.AdmissionTime().Milliseconds()
+	}
+	return out
+}
+
+// CJOINAdmissionTime returns the cumulative CJOIN admission time (zero
+// for non-CJOIN modes) — the "CJOIN Admission" series of Fig 11.
+func (e *Engine) CJOINAdmissionTime() (d int64) {
+	if e.cj != nil {
+		return int64(e.cj.AdmissionTime())
+	}
+	return 0
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"time"
+)
+
+// This file implements the two decision aids discussed in the paper:
+// the run-time prediction model for push-based SP proposed by Johnson
+// et al. [14] (§4 recounts it; SPL makes it unnecessary), and the
+// rules-of-thumb advisor of Table 1.
+
+// PushSPCost summarizes the cost inputs of the [14] prediction model
+// for one sharing decision at a pivot operator.
+type PushSPCost struct {
+	// PivotWork is the (estimated) work of evaluating the pivot
+	// operator once.
+	PivotWork time.Duration
+	// ForwardPerConsumer is the cost of copying the pivot's results to
+	// one satellite's FIFO — the serialization-point unit cost.
+	ForwardPerConsumer time.Duration
+	// Consumers is the number of queries that would share (host +
+	// satellites).
+	Consumers int
+	// Cores is the number of available hardware contexts.
+	Cores int
+}
+
+// PredictPushSP reports whether push-based sharing is predicted
+// beneficial. Without sharing, the k queries evaluate the pivot
+// independently and in parallel across the available cores:
+//
+//	T_noshare ≈ W · ceil(k / C)
+//
+// With push-based sharing, the host evaluates once and forwards
+// serially to every satellite on its own thread:
+//
+//	T_share ≈ W + k·F
+//
+// Sharing wins when T_share < T_noshare. At low concurrency
+// (k ≤ C) the right side is just W, so any forwarding cost makes
+// sharing lose — the trade-off of Fig 6a. Pull-based SPL removes the
+// k·F term entirely, which is why the paper discards the prediction
+// model once SPL is in place.
+func PredictPushSP(c PushSPCost) bool {
+	if c.Consumers <= 1 {
+		return false
+	}
+	if c.Cores < 1 {
+		c.Cores = 1
+	}
+	rounds := (c.Consumers + c.Cores - 1) / c.Cores
+	noShare := c.PivotWork * time.Duration(rounds)
+	share := c.PivotWork + time.Duration(c.Consumers)*c.ForwardPerConsumer
+	return share < noShare
+}
+
+// Advice is a Table 1 recommendation.
+type Advice struct {
+	// Engine configuration to prefer.
+	Mode Mode
+	// SharedScans is always true: the paper finds circular scans
+	// beneficial at both low and high concurrency.
+	SharedScans bool
+	// Reason is a human-readable justification.
+	Reason string
+}
+
+// Advise applies the paper's rules of thumb (Table 1): for typical
+// OLAP workloads, use query-centric operators with SP while concurrency
+// is below the hardware's saturation point, and a GQP with shared
+// operators enhanced by SP beyond it. Shared scans apply throughout.
+func Advise(concurrentQueries, cores int) Advice {
+	if concurrentQueries > cores {
+		return Advice{
+			Mode:        CJOINSP,
+			SharedScans: true,
+			Reason: "high concurrency: shared operators amortize their bookkeeping " +
+				"and reduce contention; SP removes redundant identical packets",
+		}
+	}
+	return Advice{
+		Mode:        QPipeSP,
+		SharedScans: true,
+		Reason: "low concurrency: query-centric operators avoid shared-operator " +
+			"bookkeeping while SP (with SPL) shares common sub-plans at no cost",
+	}
+}
+
+// GQPCost feeds the prediction model the paper sketches in §6 for
+// shared operators: unlike the SP model (which shares identical
+// results), a GQP "share[s] part of their evaluation among possibly
+// different queries", so the decision must weigh the shared pipeline's
+// bookkeeping and admission costs against query-centric parallelism.
+type GQPCost struct {
+	// Queries is the number of concurrent star queries in the mix.
+	Queries int
+	// Cores is the number of available hardware contexts.
+	Cores int
+	// FactScan is one pass over the fact table — paid once by the GQP,
+	// once per query by the query-centric model (without shared scans).
+	FactScan time.Duration
+	// PerQueryWork is a query's unsharable work in the query-centric
+	// model: its own probes and aggregation.
+	PerQueryWork time.Duration
+	// SharedWork is the shared pipeline's evaluation cost for the whole
+	// mix: probing the union of selections plus the bitmap bookkeeping
+	// that grows with the mix's union selectivity.
+	SharedWork time.Duration
+	// AdmissionPerQuery is the GQP's per-query admission cost: scanning
+	// referenced dimensions, evaluating predicates, extending bitmaps,
+	// stalling the pipeline (§3.1 costs a–e).
+	AdmissionPerQuery time.Duration
+}
+
+// PredictGQP reports whether evaluating the mix on a GQP with shared
+// operators is predicted faster than query-centric evaluation:
+//
+//	T_qc  ≈ ceil(n / C) · (FactScan + PerQueryWork)
+//	T_gqp ≈ FactScan + SharedWork + n · Admission
+//
+// At low concurrency (n ≤ C) the query-centric side collapses to one
+// round and the GQP's bookkeeping makes it lose — the Fig 11 regime;
+// past saturation the shared side amortizes — the Fig 12 crossover.
+func PredictGQP(c GQPCost) bool {
+	if c.Queries <= 1 {
+		return false
+	}
+	if c.Cores < 1 {
+		c.Cores = 1
+	}
+	rounds := (c.Queries + c.Cores - 1) / c.Cores
+	qc := time.Duration(rounds) * (c.FactScan + c.PerQueryWork)
+	gqp := c.FactScan + c.SharedWork + time.Duration(c.Queries)*c.AdmissionPerQuery
+	return gqp < qc
+}

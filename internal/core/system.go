@@ -1,0 +1,127 @@
+// Package core is the library's top-level API. It assembles the
+// storage substrate (simulated device, FS cache, buffer pool, catalog),
+// loads workloads, and exposes the execution-engine configurations the
+// paper compares:
+//
+//	Baseline  — volcano-style query-centric execution (the "Postgres"
+//	            role of Fig 16: no sharing among in-progress queries)
+//	QPipe     — staged engine, no sharing
+//	QPipeCS   — + circular scans (SP at the table-scan stage)
+//	QPipeSP   — + join-stage SP (common sub-plan sharing)
+//	CJOIN     — global query plan with shared operators for star
+//	            queries (non-star queries fall back to QPipeCS)
+//	CJOINSP   — CJOIN with SP on the CJOIN stage (§3.3)
+//
+// plus the rules-of-thumb advisor (Table 1) and the push-SP prediction
+// model of Johnson et al. [14] that Shared Pages Lists make unnecessary.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sharedq/internal/buffer"
+	"sharedq/internal/catalog"
+	"sharedq/internal/disk"
+	"sharedq/internal/exec"
+	"sharedq/internal/metrics"
+	"sharedq/internal/ssb"
+)
+
+// SystemConfig describes the simulated machine and database.
+type SystemConfig struct {
+	// SF is the SSB scale factor (1.0 = nominal sizes). Fractional
+	// values scale linearly. Required.
+	SF float64
+	// Seed makes data generation deterministic.
+	Seed int64
+	// DiskResident enables disk timing simulation (the paper's
+	// disk-resident experiments); false models the RAM-drive setup.
+	DiskResident bool
+	// BandwidthMBps is the simulated device's sequential throughput
+	// (default 200, approximating the paper's RAID-0 pair).
+	BandwidthMBps float64
+	// SeekTime is the simulated seek penalty (default 1ms).
+	SeekTime time.Duration
+	// PoolPages sizes the buffer pool (default 8192 pages = 256 MB).
+	PoolPages int
+	// CachePages sizes the simulated OS file cache (default 4096).
+	CachePages int
+	// ReadAhead is the FS cache read-ahead span in pages (default 32).
+	ReadAhead int
+	// DirectIO bypasses the FS cache (the Fig 13 direct-I/O runs).
+	DirectIO bool
+	// BufferPolicy selects the buffer pool's replacement strategy
+	// (default clock; buffer.PolicyLRU for least-recently-used).
+	BufferPolicy buffer.Policy
+}
+
+// System is an assembled storage substrate plus catalog and metrics:
+// everything an Engine executes against.
+type System struct {
+	Cfg   SystemConfig
+	Dev   *disk.Device
+	Cache *disk.FSCache
+	Pool  *buffer.Pool
+	Cat   *catalog.Catalog
+	Col   *metrics.Collector
+	Env   *exec.Env
+}
+
+// NewSystem builds the substrate and loads the SSB database (including
+// the lineitem table for the TPC-H Q1 experiments).
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.SF <= 0 {
+		return nil, fmt.Errorf("core: SF must be positive, got %v", cfg.SF)
+	}
+	if cfg.PoolPages <= 0 {
+		cfg.PoolPages = 8192
+	}
+	dev := disk.NewDevice(disk.Config{
+		BandwidthMBps: cfg.BandwidthMBps,
+		SeekTime:      cfg.SeekTime,
+		Timed:         false, // loading is untimed; flipped below
+	})
+	cat := catalog.New()
+	ssb.RegisterSchemas(cat)
+	if err := (ssb.Gen{SF: cfg.SF, Seed: cfg.Seed}).Load(dev, cat); err != nil {
+		return nil, err
+	}
+	dev.SetTimed(cfg.DiskResident)
+	cache := disk.NewFSCache(dev, disk.CacheConfig{
+		CapacityPages: cfg.CachePages,
+		ReadAhead:     cfg.ReadAhead,
+	})
+	pool := buffer.NewPoolPolicy(cache, cfg.PoolPages, cfg.BufferPolicy)
+	pool.SetDirectIO(cfg.DirectIO)
+	col := &metrics.Collector{}
+	return &System{
+		Cfg:   cfg,
+		Dev:   dev,
+		Cache: cache,
+		Pool:  pool,
+		Cat:   cat,
+		Col:   col,
+		Env:   &exec.Env{Cat: cat, Pool: pool, Col: col},
+	}, nil
+}
+
+// ClearCaches drops the FS cache and evicts the buffer pool, modelling
+// the paper's "we clear the file system caches before every
+// measurement" plus a cold buffer pool.
+func (s *System) ClearCaches() {
+	s.Cache.Clear()
+	s.Pool.Clear()
+}
+
+// ResetMetrics zeroes the metrics collector and device statistics so a
+// fresh measurement window can begin.
+func (s *System) ResetMetrics() {
+	s.Col.Reset()
+	s.Dev.ResetStats()
+	s.Pool.ResetStats()
+}
+
+// SetDirectIO toggles FS-cache bypass at run time (Fig 13 contrasts
+// cached and direct I/O on the same database).
+func (s *System) SetDirectIO(direct bool) { s.Pool.SetDirectIO(direct) }

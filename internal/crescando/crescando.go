@@ -1,0 +1,207 @@
+// Package crescando implements a Crescando-style storage scan
+// (Unterbrunner et al., PVLDB 2009 — §2.1 and Table 2 of the
+// reproduced paper): a continuous circular scan over a memory-resident
+// table partition that serves *batches of mixed read and update
+// requests* in one pass. For every scanned tuple, the scan "first
+// executes the update requests of the batch ... in their arrival
+// order, and then the read requests" — so a read admitted after an
+// update in the same batch observes its effect on every tuple, and
+// each request completes after exactly one full cycle, giving
+// predictable latency independent of the request mix.
+package crescando
+
+import (
+	"sync"
+
+	"sharedq/internal/expr"
+	"sharedq/internal/pages"
+)
+
+// Op is a scan request: a Read collects matching tuples; an Update
+// mutates matching tuples.
+type Op struct {
+	// Pred selects tuples (nil = all).
+	Pred expr.Pred
+	// Set, when non-nil, makes this an update: column Col is assigned
+	// Value for every selected tuple.
+	Set *Assignment
+
+	// internal bookkeeping
+	seq       int64
+	entry     int
+	seenFirst bool
+	rows      []pages.Row // read results
+	updated   int64
+	done      chan struct{}
+}
+
+// Assignment is an update's effect.
+type Assignment struct {
+	Col   int
+	Value pages.Value
+}
+
+// Result of a completed operation.
+type Result struct {
+	// Rows holds a read's matching tuples (copies, stable under later
+	// updates).
+	Rows []pages.Row
+	// Updated is the number of tuples an update modified.
+	Updated int64
+}
+
+// Scan is one partition's circular scan. All methods are safe for
+// concurrent use; one goroutine owns the data.
+type Scan struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	rows    []pages.Row
+	chunk   int
+	active  []*Op
+	pending []*Op
+	pos     int // next chunk index
+	nextSeq int64
+	closed  bool
+	cycles  int64
+}
+
+// NewScan takes ownership of rows (they will be mutated by updates).
+// chunkRows sets the admission granularity (default 256 rows).
+func NewScan(rows []pages.Row, chunkRows int) *Scan {
+	if chunkRows <= 0 {
+		chunkRows = 256
+	}
+	s := &Scan{rows: rows, chunk: chunkRows}
+	s.cond = sync.NewCond(&s.mu)
+	go s.run()
+	return s
+}
+
+// Close stops the scan goroutine; outstanding requests complete first.
+func (s *Scan) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Cycles returns the number of completed full passes.
+func (s *Scan) Cycles() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cycles
+}
+
+// Read submits a read request and blocks until its cycle completes.
+func (s *Scan) Read(pred expr.Pred) Result {
+	return s.submit(&Op{Pred: pred})
+}
+
+// Update submits an update request and blocks until its cycle
+// completes.
+func (s *Scan) Update(pred expr.Pred, col int, v pages.Value) Result {
+	return s.submit(&Op{Pred: pred, Set: &Assignment{Col: col, Value: v}})
+}
+
+func (s *Scan) submit(op *Op) Result {
+	op.done = make(chan struct{})
+	s.mu.Lock()
+	op.seq = s.nextSeq
+	s.nextSeq++
+	s.pending = append(s.pending, op)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-op.done
+	return Result{Rows: op.rows, Updated: op.updated}
+}
+
+// run is the scan loop: admit pending requests at chunk boundaries,
+// process one chunk for all active requests (updates before reads, in
+// arrival order), and complete requests at their wrap-around point.
+func (s *Scan) run() {
+	for {
+		s.mu.Lock()
+		// Admission at the chunk boundary.
+		for _, op := range s.pending {
+			op.entry = s.pos
+			s.active = append(s.active, op)
+		}
+		s.pending = nil
+
+		// Completion: requests whose entry chunk comes around again.
+		var completed []*Op
+		for i := 0; i < len(s.active); {
+			op := s.active[i]
+			if op.entry == s.pos && op.seenFirst {
+				s.active = append(s.active[:i], s.active[i+1:]...)
+				completed = append(completed, op)
+				continue
+			}
+			i++
+		}
+		if len(s.active) == 0 {
+			if s.closed {
+				s.mu.Unlock()
+				s.finish(completed)
+				return
+			}
+			if len(s.pending) == 0 && len(completed) == 0 {
+				s.cond.Wait()
+				s.mu.Unlock()
+				continue
+			}
+			s.mu.Unlock()
+			s.finish(completed)
+			continue
+		}
+
+		// Process one chunk under the lock (the data is owned here;
+		// requests only observe results after completion).
+		lo := s.pos * s.chunk
+		hi := lo + s.chunk
+		if hi > len(s.rows) {
+			hi = len(s.rows)
+		}
+		// Updates first (arrival order), then reads — per tuple batch
+		// semantics of the Crescando scan.
+		for _, op := range s.active {
+			op.seenFirst = true
+			if op.Set == nil {
+				continue
+			}
+			for ri := lo; ri < hi; ri++ {
+				if op.Pred == nil || op.Pred(s.rows[ri]) {
+					s.rows[ri][op.Set.Col] = op.Set.Value
+					op.updated++
+				}
+			}
+		}
+		for _, op := range s.active {
+			if op.Set != nil {
+				continue
+			}
+			for ri := lo; ri < hi; ri++ {
+				if op.Pred == nil || op.Pred(s.rows[ri]) {
+					op.rows = append(op.rows, s.rows[ri].Clone())
+				}
+			}
+		}
+
+		nChunks := (len(s.rows) + s.chunk - 1) / s.chunk
+		if nChunks == 0 {
+			nChunks = 1
+		}
+		s.pos = (s.pos + 1) % nChunks
+		if s.pos == 0 {
+			s.cycles++
+		}
+		s.mu.Unlock()
+		s.finish(completed)
+	}
+}
+
+func (s *Scan) finish(ops []*Op) {
+	for _, op := range ops {
+		close(op.done)
+	}
+}

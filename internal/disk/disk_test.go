@@ -1,0 +1,336 @@
+package disk
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+)
+
+func page(fill byte) []byte {
+	p := make([]byte, pages.PageSize)
+	for i := range p {
+		p[i] = fill
+	}
+	return p
+}
+
+func newTestDevice(t *testing.T, file string, n int, timed bool) *Device {
+	t.Helper()
+	d := NewDevice(Config{Timed: timed, BandwidthMBps: 10000, SeekTime: 100 * time.Microsecond})
+	for i := 0; i < n; i++ {
+		if _, err := d.AppendPage(file, page(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestAppendAndRead(t *testing.T) {
+	d := newTestDevice(t, "tbl", 5, false)
+	if d.NumPages("tbl") != 5 {
+		t.Fatalf("NumPages = %d", d.NumPages("tbl"))
+	}
+	buf := make([]byte, pages.PageSize)
+	for i := 0; i < 5; i++ {
+		if err := d.ReadPage("tbl", i, buf, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, page(byte(i))) {
+			t.Errorf("page %d content mismatch", i)
+		}
+	}
+}
+
+func TestAppendBadSize(t *testing.T) {
+	d := NewDevice(Config{})
+	if _, err := d.AppendPage("x", make([]byte, 100)); err == nil {
+		t.Error("AppendPage with wrong size should fail")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	d := newTestDevice(t, "tbl", 2, false)
+	buf := make([]byte, pages.PageSize)
+	if err := d.ReadPage("nope", 0, buf, nil); err == nil {
+		t.Error("read of missing file should fail")
+	}
+	if err := d.ReadPage("tbl", 5, buf, nil); err == nil {
+		t.Error("read past EOF should fail")
+	}
+	if err := d.ReadPage("tbl", -1, buf, nil); err == nil {
+		t.Error("negative page should fail")
+	}
+	if _, err := d.ReadPages("tbl", 0, 2, make([]byte, 10), nil); err == nil {
+		t.Error("short dst should fail")
+	}
+}
+
+func TestReadPagesShortAtEOF(t *testing.T) {
+	d := newTestDevice(t, "tbl", 3, false)
+	buf := make([]byte, 10*pages.PageSize)
+	n, err := d.ReadPages("tbl", 1, 10, buf, nil)
+	if err != nil || n != 2 {
+		t.Fatalf("ReadPages = %d, %v; want 2, nil", n, err)
+	}
+	if !bytes.Equal(buf[:pages.PageSize], page(1)) {
+		t.Error("first page wrong")
+	}
+}
+
+func TestReadPagesZeroCount(t *testing.T) {
+	d := newTestDevice(t, "tbl", 1, false)
+	if n, err := d.ReadPages("tbl", 0, 0, nil, nil); n != 0 || err != nil {
+		t.Errorf("zero count = %d, %v", n, err)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	d := newTestDevice(t, "tbl", 4, false)
+	var col metrics.Collector
+	buf := make([]byte, 4*pages.PageSize)
+	if _, err := d.ReadPages("tbl", 0, 4, buf, &col); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(4 * pages.PageSize)
+	if d.BytesRead() != want || col.ReadBytes() != want {
+		t.Errorf("BytesRead = %d / collector %d, want %d", d.BytesRead(), col.ReadBytes(), want)
+	}
+	d.ResetStats()
+	if d.BytesRead() != 0 {
+		t.Error("ResetStats did not zero")
+	}
+}
+
+func TestSeekAccounting(t *testing.T) {
+	d := NewDevice(Config{Timed: true, BandwidthMBps: 100000, SeekTime: time.Microsecond})
+	for i := 0; i < 10; i++ {
+		d.AppendPage("tbl", page(byte(i)))
+	}
+	buf := make([]byte, pages.PageSize)
+	// Sequential reads: one initial seek only.
+	for i := 0; i < 5; i++ {
+		d.ReadPage("tbl", i, buf, nil)
+	}
+	if got := d.Seeks(); got != 1 {
+		t.Errorf("sequential: %d seeks, want 1", got)
+	}
+	d.ResetStats()
+	// Random-ish reads: every one seeks.
+	for _, i := range []int{7, 2, 9, 0} {
+		d.ReadPage("tbl", i, buf, nil)
+	}
+	if got := d.Seeks(); got != 4 {
+		t.Errorf("random: %d seeks, want 4", got)
+	}
+}
+
+func TestTimedReadTakesTime(t *testing.T) {
+	// 1 MB/s bandwidth: one 32 KB page should take ~31 ms.
+	d := NewDevice(Config{Timed: true, BandwidthMBps: 1, SeekTime: time.Microsecond})
+	d.AppendPage("tbl", page(1))
+	buf := make([]byte, pages.PageSize)
+	t0 := time.Now()
+	d.ReadPage("tbl", 0, buf, nil)
+	if el := time.Since(t0); el < 20*time.Millisecond {
+		t.Errorf("timed read took %v, want >= ~30ms", el)
+	}
+}
+
+func TestUntimedReadIsFast(t *testing.T) {
+	d := NewDevice(Config{Timed: false, BandwidthMBps: 0.001})
+	d.AppendPage("tbl", page(1))
+	buf := make([]byte, pages.PageSize)
+	t0 := time.Now()
+	d.ReadPage("tbl", 0, buf, nil)
+	if el := time.Since(t0); el > 50*time.Millisecond {
+		t.Errorf("untimed read took %v", el)
+	}
+}
+
+func TestSetTimed(t *testing.T) {
+	d := NewDevice(Config{Timed: false})
+	if d.Timed() {
+		t.Error("Timed should start false")
+	}
+	d.SetTimed(true)
+	if !d.Timed() {
+		t.Error("SetTimed(true) not applied")
+	}
+}
+
+func TestSharedBandwidth(t *testing.T) {
+	// Two concurrent readers on a timed device must split throughput:
+	// total time for both ~= sum of service times, not max.
+	d := NewDevice(Config{Timed: true, BandwidthMBps: 4, SeekTime: 0})
+	const n = 8 // 8 pages = 256 KB; at 4 MB/s each reader takes ~62 ms alone
+	for i := 0; i < n; i++ {
+		d.AppendPage("a", page(1))
+		d.AppendPage("b", page(2))
+	}
+	read := func(file string) time.Duration {
+		buf := make([]byte, pages.PageSize)
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			d.ReadPage(file, i, buf, nil)
+		}
+		return time.Since(t0)
+	}
+	var wg sync.WaitGroup
+	var da, db time.Duration
+	t0 := time.Now()
+	wg.Add(2)
+	go func() { defer wg.Done(); da = read("a") }()
+	go func() { defer wg.Done(); db = read("b") }()
+	wg.Wait()
+	total := time.Since(t0)
+	solo := time.Duration(float64(n*pages.PageSize) / (4 * (1 << 20)) * float64(time.Second))
+	if total < solo+solo/2 {
+		t.Errorf("concurrent readers finished in %v; device should serialize to >= ~%v", total, 2*solo)
+	}
+	_ = da
+	_ = db
+}
+
+func TestFiles(t *testing.T) {
+	d := newTestDevice(t, "a", 1, false)
+	d.AppendPage("b", page(0))
+	fs := d.Files()
+	if len(fs) != 2 {
+		t.Errorf("Files = %v", fs)
+	}
+}
+
+func TestFSCacheHitMiss(t *testing.T) {
+	d := newTestDevice(t, "tbl", 10, false)
+	c := NewFSCache(d, CacheConfig{CapacityPages: 100, ReadAhead: 4})
+	buf := make([]byte, pages.PageSize)
+	var col metrics.Collector
+	if err := c.ReadPage("tbl", 3, buf, false, &col); err != nil {
+		t.Fatal(err)
+	}
+	if c.Misses() != 1 || c.Hits() != 0 {
+		t.Errorf("after first read: hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+	if err := c.ReadPage("tbl", 3, buf, false, &col); err != nil {
+		t.Fatal(err)
+	}
+	if c.Hits() != 1 {
+		t.Errorf("second read not a hit: hits=%d", c.Hits())
+	}
+	if !bytes.Equal(buf, page(3)) {
+		t.Error("cached content mismatch")
+	}
+	if col.CachedBytes() != pages.PageSize {
+		t.Errorf("CachedBytes = %d", col.CachedBytes())
+	}
+}
+
+func TestFSCacheReadAhead(t *testing.T) {
+	d := newTestDevice(t, "tbl", 20, false)
+	c := NewFSCache(d, CacheConfig{CapacityPages: 100, ReadAhead: 8})
+	buf := make([]byte, pages.PageSize)
+	// Sequential scan: page 0 misses, pages 1..7 should hit via read-ahead
+	// (read-ahead triggers once the pattern is established).
+	for i := 0; i < 16; i++ {
+		if err := c.ReadPage("tbl", i, buf, false, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, page(byte(i))) {
+			t.Fatalf("page %d mismatch", i)
+		}
+	}
+	if c.Misses() > 4 {
+		t.Errorf("sequential scan of 16 pages had %d misses, want <= 4 with read-ahead 8", c.Misses())
+	}
+}
+
+func TestFSCacheDirectBypass(t *testing.T) {
+	d := newTestDevice(t, "tbl", 5, false)
+	c := NewFSCache(d, CacheConfig{})
+	buf := make([]byte, pages.PageSize)
+	c.ReadPage("tbl", 0, buf, true, nil)
+	c.ReadPage("tbl", 0, buf, true, nil)
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Errorf("direct I/O touched cache: hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+	if c.Len() != 0 {
+		t.Errorf("direct I/O populated cache: len=%d", c.Len())
+	}
+	if d.BytesRead() != 2*pages.PageSize {
+		t.Errorf("device read %d bytes, want %d", d.BytesRead(), 2*pages.PageSize)
+	}
+}
+
+func TestFSCacheEviction(t *testing.T) {
+	d := newTestDevice(t, "tbl", 10, false)
+	c := NewFSCache(d, CacheConfig{CapacityPages: 3, ReadAhead: 1})
+	buf := make([]byte, pages.PageSize)
+	for i := 0; i < 10; i++ {
+		c.ReadPage("tbl", i, buf, false, nil)
+	}
+	if c.Len() > 3 {
+		t.Errorf("cache len = %d, capacity 3", c.Len())
+	}
+	// Oldest page must have been evicted: re-reading it misses.
+	m0 := c.Misses()
+	c.ReadPage("tbl", 0, buf, false, nil)
+	if c.Misses() != m0+1 {
+		t.Error("evicted page did not miss")
+	}
+}
+
+func TestFSCacheClear(t *testing.T) {
+	d := newTestDevice(t, "tbl", 5, false)
+	c := NewFSCache(d, CacheConfig{ReadAhead: 1})
+	buf := make([]byte, pages.PageSize)
+	c.ReadPage("tbl", 0, buf, false, nil)
+	c.Clear()
+	if c.Len() != 0 {
+		t.Errorf("Len after Clear = %d", c.Len())
+	}
+	m0 := c.Misses()
+	c.ReadPage("tbl", 0, buf, false, nil)
+	if c.Misses() != m0+1 {
+		t.Error("read after Clear should miss")
+	}
+}
+
+func TestFSCacheConcurrent(t *testing.T) {
+	d := newTestDevice(t, "tbl", 64, false)
+	c := NewFSCache(d, CacheConfig{CapacityPages: 32, ReadAhead: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, pages.PageSize)
+			for i := 0; i < 64; i++ {
+				idx := (i + g*7) % 64
+				if err := c.ReadPage("tbl", idx, buf, false, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				if buf[0] != byte(idx) {
+					t.Errorf("page %d content mismatch", idx)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestFSCacheReadAheadClampedAtEOF(t *testing.T) {
+	d := newTestDevice(t, "tbl", 3, false)
+	c := NewFSCache(d, CacheConfig{CapacityPages: 10, ReadAhead: 8})
+	buf := make([]byte, pages.PageSize)
+	for i := 0; i < 3; i++ {
+		if err := c.ReadPage("tbl", i, buf, false, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

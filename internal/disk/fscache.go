@@ -1,0 +1,166 @@
+package disk
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+)
+
+// FSCache models the operating system's page cache in front of a Device.
+//
+// Two behaviours matter for the paper's experiments:
+//
+//   - Read-ahead: when a reader accesses a file sequentially, the cache
+//     fetches ReadAhead pages in one device request, coalescing seeks.
+//     This is what "masks the preprocessor's overhead" of CJOIN in the
+//     scale-factor experiment (Fig 13).
+//   - Direct I/O: per-read bypass of the cache, used by the Fig 13
+//     "(Direct I/O)" configurations to expose raw device behaviour.
+//
+// The paper clears FS caches before every measurement; Clear does that.
+type FSCache struct {
+	dev *Device
+
+	mu        sync.Mutex
+	capacity  int // max cached pages
+	entries   map[cacheKey]*list.Element
+	lru       *list.List     // front = most recently used
+	lastRead  map[string]int // file -> next expected page (per-file sequential detector)
+	readAhead int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheKey struct {
+	file string
+	page int
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	data []byte
+}
+
+// CacheConfig describes an FSCache.
+type CacheConfig struct {
+	// CapacityPages is the maximum number of cached pages.
+	// Zero selects 4096 pages (128 MB).
+	CapacityPages int
+	// ReadAhead is the number of pages fetched per device request when
+	// a sequential pattern is detected. Zero selects 32 (1 MB).
+	ReadAhead int
+}
+
+// NewFSCache creates a cache in front of dev.
+func NewFSCache(dev *Device, cfg CacheConfig) *FSCache {
+	if cfg.CapacityPages <= 0 {
+		cfg.CapacityPages = 4096
+	}
+	if cfg.ReadAhead <= 0 {
+		cfg.ReadAhead = 32
+	}
+	return &FSCache{
+		dev:       dev,
+		capacity:  cfg.CapacityPages,
+		entries:   make(map[cacheKey]*list.Element),
+		lru:       list.New(),
+		lastRead:  make(map[string]int),
+		readAhead: cfg.ReadAhead,
+	}
+}
+
+// Device returns the underlying device.
+func (c *FSCache) Device() *Device { return c.dev }
+
+// ReadPage reads page idx of file into dst. With direct set, the cache
+// is bypassed entirely (no lookup, no fill), modelling O_DIRECT.
+func (c *FSCache) ReadPage(file string, idx int, dst []byte, direct bool, col *metrics.Collector) error {
+	if direct {
+		return c.dev.ReadPage(file, idx, dst, col)
+	}
+
+	c.mu.Lock()
+	if el, ok := c.entries[cacheKey{file, idx}]; ok {
+		c.lru.MoveToFront(el)
+		copy(dst, el.Value.(*cacheEntry).data)
+		c.lastRead[file] = idx + 1
+		c.mu.Unlock()
+		c.hits.Add(1)
+		col.AddIOCached(pages.PageSize)
+		return nil
+	}
+	// Miss. Decide the fetch span while still holding the lock, then
+	// release it for the (slow, simulated) device read.
+	count := 1
+	if c.lastRead[file] == idx {
+		count = c.readAhead
+	}
+	if n := c.dev.NumPages(file); idx+count > n {
+		count = n - idx
+		if count < 1 {
+			count = 1
+		}
+	}
+	c.lastRead[file] = idx + 1
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	buf := make([]byte, count*pages.PageSize)
+	n, err := c.dev.ReadPages(file, idx, count, buf, col)
+	if err != nil {
+		return err
+	}
+	copy(dst, buf[:pages.PageSize])
+
+	c.mu.Lock()
+	for i := 0; i < n; i++ {
+		c.insertLocked(cacheKey{file, idx + i}, buf[i*pages.PageSize:(i+1)*pages.PageSize])
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// insertLocked adds or refreshes a cache entry, evicting from the LRU
+// tail as needed. Caller holds c.mu.
+func (c *FSCache) insertLocked(k cacheKey, data []byte) {
+	if el, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(el)
+		copy(el.Value.(*cacheEntry).data, data)
+		return
+	}
+	for c.lru.Len() >= c.capacity {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+	}
+	cp := make([]byte, pages.PageSize)
+	copy(cp, data)
+	c.entries[k] = c.lru.PushFront(&cacheEntry{key: k, data: cp})
+}
+
+// Clear drops all cached pages and sequential-pattern state, modelling
+// the paper's "we clear the file system caches before every measurement".
+func (c *FSCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[cacheKey]*list.Element)
+	c.lru.Init()
+	c.lastRead = make(map[string]int)
+}
+
+// Hits returns the number of cache hits.
+func (c *FSCache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of cache misses.
+func (c *FSCache) Misses() int64 { return c.misses.Load() }
+
+// Len returns the number of cached pages.
+func (c *FSCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,384 @@
+package exec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sharedq/internal/buffer"
+	"sharedq/internal/catalog"
+	"sharedq/internal/disk"
+	"sharedq/internal/expr"
+	"sharedq/internal/heap"
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+	"sharedq/internal/ssb"
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	dev := disk.NewDevice(disk.Config{Timed: false})
+	cat := catalog.New()
+	ssb.RegisterSchemas(cat)
+	if err := (ssb.Gen{SF: 0.0005, Seed: 42}).Load(dev, cat); err != nil {
+		t.Fatal(err)
+	}
+	cache := disk.NewFSCache(dev, disk.CacheConfig{})
+	return &Env{Cat: cat, Pool: buffer.NewPool(cache, 4096), Col: &metrics.Collector{}}
+}
+
+func TestHashTableBasics(t *testing.T) {
+	ht := NewHashTable(4, nil)
+	ht.Insert(pages.Int(1), pages.Row{pages.Str("a")})
+	ht.Insert(pages.Int(1), pages.Row{pages.Str("b")})
+	ht.Insert(pages.Int(2), pages.Row{pages.Str("c")})
+	if got := ht.Lookup(pages.Int(1)); len(got) != 2 {
+		t.Errorf("Lookup(1) = %v", got)
+	}
+	if got := ht.Lookup(pages.Int(3)); got != nil {
+		t.Errorf("Lookup(3) = %v", got)
+	}
+	if ht.Keys() != 2 {
+		t.Errorf("Keys = %d", ht.Keys())
+	}
+}
+
+func TestHashTableCollisions(t *testing.T) {
+	// Tiny initial size forces chains.
+	ht := NewHashTable(1, nil)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		ht.Insert(pages.Int(int64(i)), pages.Row{pages.Int(int64(i * 10))})
+	}
+	if ht.Keys() != n {
+		t.Fatalf("Keys = %d", ht.Keys())
+	}
+	for i := 0; i < n; i++ {
+		rows := ht.Lookup(pages.Int(int64(i)))
+		if len(rows) != 1 || rows[0][0].I != int64(i*10) {
+			t.Fatalf("Lookup(%d) = %v", i, rows)
+		}
+	}
+}
+
+func TestHashTableStringKeys(t *testing.T) {
+	ht := NewHashTable(8, nil)
+	for _, n := range ssb.Nations {
+		ht.Insert(pages.Str(n), pages.Row{pages.Str(n)})
+	}
+	for _, n := range ssb.Nations {
+		if got := ht.Lookup(pages.Str(n)); len(got) != 1 || got[0][0].S != n {
+			t.Fatalf("Lookup(%s) = %v", n, got)
+		}
+	}
+}
+
+func TestFilterRows(t *testing.T) {
+	s := pages.NewSchema(pages.Column{Name: "x", Kind: pages.KindInt})
+	pred, err := expr.Bind(&expr.Bin{Op: expr.OpGt, L: expr.NewCol("x"), R: &expr.Const{V: pages.Int(5)}}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []pages.Row{{pages.Int(3)}, {pages.Int(7)}, {pages.Int(9)}}
+	got := FilterRows(rows, pred)
+	if len(got) != 2 || got[0][0].I != 7 {
+		t.Errorf("FilterRows = %v", got)
+	}
+	if got := FilterRows(rows, nil); len(got) != 3 {
+		t.Errorf("nil pred = %v", got)
+	}
+	if len(rows) != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestScanTableCounts(t *testing.T) {
+	env := testEnv(t)
+	tbl := env.Cat.MustGet(ssb.TableCustomer)
+	n := 0
+	err := ScanTable(env, tbl, func(rows []pages.Row) error {
+		n += len(rows)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(n) != tbl.NumRows {
+		t.Errorf("scanned %d rows, want %d", n, tbl.NumRows)
+	}
+	if env.Col.Busy(metrics.Scans) == 0 {
+		t.Error("scan time not accounted")
+	}
+}
+
+func TestExecuteTPCHQ1(t *testing.T) {
+	env := testEnv(t)
+	q, err := plan.Build(env.Cat, ssb.TPCHQ1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Execute(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 return flags x 2 statuses = up to 6 groups.
+	if len(rows) == 0 || len(rows) > 6 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	// Verify one group against a brute-force computation.
+	li := env.Cat.MustGet(ssb.TableLineitem)
+	all, err := heap.ScanAll(env.Pool, li, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := q.FactPred
+	var wantQty int64
+	var wantCount int64
+	flag, status := rows[0][0].S, rows[0][1].S
+	fIdx, sIdx := li.Schema.Index("l_returnflag"), li.Schema.Index("l_linestatus")
+	qIdx := li.Schema.Index("l_quantity")
+	for _, r := range all {
+		if !expr.Truthy(cut.Eval(r)) {
+			continue
+		}
+		if r[fIdx].S == flag && r[sIdx].S == status {
+			wantQty += r[qIdx].I
+			wantCount++
+		}
+	}
+	if rows[0][2].I != wantQty {
+		t.Errorf("sum_qty = %v, want %d", rows[0][2], wantQty)
+	}
+	if rows[0][6].I != wantCount {
+		t.Errorf("count = %v, want %d", rows[0][6], wantCount)
+	}
+	// Sorted by flag, status ascending.
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][0].S > rows[i][0].S {
+			t.Error("not sorted by returnflag")
+		}
+	}
+}
+
+// referenceStar computes a star query with nested loops, for checking
+// Execute. Slow but obviously correct.
+func referenceStar(t *testing.T, env *Env, q *plan.Query) []pages.Row {
+	t.Helper()
+	dims := make([]map[int64]pages.Row, len(q.Dims))
+	for i, d := range q.Dims {
+		tbl := env.Cat.MustGet(d.Table)
+		all, err := heap.ScanAll(env.Pool, tbl, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := make(map[int64]pages.Row)
+		for _, r := range all {
+			if d.Pred == nil || expr.Truthy(d.Pred.Eval(r)) {
+				m[r[d.DimKeyIdx].I] = r
+			}
+		}
+		dims[i] = m
+	}
+	facts, err := heap.ScanAll(env.Pool, q.Fact, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregator(q, env.Col)
+	for _, f := range facts {
+		if q.FactPred != nil && !expr.Truthy(q.FactPred.Eval(f)) {
+			continue
+		}
+		joined := f
+		ok := true
+		for i, d := range q.Dims {
+			dr, found := dims[i][f[d.FactColIdx].I]
+			if !found {
+				ok = false
+				break
+			}
+			j := make(pages.Row, 0, len(joined)+len(dr))
+			j = append(j, joined...)
+			j = append(j, dr...)
+			joined = j
+		}
+		if ok {
+			agg.Add([]pages.Row{joined})
+		}
+	}
+	return SortRows(q, env.Col, agg.Rows())
+}
+
+func TestExecuteQ32MatchesReference(t *testing.T) {
+	env := testEnv(t)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3; i++ {
+		q, err := plan.Build(env.Cat, ssb.Q32Selectivity(rng, 5, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Execute(env, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceStar(t, env, q)
+		if !rowsEqual(got, want) {
+			t.Fatalf("iteration %d: Execute disagrees with reference:\ngot  %d rows\nwant %d rows", i, len(got), len(want))
+		}
+	}
+}
+
+func TestExecuteQ11MatchesReference(t *testing.T) {
+	env := testEnv(t)
+	rng := rand.New(rand.NewSource(8))
+	q, err := plan.Build(env.Cat, ssb.Q11(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Execute(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceStar(t, env, q)
+	if !rowsEqual(got, want) {
+		t.Fatalf("Execute=%v reference=%v", got, want)
+	}
+	if len(got) != 1 {
+		t.Errorf("scalar aggregate returned %d rows", len(got))
+	}
+}
+
+func rowsEqual(a, b []pages.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAggregatorEmptyUngrouped(t *testing.T) {
+	env := testEnv(t)
+	q, err := plan.Build(env.Cat, "SELECT SUM(lo_revenue) AS r, COUNT(*) AS n FROM lineorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregator(q, env.Col)
+	rows := agg.Rows()
+	if len(rows) != 1 || rows[0][1].I != 0 {
+		t.Errorf("empty ungrouped agg = %v", rows)
+	}
+}
+
+func TestAggregatorGrouping(t *testing.T) {
+	env := testEnv(t)
+	q, err := plan.Build(env.Cat, "SELECT c_nation, COUNT(*) AS n FROM lineorder, customer WHERE lo_custkey = c_custkey GROUP BY c_nation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregator(q, env.Col)
+	nationIdx := q.JoinedSchema.Index("c_nation")
+	mk := func(nation string) pages.Row {
+		r := make(pages.Row, q.JoinedSchema.Len())
+		for i := range r {
+			r[i] = pages.Int(0)
+		}
+		r[nationIdx] = pages.Str(nation)
+		return r
+	}
+	agg.Add([]pages.Row{mk("PERU"), mk("CHINA"), mk("PERU")})
+	if agg.NumGroups() != 2 {
+		t.Errorf("groups = %d", agg.NumGroups())
+	}
+	rows := agg.Rows()
+	counts := map[string]int64{}
+	for _, r := range rows {
+		counts[r[0].S] = r[1].I
+	}
+	if counts["PERU"] != 2 || counts["CHINA"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestSortRowsDescAndLimit(t *testing.T) {
+	env := testEnv(t)
+	q, err := plan.Build(env.Cat, "SELECT c_nation, COUNT(*) AS n FROM lineorder, customer WHERE lo_custkey = c_custkey GROUP BY c_nation ORDER BY n DESC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []pages.Row{
+		{pages.Str("A"), pages.Int(1)},
+		{pages.Str("B"), pages.Int(5)},
+		{pages.Str("C"), pages.Int(3)},
+	}
+	got := SortRows(q, env.Col, rows)
+	if len(got) != 2 || got[0][1].I != 5 || got[1][1].I != 3 {
+		t.Errorf("sorted = %v", got)
+	}
+}
+
+func TestProjectNonAggregate(t *testing.T) {
+	env := testEnv(t)
+	q, err := plan.Build(env.Cat, "SELECT c_city, c_nation FROM lineorder, customer WHERE lo_custkey = c_custkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make(pages.Row, q.JoinedSchema.Len())
+	for i := range r {
+		r[i] = pages.Int(0)
+	}
+	r[q.JoinedSchema.Index("c_city")] = pages.Str("LIMA")
+	r[q.JoinedSchema.Index("c_nation")] = pages.Str("PERU")
+	out := Project(q, []pages.Row{r})
+	if len(out) != 1 || out[0][0].S != "LIMA" || out[0][1].S != "PERU" {
+		t.Errorf("Project = %v", out)
+	}
+}
+
+func TestExecuteDeterministic(t *testing.T) {
+	env := testEnv(t)
+	q, err := plan.Build(env.Cat, ssb.Q32PoolPlan(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Execute(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rowsEqual(a, b) {
+		t.Error("Execute not deterministic")
+	}
+}
+
+func TestMetricsBreakdownPopulated(t *testing.T) {
+	env := testEnv(t)
+	rng := rand.New(rand.NewSource(10))
+	q, err := plan.Build(env.Cat, ssb.Q32(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(env, q); err != nil {
+		t.Fatal(err)
+	}
+	for _, cat := range []metrics.Category{metrics.Scans, metrics.Hashing, metrics.Joins, metrics.Aggregation} {
+		if env.Col.Busy(cat) == 0 {
+			t.Errorf("category %s not accounted", cat)
+		}
+	}
+}
+
+func TestFormatRows(t *testing.T) {
+	s := pages.NewSchema(pages.Column{Name: "a", Kind: pages.KindInt}, pages.Column{Name: "b", Kind: pages.KindString})
+	out := FormatRows(s, []pages.Row{{pages.Int(1), pages.Str("x")}})
+	want := "a\tb\n1\tx\n"
+	if out != want {
+		t.Errorf("FormatRows = %q", out)
+	}
+}

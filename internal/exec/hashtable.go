@@ -1,0 +1,82 @@
+// Package exec implements the query-centric relational operators every
+// configuration builds on: table scan, filter, hash join, hash
+// aggregate, sort and projection, plus a volcano-style driver used as
+// the paper's query-centric baseline ("Postgres" in Fig 16 — a mature
+// engine that does not share among in-progress queries).
+//
+// The hash join uses an explicit open-chaining hash table rather than a
+// Go map so the hash() and equal() work can be accounted to the
+// metrics.Hashing category, mirroring how the paper isolates hashing
+// CPU time from the rest of the join in Figures 11 and 12.
+package exec
+
+import (
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+)
+
+// HashTable is an open-chaining hash table from join-key values to
+// rows. It is built once (single-threaded build phase) and then probed
+// concurrently; probes are read-only.
+type HashTable struct {
+	buckets []htEntry
+	size    int
+	col     *metrics.Collector
+}
+
+type htEntry struct {
+	key  pages.Value
+	rows []pages.Row
+	next *htEntry
+	used bool
+}
+
+// NewHashTable returns a table pre-sized for sizeHint keys.
+func NewHashTable(sizeHint int, col *metrics.Collector) *HashTable {
+	n := 16
+	for n < sizeHint*2 {
+		n *= 2
+	}
+	return &HashTable{buckets: make([]htEntry, n), col: col}
+}
+
+// hashKey computes the bucket index; its cost is the hash() half of the
+// paper's Hashing category. The timer is applied by callers at batch
+// granularity to keep per-row overhead negligible.
+func (h *HashTable) hashKey(k pages.Value) int {
+	return int(k.Hash() & uint64(len(h.buckets)-1))
+}
+
+// Insert adds one row under key k.
+func (h *HashTable) Insert(k pages.Value, r pages.Row) {
+	b := &h.buckets[h.hashKey(k)]
+	if !b.used {
+		b.key, b.rows, b.used = k, []pages.Row{r}, true
+		h.size++
+		return
+	}
+	for e := b; ; e = e.next {
+		if e.key.Equal(k) {
+			e.rows = append(e.rows, r)
+			return
+		}
+		if e.next == nil {
+			e.next = &htEntry{key: k, rows: []pages.Row{r}, used: true}
+			h.size++
+			return
+		}
+	}
+}
+
+// Lookup returns the rows stored under key k (nil when absent).
+func (h *HashTable) Lookup(k pages.Value) []pages.Row {
+	for e := &h.buckets[h.hashKey(k)]; e != nil && e.used; e = e.next {
+		if e.key.Equal(k) {
+			return e.rows
+		}
+	}
+	return nil
+}
+
+// Keys returns the number of distinct keys.
+func (h *HashTable) Keys() int { return h.size }

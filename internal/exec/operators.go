@@ -1,0 +1,346 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sharedq/internal/buffer"
+	"sharedq/internal/catalog"
+	"sharedq/internal/expr"
+	"sharedq/internal/heap"
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+)
+
+// Env bundles the runtime a query executes against.
+type Env struct {
+	Cat  *catalog.Catalog
+	Pool *buffer.Pool
+	Col  *metrics.Collector
+}
+
+// ScanTable reads every page of the table in order, decoding rows and
+// passing each page's rows to emit. Scan work is accounted to
+// metrics.Scans.
+func ScanTable(env *Env, t *catalog.Table, emit func(rows []pages.Row) error) error {
+	for i := 0; i < t.NumPages; i++ {
+		stop := env.Col.Timer(metrics.Scans)
+		rows, err := heap.ReadPageRows(env.Pool, t.Name, i, nil, env.Col)
+		stop()
+		if err != nil {
+			return err
+		}
+		if err := emit(rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FilterRows returns the rows satisfying pred (all rows when pred is
+// nil). The input slice is not modified. Callers on hot paths should
+// compile the predicate once and use FilterRowsPred instead.
+func FilterRows(rows []pages.Row, pred expr.Expr) []pages.Row {
+	return FilterRowsPred(rows, expr.CompilePred(pred))
+}
+
+// FilterRowsPred filters with a pre-compiled predicate (nil = keep all).
+func FilterRowsPred(rows []pages.Row, pred expr.Pred) []pages.Row {
+	if pred == nil {
+		return rows
+	}
+	out := rows[:0:0]
+	for _, r := range rows {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// BuildDimTable scans a dimension, filters with d.Pred and builds the
+// join hash table keyed by the dimension key. Hash computation is
+// accounted to metrics.Hashing, the remainder to metrics.Joins.
+func BuildDimTable(env *Env, d plan.DimJoin) (*HashTable, error) {
+	t, err := env.Cat.Get(d.Table)
+	if err != nil {
+		return nil, err
+	}
+	ht := NewHashTable(int(t.NumRows), env.Col)
+	pred := expr.CompilePred(d.Pred)
+	err = ScanTable(env, t, func(rows []pages.Row) error {
+		stop := env.Col.Timer(metrics.Joins)
+		rows = FilterRowsPred(rows, pred)
+		stop()
+		stopH := env.Col.Timer(metrics.Hashing)
+		for _, r := range rows {
+			ht.Insert(r[d.DimKeyIdx], r)
+		}
+		stopH()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ht, nil
+}
+
+// ProbeJoin probes one batch of rows against the dimension hash table,
+// appending matching dimension rows. keyIdx indexes the probe rows.
+func ProbeJoin(env *Env, ht *HashTable, keyIdx int, in []pages.Row) []pages.Row {
+	stop := env.Col.Timer(metrics.Hashing)
+	matches := make([][]pages.Row, len(in))
+	for i, r := range in {
+		matches[i] = ht.Lookup(r[keyIdx])
+	}
+	stop()
+	stopJ := env.Col.Timer(metrics.Joins)
+	defer stopJ()
+	var out []pages.Row
+	for i, r := range in {
+		for _, dr := range matches[i] {
+			joined := make(pages.Row, 0, len(r)+len(dr))
+			joined = append(joined, r...)
+			joined = append(joined, dr...)
+			out = append(out, joined)
+		}
+	}
+	return out
+}
+
+// Aggregator accumulates grouped aggregates over joined rows.
+type Aggregator struct {
+	q      *plan.Query
+	col    *metrics.Collector
+	groups map[string]*group
+	order  []string // group keys in first-seen order
+	keyBuf []byte   // reusable group-key scratch
+}
+
+type group struct {
+	keyVals []pages.Value
+	accs    []*expr.Acc
+}
+
+// NewAggregator returns an aggregator for q (which must have HasAgg or
+// be a pure projection; for pure projections use Project instead).
+func NewAggregator(q *plan.Query, col *metrics.Collector) *Aggregator {
+	return &Aggregator{q: q, col: col, groups: make(map[string]*group)}
+}
+
+// Add folds a batch of joined rows. Accounted to metrics.Aggregation.
+func (a *Aggregator) Add(rows []pages.Row) {
+	stop := a.col.Timer(metrics.Aggregation)
+	defer stop()
+	for _, r := range rows {
+		key := a.groupKey(r)
+		g, ok := a.groups[key]
+		if !ok {
+			g = &group{accs: make([]*expr.Acc, len(a.q.Aggs))}
+			for i := range a.q.Aggs {
+				g.accs[i] = expr.NewAcc(a.q.Aggs[i])
+			}
+			g.keyVals = make([]pages.Value, len(a.q.GroupBy))
+			for i, idx := range a.q.GroupBy {
+				g.keyVals[i] = r[idx]
+			}
+			a.groups[key] = g
+			a.order = append(a.order, key)
+		}
+		for _, acc := range g.accs {
+			acc.Add(r)
+		}
+	}
+}
+
+// groupKey encodes the group-by values into a compact byte key.
+// This runs once per input row, so it avoids formatting: integers are
+// appended as fixed 8-byte values, strings raw with a separator.
+func (a *Aggregator) groupKey(r pages.Row) string {
+	if len(a.q.GroupBy) == 0 {
+		return ""
+	}
+	b := a.keyBuf[:0]
+	for _, idx := range a.q.GroupBy {
+		v := r[idx]
+		switch v.Kind {
+		case pages.KindInt:
+			u := uint64(v.I)
+			b = append(b, 1, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+				byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+		case pages.KindString:
+			b = append(b, 2)
+			b = append(b, v.S...)
+			b = append(b, 0)
+		default:
+			u := uint64(int64(v.F * 100))
+			b = append(b, 3, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+				byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+		}
+	}
+	a.keyBuf = b
+	return string(b)
+}
+
+// Rows materializes the output rows (unsorted, first-seen group order).
+// A query with no groups and no input produces one row of empty/zero
+// aggregates, matching SQL semantics for ungrouped aggregates.
+func (a *Aggregator) Rows() []pages.Row {
+	stop := a.col.Timer(metrics.Aggregation)
+	defer stop()
+	if len(a.q.GroupBy) == 0 && len(a.groups) == 0 {
+		g := &group{accs: make([]*expr.Acc, len(a.q.Aggs))}
+		for i := range a.q.Aggs {
+			g.accs[i] = expr.NewAcc(a.q.Aggs[i])
+		}
+		a.groups[""] = g
+		a.order = append(a.order, "")
+	}
+	out := make([]pages.Row, 0, len(a.order))
+	for _, key := range a.order {
+		g := a.groups[key]
+		row := make(pages.Row, len(a.q.Output))
+		for i, oc := range a.q.Output {
+			switch {
+			case oc.AggIdx >= 0:
+				row[i] = g.accs[oc.AggIdx].Result()
+			case oc.GroupIdx >= 0:
+				row[i] = g.keyVals[oc.GroupIdx]
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// NumGroups returns the number of groups accumulated so far.
+func (a *Aggregator) NumGroups() int { return len(a.groups) }
+
+// Project maps joined rows to output rows for non-aggregated queries.
+func Project(q *plan.Query, rows []pages.Row) []pages.Row {
+	out := make([]pages.Row, len(rows))
+	for i, r := range rows {
+		row := make(pages.Row, len(q.Output))
+		for j, oc := range q.Output {
+			row[j] = oc.Scalar.Eval(r)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// SortRows orders output rows by the plan's ORDER BY keys and applies
+// LIMIT. Accounted to metrics.Misc (the paper's breakdown has no sort
+// category; sorts land in Misc).
+func SortRows(q *plan.Query, col *metrics.Collector, rows []pages.Row) []pages.Row {
+	stop := col.Timer(metrics.Misc)
+	defer stop()
+	if len(q.OrderBy) > 0 {
+		// Ties under the ORDER BY keys are broken by the remaining
+		// output columns, making the order total: results are then
+		// deterministic across engine configurations without paying
+		// for a stable sort.
+		sort.Slice(rows, func(i, j int) bool {
+			a, b := rows[i], rows[j]
+			for _, k := range q.OrderBy {
+				c := a[k.Idx].Compare(b[k.Idx])
+				if c == 0 {
+					continue
+				}
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			for idx := range a {
+				if c := a[idx].Compare(b[idx]); c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	if q.Limit >= 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	return rows
+}
+
+// Execute runs q with the query-centric volcano pipeline: dimension
+// hash tables are built first, then the fact table is scanned, probed
+// through each join, aggregated, sorted. No state is shared with any
+// concurrent query — the baseline model the paper's sharing techniques
+// are compared against.
+func Execute(env *Env, q *plan.Query) ([]pages.Row, error) {
+	// Build phase.
+	hts := make([]*HashTable, len(q.Dims))
+	for i, d := range q.Dims {
+		ht, err := BuildDimTable(env, d)
+		if err != nil {
+			return nil, err
+		}
+		hts[i] = ht
+	}
+
+	var agg *Aggregator
+	if q.HasAgg {
+		agg = NewAggregator(q, env.Col)
+	}
+	var plain []pages.Row
+
+	factPred := expr.CompilePred(q.FactPred)
+	err := ScanTable(env, q.Fact, func(rows []pages.Row) error {
+		rows = FilterRowsPred(rows, factPred)
+		for i := range q.Dims {
+			if len(rows) == 0 {
+				return nil
+			}
+			rows = ProbeJoin(env, hts[i], q.Dims[i].FactColIdx, rows)
+		}
+		if agg != nil {
+			agg.Add(rows)
+		} else {
+			plain = append(plain, Project(q, rows)...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []pages.Row
+	if agg != nil {
+		out = agg.Rows()
+	} else {
+		out = plain
+	}
+	return SortRows(q, env.Col, out), nil
+}
+
+// FormatRows renders rows as simple tab-separated text, for the shell
+// and examples.
+func FormatRows(schema *pages.Schema, rows []pages.Row) string {
+	var b strings.Builder
+	for i, c := range schema.Columns {
+		if i > 0 {
+			b.WriteByte('\t')
+		}
+		b.WriteString(c.Name)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		for i, v := range r {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String satisfies fmt for Env in debug logs.
+func (e *Env) String() string { return fmt.Sprintf("Env(pool=%d)", e.Pool.Capacity()) }

@@ -1,0 +1,192 @@
+package expr
+
+import (
+	"fmt"
+
+	"sharedq/internal/pages"
+)
+
+// AggKind enumerates the aggregate functions needed by the SSB and
+// TPC-H Q1 templates.
+type AggKind int
+
+// Aggregate kinds.
+const (
+	AggSum AggKind = iota
+	AggCount
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL spelling.
+func (k AggKind) String() string {
+	switch k {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(k))
+	}
+}
+
+// AggKindFromName maps a (case-normalized) function name to its kind.
+func AggKindFromName(name string) (AggKind, bool) {
+	switch name {
+	case "SUM":
+		return AggSum, true
+	case "COUNT":
+		return AggCount, true
+	case "AVG":
+		return AggAvg, true
+	case "MIN":
+		return AggMin, true
+	case "MAX":
+		return AggMax, true
+	default:
+		return 0, false
+	}
+}
+
+// AggSpec describes one aggregate in a SELECT list. Arg is nil for
+// COUNT(*).
+type AggSpec struct {
+	Kind AggKind
+	Arg  Expr
+}
+
+// String renders the canonical form, e.g. SUM((lo_extendedprice * lo_discount)).
+func (a AggSpec) String() string {
+	if a.Arg == nil {
+		return a.Kind.String() + "(*)"
+	}
+	return a.Kind.String() + "(" + a.Arg.String() + ")"
+}
+
+// Bind resolves the argument against schema s.
+func (a AggSpec) Bind(s *pages.Schema) (AggSpec, error) {
+	if a.Arg == nil {
+		return a, nil
+	}
+	b, err := Bind(a.Arg, s)
+	if err != nil {
+		return AggSpec{}, err
+	}
+	return AggSpec{Kind: a.Kind, Arg: b}, nil
+}
+
+// ResultKind returns the value kind the aggregate produces, given the
+// kind of its argument.
+func (a AggSpec) ResultKind(arg pages.Kind) pages.Kind {
+	switch a.Kind {
+	case AggCount:
+		return pages.KindInt
+	case AggAvg:
+		return pages.KindFloat
+	default:
+		if a.Arg == nil {
+			return pages.KindInt
+		}
+		return arg
+	}
+}
+
+// Acc accumulates one aggregate over a group. The zero value is not
+// ready; use NewAcc.
+type Acc struct {
+	kind    AggKind
+	arg     Expr
+	argFn   Val
+	count   int64
+	sumI    int64
+	sumF    float64
+	sawF    bool
+	extreme pages.Value // current MIN/MAX
+}
+
+// NewAcc returns an accumulator for the (bound) spec. The argument is
+// compiled once per accumulator, not evaluated as a tree per row.
+func NewAcc(spec AggSpec) *Acc {
+	a := &Acc{kind: spec.Kind, arg: spec.Arg}
+	if spec.Arg != nil {
+		a.argFn = CompileVal(spec.Arg)
+	}
+	return a
+}
+
+// Add folds one row into the accumulator.
+func (a *Acc) Add(r pages.Row) {
+	a.count++
+	if a.arg == nil {
+		return
+	}
+	v := a.argFn(r)
+	switch a.kind {
+	case AggSum, AggAvg:
+		if v.Kind == pages.KindFloat {
+			a.sawF = true
+			a.sumF += v.F
+		} else {
+			a.sumI += v.I
+		}
+	case AggMin:
+		if a.extreme.IsZero() || v.Compare(a.extreme) < 0 {
+			a.extreme = v
+		}
+	case AggMax:
+		if a.extreme.IsZero() || v.Compare(a.extreme) > 0 {
+			a.extreme = v
+		}
+	}
+}
+
+// Merge folds another accumulator of the same spec into a. It supports
+// partial aggregation (e.g. per-thread partials merged at the end).
+func (a *Acc) Merge(b *Acc) {
+	a.count += b.count
+	a.sumI += b.sumI
+	a.sumF += b.sumF
+	a.sawF = a.sawF || b.sawF
+	switch a.kind {
+	case AggMin:
+		if a.extreme.IsZero() || (!b.extreme.IsZero() && b.extreme.Compare(a.extreme) < 0) {
+			a.extreme = b.extreme
+		}
+	case AggMax:
+		if a.extreme.IsZero() || (!b.extreme.IsZero() && b.extreme.Compare(a.extreme) > 0) {
+			a.extreme = b.extreme
+		}
+	}
+}
+
+// Result returns the aggregate value.
+func (a *Acc) Result() pages.Value {
+	switch a.kind {
+	case AggCount:
+		return pages.Int(a.count)
+	case AggSum:
+		if a.sawF {
+			return pages.Float(a.sumF + float64(a.sumI))
+		}
+		return pages.Int(a.sumI)
+	case AggAvg:
+		if a.count == 0 {
+			return pages.Float(0)
+		}
+		return pages.Float((a.sumF + float64(a.sumI)) / float64(a.count))
+	case AggMin, AggMax:
+		return a.extreme
+	default:
+		return pages.Value{}
+	}
+}
+
+// Count returns the number of rows folded into the accumulator.
+func (a *Acc) Count() int64 { return a.count }

@@ -1,0 +1,322 @@
+package expr
+
+import (
+	"sharedq/internal/pages"
+)
+
+// Pred is a compiled predicate: a specialized closure over a row.
+type Pred func(pages.Row) bool
+
+// CompilePred lowers a bound boolean expression tree into a closure,
+// removing interface dispatch and Value boxing from the per-row path.
+// Selection predicates run once per tuple per query, so this is the
+// hottest code in the engine; the paper's workloads (conjunctions of
+// column/constant comparisons, ranges, and IN-lists of strings) all hit
+// the specialized cases. Unknown shapes fall back to tree evaluation.
+// Compiling nil returns nil (no predicate).
+func CompilePred(e Expr) Pred {
+	if e == nil {
+		return nil
+	}
+	switch n := e.(type) {
+	case *And:
+		parts := make([]Pred, len(n.Terms))
+		for i, t := range n.Terms {
+			parts[i] = CompilePred(t)
+		}
+		if len(parts) == 1 {
+			return parts[0]
+		}
+		return func(r pages.Row) bool {
+			for _, p := range parts {
+				if !p(r) {
+					return false
+				}
+			}
+			return true
+		}
+	case *Or:
+		parts := make([]Pred, len(n.Terms))
+		for i, t := range n.Terms {
+			parts[i] = CompilePred(t)
+		}
+		return func(r pages.Row) bool {
+			for _, p := range parts {
+				if p(r) {
+					return true
+				}
+			}
+			return false
+		}
+	case *Bin:
+		if p := compileCmp(n); p != nil {
+			return p
+		}
+	case *Between:
+		if p := compileBetween(n); p != nil {
+			return p
+		}
+	case *In:
+		if p := compileIn(n); p != nil {
+			return p
+		}
+	}
+	// Fallback: interpret.
+	return func(r pages.Row) bool { return Truthy(e.Eval(r)) }
+}
+
+// compileCmp specializes column-vs-constant and column-vs-column
+// comparisons on matching kinds.
+func compileCmp(b *Bin) Pred {
+	if !b.Op.IsComparison() {
+		return nil
+	}
+	op := b.Op
+	// col OP const
+	if c, ok := b.L.(*Col); ok && c.Idx >= 0 {
+		if k, ok := b.R.(*Const); ok {
+			return colConstCmp(c.Idx, op, k.V)
+		}
+		if c2, ok := b.R.(*Col); ok && c2.Idx >= 0 {
+			i, j := c.Idx, c2.Idx
+			return func(r pages.Row) bool { return cmpOK(r[i].Compare(r[j]), op) }
+		}
+	}
+	// const OP col  ->  col flip(OP) const
+	if k, ok := b.L.(*Const); ok {
+		if c, ok := b.R.(*Col); ok && c.Idx >= 0 {
+			return colConstCmp(c.Idx, flip(op), k.V)
+		}
+	}
+	return nil
+}
+
+func flip(op BinOp) BinOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default:
+		return op // = and <> are symmetric
+	}
+}
+
+func cmpOK(c int, op BinOp) bool {
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+func colConstCmp(idx int, op BinOp, k pages.Value) Pred {
+	switch k.Kind {
+	case pages.KindInt:
+		v := k.I
+		switch op {
+		case OpEq:
+			return func(r pages.Row) bool { x := r[idx]; return x.Kind == pages.KindInt && x.I == v }
+		case OpNe:
+			return func(r pages.Row) bool { x := r[idx]; return x.Kind != pages.KindInt || x.I != v }
+		case OpLt:
+			return func(r pages.Row) bool { x := r[idx]; return x.Kind == pages.KindInt && x.I < v }
+		case OpLe:
+			return func(r pages.Row) bool { x := r[idx]; return x.Kind == pages.KindInt && x.I <= v }
+		case OpGt:
+			return func(r pages.Row) bool { x := r[idx]; return x.Kind == pages.KindInt && x.I > v }
+		default:
+			return func(r pages.Row) bool { x := r[idx]; return x.Kind == pages.KindInt && x.I >= v }
+		}
+	case pages.KindString:
+		v := k.S
+		switch op {
+		case OpEq:
+			return func(r pages.Row) bool { x := r[idx]; return x.Kind == pages.KindString && x.S == v }
+		case OpNe:
+			return func(r pages.Row) bool { x := r[idx]; return x.Kind != pages.KindString || x.S != v }
+		case OpLt:
+			return func(r pages.Row) bool { x := r[idx]; return x.Kind == pages.KindString && x.S < v }
+		case OpLe:
+			return func(r pages.Row) bool { x := r[idx]; return x.Kind == pages.KindString && x.S <= v }
+		case OpGt:
+			return func(r pages.Row) bool { x := r[idx]; return x.Kind == pages.KindString && x.S > v }
+		default:
+			return func(r pages.Row) bool { x := r[idx]; return x.Kind == pages.KindString && x.S >= v }
+		}
+	case pages.KindFloat:
+		v := k.F
+		cmp := func(x pages.Value) float64 { return x.AsFloat() - v }
+		switch op {
+		case OpEq:
+			return func(r pages.Row) bool { return cmp(r[idx]) == 0 }
+		case OpNe:
+			return func(r pages.Row) bool { return cmp(r[idx]) != 0 }
+		case OpLt:
+			return func(r pages.Row) bool { return cmp(r[idx]) < 0 }
+		case OpLe:
+			return func(r pages.Row) bool { return cmp(r[idx]) <= 0 }
+		case OpGt:
+			return func(r pages.Row) bool { return cmp(r[idx]) > 0 }
+		default:
+			return func(r pages.Row) bool { return cmp(r[idx]) >= 0 }
+		}
+	}
+	return nil
+}
+
+func compileBetween(b *Between) Pred {
+	c, ok := b.X.(*Col)
+	if !ok || c.Idx < 0 {
+		return nil
+	}
+	lo, lok := b.Lo.(*Const)
+	hi, hok := b.Hi.(*Const)
+	if !lok || !hok {
+		return nil
+	}
+	idx := c.Idx
+	if lo.V.Kind == pages.KindInt && hi.V.Kind == pages.KindInt {
+		l, h := lo.V.I, hi.V.I
+		return func(r pages.Row) bool {
+			x := r[idx]
+			return x.Kind == pages.KindInt && x.I >= l && x.I <= h
+		}
+	}
+	lv, hv := lo.V, hi.V
+	return func(r pages.Row) bool {
+		x := r[idx]
+		return x.Compare(lv) >= 0 && x.Compare(hv) <= 0
+	}
+}
+
+func compileIn(in *In) Pred {
+	c, ok := in.X.(*Col)
+	if !ok || c.Idx < 0 {
+		return nil
+	}
+	idx := c.Idx
+	// String IN-list (the nation disjunctions of the modified Q3.2
+	// template) becomes a set lookup.
+	strs := make(map[string]struct{}, len(in.List))
+	ints := make(map[int64]struct{}, len(in.List))
+	for _, e := range in.List {
+		k, ok := e.(*Const)
+		if !ok {
+			return nil
+		}
+		switch k.V.Kind {
+		case pages.KindString:
+			strs[k.V.S] = struct{}{}
+		case pages.KindInt:
+			ints[k.V.I] = struct{}{}
+		default:
+			return nil
+		}
+	}
+	if len(ints) == 0 {
+		return func(r pages.Row) bool {
+			x := r[idx]
+			if x.Kind != pages.KindString {
+				return false
+			}
+			_, ok := strs[x.S]
+			return ok
+		}
+	}
+	if len(strs) == 0 {
+		return func(r pages.Row) bool {
+			x := r[idx]
+			if x.Kind != pages.KindInt {
+				return false
+			}
+			_, ok := ints[x.I]
+			return ok
+		}
+	}
+	return func(r pages.Row) bool {
+		x := r[idx]
+		switch x.Kind {
+		case pages.KindString:
+			_, ok := strs[x.S]
+			return ok
+		case pages.KindInt:
+			_, ok := ints[x.I]
+			return ok
+		}
+		return false
+	}
+}
+
+// Val is a compiled scalar evaluator.
+type Val func(pages.Row) pages.Value
+
+// CompileVal lowers a bound scalar expression into a closure. Column
+// references and simple arithmetic (the aggregate arguments of the SSB
+// and TPC-H Q1 templates) avoid tree walking; other shapes fall back
+// to interpretation.
+func CompileVal(e Expr) Val {
+	switch n := e.(type) {
+	case *Col:
+		idx := n.Idx
+		if idx < 0 {
+			break
+		}
+		return func(r pages.Row) pages.Value { return r[idx] }
+	case *Const:
+		v := n.V
+		return func(pages.Row) pages.Value { return v }
+	case *Bin:
+		if n.Op.IsComparison() {
+			break
+		}
+		l, rr := CompileVal(n.L), CompileVal(n.R)
+		op := n.Op
+		return func(r pages.Row) pages.Value {
+			a, b := l(r), rr(r)
+			if a.Kind == pages.KindInt && b.Kind == pages.KindInt {
+				switch op {
+				case OpAdd:
+					return pages.Int(a.I + b.I)
+				case OpSub:
+					return pages.Int(a.I - b.I)
+				case OpMul:
+					return pages.Int(a.I * b.I)
+				case OpDiv:
+					if b.I == 0 {
+						return pages.Int(0)
+					}
+					return pages.Int(a.I / b.I)
+				}
+			}
+			af, bf := a.AsFloat(), b.AsFloat()
+			switch op {
+			case OpAdd:
+				return pages.Float(af + bf)
+			case OpSub:
+				return pages.Float(af - bf)
+			case OpMul:
+				return pages.Float(af * bf)
+			default:
+				if bf == 0 {
+					return pages.Float(0)
+				}
+				return pages.Float(af / bf)
+			}
+		}
+	}
+	return func(r pages.Row) pages.Value { return e.Eval(r) }
+}

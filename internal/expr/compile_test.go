@@ -1,0 +1,189 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sharedq/internal/pages"
+)
+
+// compileAgree asserts the compiled predicate agrees with tree
+// evaluation on the given rows.
+func compileAgree(t *testing.T, e Expr, rows []pages.Row) {
+	t.Helper()
+	b, err := Bind(e, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := CompilePred(b)
+	for i, r := range rows {
+		want := Truthy(b.Eval(r))
+		if got := p(r); got != want {
+			t.Errorf("row %d (%v): compiled=%v interpreted=%v for %s", i, r, got, want, e)
+		}
+	}
+}
+
+func sampleRows() []pages.Row {
+	return []pages.Row{
+		row(0, 0, "", 0),
+		row(5, -3, "ASIA", 1.5),
+		row(10, 10, "EUROPE", -2.5),
+		row(-7, 100, "AMERICA", 0.001),
+		row(1<<40, 1, "MIDDLE EAST", 99.99),
+	}
+}
+
+func TestCompilePredNil(t *testing.T) {
+	if CompilePred(nil) != nil {
+		t.Error("nil expression should compile to nil")
+	}
+}
+
+func TestCompilePredComparisons(t *testing.T) {
+	ops := []BinOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	for _, op := range ops {
+		compileAgree(t, &Bin{op, NewCol("a"), &Const{pages.Int(5)}}, sampleRows())
+		compileAgree(t, &Bin{op, &Const{pages.Int(5)}, NewCol("a")}, sampleRows())
+		compileAgree(t, &Bin{op, NewCol("a"), NewCol("b")}, sampleRows())
+		compileAgree(t, &Bin{op, NewCol("s"), &Const{pages.Str("EUROPE")}}, sampleRows())
+		compileAgree(t, &Bin{op, NewCol("f"), &Const{pages.Float(1.5)}}, sampleRows())
+	}
+}
+
+func TestCompilePredBooleans(t *testing.T) {
+	e := &And{Terms: []Expr{
+		&Bin{OpGe, NewCol("a"), &Const{pages.Int(0)}},
+		&Or{Terms: []Expr{
+			&Bin{OpEq, NewCol("s"), &Const{pages.Str("ASIA")}},
+			&Bin{OpLt, NewCol("b"), &Const{pages.Int(0)}},
+		}},
+	}}
+	compileAgree(t, e, sampleRows())
+}
+
+func TestCompilePredBetween(t *testing.T) {
+	compileAgree(t, &Between{X: NewCol("a"), Lo: &Const{pages.Int(-5)}, Hi: &Const{pages.Int(10)}}, sampleRows())
+	compileAgree(t, &Between{X: NewCol("f"), Lo: &Const{pages.Float(-3)}, Hi: &Const{pages.Float(2)}}, sampleRows())
+	// Non-constant bounds fall back to interpretation.
+	compileAgree(t, &Between{X: NewCol("a"), Lo: NewCol("b"), Hi: &Const{pages.Int(100)}}, sampleRows())
+}
+
+func TestCompilePredIn(t *testing.T) {
+	compileAgree(t, &In{X: NewCol("s"), List: []Expr{&Const{pages.Str("ASIA")}, &Const{pages.Str("AMERICA")}}}, sampleRows())
+	compileAgree(t, &In{X: NewCol("a"), List: []Expr{&Const{pages.Int(5)}, &Const{pages.Int(10)}}}, sampleRows())
+	compileAgree(t, &In{X: NewCol("a"), List: []Expr{&Const{pages.Int(5)}, &Const{pages.Str("x")}}}, sampleRows())
+	// Non-constant list falls back.
+	compileAgree(t, &In{X: NewCol("a"), List: []Expr{NewCol("b")}}, sampleRows())
+}
+
+func TestCompilePredKindMismatch(t *testing.T) {
+	// Comparing an int column with a string constant: compiled path
+	// must agree with the interpreter's kind-order semantics for = and
+	// <>; we only require agreement on equality-style ops here since
+	// ordering across kinds is unspecified-but-stable either way.
+	b, err := Bind(&Bin{OpEq, NewCol("a"), &Const{pages.Str("x")}}, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := CompilePred(b)
+	for _, r := range sampleRows() {
+		if p(r) != Truthy(b.Eval(r)) {
+			t.Errorf("kind-mismatch equality disagrees on %v", r)
+		}
+	}
+}
+
+func TestCompilePredRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nations := []string{"ASIA", "EUROPE", "AMERICA", "AFRICA"}
+	mkPred := func() Expr {
+		var terms []Expr
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				terms = append(terms, &Bin{BinOp(int(OpEq) + rng.Intn(6)), NewCol("a"), &Const{pages.Int(int64(rng.Intn(20) - 10))}})
+			case 1:
+				terms = append(terms, &Bin{OpEq, NewCol("s"), &Const{pages.Str(nations[rng.Intn(4)])}})
+			case 2:
+				lo := int64(rng.Intn(10) - 5)
+				terms = append(terms, &Between{X: NewCol("b"), Lo: &Const{pages.Int(lo)}, Hi: &Const{pages.Int(lo + int64(rng.Intn(10)))}})
+			default:
+				terms = append(terms, &In{X: NewCol("s"), List: []Expr{&Const{pages.Str(nations[rng.Intn(4)])}, &Const{pages.Str(nations[rng.Intn(4)])}}})
+			}
+		}
+		return &And{Terms: terms}
+	}
+	rows := make([]pages.Row, 50)
+	for i := range rows {
+		rows[i] = row(int64(rng.Intn(20)-10), int64(rng.Intn(20)-10), nations[rng.Intn(4)], rng.Float64()*10-5)
+	}
+	for i := 0; i < 100; i++ {
+		compileAgree(t, mkPred(), rows)
+	}
+}
+
+func TestCompileValAgreesWithEval(t *testing.T) {
+	exprs := []Expr{
+		NewCol("a"),
+		&Const{pages.Float(2.5)},
+		&Bin{OpMul, NewCol("a"), NewCol("b")},
+		&Bin{OpSub, &Const{pages.Int(1)}, NewCol("f")},
+		&Bin{OpMul, NewCol("f"), &Bin{OpSub, &Const{pages.Int(1)}, NewCol("f")}},
+		&Bin{OpDiv, NewCol("a"), NewCol("b")},
+		&Bin{OpDiv, NewCol("f"), &Const{pages.Float(0)}},
+		&Bin{OpAdd, NewCol("a"), &Const{pages.Int(7)}},
+	}
+	for _, e := range exprs {
+		b, err := Bind(e, testSchema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := CompileVal(b)
+		for _, r := range sampleRows() {
+			if got, want := v(r), b.Eval(r); !got.Equal(want) {
+				t.Errorf("%s on %v: compiled=%v interpreted=%v", e, r, got, want)
+			}
+		}
+	}
+}
+
+func TestCompileValDivByZeroInt(t *testing.T) {
+	b, _ := Bind(&Bin{OpDiv, NewCol("a"), NewCol("b")}, testSchema)
+	v := CompileVal(b)
+	if got := v(row(5, 0, "", 0)); got.I != 0 {
+		t.Errorf("int div by zero = %v, want 0", got)
+	}
+}
+
+func TestCompileValFallback(t *testing.T) {
+	// A comparison is not a scalar shape; CompileVal must fall back to
+	// interpretation and still agree.
+	b, _ := Bind(&Bin{OpLt, NewCol("a"), NewCol("b")}, testSchema)
+	v := CompileVal(b)
+	for _, r := range sampleRows() {
+		if !v(r).Equal(b.Eval(r)) {
+			t.Error("fallback disagrees")
+		}
+	}
+}
+
+func TestCompilePredQuickProperty(t *testing.T) {
+	b, err := Bind(&And{Terms: []Expr{
+		&Between{X: NewCol("a"), Lo: &Const{pages.Int(-50)}, Hi: &Const{pages.Int(50)}},
+		&Bin{OpNe, NewCol("b"), &Const{pages.Int(0)}},
+	}}, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := CompilePred(b)
+	f := func(a, bb int8) bool {
+		r := row(int64(a), int64(bb), "", 0)
+		return p(r) == Truthy(b.Eval(r))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

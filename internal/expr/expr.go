@@ -1,0 +1,366 @@
+// Package expr provides the typed expression trees evaluated by every
+// operator: selection predicates, join keys, aggregate arguments and
+// projections. Expressions are built with unresolved column names (by
+// the SQL parser or by hand) and bound to a concrete schema before
+// evaluation, which resolves names to row ordinals.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"sharedq/internal/pages"
+)
+
+// Expr is a node of an expression tree. Eval must only be called on a
+// bound tree (see Bind); evaluating an unbound column reference panics.
+type Expr interface {
+	// Eval computes the expression over one row.
+	Eval(r pages.Row) pages.Value
+	// String renders a canonical form used for plan signatures, so two
+	// textually different but structurally identical predicates compare
+	// equal after parsing.
+	String() string
+}
+
+// Col references a column by name; Idx is resolved by Bind.
+type Col struct {
+	Name string
+	Idx  int
+}
+
+// NewCol returns an unbound column reference.
+func NewCol(name string) *Col { return &Col{Name: name, Idx: -1} }
+
+// Eval returns the referenced column's value.
+func (c *Col) Eval(r pages.Row) pages.Value {
+	if c.Idx < 0 {
+		panic(fmt.Sprintf("expr: unbound column %q", c.Name))
+	}
+	return r[c.Idx]
+}
+
+func (c *Col) String() string { return c.Name }
+
+// Const is a literal value.
+type Const struct {
+	V pages.Value
+}
+
+// Eval returns the literal.
+func (c *Const) Eval(pages.Row) pages.Value { return c.V }
+
+func (c *Const) String() string {
+	if c.V.Kind == pages.KindString {
+		return "'" + c.V.S + "'"
+	}
+	return c.V.String()
+}
+
+// BinOp codes for arithmetic and comparison operators.
+type BinOp int
+
+// Operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+var opNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+}
+
+// String returns the SQL spelling of the operator.
+func (o BinOp) String() string { return opNames[o] }
+
+// IsComparison reports whether o yields a boolean.
+func (o BinOp) IsComparison() bool { return o >= OpEq }
+
+// Bin is a binary arithmetic or comparison expression.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Eval computes the operation. Arithmetic promotes to float unless both
+// operands are integers; comparisons yield Int 0/1.
+func (b *Bin) Eval(r pages.Row) pages.Value {
+	l, rv := b.L.Eval(r), b.R.Eval(r)
+	if b.Op.IsComparison() {
+		c := l.Compare(rv)
+		ok := false
+		switch b.Op {
+		case OpEq:
+			ok = c == 0
+		case OpNe:
+			ok = c != 0
+		case OpLt:
+			ok = c < 0
+		case OpLe:
+			ok = c <= 0
+		case OpGt:
+			ok = c > 0
+		case OpGe:
+			ok = c >= 0
+		}
+		if ok {
+			return pages.Int(1)
+		}
+		return pages.Int(0)
+	}
+	if l.Kind == pages.KindInt && rv.Kind == pages.KindInt {
+		switch b.Op {
+		case OpAdd:
+			return pages.Int(l.I + rv.I)
+		case OpSub:
+			return pages.Int(l.I - rv.I)
+		case OpMul:
+			return pages.Int(l.I * rv.I)
+		case OpDiv:
+			if rv.I == 0 {
+				return pages.Int(0)
+			}
+			return pages.Int(l.I / rv.I)
+		}
+	}
+	lf, rf := l.AsFloat(), rv.AsFloat()
+	switch b.Op {
+	case OpAdd:
+		return pages.Float(lf + rf)
+	case OpSub:
+		return pages.Float(lf - rf)
+	case OpMul:
+		return pages.Float(lf * rf)
+	case OpDiv:
+		if rf == 0 {
+			return pages.Float(0)
+		}
+		return pages.Float(lf / rf)
+	}
+	panic(fmt.Sprintf("expr: bad operator %d", b.Op))
+}
+
+func (b *Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L.String(), b.Op, b.R.String())
+}
+
+// And is an n-ary conjunction.
+type And struct {
+	Terms []Expr
+}
+
+// Eval returns Int 1 iff every term is truthy. Short-circuits.
+func (a *And) Eval(r pages.Row) pages.Value {
+	for _, t := range a.Terms {
+		if !Truthy(t.Eval(r)) {
+			return pages.Int(0)
+		}
+	}
+	return pages.Int(1)
+}
+
+func (a *And) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, " AND ") + ")"
+}
+
+// Or is an n-ary disjunction.
+type Or struct {
+	Terms []Expr
+}
+
+// Eval returns Int 1 iff any term is truthy. Short-circuits.
+func (o *Or) Eval(r pages.Row) pages.Value {
+	for _, t := range o.Terms {
+		if Truthy(t.Eval(r)) {
+			return pages.Int(1)
+		}
+	}
+	return pages.Int(0)
+}
+
+func (o *Or) String() string {
+	parts := make([]string, len(o.Terms))
+	for i, t := range o.Terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, " OR ") + ")"
+}
+
+// Between is a range predicate: Lo <= X AND X <= Hi.
+type Between struct {
+	X, Lo, Hi Expr
+}
+
+// Eval returns Int 1 iff X is within [Lo, Hi].
+func (b *Between) Eval(r pages.Row) pages.Value {
+	x := b.X.Eval(r)
+	if x.Compare(b.Lo.Eval(r)) >= 0 && x.Compare(b.Hi.Eval(r)) <= 0 {
+		return pages.Int(1)
+	}
+	return pages.Int(0)
+}
+
+func (b *Between) String() string {
+	return fmt.Sprintf("(%s BETWEEN %s AND %s)", b.X.String(), b.Lo.String(), b.Hi.String())
+}
+
+// In is a membership predicate over a constant list, the shape of the
+// modified Q3.2 template's nation disjunctions.
+type In struct {
+	X    Expr
+	List []Expr
+}
+
+// Eval returns Int 1 iff X equals any list element.
+func (in *In) Eval(r pages.Row) pages.Value {
+	x := in.X.Eval(r)
+	for _, e := range in.List {
+		if x.Equal(e.Eval(r)) {
+			return pages.Int(1)
+		}
+	}
+	return pages.Int(0)
+}
+
+func (in *In) String() string {
+	parts := make([]string, len(in.List))
+	for i, e := range in.List {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("(%s IN (%s))", in.X.String(), strings.Join(parts, ", "))
+}
+
+// Truthy interprets a value as a boolean: nonzero numbers and non-empty
+// strings are true.
+func Truthy(v pages.Value) bool {
+	switch v.Kind {
+	case pages.KindInt:
+		return v.I != 0
+	case pages.KindFloat:
+		return v.F != 0
+	case pages.KindString:
+		return v.S != ""
+	default:
+		return false
+	}
+}
+
+// Bind returns a copy of e with all column references resolved against
+// schema s. It fails if any referenced column is missing.
+func Bind(e Expr, s *pages.Schema) (Expr, error) {
+	switch n := e.(type) {
+	case *Col:
+		i := s.Index(n.Name)
+		if i < 0 {
+			return nil, fmt.Errorf("expr: column %q not in schema %s", n.Name, s)
+		}
+		return &Col{Name: n.Name, Idx: i}, nil
+	case *Const:
+		return n, nil
+	case *Bin:
+		l, err := Bind(n.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Bind(n.R, s)
+		if err != nil {
+			return nil, err
+		}
+		return &Bin{Op: n.Op, L: l, R: r}, nil
+	case *And:
+		terms, err := bindAll(n.Terms, s)
+		if err != nil {
+			return nil, err
+		}
+		return &And{Terms: terms}, nil
+	case *Or:
+		terms, err := bindAll(n.Terms, s)
+		if err != nil {
+			return nil, err
+		}
+		return &Or{Terms: terms}, nil
+	case *Between:
+		x, err := Bind(n.X, s)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := Bind(n.Lo, s)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := Bind(n.Hi, s)
+		if err != nil {
+			return nil, err
+		}
+		return &Between{X: x, Lo: lo, Hi: hi}, nil
+	case *In:
+		x, err := Bind(n.X, s)
+		if err != nil {
+			return nil, err
+		}
+		list, err := bindAll(n.List, s)
+		if err != nil {
+			return nil, err
+		}
+		return &In{X: x, List: list}, nil
+	default:
+		return nil, fmt.Errorf("expr: unknown node %T", e)
+	}
+}
+
+func bindAll(es []Expr, s *pages.Schema) ([]Expr, error) {
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		b, err := Bind(e, s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// Columns appends the names of all columns referenced by e to dst.
+func Columns(e Expr, dst []string) []string {
+	switch n := e.(type) {
+	case *Col:
+		return append(dst, n.Name)
+	case *Const:
+		return dst
+	case *Bin:
+		return Columns(n.R, Columns(n.L, dst))
+	case *And:
+		for _, t := range n.Terms {
+			dst = Columns(t, dst)
+		}
+		return dst
+	case *Or:
+		for _, t := range n.Terms {
+			dst = Columns(t, dst)
+		}
+		return dst
+	case *Between:
+		return Columns(n.Hi, Columns(n.Lo, Columns(n.X, dst)))
+	case *In:
+		dst = Columns(n.X, dst)
+		for _, t := range n.List {
+			dst = Columns(t, dst)
+		}
+		return dst
+	default:
+		return dst
+	}
+}

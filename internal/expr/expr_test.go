@@ -1,0 +1,370 @@
+package expr
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sharedq/internal/pages"
+)
+
+var testSchema = pages.NewSchema(
+	pages.Column{Name: "a", Kind: pages.KindInt},
+	pages.Column{Name: "b", Kind: pages.KindInt},
+	pages.Column{Name: "s", Kind: pages.KindString},
+	pages.Column{Name: "f", Kind: pages.KindFloat},
+)
+
+func bindOrDie(t *testing.T, e Expr) Expr {
+	t.Helper()
+	b, err := Bind(e, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func row(a, b int64, s string, f float64) pages.Row {
+	return pages.Row{pages.Int(a), pages.Int(b), pages.Str(s), pages.Float(f)}
+}
+
+func TestColBindAndEval(t *testing.T) {
+	e := bindOrDie(t, NewCol("b"))
+	if got := e.Eval(row(1, 42, "", 0)); got.I != 42 {
+		t.Errorf("Eval = %v", got)
+	}
+}
+
+func TestColUnboundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unbound Eval should panic")
+		}
+	}()
+	NewCol("a").Eval(row(1, 2, "", 0))
+}
+
+func TestBindMissingColumn(t *testing.T) {
+	if _, err := Bind(NewCol("zzz"), testSchema); err == nil {
+		t.Error("binding missing column should fail")
+	}
+	if _, err := Bind(&Bin{Op: OpAdd, L: NewCol("zzz"), R: NewCol("a")}, testSchema); err == nil {
+		t.Error("nested missing column should fail")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	r := row(10, 3, "", 2.5)
+	cases := []struct {
+		e    Expr
+		want pages.Value
+	}{
+		{&Bin{OpAdd, NewCol("a"), NewCol("b")}, pages.Int(13)},
+		{&Bin{OpSub, NewCol("a"), NewCol("b")}, pages.Int(7)},
+		{&Bin{OpMul, NewCol("a"), NewCol("b")}, pages.Int(30)},
+		{&Bin{OpDiv, NewCol("a"), NewCol("b")}, pages.Int(3)},
+		{&Bin{OpMul, NewCol("a"), NewCol("f")}, pages.Float(25)},
+		{&Bin{OpSub, &Const{pages.Int(1)}, NewCol("f")}, pages.Float(-1.5)},
+		{&Bin{OpDiv, NewCol("a"), &Const{pages.Int(0)}}, pages.Int(0)},
+		{&Bin{OpDiv, NewCol("f"), &Const{pages.Float(0)}}, pages.Float(0)},
+	}
+	for _, c := range cases {
+		got := bindOrDie(t, c.e).Eval(r)
+		if !got.Equal(c.want) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	r := row(10, 3, "ASIA", 0)
+	cases := []struct {
+		e    Expr
+		want int64
+	}{
+		{&Bin{OpEq, NewCol("a"), &Const{pages.Int(10)}}, 1},
+		{&Bin{OpNe, NewCol("a"), &Const{pages.Int(10)}}, 0},
+		{&Bin{OpLt, NewCol("b"), NewCol("a")}, 1},
+		{&Bin{OpLe, NewCol("a"), NewCol("a")}, 1},
+		{&Bin{OpGt, NewCol("b"), NewCol("a")}, 0},
+		{&Bin{OpGe, NewCol("a"), &Const{pages.Int(11)}}, 0},
+		{&Bin{OpEq, NewCol("s"), &Const{pages.Str("ASIA")}}, 1},
+	}
+	for _, c := range cases {
+		got := bindOrDie(t, c.e).Eval(r)
+		if got.I != c.want {
+			t.Errorf("%s = %v, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func TestAndOrShortCircuit(t *testing.T) {
+	r := row(1, 0, "", 0)
+	and := bindOrDie(t, &And{Terms: []Expr{NewCol("a"), NewCol("b")}})
+	if Truthy(and.Eval(r)) {
+		t.Error("AND(1,0) should be false")
+	}
+	or := bindOrDie(t, &Or{Terms: []Expr{NewCol("b"), NewCol("a")}})
+	if !Truthy(or.Eval(r)) {
+		t.Error("OR(0,1) should be true")
+	}
+	empty := &And{}
+	if !Truthy(empty.Eval(r)) {
+		t.Error("empty AND should be true")
+	}
+	emptyOr := &Or{}
+	if Truthy(emptyOr.Eval(r)) {
+		t.Error("empty OR should be false")
+	}
+}
+
+func TestBetween(t *testing.T) {
+	e := bindOrDie(t, &Between{X: NewCol("a"), Lo: &Const{pages.Int(5)}, Hi: &Const{pages.Int(15)}})
+	if !Truthy(e.Eval(row(10, 0, "", 0))) {
+		t.Error("10 BETWEEN 5 AND 15 should hold")
+	}
+	if Truthy(e.Eval(row(4, 0, "", 0))) || Truthy(e.Eval(row(16, 0, "", 0))) {
+		t.Error("boundary miss")
+	}
+	if !Truthy(e.Eval(row(5, 0, "", 0))) || !Truthy(e.Eval(row(15, 0, "", 0))) {
+		t.Error("BETWEEN must be inclusive")
+	}
+}
+
+func TestIn(t *testing.T) {
+	e := bindOrDie(t, &In{X: NewCol("s"), List: []Expr{&Const{pages.Str("ASIA")}, &Const{pages.Str("EUROPE")}}})
+	if !Truthy(e.Eval(row(0, 0, "EUROPE", 0))) {
+		t.Error("EUROPE IN (...) should hold")
+	}
+	if Truthy(e.Eval(row(0, 0, "AFRICA", 0))) {
+		t.Error("AFRICA IN (...) should not hold")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	if Truthy(pages.Int(0)) || Truthy(pages.Float(0)) || Truthy(pages.Str("")) || Truthy(pages.Value{}) {
+		t.Error("falsy values reported truthy")
+	}
+	if !Truthy(pages.Int(2)) || !Truthy(pages.Float(0.1)) || !Truthy(pages.Str("x")) {
+		t.Error("truthy values reported falsy")
+	}
+}
+
+func TestCanonicalString(t *testing.T) {
+	e := &And{Terms: []Expr{
+		&Bin{OpEq, NewCol("s"), &Const{pages.Str("ASIA")}},
+		&Between{X: NewCol("a"), Lo: &Const{pages.Int(1)}, Hi: &Const{pages.Int(2)}},
+	}}
+	want := "((s = 'ASIA') AND (a BETWEEN 1 AND 2))"
+	if e.String() != want {
+		t.Errorf("String = %q, want %q", e.String(), want)
+	}
+}
+
+func TestColumns(t *testing.T) {
+	e := &And{Terms: []Expr{
+		&Bin{OpEq, NewCol("s"), &Const{pages.Str("x")}},
+		&Or{Terms: []Expr{&Between{X: NewCol("a"), Lo: &Const{pages.Int(0)}, Hi: NewCol("b")}}},
+		&In{X: NewCol("f"), List: []Expr{&Const{pages.Int(0)}}},
+	}}
+	cols := Columns(e, nil)
+	sort.Strings(cols)
+	want := []string{"a", "b", "f", "s"}
+	if len(cols) != 4 {
+		t.Fatalf("Columns = %v", cols)
+	}
+	for i := range want {
+		if cols[i] != want[i] {
+			t.Errorf("Columns = %v, want %v", cols, want)
+		}
+	}
+}
+
+func TestBindIsCopy(t *testing.T) {
+	orig := NewCol("a")
+	b, err := Bind(orig, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Idx != -1 {
+		t.Error("Bind mutated the original")
+	}
+	if b.(*Col).Idx != 0 {
+		t.Error("bound copy has wrong index")
+	}
+}
+
+func TestBetweenEqualsAndPair(t *testing.T) {
+	// Property: X BETWEEN lo AND hi  ==  lo <= X AND X <= hi.
+	between, err := Bind(&Between{X: NewCol("a"), Lo: &Const{pages.Int(-50)}, Hi: &Const{pages.Int(50)}}, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := Bind(&And{Terms: []Expr{
+		&Bin{OpLe, &Const{pages.Int(-50)}, NewCol("a")},
+		&Bin{OpLe, NewCol("a"), &Const{pages.Int(50)}},
+	}}, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a int8) bool {
+		r := row(int64(a), 0, "", 0)
+		return Truthy(between.Eval(r)) == Truthy(pair.Eval(r))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggAccSum(t *testing.T) {
+	spec, err := AggSpec{Kind: AggSum, Arg: NewCol("a")}.Bind(testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewAcc(spec)
+	for i := int64(1); i <= 10; i++ {
+		acc.Add(row(i, 0, "", 0))
+	}
+	if got := acc.Result(); got.I != 55 {
+		t.Errorf("SUM = %v, want 55", got)
+	}
+}
+
+func TestAggAccSumFloatPromotion(t *testing.T) {
+	spec, err := AggSpec{Kind: AggSum, Arg: NewCol("f")}.Bind(testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewAcc(spec)
+	acc.Add(row(0, 0, "", 1.5))
+	acc.Add(row(0, 0, "", 2.5))
+	if got := acc.Result(); got.Kind != pages.KindFloat || got.F != 4.0 {
+		t.Errorf("SUM floats = %v", got)
+	}
+}
+
+func TestAggAccCountStar(t *testing.T) {
+	acc := NewAcc(AggSpec{Kind: AggCount})
+	for i := 0; i < 7; i++ {
+		acc.Add(row(0, 0, "", 0))
+	}
+	if got := acc.Result(); got.I != 7 {
+		t.Errorf("COUNT(*) = %v", got)
+	}
+}
+
+func TestAggAccAvg(t *testing.T) {
+	spec, _ := AggSpec{Kind: AggAvg, Arg: NewCol("a")}.Bind(testSchema)
+	acc := NewAcc(spec)
+	acc.Add(row(10, 0, "", 0))
+	acc.Add(row(20, 0, "", 0))
+	if got := acc.Result(); got.F != 15 {
+		t.Errorf("AVG = %v", got)
+	}
+	empty := NewAcc(spec)
+	if got := empty.Result(); got.F != 0 {
+		t.Errorf("AVG of empty = %v", got)
+	}
+}
+
+func TestAggAccMinMax(t *testing.T) {
+	minSpec, _ := AggSpec{Kind: AggMin, Arg: NewCol("a")}.Bind(testSchema)
+	maxSpec, _ := AggSpec{Kind: AggMax, Arg: NewCol("a")}.Bind(testSchema)
+	mn, mx := NewAcc(minSpec), NewAcc(maxSpec)
+	for _, v := range []int64{5, -3, 12, 0} {
+		mn.Add(row(v, 0, "", 0))
+		mx.Add(row(v, 0, "", 0))
+	}
+	if mn.Result().I != -3 || mx.Result().I != 12 {
+		t.Errorf("MIN/MAX = %v/%v", mn.Result(), mx.Result())
+	}
+}
+
+func TestAggAccMerge(t *testing.T) {
+	spec, _ := AggSpec{Kind: AggSum, Arg: NewCol("a")}.Bind(testSchema)
+	a, b := NewAcc(spec), NewAcc(spec)
+	a.Add(row(1, 0, "", 0))
+	b.Add(row(2, 0, "", 0))
+	b.Add(row(3, 0, "", 0))
+	a.Merge(b)
+	if got := a.Result(); got.I != 6 {
+		t.Errorf("merged SUM = %v", got)
+	}
+
+	minSpec, _ := AggSpec{Kind: AggMin, Arg: NewCol("a")}.Bind(testSchema)
+	m1, m2 := NewAcc(minSpec), NewAcc(minSpec)
+	m1.Add(row(5, 0, "", 0))
+	m2.Add(row(2, 0, "", 0))
+	m1.Merge(m2)
+	if m1.Result().I != 2 {
+		t.Errorf("merged MIN = %v", m1.Result())
+	}
+	// Merging an empty accumulator must not clobber the extreme.
+	m3 := NewAcc(minSpec)
+	m1.Merge(m3)
+	if m1.Result().I != 2 {
+		t.Errorf("merge with empty = %v", m1.Result())
+	}
+}
+
+func TestAggKindFromName(t *testing.T) {
+	for name, want := range map[string]AggKind{
+		"SUM": AggSum, "COUNT": AggCount, "AVG": AggAvg, "MIN": AggMin, "MAX": AggMax,
+	} {
+		got, ok := AggKindFromName(name)
+		if !ok || got != want {
+			t.Errorf("AggKindFromName(%s) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := AggKindFromName("MEDIAN"); ok {
+		t.Error("MEDIAN should be unknown")
+	}
+}
+
+func TestAggSpecString(t *testing.T) {
+	s := AggSpec{Kind: AggSum, Arg: &Bin{OpMul, NewCol("a"), NewCol("b")}}
+	if s.String() != "SUM((a * b))" {
+		t.Errorf("String = %q", s.String())
+	}
+	if (AggSpec{Kind: AggCount}).String() != "COUNT(*)" {
+		t.Error("COUNT(*) string")
+	}
+}
+
+func TestAggResultKind(t *testing.T) {
+	if (AggSpec{Kind: AggCount}).ResultKind(pages.KindString) != pages.KindInt {
+		t.Error("COUNT kind")
+	}
+	if (AggSpec{Kind: AggAvg, Arg: NewCol("a")}).ResultKind(pages.KindInt) != pages.KindFloat {
+		t.Error("AVG kind")
+	}
+	if (AggSpec{Kind: AggSum, Arg: NewCol("a")}).ResultKind(pages.KindInt) != pages.KindInt {
+		t.Error("SUM kind")
+	}
+}
+
+func TestSumMergeAssociativityProperty(t *testing.T) {
+	spec, _ := AggSpec{Kind: AggSum, Arg: NewCol("a")}.Bind(testSchema)
+	f := func(vals []int16, split uint8) bool {
+		whole := NewAcc(spec)
+		for _, v := range vals {
+			whole.Add(row(int64(v), 0, "", 0))
+		}
+		k := 0
+		if len(vals) > 0 {
+			k = int(split) % (len(vals) + 1)
+		}
+		l, r := NewAcc(spec), NewAcc(spec)
+		for _, v := range vals[:k] {
+			l.Add(row(int64(v), 0, "", 0))
+		}
+		for _, v := range vals[k:] {
+			r.Add(row(int64(v), 0, "", 0))
+		}
+		l.Merge(r)
+		return l.Result().Equal(whole.Result())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,260 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+
+	"sharedq/internal/core"
+	"sharedq/internal/qpipe"
+	"sharedq/internal/ssb"
+)
+
+func fig14(p Params) (*Report, error) {
+	p = p.def(0.01, 32)
+	sys, err := diskSystem(p.SF, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	modes := []core.Mode{core.QPipeCS, core.QPipeSP, core.CJOIN, core.CJOINSP}
+	tbl := &Table{
+		Title:  fmt.Sprintf("Avg response time (ms), 16 possible plans, SF=%.3g, disk-resident", p.SF),
+		Header: append([]string{"queries"}, modeNames(modes)...),
+	}
+	meas := &Table{
+		Title:  "Measurements at the highest concurrency level",
+		Header: append([]string{"metric"}, modeNames(modes)...),
+	}
+	rep := &Report{ID: "14", Title: "similarity: SP beats CJOIN; CJOIN-SP beats all", Tables: []*Table{tbl, meas}}
+	levels := sweep(p.MaxQ, p.Quick)
+	for _, n := range levels {
+		rng := rand.New(rand.NewSource(p.Seed + int64(n)))
+		qs := pooledQ32s(rng, n, 16)
+		row := []string{fmt.Sprint(n)}
+		var cores, rates []string
+		for _, m := range modes {
+			r, err := RunBatch(sys, core.Options{Mode: m}, qs, true)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtDur(r.AvgResponse))
+			if n == levels[len(levels)-1] {
+				cores = append(cores, fmtF(r.CoresUsed))
+				rates = append(rates, fmtF(r.ReadRateMBps))
+			}
+		}
+		tbl.Rows = append(tbl.Rows, row)
+		if len(cores) > 0 {
+			meas.Rows = append(meas.Rows,
+				append([]string{"Avg demanded cores"}, cores...),
+				append([]string{"Avg read rate (MB/s)"}, rates...))
+		}
+	}
+	return rep, nil
+}
+
+func fig15(p Params) (*Report, error) {
+	p = p.def(0.02, 64)
+	sys, err := memSystem(p.SF, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	n := p.MaxQ
+	pools := []int{1, n / 4, n / 2, n, 0} // 0 = fully random plans
+	if p.Quick {
+		pools = []int{1, n, 0}
+	}
+	modes := []core.Mode{core.QPipeSP, core.CJOIN, core.CJOINSP}
+	tbl := &Table{
+		Title:  fmt.Sprintf("Avg response time (ms), %d concurrent queries, SF=%.3g", n, p.SF),
+		Header: append([]string{"distinct plans"}, modeNames(modes)...),
+	}
+	shares := &Table{
+		Title:  "SP sharing opportunities per similarity level",
+		Header: []string{"distinct plans", "QPipe-SP join1/join2/join3", "CJOIN-SP packets shared"},
+	}
+	rep := &Report{ID: "15", Title: "impact of similarity on SP and GQP", Tables: []*Table{tbl, shares}}
+	for _, pool := range pools {
+		rng := rand.New(rand.NewSource(p.Seed))
+		var qs []string
+		label := "random"
+		if pool > 0 {
+			qs = pooledQ32s(rng, n, pool)
+			label = fmt.Sprint(pool)
+		} else {
+			qs = randomQ32s(rng, n)
+		}
+		row := []string{label}
+		var spJoins, cjShared string
+		for _, m := range modes {
+			r, err := RunBatch(sys, core.Options{Mode: m}, qs, false)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtDur(r.AvgResponse))
+			switch m {
+			case core.QPipeSP:
+				spJoins = fmt.Sprintf("%d/%d/%d",
+					r.Stats["join0_shared"], r.Stats["join1_shared"], r.Stats["join2_shared"])
+			case core.CJOINSP:
+				cjShared = fmt.Sprint(r.Stats["cjoin_shared"])
+			}
+		}
+		tbl.Rows = append(tbl.Rows, row)
+		shares.Rows = append(shares.Rows, []string{label, spJoins, cjShared})
+	}
+	return rep, nil
+}
+
+// fig16Modes are the Fig 16 contenders: the Baseline plays the role of
+// Postgres (a query-centric engine with no sharing among in-progress
+// queries).
+var fig16Modes = []core.Mode{core.Baseline, core.QPipeSP, core.CJOINSP}
+
+func fig16rt(p Params) (*Report, error) {
+	p = p.def(0.02, 32)
+	sys, err := diskSystem(p.SF, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		Title:  fmt.Sprintf("Avg response time (ms), SSB mix Q1.1/Q2.1/Q3.2, SF=%.3g, disk-resident", p.SF),
+		Header: append([]string{"queries"}, modeNames(fig16Modes)...),
+	}
+	meas := &Table{
+		Title:  "Measurements at the highest concurrency level",
+		Header: append([]string{"metric"}, modeNames(fig16Modes)...),
+	}
+	rep := &Report{ID: "16rt", Title: "SSB query-mix response times", Tables: []*Table{tbl, meas}}
+	levels := sweep(p.MaxQ, p.Quick)
+	for _, n := range levels {
+		rng := rand.New(rand.NewSource(p.Seed + int64(n)))
+		qs := make([]string, n)
+		for i := range qs {
+			qs[i] = ssb.MixQuery(i, rng)
+		}
+		row := []string{fmt.Sprint(n)}
+		var cores, rates []string
+		for _, m := range fig16Modes {
+			r, err := RunBatch(sys, core.Options{Mode: m}, qs, true)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtDur(r.AvgResponse))
+			if n == levels[len(levels)-1] {
+				cores = append(cores, fmtF(r.CoresUsed))
+				rates = append(rates, fmtF(r.ReadRateMBps))
+			}
+		}
+		tbl.Rows = append(tbl.Rows, row)
+		if len(cores) > 0 {
+			meas.Rows = append(meas.Rows,
+				append([]string{"Avg demanded cores"}, cores...),
+				append([]string{"Avg read rate (MB/s)"}, rates...))
+		}
+	}
+	return rep, nil
+}
+
+func fig16tp(p Params) (*Report, error) {
+	p = p.def(0.02, 16)
+	sys, err := diskSystem(p.SF, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		Title: fmt.Sprintf("Throughput (queries/hour), SSB mix, SF=%.3g, %s per point",
+			p.SF, p.Duration),
+		Header: append([]string{"clients"}, modeNames(fig16Modes)...),
+	}
+	rep := &Report{ID: "16tp", Title: "SSB query-mix throughput (closed loop)", Tables: []*Table{tbl}}
+	for _, n := range sweep(p.MaxQ, p.Quick) {
+		rng := rand.New(rand.NewSource(p.Seed + int64(n)))
+		row := []string{fmt.Sprint(n)}
+		for _, m := range fig16Modes {
+			sys.ClearCaches()
+			r, err := RunClosedLoop(sys, core.Options{Mode: m}, func(i int) string {
+				return ssb.MixQuery(i, rng)
+			}, n, p.Duration)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.0f", r.ThroughputQPH))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return rep, nil
+}
+
+func figSPLSize(p Params) (*Report, error) {
+	p = p.def(0.01, 8)
+	sys, err := memSystem(p.SF, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{2, 8, 64, 512}
+	if p.Quick {
+		sizes = []int{2, 512}
+	}
+	n := p.MaxQ
+	tbl := &Table{
+		Title:  fmt.Sprintf("Avg response time (ms), CS (SPL), %d identical TPC-H Q1 queries", n),
+		Header: []string{"SPL max (pages)", "avg response", "max SPL length observed"},
+	}
+	rep := &Report{ID: "splsize", Title: "the SPL maximum size barely matters (§4.1)", Tables: []*Table{tbl}}
+	for _, sz := range sizes {
+		qs := identicalQ1s(n)
+		r, err := RunBatch(sys, core.Options{Mode: core.QPipeCS, SPLMaxPages: sz}, qs, false)
+		if err != nil {
+			return nil, err
+		}
+		tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(sz), fmtDur(r.AvgResponse), "-"})
+	}
+	return rep, nil
+}
+
+func figDistParts(p Params) (*Report, error) {
+	p = p.def(0.02, 16)
+	sys, err := memSystem(p.SF, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	n := p.MaxQ
+	rng := rand.New(rand.NewSource(p.Seed))
+	qs := randomQ32s(rng, n)
+	tbl := &Table{
+		Title:  fmt.Sprintf("CJOIN avg response time (ms), %d queries, SF=%.3g", n, p.SF),
+		Header: []string{"distributor parts", "avg response"},
+	}
+	rep := &Report{ID: "distparts", Title: "the single-threaded distributor bottleneck (§3.2)", Tables: []*Table{tbl}}
+	parts := []int{1, 2, 4}
+	if p.Quick {
+		parts = []int{1, 4}
+	}
+	for _, d := range parts {
+		r, err := RunBatch(sys, core.Options{Mode: core.CJOIN, CJOINDistributorParts: d}, qs, false)
+		if err != nil {
+			return nil, err
+		}
+		tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(d), fmtDur(r.AvgResponse)})
+	}
+	return rep, nil
+}
+
+func figTable1(p Params) (*Report, error) {
+	p = p.def(0.01, 256)
+	cores := runtime.NumCPU()
+	tbl := &Table{
+		Title:  fmt.Sprintf("Rules-of-thumb advisor (Table 1) on a %d-core machine", cores),
+		Header: []string{"concurrent queries", "engine advice", "shared scans"},
+	}
+	rep := &Report{ID: "table1", Title: "when and how to share", Tables: []*Table{tbl}}
+	for _, n := range []int{1, 8, 32, 128, 512} {
+		a := core.Advise(n, cores)
+		tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(n), a.Mode.String(), fmt.Sprint(a.SharedScans)})
+	}
+	rep.Notes = append(rep.Notes,
+		"communication model for SP is always "+qpipe.CommSPL.String()+
+			" (pull-based); the prediction model for push-based SP is in core.PredictPushSP")
+	return rep, nil
+}

@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sharedq/internal/core"
+	"sharedq/internal/ssb"
+)
+
+func tinySystem(t *testing.T) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(core.SystemConfig{SF: 0.0005, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestRunBatchBasics(t *testing.T) {
+	sys := tinySystem(t)
+	r, err := RunBatch(sys, core.Options{Mode: core.Baseline}, identicalQ1s(3), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Concurrency != 3 || r.AvgResponse <= 0 || r.MaxResponse < r.AvgResponse || r.MinResponse > r.AvgResponse {
+		t.Errorf("result = %+v", r)
+	}
+	if r.Errors != 0 {
+		t.Errorf("errors = %d", r.Errors)
+	}
+	if r.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestRunBatchBadQuery(t *testing.T) {
+	sys := tinySystem(t)
+	if _, err := RunBatch(sys, core.Options{Mode: core.Baseline}, []string{"SELECT zzz FROM lineorder"}, false); err == nil {
+		t.Error("bad query should fail")
+	}
+}
+
+func TestRunBatchAllModes(t *testing.T) {
+	sys := tinySystem(t)
+	qs := pooledQ32s(newRng(7), 4, 2)
+	for _, m := range core.Modes() {
+		r, err := RunBatch(sys, core.Options{Mode: m}, qs, false)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if r.AvgResponse <= 0 {
+			t.Errorf("%s: zero response time", m)
+		}
+	}
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	sys := tinySystem(t)
+	rng := newRng(3)
+	r, err := RunClosedLoop(sys, core.Options{Mode: core.Baseline}, func(i int) string {
+		return ssb.MixQuery(i, rng)
+	}, 2, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ThroughputQPH <= 0 {
+		t.Errorf("throughput = %v", r.ThroughputQPH)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:  "T",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"1", "2"}, {"333333", "4"}},
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "long-header") || !strings.Contains(out, "333333") {
+		t.Errorf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("render has %d lines", len(lines))
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	rep := &Report{ID: "x", Title: "t", Tables: []*Table{{Title: "T", Header: []string{"h"}}}, Notes: []string{"n"}}
+	out := rep.Render()
+	if !strings.Contains(out, "=== x: t ===") || !strings.Contains(out, "Note: n") {
+		t.Errorf("report:\n%s", out)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	if got := sweep(8, false); len(got) != 4 || got[3] != 8 {
+		t.Errorf("sweep(8) = %v", got)
+	}
+	if got := sweep(64, true); len(got) != 3 {
+		t.Errorf("quick sweep = %v", got)
+	}
+	if got := sweep(0, false); len(got) != 1 {
+		t.Errorf("sweep(0) = %v", got)
+	}
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	want := []string{"6a", "6b", "6c", "10l", "10r", "11", "12", "13", "14", "15", "16rt", "16tp", "wop", "batch", "splsize", "distparts", "table1"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("%d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("experiment %d = %s, want %s", i, all[i].ID, id)
+		}
+		if _, ok := ByID(id); !ok {
+			t.Errorf("ByID(%s) missing", id)
+		}
+	}
+	if _, ok := ByID("zzz"); ok {
+		t.Error("ByID(zzz) should miss")
+	}
+}
+
+// TestExperimentsRunQuick executes every experiment end-to-end at the
+// smallest possible scale, verifying the full harness path produces
+// well-formed reports.
+func TestExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	p := Params{SF: 0.001, MaxQ: 4, Seed: 1, Quick: true, Duration: 150 * time.Millisecond}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(p)
+			if err != nil {
+				t.Fatalf("experiment %s: %v", e.ID, err)
+			}
+			if len(rep.Tables) == 0 {
+				t.Fatalf("experiment %s produced no tables", e.ID)
+			}
+			for _, tbl := range rep.Tables {
+				if len(tbl.Header) == 0 {
+					t.Errorf("experiment %s: empty header in %q", e.ID, tbl.Title)
+				}
+			}
+			if out := rep.Render(); !strings.Contains(out, e.ID) {
+				t.Errorf("experiment %s: render missing id", e.ID)
+			}
+		})
+	}
+}

@@ -1,0 +1,278 @@
+// Package harness drives the paper's experiments: it builds systems,
+// submits query batches concurrently (the single-batch methodology of
+// §5.1), measures response times, throughput, cores used and read
+// rates, and renders the per-figure reports that cmd/runexp and the
+// benchmark suite regenerate.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"sharedq/internal/core"
+	"sharedq/internal/metrics"
+	"sharedq/internal/plan"
+)
+
+// Result aggregates one measured run of a query batch.
+type Result struct {
+	Mode        core.Mode
+	Concurrency int
+
+	AvgResponse time.Duration
+	MaxResponse time.Duration
+	MinResponse time.Duration
+
+	// ThroughputQPH is queries per hour (closed-loop runs only).
+	ThroughputQPH float64
+
+	CoresUsed    float64
+	ReadRateMBps float64
+	Breakdown    map[metrics.Category]time.Duration
+	Stats        map[string]int64
+	Admission    time.Duration
+	Errors       int
+}
+
+// String renders the measurement line reported under the figures.
+func (r Result) String() string {
+	return fmt.Sprintf("%-9s n=%-4d avg=%-12s cores=%-6.2f read=%.2f MB/s",
+		r.Mode, r.Concurrency, r.AvgResponse.Round(time.Microsecond), r.CoresUsed, r.ReadRateMBps)
+}
+
+// RunBatch submits all queries at the same time against a fresh engine
+// of the given mode (one batch, as in §5.1: "queries are submitted at
+// the same time, and are all evaluated concurrently") and waits for all
+// of them. Caches are cleared first when cold is set, modelling the
+// paper's cold-cache methodology for disk experiments.
+func RunBatch(sys *core.System, opts core.Options, sqls []string, cold bool) (Result, error) {
+	plans := make([]*plan.Query, len(sqls))
+	for i, sql := range sqls {
+		q, err := plan.Build(sys.Cat, sql)
+		if err != nil {
+			return Result{}, fmt.Errorf("harness: planning query %d: %w", i, err)
+		}
+		plans[i] = q
+	}
+	if cold {
+		sys.ClearCaches()
+	}
+	sys.ResetMetrics()
+	eng := core.NewEngine(sys, opts)
+	defer eng.Close()
+
+	res := Result{Mode: opts.Mode, Concurrency: len(sqls)}
+	durations := make([]time.Duration, len(plans))
+	errs := make([]error, len(plans))
+
+	sys.Col.Start()
+	var wg sync.WaitGroup
+	for i := range plans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			_, err := eng.Submit(plans[i])
+			durations[i] = time.Since(t0)
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	sys.Col.Stop()
+
+	var sum time.Duration
+	res.MinResponse = durations[0]
+	for i, d := range durations {
+		sum += d
+		if d > res.MaxResponse {
+			res.MaxResponse = d
+		}
+		if d < res.MinResponse {
+			res.MinResponse = d
+		}
+		if errs[i] != nil {
+			res.Errors++
+		}
+	}
+	res.AvgResponse = sum / time.Duration(len(durations))
+	res.CoresUsed = sys.Col.CoresUsed()
+	res.ReadRateMBps = sys.Col.ReadRateMBps()
+	res.Breakdown = sys.Col.Breakdown()
+	res.Stats = eng.Stats()
+	res.Admission = time.Duration(eng.CJOINAdmissionTime())
+	if res.Errors > 0 {
+		return res, fmt.Errorf("harness: %d of %d queries failed (first: %v)", res.Errors, len(plans), firstErr(errs))
+	}
+	return res, nil
+}
+
+func firstErr(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// RunClosedLoop runs the Fig 16 throughput experiment: clients each
+// submit their next query as soon as the previous one finishes, for
+// the given duration. nextSQL generates the i-th query overall.
+func RunClosedLoop(sys *core.System, opts core.Options, nextSQL func(i int) string, clients int, d time.Duration) (Result, error) {
+	sys.ResetMetrics()
+	eng := core.NewEngine(sys, opts)
+	defer eng.Close()
+
+	res := Result{Mode: opts.Mode, Concurrency: clients}
+	var completed, errCount int64
+	var mu sync.Mutex
+	seq := make(chan int, clients*4)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case seq <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	sys.Col.Start()
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				i := <-seq
+				q, err := plan.Build(sys.Cat, nextSQL(i))
+				if err != nil {
+					mu.Lock()
+					errCount++
+					mu.Unlock()
+					return
+				}
+				if _, err := eng.Submit(q); err != nil {
+					mu.Lock()
+					errCount++
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				completed++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	sys.Col.Stop()
+
+	wall := sys.Col.Wall().Hours()
+	if wall > 0 {
+		res.ThroughputQPH = float64(completed) / wall
+	}
+	res.CoresUsed = sys.Col.CoresUsed()
+	res.ReadRateMBps = sys.Col.ReadRateMBps()
+	res.Stats = eng.Stats()
+	res.Errors = int(errCount)
+	if errCount > 0 {
+		return res, fmt.Errorf("harness: %d closed-loop queries failed", errCount)
+	}
+	return res, nil
+}
+
+// Table is a rendered experiment result: a header row plus data rows.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	out := t.Title + "\n"
+	line := ""
+	for i, h := range t.Header {
+		line += pad(h, widths[i]) + "  "
+	}
+	out += line + "\n"
+	for _, r := range t.Rows {
+		line = ""
+		for i, c := range r {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			line += pad(c, w) + "  "
+		}
+		out += line + "\n"
+	}
+	return out
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+// Report is one experiment's full output.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*Table
+	Notes  []string
+}
+
+// Render formats the whole report.
+func (r *Report) Render() string {
+	out := fmt.Sprintf("=== %s: %s ===\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		out += "\n" + t.Render()
+	}
+	for _, n := range r.Notes {
+		out += "\nNote: " + n + "\n"
+	}
+	return out
+}
+
+// fmtDur renders a duration in milliseconds with two decimals, the
+// unit the scaled-down figures use.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// SortedKeys returns map keys in sorted order, for stable rendering of
+// stats maps in tools and examples.
+func SortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// newRng returns a seeded rand source; exported to tests via the
+// package-internal name.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,112 @@
+// Package heap stores relations as files of slotted pages on the
+// simulated device and reads them back page-at-a-time through the
+// buffer pool — the storage-manager role Shore-MT plays for QPipe.
+package heap
+
+import (
+	"fmt"
+
+	"sharedq/internal/buffer"
+	"sharedq/internal/catalog"
+	"sharedq/internal/disk"
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+)
+
+// Writer bulk-loads rows into a table file. Not safe for concurrent use;
+// loading happens once, before measurements, as in the paper's setup.
+type Writer struct {
+	dev   *disk.Device
+	file  string
+	cur   *pages.SlottedPage
+	rows  int64
+	pages int
+}
+
+// NewWriter creates a writer appending to the named file on dev.
+func NewWriter(dev *disk.Device, file string) *Writer {
+	return &Writer{dev: dev, file: file, cur: pages.NewSlottedPage()}
+}
+
+// Append adds one row, flushing full pages to the device.
+func (w *Writer) Append(r pages.Row) error {
+	if w.cur.AppendRow(r) {
+		w.rows++
+		return nil
+	}
+	if err := w.flush(); err != nil {
+		return err
+	}
+	if !w.cur.AppendRow(r) {
+		return fmt.Errorf("heap: row of %d bytes does not fit in an empty page", pages.EncodedSize(r))
+	}
+	w.rows++
+	return nil
+}
+
+func (w *Writer) flush() error {
+	if w.cur.NumSlots() == 0 {
+		return nil
+	}
+	if _, err := w.dev.AppendPage(w.file, w.cur.Bytes()); err != nil {
+		return err
+	}
+	w.pages++
+	w.cur.Reset()
+	return nil
+}
+
+// Close flushes the final partial page and returns (rows, pages) written.
+func (w *Writer) Close() (int64, int, error) {
+	if err := w.flush(); err != nil {
+		return 0, 0, err
+	}
+	return w.rows, w.pages, nil
+}
+
+// ReadPageRows fetches page idx of table through the pool and decodes
+// its rows, appending to dst. The page is unpinned before returning.
+func ReadPageRows(pool *buffer.Pool, table string, idx int, dst []pages.Row, col *metrics.Collector) ([]pages.Row, error) {
+	id := buffer.PageID{File: table, Page: idx}
+	data, err := pool.Fetch(id, col)
+	if err != nil {
+		return dst, err
+	}
+	defer pool.Unpin(id)
+	sp, err := pages.LoadSlottedPage(data)
+	if err != nil {
+		return dst, err
+	}
+	return sp.Rows(dst)
+}
+
+// Load bulk-loads rows into dev under the table's name and updates the
+// table's row/page counts in the catalog entry.
+func Load(dev *disk.Device, t *catalog.Table, rows func(emit func(pages.Row) error) error) error {
+	w := NewWriter(dev, t.Name)
+	if err := rows(func(r pages.Row) error { return w.Append(r) }); err != nil {
+		return err
+	}
+	n, p, err := w.Close()
+	if err != nil {
+		return err
+	}
+	t.NumRows = n
+	t.NumPages = p
+	return nil
+}
+
+// ScanAll reads every row of a table through the pool; a convenience for
+// tests and small dimension-table materialization (CJOIN's admission
+// phase scans whole dimension tables).
+func ScanAll(pool *buffer.Pool, t *catalog.Table, col *metrics.Collector) ([]pages.Row, error) {
+	var out []pages.Row
+	var err error
+	for i := 0; i < t.NumPages; i++ {
+		out, err = ReadPageRows(pool, t.Name, i, out, col)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package heap
+
+import (
+	"fmt"
+	"testing"
+
+	"sharedq/internal/buffer"
+	"sharedq/internal/catalog"
+	"sharedq/internal/disk"
+	"sharedq/internal/pages"
+)
+
+func env(t *testing.T) (*disk.Device, *buffer.Pool) {
+	t.Helper()
+	dev := disk.NewDevice(disk.Config{Timed: false})
+	cache := disk.NewFSCache(dev, disk.CacheConfig{ReadAhead: 4})
+	return dev, buffer.NewPool(cache, 64)
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	dev, pool := env(t)
+	w := NewWriter(dev, "t")
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := w.Append(pages.Row{pages.Int(int64(i)), pages.Str(fmt.Sprintf("row-%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, np, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != n {
+		t.Fatalf("rows = %d", rows)
+	}
+	if np < 2 {
+		t.Fatalf("pages = %d, want multiple", np)
+	}
+	if dev.NumPages("t") != np {
+		t.Fatalf("device has %d pages, writer says %d", dev.NumPages("t"), np)
+	}
+	var got []pages.Row
+	for i := 0; i < np; i++ {
+		got, err = ReadPageRows(pool, "t", i, got, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("read %d rows, want %d", len(got), n)
+	}
+	for i, r := range got {
+		if r[0].I != int64(i) {
+			t.Fatalf("row %d out of order: %v", i, r)
+		}
+	}
+}
+
+func TestWriterEmptyClose(t *testing.T) {
+	dev, _ := env(t)
+	w := NewWriter(dev, "t")
+	rows, np, err := w.Close()
+	if err != nil || rows != 0 || np != 0 {
+		t.Errorf("empty Close = %d, %d, %v", rows, np, err)
+	}
+	if dev.NumPages("t") != 0 {
+		t.Error("empty writer created pages")
+	}
+}
+
+func TestWriterOversizeRow(t *testing.T) {
+	dev, _ := env(t)
+	w := NewWriter(dev, "t")
+	huge := pages.Row{pages.Str(string(make([]byte, 40000)))}
+	if err := w.Append(huge); err == nil {
+		t.Error("oversize row should fail")
+	}
+}
+
+func TestLoadUpdatesCatalog(t *testing.T) {
+	dev, pool := env(t)
+	tbl := &catalog.Table{
+		Name:   "dim",
+		Schema: pages.NewSchema(pages.Column{Name: "k", Kind: pages.KindInt}),
+	}
+	err := Load(dev, tbl, func(emit func(pages.Row) error) error {
+		for i := 0; i < 100; i++ {
+			if err := emit(pages.Row{pages.Int(int64(i))}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows != 100 || tbl.NumPages < 1 {
+		t.Errorf("catalog not updated: rows=%d pages=%d", tbl.NumRows, tbl.NumPages)
+	}
+	all, err := ScanAll(pool, tbl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 100 {
+		t.Errorf("ScanAll = %d rows", len(all))
+	}
+	for i, r := range all {
+		if r[0].I != int64(i) {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+}
+
+func TestLoadPropagatesError(t *testing.T) {
+	dev, _ := env(t)
+	tbl := &catalog.Table{Name: "dim", Schema: pages.NewSchema()}
+	sentinel := fmt.Errorf("boom")
+	err := Load(dev, tbl, func(emit func(pages.Row) error) error { return sentinel })
+	if err != sentinel {
+		t.Errorf("Load err = %v, want sentinel", err)
+	}
+}
+
+func TestReadPageRowsMissing(t *testing.T) {
+	_, pool := env(t)
+	if _, err := ReadPageRows(pool, "nope", 0, nil, nil); err == nil {
+		t.Error("missing table should fail")
+	}
+}

@@ -1,0 +1,258 @@
+// Package metrics provides low-overhead counters and CPU-time accounting
+// used to regenerate the paper's measurement tables: average number of
+// cores used, I/O read rates, and the per-category CPU breakdowns of
+// Figures 11 and 12 (Hashing / Joins / Aggreg. / Scans / Locks / Misc).
+//
+// The paper measured CPU time with Intel VTune; we self-instrument the
+// same code regions instead. A Collector accumulates busy nanoseconds per
+// category across all goroutines; dividing by wall-clock time yields the
+// "Avg. # Cores Used" figures reported under each experiment.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Category labels a region of CPU work, mirroring the breakdown
+// categories of Figure 11/12 in the paper.
+type Category int
+
+// CPU-time categories. Hashing covers the hash() and equal() functions at
+// the heart of hash-join build/probe (the paper isolates these to compare
+// sharing effects free of implementation detail); Joins covers the
+// remaining join work, including bitmap bookkeeping in shared operators.
+const (
+	Hashing Category = iota
+	Joins
+	Aggregation
+	Scans
+	Locks
+	Misc
+	numCategories
+)
+
+// String returns the category label used in the paper's figures.
+func (c Category) String() string {
+	switch c {
+	case Hashing:
+		return "Hashing"
+	case Joins:
+		return "Joins"
+	case Aggregation:
+		return "Aggreg."
+	case Scans:
+		return "Scans"
+	case Locks:
+		return "Locks"
+	case Misc:
+		return "Misc"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Categories lists all categories in the order the paper stacks them.
+func Categories() []Category {
+	return []Category{Hashing, Joins, Aggregation, Scans, Locks, Misc}
+}
+
+// Collector accumulates CPU busy-time per category and I/O byte counts.
+// All methods are safe for concurrent use. The zero value is ready to use.
+type Collector struct {
+	busy  [numCategories]atomic.Int64 // nanoseconds
+	ioRd  atomic.Int64                // bytes read from the device
+	ioCh  atomic.Int64                // bytes served from caches
+	start atomic.Int64                // wall-clock start, unix nanos
+	end   atomic.Int64                // wall-clock end, unix nanos
+}
+
+// Start records the wall-clock start of the measured activity period.
+func (c *Collector) Start() { c.start.Store(time.Now().UnixNano()) }
+
+// Stop records the wall-clock end of the measured activity period.
+func (c *Collector) Stop() { c.end.Store(time.Now().UnixNano()) }
+
+// Add accrues d nanoseconds of busy time to category cat.
+func (c *Collector) Add(cat Category, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.busy[cat].Add(int64(d))
+}
+
+// Timer starts timing a region of work in category cat and returns a stop
+// function. Typical use:
+//
+//	defer col.Timer(metrics.Hashing)()
+func (c *Collector) Timer(cat Category) func() {
+	if c == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { c.busy[cat].Add(int64(time.Since(t0))) }
+}
+
+// AddIORead accrues n bytes read from the simulated device.
+func (c *Collector) AddIORead(n int64) {
+	if c == nil {
+		return
+	}
+	c.ioRd.Add(n)
+}
+
+// AddIOCached accrues n bytes served from the FS cache or buffer pool.
+func (c *Collector) AddIOCached(n int64) {
+	if c == nil {
+		return
+	}
+	c.ioCh.Add(n)
+}
+
+// Busy returns the accumulated busy time of category cat.
+func (c *Collector) Busy(cat Category) time.Duration {
+	return time.Duration(c.busy[cat].Load())
+}
+
+// TotalBusy returns busy time summed over all categories.
+func (c *Collector) TotalBusy() time.Duration {
+	var t int64
+	for i := range c.busy {
+		t += c.busy[i].Load()
+	}
+	return time.Duration(t)
+}
+
+// Wall returns the wall-clock activity period, or the elapsed time since
+// Start if Stop has not been called yet.
+func (c *Collector) Wall() time.Duration {
+	s := c.start.Load()
+	if s == 0 {
+		return 0
+	}
+	e := c.end.Load()
+	if e == 0 {
+		e = time.Now().UnixNano()
+	}
+	return time.Duration(e - s)
+}
+
+// CoresUsed estimates the average number of cores kept busy during the
+// activity period, the statistic the paper reports as "Avg. # Cores Used".
+func (c *Collector) CoresUsed() float64 {
+	w := c.Wall()
+	if w <= 0 {
+		return 0
+	}
+	return float64(c.TotalBusy()) / float64(w)
+}
+
+// ReadBytes returns the bytes read from the simulated device.
+func (c *Collector) ReadBytes() int64 { return c.ioRd.Load() }
+
+// CachedBytes returns the bytes served from caches.
+func (c *Collector) CachedBytes() int64 { return c.ioCh.Load() }
+
+// ReadRateMBps returns the average device read rate over the activity
+// period in MB/s, the statistic reported as "Avg. Read Rate (MB/s)".
+func (c *Collector) ReadRateMBps() float64 {
+	w := c.Wall().Seconds()
+	if w <= 0 {
+		return 0
+	}
+	return float64(c.ioRd.Load()) / (1 << 20) / w
+}
+
+// Breakdown returns a copy of the per-category busy times.
+func (c *Collector) Breakdown() map[Category]time.Duration {
+	m := make(map[Category]time.Duration, numCategories)
+	for _, cat := range Categories() {
+		m[cat] = c.Busy(cat)
+	}
+	return m
+}
+
+// Reset zeroes all accumulated state.
+func (c *Collector) Reset() {
+	for i := range c.busy {
+		c.busy[i].Store(0)
+	}
+	c.ioRd.Store(0)
+	c.ioCh.Store(0)
+	c.start.Store(0)
+	c.end.Store(0)
+}
+
+// String formats the collector like the measurement tables under the
+// paper's figures.
+func (c *Collector) String() string {
+	return fmt.Sprintf("cores=%.2f readMBps=%.2f busy=%v wall=%v",
+		c.CoresUsed(), c.ReadRateMBps(), c.TotalBusy().Round(time.Millisecond), c.Wall().Round(time.Millisecond))
+}
+
+// Counter is a named atomic event counter (e.g. SP sharing opportunities
+// per join position, the table under Figure 15).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Store sets the value.
+func (c *Counter) Store(n int64) { c.v.Store(n) }
+
+// CounterSet is a concurrent map of named counters.
+type CounterSet struct {
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{m: make(map[string]*Counter)}
+}
+
+// Get returns the counter named name, creating it if needed.
+func (s *CounterSet) Get(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.m[name]
+	if !ok {
+		c = &Counter{}
+		s.m[name] = c
+	}
+	return c
+}
+
+// Snapshot returns a copy of all counters' current values.
+func (s *CounterSet) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.m))
+	for k, v := range s.m {
+		out[k] = v.Load()
+	}
+	return out
+}
+
+// Names returns the counter names in sorted order.
+func (s *CounterSet) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.m))
+	for k := range s.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCategoryString(t *testing.T) {
+	want := map[Category]string{
+		Hashing: "Hashing", Joins: "Joins", Aggregation: "Aggreg.",
+		Scans: "Scans", Locks: "Locks", Misc: "Misc",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Category(%d).String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if got := Category(99).String(); got != "Category(99)" {
+		t.Errorf("unknown category = %q", got)
+	}
+}
+
+func TestCategoriesOrder(t *testing.T) {
+	cats := Categories()
+	if len(cats) != int(numCategories) {
+		t.Fatalf("Categories() has %d entries, want %d", len(cats), numCategories)
+	}
+	if cats[0] != Hashing || cats[len(cats)-1] != Misc {
+		t.Errorf("unexpected order: %v", cats)
+	}
+}
+
+func TestCollectorAddAndBusy(t *testing.T) {
+	var c Collector
+	c.Add(Hashing, 100*time.Millisecond)
+	c.Add(Hashing, 50*time.Millisecond)
+	c.Add(Joins, 25*time.Millisecond)
+	if got := c.Busy(Hashing); got != 150*time.Millisecond {
+		t.Errorf("Busy(Hashing) = %v, want 150ms", got)
+	}
+	if got := c.TotalBusy(); got != 175*time.Millisecond {
+		t.Errorf("TotalBusy = %v, want 175ms", got)
+	}
+}
+
+func TestCollectorNilSafe(t *testing.T) {
+	var c *Collector
+	c.Add(Hashing, time.Second) // must not panic
+	c.AddIORead(10)
+	c.AddIOCached(10)
+	c.Timer(Misc)()
+}
+
+func TestCollectorTimer(t *testing.T) {
+	var c Collector
+	stop := c.Timer(Scans)
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	if got := c.Busy(Scans); got < 4*time.Millisecond {
+		t.Errorf("Timer accrued %v, want >= ~5ms", got)
+	}
+}
+
+func TestCoresUsed(t *testing.T) {
+	var c Collector
+	c.Start()
+	time.Sleep(10 * time.Millisecond)
+	c.Stop()
+	// Fake 4 cores busy for the whole window.
+	c.Add(Misc, 4*c.Wall())
+	got := c.CoresUsed()
+	if got < 3.5 || got > 4.5 {
+		t.Errorf("CoresUsed = %v, want ~4", got)
+	}
+}
+
+func TestCoresUsedBeforeStart(t *testing.T) {
+	var c Collector
+	if got := c.CoresUsed(); got != 0 {
+		t.Errorf("CoresUsed before Start = %v, want 0", got)
+	}
+	if got := c.Wall(); got != 0 {
+		t.Errorf("Wall before Start = %v, want 0", got)
+	}
+}
+
+func TestReadRate(t *testing.T) {
+	var c Collector
+	c.Start()
+	time.Sleep(10 * time.Millisecond)
+	c.AddIORead(10 << 20)
+	c.AddIOCached(5 << 20)
+	c.Stop()
+	rate := c.ReadRateMBps()
+	if rate <= 0 {
+		t.Errorf("ReadRateMBps = %v, want > 0", rate)
+	}
+	if c.ReadBytes() != 10<<20 {
+		t.Errorf("ReadBytes = %d, want %d", c.ReadBytes(), 10<<20)
+	}
+	if c.CachedBytes() != 5<<20 {
+		t.Errorf("CachedBytes = %d, want %d", c.CachedBytes(), 5<<20)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	var c Collector
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Add(Joins, time.Microsecond)
+				c.AddIORead(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Busy(Joins); got != n*100*time.Microsecond {
+		t.Errorf("concurrent Busy = %v, want %v", got, n*100*time.Microsecond)
+	}
+	if got := c.ReadBytes(); got != n*100 {
+		t.Errorf("concurrent ReadBytes = %d, want %d", got, n*100)
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	var c Collector
+	c.Start()
+	c.Add(Hashing, time.Second)
+	c.AddIORead(123)
+	c.Stop()
+	c.Reset()
+	if c.TotalBusy() != 0 || c.ReadBytes() != 0 || c.Wall() != 0 {
+		t.Errorf("Reset left state: %v", c.String())
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var c Collector
+	c.Add(Hashing, time.Second)
+	c.Add(Locks, 2*time.Second)
+	b := c.Breakdown()
+	if b[Hashing] != time.Second || b[Locks] != 2*time.Second || b[Misc] != 0 {
+		t.Errorf("Breakdown = %v", b)
+	}
+	if len(b) != int(numCategories) {
+		t.Errorf("Breakdown has %d categories, want %d", len(b), numCategories)
+	}
+}
+
+func TestCounterSet(t *testing.T) {
+	s := NewCounterSet()
+	s.Get("join1").Add(5)
+	s.Get("join1").Inc()
+	s.Get("join2").Inc()
+	snap := s.Snapshot()
+	if snap["join1"] != 6 || snap["join2"] != 1 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "join1" || names[1] != "join2" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestCounterSetConcurrent(t *testing.T) {
+	s := NewCounterSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Get("x").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get("x").Load(); got != 3200 {
+		t.Errorf("counter = %d, want 3200", got)
+	}
+}
+
+func TestCounterStore(t *testing.T) {
+	var c Counter
+	c.Store(42)
+	if c.Load() != 42 {
+		t.Errorf("Load = %d, want 42", c.Load())
+	}
+}
+
+func TestCollectorString(t *testing.T) {
+	var c Collector
+	c.Start()
+	c.Stop()
+	if s := c.String(); s == "" {
+		t.Error("String() empty")
+	}
+}

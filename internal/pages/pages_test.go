@@ -1,0 +1,337 @@
+package pages
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(42), "42"},
+		{Float(3.5), "3.50"},
+		{Str("ASIA"), "ASIA"},
+		{Value{}, "NULL"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(5), Int(5), 0},
+		{Float(1.5), Float(2.5), -1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Int(2), Float(2.0), 0}, // numeric coercion
+		{Int(3), Float(2.5), 1}, // numeric coercion
+		{Int(1), Str("a"), -1},  // kind order
+		{Str("a"), Int(1), 1},   // kind order
+		{Float(1), Float(1), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueEqualAndHash(t *testing.T) {
+	if !Int(7).Equal(Int(7)) {
+		t.Error("Int(7) != Int(7)")
+	}
+	if Int(7).Equal(Int(8)) {
+		t.Error("Int(7) == Int(8)")
+	}
+	if Int(7).Hash() == Int(8).Hash() {
+		t.Error("hash collision between 7 and 8 (suspicious for FNV)")
+	}
+	if Str("AMERICA").Hash() != Str("AMERICA").Hash() {
+		t.Error("hash not deterministic")
+	}
+}
+
+func TestValueAsFloat(t *testing.T) {
+	if Int(3).AsFloat() != 3.0 {
+		t.Error("Int(3).AsFloat() != 3")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("Float(2.5).AsFloat() != 2.5")
+	}
+}
+
+func TestValueIsZero(t *testing.T) {
+	if !(Value{}).IsZero() {
+		t.Error("zero Value not IsZero")
+	}
+	if Int(0).IsZero() {
+		t.Error("Int(0) reported IsZero")
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema(
+		Column{"a", KindInt},
+		Column{"b", KindString},
+		Column{"c", KindFloat},
+	)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Index("b") != 1 {
+		t.Errorf("Index(b) = %d", s.Index("b"))
+	}
+	if s.Index("nope") != -1 {
+		t.Errorf("Index(nope) = %d", s.Index("nope"))
+	}
+	if got := s.String(); got != "(a INT, b VARCHAR, c FLOAT)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := NewSchema(Column{"a", KindInt}, Column{"b", KindString})
+	p, err := s.Project("b", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Columns[0].Name != "b" || p.Columns[1].Name != "a" {
+		t.Errorf("Project = %v", p)
+	}
+	if _, err := s.Project("zzz"); err == nil {
+		t.Error("Project(zzz) should fail")
+	}
+}
+
+func TestSchemaConcat(t *testing.T) {
+	a := NewSchema(Column{"x", KindInt})
+	b := NewSchema(Column{"y", KindFloat})
+	c := a.Concat(b)
+	if c.Len() != 2 || c.Index("y") != 1 {
+		t.Errorf("Concat = %v", c)
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{Int(1), Str("x")}
+	c := r.Clone()
+	c[0] = Int(99)
+	if r[0].I != 1 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestEncodeDecodeRow(t *testing.T) {
+	r := Row{Int(-5), Float(12.34), Str("hello world"), Int(1 << 40)}
+	b := EncodeRow(nil, r)
+	if len(b) != EncodedSize(r) {
+		t.Errorf("EncodedSize = %d, len = %d", EncodedSize(r), len(b))
+	}
+	got, n, err := DecodeRow(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Errorf("consumed %d of %d", n, len(b))
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("roundtrip = %v, want %v", got, r)
+	}
+}
+
+func TestDecodeRowErrors(t *testing.T) {
+	r := Row{Int(1), Str("abc")}
+	b := EncodeRow(nil, r)
+	for cut := 0; cut < len(b); cut++ {
+		if _, _, err := DecodeRow(b[:cut]); err == nil {
+			t.Errorf("DecodeRow of %d-byte prefix should fail", cut)
+		}
+	}
+	bad := append([]byte{}, b...)
+	bad[2] = 200 // invalid kind
+	if _, _, err := DecodeRow(bad); err == nil {
+		t.Error("bad kind should fail")
+	}
+}
+
+func TestRowCodecProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(n uint8) bool {
+		r := make(Row, int(n)%8+1)
+		for i := range r {
+			switch rng.Intn(3) {
+			case 0:
+				r[i] = Int(rng.Int63() - rng.Int63())
+			case 1:
+				r[i] = Float(float64(rng.Intn(100000)) / 100)
+			default:
+				buf := make([]byte, rng.Intn(20))
+				for j := range buf {
+					buf[j] = byte('a' + rng.Intn(26))
+				}
+				r[i] = Str(string(buf))
+			}
+		}
+		b := EncodeRow(nil, r)
+		got, used, err := DecodeRow(b)
+		return err == nil && used == len(b) && reflect.DeepEqual(got, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlottedPageAppendAndRead(t *testing.T) {
+	p := NewSlottedPage()
+	recs := [][]byte{[]byte("first"), []byte("second record"), {}}
+	for i, r := range recs {
+		slot, ok := p.Append(r)
+		if !ok || slot != i {
+			t.Fatalf("Append #%d: slot=%d ok=%v", i, slot, ok)
+		}
+	}
+	if p.NumSlots() != 3 {
+		t.Fatalf("NumSlots = %d", p.NumSlots())
+	}
+	for i, want := range recs {
+		got, err := p.Record(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("Record(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestSlottedPageBounds(t *testing.T) {
+	p := NewSlottedPage()
+	if _, err := p.Record(0); err == nil {
+		t.Error("Record(0) on empty page should fail")
+	}
+	if _, err := p.Record(-1); err == nil {
+		t.Error("Record(-1) should fail")
+	}
+}
+
+func TestSlottedPageFull(t *testing.T) {
+	p := NewSlottedPage()
+	rec := make([]byte, 1000)
+	count := 0
+	for {
+		if _, ok := p.Append(rec); !ok {
+			break
+		}
+		count++
+	}
+	// 32 KB page, 1000-byte records + 4-byte slots: expect ~32 records.
+	if count < 30 || count > 33 {
+		t.Errorf("fit %d 1000-byte records, expected ~32", count)
+	}
+	if _, ok := p.Append([]byte("x")); !ok && p.FreeSpace() > 1+slotEntrySize {
+		t.Error("small record rejected despite free space")
+	}
+}
+
+func TestSlottedPageRows(t *testing.T) {
+	p := NewSlottedPage()
+	want := []Row{
+		{Int(1), Str("a")},
+		{Int(2), Str("b")},
+		{Float(3.5)},
+	}
+	for _, r := range want {
+		if !p.AppendRow(r) {
+			t.Fatal("AppendRow failed")
+		}
+	}
+	got, err := p.Rows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Rows = %v, want %v", got, want)
+	}
+	r1, err := p.RowAt(1)
+	if err != nil || !reflect.DeepEqual(r1, want[1]) {
+		t.Errorf("RowAt(1) = %v, %v", r1, err)
+	}
+}
+
+func TestSlottedPageReset(t *testing.T) {
+	p := NewSlottedPage()
+	p.AppendRow(Row{Int(1)})
+	p.Reset()
+	if p.NumSlots() != 0 {
+		t.Errorf("NumSlots after Reset = %d", p.NumSlots())
+	}
+	if !p.AppendRow(Row{Int(2)}) {
+		t.Error("AppendRow after Reset failed")
+	}
+}
+
+func TestLoadSlottedPage(t *testing.T) {
+	p := NewSlottedPage()
+	p.AppendRow(Row{Int(7), Str("seven")})
+	q, err := LoadSlottedPage(p.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := q.RowAt(0)
+	if err != nil || r[0].I != 7 {
+		t.Errorf("loaded page row = %v, %v", r, err)
+	}
+	if _, err := LoadSlottedPage(make([]byte, 100)); err == nil {
+		t.Error("LoadSlottedPage with wrong size should fail")
+	}
+}
+
+func TestSlottedPageFillProperty(t *testing.T) {
+	// Property: any sequence of rows that Append accepts is read back
+	// identically and in order.
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 20; iter++ {
+		p := NewSlottedPage()
+		var want []Row
+		for {
+			r := Row{Int(rng.Int63n(1e9)), Str(string(make([]byte, rng.Intn(50)))), Float(rng.Float64() * 100)}
+			if !p.AppendRow(r) {
+				break
+			}
+			want = append(want, r)
+		}
+		got, err := p.Rows(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: %d rows read, %d written", iter, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("iter %d row %d: %v != %v", iter, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "INT" || KindFloat.String() != "FLOAT" || KindString.String() != "VARCHAR" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}

@@ -1,0 +1,153 @@
+package pages
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SlottedPage is a classic slotted heap page: a header, record data
+// growing from the front, and a slot directory growing from the back.
+// Tables in this system are append-only (OLAP: "relatively static data,
+// new data is periodically loaded"), but the slot directory keeps the
+// format general and self-describing on disk.
+//
+// Layout within the PageSize-byte buffer:
+//
+//	[0:2)   u16 slot count
+//	[2:4)   u16 free-space offset (start of unused region)
+//	[4:...) record bytes
+//	[...:end) slot directory: per slot, u16 offset + u16 length,
+//	          slot i at PageSize-4*(i+1)
+type SlottedPage struct {
+	buf []byte
+}
+
+const slotHeaderSize = 4 // bytes per header region
+const slotEntrySize = 4  // bytes per slot directory entry
+
+// NewSlottedPage returns an empty page backed by a fresh buffer.
+func NewSlottedPage() *SlottedPage {
+	p := &SlottedPage{buf: make([]byte, PageSize)}
+	p.setFreeOff(slotHeaderSize)
+	return p
+}
+
+// LoadSlottedPage wraps an existing PageSize-byte buffer (e.g. a buffer
+// pool frame) as a slotted page without copying.
+func LoadSlottedPage(buf []byte) (*SlottedPage, error) {
+	if len(buf) != PageSize {
+		return nil, fmt.Errorf("pages: buffer is %d bytes, want %d", len(buf), PageSize)
+	}
+	return &SlottedPage{buf: buf}, nil
+}
+
+// Bytes returns the underlying page buffer.
+func (p *SlottedPage) Bytes() []byte { return p.buf }
+
+// NumSlots returns the number of records stored in the page.
+func (p *SlottedPage) NumSlots() int {
+	return int(binary.LittleEndian.Uint16(p.buf[0:2]))
+}
+
+func (p *SlottedPage) setNumSlots(n int) {
+	binary.LittleEndian.PutUint16(p.buf[0:2], uint16(n))
+}
+
+func (p *SlottedPage) freeOff() int {
+	return int(binary.LittleEndian.Uint16(p.buf[2:4]))
+}
+
+func (p *SlottedPage) setFreeOff(off int) {
+	binary.LittleEndian.PutUint16(p.buf[2:4], uint16(off))
+}
+
+// FreeSpace returns the number of bytes available for one more record
+// (accounting for its slot directory entry).
+func (p *SlottedPage) FreeSpace() int {
+	free := PageSize - slotEntrySize*p.NumSlots() - p.freeOff() - slotEntrySize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Append stores rec in the page and returns its slot number.
+// It returns false if the page lacks space.
+func (p *SlottedPage) Append(rec []byte) (slot int, ok bool) {
+	if len(rec) > p.FreeSpace() {
+		return 0, false
+	}
+	off := p.freeOff()
+	copy(p.buf[off:], rec)
+	n := p.NumSlots()
+	entry := PageSize - slotEntrySize*(n+1)
+	binary.LittleEndian.PutUint16(p.buf[entry:], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[entry+2:], uint16(len(rec)))
+	p.setNumSlots(n + 1)
+	p.setFreeOff(off + len(rec))
+	return n, true
+}
+
+// Record returns the bytes of slot i (aliasing the page buffer).
+func (p *SlottedPage) Record(i int) ([]byte, error) {
+	if i < 0 || i >= p.NumSlots() {
+		return nil, fmt.Errorf("pages: slot %d out of range [0,%d)", i, p.NumSlots())
+	}
+	entry := PageSize - slotEntrySize*(i+1)
+	off := int(binary.LittleEndian.Uint16(p.buf[entry:]))
+	length := int(binary.LittleEndian.Uint16(p.buf[entry+2:]))
+	return p.buf[off : off+length], nil
+}
+
+// AppendRow encodes r and stores it; returns false if it does not fit.
+func (p *SlottedPage) AppendRow(r Row) bool {
+	if EncodedSize(r) > p.FreeSpace() {
+		return false
+	}
+	rec := EncodeRow(p.scratch(), r)
+	// EncodeRow appended into the free region in place; commit it.
+	off := p.freeOff()
+	n := p.NumSlots()
+	entry := PageSize - slotEntrySize*(n+1)
+	binary.LittleEndian.PutUint16(p.buf[entry:], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[entry+2:], uint16(len(rec)))
+	p.setNumSlots(n + 1)
+	p.setFreeOff(off + len(rec))
+	return true
+}
+
+// scratch returns a zero-length slice aliasing the free region so
+// EncodeRow writes directly into the page.
+func (p *SlottedPage) scratch() []byte {
+	off := p.freeOff()
+	return p.buf[off:off:PageSize]
+}
+
+// RowAt decodes the row stored at slot i.
+func (p *SlottedPage) RowAt(i int) (Row, error) {
+	rec, err := p.Record(i)
+	if err != nil {
+		return nil, err
+	}
+	r, _, err := DecodeRow(rec)
+	return r, err
+}
+
+// Rows decodes every row in the page, appending to dst.
+func (p *SlottedPage) Rows(dst []Row) ([]Row, error) {
+	n := p.NumSlots()
+	for i := 0; i < n; i++ {
+		r, err := p.RowAt(i)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, r)
+	}
+	return dst, nil
+}
+
+// Reset empties the page for reuse.
+func (p *SlottedPage) Reset() {
+	p.setNumSlots(0)
+	p.setFreeOff(slotHeaderSize)
+}

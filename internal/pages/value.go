@@ -1,0 +1,327 @@
+// Package pages defines the storage-level data representation: typed
+// values, row schemas, a compact row codec, and 32 KB slotted pages.
+// These mirror the page-based storage of Shore-MT, the storage manager
+// used by the paper's prototypes, at the level of detail the experiments
+// exercise: page-at-a-time table scans through a buffer pool.
+package pages
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PageSize is the fixed page size. The paper uses 32 KB pages both for
+// storage and for the pages exchanged between operators during SP.
+const PageSize = 32 * 1024
+
+// Kind enumerates the supported column types. The SSB schema needs only
+// integers, floats (revenue sums) and short strings (nations, cities,
+// brands).
+type Kind uint8
+
+// Supported value kinds.
+const (
+	KindInt Kind = iota + 1
+	KindFloat
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed scalar. It is deliberately a small value
+// type (no pointers for ints/floats) so rows can be copied cheaply when
+// SP forwards results with the push model.
+type Value struct {
+	Kind Kind
+	I    int64   // valid when Kind == KindInt
+	F    float64 // valid when Kind == KindFloat
+	S    string  // valid when Kind == KindString
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{Kind: KindInt, I: v} }
+
+// Float returns a float value.
+func Float(v float64) Value { return Value{Kind: KindFloat, F: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{Kind: KindString, S: v} }
+
+// IsZero reports whether v is the zero (absent) value.
+func (v Value) IsZero() bool { return v.Kind == 0 }
+
+// AsFloat converts numeric values to float64 for arithmetic.
+func (v Value) AsFloat() float64 {
+	if v.Kind == KindInt {
+		return float64(v.I)
+	}
+	return v.F
+}
+
+// Compare orders two values of the same kind: -1, 0, +1.
+// Comparing values of different kinds compares the kinds themselves,
+// giving a stable (if arbitrary) total order.
+func (v Value) Compare(o Value) int {
+	if v.Kind != o.Kind {
+		// Mixed int/float comparisons are numeric.
+		if (v.Kind == KindInt || v.Kind == KindFloat) && (o.Kind == KindInt || o.Kind == KindFloat) {
+			a, b := v.AsFloat(), o.AsFloat()
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			default:
+				return 0
+			}
+		}
+		if v.Kind < o.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.Kind {
+	case KindInt:
+		switch {
+		case v.I < o.I:
+			return -1
+		case v.I > o.I:
+			return 1
+		}
+	case KindFloat:
+		switch {
+		case v.F < o.F:
+			return -1
+		case v.F > o.F:
+			return 1
+		}
+	case KindString:
+		return strings.Compare(v.S, o.S)
+	}
+	return 0
+}
+
+// Equal reports value equality (same kind and payload, with int/float
+// numeric coercion to match Compare).
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// String formats the value for display.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.I)
+	case KindFloat:
+		return fmt.Sprintf("%.2f", v.F)
+	case KindString:
+		return v.S
+	default:
+		return "NULL"
+	}
+}
+
+// Hash returns a 64-bit hash of the value, the hash() half of the
+// Hashing CPU category the paper isolates in Figures 11/12.
+// FNV-1a over the value payload.
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	mix(byte(v.Kind))
+	switch v.Kind {
+	case KindInt:
+		u := uint64(v.I)
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	case KindFloat:
+		// Hash the integer form when exact, else the bit pattern.
+		u := uint64(int64(v.F))
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	case KindString:
+		for i := 0; i < len(v.S); i++ {
+			mix(v.S[i])
+		}
+	}
+	return h
+}
+
+// Row is a tuple: one value per schema column.
+type Row []Value
+
+// Clone returns a deep copy of the row (string payloads are immutable in
+// Go, so copying the header slice suffices).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Column describes one attribute of a schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		s.byName[c.Name] = i
+	}
+	return s
+}
+
+// Index returns the ordinal of the named column, or -1.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// Project returns a new schema with the named columns, in order.
+func (s *Schema) Project(names ...string) (*Schema, error) {
+	cols := make([]Column, 0, len(names))
+	for _, n := range names {
+		i := s.Index(n)
+		if i < 0 {
+			return nil, fmt.Errorf("pages: schema has no column %q", n)
+		}
+		cols = append(cols, s.Columns[i])
+	}
+	return NewSchema(cols...), nil
+}
+
+// Concat returns a schema with s's columns followed by o's.
+func (s *Schema) Concat(o *Schema) *Schema {
+	cols := make([]Column, 0, len(s.Columns)+len(o.Columns))
+	cols = append(cols, s.Columns...)
+	cols = append(cols, o.Columns...)
+	return NewSchema(cols...)
+}
+
+// String formats the schema as (name TYPE, ...).
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// EncodedSize returns the number of bytes EncodeRow will use for r.
+func EncodedSize(r Row) int {
+	n := 2 // column count
+	for _, v := range r {
+		n++ // kind byte
+		switch v.Kind {
+		case KindInt, KindFloat:
+			n += 8
+		case KindString:
+			n += 2 + len(v.S)
+		}
+	}
+	return n
+}
+
+// EncodeRow appends the binary encoding of r to dst and returns the
+// extended slice. Layout: u16 column count, then per column a kind byte
+// followed by 8 bytes (int/float) or u16 length + bytes (string).
+func EncodeRow(dst []byte, r Row) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r)))
+	for _, v := range r {
+		dst = append(dst, byte(v.Kind))
+		switch v.Kind {
+		case KindInt:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v.I))
+		case KindFloat:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F))
+		case KindString:
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(len(v.S)))
+			dst = append(dst, v.S...)
+		}
+	}
+	return dst
+}
+
+// DecodeRow decodes one row from b, returning the row and the number of
+// bytes consumed.
+func DecodeRow(b []byte) (Row, int, error) {
+	if len(b) < 2 {
+		return nil, 0, fmt.Errorf("pages: short row header")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	off := 2
+	r := make(Row, n)
+	for i := 0; i < n; i++ {
+		if off >= len(b) {
+			return nil, 0, fmt.Errorf("pages: truncated row at column %d", i)
+		}
+		k := Kind(b[off])
+		off++
+		switch k {
+		case KindInt:
+			if off+8 > len(b) {
+				return nil, 0, fmt.Errorf("pages: truncated int at column %d", i)
+			}
+			r[i] = Int(int64(binary.LittleEndian.Uint64(b[off:])))
+			off += 8
+		case KindFloat:
+			if off+8 > len(b) {
+				return nil, 0, fmt.Errorf("pages: truncated float at column %d", i)
+			}
+			r[i] = Float(math.Float64frombits(binary.LittleEndian.Uint64(b[off:])))
+			off += 8
+		case KindString:
+			if off+2 > len(b) {
+				return nil, 0, fmt.Errorf("pages: truncated string length at column %d", i)
+			}
+			l := int(binary.LittleEndian.Uint16(b[off:]))
+			off += 2
+			if off+l > len(b) {
+				return nil, 0, fmt.Errorf("pages: truncated string at column %d", i)
+			}
+			r[i] = Str(string(b[off : off+l]))
+			off += l
+		default:
+			return nil, 0, fmt.Errorf("pages: bad kind %d at column %d", k, i)
+		}
+	}
+	return r, off, nil
+}

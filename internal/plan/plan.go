@@ -1,0 +1,388 @@
+// Package plan turns parsed SELECT statements into executable query
+// plans. A plan records the star-query decomposition — fact table,
+// dimension joins with their per-dimension predicates, fact-only
+// predicates — plus the bound post-join pipeline (grouping, aggregates,
+// projections, ordering).
+//
+// The same Plan drives every engine configuration: the query-centric
+// operators of internal/exec, the staged QPipe engine, and the CJOIN
+// global query plan (which consumes the decomposition directly). The
+// plan also exposes the sub-plan signatures that Simultaneous
+// Pipelining matches on: one per join prefix, and one for the full
+// statement.
+package plan
+
+import (
+	"fmt"
+
+	"sharedq/internal/catalog"
+	"sharedq/internal/expr"
+	"sharedq/internal/pages"
+	"sharedq/internal/sqlparse"
+)
+
+// DimJoin is one fact-to-dimension equi-join of a star query.
+type DimJoin struct {
+	Table   string    // dimension table name
+	FactCol string    // fact-side foreign key column
+	DimKey  string    // dimension-side key column
+	Pred    expr.Expr // predicate over dimension columns, bound to the dim schema; nil when absent
+
+	FactColIdx int           // ordinal of FactCol in the fact schema
+	DimKeyIdx  int           // ordinal of DimKey in the dimension schema
+	Schema     *pages.Schema // the dimension's schema
+}
+
+// PredString returns the canonical predicate text ("" when absent).
+func (d DimJoin) PredString() string {
+	if d.Pred == nil {
+		return ""
+	}
+	return d.Pred.String()
+}
+
+// OutputCol describes how one output column is produced: from a
+// group-by key (GroupIdx >= 0), an aggregate (AggIdx >= 0), or — for
+// non-aggregated queries — a scalar expression over the joined row.
+type OutputCol struct {
+	Name     string
+	Kind     pages.Kind
+	GroupIdx int       // index into GroupBy, or -1
+	AggIdx   int       // index into Aggs, or -1
+	Scalar   expr.Expr // bound against JoinedSchema; nil for aggregated queries
+}
+
+// OrderKey is one bound ORDER BY entry over the output schema.
+type OrderKey struct {
+	Idx  int
+	Desc bool
+}
+
+// Query is a fully bound, executable plan.
+type Query struct {
+	SQL  string
+	Stmt *sqlparse.SelectStmt
+
+	// Star decomposition. For a single-table query, Fact is that table,
+	// Star is false and Dims is empty.
+	Fact     *catalog.Table
+	Star     bool
+	Dims     []DimJoin
+	FactPred expr.Expr // bound to the fact schema; nil when absent
+
+	// Post-join pipeline, bound against JoinedSchema
+	// (fact schema ++ dimension schemas in join order).
+	JoinedSchema *pages.Schema
+	GroupBy      []int // ordinals in JoinedSchema
+	GroupByNames []string
+	Aggs         []expr.AggSpec // bound against JoinedSchema
+	HasAgg       bool
+	Output       []OutputCol
+	OutputSchema *pages.Schema
+	OrderBy      []OrderKey
+	Limit        int // -1 when absent
+}
+
+// Build parses and plans sql against cat.
+func Build(cat *catalog.Catalog, sql string) (*Query, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return FromStmt(cat, stmt, sql)
+}
+
+// FromStmt plans an already-parsed statement.
+func FromStmt(cat *catalog.Catalog, stmt *sqlparse.SelectStmt, sql string) (*Query, error) {
+	q := &Query{SQL: sql, Stmt: stmt, Limit: stmt.Limit}
+	tables := make([]*catalog.Table, 0, len(stmt.From))
+	for _, name := range stmt.From {
+		t, err := cat.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	if err := q.decomposeStar(tables); err != nil {
+		return nil, err
+	}
+	if err := q.classifyPredicates(); err != nil {
+		return nil, err
+	}
+	if err := q.bindPipeline(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// decomposeStar identifies the fact table and the dimension join order
+// (FROM-clause order, which the templates list in selectivity order).
+func (q *Query) decomposeStar(tables []*catalog.Table) error {
+	if len(tables) == 1 {
+		q.Fact = tables[0]
+		q.JoinedSchema = tables[0].Schema
+		return nil
+	}
+	var fact *catalog.Table
+	for _, t := range tables {
+		if t.IsFact {
+			if fact != nil {
+				return fmt.Errorf("plan: multiple fact tables (%s, %s)", fact.Name, t.Name)
+			}
+			fact = t
+		}
+	}
+	if fact == nil {
+		return fmt.Errorf("plan: multi-table query without a fact table")
+	}
+	q.Fact = fact
+	q.Star = true
+	joined := fact.Schema
+	for _, t := range tables {
+		if t == fact {
+			continue
+		}
+		fk, ok := fact.FKTo(t.Name)
+		if !ok {
+			return fmt.Errorf("plan: no foreign key from %s to %s", fact.Name, t.Name)
+		}
+		q.Dims = append(q.Dims, DimJoin{
+			Table:      t.Name,
+			FactCol:    fk.Column,
+			DimKey:     fk.RefColumn,
+			FactColIdx: fact.Schema.Index(fk.Column),
+			DimKeyIdx:  t.Schema.Index(fk.RefColumn),
+			Schema:     t.Schema,
+		})
+		joined = joined.Concat(t.Schema)
+	}
+	q.JoinedSchema = joined
+	return nil
+}
+
+// classifyPredicates splits WHERE conjuncts into join conditions,
+// per-dimension predicates and fact predicates, and binds them.
+func (q *Query) classifyPredicates() error {
+	dimPreds := make([][]expr.Expr, len(q.Dims))
+	var factPreds []expr.Expr
+
+	for _, cj := range q.Stmt.WhereConjuncts() {
+		if di, isJoin := q.matchJoinCondition(cj); isJoin {
+			if di < 0 {
+				return fmt.Errorf("plan: join condition %s does not match a catalog foreign key", cj)
+			}
+			continue
+		}
+		cols := expr.Columns(cj, nil)
+		if len(cols) == 0 {
+			return fmt.Errorf("plan: constant predicate %s not supported", cj)
+		}
+		where, err := q.home(cols)
+		if err != nil {
+			return fmt.Errorf("plan: predicate %s: %w", cj, err)
+		}
+		if where == -1 {
+			factPreds = append(factPreds, cj)
+		} else {
+			dimPreds[where] = append(dimPreds[where], cj)
+		}
+	}
+
+	for i := range q.Dims {
+		if len(dimPreds[i]) == 0 {
+			continue
+		}
+		bound, err := expr.Bind(&expr.And{Terms: dimPreds[i]}, q.Dims[i].Schema)
+		if err != nil {
+			return err
+		}
+		q.Dims[i].Pred = bound
+	}
+	if len(factPreds) > 0 {
+		bound, err := expr.Bind(&expr.And{Terms: factPreds}, q.Fact.Schema)
+		if err != nil {
+			return err
+		}
+		q.FactPred = bound
+	}
+	return nil
+}
+
+// home determines where a predicate's columns live: -1 for the fact
+// table, i for dimension i. Mixed references are an error.
+func (q *Query) home(cols []string) (int, error) {
+	where := -2
+	for _, c := range cols {
+		h := -2
+		if q.Fact.Schema.Index(c) >= 0 {
+			h = -1
+		}
+		for i := range q.Dims {
+			if q.Dims[i].Schema.Index(c) >= 0 {
+				h = i
+			}
+		}
+		if h == -2 {
+			return 0, fmt.Errorf("column %q not found", c)
+		}
+		if where == -2 {
+			where = h
+		} else if where != h {
+			return 0, fmt.Errorf("predicate spans tables")
+		}
+	}
+	return where, nil
+}
+
+// matchJoinCondition reports whether cj is column = column (join
+// shaped); the returned index is the matching dimension, or -1 when the
+// pair matches no catalog foreign key.
+func (q *Query) matchJoinCondition(cj expr.Expr) (int, bool) {
+	b, ok := cj.(*expr.Bin)
+	if !ok || b.Op != expr.OpEq {
+		return 0, false
+	}
+	lc, lok := b.L.(*expr.Col)
+	rc, rok := b.R.(*expr.Col)
+	if !lok || !rok {
+		return 0, false
+	}
+	for i, d := range q.Dims {
+		if (lc.Name == d.FactCol && rc.Name == d.DimKey) || (rc.Name == d.FactCol && lc.Name == d.DimKey) {
+			return i, true
+		}
+	}
+	return -1, true
+}
+
+// bindPipeline binds the post-join pipeline: grouping, aggregates,
+// projections and ordering.
+func (q *Query) bindPipeline() error {
+	stmt := q.Stmt
+	for _, it := range stmt.Items {
+		if it.Agg != nil {
+			q.HasAgg = true
+			break
+		}
+	}
+	if len(stmt.GroupBy) > 0 && !q.HasAgg {
+		return fmt.Errorf("plan: GROUP BY without aggregates is not supported")
+	}
+
+	// Group-by ordinals.
+	for _, name := range stmt.GroupBy {
+		idx := q.JoinedSchema.Index(name)
+		if idx < 0 {
+			return fmt.Errorf("plan: GROUP BY column %q not found", name)
+		}
+		q.GroupBy = append(q.GroupBy, idx)
+		q.GroupByNames = append(q.GroupByNames, name)
+	}
+
+	// Select items.
+	var outCols []pages.Column
+	for _, it := range stmt.Items {
+		oc := OutputCol{Name: it.Name(), GroupIdx: -1, AggIdx: -1}
+		if it.Agg != nil {
+			spec, err := it.Agg.Bind(q.JoinedSchema)
+			if err != nil {
+				return err
+			}
+			q.Aggs = append(q.Aggs, spec)
+			oc.AggIdx = len(q.Aggs) - 1
+			argKind := pages.KindInt
+			if spec.Arg != nil {
+				argKind = exprKind(spec.Arg, q.JoinedSchema)
+			}
+			oc.Kind = spec.ResultKind(argKind)
+		} else if q.HasAgg {
+			// Scalar item in an aggregated query must be a group-by column.
+			col, ok := it.Expr.(*expr.Col)
+			if !ok {
+				return fmt.Errorf("plan: non-aggregate select item %s must be a GROUP BY column", it.Expr)
+			}
+			gi := -1
+			for i, name := range q.GroupByNames {
+				if name == col.Name {
+					gi = i
+				}
+			}
+			if gi < 0 {
+				return fmt.Errorf("plan: select column %q is not in GROUP BY", col.Name)
+			}
+			oc.GroupIdx = gi
+			oc.Kind = q.JoinedSchema.Columns[q.GroupBy[gi]].Kind
+		} else {
+			bound, err := expr.Bind(it.Expr, q.JoinedSchema)
+			if err != nil {
+				return err
+			}
+			oc.Scalar = bound
+			oc.Kind = exprKind(bound, q.JoinedSchema)
+		}
+		q.Output = append(q.Output, oc)
+		outCols = append(outCols, pages.Column{Name: oc.Name, Kind: oc.Kind})
+	}
+	q.OutputSchema = pages.NewSchema(outCols...)
+
+	// Order-by over the output schema (aliases or plain column names).
+	for _, o := range stmt.OrderBy {
+		idx := q.OutputSchema.Index(o.Ref)
+		if idx < 0 {
+			return fmt.Errorf("plan: ORDER BY %q does not name an output column", o.Ref)
+		}
+		q.OrderBy = append(q.OrderBy, OrderKey{Idx: idx, Desc: o.Desc})
+	}
+	return nil
+}
+
+// exprKind infers the result kind of a bound expression: float if any
+// referenced column or constant is float (or the op is AVG-like),
+// else int/string from the leaf.
+func exprKind(e expr.Expr, s *pages.Schema) pages.Kind {
+	switch n := e.(type) {
+	case *expr.Col:
+		return s.Columns[n.Idx].Kind
+	case *expr.Const:
+		return n.V.Kind
+	case *expr.Bin:
+		if n.Op.IsComparison() {
+			return pages.KindInt
+		}
+		lk, rk := exprKind(n.L, s), exprKind(n.R, s)
+		if lk == pages.KindFloat || rk == pages.KindFloat {
+			return pages.KindFloat
+		}
+		return pages.KindInt
+	default:
+		return pages.KindInt
+	}
+}
+
+// Signature returns the canonical full-plan signature used for
+// identical-plan SP matching (QPipe's top-level stages and CJOIN-SP).
+func (q *Query) Signature() string { return q.Stmt.Signature() }
+
+// JoinPrefixSignature identifies the sub-plan consisting of the
+// (filtered) fact scan joined with dimensions 0..i. Two queries whose
+// prefixes share a signature can share the corresponding hash-join via
+// SP, the per-join sharing the Fig 15 table counts.
+func (q *Query) JoinPrefixSignature(i int) string {
+	s := "scan:" + q.Fact.Name
+	if q.FactPred != nil {
+		s += "[" + q.FactPred.String() + "]"
+	}
+	for j := 0; j <= i && j < len(q.Dims); j++ {
+		s += "|join:" + q.Dims[j].Table + "[" + q.Dims[j].PredString() + "]"
+	}
+	return s
+}
+
+// ScanSignature identifies the base table scan. Circular scans share by
+// table alone: predicates are applied above the scan.
+func (q *Query) ScanSignature() string { return "scan:" + q.Fact.Name }
+
+// IsStarJoinable reports whether the query can run on the CJOIN global
+// query plan: a star query whose joins are all fact-FK equi-joins
+// (guaranteed by construction) — i.e. any Star plan.
+func (q *Query) IsStarJoinable() bool { return q.Star }

@@ -1,0 +1,288 @@
+package plan
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sharedq/internal/catalog"
+	"sharedq/internal/expr"
+	"sharedq/internal/pages"
+	"sharedq/internal/ssb"
+)
+
+func cat(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	ssb.RegisterSchemas(c)
+	return c
+}
+
+func TestBuildSingleTable(t *testing.T) {
+	q, err := Build(cat(t), ssb.TPCHQ1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Star || len(q.Dims) != 0 {
+		t.Error("TPC-H Q1 should not be a star query")
+	}
+	if q.Fact.Name != "lineitem" {
+		t.Errorf("Fact = %s", q.Fact.Name)
+	}
+	if !q.HasAgg || len(q.Aggs) != 5 {
+		t.Errorf("aggs = %d", len(q.Aggs))
+	}
+	if len(q.GroupBy) != 2 {
+		t.Errorf("group by = %v", q.GroupBy)
+	}
+	if q.FactPred == nil {
+		t.Error("shipdate predicate missing")
+	}
+	if got := q.OutputSchema.Len(); got != 7 {
+		t.Errorf("output columns = %d, want 7", got)
+	}
+	if len(q.OrderBy) != 2 {
+		t.Errorf("order by = %v", q.OrderBy)
+	}
+}
+
+func TestBuildQ32Star(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q, err := Build(cat(t), ssb.Q32(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Star || !q.IsStarJoinable() {
+		t.Fatal("Q3.2 should be a star query")
+	}
+	if q.Fact.Name != "lineorder" {
+		t.Errorf("Fact = %s", q.Fact.Name)
+	}
+	// FROM customer, lineorder, supplier, date -> dims in FROM order.
+	wantDims := []string{"customer", "supplier", "date"}
+	if len(q.Dims) != 3 {
+		t.Fatalf("dims = %v", q.Dims)
+	}
+	for i, want := range wantDims {
+		if q.Dims[i].Table != want {
+			t.Errorf("dim %d = %s, want %s", i, q.Dims[i].Table, want)
+		}
+	}
+	// customer and supplier have nation predicates; date a year range.
+	if q.Dims[0].Pred == nil || q.Dims[1].Pred == nil || q.Dims[2].Pred == nil {
+		t.Error("dimension predicates missing")
+	}
+	if q.FactPred != nil {
+		t.Error("Q3.2 has no fact predicates")
+	}
+	if len(q.GroupBy) != 3 || len(q.Aggs) != 1 {
+		t.Errorf("pipeline: groupby=%v aggs=%v", q.GroupBy, q.Aggs)
+	}
+	// ORDER BY d_year ASC, revenue DESC over output (c_city, s_city, d_year, revenue).
+	if len(q.OrderBy) != 2 || q.OrderBy[0].Idx != 2 || q.OrderBy[1].Idx != 3 || !q.OrderBy[1].Desc {
+		t.Errorf("order by = %v", q.OrderBy)
+	}
+}
+
+func TestBuildQ11FactPredicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q, err := Build(cat(t), ssb.Q11(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Star || len(q.Dims) != 1 || q.Dims[0].Table != "date" {
+		t.Fatalf("dims = %v", q.Dims)
+	}
+	if q.FactPred == nil {
+		t.Fatal("lo_discount/lo_quantity predicates should be fact predicates")
+	}
+	if !strings.Contains(q.FactPred.String(), "lo_discount") {
+		t.Errorf("FactPred = %s", q.FactPred)
+	}
+	if len(q.GroupBy) != 0 || !q.HasAgg {
+		t.Error("Q1.1 is a scalar aggregate")
+	}
+}
+
+func TestJoinedSchemaLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q, err := Build(cat(t), ssb.Q32(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := ssb.LineorderSchema().Len() + ssb.CustomerSchema().Len() + ssb.SupplierSchema().Len() + ssb.DateSchema().Len()
+	if q.JoinedSchema.Len() != wantLen {
+		t.Errorf("joined schema len = %d, want %d", q.JoinedSchema.Len(), wantLen)
+	}
+	// Fact columns come first.
+	if q.JoinedSchema.Columns[0].Name != "lo_orderkey" {
+		t.Errorf("first joined column = %s", q.JoinedSchema.Columns[0].Name)
+	}
+	if q.JoinedSchema.Index("c_city") < ssb.LineorderSchema().Len() {
+		t.Error("dim columns should follow fact columns")
+	}
+}
+
+func TestDimJoinIndexes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q, err := Build(cat(t), ssb.Q32(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range q.Dims {
+		if d.FactColIdx < 0 || d.DimKeyIdx != 0 {
+			t.Errorf("dim %s: factIdx=%d dimKeyIdx=%d", d.Table, d.FactColIdx, d.DimKeyIdx)
+		}
+	}
+}
+
+func TestSignatures(t *testing.T) {
+	c := cat(t)
+	q1, err := Build(c, ssb.Q32PoolPlan(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Build(c, ssb.Q32PoolPlan(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3, err := Build(c, ssb.Q32PoolPlan(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.Signature() != q2.Signature() {
+		t.Error("identical plans have different signatures")
+	}
+	if q1.Signature() == q3.Signature() {
+		t.Error("different plans share a signature")
+	}
+	if q1.ScanSignature() != q3.ScanSignature() {
+		t.Error("scans of the same table must share a signature")
+	}
+	// Plan 0 and 1 differ in customer nation -> join prefix 0 differs.
+	if q1.JoinPrefixSignature(0) == q3.JoinPrefixSignature(0) {
+		t.Error("different customer predicates share join prefix signature")
+	}
+}
+
+func TestJoinPrefixSignatureSharing(t *testing.T) {
+	c := cat(t)
+	// Same customer nation, different supplier nation: share prefix 0,
+	// not prefix 1.
+	a, err := Build(c, ssb.Q32PoolPlan(0)) // nations[0], nations[0]
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(c, ssb.Q32PoolPlan(25)) // nations[0], nations[1]
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.JoinPrefixSignature(0) != b.JoinPrefixSignature(0) {
+		t.Error("same customer predicate should share join prefix 0")
+	}
+	if a.JoinPrefixSignature(1) == b.JoinPrefixSignature(1) {
+		t.Error("different supplier predicate should not share join prefix 1")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	c := cat(t)
+	bad := []string{
+		"SELECT x FROM nosuch",
+		"SELECT c_city FROM customer, supplier", // no fact table
+		"SELECT lo_revenue FROM lineorder, customer WHERE lo_custkey = c_custkey GROUP BY lo_revenue",           // group without agg? (has no agg)
+		"SELECT SUM(lo_revenue) FROM lineorder, customer WHERE lo_custkey = c_custkey AND c_city = lo_orderkey", // cross-table predicate... c_city=lo_orderkey is join-shaped but not FK
+		"SELECT zzz FROM lineorder",
+		"SELECT SUM(lo_revenue) AS r FROM lineorder GROUP BY zzz",
+		"SELECT c_city FROM lineorder, customer WHERE lo_custkey = c_custkey ORDER BY zzz",
+		"SELECT SUM(lo_revenue) AS r, c_city FROM lineorder, customer WHERE lo_custkey = c_custkey", // c_city not grouped
+	}
+	for _, sql := range bad {
+		if _, err := Build(c, sql); err == nil {
+			t.Errorf("Build(%q) should fail", sql)
+		}
+	}
+}
+
+func TestBuildNonAggregateProjection(t *testing.T) {
+	c := cat(t)
+	q, err := Build(c, "SELECT c_city, c_nation FROM lineorder, customer WHERE lo_custkey = c_custkey AND c_region = 'ASIA'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.HasAgg {
+		t.Error("no aggregates expected")
+	}
+	if q.Output[0].Scalar == nil {
+		t.Error("scalar output missing")
+	}
+	if q.OutputSchema.Columns[0].Kind != pages.KindString {
+		t.Errorf("output kind = %v", q.OutputSchema.Columns[0].Kind)
+	}
+}
+
+func TestOutputColMapping(t *testing.T) {
+	c := cat(t)
+	q, err := Build(c, "SELECT c_nation, SUM(lo_revenue) AS rev, COUNT(*) AS n FROM lineorder, customer WHERE lo_custkey = c_custkey GROUP BY c_nation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Output[0].GroupIdx != 0 || q.Output[0].AggIdx != -1 {
+		t.Errorf("output[0] = %+v", q.Output[0])
+	}
+	if q.Output[1].AggIdx != 0 || q.Output[2].AggIdx != 1 {
+		t.Errorf("agg outputs = %+v", q.Output[1:])
+	}
+	if q.Output[1].Kind != pages.KindInt {
+		t.Errorf("SUM(int) kind = %v", q.Output[1].Kind)
+	}
+	if q.Output[2].Kind != pages.KindInt {
+		t.Errorf("COUNT kind = %v", q.Output[2].Kind)
+	}
+}
+
+func TestAvgOutputKind(t *testing.T) {
+	c := cat(t)
+	q, err := Build(c, "SELECT AVG(lo_quantity) AS aq FROM lineorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Output[0].Kind != pages.KindFloat {
+		t.Errorf("AVG kind = %v", q.Output[0].Kind)
+	}
+}
+
+func TestAllTemplatesPlan(t *testing.T) {
+	c := cat(t)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 30; i++ {
+		for _, sql := range []string{
+			ssb.Q11(rng), ssb.Q21(rng), ssb.Q32(rng),
+			ssb.Q32Pool(rng, 16), ssb.Q32Selectivity(rng, 3, 2), ssb.TPCHQ1(),
+		} {
+			if _, err := Build(c, sql); err != nil {
+				t.Fatalf("template plan failed: %v\n%s", err, sql)
+			}
+		}
+	}
+}
+
+func TestDimPredBoundToDimSchema(t *testing.T) {
+	c := cat(t)
+	rng := rand.New(rand.NewSource(12))
+	q, err := Build(c, ssb.Q32(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate the customer predicate against a raw customer row.
+	nation := ""
+	pred := q.Dims[0].Pred
+	s := pred.String()
+	start := strings.Index(s, "'")
+	end := strings.LastIndex(s, "'")
+	nation = s[start+1 : end]
+	row := pages.Row{pages.Int(1), pages.Str("name"), pages.Str("city"), pages.Str(nation), pages.Str("region"), pages.Str("seg")}
+	if !expr.Truthy(pred.Eval(row)) {
+		t.Errorf("customer predicate %s rejects matching row", pred)
+	}
+}

@@ -1,0 +1,339 @@
+package qpipe
+
+import (
+	"fmt"
+	"sync"
+
+	"sharedq/internal/comm"
+	"sharedq/internal/exec"
+	"sharedq/internal/expr"
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+)
+
+// Config selects a QPipe engine configuration. The paper's lines map as:
+//
+//	QPipe      = {ShareScan: false, ShareJoin: false}
+//	QPipe-CS   = {ShareScan: true,  ShareJoin: false}
+//	QPipe-SP   = {ShareScan: true,  ShareJoin: true}
+//
+// each in either communication model (Comm). SP for aggregation and
+// sort stages is deliberately absent, matching the paper's methodology
+// ("SP for the aggregation and sorting stages is off ... to isolate the
+// benefits of SP for joins only").
+type Config struct {
+	Comm      Comm
+	ShareScan bool // circular scans at the table-scan stage (linear WoP)
+	ShareJoin bool // sub-plan sharing at the join stage (step WoP)
+	// ShareResults enables top-level SP for fully identical plans
+	// (§3.1 "Identical queries"): a query identical to one in flight
+	// waits for and reuses its final results instead of executing at
+	// all — the maximum-benefit sharing case. Off in the paper's
+	// sensitivity experiments (their methodology isolates join-level
+	// SP), so off by default here too.
+	ShareResults bool
+
+	// SPLMaxPages bounds each Shared Pages List (default 8 pages = the
+	// paper's 256 KB with 32 KB pages). FIFOCap likewise bounds FIFOs.
+	SPLMaxPages int
+	FIFOCap     int
+	// PageRows sets rows per exchanged page (default ~32 KB worth).
+	PageRows int
+}
+
+// Engine is a staged QPipe execution engine over a shared environment.
+type Engine struct {
+	env *exec.Env
+	cfg Config
+	pc  portConfig
+
+	scan  *ScanStage
+	stats *metrics.CounterSet
+
+	joinMu    sync.Mutex
+	joinHosts map[string]*joinHost
+
+	resMu   sync.Mutex
+	results map[string]*inflightResult
+
+	errMu sync.Mutex
+	err   error
+}
+
+// inflightResult is a running query's promised final output, reusable
+// by identical queries that arrive before it completes (full-plan step
+// WoP: the final results are buffered and handed over wholly, so the
+// window stays open for the host's entire run).
+type inflightResult struct {
+	done chan struct{}
+	rows []pages.Row
+	err  error
+}
+
+// joinHost is a join-stage packet registered for step-WoP sharing:
+// satellites may attach until the host emits its first output page.
+type joinHost struct {
+	out     OutPort
+	started bool // first output page emitted; WoP closed
+	sig     string
+}
+
+// New creates an engine.
+func New(env *exec.Env, cfg Config) *Engine {
+	e := &Engine{
+		env:       env,
+		cfg:       cfg,
+		stats:     metrics.NewCounterSet(),
+		joinHosts: make(map[string]*joinHost),
+		results:   make(map[string]*inflightResult),
+	}
+	e.pc = PortConfig{
+		Model:    cfg.Comm,
+		SPLMax:   cfg.SPLMaxPages,
+		FIFOCap:  cfg.FIFOCap,
+		PageRows: cfg.PageRows,
+		Col:      env.Col,
+	}
+	if e.pc.PageRows <= 0 {
+		e.pc.PageRows = comm.DefaultPageRows
+	}
+	e.scan = NewScanStage(env, e.pc, cfg.ShareScan, e.stats, e.fail)
+	return e
+}
+
+// Stats exposes the engine's sharing counters: scan_shared,
+// scan_started, join<i>_shared, join<i>_run — the numbers behind the
+// Fig 15 sharing-opportunity table.
+func (e *Engine) Stats() map[string]int64 { return e.stats.Snapshot() }
+
+// Env returns the engine's execution environment.
+func (e *Engine) Env() *exec.Env { return e.env }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+func (e *Engine) fail(err error) {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// Err returns the first asynchronous error observed by any packet.
+func (e *Engine) Err() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.err
+}
+
+// Submit executes one planned query to completion and returns its
+// output rows. It is safe to call concurrently from many goroutines;
+// concurrent submissions are where sharing happens.
+func (e *Engine) Submit(q *plan.Query) ([]pages.Row, error) {
+	var host *inflightResult
+	if e.cfg.ShareResults {
+		sig := q.Signature()
+		e.resMu.Lock()
+		if r, ok := e.results[sig]; ok {
+			e.resMu.Unlock()
+			// Identical plan in flight: wait and reuse (§3.1).
+			e.stats.Get("result_shared").Inc()
+			<-r.done
+			return r.rows, r.err
+		}
+		host = &inflightResult{done: make(chan struct{})}
+		e.results[sig] = host
+		e.resMu.Unlock()
+		defer func() {
+			e.resMu.Lock()
+			delete(e.results, sig)
+			e.resMu.Unlock()
+			close(host.done)
+		}()
+	}
+
+	port, err := e.buildPipeline(q)
+	if err != nil {
+		if host != nil {
+			host.err = err
+		}
+		return nil, err
+	}
+	rows := e.drainFinal(q, port)
+	err = e.Err()
+	if host != nil {
+		host.rows, host.err = rows, err
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// buildPipeline wires the packet graph for q bottom-up and returns the
+// port delivering joined (or raw, for single-table plans) pages.
+func (e *Engine) buildPipeline(q *plan.Query) (InPort, error) {
+	// Fact scan through the scan stage (shared circular scan when on).
+	probe := e.scan.Attach(q.Fact)
+
+	for i := range q.Dims {
+		isFirst := i == 0
+		sig := q.JoinPrefixSignature(i)
+
+		e.joinMu.Lock()
+		if e.cfg.ShareJoin {
+			if h, ok := e.joinHosts[sig]; ok && !h.started {
+				// Step WoP open: attach as satellite. The redundant
+				// probe input is cancelled; this packet's plan prefix
+				// is evaluated once, by the host.
+				out := h.out.AddReader(true)
+				e.joinMu.Unlock()
+				probe.Cancel()
+				probe = out
+				e.stats.Get(fmt.Sprintf("join%d_shared", i)).Inc()
+				continue
+			}
+		}
+		// Host path: run the join.
+		h := &joinHost{out: e.pc.newOutPort(), sig: sig}
+		if e.cfg.ShareJoin {
+			e.joinHosts[sig] = h
+		}
+		e.joinMu.Unlock()
+		e.stats.Get(fmt.Sprintf("join%d_run", i)).Inc()
+
+		dimIn := e.scan.Attach(e.env.Cat.MustGet(q.Dims[i].Table))
+		myOut := h.out.AddReader(true)
+		var factPred expr.Expr
+		if isFirst {
+			factPred = q.FactPred
+		}
+		go e.runJoin(q.Dims[i], factPred, probe, dimIn, h)
+		probe = myOut
+	}
+	return probe, nil
+}
+
+// runJoin executes one hash-join packet: build from the dimension scan,
+// then probe the incoming stream, emitting joined pages.
+func (e *Engine) runJoin(d plan.DimJoin, factPred expr.Expr, probe, dimIn InPort, h *joinHost) {
+	defer func() {
+		h.out.Close()
+		e.unregister(h)
+	}()
+
+	// Build phase: consume the dimension scan, filter, insert.
+	ht := exec.NewHashTable(1024, e.env.Col)
+	dimPred := expr.CompilePred(d.Pred)
+	for {
+		p, ok := dimIn.Next()
+		if !ok {
+			break
+		}
+		stop := e.env.Col.Timer(metrics.Joins)
+		rows := exec.FilterRowsPred(p.Rows, dimPred)
+		stop()
+		stopH := e.env.Col.Timer(metrics.Hashing)
+		for _, r := range rows {
+			ht.Insert(r[d.DimKeyIdx], r)
+		}
+		stopH()
+	}
+
+	// Probe phase.
+	b := comm.NewBuilder(e.pc.PageRows)
+	factFn := expr.CompilePred(factPred)
+	for {
+		p, ok := probe.Next()
+		if !ok {
+			break
+		}
+		in := p.Rows
+		if factFn != nil {
+			stop := e.env.Col.Timer(metrics.Joins)
+			in = exec.FilterRowsPred(in, factFn)
+			stop()
+		}
+		joined := exec.ProbeJoin(e.env, ht, d.FactColIdx, in)
+		for _, r := range joined {
+			if pg := b.Add(r); pg != nil {
+				e.emitJoin(h, pg)
+			}
+		}
+	}
+	if pg := b.Flush(); pg != nil {
+		e.emitJoin(h, pg)
+	}
+}
+
+// emitJoin closes the step WoP on the first output page, then emits.
+func (e *Engine) emitJoin(h *joinHost, p *comm.Page) {
+	if !h.started {
+		e.joinMu.Lock()
+		h.started = true
+		e.joinMu.Unlock()
+	}
+	h.out.Emit(p)
+}
+
+// unregister removes a completed host from the sharing registry (only
+// if the registry still points at it; a newer identical packet may have
+// replaced it after the WoP closed).
+func (e *Engine) unregister(h *joinHost) {
+	if !e.cfg.ShareJoin {
+		return
+	}
+	e.joinMu.Lock()
+	defer e.joinMu.Unlock()
+	if e.joinHosts[h.sig] == h {
+		delete(e.joinHosts, h.sig)
+	}
+}
+
+// drainFinal consumes the pipeline's last port through Drain.
+func (e *Engine) drainFinal(q *plan.Query, in InPort) []pages.Row {
+	return Drain(e.env, q, in)
+}
+
+// Drain consumes a port delivering joined (or raw, for single-table
+// plans) pages and applies the per-query tail: fact-predicate filtering
+// for plans with no joins, aggregation or projection, sort and limit.
+// It is shared by the QPipe engine and the CJOIN stage (whose
+// subsequent operators are query-centric, §3.2).
+func Drain(env *exec.Env, q *plan.Query, in InPort) []pages.Row {
+	var agg *exec.Aggregator
+	if q.HasAgg {
+		agg = exec.NewAggregator(q, env.Col)
+	}
+	var plain []pages.Row
+	var factFn expr.Pred
+	if len(q.Dims) == 0 { // otherwise the predicate is applied upstream
+		factFn = expr.CompilePred(q.FactPred)
+	}
+	for {
+		p, ok := in.Next()
+		if !ok {
+			break
+		}
+		rows := p.Rows
+		if factFn != nil {
+			stop := env.Col.Timer(metrics.Misc)
+			rows = exec.FilterRowsPred(rows, factFn)
+			stop()
+		}
+		if agg != nil {
+			agg.Add(rows)
+		} else {
+			plain = append(plain, exec.Project(q, rows)...)
+		}
+	}
+	var out []pages.Row
+	if agg != nil {
+		out = agg.Rows()
+	} else {
+		out = plain
+	}
+	return exec.SortRows(q, env.Col, out)
+}

@@ -1,0 +1,203 @@
+// Package qpipe implements the staged, operator-centric execution
+// engine of the paper: packets flow through a scan stage, a join stage,
+// and per-query aggregation/sort packets, exchanging 32 KB pages.
+// Each stage detects Simultaneous Pipelining opportunities among its
+// in-flight packets (scan: linear WoP circular scans; join: step WoP
+// sub-plan sharing) and supports both communication models under
+// comparison: push-based FIFOs with copy fan-out (the original QPipe
+// design) and pull-based Shared Pages Lists.
+package qpipe
+
+import (
+	"sync"
+
+	"sharedq/internal/comm"
+	"sharedq/internal/metrics"
+)
+
+// Comm selects the communication model for packet data flow.
+type Comm int
+
+// Communication models. The zero value is CommSPL, the paper's
+// optimized pull-based model, so configurations default to it.
+const (
+	// CommSPL is the pull-based Shared Pages List model of §4.
+	CommSPL Comm = iota
+	// CommFIFO is the push-only model of the original QPipe design:
+	// producers copy pages into each consumer's FIFO sequentially.
+	CommFIFO
+)
+
+// String names the model as the paper's figures do.
+func (c Comm) String() string {
+	if c == CommFIFO {
+		return "FIFO"
+	}
+	return "SPL"
+}
+
+// InPort is a packet's view of its input stream.
+type InPort interface {
+	// Next returns the next page; ok=false at end of stream.
+	Next() (*comm.Page, bool)
+	// Cancel detaches early, releasing the reader's claim on buffered
+	// pages so producers are not throttled by an abandoned reader.
+	Cancel()
+}
+
+// OutPort is a packet's output, supporting one or more readers.
+type OutPort interface {
+	// Emit delivers a page to all attached readers.
+	Emit(p *comm.Page)
+	// Close ends the stream.
+	Close()
+	// AddReader attaches a reader. With fromStart, the reader also
+	// receives currently buffered pages (step-WoP satellites attach
+	// before the first output page, so they see the full stream).
+	AddReader(fromStart bool) InPort
+	// ActiveReaders reports attached, unfinished readers.
+	ActiveReaders() int
+}
+
+// PortConfig sizes and selects the communication structures. It is
+// exported so the CJOIN stage can create ports of the same model as the
+// surrounding engine.
+type PortConfig struct {
+	Model    Comm
+	SPLMax   int // SPL maximum length, pages
+	FIFOCap  int // FIFO capacity, pages
+	PageRows int
+	Col      *metrics.Collector
+}
+
+// portConfig is the internal alias used throughout the engine.
+type portConfig = PortConfig
+
+// NewOutPort builds an output port for the configured model.
+func (pc PortConfig) NewOutPort() OutPort {
+	if pc.Model == CommSPL {
+		return &splPort{spl: comm.NewSPL(pc.SPLMax)}
+	}
+	return &fanout{cap: pc.FIFOCap, col: pc.Col}
+}
+
+// newOutPort is the internal spelling.
+func (pc portConfig) newOutPort() OutPort { return pc.NewOutPort() }
+
+// --- SPL-backed ports (pull model) ---
+
+type splPort struct {
+	spl *comm.SPL
+}
+
+func (p *splPort) Emit(pg *comm.Page) { p.spl.Append(pg) }
+func (p *splPort) Close()             { p.spl.Close() }
+func (p *splPort) ActiveReaders() int { return p.spl.ActiveConsumers() }
+
+func (p *splPort) AddReader(fromStart bool) InPort {
+	return &splIn{c: p.spl.AddConsumer(fromStart, comm.EntryAuto)}
+}
+
+type splIn struct {
+	c *comm.Consumer
+}
+
+func (in *splIn) Next() (*comm.Page, bool) { return in.c.Next() }
+func (in *splIn) Cancel()                  { in.c.Close() }
+
+// --- FIFO-backed ports (push model) ---
+
+// fanout is the push-only output: Emit copies the page into every
+// reader's FIFO on the producer's thread, sequentially. With satellites
+// attached this loop is the serialization point of Figure 7a.
+type fanout struct {
+	mu     sync.Mutex
+	subs   []*fanSub
+	cap    int
+	col    *metrics.Collector
+	closed bool
+}
+
+type fanSub struct {
+	f        *comm.FIFO
+	entry    int // circular-scan entry point; comm.EntryAuto until known
+	appended int
+	done     bool
+}
+
+func (fo *fanout) AddReader(fromStart bool) InPort {
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+	s := &fanSub{f: comm.NewFIFO(fo.cap), entry: comm.EntryAuto}
+	if fo.closed {
+		s.f.Close()
+		s.done = true
+	}
+	fo.subs = append(fo.subs, s)
+	return &fifoIn{f: s.f}
+}
+
+func (fo *fanout) ActiveReaders() int {
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+	n := 0
+	for _, s := range fo.subs {
+		if !s.done && !s.f.Closed() {
+			n++
+		}
+	}
+	return n
+}
+
+func (fo *fanout) Emit(p *comm.Page) {
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+	if fo.closed {
+		return
+	}
+	first := true
+	for _, s := range fo.subs {
+		if s.done || s.f.Closed() {
+			continue
+		}
+		// Linear WoP wrap-around: this reader's entry page re-emitted.
+		if p.Index >= 0 && s.entry == p.Index && s.appended > 0 {
+			s.done = true
+			s.f.Close()
+			continue
+		}
+		if s.entry == comm.EntryAuto && p.Index >= 0 {
+			s.entry = p.Index
+		}
+		s.appended++
+		out := p
+		if !first {
+			// Forwarding by copy, on this (the producer's) thread: the
+			// cost the paper's prediction model charges to the pivot.
+			stop := fo.col.Timer(metrics.Misc)
+			out = p.Clone()
+			stop()
+		}
+		first = false
+		s.f.Put(out)
+	}
+}
+
+func (fo *fanout) Close() {
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+	fo.closed = true
+	for _, s := range fo.subs {
+		if !s.done {
+			s.done = true
+			s.f.Close()
+		}
+	}
+}
+
+type fifoIn struct {
+	f *comm.FIFO
+}
+
+func (in *fifoIn) Next() (*comm.Page, bool) { return in.f.Get() }
+func (in *fifoIn) Cancel()                  { in.f.Close() }

@@ -1,0 +1,510 @@
+package qpipe
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"sharedq/internal/buffer"
+	"sharedq/internal/catalog"
+	"sharedq/internal/comm"
+	"sharedq/internal/disk"
+	"sharedq/internal/exec"
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+	"sharedq/internal/ssb"
+)
+
+func testEnv(t *testing.T) *exec.Env {
+	t.Helper()
+	dev := disk.NewDevice(disk.Config{Timed: false})
+	cat := catalog.New()
+	ssb.RegisterSchemas(cat)
+	if err := (ssb.Gen{SF: 0.0005, Seed: 21}).Load(dev, cat); err != nil {
+		t.Fatal(err)
+	}
+	cache := disk.NewFSCache(dev, disk.CacheConfig{})
+	return &exec.Env{Cat: cat, Pool: buffer.NewPool(cache, 4096), Col: &metrics.Collector{}}
+}
+
+var allConfigs = []Config{
+	{Comm: CommFIFO},
+	{Comm: CommFIFO, ShareScan: true},
+	{Comm: CommFIFO, ShareScan: true, ShareJoin: true},
+	{Comm: CommSPL},
+	{Comm: CommSPL, ShareScan: true},
+	{Comm: CommSPL, ShareScan: true, ShareJoin: true},
+}
+
+func configName(c Config) string {
+	return fmt.Sprintf("scan=%v,join=%v,%v", c.ShareScan, c.ShareJoin, c.Comm)
+}
+
+// TestSingleQueryMatchesBaseline: every configuration must produce
+// exactly the baseline's result for a single query (sharing must never
+// change answers).
+func TestSingleQueryMatchesBaseline(t *testing.T) {
+	env := testEnv(t)
+	rng := rand.New(rand.NewSource(31))
+	queries := []string{
+		ssb.TPCHQ1(),
+		ssb.Q11(rng),
+		ssb.Q21(rng),
+		ssb.Q32Selectivity(rng, 6, 6),
+	}
+	for _, sql := range queries {
+		q, err := plan.Build(env.Cat, sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := exec.Execute(env, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range allConfigs {
+			e := New(env, cfg)
+			got, err := e.Submit(q)
+			if err != nil {
+				t.Fatalf("%s: %v", configName(cfg), err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: result mismatch for %q: got %d rows, want %d",
+					configName(cfg), sql[:40], len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestConcurrentIdenticalQueries: N identical queries under every
+// configuration all produce the baseline result.
+func TestConcurrentIdenticalQueries(t *testing.T) {
+	env := testEnv(t)
+	q, err := plan.Build(env.Cat, ssb.TPCHQ1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.Execute(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range allConfigs {
+		e := New(env, cfg)
+		const n = 8
+		results := make([][]pages.Row, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = e.Submit(q)
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				t.Fatalf("%s: query %d: %v", configName(cfg), i, errs[i])
+			}
+			if !reflect.DeepEqual(results[i], want) {
+				t.Errorf("%s: query %d result mismatch (%d vs %d rows)",
+					configName(cfg), i, len(results[i]), len(want))
+			}
+		}
+	}
+}
+
+// TestConcurrentStarQueriesAllConfigs: a mixed star-query workload
+// produces baseline results under every configuration.
+func TestConcurrentStarQueriesAllConfigs(t *testing.T) {
+	env := testEnv(t)
+	rng := rand.New(rand.NewSource(77))
+	const n = 12
+	sqls := make([]string, n)
+	for i := range sqls {
+		sqls[i] = ssb.Q32Pool(rng, 4) // small pool -> guaranteed overlap
+	}
+	plans := make([]*plan.Query, n)
+	wants := make([][]pages.Row, n)
+	for i, sql := range sqls {
+		q, err := plan.Build(env.Cat, sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[i] = q
+		w, err := exec.Execute(env, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+	for _, cfg := range allConfigs {
+		e := New(env, cfg)
+		results := make([][]pages.Row, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = e.Submit(plans[i])
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				t.Fatalf("%s: query %d: %v", configName(cfg), i, errs[i])
+			}
+			if !reflect.DeepEqual(results[i], wants[i]) {
+				t.Errorf("%s: query %d mismatch (%d vs %d rows)",
+					configName(cfg), i, len(results[i]), len(wants[i]))
+			}
+		}
+	}
+}
+
+func TestCircularScanShares(t *testing.T) {
+	// Deterministic sharing: reader 1 attaches and stalls after one
+	// page; the SPL bound (2 pages, smaller than the table) keeps the
+	// scanner alive, so reader 2 is guaranteed to attach mid-scan and
+	// share the circular scan.
+	env := testEnv(t)
+	e := New(env, Config{Comm: CommSPL, ShareScan: true, SPLMaxPages: 2})
+	tbl := env.Cat.MustGet(ssb.TableLineitem)
+
+	in1 := e.scan.Attach(tbl)
+	p1, ok := in1.Next()
+	if !ok {
+		t.Fatal("reader 1 got no page")
+	}
+	in2 := e.scan.Attach(tbl)
+	s := e.Stats()
+	if s["scan_started"] != 1 || s["scan_shared"] != 1 {
+		t.Fatalf("scan stats = %v, want 1 started + 1 shared", s)
+	}
+
+	// Both readers must still see the whole table exactly once.
+	count := func(in InPort, first *comm.Page) int {
+		n := 0
+		if first != nil {
+			n += len(first.Rows)
+		}
+		for {
+			p, ok := in.Next()
+			if !ok {
+				return n
+			}
+			n += len(p.Rows)
+		}
+	}
+	var wg sync.WaitGroup
+	var n1, n2 int
+	wg.Add(2)
+	go func() { defer wg.Done(); n1 = count(in1, p1) }()
+	go func() { defer wg.Done(); n2 = count(in2, nil) }()
+	wg.Wait()
+	if int64(n1) != tbl.NumRows || int64(n2) != tbl.NumRows {
+		t.Errorf("readers saw %d / %d rows, want %d each", n1, n2, tbl.NumRows)
+	}
+}
+
+func TestConcurrentSharingAccounting(t *testing.T) {
+	// End-to-end: every query is either a scan starter or a sharer.
+	env := testEnv(t)
+	q, err := plan.Build(env.Cat, ssb.TPCHQ1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(env, Config{Comm: CommSPL, ShareScan: true})
+	const n = 6
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.Submit(q); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	s := e.Stats()
+	if s["scan_started"]+s["scan_shared"] != n {
+		t.Errorf("scan stats = %v, want %d total", s, n)
+	}
+}
+
+func TestNoSharingWhenDisabled(t *testing.T) {
+	env := testEnv(t)
+	q, err := plan.Build(env.Cat, ssb.TPCHQ1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(env, Config{Comm: CommSPL})
+	const n = 4
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Submit(q)
+		}()
+	}
+	wg.Wait()
+	s := e.Stats()
+	if s["scan_shared"] != 0 {
+		t.Errorf("sharing occurred with ShareScan off: %v", s)
+	}
+}
+
+func TestJoinSharingCounters(t *testing.T) {
+	env := testEnv(t)
+	// Identical star queries: the join chain should be shared.
+	q, err := plan.Build(env.Cat, ssb.Q32PoolPlan(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(env, Config{Comm: CommSPL, ShareScan: true, ShareJoin: true})
+	const n = 8
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var results [][]pages.Row
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := e.Submit(q)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			results = append(results, r)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	s := e.Stats()
+	shared := s["join0_shared"] + s["join1_shared"] + s["join2_shared"]
+	if shared == 0 {
+		t.Errorf("no join sharing across identical star queries: %v", s)
+	}
+	want, err := exec.Execute(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if !reflect.DeepEqual(r, want) {
+			t.Errorf("query %d mismatch after sharing", i)
+		}
+	}
+}
+
+func TestJoinSharingRespectsDifferentPlans(t *testing.T) {
+	env := testEnv(t)
+	qa, _ := plan.Build(env.Cat, ssb.Q32PoolPlan(0))
+	qb, _ := plan.Build(env.Cat, ssb.Q32PoolPlan(7))
+	e := New(env, Config{Comm: CommSPL, ShareScan: true, ShareJoin: true})
+	wa, _ := exec.Execute(env, qa)
+	wb, _ := exec.Execute(env, qb)
+	var wg sync.WaitGroup
+	var ra, rb []pages.Row
+	var ea, eb error
+	wg.Add(2)
+	go func() { defer wg.Done(); ra, ea = e.Submit(qa) }()
+	go func() { defer wg.Done(); rb, eb = e.Submit(qb) }()
+	wg.Wait()
+	if ea != nil || eb != nil {
+		t.Fatal(ea, eb)
+	}
+	if !reflect.DeepEqual(ra, wa) || !reflect.DeepEqual(rb, wb) {
+		t.Error("different plans cross-contaminated results")
+	}
+}
+
+func TestScanStageEmptyTable(t *testing.T) {
+	env := testEnv(t)
+	env.Cat.Add(&catalog.Table{Name: "empty", Schema: pages.NewSchema(pages.Column{Name: "x", Kind: pages.KindInt})})
+	e := New(env, Config{Comm: CommSPL, ShareScan: true})
+	in := e.scan.Attach(env.Cat.MustGet("empty"))
+	if _, ok := in.Next(); ok {
+		t.Error("empty table delivered a page")
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	env := testEnv(t)
+	// Corrupt catalog: claims more pages than the device holds.
+	bad := &catalog.Table{
+		Name:     "phantom",
+		Schema:   pages.NewSchema(pages.Column{Name: "x", Kind: pages.KindInt}),
+		NumPages: 5,
+		NumRows:  100,
+	}
+	env.Cat.Add(bad)
+	e := New(env, Config{Comm: CommSPL})
+	q, err := plan.Build(env.Cat, "SELECT COUNT(*) AS n FROM phantom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(q); err == nil {
+		t.Error("scan of missing file should surface an error")
+	}
+}
+
+func TestRepeatedSequentialSubmissions(t *testing.T) {
+	// Circular scanners must come and go cleanly across sequential use.
+	env := testEnv(t)
+	q, err := plan.Build(env.Cat, ssb.Q11(rand.New(rand.NewSource(3))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(env, Config{Comm: CommSPL, ShareScan: true, ShareJoin: true})
+	want, err := exec.Execute(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		got, err := e.Submit(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iteration %d mismatch", i)
+		}
+	}
+}
+
+func TestCommString(t *testing.T) {
+	if CommFIFO.String() != "FIFO" || CommSPL.String() != "SPL" {
+		t.Error("Comm names")
+	}
+}
+
+func TestConfigAccessors(t *testing.T) {
+	env := testEnv(t)
+	cfg := Config{Comm: CommSPL, ShareScan: true}
+	e := New(env, cfg)
+	if e.Config() != cfg {
+		t.Error("Config() mismatch")
+	}
+	if e.Env() != env {
+		t.Error("Env() mismatch")
+	}
+}
+
+func TestShareResultsIdenticalPlans(t *testing.T) {
+	// Deterministic: seed an in-flight host result for the plan's
+	// signature; an identical submission must wait for it and return
+	// the host's rows without executing anything.
+	env := testEnv(t)
+	q, err := plan.Build(env.Cat, ssb.TPCHQ1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.Execute(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(env, Config{Comm: CommSPL, ShareScan: true, ShareResults: true})
+
+	host := &inflightResult{done: make(chan struct{})}
+	e.resMu.Lock()
+	e.results[q.Signature()] = host
+	e.resMu.Unlock()
+
+	got := make(chan []pages.Row, 1)
+	go func() {
+		rows, err := e.Submit(q)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- rows
+	}()
+	// The satellite must be blocked on the host, not executing: no scan
+	// may start.
+	if s := e.Stats(); s["scan_started"] != 0 {
+		t.Fatalf("satellite started scanning: %v", s)
+	}
+	host.rows = want
+	close(host.done)
+	if rows := <-got; !reflect.DeepEqual(rows, want) {
+		t.Errorf("satellite returned %d rows, want %d", len(rows), len(want))
+	}
+	if s := e.Stats(); s["result_shared"] != 1 {
+		t.Errorf("stats = %v, want result_shared=1", s)
+	}
+	if s := e.Stats(); s["scan_started"] != 0 {
+		t.Errorf("satellite executed despite sharing: %v", s)
+	}
+
+	// After the host entry is gone, submissions execute normally.
+	e.resMu.Lock()
+	delete(e.results, q.Signature())
+	e.resMu.Unlock()
+	rows, err := e.Submit(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Error("post-host submission diverged")
+	}
+}
+
+func TestShareResultsConcurrentCorrectness(t *testing.T) {
+	// Nondeterministic overlap: whatever sharing happens, results must
+	// match the baseline.
+	env := testEnv(t)
+	q, err := plan.Build(env.Cat, ssb.TPCHQ1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.Execute(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(env, Config{Comm: CommSPL, ShareScan: true, ShareResults: true})
+	const n = 8
+	results := make([][]pages.Row, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = e.Submit(q)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(results[i], want) {
+			t.Errorf("query %d diverged", i)
+		}
+	}
+}
+
+func TestShareResultsDistinctPlansUnaffected(t *testing.T) {
+	env := testEnv(t)
+	qa, _ := plan.Build(env.Cat, ssb.Q32PoolPlan(0))
+	qb, _ := plan.Build(env.Cat, ssb.Q32PoolPlan(5))
+	wa, _ := exec.Execute(env, qa)
+	wb, _ := exec.Execute(env, qb)
+	e := New(env, Config{Comm: CommSPL, ShareScan: true, ShareResults: true})
+	var wg sync.WaitGroup
+	var ra, rb []pages.Row
+	wg.Add(2)
+	go func() { defer wg.Done(); ra, _ = e.Submit(qa) }()
+	go func() { defer wg.Done(); rb, _ = e.Submit(qb) }()
+	wg.Wait()
+	if !reflect.DeepEqual(ra, wa) || !reflect.DeepEqual(rb, wb) {
+		t.Error("distinct plans cross-contaminated under ShareResults")
+	}
+	if e.Stats()["result_shared"] != 0 {
+		t.Error("distinct plans shared results")
+	}
+}

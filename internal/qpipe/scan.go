@@ -1,0 +1,131 @@
+package qpipe
+
+import (
+	"sync"
+
+	"sharedq/internal/catalog"
+	"sharedq/internal/comm"
+	"sharedq/internal/exec"
+	"sharedq/internal/heap"
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+)
+
+// ScanStage is the table-scan stage. With sharing enabled it runs one
+// circular scan per table (the linear WoP of §2.2): the first packet
+// for a table starts a scanner; later packets attach mid-scan and
+// receive the missed prefix after the scanner wraps around. Without
+// sharing, every packet runs a private front-to-back scan — the
+// query-centric model whose scanner threads contend for the buffer
+// pool and the device.
+type ScanStage struct {
+	env   *exec.Env
+	pc    portConfig
+	share bool
+	stats *metrics.CounterSet
+
+	mu       sync.Mutex
+	scanners map[string]*scanner
+	fail     func(error)
+}
+
+// NewScanStage creates the stage. fail receives asynchronous scanner
+// errors (it may be called from scanner goroutines).
+func NewScanStage(env *exec.Env, pc portConfig, share bool, stats *metrics.CounterSet, fail func(error)) *ScanStage {
+	return &ScanStage{
+		env:      env,
+		pc:       pc,
+		share:    share,
+		stats:    stats,
+		scanners: make(map[string]*scanner),
+		fail:     fail,
+	}
+}
+
+type scanner struct {
+	table *catalog.Table
+	out   OutPort
+	next  int // next page index to emit; guarded by stage.mu
+}
+
+// Attach returns an input port delivering the full content of table t
+// exactly once (as pages tagged with their table page index).
+func (st *ScanStage) Attach(t *catalog.Table) InPort {
+	if t.NumPages == 0 {
+		out := st.pc.newOutPort()
+		in := out.AddReader(false)
+		out.Close()
+		return in
+	}
+	if !st.share {
+		out := st.pc.newOutPort()
+		in := out.AddReader(false)
+		go st.privateScan(t, out)
+		return in
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if sc, ok := st.scanners[t.Name]; ok {
+		st.stats.Get("scan_shared").Inc()
+		return sc.out.AddReader(false)
+	}
+	sc := &scanner{table: t, out: st.pc.newOutPort()}
+	in := sc.out.AddReader(false)
+	st.scanners[t.Name] = sc
+	st.stats.Get("scan_started").Inc()
+	go st.circularScan(sc)
+	return in
+}
+
+// privateScan emits pages 0..N-1 once and closes.
+func (st *ScanStage) privateScan(t *catalog.Table, out OutPort) {
+	defer out.Close()
+	for i := 0; i < t.NumPages; i++ {
+		rows, err := st.readPage(t, i)
+		if err != nil {
+			st.fail(err)
+			return
+		}
+		out.Emit(&comm.Page{Rows: rows, Index: i})
+		if out.ActiveReaders() == 0 {
+			return
+		}
+	}
+}
+
+// circularScan cycles through the table until every attached reader has
+// wrapped around to its entry page (the ports' linear-WoP bookkeeping
+// finishes each reader). The registry check and de-registration are
+// atomic under the stage lock, so a packet never attaches to a scanner
+// that has decided to stop.
+func (st *ScanStage) circularScan(sc *scanner) {
+	for {
+		st.mu.Lock()
+		if sc.out.ActiveReaders() == 0 {
+			delete(st.scanners, sc.table.Name)
+			st.mu.Unlock()
+			sc.out.Close()
+			return
+		}
+		idx := sc.next
+		sc.next = (sc.next + 1) % sc.table.NumPages
+		st.mu.Unlock()
+
+		rows, err := st.readPage(sc.table, idx)
+		if err != nil {
+			st.mu.Lock()
+			delete(st.scanners, sc.table.Name)
+			st.mu.Unlock()
+			sc.out.Close()
+			st.fail(err)
+			return
+		}
+		sc.out.Emit(&comm.Page{Rows: rows, Index: idx})
+	}
+}
+
+func (st *ScanStage) readPage(t *catalog.Table, idx int) ([]pages.Row, error) {
+	stop := st.env.Col.Timer(metrics.Scans)
+	defer stop()
+	return heap.ReadPageRows(st.env.Pool, t.Name, idx, nil, st.env.Col)
+}

@@ -1,0 +1,330 @@
+// Package shareddb implements a SharedDB-style batched executor
+// (Giannikis et al., PVLDB 2012 — §2.4 and Table 2 of the reproduced
+// paper). Where CJOIN admits queries into an always-on pipeline,
+// SharedDB *batches* queries at every shared operator: a batch is a
+// fixed set of queries, which lets standard algorithms be extended to
+// shared variants (including operators CJOIN cannot share, like sorts)
+// at the cost of batch latency — "a new query may suffer increased
+// latency, and the latency of a batch is dominated by the
+// longest-running query".
+//
+// This implementation shares, within a batch of star queries over the
+// same dimension set:
+//
+//   - the fact scan (one pass for the whole batch),
+//   - the dimension scans and a bitmap-annotated shared hash join per
+//     dimension (the union of the batch's selections, as in CJOIN),
+//   - grouping work, through cjoin.SharedAggregator, for queries whose
+//     GROUP BY layouts coincide.
+//
+// Queries that do not fit a batch group (different dimension sets or
+// group-bys) still execute in the same batch wave, each on its own
+// query-centric pipeline.
+package shareddb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sharedq/internal/cjoin"
+	"sharedq/internal/exec"
+	"sharedq/internal/expr"
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+)
+
+// Config tunes the batched executor.
+type Config struct {
+	// MaxBatch caps queries per batch (default 64).
+	MaxBatch int
+	// Window is how long batch formation waits for more arrivals after
+	// the first pending query (default 2ms; negative disables).
+	// Larger windows increase sharing and batch latency — the SharedDB
+	// trade-off.
+	Window time.Duration
+}
+
+// Engine is a batched shared executor. Submit blocks until the batch
+// containing the query completes.
+type Engine struct {
+	env *exec.Env
+	cfg Config
+
+	mu      sync.Mutex
+	pending []*request
+	running bool
+
+	stats *metrics.CounterSet
+}
+
+type request struct {
+	q    *plan.Query
+	done chan struct{}
+	rows []pages.Row
+	err  error
+}
+
+// New creates a batched engine.
+func New(env *exec.Env, cfg Config) *Engine {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 2 * time.Millisecond
+	}
+	return &Engine{env: env, cfg: cfg, stats: metrics.NewCounterSet()}
+}
+
+// Stats returns batching counters: batches, batched queries, queries
+// that shared a group signature (shared_group), and solo fallbacks.
+func (e *Engine) Stats() map[string]int64 { return e.stats.Snapshot() }
+
+// Submit enqueues the query for the next batch and waits for its
+// results. While one batch runs, later arrivals form the next batch
+// (the SharedDB execution model).
+func (e *Engine) Submit(q *plan.Query) ([]pages.Row, error) {
+	req := &request{q: q, done: make(chan struct{})}
+	e.mu.Lock()
+	e.pending = append(e.pending, req)
+	if !e.running {
+		e.running = true
+		go e.runBatches()
+	}
+	e.mu.Unlock()
+	<-req.done
+	return req.rows, req.err
+}
+
+// runBatches drains pending requests batch by batch, waiting one
+// formation window after the first arrival so concurrent submissions
+// land in the same batch.
+func (e *Engine) runBatches() {
+	for {
+		if e.cfg.Window > 0 {
+			time.Sleep(e.cfg.Window)
+		}
+		e.mu.Lock()
+		if len(e.pending) == 0 {
+			e.running = false
+			e.mu.Unlock()
+			return
+		}
+		n := len(e.pending)
+		if n > e.cfg.MaxBatch {
+			n = e.cfg.MaxBatch
+		}
+		batch := e.pending[:n]
+		e.pending = e.pending[n:]
+		e.mu.Unlock()
+
+		e.stats.Get("batches").Inc()
+		e.stats.Get("batched_queries").Add(int64(len(batch)))
+		e.runBatch(batch)
+		for _, r := range batch {
+			close(r.done)
+		}
+	}
+}
+
+// groupKey buckets queries that can share one evaluation: same fact
+// table, same dimension chain (tables in order), same group-by layout,
+// and aggregation present.
+func groupKey(q *plan.Query) (string, bool) {
+	if !q.Star || !q.HasAgg {
+		return "", false
+	}
+	key := q.Fact.Name
+	for _, d := range q.Dims {
+		key += "|" + d.Table
+	}
+	key += "#"
+	for _, g := range q.GroupBy {
+		key += fmt.Sprint(g, ",")
+	}
+	return key, true
+}
+
+// runBatch evaluates one batch: shareable groups together, the rest
+// query-centric.
+func (e *Engine) runBatch(batch []*request) {
+	groups := make(map[string][]*request)
+	var solo []*request
+	for _, r := range batch {
+		if key, ok := groupKey(r.q); ok {
+			groups[key] = append(groups[key], r)
+		} else {
+			solo = append(solo, r)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g []*request) {
+			defer wg.Done()
+			e.runGroup(g)
+		}(g)
+	}
+	for _, r := range solo {
+		wg.Add(1)
+		go func(r *request) {
+			defer wg.Done()
+			e.stats.Get("solo").Inc()
+			r.rows, r.err = exec.Execute(e.env, r.q)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// runGroup evaluates one shareable group with shared scans, shared
+// joins and a shared aggregator.
+func (e *Engine) runGroup(g []*request) {
+	fail := func(err error) {
+		for _, r := range g {
+			r.err = err
+		}
+	}
+	if len(g) > 1 {
+		e.stats.Get("shared_group").Add(int64(len(g)))
+	}
+	lead := g[0].q
+
+	// Shared dimension tables: per dimension, one scan building a
+	// bitmap-annotated hash table over the union of the group's
+	// selections (bit i = query g[i]).
+	type dimState struct {
+		ht         *sharedDim
+		factColIdx int
+	}
+	dims := make([]dimState, len(lead.Dims))
+	for di := range lead.Dims {
+		ht := newSharedDim()
+		t, err := e.env.Cat.Get(lead.Dims[di].Table)
+		if err != nil {
+			fail(err)
+			return
+		}
+		preds := make([]expr.Pred, len(g))
+		for qi, r := range g {
+			preds[qi] = expr.CompilePred(r.q.Dims[di].Pred)
+		}
+		keyIdx := lead.Dims[di].DimKeyIdx
+		err = exec.ScanTable(e.env, t, func(rows []pages.Row) error {
+			stop := e.env.Col.Timer(metrics.Hashing)
+			defer stop()
+			for _, row := range rows {
+				var bm cjoin.Bitmap
+				for qi, p := range preds {
+					if p == nil || p(row) {
+						bm = bm.Set(qi)
+					}
+				}
+				if bm.Any() {
+					ht.insert(row[keyIdx], row, bm)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			fail(err)
+			return
+		}
+		dims[di] = dimState{ht: ht, factColIdx: lead.Dims[di].FactColIdx}
+	}
+
+	// Shared aggregation (one per distinct group-by layout — identical
+	// within a group by construction).
+	sa := cjoin.NewSharedAggregator(lead.GroupBy, e.env.Col)
+	for qi, r := range g {
+		if err := sa.Register(qi, r.q, expr.CompilePred(r.q.FactPred)); err != nil {
+			fail(err)
+			return
+		}
+	}
+
+	// One shared fact scan; probe the shared joins, AND bitmaps, feed
+	// the shared aggregator.
+	err := exec.ScanTable(e.env, lead.Fact, func(rows []pages.Row) error {
+		joined := make([]pages.Row, 0, len(rows))
+		bms := make([]cjoin.Bitmap, 0, len(rows))
+		stop := e.env.Col.Timer(metrics.Joins)
+		for _, fr := range rows {
+			bm := cjoin.NewBitmap(len(g))
+			for i := 0; i < len(g); i++ {
+				bm = bm.Set(i)
+			}
+			row := fr
+			ok := true
+			for _, d := range dims {
+				dr, sel := d.ht.lookup(row[d.factColIdx])
+				if !bm.FilterAnd(sel, allRef(len(g))) {
+					ok = false
+					break
+				}
+				j := make(pages.Row, 0, len(row)+len(dr))
+				j = append(j, row...)
+				j = append(j, dr...)
+				row = j
+			}
+			if ok {
+				joined = append(joined, row)
+				bms = append(bms, bm)
+			}
+		}
+		stop()
+		sa.Add(joined, bms)
+		return nil
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+	for qi, r := range g {
+		r.rows = sa.Rows(qi)
+	}
+}
+
+// allRef returns a bitmap with bits 0..n-1 set (every query in the
+// group references every dimension of the shared chain).
+func allRef(n int) cjoin.Bitmap {
+	bm := cjoin.NewBitmap(n)
+	for i := 0; i < n; i++ {
+		bm = bm.Set(i)
+	}
+	return bm
+}
+
+// sharedDim is a dimension hash table carrying per-row selection
+// bitmaps (like cjoin's, keyed per batch group).
+type sharedDim struct {
+	m map[pages.Value]*sharedDimEntry
+}
+
+type sharedDimEntry struct {
+	row pages.Row
+	sel cjoin.Bitmap
+}
+
+func newSharedDim() *sharedDim {
+	return &sharedDim{m: make(map[pages.Value]*sharedDimEntry)}
+}
+
+func (d *sharedDim) insert(k pages.Value, row pages.Row, sel cjoin.Bitmap) {
+	if e, ok := d.m[k]; ok {
+		for i := 0; i < len(sel)*64; i++ {
+			if sel.Test(i) {
+				e.sel = e.sel.Set(i)
+			}
+		}
+		return
+	}
+	d.m[k] = &sharedDimEntry{row: row, sel: sel}
+}
+
+func (d *sharedDim) lookup(k pages.Value) (pages.Row, cjoin.Bitmap) {
+	if e, ok := d.m[k]; ok {
+		return e.row, e.sel
+	}
+	return nil, nil
+}

@@ -1,0 +1,215 @@
+package shareddb
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"sharedq/internal/buffer"
+	"sharedq/internal/catalog"
+	"sharedq/internal/disk"
+	"sharedq/internal/exec"
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+	"sharedq/internal/ssb"
+)
+
+func testEnv(t *testing.T) *exec.Env {
+	t.Helper()
+	dev := disk.NewDevice(disk.Config{Timed: false})
+	cat := catalog.New()
+	ssb.RegisterSchemas(cat)
+	if err := (ssb.Gen{SF: 0.0005, Seed: 33}).Load(dev, cat); err != nil {
+		t.Fatal(err)
+	}
+	cache := disk.NewFSCache(dev, disk.CacheConfig{})
+	return &exec.Env{Cat: cat, Pool: buffer.NewPool(cache, 4096), Col: &metrics.Collector{}}
+}
+
+func mustPlan(t *testing.T, env *exec.Env, sql string) *plan.Query {
+	t.Helper()
+	q, err := plan.Build(env.Cat, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestSingleQueryMatchesBaseline(t *testing.T) {
+	env := testEnv(t)
+	e := New(env, Config{})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3; i++ {
+		q := mustPlan(t, env, ssb.Q32(rng))
+		want, err := exec.Execute(env, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Submit(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iteration %d diverged", i)
+		}
+	}
+}
+
+func TestBatchSharesSameShape(t *testing.T) {
+	// Same template, different predicates: one shared evaluation for
+	// the whole batch (same dims + group-by), correct per-query rows.
+	env := testEnv(t)
+	e := New(env, Config{})
+	rng := rand.New(rand.NewSource(5))
+	const n = 6
+	plans := make([]*plan.Query, n)
+	wants := make([][]pages.Row, n)
+	for i := 0; i < n; i++ {
+		plans[i] = mustPlan(t, env, ssb.Q32(rng))
+		w, err := exec.Execute(env, plans[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+	var wg sync.WaitGroup
+	results := make([][]pages.Row, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = e.Submit(plans[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], wants[i]) {
+			t.Errorf("query %d diverged (%d vs %d rows)", i, len(results[i]), len(wants[i]))
+		}
+	}
+	s := e.Stats()
+	if s["shared_group"] == 0 {
+		t.Errorf("no sharing recorded: %v", s)
+	}
+}
+
+func TestBatchMixedShapes(t *testing.T) {
+	// Queries with different dimension sets and a non-star query in
+	// one wave: correctness for all, sharing only where shapes match.
+	env := testEnv(t)
+	e := New(env, Config{})
+	rng := rand.New(rand.NewSource(7))
+	sqls := []string{
+		ssb.Q32(rng), ssb.Q32(rng), // shareable pair
+		ssb.Q21(rng), // different dims/group-by
+		ssb.Q11(rng), // scalar aggregate, 1 dim
+		ssb.TPCHQ1(), // non-star -> solo
+	}
+	plans := make([]*plan.Query, len(sqls))
+	wants := make([][]pages.Row, len(sqls))
+	for i, sql := range sqls {
+		plans[i] = mustPlan(t, env, sql)
+		w, err := exec.Execute(env, plans[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+	var wg sync.WaitGroup
+	results := make([][]pages.Row, len(sqls))
+	for i := range plans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := e.Submit(plans[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i := range plans {
+		if !reflect.DeepEqual(results[i], wants[i]) {
+			t.Errorf("query %d (%s...) diverged", i, sqls[i][:30])
+		}
+	}
+	if e.Stats()["solo"] == 0 {
+		t.Error("non-star query should run solo")
+	}
+}
+
+func TestMaxBatchSplitsWaves(t *testing.T) {
+	env := testEnv(t)
+	e := New(env, Config{MaxBatch: 2})
+	rng := rand.New(rand.NewSource(9))
+	const n = 5
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		q := mustPlan(t, env, ssb.Q32Pool(rng, 2))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.Submit(q); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := e.Stats()["batches"]; got < 2 {
+		t.Errorf("batches = %d, want >= 2 with MaxBatch 2", got)
+	}
+	if got := e.Stats()["batched_queries"]; got != n {
+		t.Errorf("batched_queries = %d, want %d", got, n)
+	}
+}
+
+func TestSequentialReuse(t *testing.T) {
+	env := testEnv(t)
+	e := New(env, Config{})
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3; i++ {
+		q := mustPlan(t, env, ssb.Q21(rng))
+		want, err := exec.Execute(env, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Submit(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("sequential wave %d diverged", i)
+		}
+	}
+}
+
+func TestGroupKey(t *testing.T) {
+	env := testEnv(t)
+	rng := rand.New(rand.NewSource(13))
+	a := mustPlan(t, env, ssb.Q32(rng))
+	b := mustPlan(t, env, ssb.Q32(rng))
+	c := mustPlan(t, env, ssb.Q21(rng))
+	ka, oka := groupKey(a)
+	kb, okb := groupKey(b)
+	kc, okc := groupKey(c)
+	if !oka || !okb || !okc {
+		t.Fatal("star aggregate queries should be groupable")
+	}
+	if ka != kb {
+		t.Error("same-shape queries should share a group key")
+	}
+	if ka == kc {
+		t.Error("different shapes share a group key")
+	}
+	if _, ok := groupKey(mustPlan(t, env, ssb.TPCHQ1())); ok {
+		t.Error("non-star query should not be groupable")
+	}
+}

@@ -1,0 +1,563 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sharedq/internal/expr"
+	"sharedq/internal/pages"
+)
+
+// SelectItem is one entry of a SELECT list: either a scalar expression
+// or an aggregate, optionally aliased.
+type SelectItem struct {
+	Expr  expr.Expr     // nil when Agg is set
+	Agg   *expr.AggSpec // nil for scalar items
+	Alias string        // "" if none
+}
+
+// Name returns the output column name: the alias if present, else the
+// canonical expression text.
+func (it SelectItem) Name() string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if it.Agg != nil {
+		return it.Agg.String()
+	}
+	return it.Expr.String()
+}
+
+// OrderItem is one ORDER BY entry; Ref names an output column (alias)
+// or a base column.
+type OrderItem struct {
+	Ref  string
+	Desc bool
+}
+
+// SelectStmt is a parsed SELECT.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []string
+	Where   expr.Expr // nil when absent; otherwise a (possibly 1-term) *expr.And
+	GroupBy []string
+	OrderBy []OrderItem
+	Limit   int // -1 when absent
+}
+
+// WhereConjuncts returns the top-level AND terms of the WHERE clause
+// (empty when absent). The planner classifies each conjunct as a join
+// condition, a dimension predicate or a fact predicate.
+func (s *SelectStmt) WhereConjuncts() []expr.Expr {
+	if s.Where == nil {
+		return nil
+	}
+	if a, ok := s.Where.(*expr.And); ok {
+		return a.Terms
+	}
+	return []expr.Expr{s.Where}
+}
+
+// Signature returns a canonical text of the whole statement, used for
+// detecting identical plans during SP. Two queries that differ only in
+// whitespace, keyword case or redundant parentheses share a signature.
+func (s *SelectStmt) Signature() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Agg != nil {
+			b.WriteString(it.Agg.String())
+		} else {
+			b.WriteString(it.Expr.String())
+		}
+		if it.Alias != "" {
+			b.WriteString(" AS " + it.Alias)
+		}
+	}
+	b.WriteString(" FROM " + strings.Join(s.From, ", "))
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY " + strings.Join(s.GroupBy, ", "))
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Ref)
+			if o.Desc {
+				b.WriteString(" DESC")
+			} else {
+				b.WriteString(" ASC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+// Parse parses one SELECT statement.
+func Parse(sql string) (*SelectStmt, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("trailing input starting at %s", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+// at reports whether the current token has the given kind and, when
+// text is non-empty, the given text.
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+// accept consumes the current token if it matches.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errorf("expected %q, found %s", text, p.peek())
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, t.text)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = normalizeWhere(w)
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, p.qualified(t.text))
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Ref: p.qualified(t.text)}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		nLim, err := strconv.Atoi(t.text)
+		if err != nil || nLim < 0 {
+			return nil, p.errorf("bad LIMIT %q", t.text)
+		}
+		stmt.Limit = nLim
+	}
+	return stmt, nil
+}
+
+// normalizeWhere wraps the clause in an *expr.And so WhereConjuncts is
+// uniform.
+func normalizeWhere(e expr.Expr) expr.Expr {
+	if _, ok := e.(*expr.And); ok {
+		return e
+	}
+	return &expr.And{Terms: []expr.Expr{e}}
+}
+
+// qualified handles an optional "table." prefix. Column names in our
+// schemas are globally unique (SSB prefixes every column with the table
+// initial), so the qualifier is validated syntactically and dropped.
+func (p *parser) qualified(first string) string {
+	if p.accept(tokSymbol, ".") {
+		t := p.peek()
+		if t.kind == tokIdent {
+			p.next()
+			return t.text
+		}
+	}
+	return first
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	// Aggregate call?
+	if t := p.peek(); t.kind == tokIdent {
+		if kind, ok := expr.AggKindFromName(strings.ToUpper(t.text)); ok && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+			p.next() // name
+			p.next() // (
+			spec := &expr.AggSpec{Kind: kind}
+			if p.accept(tokSymbol, "*") {
+				if kind != expr.AggCount {
+					return SelectItem{}, p.errorf("%s(*) is only valid for COUNT", kind)
+				}
+			} else {
+				arg, err := p.parseAdd()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				spec.Arg = arg
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return SelectItem{}, err
+			}
+			alias, err := p.parseAlias()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			return SelectItem{Agg: spec, Alias: alias}, nil
+		}
+	}
+	e, err := p.parseAdd()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	alias, err := p.parseAlias()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Expr: e, Alias: alias}, nil
+}
+
+func (p *parser) parseAlias() (string, error) {
+	if p.accept(tokKeyword, "AS") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return "", err
+		}
+		return t.text, nil
+	}
+	return "", nil
+}
+
+// parseOr parses disjunctions (lowest precedence).
+func (p *parser) parseOr() (expr.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []expr.Expr{l}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, r)
+	}
+	if len(terms) == 1 {
+		return l, nil
+	}
+	return &expr.Or{Terms: terms}, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	l, err := p.parsePredicate()
+	if err != nil {
+		return nil, err
+	}
+	terms := []expr.Expr{l}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, r)
+	}
+	if len(terms) == 1 {
+		return l, nil
+	}
+	return flattenAnd(terms), nil
+}
+
+// flattenAnd merges nested conjunctions into one n-ary And so the
+// planner sees a flat conjunct list.
+func flattenAnd(terms []expr.Expr) *expr.And {
+	out := &expr.And{}
+	for _, t := range terms {
+		if a, ok := t.(*expr.And); ok {
+			out.Terms = append(out.Terms, a.Terms...)
+		} else {
+			out.Terms = append(out.Terms, t)
+		}
+	}
+	return out
+}
+
+// parsePredicate parses one comparison / BETWEEN / IN, or a
+// parenthesized boolean expression.
+func (p *parser) parsePredicate() (expr.Expr, error) {
+	// A '(' here may open either a boolean group or an arithmetic
+	// primary. Try boolean first by lookahead: parse it as a full
+	// predicate expression and let precedence sort it out — we re-parse
+	// from a checkpoint if it turns out to be arithmetic.
+	if p.at(tokSymbol, "(") {
+		save := p.pos
+		p.next()
+		inner, err := p.parseOr()
+		if err == nil && p.accept(tokSymbol, ")") {
+			// If a comparison operator follows, the parenthesis was an
+			// arithmetic grouping; fall through to re-parse.
+			if !p.atComparison() && !p.at(tokKeyword, "BETWEEN") && !p.at(tokKeyword, "IN") &&
+				!p.at(tokSymbol, "*") && !p.at(tokSymbol, "/") && !p.at(tokSymbol, "+") && !p.at(tokSymbol, "-") {
+				return inner, nil
+			}
+		}
+		p.pos = save
+	}
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.atComparison():
+		op := p.comparisonOp(p.next().text)
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Bin{Op: op, L: l, R: r}, nil
+	case p.accept(tokKeyword, "BETWEEN"):
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Between{X: l, Lo: lo, Hi: hi}, nil
+	case p.accept(tokKeyword, "IN"):
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var list []expr.Expr
+		for {
+			e, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &expr.In{X: l, List: list}, nil
+	default:
+		return l, nil
+	}
+}
+
+func (p *parser) atComparison() bool {
+	t := p.peek()
+	if t.kind != tokSymbol {
+		return false
+	}
+	switch t.text {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func (p *parser) comparisonOp(sym string) expr.BinOp {
+	switch sym {
+	case "=":
+		return expr.OpEq
+	case "<>":
+		return expr.OpNe
+	case "<":
+		return expr.OpLt
+	case "<=":
+		return expr.OpLe
+	case ">":
+		return expr.OpGt
+	default:
+		return expr.OpGe
+	}
+}
+
+func (p *parser) parseAdd() (expr.Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "+"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &expr.Bin{Op: expr.OpAdd, L: l, R: r}
+		case p.accept(tokSymbol, "-"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &expr.Bin{Op: expr.OpSub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (expr.Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "*"):
+			r, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			l = &expr.Bin{Op: expr.OpMul, L: l, R: r}
+		case p.accept(tokSymbol, "/"):
+			r, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			l = &expr.Bin{Op: expr.OpDiv, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", t.text)
+			}
+			return &expr.Const{V: pages.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.text)
+		}
+		return &expr.Const{V: pages.Int(i)}, nil
+	case t.kind == tokString:
+		p.next()
+		return &expr.Const{V: pages.Str(t.text)}, nil
+	case t.kind == tokIdent:
+		p.next()
+		return expr.NewCol(p.qualified(t.text)), nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.next()
+		e, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokSymbol && t.text == "-":
+		p.next()
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Bin{Op: expr.OpSub, L: &expr.Const{V: pages.Int(0)}, R: e}, nil
+	default:
+		return nil, p.errorf("unexpected %s", t)
+	}
+}

@@ -1,0 +1,341 @@
+package sqlparse
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sharedq/internal/expr"
+	"sharedq/internal/ssb"
+)
+
+func mustParse(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	s, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return s
+}
+
+func TestParseMinimal(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t")
+	if len(s.Items) != 1 || s.Items[0].Expr.String() != "a" {
+		t.Errorf("items = %+v", s.Items)
+	}
+	if len(s.From) != 1 || s.From[0] != "t" {
+		t.Errorf("from = %v", s.From)
+	}
+	if s.Where != nil || s.Limit != -1 {
+		t.Error("unexpected clauses")
+	}
+}
+
+func TestParseSelectList(t *testing.T) {
+	s := mustParse(t, "SELECT a, b AS bee, SUM(a * b) AS total, COUNT(*) FROM t")
+	if len(s.Items) != 4 {
+		t.Fatalf("items = %d", len(s.Items))
+	}
+	if s.Items[1].Alias != "bee" {
+		t.Errorf("alias = %q", s.Items[1].Alias)
+	}
+	if s.Items[2].Agg == nil || s.Items[2].Agg.Kind != expr.AggSum {
+		t.Errorf("item 2 = %+v", s.Items[2])
+	}
+	if s.Items[2].Agg.Arg.String() != "(a * b)" {
+		t.Errorf("agg arg = %s", s.Items[2].Agg.Arg)
+	}
+	if s.Items[3].Agg == nil || s.Items[3].Agg.Kind != expr.AggCount || s.Items[3].Agg.Arg != nil {
+		t.Errorf("item 3 = %+v", s.Items[3])
+	}
+	if s.Items[3].Name() != "COUNT(*)" {
+		t.Errorf("Name = %q", s.Items[3].Name())
+	}
+}
+
+func TestParseWhereConjuncts(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t WHERE a = 1 AND b < 2 AND c BETWEEN 3 AND 5 AND d IN ('x', 'y')")
+	cj := s.WhereConjuncts()
+	if len(cj) != 4 {
+		t.Fatalf("conjuncts = %d: %v", len(cj), s.Where)
+	}
+	if cj[0].String() != "(a = 1)" {
+		t.Errorf("cj[0] = %s", cj[0])
+	}
+	if cj[2].String() != "(c BETWEEN 3 AND 5)" {
+		t.Errorf("cj[2] = %s", cj[2])
+	}
+	if cj[3].String() != "(d IN ('x', 'y'))" {
+		t.Errorf("cj[3] = %s", cj[3])
+	}
+}
+
+func TestParseOrPrecedence(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	// AND binds tighter: a=1 OR (b=2 AND c=3); whole thing is 1 conjunct.
+	cj := s.WhereConjuncts()
+	if len(cj) != 1 {
+		t.Fatalf("conjuncts = %d", len(cj))
+	}
+	or, ok := cj[0].(*expr.Or)
+	if !ok || len(or.Terms) != 2 {
+		t.Fatalf("cj[0] = %T %s", cj[0], cj[0])
+	}
+}
+
+func TestParseParenBoolean(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+	cj := s.WhereConjuncts()
+	if len(cj) != 2 {
+		t.Fatalf("conjuncts = %d: %s", len(cj), s.Where)
+	}
+	if _, ok := cj[0].(*expr.Or); !ok {
+		t.Errorf("cj[0] = %T", cj[0])
+	}
+}
+
+func TestParseParenArithmeticInWhere(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t WHERE (a + b) * 2 = 10")
+	cj := s.WhereConjuncts()
+	if len(cj) != 1 {
+		t.Fatalf("conjuncts = %v", cj)
+	}
+	if cj[0].String() != "(((a + b) * 2) = 10)" {
+		t.Errorf("cj[0] = %s", cj[0])
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	s := mustParse(t, "SELECT a + b * c FROM t")
+	if got := s.Items[0].Expr.String(); got != "(a + (b * c))" {
+		t.Errorf("expr = %s", got)
+	}
+	s = mustParse(t, "SELECT (a + b) * c FROM t")
+	if got := s.Items[0].Expr.String(); got != "((a + b) * c)" {
+		t.Errorf("expr = %s", got)
+	}
+}
+
+func TestParseUnaryMinus(t *testing.T) {
+	s := mustParse(t, "SELECT -a FROM t")
+	if got := s.Items[0].Expr.String(); got != "(0 - a)" {
+		t.Errorf("expr = %s", got)
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t WHERE f = 1.5 AND i = 42")
+	cj := s.WhereConjuncts()
+	if cj[0].String() != "(f = 1.50)" {
+		t.Errorf("float const = %s", cj[0])
+	}
+	if cj[1].String() != "(i = 42)" {
+		t.Errorf("int const = %s", cj[1])
+	}
+}
+
+func TestParseGroupOrderLimit(t *testing.T) {
+	s := mustParse(t, "SELECT a, SUM(b) AS rev FROM t GROUP BY a ORDER BY a ASC, rev DESC LIMIT 10")
+	if len(s.GroupBy) != 1 || s.GroupBy[0] != "a" {
+		t.Errorf("group by = %v", s.GroupBy)
+	}
+	if len(s.OrderBy) != 2 || s.OrderBy[0].Desc || !s.OrderBy[1].Desc {
+		t.Errorf("order by = %v", s.OrderBy)
+	}
+	if s.Limit != 10 {
+		t.Errorf("limit = %d", s.Limit)
+	}
+}
+
+func TestParseQualifiedColumns(t *testing.T) {
+	s := mustParse(t, "SELECT t.a FROM t WHERE t.a = 1 GROUP BY t.a ORDER BY t.a")
+	if s.Items[0].Expr.String() != "a" {
+		t.Errorf("qualified select = %s", s.Items[0].Expr)
+	}
+	if s.GroupBy[0] != "a" || s.OrderBy[0].Ref != "a" {
+		t.Errorf("qualified group/order = %v / %v", s.GroupBy, s.OrderBy)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	s := mustParse(t, "select A from T where A = 1 group by A order by A desc")
+	if s.From[0] != "t" || s.GroupBy[0] != "a" || !s.OrderBy[0].Desc {
+		t.Errorf("parsed = %+v", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP a",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t trailing",
+		"SELECT SUM(*) FROM t",
+		"SELECT a FROM t WHERE a = 'unterminated",
+		"SELECT a FROM t WHERE a ! b",
+		"SELECT a FROM t WHERE a IN 1",
+		"SELECT a FROM t WHERE a BETWEEN 1",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseNotEqualVariants(t *testing.T) {
+	a := mustParse(t, "SELECT a FROM t WHERE a <> 1")
+	b := mustParse(t, "SELECT a FROM t WHERE a != 1")
+	if a.Signature() != b.Signature() {
+		t.Errorf("<> and != differ: %q vs %q", a.Signature(), b.Signature())
+	}
+}
+
+func TestSignatureNormalizesWhitespace(t *testing.T) {
+	a := mustParse(t, "SELECT  a ,  SUM(b) AS x FROM t WHERE a=1 AND b<2 GROUP BY a ORDER BY a")
+	b := mustParse(t, "select a, sum(b) as x\nfrom t\nwhere a = 1 and b < 2\ngroup by a\norder by a asc")
+	if a.Signature() != b.Signature() {
+		t.Errorf("signatures differ:\n%q\n%q", a.Signature(), b.Signature())
+	}
+}
+
+func TestSignatureDistinguishesPredicates(t *testing.T) {
+	a := mustParse(t, "SELECT a FROM t WHERE a = 1")
+	b := mustParse(t, "SELECT a FROM t WHERE a = 2")
+	if a.Signature() == b.Signature() {
+		t.Error("different predicates share a signature")
+	}
+}
+
+func TestParseAllSSBTemplates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	queries := []string{
+		ssb.TPCHQ1(),
+		ssb.Q11(rng),
+		ssb.Q21(rng),
+		ssb.Q32(rng),
+		ssb.Q32Pool(rng, 16),
+		ssb.Q32Selectivity(rng, 2, 3),
+	}
+	for _, q := range queries {
+		s, err := Parse(q)
+		if err != nil {
+			t.Errorf("template failed to parse: %v\n%s", err, q)
+			continue
+		}
+		if len(s.From) == 0 || len(s.Items) == 0 {
+			t.Errorf("degenerate parse of:\n%s", q)
+		}
+	}
+}
+
+func TestParseQ32Shape(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := mustParse(t, ssb.Q32(rng))
+	if len(s.From) != 4 {
+		t.Errorf("Q3.2 FROM = %v", s.From)
+	}
+	cj := s.WhereConjuncts()
+	if len(cj) != 7 {
+		t.Errorf("Q3.2 has %d conjuncts, want 7 (3 joins + 4 predicates)", len(cj))
+	}
+	if len(s.GroupBy) != 3 || len(s.OrderBy) != 2 {
+		t.Errorf("Q3.2 group/order = %v / %v", s.GroupBy, s.OrderBy)
+	}
+	if !s.OrderBy[1].Desc || s.OrderBy[1].Ref != "revenue" {
+		t.Errorf("Q3.2 order by revenue DESC missing: %v", s.OrderBy)
+	}
+}
+
+func TestParseTPCHQ1Shape(t *testing.T) {
+	s := mustParse(t, ssb.TPCHQ1())
+	if len(s.From) != 1 || s.From[0] != "lineitem" {
+		t.Errorf("FROM = %v", s.From)
+	}
+	aggs := 0
+	for _, it := range s.Items {
+		if it.Agg != nil {
+			aggs++
+		}
+	}
+	if aggs != 5 {
+		t.Errorf("aggregates = %d, want 5", aggs)
+	}
+	if !strings.Contains(s.Signature(), "SUM((l_extendedprice * (1 - l_discount)))") {
+		t.Errorf("signature missing disc price: %s", s.Signature())
+	}
+}
+
+func TestLexOffsets(t *testing.T) {
+	toks, err := lex("SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].pos != 7 {
+		t.Errorf("token a at offset %d, want 7", toks[1].pos)
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := lex("SELECT a FROM t WHERE a = @"); err == nil {
+		t.Error("@ should fail to lex")
+	}
+}
+
+func TestSignatureIdempotent(t *testing.T) {
+	// Property: a statement's canonical signature reparses to itself —
+	// the signature is a fixed point of parse∘render. This guarantees
+	// SP matching is stable no matter how a query was originally
+	// formatted.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 50; i++ {
+		var sql string
+		switch i % 5 {
+		case 0:
+			sql = ssb.Q11(rng)
+		case 1:
+			sql = ssb.Q21(rng)
+		case 2:
+			sql = ssb.Q32(rng)
+		case 3:
+			sql = ssb.Q32Selectivity(rng, 1+rng.Intn(5), 1+rng.Intn(5))
+		default:
+			sql = ssb.TPCHQ1()
+		}
+		s1 := mustParse(t, sql)
+		sig1 := s1.Signature()
+		s2, err := Parse(sig1)
+		if err != nil {
+			t.Fatalf("signature does not reparse: %v\n%s", err, sig1)
+		}
+		if sig2 := s2.Signature(); sig2 != sig1 {
+			t.Fatalf("signature not idempotent:\n%s\n%s", sig1, sig2)
+		}
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	sql := "SELECT a FROM t WHERE ((((a = 1))))"
+	s := mustParse(t, sql)
+	if len(s.WhereConjuncts()) != 1 {
+		t.Errorf("nested parens = %v", s.Where)
+	}
+}
+
+func TestParseLongInList(t *testing.T) {
+	list := make([]string, 50)
+	for i := range list {
+		list[i] = fmt.Sprintf("'N%d'", i)
+	}
+	sql := "SELECT a FROM t WHERE s IN (" + strings.Join(list, ", ") + ")"
+	s := mustParse(t, sql)
+	in, ok := s.WhereConjuncts()[0].(*expr.In)
+	if !ok || len(in.List) != 50 {
+		t.Errorf("long IN list parse = %T", s.WhereConjuncts()[0])
+	}
+}

@@ -1,0 +1,198 @@
+package ssb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The full SSB query flight (O'Neil et al. 2009): thirteen templates in
+// four flights. The paper's evaluation uses Q1.1, Q2.1 and Q3.2; the
+// complete flight is provided so workloads can draw on the whole
+// benchmark (all are star queries the engines evaluate).
+
+// Q12 renders SSB Q1.2: one-month date restriction.
+func Q12(rng *rand.Rand) string {
+	year := FirstYear + rng.Intn(NumYears)
+	month := 1 + rng.Intn(12)
+	disc := 4 + rng.Intn(3)
+	return fmt.Sprintf(`SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+FROM lineorder, date
+WHERE lo_orderdate = d_datekey
+  AND d_yearmonthnum = %d
+  AND lo_discount BETWEEN %d AND %d
+  AND lo_quantity BETWEEN 26 AND 35`, year*100+month, disc-1, disc+1)
+}
+
+// Q13 renders SSB Q1.3: one-week date restriction.
+func Q13(rng *rand.Rand) string {
+	year := FirstYear + rng.Intn(NumYears)
+	week := 1 + rng.Intn(52)
+	disc := 5 + rng.Intn(3)
+	return fmt.Sprintf(`SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+FROM lineorder, date
+WHERE lo_orderdate = d_datekey
+  AND d_weeknuminyear = %d
+  AND d_year = %d
+  AND lo_discount BETWEEN %d AND %d
+  AND lo_quantity BETWEEN 26 AND 35`, week, year, disc-1, disc+1)
+}
+
+// Q22 renders SSB Q2.2: a brand range on part.
+func Q22(rng *rand.Rand) string {
+	m := 1 + rng.Intn(NumMfgrs)
+	c := 1 + rng.Intn(CategoriesPerMfgr)
+	b := 1 + rng.Intn(BrandsPerCategory-7)
+	region := Regions[rng.Intn(len(Regions))]
+	return fmt.Sprintf(`SELECT SUM(lo_revenue) AS revenue, d_year, p_brand1
+FROM lineorder, date, part, supplier
+WHERE lo_orderdate = d_datekey
+  AND lo_partkey = p_partkey
+  AND lo_suppkey = s_suppkey
+  AND p_brand1 BETWEEN 'MFGR#%d%d%02d' AND 'MFGR#%d%d%02d'
+  AND s_region = '%s'
+GROUP BY d_year, p_brand1
+ORDER BY d_year ASC, p_brand1 ASC`, m, c, b, m, c, b+7, region)
+}
+
+// Q23 renders SSB Q2.3: a single brand.
+func Q23(rng *rand.Rand) string {
+	m := 1 + rng.Intn(NumMfgrs)
+	c := 1 + rng.Intn(CategoriesPerMfgr)
+	b := 1 + rng.Intn(BrandsPerCategory)
+	region := Regions[rng.Intn(len(Regions))]
+	return fmt.Sprintf(`SELECT SUM(lo_revenue) AS revenue, d_year, p_brand1
+FROM lineorder, date, part, supplier
+WHERE lo_orderdate = d_datekey
+  AND lo_partkey = p_partkey
+  AND lo_suppkey = s_suppkey
+  AND p_brand1 = 'MFGR#%d%d%02d'
+  AND s_region = '%s'
+GROUP BY d_year, p_brand1
+ORDER BY d_year ASC, p_brand1 ASC`, m, c, b, region)
+}
+
+// Q31 renders SSB Q3.1: region-level customer/supplier restriction.
+func Q31(rng *rand.Rand) string {
+	region := Regions[rng.Intn(len(Regions))]
+	y1 := FirstYear + rng.Intn(NumYears-1)
+	y2 := y1 + 1 + rng.Intn(LastYear-y1)
+	return fmt.Sprintf(`SELECT c_nation, s_nation, d_year, SUM(lo_revenue) AS revenue
+FROM customer, lineorder, supplier, date
+WHERE lo_custkey = c_custkey
+  AND lo_suppkey = s_suppkey
+  AND lo_orderdate = d_datekey
+  AND c_region = '%s'
+  AND s_region = '%s'
+  AND d_year >= %d
+  AND d_year <= %d
+GROUP BY c_nation, s_nation, d_year
+ORDER BY d_year ASC, revenue DESC`, region, region, y1, y2)
+}
+
+// Q33 renders SSB Q3.3: city-level restriction.
+func Q33(rng *rand.Rand) string {
+	ni := rng.Intn(len(Nations))
+	nation := Nations[ni]
+	c1, c2 := CityOf(nation, rng.Intn(10)), CityOf(nation, rng.Intn(10))
+	y1 := FirstYear + rng.Intn(NumYears-1)
+	y2 := y1 + 1 + rng.Intn(LastYear-y1)
+	return fmt.Sprintf(`SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue
+FROM customer, lineorder, supplier, date
+WHERE lo_custkey = c_custkey
+  AND lo_suppkey = s_suppkey
+  AND lo_orderdate = d_datekey
+  AND c_city IN ('%s', '%s')
+  AND s_city IN ('%s', '%s')
+  AND d_year >= %d
+  AND d_year <= %d
+GROUP BY c_city, s_city, d_year
+ORDER BY d_year ASC, revenue DESC`, c1, c2, c1, c2, y1, y2)
+}
+
+// Q34 renders SSB Q3.4: one month, city-level restriction.
+func Q34(rng *rand.Rand) string {
+	ni := rng.Intn(len(Nations))
+	nation := Nations[ni]
+	c1, c2 := CityOf(nation, rng.Intn(10)), CityOf(nation, rng.Intn(10))
+	year := FirstYear + rng.Intn(NumYears)
+	month := 1 + rng.Intn(12)
+	return fmt.Sprintf(`SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue
+FROM customer, lineorder, supplier, date
+WHERE lo_custkey = c_custkey
+  AND lo_suppkey = s_suppkey
+  AND lo_orderdate = d_datekey
+  AND c_city IN ('%s', '%s')
+  AND s_city IN ('%s', '%s')
+  AND d_yearmonthnum = %d
+GROUP BY c_city, s_city, d_year
+ORDER BY d_year ASC, revenue DESC`, c1, c2, c1, c2, year*100+month)
+}
+
+// Q41 renders SSB Q4.1: profit by year and customer nation.
+func Q41(rng *rand.Rand) string {
+	region := Regions[rng.Intn(len(Regions))]
+	m1 := 1 + rng.Intn(NumMfgrs-1)
+	return fmt.Sprintf(`SELECT d_year, c_nation, SUM(lo_revenue - lo_supplycost) AS profit
+FROM date, customer, supplier, part, lineorder
+WHERE lo_custkey = c_custkey
+  AND lo_suppkey = s_suppkey
+  AND lo_partkey = p_partkey
+  AND lo_orderdate = d_datekey
+  AND c_region = '%s'
+  AND s_region = '%s'
+  AND p_mfgr IN ('MFGR#%d', 'MFGR#%d')
+GROUP BY d_year, c_nation
+ORDER BY d_year ASC, c_nation ASC`, region, region, m1, m1+1)
+}
+
+// Q42 renders SSB Q4.2: profit drill-down to category.
+func Q42(rng *rand.Rand) string {
+	region := Regions[rng.Intn(len(Regions))]
+	m1 := 1 + rng.Intn(NumMfgrs-1)
+	y := FirstYear + rng.Intn(NumYears-1)
+	return fmt.Sprintf(`SELECT d_year, s_nation, p_category, SUM(lo_revenue - lo_supplycost) AS profit
+FROM date, customer, supplier, part, lineorder
+WHERE lo_custkey = c_custkey
+  AND lo_suppkey = s_suppkey
+  AND lo_partkey = p_partkey
+  AND lo_orderdate = d_datekey
+  AND c_region = '%s'
+  AND s_region = '%s'
+  AND d_year IN (%d, %d)
+  AND p_mfgr IN ('MFGR#%d', 'MFGR#%d')
+GROUP BY d_year, s_nation, p_category
+ORDER BY d_year ASC, s_nation ASC, p_category ASC`, region, region, y, y+1, m1, m1+1)
+}
+
+// Q43 renders SSB Q4.3: profit drill-down to brand for one nation.
+func Q43(rng *rand.Rand) string {
+	nation := Nations[rng.Intn(len(Nations))]
+	m := 1 + rng.Intn(NumMfgrs)
+	c := 1 + rng.Intn(CategoriesPerMfgr)
+	y := FirstYear + rng.Intn(NumYears-1)
+	return fmt.Sprintf(`SELECT d_year, s_city, p_brand1, SUM(lo_revenue - lo_supplycost) AS profit
+FROM date, customer, supplier, part, lineorder
+WHERE lo_custkey = c_custkey
+  AND lo_suppkey = s_suppkey
+  AND lo_partkey = p_partkey
+  AND lo_orderdate = d_datekey
+  AND s_nation = '%s'
+  AND d_year IN (%d, %d)
+  AND p_category = 'MFGR#%d%d'
+GROUP BY d_year, s_city, p_brand1
+ORDER BY d_year ASC, s_city ASC, p_brand1 ASC`, nation, y, y+1, m, c)
+}
+
+// Flight returns the i-th template of the full 13-query SSB flight.
+func Flight(i int, rng *rand.Rand) string {
+	gens := []func(*rand.Rand) string{
+		Q11, Q12, Q13,
+		Q21, Q22, Q23,
+		Q31, Q32, Q33, Q34,
+		Q41, Q42, Q43,
+	}
+	return gens[((i%len(gens))+len(gens))%len(gens)](rng)
+}
+
+// FlightSize is the number of templates in the SSB flight.
+const FlightSize = 13

@@ -1,0 +1,75 @@
+package ssb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFlightRenders(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	seen := map[string]bool{}
+	for i := 0; i < FlightSize; i++ {
+		q := Flight(i, rng)
+		if !strings.HasPrefix(q, "SELECT") || !strings.Contains(q, "lineorder") {
+			t.Errorf("flight %d malformed:\n%s", i, q)
+		}
+		seen[q] = true
+	}
+	if len(seen) != FlightSize {
+		t.Errorf("flight produced %d distinct queries, want %d", len(seen), FlightSize)
+	}
+}
+
+func TestFlightWrapsAround(t *testing.T) {
+	rngA := rand.New(rand.NewSource(3))
+	rngB := rand.New(rand.NewSource(3))
+	if Flight(0, rngA) != Flight(FlightSize, rngB) {
+		t.Error("Flight index should wrap modulo FlightSize")
+	}
+	rngC := rand.New(rand.NewSource(3))
+	Flight(-1, rngC) // negative index must not panic
+}
+
+func TestFlightTemplateShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cases := []struct {
+		name   string
+		gen    func(*rand.Rand) string
+		tables int // FROM-list length
+	}{
+		{"Q1.2", Q12, 2},
+		{"Q1.3", Q13, 2},
+		{"Q2.2", Q22, 4},
+		{"Q2.3", Q23, 4},
+		{"Q3.1", Q31, 4},
+		{"Q3.3", Q33, 4},
+		{"Q3.4", Q34, 4},
+		{"Q4.1", Q41, 5},
+		{"Q4.2", Q42, 5},
+		{"Q4.3", Q43, 5},
+	}
+	for _, c := range cases {
+		q := c.gen(rng)
+		fromIdx := strings.Index(q, "FROM")
+		whereIdx := strings.Index(q, "WHERE")
+		if fromIdx < 0 || whereIdx < 0 {
+			t.Errorf("%s: missing clauses", c.name)
+			continue
+		}
+		fromList := q[fromIdx+4 : whereIdx]
+		if got := strings.Count(fromList, ",") + 1; got != c.tables {
+			t.Errorf("%s: %d tables in FROM, want %d", c.name, got, c.tables)
+		}
+	}
+}
+
+func TestQ43BrandRangeOrdering(t *testing.T) {
+	// Brand string comparisons must be well-ordered for the Q2.2
+	// BETWEEN range: MFGR#mcbb with zero-padded brand numbers.
+	rng := rand.New(rand.NewSource(5))
+	q := Q22(rng)
+	if !strings.Contains(q, "BETWEEN 'MFGR#") {
+		t.Errorf("Q2.2 missing brand range:\n%s", q)
+	}
+}

@@ -1,0 +1,233 @@
+package ssb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sharedq/internal/catalog"
+	"sharedq/internal/disk"
+	"sharedq/internal/heap"
+	"sharedq/internal/pages"
+)
+
+// Gen generates SSB data deterministically for a given scale factor and
+// seed: the same (SF, Seed) always produces byte-identical tables.
+type Gen struct {
+	SF   float64 // scale factor; 1.0 = nominal SSB sizes
+	Seed int64
+}
+
+// Row counts at the given scale factor. Date is SF-independent (as in
+// SSB); the rest scale linearly with floors so tiny SFs remain joinable.
+func (g Gen) rowsCustomer() int  { return maxInt(100, int(30000*g.SF)) }
+func (g Gen) rowsSupplier() int  { return maxInt(40, int(2000*g.SF)) }
+func (g Gen) rowsPart() int      { return maxInt(200, int(200000*g.SF)) }
+func (g Gen) rowsLineorder() int { return maxInt(2000, int(6000000*g.SF)) }
+func (g Gen) rowsLineitem() int  { return maxInt(2000, int(6000000*g.SF)) }
+func (g Gen) rowsDate() int      { return NumYears * 365 }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NumRows returns the generated row count of the named table.
+func (g Gen) NumRows(table string) int {
+	switch table {
+	case TableCustomer:
+		return g.rowsCustomer()
+	case TableSupplier:
+		return g.rowsSupplier()
+	case TablePart:
+		return g.rowsPart()
+	case TableLineorder:
+		return g.rowsLineorder()
+	case TableLineitem:
+		return g.rowsLineitem()
+	case TableDate:
+		return g.rowsDate()
+	default:
+		return 0
+	}
+}
+
+func (g Gen) rng(table string) *rand.Rand {
+	var h int64
+	for _, c := range table {
+		h = h*131 + int64(c)
+	}
+	return rand.New(rand.NewSource(g.Seed ^ h))
+}
+
+// DateKey encodes (year, dayOfYear) the way the date dimension does:
+// year*1000 + dayOfYear, a dense sortable integer key.
+func DateKey(year, dayOfYear int) int64 { return int64(year*1000 + dayOfYear) }
+
+// Load generates every SSB table (including lineitem) onto dev and
+// updates row/page counts in cat. RegisterSchemas must have been called.
+func (g Gen) Load(dev *disk.Device, cat *catalog.Catalog) error {
+	loaders := []struct {
+		table string
+		fn    func(emit func(pages.Row) error) error
+	}{
+		{TableDate, g.genDate},
+		{TableCustomer, g.genCustomer},
+		{TableSupplier, g.genSupplier},
+		{TablePart, g.genPart},
+		{TableLineorder, g.genLineorder},
+		{TableLineitem, g.genLineitem},
+	}
+	for _, l := range loaders {
+		t, err := cat.Get(l.table)
+		if err != nil {
+			return err
+		}
+		if err := heap.Load(dev, t, l.fn); err != nil {
+			return fmt.Errorf("ssb: loading %s: %w", l.table, err)
+		}
+	}
+	return nil
+}
+
+func (g Gen) genDate(emit func(pages.Row) error) error {
+	for y := FirstYear; y <= LastYear; y++ {
+		for d := 1; d <= 365; d++ {
+			month := (d-1)/31 + 1
+			if month > 12 {
+				month = 12
+			}
+			r := pages.Row{
+				pages.Int(DateKey(y, d)),
+				pages.Str(fmt.Sprintf("%d-%03d", y, d)),
+				pages.Int(int64(y)),
+				pages.Int(int64(y*100 + month)),
+				pages.Int(int64(month)),
+				pages.Int(int64((d-1)/7 + 1)),
+			}
+			if err := emit(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g Gen) genCustomer(emit func(pages.Row) error) error {
+	rng := g.rng(TableCustomer)
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	n := g.rowsCustomer()
+	for i := 1; i <= n; i++ {
+		ni := rng.Intn(len(Nations))
+		nation := Nations[ni]
+		r := pages.Row{
+			pages.Int(int64(i)),
+			pages.Str(fmt.Sprintf("Customer#%09d", i)),
+			pages.Str(CityOf(nation, rng.Intn(10))),
+			pages.Str(nation),
+			pages.Str(RegionOf(ni)),
+			pages.Str(segments[rng.Intn(len(segments))]),
+		}
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g Gen) genSupplier(emit func(pages.Row) error) error {
+	rng := g.rng(TableSupplier)
+	n := g.rowsSupplier()
+	for i := 1; i <= n; i++ {
+		ni := rng.Intn(len(Nations))
+		nation := Nations[ni]
+		r := pages.Row{
+			pages.Int(int64(i)),
+			pages.Str(fmt.Sprintf("Supplier#%09d", i)),
+			pages.Str(CityOf(nation, rng.Intn(10))),
+			pages.Str(nation),
+			pages.Str(RegionOf(ni)),
+		}
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g Gen) genPart(emit func(pages.Row) error) error {
+	rng := g.rng(TablePart)
+	colors := []string{"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue", "blush"}
+	n := g.rowsPart()
+	for i := 1; i <= n; i++ {
+		m := rng.Intn(NumMfgrs) + 1
+		c := rng.Intn(CategoriesPerMfgr) + 1
+		b := rng.Intn(BrandsPerCategory) + 1
+		r := pages.Row{
+			pages.Int(int64(i)),
+			pages.Str(fmt.Sprintf("Part %d", i)),
+			pages.Str(fmt.Sprintf("MFGR#%d", m)),
+			pages.Str(fmt.Sprintf("MFGR#%d%d", m, c)),
+			pages.Str(fmt.Sprintf("MFGR#%d%d%02d", m, c, b)),
+			pages.Str(colors[rng.Intn(len(colors))]),
+		}
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g Gen) genLineorder(emit func(pages.Row) error) error {
+	rng := g.rng(TableLineorder)
+	nc, ns, np := g.rowsCustomer(), g.rowsSupplier(), g.rowsPart()
+	n := g.rowsLineorder()
+	for i := 1; i <= n; i++ {
+		qty := int64(rng.Intn(50) + 1)
+		price := int64(rng.Intn(100000) + 1000)
+		disc := int64(rng.Intn(11)) // 0..10 percent
+		rev := price * (100 - disc) / 100
+		r := pages.Row{
+			pages.Int(int64((i-1)/4 + 1)), // orderkey: ~4 lines per order
+			pages.Int(int64((i-1)%4 + 1)), // linenumber
+			pages.Int(int64(rng.Intn(nc) + 1)),
+			pages.Int(int64(rng.Intn(np) + 1)),
+			pages.Int(int64(rng.Intn(ns) + 1)),
+			pages.Int(DateKey(FirstYear+rng.Intn(NumYears), rng.Intn(365)+1)),
+			pages.Int(qty),
+			pages.Int(price),
+			pages.Int(disc),
+			pages.Int(rev),
+			pages.Int(price * 6 / 10),
+			pages.Int(int64(rng.Intn(9))),
+		}
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g Gen) genLineitem(emit func(pages.Row) error) error {
+	rng := g.rng(TableLineitem)
+	flags := []string{"A", "N", "R"}
+	status := []string{"O", "F"}
+	n := g.rowsLineitem()
+	for i := 1; i <= n; i++ {
+		r := pages.Row{
+			pages.Int(int64((i-1)/4 + 1)),
+			pages.Int(int64(rng.Intn(50) + 1)),
+			pages.Float(float64(rng.Intn(100000)+1000) / 100),
+			pages.Float(float64(rng.Intn(11)) / 100),
+			pages.Float(float64(rng.Intn(9)) / 100),
+			pages.Str(flags[rng.Intn(len(flags))]),
+			pages.Str(status[rng.Intn(len(status))]),
+			pages.Int(DateKey(FirstYear+rng.Intn(NumYears), rng.Intn(365)+1)),
+		}
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package ssb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Query templates from the paper's evaluation. Each function renders a
+// SQL string; randomness (when any) comes from the supplied rng so
+// workloads are reproducible.
+
+// Q11 renders SSB Q1.1: a one-dimension star query with fact-table
+// predicates, used in the Fig 16 query mix.
+func Q11(rng *rand.Rand) string {
+	year := FirstYear + rng.Intn(NumYears)
+	disc := 1 + rng.Intn(9) // BETWEEN disc-1 AND disc+1
+	qty := 20 + rng.Intn(11)
+	return fmt.Sprintf(`SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+FROM lineorder, date
+WHERE lo_orderdate = d_datekey
+  AND d_year = %d
+  AND lo_discount BETWEEN %d AND %d
+  AND lo_quantity < %d`, year, disc-1, disc+1, qty)
+}
+
+// Q21 renders SSB Q2.1: a three-dimension star query grouped by year and
+// brand, used in the Fig 16 query mix.
+func Q21(rng *rand.Rand) string {
+	mfgr := 1 + rng.Intn(NumMfgrs)
+	cat := 1 + rng.Intn(CategoriesPerMfgr)
+	region := Regions[rng.Intn(len(Regions))]
+	return fmt.Sprintf(`SELECT SUM(lo_revenue) AS revenue, d_year, p_brand1
+FROM lineorder, date, part, supplier
+WHERE lo_orderdate = d_datekey
+  AND lo_partkey = p_partkey
+  AND lo_suppkey = s_suppkey
+  AND p_category = 'MFGR#%d%d'
+  AND s_region = '%s'
+GROUP BY d_year, p_brand1
+ORDER BY d_year ASC, p_brand1 ASC`, mfgr, cat, region)
+}
+
+// q32 renders SSB Q3.2 (Fig 9) with explicit parameters.
+func q32(nationC, nationS string, yearLow, yearHigh int) string {
+	return fmt.Sprintf(`SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue
+FROM customer, lineorder, supplier, date
+WHERE lo_custkey = c_custkey
+  AND lo_suppkey = s_suppkey
+  AND lo_orderdate = d_datekey
+  AND c_nation = '%s'
+  AND s_nation = '%s'
+  AND d_year >= %d
+  AND d_year <= %d
+GROUP BY c_city, s_city, d_year
+ORDER BY d_year ASC, revenue DESC`, nationC, nationS, yearLow, yearHigh)
+}
+
+// Q32 renders Q3.2 with random predicates, as in the sensitivity
+// analysis of §5.2.1 (low similarity: random nations and year range).
+func Q32(rng *rand.Rand) string {
+	nc := Nations[rng.Intn(len(Nations))]
+	ns := Nations[rng.Intn(len(Nations))]
+	y1 := FirstYear + rng.Intn(NumYears)
+	y2 := y1 + rng.Intn(LastYear-y1+1)
+	return q32(nc, ns, y1, y2)
+}
+
+// Q32Pool renders Q3.2 drawing its parameters from a pool of poolSize
+// distinct plans, the similarity knob of Figures 14 and 15 ("the number
+// of possible different submitted query plans").
+func Q32Pool(rng *rand.Rand, poolSize int) string {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	return Q32PoolPlan(rng.Intn(poolSize))
+}
+
+// Q32PoolPlan renders the plan-th distinct Q3.2 instance of the plan
+// pool. Distinct plan ids yield distinct predicate combinations.
+func Q32PoolPlan(plan int) string {
+	nc := Nations[plan%len(Nations)]
+	ns := Nations[(plan/len(Nations))%len(Nations)]
+	span := (plan / (len(Nations) * len(Nations))) % NumYears
+	return q32(nc, ns, FirstYear, FirstYear+span)
+}
+
+// Q32Selectivity renders the modified Q3.2 template of §5.2.2: the full
+// year range and disjunctions of nCust customer nations and nSupp
+// supplier nations, achieving a fact-tuple selectivity of approximately
+// (nCust/25)·(nSupp/25). Nations are selected randomly and are unique
+// within each disjunction, keeping a minimal similarity factor.
+func Q32Selectivity(rng *rand.Rand, nCust, nSupp int) string {
+	pick := func(n int) []string {
+		perm := rng.Perm(len(Nations))
+		out := make([]string, 0, n)
+		for _, i := range perm[:n] {
+			out = append(out, "'"+Nations[i]+"'")
+		}
+		return out
+	}
+	return fmt.Sprintf(`SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue
+FROM customer, lineorder, supplier, date
+WHERE lo_custkey = c_custkey
+  AND lo_suppkey = s_suppkey
+  AND lo_orderdate = d_datekey
+  AND c_nation IN (%s)
+  AND s_nation IN (%s)
+  AND d_year >= %d
+  AND d_year <= %d
+GROUP BY c_city, s_city, d_year
+ORDER BY d_year ASC, revenue DESC`,
+		strings.Join(pick(nCust), ", "), strings.Join(pick(nSupp), ", "),
+		FirstYear, LastYear)
+}
+
+// SelectivityToNations converts a target fact selectivity (fraction) to
+// the (nCust, nSupp) disjunction sizes that approximate it, the way the
+// paper picks "a disjunction of 2 nations for customers and 3 for
+// suppliers [to] achieve ≈1 %".
+func SelectivityToNations(target float64) (nCust, nSupp int) {
+	n := len(Nations)
+	best := 1 << 30
+	nCust, nSupp = 1, 1
+	for c := 1; c <= n; c++ {
+		for s := 1; s <= n; s++ {
+			got := float64(c) / float64(n) * float64(s) / float64(n)
+			diff := got - target
+			if diff < 0 {
+				diff = -diff
+			}
+			scaled := int(diff * 1e9)
+			if scaled < best {
+				best, nCust, nSupp = scaled, c, s
+			}
+		}
+	}
+	return nCust, nSupp
+}
+
+// TPCHQ1 renders the TPC-H Q1 style scan-plus-aggregation query over
+// lineitem used by the Fig 6 experiments. The experiments submit
+// identical instances, so the template is deterministic.
+func TPCHQ1() string {
+	return fmt.Sprintf(`SELECT l_returnflag, l_linestatus,
+  SUM(l_quantity) AS sum_qty,
+  SUM(l_extendedprice) AS sum_base_price,
+  SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+  AVG(l_quantity) AS avg_qty,
+  COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= %d
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag ASC, l_linestatus ASC`, DateKey(LastYear, 240))
+}
+
+// MixQuery renders the i-th query of the Fig 16 round-robin mix of
+// Q1.1, Q2.1 and Q3.2.
+func MixQuery(i int, rng *rand.Rand) string {
+	switch i % 3 {
+	case 0:
+		return Q11(rng)
+	case 1:
+		return Q21(rng)
+	default:
+		return Q32(rng)
+	}
+}

@@ -1,0 +1,175 @@
+// Package ssb implements the Star Schema Benchmark substrate the paper
+// evaluates on: deterministic data generators for the lineorder fact
+// table and the date/customer/supplier/part dimensions, the SSB query
+// templates used in the experiments (Q1.1, Q2.1, Q3.2 and the modified
+// Q3.2 selectivity template of §5.2.2), and a TPC-H-style lineitem
+// table with the Q1 template used by the Shared Pages List motivation
+// experiment (Fig 6).
+//
+// Scale factors are continuous: SF=1 matches SSB's nominal table sizes;
+// fractional SFs scale row counts linearly so experiments stay
+// laptop-sized while preserving relative table sizes and template
+// selectivities (nations are always 25, regions 5, years 7, so the
+// paper's selectivity arithmetic — e.g. Q3.2's (1/25)² — is unchanged).
+package ssb
+
+import (
+	"sharedq/internal/catalog"
+	"sharedq/internal/pages"
+)
+
+// Table names.
+const (
+	TableLineorder = "lineorder"
+	TableCustomer  = "customer"
+	TableSupplier  = "supplier"
+	TablePart      = "part"
+	TableDate      = "date"
+	TableLineitem  = "lineitem" // TPC-H style table for the Fig 6 experiment
+)
+
+// Nations and regions follow SSB: 25 nations, 5 per region.
+var (
+	Regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	Nations = []string{
+		"ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE",
+		"ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES",
+		"CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM",
+		"FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM",
+		"EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA",
+	}
+)
+
+// RegionOf returns the region of nation index i (five nations per region).
+func RegionOf(i int) string { return Regions[i/5] }
+
+// CityOf returns one of the ten SSB cities of a nation: the nation name
+// truncated/padded to nine characters plus a digit.
+func CityOf(nation string, j int) string {
+	name := nation
+	if len(name) > 9 {
+		name = name[:9]
+	}
+	for len(name) < 9 {
+		name += " "
+	}
+	return name + string(rune('0'+j%10))
+}
+
+// Years covered by the date dimension, as in SSB.
+const (
+	FirstYear = 1992
+	LastYear  = 1998
+	NumYears  = LastYear - FirstYear + 1
+)
+
+// Categories, brands and manufacturers for part, following SSB's
+// MFGR#m / MFGR#mc / MFGR#mcb naming.
+const (
+	NumMfgrs          = 5
+	CategoriesPerMfgr = 5
+	BrandsPerCategory = 40
+)
+
+// LineorderSchema returns the fact-table schema (a representative
+// column subset of SSB's 17; wide enough for every template we run).
+func LineorderSchema() *pages.Schema {
+	return pages.NewSchema(
+		pages.Column{Name: "lo_orderkey", Kind: pages.KindInt},
+		pages.Column{Name: "lo_linenumber", Kind: pages.KindInt},
+		pages.Column{Name: "lo_custkey", Kind: pages.KindInt},
+		pages.Column{Name: "lo_partkey", Kind: pages.KindInt},
+		pages.Column{Name: "lo_suppkey", Kind: pages.KindInt},
+		pages.Column{Name: "lo_orderdate", Kind: pages.KindInt},
+		pages.Column{Name: "lo_quantity", Kind: pages.KindInt},
+		pages.Column{Name: "lo_extendedprice", Kind: pages.KindInt},
+		pages.Column{Name: "lo_discount", Kind: pages.KindInt},
+		pages.Column{Name: "lo_revenue", Kind: pages.KindInt},
+		pages.Column{Name: "lo_supplycost", Kind: pages.KindInt},
+		pages.Column{Name: "lo_tax", Kind: pages.KindInt},
+	)
+}
+
+// CustomerSchema returns the customer dimension schema.
+func CustomerSchema() *pages.Schema {
+	return pages.NewSchema(
+		pages.Column{Name: "c_custkey", Kind: pages.KindInt},
+		pages.Column{Name: "c_name", Kind: pages.KindString},
+		pages.Column{Name: "c_city", Kind: pages.KindString},
+		pages.Column{Name: "c_nation", Kind: pages.KindString},
+		pages.Column{Name: "c_region", Kind: pages.KindString},
+		pages.Column{Name: "c_mktsegment", Kind: pages.KindString},
+	)
+}
+
+// SupplierSchema returns the supplier dimension schema.
+func SupplierSchema() *pages.Schema {
+	return pages.NewSchema(
+		pages.Column{Name: "s_suppkey", Kind: pages.KindInt},
+		pages.Column{Name: "s_name", Kind: pages.KindString},
+		pages.Column{Name: "s_city", Kind: pages.KindString},
+		pages.Column{Name: "s_nation", Kind: pages.KindString},
+		pages.Column{Name: "s_region", Kind: pages.KindString},
+	)
+}
+
+// PartSchema returns the part dimension schema.
+func PartSchema() *pages.Schema {
+	return pages.NewSchema(
+		pages.Column{Name: "p_partkey", Kind: pages.KindInt},
+		pages.Column{Name: "p_name", Kind: pages.KindString},
+		pages.Column{Name: "p_mfgr", Kind: pages.KindString},
+		pages.Column{Name: "p_category", Kind: pages.KindString},
+		pages.Column{Name: "p_brand1", Kind: pages.KindString},
+		pages.Column{Name: "p_color", Kind: pages.KindString},
+	)
+}
+
+// DateSchema returns the date dimension schema.
+func DateSchema() *pages.Schema {
+	return pages.NewSchema(
+		pages.Column{Name: "d_datekey", Kind: pages.KindInt},
+		pages.Column{Name: "d_date", Kind: pages.KindString},
+		pages.Column{Name: "d_year", Kind: pages.KindInt},
+		pages.Column{Name: "d_yearmonthnum", Kind: pages.KindInt},
+		pages.Column{Name: "d_month", Kind: pages.KindInt},
+		pages.Column{Name: "d_weeknuminyear", Kind: pages.KindInt},
+	)
+}
+
+// LineitemSchema returns the TPC-H-style lineitem schema used by the
+// Fig 6 (TPC-H Q1) experiment.
+func LineitemSchema() *pages.Schema {
+	return pages.NewSchema(
+		pages.Column{Name: "l_orderkey", Kind: pages.KindInt},
+		pages.Column{Name: "l_quantity", Kind: pages.KindInt},
+		pages.Column{Name: "l_extendedprice", Kind: pages.KindFloat},
+		pages.Column{Name: "l_discount", Kind: pages.KindFloat},
+		pages.Column{Name: "l_tax", Kind: pages.KindFloat},
+		pages.Column{Name: "l_returnflag", Kind: pages.KindString},
+		pages.Column{Name: "l_linestatus", Kind: pages.KindString},
+		pages.Column{Name: "l_shipdate", Kind: pages.KindInt},
+	)
+}
+
+// RegisterSchemas adds all SSB tables (with zero row counts) to cat,
+// wiring the fact table's foreign keys so the planner can recognise
+// star queries.
+func RegisterSchemas(cat *catalog.Catalog) {
+	cat.Add(&catalog.Table{
+		Name:   TableLineorder,
+		Schema: LineorderSchema(),
+		IsFact: true,
+		ForeignKeys: []catalog.ForeignKey{
+			{Column: "lo_custkey", RefTable: TableCustomer, RefColumn: "c_custkey"},
+			{Column: "lo_partkey", RefTable: TablePart, RefColumn: "p_partkey"},
+			{Column: "lo_suppkey", RefTable: TableSupplier, RefColumn: "s_suppkey"},
+			{Column: "lo_orderdate", RefTable: TableDate, RefColumn: "d_datekey"},
+		},
+	})
+	cat.Add(&catalog.Table{Name: TableCustomer, Schema: CustomerSchema()})
+	cat.Add(&catalog.Table{Name: TableSupplier, Schema: SupplierSchema()})
+	cat.Add(&catalog.Table{Name: TablePart, Schema: PartSchema()})
+	cat.Add(&catalog.Table{Name: TableDate, Schema: DateSchema()})
+	cat.Add(&catalog.Table{Name: TableLineitem, Schema: LineitemSchema()})
+}

@@ -1,0 +1,275 @@
+package ssb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sharedq/internal/buffer"
+	"sharedq/internal/catalog"
+	"sharedq/internal/disk"
+	"sharedq/internal/heap"
+)
+
+func loadTiny(t *testing.T) (*catalog.Catalog, *buffer.Pool) {
+	t.Helper()
+	dev := disk.NewDevice(disk.Config{Timed: false})
+	cat := catalog.New()
+	RegisterSchemas(cat)
+	g := Gen{SF: 0.0001, Seed: 1}
+	if err := g.Load(dev, cat); err != nil {
+		t.Fatal(err)
+	}
+	cache := disk.NewFSCache(dev, disk.CacheConfig{})
+	return cat, buffer.NewPool(cache, 1024)
+}
+
+func TestRegisterSchemas(t *testing.T) {
+	cat := catalog.New()
+	RegisterSchemas(cat)
+	if len(cat.Names()) != 6 {
+		t.Fatalf("tables = %v", cat.Names())
+	}
+	fact, ok := cat.FactTable()
+	if !ok || fact.Name != TableLineorder {
+		t.Fatalf("fact table = %v", fact)
+	}
+	if len(fact.ForeignKeys) != 4 {
+		t.Errorf("fact FKs = %v", fact.ForeignKeys)
+	}
+	for _, fk := range fact.ForeignKeys {
+		dim := cat.MustGet(fk.RefTable)
+		if dim.Schema.Index(fk.RefColumn) != 0 {
+			t.Errorf("FK %v: ref column not first in %s", fk, dim.Name)
+		}
+		if fact.Schema.Index(fk.Column) < 0 {
+			t.Errorf("FK column %s missing from fact schema", fk.Column)
+		}
+	}
+}
+
+func TestGenDeterministic(t *testing.T) {
+	load := func() int64 {
+		dev := disk.NewDevice(disk.Config{})
+		cat := catalog.New()
+		RegisterSchemas(cat)
+		if err := (Gen{SF: 0.0001, Seed: 7}).Load(dev, cat); err != nil {
+			t.Fatal(err)
+		}
+		var sum int64
+		cache := disk.NewFSCache(dev, disk.CacheConfig{})
+		pool := buffer.NewPool(cache, 2048)
+		rows, err := heap.ScanAll(pool, cat.MustGet(TableLineorder), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			sum += r[9].I // lo_revenue
+		}
+		return sum
+	}
+	if a, b := load(), load(); a != b {
+		t.Errorf("same seed produced different data: %d vs %d", a, b)
+	}
+}
+
+func TestGenRowCounts(t *testing.T) {
+	cat, pool := loadTiny(t)
+	g := Gen{SF: 0.0001, Seed: 1}
+	for _, name := range []string{TableCustomer, TableSupplier, TablePart, TableDate, TableLineorder, TableLineitem} {
+		tbl := cat.MustGet(name)
+		if int(tbl.NumRows) != g.NumRows(name) {
+			t.Errorf("%s: catalog says %d rows, generator says %d", name, tbl.NumRows, g.NumRows(name))
+		}
+		rows, err := heap.ScanAll(pool, tbl, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != int(tbl.NumRows) {
+			t.Errorf("%s: scanned %d rows, catalog %d", name, len(rows), tbl.NumRows)
+		}
+	}
+	if g.NumRows("zzz") != 0 {
+		t.Error("NumRows of unknown table should be 0")
+	}
+}
+
+func TestGenScaling(t *testing.T) {
+	small := Gen{SF: 0.001}
+	big := Gen{SF: 0.01}
+	if small.NumRows(TableLineorder) >= big.NumRows(TableLineorder) {
+		t.Error("lineorder rows do not scale with SF")
+	}
+	if small.NumRows(TableDate) != big.NumRows(TableDate) {
+		t.Error("date rows should be SF-independent")
+	}
+}
+
+func TestForeignKeysResolvable(t *testing.T) {
+	cat, pool := loadTiny(t)
+	fact := cat.MustGet(TableLineorder)
+	rows, err := heap.ScanAll(pool, fact, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dimRows := map[string]int64{}
+	for _, fk := range fact.ForeignKeys {
+		dimRows[fk.Column] = cat.MustGet(fk.RefTable).NumRows
+	}
+	ckIdx := fact.Schema.Index("lo_custkey")
+	pkIdx := fact.Schema.Index("lo_partkey")
+	skIdx := fact.Schema.Index("lo_suppkey")
+	for _, r := range rows[:100] {
+		if r[ckIdx].I < 1 || r[ckIdx].I > dimRows["lo_custkey"] {
+			t.Fatalf("dangling custkey %d", r[ckIdx].I)
+		}
+		if r[pkIdx].I < 1 || r[pkIdx].I > dimRows["lo_partkey"] {
+			t.Fatalf("dangling partkey %d", r[pkIdx].I)
+		}
+		if r[skIdx].I < 1 || r[skIdx].I > dimRows["lo_suppkey"] {
+			t.Fatalf("dangling suppkey %d", r[skIdx].I)
+		}
+	}
+}
+
+func TestDateDimensionKeysMatchFact(t *testing.T) {
+	cat, pool := loadTiny(t)
+	dates, err := heap.ScanAll(pool, cat.MustGet(TableDate), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[int64]bool{}
+	for _, d := range dates {
+		keys[d[0].I] = true
+	}
+	facts, err := heap.ScanAll(pool, cat.MustGet(TableLineorder), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	odIdx := cat.MustGet(TableLineorder).Schema.Index("lo_orderdate")
+	for _, f := range facts[:200] {
+		if !keys[f[odIdx].I] {
+			t.Fatalf("fact orderdate %d not in date dimension", f[odIdx].I)
+		}
+	}
+}
+
+func TestNationsAndRegions(t *testing.T) {
+	if len(Nations) != 25 || len(Regions) != 5 {
+		t.Fatal("SSB requires 25 nations in 5 regions")
+	}
+	if RegionOf(0) != "AFRICA" || RegionOf(24) != "MIDDLE EAST" {
+		t.Error("RegionOf mapping wrong")
+	}
+	c := CityOf("UNITED KINGDOM", 3)
+	if len(c) != 10 || c != "UNITED KI3" {
+		t.Errorf("CityOf = %q", c)
+	}
+	if CityOf("PERU", 0) != "PERU     0" {
+		t.Errorf("CityOf(PERU) = %q", CityOf("PERU", 0))
+	}
+}
+
+func TestQueryTemplatesRender(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, q := range map[string]string{
+		"Q11":    Q11(rng),
+		"Q21":    Q21(rng),
+		"Q32":    Q32(rng),
+		"TPCHQ1": TPCHQ1(),
+		"Q32Sel": Q32Selectivity(rng, 2, 3),
+	} {
+		if !strings.HasPrefix(q, "SELECT") || !strings.Contains(q, "FROM") {
+			t.Errorf("%s: malformed SQL:\n%s", name, q)
+		}
+	}
+}
+
+func TestQ32PoolBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		seen[Q32Pool(rng, 16)] = true
+	}
+	if len(seen) > 16 {
+		t.Errorf("pool of 16 produced %d distinct plans", len(seen))
+	}
+	if len(seen) < 10 {
+		t.Errorf("pool of 16 produced only %d distinct plans", len(seen))
+	}
+}
+
+func TestQ32PoolPlanDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 512; i++ {
+		seen[Q32PoolPlan(i)] = true
+	}
+	if len(seen) != 512 {
+		t.Errorf("512 plan ids produced %d distinct plans", len(seen))
+	}
+}
+
+func TestQ32PoolDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if Q32Pool(rng, 0) != Q32PoolPlan(0) {
+		t.Error("poolSize 0 should clamp to 1 plan")
+	}
+}
+
+func TestSelectivityToNations(t *testing.T) {
+	cases := []struct {
+		target float64
+		want   float64 // acceptable upper bound of relative error
+	}{
+		{0.01, 0.5}, {0.10, 0.2}, {0.30, 0.1}, {0.001, 1.0},
+	}
+	for _, c := range cases {
+		nc, ns := SelectivityToNations(c.target)
+		got := float64(nc) / 25 * float64(ns) / 25
+		relErr := (got - c.target) / c.target
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		if relErr > c.want {
+			t.Errorf("target %.3f: got %d,%d -> %.4f (rel err %.2f)", c.target, nc, ns, got, relErr)
+		}
+	}
+}
+
+func TestQ32SelectivityUniqueNations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := Q32Selectivity(rng, 5, 5)
+	// Crude uniqueness check: IN list should have 5 comma-separated items.
+	inIdx := strings.Index(q, "c_nation IN (")
+	rest := q[inIdx:]
+	end := strings.Index(rest, ")")
+	if got := strings.Count(rest[:end], ","); got != 4 {
+		t.Errorf("customer disjunction has %d commas, want 4:\n%s", got, rest[:end])
+	}
+}
+
+func TestMixQueryRoundRobin(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q0, q1, q2 := MixQuery(0, rng), MixQuery(1, rng), MixQuery(2, rng)
+	if !strings.Contains(q0, "lo_discount BETWEEN") {
+		t.Error("MixQuery(0) should be Q1.1")
+	}
+	if !strings.Contains(q1, "p_category") {
+		t.Error("MixQuery(1) should be Q2.1")
+	}
+	if !strings.Contains(q2, "c_nation") {
+		t.Error("MixQuery(2) should be Q3.2")
+	}
+}
+
+func TestTPCHQ1Deterministic(t *testing.T) {
+	if TPCHQ1() != TPCHQ1() {
+		t.Error("TPCHQ1 must be identical across calls (Fig 6 uses identical queries)")
+	}
+}
+
+func TestDateKeyMonotonic(t *testing.T) {
+	if DateKey(1995, 100) >= DateKey(1995, 101) || DateKey(1995, 365) >= DateKey(1996, 1) {
+		t.Error("DateKey not monotonic")
+	}
+}

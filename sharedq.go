@@ -1,0 +1,121 @@
+// Package sharedq is a from-scratch Go reproduction of "Sharing Data
+// and Work Across Concurrent Analytical Queries" (Psaroudakis,
+// Athanassoulis, Ailamaki; PVLDB 6(9), 2013).
+//
+// It provides a staged (QPipe-style) analytical execution engine over a
+// Star Schema Benchmark substrate, with the paper's sharing techniques:
+//
+//   - shared (circular) table scans,
+//   - Simultaneous Pipelining (SP) with both communication models under
+//     comparison — push-based FIFOs and pull-based Shared Pages Lists,
+//   - the CJOIN global query plan with shared selections and hash
+//     joins, and
+//   - SP applied on top of CJOIN (the paper's CJOIN-SP integration).
+//
+// Quick start:
+//
+//	sys, _ := sharedq.NewSystem(sharedq.SystemConfig{SF: 0.01})
+//	eng := sharedq.NewEngine(sys, sharedq.Options{Mode: sharedq.CJOINSP})
+//	defer eng.Close()
+//	rows, schema, _ := eng.Query(`SELECT c_nation, SUM(lo_revenue) AS rev
+//	    FROM lineorder, customer WHERE lo_custkey = c_custkey
+//	    GROUP BY c_nation ORDER BY rev DESC LIMIT 5`)
+//
+// The internal packages hold the implementation; this package is the
+// supported surface, re-exporting the core types.
+package sharedq
+
+import (
+	"sharedq/internal/core"
+	"sharedq/internal/harness"
+	"sharedq/internal/qpipe"
+)
+
+// Engine configuration modes (§5.1 of the paper).
+const (
+	Baseline = core.Baseline // query-centric volcano execution, no sharing
+	QPipe    = core.QPipe    // staged engine, no sharing
+	QPipeCS  = core.QPipeCS  // + circular scans
+	QPipeSP  = core.QPipeSP  // + join-stage Simultaneous Pipelining
+	CJOIN    = core.CJOIN    // global query plan with shared operators
+	CJOINSP  = core.CJOINSP  // CJOIN with SP on the CJOIN stage
+)
+
+// Communication models for SP (§4).
+const (
+	CommFIFO = qpipe.CommFIFO // push-based, copy fan-out (original QPipe)
+	CommSPL  = qpipe.CommSPL  // pull-based Shared Pages Lists
+)
+
+// Re-exported core types.
+type (
+	// Mode selects an engine configuration.
+	Mode = core.Mode
+	// SystemConfig describes the simulated machine and database.
+	SystemConfig = core.SystemConfig
+	// System is the storage substrate + catalog + metrics.
+	System = core.System
+	// Options tunes an Engine.
+	Options = core.Options
+	// Engine executes queries under one configuration.
+	Engine = core.Engine
+	// AdaptiveEngine routes queries between QPipe-SP and CJOIN-SP by
+	// concurrency, operationalizing the paper's Table 1.
+	AdaptiveEngine = core.AdaptiveEngine
+	// Advice is a Table 1 rules-of-thumb recommendation.
+	Advice = core.Advice
+	// PushSPCost feeds the push-SP prediction model of [14].
+	PushSPCost = core.PushSPCost
+	// GQPCost feeds the shared-operator prediction model the paper
+	// sketches in §6.
+	GQPCost = core.GQPCost
+	// Comm selects a communication model.
+	Comm = qpipe.Comm
+	// Result is one measured harness run.
+	Result = harness.Result
+	// Experiment is one reproducible paper figure/table.
+	Experiment = harness.Experiment
+	// Params scales an experiment.
+	Params = harness.Params
+	// Report is an experiment's rendered output.
+	Report = harness.Report
+)
+
+// NewSystem builds the substrate and loads the SSB database.
+func NewSystem(cfg SystemConfig) (*System, error) { return core.NewSystem(cfg) }
+
+// NewEngine builds an engine over sys.
+func NewEngine(sys *System, opts Options) *Engine { return core.NewEngine(sys, opts) }
+
+// NewAdaptiveEngine builds an engine that applies the Table 1 rules of
+// thumb per query (cores = 0 selects runtime.NumCPU()).
+func NewAdaptiveEngine(sys *System, cores int, opts Options) *AdaptiveEngine {
+	return core.NewAdaptiveEngine(sys, cores, opts)
+}
+
+// Modes lists all configurations in presentation order.
+func Modes() []Mode { return core.Modes() }
+
+// ParseMode resolves a configuration name ("qpipe-sp", "CJOIN", ...).
+func ParseMode(name string) (Mode, error) { return core.ParseMode(name) }
+
+// Advise applies the paper's rules of thumb (Table 1).
+func Advise(concurrentQueries, cores int) Advice { return core.Advise(concurrentQueries, cores) }
+
+// PredictPushSP applies the push-SP prediction model of [14].
+func PredictPushSP(c PushSPCost) bool { return core.PredictPushSP(c) }
+
+// PredictGQP applies the §6 shared-operator prediction model.
+func PredictGQP(c GQPCost) bool { return core.PredictGQP(c) }
+
+// Experiments lists every reproducible figure and table.
+func Experiments() []Experiment { return harness.All() }
+
+// ExperimentByID finds one experiment ("6a", "10l", "16tp", ...).
+func ExperimentByID(id string) (Experiment, bool) { return harness.ByID(id) }
+
+// RunBatch submits all queries at once and measures them (§5.1
+// methodology).
+func RunBatch(sys *System, opts Options, sqls []string, cold bool) (Result, error) {
+	return harness.RunBatch(sys, opts, sqls, cold)
+}

@@ -1,0 +1,174 @@
+package sharedq_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sharedq"
+	"sharedq/internal/pages"
+	"sharedq/internal/ssb"
+)
+
+func apiSystem(t *testing.T) *sharedq.System {
+	t.Helper()
+	sys, err := sharedq.NewSystem(sharedq.SystemConfig{SF: 0.0005, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestPublicQuickstartPath(t *testing.T) {
+	sys := apiSystem(t)
+	eng := sharedq.NewEngine(sys, sharedq.Options{Mode: sharedq.CJOINSP})
+	defer eng.Close()
+	rows, schema, err := eng.Query(`SELECT c_nation, SUM(lo_revenue) AS rev
+FROM lineorder, customer WHERE lo_custkey = c_custkey
+GROUP BY c_nation ORDER BY rev DESC LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if schema.Columns[1].Name != "rev" {
+		t.Errorf("schema = %v", schema)
+	}
+	if rows[0][1].I < rows[1][1].I || rows[1][1].I < rows[2][1].I {
+		t.Error("not sorted by rev DESC")
+	}
+}
+
+func TestPublicModesRoundTrip(t *testing.T) {
+	if len(sharedq.Modes()) != 6 {
+		t.Fatalf("modes = %v", sharedq.Modes())
+	}
+	m, err := sharedq.ParseMode("qpipe-cs")
+	if err != nil || m != sharedq.QPipeCS {
+		t.Errorf("ParseMode = %v, %v", m, err)
+	}
+}
+
+func TestPublicRunBatch(t *testing.T) {
+	sys := apiSystem(t)
+	res, err := sharedq.RunBatch(sys, sharedq.Options{Mode: sharedq.QPipeSP},
+		[]string{ssb.TPCHQ1(), ssb.TPCHQ1()}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Concurrency != 2 || res.AvgResponse <= 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	if len(sharedq.Experiments()) < 15 {
+		t.Errorf("experiments = %d", len(sharedq.Experiments()))
+	}
+	if _, ok := sharedq.ExperimentByID("6a"); !ok {
+		t.Error("6a missing")
+	}
+}
+
+func TestPublicAdviseAndPredict(t *testing.T) {
+	if sharedq.Advise(4, 24).Mode != sharedq.QPipeSP {
+		t.Error("low-concurrency advice")
+	}
+	if sharedq.Advise(100, 24).Mode != sharedq.CJOINSP {
+		t.Error("high-concurrency advice")
+	}
+	if sharedq.PredictPushSP(sharedq.PushSPCost{Consumers: 1}) {
+		t.Error("single-consumer prediction")
+	}
+}
+
+// TestRandomMixAllModesAgree is the whole-system sharing-correctness
+// property at the public surface: random mixed workloads return
+// byte-identical results under every configuration.
+func TestRandomMixAllModesAgree(t *testing.T) {
+	sys := apiSystem(t)
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 2; trial++ {
+		var sqls []string
+		for i := 0; i < 6; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				sqls = append(sqls, ssb.Q11(rng))
+			case 1:
+				sqls = append(sqls, ssb.Q21(rng))
+			case 2:
+				sqls = append(sqls, ssb.Q32Pool(rng, 3))
+			default:
+				sqls = append(sqls, ssb.TPCHQ1())
+			}
+		}
+		base := sharedq.NewEngine(sys, sharedq.Options{Mode: sharedq.Baseline})
+		var wants [][]interface{}
+		for _, sql := range sqls {
+			rows, _, err := base.Query(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, []interface{}{rows})
+		}
+		for _, mode := range []sharedq.Mode{sharedq.QPipeSP, sharedq.CJOINSP} {
+			eng := sharedq.NewEngine(sys, sharedq.Options{Mode: mode})
+			for i, sql := range sqls {
+				rows, _, err := eng.Query(sql)
+				if err != nil {
+					t.Fatalf("%v: %v", mode, err)
+				}
+				if !reflect.DeepEqual([]interface{}{rows}, wants[i]) {
+					t.Errorf("trial %d %v: query %d diverged from baseline", trial, mode, i)
+				}
+			}
+			eng.Close()
+		}
+	}
+}
+
+// TestFullSSBFlightAllModes plans and executes the complete 13-query
+// SSB flight under every engine configuration, checking results against
+// the baseline — the broadest cross-engine correctness sweep.
+func TestFullSSBFlightAllModes(t *testing.T) {
+	sys := apiSystem(t)
+	rng := rand.New(rand.NewSource(2024))
+	sqls := make([]string, ssb.FlightSize)
+	for i := range sqls {
+		sqls[i] = ssb.Flight(i, rng)
+	}
+	base := sharedq.NewEngine(sys, sharedq.Options{Mode: sharedq.Baseline})
+	wants := make([][][]string, len(sqls))
+	for i, sql := range sqls {
+		rows, _, err := base.Query(sql)
+		if err != nil {
+			t.Fatalf("baseline flight %d: %v\n%s", i, err, sql)
+		}
+		wants[i] = renderRows(rows)
+	}
+	for _, mode := range []sharedq.Mode{sharedq.QPipe, sharedq.QPipeCS, sharedq.QPipeSP, sharedq.CJOIN, sharedq.CJOINSP} {
+		eng := sharedq.NewEngine(sys, sharedq.Options{Mode: mode})
+		for i, sql := range sqls {
+			rows, _, err := eng.Query(sql)
+			if err != nil {
+				t.Fatalf("%v flight %d: %v", mode, i, err)
+			}
+			if !reflect.DeepEqual(renderRows(rows), wants[i]) {
+				t.Errorf("%v: flight query %d diverged from baseline", mode, i)
+			}
+		}
+		eng.Close()
+	}
+}
+
+func renderRows(rows []pages.Row) [][]string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = make([]string, len(r))
+		for j, v := range r {
+			out[i][j] = v.String()
+		}
+	}
+	return out
+}
