@@ -19,10 +19,13 @@ import (
 	"sharedq/internal/comm"
 	"sharedq/internal/crescando"
 	"sharedq/internal/exec"
+	"sharedq/internal/expr"
+	"sharedq/internal/heap"
 	"sharedq/internal/pages"
 	"sharedq/internal/plan"
 	"sharedq/internal/shareddb"
 	"sharedq/internal/ssb"
+	"sharedq/internal/vec"
 )
 
 // benchParams are the reduced scales used for `go test -bench`.
@@ -240,6 +243,130 @@ func BenchmarkHashTableBuildProbe(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			ht.Lookup(pages.Int(int64(i % n)))
+		}
+	})
+}
+
+// --- Vectorized batch-execution micro-benchmarks ---
+
+// benchBatch builds one page-sized batch of SSB-like fact tuples, plus
+// the equivalent row slice, for kernel comparisons.
+func benchBatch() (*vec.Batch, []pages.Row) {
+	rows := make([]pages.Row, comm.DefaultPageRows)
+	for i := range rows {
+		rows[i] = pages.Row{
+			pages.Int(int64(i)),
+			pages.Int(int64(i % 11)),     // "discount"
+			pages.Int(int64(i % 50)),     // "quantity"
+			pages.Int(int64(1000 + i*7)), // "price"
+			pages.Str(ssb.Nations[i%len(ssb.Nations)]),
+		}
+	}
+	return vec.FromRows(rows), rows
+}
+
+// benchFilterExpr is a Q1.1-shaped conjunction over the benchBatch
+// layout (discount BETWEEN 1 AND 3 AND quantity < 25).
+func benchFilterExpr(b *testing.B) expr.Expr {
+	b.Helper()
+	s := pages.NewSchema(
+		pages.Column{Name: "k", Kind: pages.KindInt},
+		pages.Column{Name: "d", Kind: pages.KindInt},
+		pages.Column{Name: "q", Kind: pages.KindInt},
+		pages.Column{Name: "p", Kind: pages.KindInt},
+		pages.Column{Name: "n", Kind: pages.KindString},
+	)
+	e, err := expr.Bind(&expr.And{Terms: []expr.Expr{
+		&expr.Between{X: expr.NewCol("d"), Lo: &expr.Const{V: pages.Int(1)}, Hi: &expr.Const{V: pages.Int(3)}},
+		&expr.Bin{Op: expr.OpLt, L: expr.NewCol("q"), R: &expr.Const{V: pages.Int(25)}},
+	}}, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkFilterKernel compares the vectorized selection kernel with
+// the row-at-a-time compiled predicate on one page of tuples.
+func BenchmarkFilterKernel(b *testing.B) {
+	e := benchFilterExpr(b)
+	batch, rows := benchBatch()
+	b.Run("batch", func(b *testing.B) {
+		vp := expr.CompileVecPred(e)
+		var buf []int
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			vp(batch, vec.FullSel(batch.Len(), &buf))
+		}
+	})
+	b.Run("rows", func(b *testing.B) {
+		p := expr.CompilePred(e)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			exec.FilterRowsPred(rows, p)
+		}
+	})
+}
+
+// BenchmarkBatchProbe compares the columnar hash-join probe with the
+// row-at-a-time ProbeJoin over one page of tuples.
+func BenchmarkBatchProbe(b *testing.B) {
+	sys := benchSystem(b)
+	q, err := plan.Build(sys.Cat, ssb.Q32PoolPlan(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := q.Dims[0]
+	bj, err := exec.BuildBatchJoin(sys.Env, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ht, err := exec.BuildDimTable(sys.Env, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var batch *vec.Batch
+	if batch, err = exec.ReadTableBatch(sys.Env, q.Fact, 0); err != nil {
+		b.Fatal(err)
+	}
+	rows := batch.AppendTo(nil)
+	b.Run("batch", func(b *testing.B) {
+		var ps exec.ProbeScratch
+		var buf []int
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bj.Probe(sys.Env, batch, vec.FullSel(batch.Len(), &buf), &ps)
+		}
+	})
+	b.Run("rows", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			exec.ProbeJoin(sys.Env, ht, d.FactColIdx, rows)
+		}
+	})
+}
+
+// BenchmarkPageDecode measures one page decode into a column batch,
+// cold versus through the decoded-batch cache.
+func BenchmarkPageDecode(b *testing.B) {
+	sys := benchSystem(b)
+	t := sys.Cat.MustGet(ssb.TableLineorder)
+	kinds := vec.Kinds(t.Schema)
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := heap.ReadPageBatch(sys.Pool, nil, t.Name, i%t.NumPages, kinds, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		bc := heap.NewBatchCache(t.NumPages + 1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := heap.ReadPageBatch(sys.Pool, bc, t.Name, i%t.NumPages, kinds, nil); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

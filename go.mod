@@ -1,0 +1,3 @@
+module sharedq
+
+go 1.24

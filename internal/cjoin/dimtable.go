@@ -83,5 +83,19 @@ func (d *dimTable) lookup(k pages.Value) (pages.Row, Bitmap) {
 	return nil, nil
 }
 
+// lookupInt probes with a raw int64 key straight off a fact key
+// column, skipping per-tuple Value boxing on the pipeline's hot path.
+// pages.HashInt64 matches Int(k).Hash(), so probes land in the same
+// buckets as the Value-keyed inserts.
+func (d *dimTable) lookupInt(k int64) (pages.Row, Bitmap) {
+	i := int(pages.HashInt64(k) & uint64(len(d.buckets)-1))
+	for e := &d.buckets[i]; e != nil && e.used; e = e.next {
+		if e.key.Kind == pages.KindInt && e.key.I == k {
+			return e.row, e.sel
+		}
+	}
+	return nil, nil
+}
+
 // keys returns the number of distinct dimension keys held.
 func (d *dimTable) keys() int { return d.size }

@@ -38,7 +38,8 @@ type SharedAggregator struct {
 type aggQuery struct {
 	bit  int
 	plan *plan.Query
-	pred expr.Pred // fact predicate, evaluated on the joined tuple
+	pred expr.Pred           // fact predicate, evaluated on the joined tuple
+	aggs []*expr.CompiledAgg // compiled once, shared by every group's accumulators
 }
 
 type sharedGroup struct {
@@ -71,7 +72,11 @@ func (s *SharedAggregator) Register(bit int, q *plan.Query, factPred expr.Pred) 
 	if len(s.groups) > 0 {
 		return fmt.Errorf("cjoin: cannot register after tuples were added (batched operator)")
 	}
-	s.queries = append(s.queries, &aggQuery{bit: bit, plan: q, pred: factPred})
+	aggs := make([]*expr.CompiledAgg, len(q.Aggs))
+	for i := range q.Aggs {
+		aggs[i] = expr.CompileAgg(q.Aggs[i])
+	}
+	s.queries = append(s.queries, &aggQuery{bit: bit, plan: q, pred: factPred, aggs: aggs})
 	return nil
 }
 
@@ -94,9 +99,9 @@ func (s *SharedAggregator) Add(rows []pages.Row, bms []Bitmap) {
 		if !ok {
 			g = &sharedGroup{accs: make([][]*expr.Acc, len(s.queries))}
 			for qi, q := range s.queries {
-				g.accs[qi] = make([]*expr.Acc, len(q.plan.Aggs))
-				for ai := range q.plan.Aggs {
-					g.accs[qi][ai] = expr.NewAcc(q.plan.Aggs[ai])
+				g.accs[qi] = make([]*expr.Acc, len(q.aggs))
+				for ai, c := range q.aggs {
+					g.accs[qi][ai] = c.NewAcc()
 				}
 			}
 			g.keyVals = make([]pages.Value, len(s.groupBy))

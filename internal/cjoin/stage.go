@@ -9,11 +9,11 @@ import (
 	"sharedq/internal/comm"
 	"sharedq/internal/exec"
 	"sharedq/internal/expr"
-	"sharedq/internal/heap"
 	"sharedq/internal/metrics"
 	"sharedq/internal/pages"
 	"sharedq/internal/plan"
 	"sharedq/internal/qpipe"
+	"sharedq/internal/vec"
 )
 
 // Config tunes the CJOIN stage.
@@ -66,7 +66,8 @@ type query struct {
 	started bool       // first output emitted; step WoP closed
 
 	dimPos   []int // filter-chain position of each of the plan's dims
-	factPred expr.Pred
+	factVec  expr.VecPred
+	outKinds []pages.Kind // joined-schema layout of the query's output batches
 }
 
 // filter is one dimension's shared selection + shared hash join.
@@ -78,10 +79,12 @@ type filter struct {
 	ref        Bitmap // queries referencing this dimension
 }
 
-// batch is the unit flowing through the pipeline: a fact page's rows,
-// their bitmaps, and the matched dimension rows per filter position.
+// batch is the unit flowing through the pipeline: a fact page's
+// decoded column batch (shared with every other consumer of the page),
+// per-tuple bitmaps, and the matched dimension rows per filter
+// position.
 type batch struct {
-	facts   []pages.Row
+	facts   *vec.Batch
 	bms     []Bitmap
 	dims    [][]pages.Row // [filter][tuple]
 	queries []*query      // active queries at emission
@@ -232,7 +235,8 @@ func (st *Stage) Submit(q *plan.Query) ([]pages.Row, error) {
 		plan:     q,
 		out:      st.cfg.Ports.NewOutPort(),
 		sig:      sig,
-		factPred: expr.CompilePred(q.FactPred),
+		factVec:  expr.CompileVecPred(q.FactPred),
+		outKinds: vec.Kinds(q.JoinedSchema),
 	}
 	qq.myIn = qq.out.AddReader(true)
 	st.pending = append(st.pending, qq)
@@ -315,9 +319,7 @@ func (st *Stage) preprocessor() {
 		st.mu.Unlock()
 		st.finishQueries(completed)
 
-		stop := st.env.Col.Timer(metrics.Scans)
-		rows, err := heap.ReadPageRows(st.env.Pool, fact.Name, idx, nil, st.env.Col)
-		stop()
+		bat, err := exec.ReadTableBatch(st.env, fact, idx)
 		if err != nil {
 			st.fail(err)
 			st.mu.Lock()
@@ -333,7 +335,7 @@ func (st *Stage) preprocessor() {
 			st.finishQueries(completed)
 			continue
 		}
-		b := &batch{facts: rows, bms: make([]Bitmap, len(rows)), queries: snapshot}
+		b := &batch{facts: bat, bms: make([]Bitmap, bat.Len()), queries: snapshot}
 		for i := range b.bms {
 			b.bms[i] = mask.Clone()
 		}
@@ -436,52 +438,67 @@ func (st *Stage) findOrAddFilter(d plan.DimJoin) int {
 }
 
 // updateFilter scans the dimension table (admission cost (a)),
-// evaluates the new query's predicate on every row (cost (b)) and sets
-// the query's bit on selected rows, inserting rows as needed (costs
-// (c), (d)).
+// evaluates the new query's predicate a whole batch at a time over the
+// shared decoded pages (cost (b)) and sets the query's bit on selected
+// rows, inserting rows as needed (costs (c), (d)).
 func (st *Stage) updateFilter(f *filter, d plan.DimJoin, bit int) error {
 	t, err := st.env.Cat.Get(d.Table)
 	if err != nil {
 		return err
 	}
-	pred := expr.CompilePred(d.Pred)
-	return exec.ScanTable(st.env, t, func(rows []pages.Row) error {
+	vpred := expr.CompileVecPred(d.Pred)
+	var selBuf []int
+	return exec.ScanTableBatches(st.env, t, func(b *vec.Batch) error {
 		stop := st.env.Col.Timer(metrics.Joins)
 		defer stop()
-		for _, r := range rows {
-			if pred != nil && !pred(r) {
-				continue
-			}
-			f.ht.setBit(r[f.dimKeyIdx], r, bit)
+		sel := vec.FullSel(b.Len(), &selBuf)
+		if vpred != nil {
+			sel = vpred(b, sel)
+		}
+		for _, i := range sel {
+			f.ht.setBit(b.Value(f.dimKeyIdx, i), b.Row(i), bit)
 		}
 		return nil
 	})
 }
 
 // pipelineWorker passes batches through the filter chain: shared hash
-// join probes plus bitmap ANDs, dropping tuples whose bitmaps empty.
+// join probes over the raw fact key column plus bitmap ANDs, dropping
+// tuples whose bitmaps empty.
 func (st *Stage) pipelineWorker() {
 	for b := range st.preQ {
 		st.filterMu.RLock()
 		filters := st.filters
+		n := b.facts.Len()
 		b.dims = make([][]pages.Row, len(filters))
-		alive := len(b.facts)
-		sels := make([]Bitmap, len(b.facts))
+		alive := n
+		sels := make([]Bitmap, n)
 		for fi, f := range filters {
 			if alive == 0 {
 				break
 			}
-			b.dims[fi] = make([]pages.Row, len(b.facts))
+			b.dims[fi] = make([]pages.Row, n)
+			kc := &b.facts.Cols[f.factColIdx]
 			stopH := st.env.Col.Timer(metrics.Hashing)
-			for ti, fr := range b.facts {
-				if b.bms[ti] == nil {
-					continue
+			if kc.Kind == pages.KindInt {
+				keys := kc.I
+				for ti := 0; ti < n; ti++ {
+					if b.bms[ti] == nil {
+						continue
+					}
+					b.dims[fi][ti], sels[ti] = f.ht.lookupInt(keys[ti])
 				}
-				b.dims[fi][ti], sels[ti] = f.ht.lookup(fr[f.factColIdx])
+			} else {
+				for ti := 0; ti < n; ti++ {
+					if b.bms[ti] == nil {
+						continue
+					}
+					b.dims[fi][ti], sels[ti] = f.ht.lookup(kc.Value(ti))
+				}
 			}
 			stopH()
 			stopJ := st.env.Col.Timer(metrics.Joins)
-			for ti := range b.facts {
+			for ti := 0; ti < n; ti++ {
 				if b.bms[ti] == nil {
 					continue
 				}
@@ -518,29 +535,46 @@ func (st *Stage) distributorPart() {
 
 func (st *Stage) deliver(b *batch, qq *query) {
 	stop := st.env.Col.Timer(metrics.Misc)
-	var out []pages.Row
+	// Select this query's surviving tuples, then apply its fact
+	// predicate over the shared fact batch (CJOIN evaluates fact
+	// predicates on output tuples, §3.2) — both vectorized.
+	sel := make([]int, 0, 16)
 	for ti, bm := range b.bms {
-		if bm == nil || !bm.Test(qq.bit) {
-			continue
+		if bm != nil && bm.Test(qq.bit) {
+			sel = append(sel, ti)
 		}
-		fr := b.facts[ti]
-		if qq.factPred != nil && !qq.factPred(fr) {
-			continue
-		}
-		row := make(pages.Row, 0, qq.plan.JoinedSchema.Len())
-		row = append(row, fr...)
-		for _, fi := range qq.dimPos {
-			row = append(row, b.dims[fi][ti]...)
-		}
-		out = append(out, row)
 	}
+	if qq.factVec != nil && len(sel) > 0 {
+		sel = qq.factVec(b.facts, sel)
+	}
+	if len(sel) == 0 {
+		stop()
+		return
+	}
+	// Assemble the output batch in the query's joined-schema layout:
+	// fact columns gathered from the shared batch, dimension columns
+	// appended from the matched dimension rows.
+	out := vec.New(qq.outKinds, len(sel))
+	nf := b.facts.NumCols()
+	for c := 0; c < nf; c++ {
+		b.facts.Cols[c].GatherInto(&out.Cols[c], sel)
+	}
+	col := nf
+	for di, fi := range qq.dimPos {
+		w := qq.plan.Dims[di].Schema.Len()
+		for j := 0; j < w; j++ {
+			// The dim rows were materialized from schema-typed batches,
+			// so the output column kind is authoritative.
+			vec.GatherRows(&out.Cols[col+j], b.dims[fi], j, sel)
+		}
+		col += w
+	}
+	out.SetLen(len(sel))
 	stop()
-	if len(out) > 0 {
-		qq.wopMu.Lock()
-		qq.started = true
-		qq.wopMu.Unlock()
-		qq.out.Emit(comm.NewPage(out))
-	}
+	qq.wopMu.Lock()
+	qq.started = true
+	qq.wopMu.Unlock()
+	qq.out.Emit(comm.NewBatchPage(out))
 }
 
 func maxInt(a, b int) int {

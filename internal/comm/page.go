@@ -15,17 +15,22 @@ package comm
 
 import (
 	"sharedq/internal/pages"
+	"sharedq/internal/vec"
 )
 
 // DefaultPageRows approximates the paper's 32 KB exchange pages for SSB
 // rows (~110 encoded bytes each).
 const DefaultPageRows = 290
 
-// Page is one unit of data exchanged between operators: a batch of rows
-// sized to roughly one storage page (32 KB), as in QPipe's page-based
-// exchange.
+// Page is one unit of data exchanged between operators: one storage
+// page's worth of tuples (32 KB), as in QPipe's page-based exchange.
+// The payload is either a column batch (Batch, the vectorized engine's
+// native exchange format) or a row slice (Rows, the compatibility
+// format); exactly one is populated.
 type Page struct {
 	Rows []pages.Row
+	// Batch is the columnar payload; nil for row-based pages.
+	Batch *vec.Batch
 	// Index is the table page index for circular-scan SPLs (linear
 	// WoP); -1 for ordinary result streams.
 	Index int
@@ -34,10 +39,26 @@ type Page struct {
 // NewPage returns a result page (Index = -1) holding rows.
 func NewPage(rows []pages.Row) *Page { return &Page{Rows: rows, Index: -1} }
 
+// NewBatchPage returns a result page (Index = -1) holding a column
+// batch.
+func NewBatchPage(b *vec.Batch) *Page { return &Page{Batch: b, Index: -1} }
+
+// NumRows returns the number of tuples in the page, regardless of
+// representation.
+func (p *Page) NumRows() int {
+	if p.Batch != nil {
+		return p.Batch.Len()
+	}
+	return len(p.Rows)
+}
+
 // Clone deep-copies the page. Push-based SP forwards results by
 // copying (the design the paper's original QPipe implementation uses),
 // so the copy cost sits on the host's critical path by construction.
 func (p *Page) Clone() *Page {
+	if p.Batch != nil {
+		return &Page{Batch: p.Batch.Clone(), Index: p.Index}
+	}
 	rows := make([]pages.Row, len(p.Rows))
 	for i, r := range p.Rows {
 		rows[i] = r.Clone()

@@ -255,7 +255,8 @@ func TestDirectIOToggle(t *testing.T) {
 		t.Error("direct I/O populated the FS cache")
 	}
 	sys.SetDirectIO(false)
-	sys.Pool.Clear() // force FS-cache traffic on the re-read
+	sys.Pool.Clear()        // force FS-cache traffic on the re-read
+	sys.Env.Batches.Clear() // decoded batches would otherwise satisfy it
 	if _, _, err := e.Query("SELECT COUNT(*) AS n FROM supplier"); err != nil {
 		t.Fatal(err)
 	}

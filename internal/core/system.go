@@ -24,6 +24,7 @@ import (
 	"sharedq/internal/catalog"
 	"sharedq/internal/disk"
 	"sharedq/internal/exec"
+	"sharedq/internal/heap"
 	"sharedq/internal/metrics"
 	"sharedq/internal/ssb"
 )
@@ -54,6 +55,11 @@ type SystemConfig struct {
 	// BufferPolicy selects the buffer pool's replacement strategy
 	// (default clock; buffer.PolicyLRU for least-recently-used).
 	BufferPolicy buffer.Policy
+	// BatchCachePages bounds the decoded-batch cache, which lets
+	// concurrent shared scans decode each page once (0 selects the
+	// buffer pool size; negative disables the cache so every scan
+	// decodes its own batches).
+	BatchCachePages int
 }
 
 // System is an assembled storage substrate plus catalog and metrics:
@@ -95,6 +101,14 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	pool := buffer.NewPoolPolicy(cache, cfg.PoolPages, cfg.BufferPolicy)
 	pool.SetDirectIO(cfg.DirectIO)
 	col := &metrics.Collector{}
+	var batches *heap.BatchCache
+	if cfg.BatchCachePages >= 0 {
+		n := cfg.BatchCachePages
+		if n == 0 {
+			n = cfg.PoolPages
+		}
+		batches = heap.NewBatchCache(n)
+	}
 	return &System{
 		Cfg:   cfg,
 		Dev:   dev,
@@ -102,16 +116,17 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		Pool:  pool,
 		Cat:   cat,
 		Col:   col,
-		Env:   &exec.Env{Cat: cat, Pool: pool, Col: col},
+		Env:   &exec.Env{Cat: cat, Pool: pool, Col: col, Batches: batches},
 	}, nil
 }
 
-// ClearCaches drops the FS cache and evicts the buffer pool, modelling
-// the paper's "we clear the file system caches before every
-// measurement" plus a cold buffer pool.
+// ClearCaches drops the FS cache, evicts the buffer pool and empties
+// the decoded-batch cache, modelling the paper's "we clear the file
+// system caches before every measurement" plus a cold buffer pool.
 func (s *System) ClearCaches() {
 	s.Cache.Clear()
 	s.Pool.Clear()
+	s.Env.Batches.Clear()
 }
 
 // ResetMetrics zeroes the metrics collector and device statistics so a

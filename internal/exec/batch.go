@@ -1,0 +1,430 @@
+package exec
+
+import (
+	"sharedq/internal/catalog"
+	"sharedq/internal/expr"
+	"sharedq/internal/heap"
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+	"sharedq/internal/vec"
+)
+
+// This file holds the vectorized batch execution path: table scans
+// that decode each 32 KB page once into a shared column batch, filter
+// kernels over selection vectors, a columnar hash join probed over raw
+// key columns, and batch-at-a-time aggregation. Every engine
+// configuration (Baseline through CJOIN-SP) executes on this path; the
+// row-at-a-time operators in operators.go remain as the reference
+// implementation and compatibility surface.
+
+// ReadTableBatch fetches page idx of t as a decoded column batch
+// through the environment's decoded-batch cache (decode-once sharing).
+// Accounted to metrics.Scans.
+func ReadTableBatch(env *Env, t *catalog.Table, idx int) (*vec.Batch, error) {
+	stop := env.Col.Timer(metrics.Scans)
+	defer stop()
+	return heap.ReadPageBatch(env.Pool, env.Batches, t.Name, idx, vec.Kinds(t.Schema), env.Col)
+}
+
+// ScanTableBatches reads every page of t in order as column batches.
+func ScanTableBatches(env *Env, t *catalog.Table, emit func(*vec.Batch) error) error {
+	kinds := vec.Kinds(t.Schema)
+	for i := 0; i < t.NumPages; i++ {
+		stop := env.Col.Timer(metrics.Scans)
+		b, err := heap.ReadPageBatch(env.Pool, env.Batches, t.Name, i, kinds, env.Col)
+		stop()
+		if err != nil {
+			return err
+		}
+		if err := emit(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BatchJoin is the vectorized build side of one fact-to-dimension hash
+// join: the selected dimension rows stored columnar, plus an
+// open-chaining hash table over the dimension key column. Probing
+// walks a raw key column and materializes the joined batch with one
+// gather per column instead of allocating a row per match.
+type BatchJoin struct {
+	dim        *vec.Batch // selected dimension rows
+	keyIdx     int        // key column ordinal within dim
+	factColIdx int        // probe-side key ordinal
+	keyKind    pages.Kind
+
+	heads []int32 // bucket -> first dim row in chain (-1 when empty)
+	next  []int32 // dim row -> next row in its chain
+}
+
+// NewBatchJoin returns an empty build side for d over the dimension
+// schema dims.
+func NewBatchJoin(d plan.DimJoin, sizeHint int) *BatchJoin {
+	n := 16
+	for n < sizeHint*2 {
+		n *= 2
+	}
+	j := &BatchJoin{
+		dim:        vec.New(vec.Kinds(d.Schema), sizeHint),
+		keyIdx:     d.DimKeyIdx,
+		factColIdx: d.FactColIdx,
+		keyKind:    d.Schema.Columns[d.DimKeyIdx].Kind,
+		heads:      make([]int32, n),
+	}
+	for i := range j.heads {
+		j.heads[i] = -1
+	}
+	return j
+}
+
+// hashKey hashes dim row r's key; the same FNV-1a the row-at-a-time
+// HashTable uses, so the Hashing CPU category stays comparable.
+func (j *BatchJoin) hashKey(r int) uint64 {
+	switch j.keyKind {
+	case pages.KindInt:
+		return pages.HashInt64(j.dim.Cols[j.keyIdx].I[r])
+	case pages.KindString:
+		return pages.HashString(j.dim.Cols[j.keyIdx].S[r])
+	default:
+		return j.dim.Cols[j.keyIdx].Value(r).Hash()
+	}
+}
+
+// Add appends the selected rows of a dimension batch to the build side
+// and links them into the hash chains.
+func (j *BatchJoin) Add(b *vec.Batch, sel []int) {
+	for _, i := range sel {
+		j.dim.AppendFrom(b, i)
+	}
+	n := j.dim.Len()
+	if n > len(j.heads)/2 {
+		j.rehash(n)
+		return
+	}
+	mask := uint64(len(j.heads) - 1)
+	for r := n - len(sel); r < n; r++ {
+		h := j.hashKey(r) & mask
+		j.next = append(j.next, j.heads[h])
+		j.heads[h] = int32(r)
+	}
+}
+
+// rehash rebuilds the chains at double the bucket count.
+func (j *BatchJoin) rehash(rows int) {
+	n := len(j.heads)
+	for n < rows*2 {
+		n *= 2
+	}
+	j.heads = make([]int32, n)
+	for i := range j.heads {
+		j.heads[i] = -1
+	}
+	j.next = j.next[:0]
+	mask := uint64(n - 1)
+	for r := 0; r < rows; r++ {
+		h := j.hashKey(r) & mask
+		j.next = append(j.next, j.heads[h])
+		j.heads[h] = int32(r)
+	}
+}
+
+// Rows returns the number of build-side rows.
+func (j *BatchJoin) Rows() int { return j.dim.Len() }
+
+// ProbeScratch holds the reusable per-query probe state: the flat
+// (probe row, build row) match pairs of one batch. One scratch per
+// probing goroutine.
+type ProbeScratch struct {
+	probe []int32
+	build []int32
+}
+
+// Probe joins the selected rows of batch b against the build side,
+// returning the joined batch (probe columns followed by dimension
+// columns, in match order). Hash and chain walks are accounted to
+// metrics.Hashing, output materialization to metrics.Joins — the same
+// split the row-at-a-time ProbeJoin reports.
+func (j *BatchJoin) Probe(env *Env, b *vec.Batch, sel []int, ps *ProbeScratch) *vec.Batch {
+	stop := env.Col.Timer(metrics.Hashing)
+	probe, build := ps.probe[:0], ps.build[:0]
+	mask := uint64(len(j.heads) - 1)
+	kc := &b.Cols[j.factColIdx]
+	switch {
+	case j.keyKind == pages.KindInt && kc.Kind == pages.KindInt:
+		keys := j.dim.Cols[j.keyIdx].I
+		col := kc.I
+		for _, i := range sel {
+			k := col[i]
+			for e := j.heads[pages.HashInt64(k)&mask]; e >= 0; e = j.next[e] {
+				if keys[e] == k {
+					probe = append(probe, int32(i))
+					build = append(build, e)
+				}
+			}
+		}
+	case j.keyKind == pages.KindString && kc.Kind == pages.KindString:
+		keys := j.dim.Cols[j.keyIdx].S
+		col := kc.S
+		for _, i := range sel {
+			k := col[i]
+			for e := j.heads[pages.HashString(k)&mask]; e >= 0; e = j.next[e] {
+				if keys[e] == k {
+					probe = append(probe, int32(i))
+					build = append(build, e)
+				}
+			}
+		}
+	default:
+		// Mismatched or float key kinds: box per probe value. The
+		// kind-tagged hash makes cross-kind probes miss, matching the
+		// row-at-a-time hash table's behavior.
+		for _, i := range sel {
+			v := kc.Value(i)
+			for e := j.heads[v.Hash()&mask]; e >= 0; e = j.next[e] {
+				if j.dim.Value(j.keyIdx, int(e)).Equal(v) {
+					probe = append(probe, int32(i))
+					build = append(build, e)
+				}
+			}
+		}
+	}
+	ps.probe, ps.build = probe, build
+	stop()
+
+	stopJ := env.Col.Timer(metrics.Joins)
+	defer stopJ()
+	out := vec.New(vec.ConcatKinds(b.Kinds(), j.dim.Kinds()), len(probe))
+	nb := b.NumCols()
+	for c := range out.Cols {
+		oc := &out.Cols[c]
+		if c < nb {
+			gatherColumn(oc, &b.Cols[c], probe)
+		} else {
+			gatherColumn(oc, &j.dim.Cols[c-nb], build)
+		}
+	}
+	out.SetLen(len(probe))
+	return out
+}
+
+// gatherColumn appends src[idx] for every idx into dst.
+func gatherColumn(dst, src *vec.Column, idx []int32) {
+	switch src.Kind {
+	case pages.KindInt:
+		col := src.I
+		for _, i := range idx {
+			dst.I = append(dst.I, col[i])
+		}
+	case pages.KindFloat:
+		col := src.F
+		for _, i := range idx {
+			dst.F = append(dst.F, col[i])
+		}
+	default:
+		col := src.S
+		for _, i := range idx {
+			dst.S = append(dst.S, col[i])
+		}
+	}
+}
+
+// BuildBatchJoin scans dimension d, filters with its predicate
+// (vectorized), and builds the columnar join build side. Filtering is
+// accounted to metrics.Joins and insertion to metrics.Hashing, like
+// the row-at-a-time BuildDimTable.
+func BuildBatchJoin(env *Env, d plan.DimJoin) (*BatchJoin, error) {
+	t, err := env.Cat.Get(d.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Size for the table but cap the pre-allocation: selective
+	// dimension predicates keep a fraction of the rows, and concurrent
+	// query-centric executions each build their own side. The chain
+	// table rehashes as it grows.
+	hint := int(t.NumRows)
+	if hint > 4096 {
+		hint = 4096
+	}
+	j := NewBatchJoin(d, hint)
+	vpred := expr.CompileVecPred(d.Pred)
+	var selBuf []int
+	err = ScanTableBatches(env, t, func(b *vec.Batch) error {
+		stop := env.Col.Timer(metrics.Joins)
+		sel := vec.FullSel(b.Len(), &selBuf)
+		if vpred != nil {
+			sel = vpred(b, sel)
+		}
+		stop()
+		stopH := env.Col.Timer(metrics.Hashing)
+		j.Add(b, sel)
+		stopH()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// AddBatch folds the selected rows of a joined column batch into the
+// aggregator. Accounted to metrics.Aggregation.
+func (a *Aggregator) AddBatch(b *vec.Batch, sel []int) {
+	stop := a.col.Timer(metrics.Aggregation)
+	defer stop()
+	if len(a.q.GroupBy) == 0 {
+		g, ok := a.groups[""]
+		if !ok {
+			g = a.newGroup(nil, 0)
+			a.groups[""] = g
+			a.order = append(a.order, "")
+		}
+		for _, acc := range g.accs {
+			acc.AddVec(b, sel)
+		}
+		return
+	}
+	for _, i := range sel {
+		key := a.groupKeyVec(b, i)
+		g, ok := a.groups[key]
+		if !ok {
+			g = a.newGroup(b, i)
+			a.groups[key] = g
+			a.order = append(a.order, key)
+		}
+		for _, acc := range g.accs {
+			acc.AddVecRow(b, i)
+		}
+	}
+}
+
+// newGroup allocates a group over the shared compiled aggregates,
+// capturing the group-by values of row i of b (b nil when the caller
+// fills keyVals itself or the group is ungrouped).
+func (a *Aggregator) newGroup(b *vec.Batch, i int) *group {
+	g := &group{accs: make([]*expr.Acc, len(a.aggs))}
+	for j, c := range a.aggs {
+		g.accs[j] = c.NewAcc()
+	}
+	if b != nil {
+		g.keyVals = make([]pages.Value, len(a.q.GroupBy))
+		for j, idx := range a.q.GroupBy {
+			g.keyVals[j] = b.Value(idx, i)
+		}
+	}
+	return g
+}
+
+// groupKeyVec encodes row i's group-by values, byte-identical to the
+// row-at-a-time groupKey so both paths bucket groups identically.
+func (a *Aggregator) groupKeyVec(bat *vec.Batch, i int) string {
+	b := a.keyBuf[:0]
+	for _, idx := range a.q.GroupBy {
+		c := &bat.Cols[idx]
+		switch c.Kind {
+		case pages.KindInt:
+			u := uint64(c.I[i])
+			b = append(b, 1, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+				byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+		case pages.KindString:
+			b = append(b, 2)
+			b = append(b, c.S[i]...)
+			b = append(b, 0)
+		default:
+			u := uint64(int64(c.F[i] * 100))
+			b = append(b, 3, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+				byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+		}
+	}
+	a.keyBuf = b
+	return string(b)
+}
+
+// CompileOutputVals compiles the scalar output expressions of a
+// non-aggregated query for batch projection.
+func CompileOutputVals(q *plan.Query) []expr.VecVal {
+	fns := make([]expr.VecVal, len(q.Output))
+	for i, oc := range q.Output {
+		if oc.Scalar != nil {
+			fns[i] = expr.CompileVecVal(oc.Scalar)
+		}
+	}
+	return fns
+}
+
+// ProjectBatch materializes output rows for the selected rows of a
+// joined batch, using evaluators from CompileOutputVals.
+func ProjectBatch(fns []expr.VecVal, b *vec.Batch, sel []int, dst []pages.Row) []pages.Row {
+	for _, i := range sel {
+		row := make(pages.Row, len(fns))
+		for c, fn := range fns {
+			if fn != nil {
+				row[c] = fn(b, i)
+			}
+		}
+		dst = append(dst, row)
+	}
+	return dst
+}
+
+// Execute runs q batch-at-a-time with the query-centric volcano
+// pipeline: dimension build sides first, then the fact table is
+// scanned as column batches, filtered through vectorized kernels,
+// probed through each join with columnar gathers, and aggregated.
+// No state is shared with any concurrent query — the baseline model
+// the paper's sharing techniques are compared against. ExecuteRows is
+// the row-at-a-time reference implementation it replaced.
+func Execute(env *Env, q *plan.Query) ([]pages.Row, error) {
+	joins := make([]*BatchJoin, len(q.Dims))
+	for i, d := range q.Dims {
+		j, err := BuildBatchJoin(env, d)
+		if err != nil {
+			return nil, err
+		}
+		joins[i] = j
+	}
+
+	var agg *Aggregator
+	var outFns []expr.VecVal
+	if q.HasAgg {
+		agg = NewAggregator(q, env.Col)
+	} else {
+		outFns = CompileOutputVals(q)
+	}
+	var plain []pages.Row
+
+	factVec := expr.CompileVecPred(q.FactPred)
+	var selBuf []int
+	var ps ProbeScratch
+	err := ScanTableBatches(env, q.Fact, func(b *vec.Batch) error {
+		sel := vec.FullSel(b.Len(), &selBuf)
+		if factVec != nil {
+			sel = factVec(b, sel)
+		}
+		for i := range joins {
+			if len(sel) == 0 {
+				return nil
+			}
+			b = joins[i].Probe(env, b, sel, &ps)
+			sel = vec.FullSel(b.Len(), &selBuf)
+		}
+		if agg != nil {
+			agg.AddBatch(b, sel)
+		} else {
+			plain = ProjectBatch(outFns, b, sel, plain)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []pages.Row
+	if agg != nil {
+		out = agg.Rows()
+	} else {
+		out = plain
+	}
+	return SortRows(q, env.Col, out), nil
+}

@@ -1,0 +1,194 @@
+package exec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sharedq/internal/heap"
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+	"sharedq/internal/ssb"
+	"sharedq/internal/vec"
+)
+
+// testEnvCached builds the standard test environment with a decoded-
+// batch cache attached, the way core.NewSystem wires production
+// environments.
+func testEnvCached(t *testing.T) *Env {
+	t.Helper()
+	env := testEnv(t)
+	env.Batches = heap.NewBatchCache(256)
+	return env
+}
+
+func TestExecuteMatchesExecuteRows(t *testing.T) {
+	env := testEnvCached(t)
+	rng := rand.New(rand.NewSource(19))
+	sqls := []string{
+		ssb.TPCHQ1(),
+		ssb.Q11(rng),
+		ssb.Q21(rng),
+		ssb.Q32Selectivity(rng, 6, 6),
+		ssb.Q41(rng),
+		"SELECT COUNT(*) AS n FROM lineorder",
+		"SELECT c_city, c_nation FROM customer",
+		"SELECT MIN(lo_revenue) AS lo, MAX(lo_revenue) AS hi FROM lineorder",
+	}
+	for _, sql := range sqls {
+		q, err := plan.Build(env.Cat, sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ExecuteRows(env, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Execute(env, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%q: batch path %d rows, row path %d rows", sql[:40], len(got), len(want))
+		}
+	}
+}
+
+func TestScanTableBatchesCountsAndCaches(t *testing.T) {
+	env := testEnvCached(t)
+	tbl := env.Cat.MustGet(ssb.TableCustomer)
+	n := 0
+	if err := ScanTableBatches(env, tbl, func(b *vec.Batch) error {
+		n += b.Len()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if int64(n) != tbl.NumRows {
+		t.Errorf("scanned %d rows, want %d", n, tbl.NumRows)
+	}
+	if _, misses := env.Batches.Stats(); misses == 0 {
+		t.Error("first scan should miss the batch cache")
+	}
+	// Second scan must be served entirely from the cache.
+	hits0, _ := env.Batches.Stats()
+	if err := ScanTableBatches(env, tbl, func(*vec.Batch) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	hits1, _ := env.Batches.Stats()
+	if int(hits1-hits0) != tbl.NumPages {
+		t.Errorf("second scan hit %d pages, want %d", hits1-hits0, tbl.NumPages)
+	}
+}
+
+func TestBatchJoinProbeMatchesHashTable(t *testing.T) {
+	env := testEnvCached(t)
+	q, err := plan.Build(env.Cat, ssb.Q32PoolPlan(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := q.Dims[0]
+	bj, err := BuildBatchJoin(env, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, err := BuildDimTable(env, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bj.Rows() != ht.Keys() {
+		t.Fatalf("build sides disagree: %d columnar rows vs %d keys", bj.Rows(), ht.Keys())
+	}
+
+	var ps ProbeScratch
+	var selBuf []int
+	err = ScanTableBatches(env, q.Fact, func(b *vec.Batch) error {
+		sel := vec.FullSel(b.Len(), &selBuf)
+		joined := bj.Probe(env, b, sel, &ps)
+		want := ProbeJoin(env, ht, d.FactColIdx, b.AppendTo(nil))
+		if got := joined.AppendTo(nil); !reflect.DeepEqual(got, want) {
+			t.Fatalf("probe mismatch: %d vs %d joined rows", len(got), len(want))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchJoinEmptyProbe(t *testing.T) {
+	env := testEnvCached(t)
+	q, err := plan.Build(env.Cat, ssb.Q32PoolPlan(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := BuildBatchJoin(env, q.Dims[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ps ProbeScratch
+	b := vec.New(vec.Kinds(q.Fact.Schema), 0)
+	if out := bj.Probe(env, b, nil, &ps); out.Len() != 0 {
+		t.Errorf("empty probe produced %d rows", out.Len())
+	}
+}
+
+func TestAggregatorAddBatchMatchesAdd(t *testing.T) {
+	env := testEnvCached(t)
+	q, err := plan.Build(env.Cat, "SELECT c_nation, COUNT(*) AS n, SUM(lo_revenue) AS r FROM lineorder, customer WHERE lo_custkey = c_custkey GROUP BY c_nation ORDER BY c_nation ASC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	nations := []string{"PERU", "CHINA", "PERU", "KENYA"}
+	rows := make([]pages.Row, 64)
+	for i := range rows {
+		r := make(pages.Row, q.JoinedSchema.Len())
+		for j, c := range q.JoinedSchema.Columns {
+			switch c.Kind {
+			case pages.KindInt:
+				r[j] = pages.Int(int64(rng.Intn(50)))
+			case pages.KindFloat:
+				r[j] = pages.Float(float64(rng.Intn(50)))
+			default:
+				r[j] = pages.Str(nations[rng.Intn(len(nations))])
+			}
+		}
+		rows[i] = r
+	}
+	rowAgg := NewAggregator(q, env.Col)
+	rowAgg.Add(rows)
+	batchAgg := NewAggregator(q, env.Col)
+	b := vec.FromRows(rows)
+	var buf []int
+	batchAgg.AddBatch(b, vec.FullSel(b.Len(), &buf))
+	got := SortRows(q, env.Col, batchAgg.Rows())
+	want := SortRows(q, env.Col, rowAgg.Rows())
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("AddBatch %v, Add %v", got, want)
+	}
+}
+
+func TestProbeJoinSingleAllocationShape(t *testing.T) {
+	// The rewritten row-path ProbeJoin must keep its semantics for
+	// multi-match keys and empty results.
+	ht := NewHashTable(8, nil)
+	ht.Insert(pages.Int(1), pages.Row{pages.Str("a")})
+	ht.Insert(pages.Int(1), pages.Row{pages.Str("b")})
+	ht.Insert(pages.Int(2), pages.Row{pages.Str("c")})
+	env := &Env{Col: &metrics.Collector{}}
+	in := []pages.Row{{pages.Int(1)}, {pages.Int(9)}, {pages.Int(2)}}
+	out := ProbeJoin(env, ht, 0, in)
+	want := []pages.Row{
+		{pages.Int(1), pages.Str("a")},
+		{pages.Int(1), pages.Str("b")},
+		{pages.Int(2), pages.Str("c")},
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("ProbeJoin = %v", out)
+	}
+	if got := ProbeJoin(env, ht, 0, []pages.Row{{pages.Int(9)}}); got != nil {
+		t.Errorf("no-match probe = %v", got)
+	}
+}

@@ -19,6 +19,10 @@ type Env struct {
 	Cat  *catalog.Catalog
 	Pool *buffer.Pool
 	Col  *metrics.Collector
+	// Batches is the per-table decoded-batch cache shared by every
+	// engine running on this environment; nil disables caching (each
+	// scan decodes its own batches).
+	Batches *heap.BatchCache
 }
 
 // ScanTable reads every page of the table in order, decoding rows and
@@ -89,22 +93,43 @@ func BuildDimTable(env *Env, d plan.DimJoin) (*HashTable, error) {
 
 // ProbeJoin probes one batch of rows against the dimension hash table,
 // appending matching dimension rows. keyIdx indexes the probe rows.
+// Matches are collected sparsely (most probe rows miss under selective
+// dimension predicates) and the joined rows are carved out of a single
+// value arena, so a probe performs two allocations regardless of the
+// match count.
 func ProbeJoin(env *Env, ht *HashTable, keyIdx int, in []pages.Row) []pages.Row {
+	type match struct {
+		probe int32
+		rows  []pages.Row
+	}
 	stop := env.Col.Timer(metrics.Hashing)
-	matches := make([][]pages.Row, len(in))
+	var ms []match
+	cells := 0
 	for i, r := range in {
-		matches[i] = ht.Lookup(r[keyIdx])
+		if dr := ht.Lookup(r[keyIdx]); dr != nil {
+			ms = append(ms, match{probe: int32(i), rows: dr})
+			cells += len(dr) * (len(r) + len(dr[0]))
+		}
 	}
 	stop()
 	stopJ := env.Col.Timer(metrics.Joins)
 	defer stopJ()
-	var out []pages.Row
-	for i, r := range in {
-		for _, dr := range matches[i] {
-			joined := make(pages.Row, 0, len(r)+len(dr))
-			joined = append(joined, r...)
-			joined = append(joined, dr...)
-			out = append(out, joined)
+	if len(ms) == 0 {
+		return nil
+	}
+	total := 0
+	for _, m := range ms {
+		total += len(m.rows)
+	}
+	out := make([]pages.Row, 0, total)
+	arena := make(pages.Row, 0, cells)
+	for _, m := range ms {
+		r := in[m.probe]
+		for _, dr := range m.rows {
+			start := len(arena)
+			arena = append(arena, r...)
+			arena = append(arena, dr...)
+			out = append(out, arena[start:len(arena):len(arena)])
 		}
 	}
 	return out
@@ -113,6 +138,7 @@ func ProbeJoin(env *Env, ht *HashTable, keyIdx int, in []pages.Row) []pages.Row 
 // Aggregator accumulates grouped aggregates over joined rows.
 type Aggregator struct {
 	q      *plan.Query
+	aggs   []*expr.CompiledAgg // one compile shared by every group
 	col    *metrics.Collector
 	groups map[string]*group
 	order  []string // group keys in first-seen order
@@ -127,7 +153,11 @@ type group struct {
 // NewAggregator returns an aggregator for q (which must have HasAgg or
 // be a pure projection; for pure projections use Project instead).
 func NewAggregator(q *plan.Query, col *metrics.Collector) *Aggregator {
-	return &Aggregator{q: q, col: col, groups: make(map[string]*group)}
+	aggs := make([]*expr.CompiledAgg, len(q.Aggs))
+	for i := range q.Aggs {
+		aggs[i] = expr.CompileAgg(q.Aggs[i])
+	}
+	return &Aggregator{q: q, aggs: aggs, col: col, groups: make(map[string]*group)}
 }
 
 // Add folds a batch of joined rows. Accounted to metrics.Aggregation.
@@ -138,10 +168,7 @@ func (a *Aggregator) Add(rows []pages.Row) {
 		key := a.groupKey(r)
 		g, ok := a.groups[key]
 		if !ok {
-			g = &group{accs: make([]*expr.Acc, len(a.q.Aggs))}
-			for i := range a.q.Aggs {
-				g.accs[i] = expr.NewAcc(a.q.Aggs[i])
-			}
+			g = a.newGroup(nil, 0)
 			g.keyVals = make([]pages.Value, len(a.q.GroupBy))
 			for i, idx := range a.q.GroupBy {
 				g.keyVals[i] = r[idx]
@@ -191,11 +218,7 @@ func (a *Aggregator) Rows() []pages.Row {
 	stop := a.col.Timer(metrics.Aggregation)
 	defer stop()
 	if len(a.q.GroupBy) == 0 && len(a.groups) == 0 {
-		g := &group{accs: make([]*expr.Acc, len(a.q.Aggs))}
-		for i := range a.q.Aggs {
-			g.accs[i] = expr.NewAcc(a.q.Aggs[i])
-		}
-		a.groups[""] = g
+		a.groups[""] = a.newGroup(nil, 0)
 		a.order = append(a.order, "")
 	}
 	out := make([]pages.Row, 0, len(a.order))
@@ -268,12 +291,11 @@ func SortRows(q *plan.Query, col *metrics.Collector, rows []pages.Row) []pages.R
 	return rows
 }
 
-// Execute runs q with the query-centric volcano pipeline: dimension
-// hash tables are built first, then the fact table is scanned, probed
-// through each join, aggregated, sorted. No state is shared with any
-// concurrent query — the baseline model the paper's sharing techniques
-// are compared against.
-func Execute(env *Env, q *plan.Query) ([]pages.Row, error) {
+// ExecuteRows runs q with the row-at-a-time volcano pipeline the
+// vectorized Execute replaced. It is kept as the obviously-correct
+// reference implementation: the parity tests assert Execute and
+// ExecuteRows agree on every template.
+func ExecuteRows(env *Env, q *plan.Query) ([]pages.Row, error) {
 	// Build phase.
 	hts := make([]*HashTable, len(q.Dims))
 	for i, d := range q.Dims {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sharedq/internal/pages"
+	"sharedq/internal/vec"
 )
 
 // AggKind enumerates the aggregate functions needed by the SSB and
@@ -98,12 +99,62 @@ func (a AggSpec) ResultKind(arg pages.Kind) pages.Kind {
 	}
 }
 
+// accShape classifies the aggregate argument for the vectorized fast
+// paths: a bare column, or a two-column arithmetic expression (the
+// SUM(lo_revenue - lo_supplycost) shape of the SSB Q4 flight).
+type accShape int
+
+const (
+	shapeGeneric accShape = iota
+	shapeCol              // argument is column c0
+	shapeColCol           // argument is (c0 op c1)
+)
+
+// CompiledAgg is an aggregate spec with its argument evaluators
+// compiled and classified once. Accumulators are created per group, so
+// high-cardinality GROUP BYs share one compile instead of walking the
+// expression tree per group.
+type CompiledAgg struct {
+	kind   AggKind
+	arg    Expr
+	argFn  Val
+	argVec VecVal
+	shape  accShape
+	c0, c1 int
+	op     BinOp
+}
+
+// CompileAgg compiles a (bound) aggregate spec.
+func CompileAgg(spec AggSpec) *CompiledAgg {
+	c := &CompiledAgg{kind: spec.Kind, arg: spec.Arg}
+	if spec.Arg != nil {
+		c.argFn = CompileVal(spec.Arg)
+		c.argVec = CompileVecVal(spec.Arg)
+		switch n := spec.Arg.(type) {
+		case *Col:
+			if n.Idx >= 0 {
+				c.shape, c.c0 = shapeCol, n.Idx
+			}
+		case *Bin:
+			if !n.Op.IsComparison() {
+				l, lok := n.L.(*Col)
+				r, rok := n.R.(*Col)
+				if lok && rok && l.Idx >= 0 && r.Idx >= 0 {
+					c.shape, c.c0, c.c1, c.op = shapeColCol, l.Idx, r.Idx, n.Op
+				}
+			}
+		}
+	}
+	return c
+}
+
+// NewAcc returns a fresh accumulator sharing the compiled evaluators.
+func (c *CompiledAgg) NewAcc() *Acc { return &Acc{CompiledAgg: c} }
+
 // Acc accumulates one aggregate over a group. The zero value is not
 // ready; use NewAcc.
 type Acc struct {
-	kind    AggKind
-	arg     Expr
-	argFn   Val
+	*CompiledAgg
 	count   int64
 	sumI    int64
 	sumF    float64
@@ -111,14 +162,11 @@ type Acc struct {
 	extreme pages.Value // current MIN/MAX
 }
 
-// NewAcc returns an accumulator for the (bound) spec. The argument is
-// compiled once per accumulator, not evaluated as a tree per row.
+// NewAcc returns an accumulator for the (bound) spec, compiling the
+// argument. Callers creating many accumulators for the same spec (one
+// per group) should CompileAgg once and use CompiledAgg.NewAcc.
 func NewAcc(spec AggSpec) *Acc {
-	a := &Acc{kind: spec.Kind, arg: spec.Arg}
-	if spec.Arg != nil {
-		a.argFn = CompileVal(spec.Arg)
-	}
-	return a
+	return CompileAgg(spec).NewAcc()
 }
 
 // Add folds one row into the accumulator.
@@ -144,6 +192,122 @@ func (a *Acc) Add(r pages.Row) {
 		if a.extreme.IsZero() || v.Compare(a.extreme) > 0 {
 			a.extreme = v
 		}
+	}
+}
+
+// addValue folds one already-evaluated argument value, with the same
+// semantics as Add's post-evaluation switch.
+func (a *Acc) addValue(v pages.Value) {
+	switch a.kind {
+	case AggSum, AggAvg:
+		if v.Kind == pages.KindFloat {
+			a.sawF = true
+			a.sumF += v.F
+		} else {
+			a.sumI += v.I
+		}
+	case AggMin:
+		if a.extreme.IsZero() || v.Compare(a.extreme) < 0 {
+			a.extreme = v
+		}
+	case AggMax:
+		if a.extreme.IsZero() || v.Compare(a.extreme) > 0 {
+			a.extreme = v
+		}
+	}
+}
+
+// AddVecRow folds one row of a column batch, reading typed vectors
+// directly on the classified fast shapes.
+func (a *Acc) AddVecRow(b *vec.Batch, i int) {
+	a.count++
+	if a.arg == nil {
+		return
+	}
+	if a.kind == AggSum || a.kind == AggAvg {
+		switch a.shape {
+		case shapeCol:
+			c := &b.Cols[a.c0]
+			switch c.Kind {
+			case pages.KindInt:
+				a.sumI += c.I[i]
+				return
+			case pages.KindFloat:
+				a.sawF = true
+				a.sumF += c.F[i]
+				return
+			}
+		case shapeColCol:
+			c0, c1 := &b.Cols[a.c0], &b.Cols[a.c1]
+			if c0.Kind == pages.KindInt && c1.Kind == pages.KindInt {
+				a.sumI += intOp(a.op, c0.I[i], c1.I[i])
+				return
+			}
+		}
+	}
+	a.addValue(a.argVec(b, i))
+}
+
+// AddVec folds the selected rows of a column batch. Integer sums
+// accumulate in a local register; float sums accumulate term-by-term in
+// selection order so results are bit-identical to the row-at-a-time
+// path regardless of batch boundaries.
+func (a *Acc) AddVec(b *vec.Batch, sel []int) {
+	a.count += int64(len(sel))
+	if a.arg == nil || len(sel) == 0 {
+		return
+	}
+	if a.kind == AggSum || a.kind == AggAvg {
+		switch a.shape {
+		case shapeCol:
+			c := &b.Cols[a.c0]
+			switch c.Kind {
+			case pages.KindInt:
+				col := c.I
+				var s int64
+				for _, i := range sel {
+					s += col[i]
+				}
+				a.sumI += s
+				return
+			case pages.KindFloat:
+				col := c.F
+				a.sawF = true
+				for _, i := range sel {
+					a.sumF += col[i]
+				}
+				return
+			}
+		case shapeColCol:
+			c0, c1 := &b.Cols[a.c0], &b.Cols[a.c1]
+			if c0.Kind == pages.KindInt && c1.Kind == pages.KindInt {
+				l, r := c0.I, c1.I
+				var s int64
+				switch a.op {
+				case OpMul:
+					for _, i := range sel {
+						s += l[i] * r[i]
+					}
+				case OpAdd:
+					for _, i := range sel {
+						s += l[i] + r[i]
+					}
+				case OpSub:
+					for _, i := range sel {
+						s += l[i] - r[i]
+					}
+				default:
+					for _, i := range sel {
+						s += intOp(a.op, l[i], r[i])
+					}
+				}
+				a.sumI += s
+				return
+			}
+		}
+	}
+	for _, i := range sel {
+		a.addValue(a.argVec(b, i))
 	}
 }
 

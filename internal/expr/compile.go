@@ -286,36 +286,7 @@ func CompileVal(e Expr) Val {
 		l, rr := CompileVal(n.L), CompileVal(n.R)
 		op := n.Op
 		return func(r pages.Row) pages.Value {
-			a, b := l(r), rr(r)
-			if a.Kind == pages.KindInt && b.Kind == pages.KindInt {
-				switch op {
-				case OpAdd:
-					return pages.Int(a.I + b.I)
-				case OpSub:
-					return pages.Int(a.I - b.I)
-				case OpMul:
-					return pages.Int(a.I * b.I)
-				case OpDiv:
-					if b.I == 0 {
-						return pages.Int(0)
-					}
-					return pages.Int(a.I / b.I)
-				}
-			}
-			af, bf := a.AsFloat(), b.AsFloat()
-			switch op {
-			case OpAdd:
-				return pages.Float(af + bf)
-			case OpSub:
-				return pages.Float(af - bf)
-			case OpMul:
-				return pages.Float(af * bf)
-			default:
-				if bf == 0 {
-					return pages.Float(0)
-				}
-				return pages.Float(af / bf)
-			}
+			return arith(op, l(r), rr(r))
 		}
 	}
 	return func(r pages.Row) pages.Value { return e.Eval(r) }

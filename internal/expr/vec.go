@@ -1,0 +1,463 @@
+package expr
+
+import (
+	"sharedq/internal/pages"
+	"sharedq/internal/vec"
+)
+
+// VecPred is a compiled vectorized predicate: it filters a selection
+// vector over a column batch in place, returning the surviving
+// selection (which aliases sel's storage). The compiled kernels are
+// stateless, so one VecPred may be applied concurrently to different
+// batches — the CJOIN distributor parts rely on this.
+type VecPred func(b *vec.Batch, sel []int) []int
+
+// VecRowPred evaluates a predicate for one row of a batch.
+type VecRowPred func(b *vec.Batch, i int) bool
+
+// VecVal evaluates a scalar expression for one row of a batch.
+// Compiled column/constant/arithmetic shapes are stateless; the
+// tree-walking fallback allocates a scratch row per call and is only
+// hit by shapes outside the workloads' templates.
+type VecVal func(b *vec.Batch, i int) pages.Value
+
+// CompileVecPred lowers a bound boolean expression into a vectorized
+// kernel over selection vectors. Conjunctions become chains of kernels
+// over a shrinking selection — the classic vectorized AND — and the
+// leaf comparisons of the paper's workloads (column/constant
+// comparisons, ranges, IN-lists) become tight loops over typed column
+// vectors with no per-row interface dispatch or Value boxing.
+// Compiling nil returns nil (no predicate).
+func CompileVecPred(e Expr) VecPred {
+	if e == nil {
+		return nil
+	}
+	if n, ok := e.(*And); ok {
+		parts := make([]VecPred, len(n.Terms))
+		for i, t := range n.Terms {
+			parts[i] = CompileVecPred(t)
+		}
+		if len(parts) == 1 {
+			return parts[0]
+		}
+		return func(b *vec.Batch, sel []int) []int {
+			for _, p := range parts {
+				if len(sel) == 0 {
+					return sel
+				}
+				sel = p(b, sel)
+			}
+			return sel
+		}
+	}
+	if k := compileVecLeaf(e); k != nil {
+		return k
+	}
+	// Per-row evaluation (disjunctions, column/column comparisons,
+	// unknown shapes).
+	rp := CompileVecRowPred(e)
+	return func(b *vec.Batch, sel []int) []int {
+		out := sel[:0]
+		for _, i := range sel {
+			if rp(b, i) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+}
+
+// compileVecLeaf builds a tight-loop kernel for the specializable leaf
+// shapes; nil when the shape does not specialize.
+func compileVecLeaf(e Expr) VecPred {
+	switch n := e.(type) {
+	case *Bin:
+		return compileVecCmp(n)
+	case *Between:
+		return compileVecBetween(n)
+	case *In:
+		return compileVecIn(n)
+	}
+	return nil
+}
+
+func compileVecCmp(b *Bin) VecPred {
+	if !b.Op.IsComparison() {
+		return nil
+	}
+	op := b.Op
+	if c, ok := b.L.(*Col); ok && c.Idx >= 0 {
+		if k, ok := b.R.(*Const); ok {
+			return colConstVec(c.Idx, op, k.V)
+		}
+	}
+	if k, ok := b.L.(*Const); ok {
+		if c, ok := b.R.(*Col); ok && c.Idx >= 0 {
+			return colConstVec(c.Idx, flip(op), k.V)
+		}
+	}
+	return nil
+}
+
+// colConstVec mirrors colConstCmp's semantics over a whole column: a
+// column whose kind differs from an int/string constant fails every
+// comparison except <>, which passes every row.
+func colConstVec(idx int, op BinOp, k pages.Value) VecPred {
+	switch k.Kind {
+	case pages.KindInt:
+		v := k.I
+		return func(b *vec.Batch, sel []int) []int {
+			c := &b.Cols[idx]
+			if c.Kind != pages.KindInt {
+				if op == OpNe {
+					return sel
+				}
+				return sel[:0]
+			}
+			col := c.I
+			out := sel[:0]
+			switch op {
+			case OpEq:
+				for _, i := range sel {
+					if col[i] == v {
+						out = append(out, i)
+					}
+				}
+			case OpNe:
+				for _, i := range sel {
+					if col[i] != v {
+						out = append(out, i)
+					}
+				}
+			case OpLt:
+				for _, i := range sel {
+					if col[i] < v {
+						out = append(out, i)
+					}
+				}
+			case OpLe:
+				for _, i := range sel {
+					if col[i] <= v {
+						out = append(out, i)
+					}
+				}
+			case OpGt:
+				for _, i := range sel {
+					if col[i] > v {
+						out = append(out, i)
+					}
+				}
+			default:
+				for _, i := range sel {
+					if col[i] >= v {
+						out = append(out, i)
+					}
+				}
+			}
+			return out
+		}
+	case pages.KindString:
+		v := k.S
+		return func(b *vec.Batch, sel []int) []int {
+			c := &b.Cols[idx]
+			if c.Kind != pages.KindString {
+				if op == OpNe {
+					return sel
+				}
+				return sel[:0]
+			}
+			col := c.S
+			out := sel[:0]
+			switch op {
+			case OpEq:
+				for _, i := range sel {
+					if col[i] == v {
+						out = append(out, i)
+					}
+				}
+			case OpNe:
+				for _, i := range sel {
+					if col[i] != v {
+						out = append(out, i)
+					}
+				}
+			case OpLt:
+				for _, i := range sel {
+					if col[i] < v {
+						out = append(out, i)
+					}
+				}
+			case OpLe:
+				for _, i := range sel {
+					if col[i] <= v {
+						out = append(out, i)
+					}
+				}
+			case OpGt:
+				for _, i := range sel {
+					if col[i] > v {
+						out = append(out, i)
+					}
+				}
+			default:
+				for _, i := range sel {
+					if col[i] >= v {
+						out = append(out, i)
+					}
+				}
+			}
+			return out
+		}
+	case pages.KindFloat:
+		v := k.F
+		return func(b *vec.Batch, sel []int) []int {
+			c := &b.Cols[idx]
+			out := sel[:0]
+			switch c.Kind {
+			case pages.KindInt:
+				for _, i := range sel {
+					if cmpOK(cmpFloat(float64(c.I[i]), v), op) {
+						out = append(out, i)
+					}
+				}
+			case pages.KindFloat:
+				for _, i := range sel {
+					if cmpOK(cmpFloat(c.F[i], v), op) {
+						out = append(out, i)
+					}
+				}
+			default:
+				// Strings coerce to 0, as Value.AsFloat does.
+				if cmpOK(cmpFloat(0, v), op) {
+					return sel
+				}
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compileVecBetween(bt *Between) VecPred {
+	c, ok := bt.X.(*Col)
+	if !ok || c.Idx < 0 {
+		return nil
+	}
+	lo, lok := bt.Lo.(*Const)
+	hi, hok := bt.Hi.(*Const)
+	if !lok || !hok {
+		return nil
+	}
+	idx := c.Idx
+	if lo.V.Kind == pages.KindInt && hi.V.Kind == pages.KindInt {
+		l, h := lo.V.I, hi.V.I
+		return func(b *vec.Batch, sel []int) []int {
+			cc := &b.Cols[idx]
+			if cc.Kind != pages.KindInt {
+				return sel[:0]
+			}
+			col := cc.I
+			out := sel[:0]
+			for _, i := range sel {
+				if x := col[i]; x >= l && x <= h {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+	}
+	lv, hv := lo.V, hi.V
+	return func(b *vec.Batch, sel []int) []int {
+		cc := &b.Cols[idx]
+		out := sel[:0]
+		for _, i := range sel {
+			x := cc.Value(i)
+			if x.Compare(lv) >= 0 && x.Compare(hv) <= 0 {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+}
+
+func compileVecIn(in *In) VecPred {
+	c, ok := in.X.(*Col)
+	if !ok || c.Idx < 0 {
+		return nil
+	}
+	idx := c.Idx
+	strs := make(map[string]struct{}, len(in.List))
+	ints := make(map[int64]struct{}, len(in.List))
+	for _, e := range in.List {
+		k, ok := e.(*Const)
+		if !ok {
+			return nil
+		}
+		switch k.V.Kind {
+		case pages.KindString:
+			strs[k.V.S] = struct{}{}
+		case pages.KindInt:
+			ints[k.V.I] = struct{}{}
+		default:
+			return nil
+		}
+	}
+	return func(b *vec.Batch, sel []int) []int {
+		cc := &b.Cols[idx]
+		out := sel[:0]
+		switch cc.Kind {
+		case pages.KindString:
+			col := cc.S
+			for _, i := range sel {
+				if _, ok := strs[col[i]]; ok {
+					out = append(out, i)
+				}
+			}
+		case pages.KindInt:
+			col := cc.I
+			for _, i := range sel {
+				if _, ok := ints[col[i]]; ok {
+					out = append(out, i)
+				}
+			}
+		}
+		return out
+	}
+}
+
+// CompileVecRowPred lowers a bound boolean expression into a per-row
+// batch predicate. The specialized shapes are stateless closures; the
+// fallback materializes a scratch row per call (slow, safe, and only
+// reached by shapes outside the workloads' templates).
+func CompileVecRowPred(e Expr) VecRowPred {
+	switch n := e.(type) {
+	case *And:
+		parts := make([]VecRowPred, len(n.Terms))
+		for i, t := range n.Terms {
+			parts[i] = CompileVecRowPred(t)
+		}
+		return func(b *vec.Batch, i int) bool {
+			for _, p := range parts {
+				if !p(b, i) {
+					return false
+				}
+			}
+			return true
+		}
+	case *Or:
+		parts := make([]VecRowPred, len(n.Terms))
+		for i, t := range n.Terms {
+			parts[i] = CompileVecRowPred(t)
+		}
+		return func(b *vec.Batch, i int) bool {
+			for _, p := range parts {
+				if p(b, i) {
+					return true
+				}
+			}
+			return false
+		}
+	case *Bin:
+		if n.Op.IsComparison() {
+			if c, ok := n.L.(*Col); ok && c.Idx >= 0 {
+				if c2, ok := n.R.(*Col); ok && c2.Idx >= 0 {
+					i1, i2, op := c.Idx, c2.Idx, n.Op
+					return func(b *vec.Batch, i int) bool {
+						return cmpOK(b.Value(i1, i).Compare(b.Value(i2, i)), op)
+					}
+				}
+			}
+		}
+	}
+	if k := compileVecLeaf(e); k != nil {
+		return func(b *vec.Batch, i int) bool {
+			s := [1]int{i}
+			return len(k(b, s[:])) == 1
+		}
+	}
+	return func(b *vec.Batch, i int) bool {
+		row := b.ReadRow(make(pages.Row, 0, b.NumCols()), i)
+		return Truthy(e.Eval(row))
+	}
+}
+
+// CompileVecVal lowers a bound scalar expression into a per-row batch
+// evaluator: column reads and arithmetic (the aggregate arguments of
+// the SSB and TPC-H Q1 templates) read typed vectors directly.
+func CompileVecVal(e Expr) VecVal {
+	switch n := e.(type) {
+	case *Col:
+		if n.Idx >= 0 {
+			idx := n.Idx
+			return func(b *vec.Batch, i int) pages.Value { return b.Cols[idx].Value(i) }
+		}
+	case *Const:
+		v := n.V
+		return func(*vec.Batch, int) pages.Value { return v }
+	case *Bin:
+		if !n.Op.IsComparison() {
+			l, r := CompileVecVal(n.L), CompileVecVal(n.R)
+			op := n.Op
+			return func(b *vec.Batch, i int) pages.Value {
+				return arith(op, l(b, i), r(b, i))
+			}
+		}
+	}
+	return func(b *vec.Batch, i int) pages.Value {
+		row := b.ReadRow(make(pages.Row, 0, b.NumCols()), i)
+		return e.Eval(row)
+	}
+}
+
+// intOp applies one arithmetic operator over integers with the
+// engine's division-by-zero convention; arith and the vectorized
+// aggregate fast paths both defer to it so the convention lives in
+// one place.
+func intOp(op BinOp, l, r int64) int64 {
+	switch op {
+	case OpAdd:
+		return l + r
+	case OpSub:
+		return l - r
+	case OpMul:
+		return l * r
+	default:
+		if r == 0 {
+			return 0
+		}
+		return l / r
+	}
+}
+
+// arith applies one arithmetic operator with the engine's promotion
+// rules (int op int stays int; anything else promotes to float).
+func arith(op BinOp, a, b pages.Value) pages.Value {
+	if a.Kind == pages.KindInt && b.Kind == pages.KindInt {
+		return pages.Int(intOp(op, a.I, b.I))
+	}
+	af, bf := a.AsFloat(), b.AsFloat()
+	switch op {
+	case OpAdd:
+		return pages.Float(af + bf)
+	case OpSub:
+		return pages.Float(af - bf)
+	case OpMul:
+		return pages.Float(af * bf)
+	default:
+		if bf == 0 {
+			return pages.Float(0)
+		}
+		return pages.Float(af / bf)
+	}
+}

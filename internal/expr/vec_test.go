@@ -1,0 +1,182 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"sharedq/internal/pages"
+	"sharedq/internal/vec"
+)
+
+// randomBatch builds a batch of n rows over (x INT, s VARCHAR, f FLOAT)
+// plus the equivalent rows, so vectorized kernels can be checked
+// against the row-at-a-time compiler on identical data.
+func randomBatch(n int, seed int64) (*vec.Batch, []pages.Row, *pages.Schema) {
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{"PERU", "CHINA", "FRANCE", "KENYA", "JAPAN"}
+	rows := make([]pages.Row, n)
+	for i := range rows {
+		rows[i] = pages.Row{
+			pages.Int(int64(rng.Intn(100))),
+			pages.Str(words[rng.Intn(len(words))]),
+			pages.Float(float64(rng.Intn(1000)) / 4),
+		}
+	}
+	s := pages.NewSchema(
+		pages.Column{Name: "x", Kind: pages.KindInt},
+		pages.Column{Name: "s", Kind: pages.KindString},
+		pages.Column{Name: "f", Kind: pages.KindFloat},
+	)
+	return vec.FromRows(rows), rows, s
+}
+
+// checkPredParity asserts CompileVecPred selects exactly the rows
+// CompilePred accepts.
+func checkPredParity(t *testing.T, e Expr, schema *pages.Schema) {
+	t.Helper()
+	b, rows, _ := randomBatch(256, 11)
+	bound, err := Bind(e, schema)
+	if err != nil {
+		t.Fatalf("%s: %v", e.String(), err)
+	}
+	rowPred := CompilePred(bound)
+	vecPred := CompileVecPred(bound)
+	var buf []int
+	sel := vecPred(b, vec.FullSel(b.Len(), &buf))
+	want := make(map[int]bool)
+	for i, r := range rows {
+		if rowPred(r) {
+			want[i] = true
+		}
+	}
+	if len(sel) != len(want) {
+		t.Fatalf("%s: vec selected %d rows, row path %d", bound.String(), len(sel), len(want))
+	}
+	for _, i := range sel {
+		if !want[i] {
+			t.Fatalf("%s: vec selected row %d the row path rejects", bound.String(), i)
+		}
+	}
+	// The per-row compiled form must agree too.
+	rp := CompileVecRowPred(bound)
+	for i := range rows {
+		if rp(b, i) != want[i] {
+			t.Fatalf("%s: VecRowPred disagrees at row %d", bound.String(), i)
+		}
+	}
+}
+
+func TestVecPredMatchesRowPred(t *testing.T) {
+	col := func(n string) *Col { return NewCol(n) }
+	lit := func(v pages.Value) *Const { return &Const{V: v} }
+	cases := []Expr{
+		&Bin{Op: OpLt, L: col("x"), R: lit(pages.Int(50))},
+		&Bin{Op: OpGe, L: col("x"), R: lit(pages.Int(97))},
+		&Bin{Op: OpEq, L: col("s"), R: lit(pages.Str("PERU"))},
+		&Bin{Op: OpNe, L: col("s"), R: lit(pages.Str("PERU"))},
+		&Bin{Op: OpGt, L: lit(pages.Int(30)), R: col("x")}, // const OP col flips
+		&Bin{Op: OpLe, L: col("f"), R: lit(pages.Float(100))},
+		&Bin{Op: OpEq, L: col("x"), R: col("x")}, // col/col comparison
+		&Between{X: col("x"), Lo: lit(pages.Int(10)), Hi: lit(pages.Int(20))},
+		&In{X: col("s"), List: []Expr{lit(pages.Str("CHINA")), lit(pages.Str("KENYA"))}},
+		&In{X: col("x"), List: []Expr{lit(pages.Int(1)), lit(pages.Int(2)), lit(pages.Int(3))}},
+		&And{Terms: []Expr{
+			&Bin{Op: OpGe, L: col("x"), R: lit(pages.Int(10))},
+			&Bin{Op: OpNe, L: col("s"), R: lit(pages.Str("JAPAN"))},
+		}},
+		&Or{Terms: []Expr{
+			&Bin{Op: OpLt, L: col("x"), R: lit(pages.Int(5))},
+			&Bin{Op: OpEq, L: col("s"), R: lit(pages.Str("FRANCE"))},
+		}},
+		// Arithmetic inside a comparison: exercises the fallback.
+		&Bin{Op: OpGt, L: &Bin{Op: OpMul, L: col("x"), R: lit(pages.Int(2))}, R: lit(pages.Int(90))},
+	}
+	_, _, schema := randomBatch(1, 1)
+	for _, e := range cases {
+		checkPredParity(t, e, schema)
+	}
+}
+
+func TestVecPredKindMismatch(t *testing.T) {
+	// An int constant against a string column drops everything except
+	// under <>, which keeps everything — colConstCmp's semantics.
+	_, _, schema := randomBatch(1, 1)
+	b, _, _ := randomBatch(64, 3)
+	var buf []int
+	eq, err := Bind(&Bin{Op: OpEq, L: NewCol("s"), R: &Const{V: pages.Int(7)}}, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel := CompileVecPred(eq)(b, vec.FullSel(b.Len(), &buf)); len(sel) != 0 {
+		t.Errorf("int = over string column selected %d rows", len(sel))
+	}
+	ne, _ := Bind(&Bin{Op: OpNe, L: NewCol("s"), R: &Const{V: pages.Int(7)}}, schema)
+	if sel := CompileVecPred(ne)(b, vec.FullSel(b.Len(), &buf)); len(sel) != b.Len() {
+		t.Errorf("int <> over string column selected %d rows", len(sel))
+	}
+}
+
+func TestCompileVecValMatchesEval(t *testing.T) {
+	_, _, schema := randomBatch(1, 1)
+	b, rows, _ := randomBatch(128, 5)
+	exprs := []Expr{
+		NewCol("x"),
+		&Const{V: pages.Int(42)},
+		&Bin{Op: OpMul, L: NewCol("x"), R: NewCol("x")},
+		&Bin{Op: OpSub, L: &Const{V: pages.Int(1)}, R: NewCol("f")},
+		&Bin{Op: OpMul, L: NewCol("f"), R: &Bin{Op: OpSub, L: &Const{V: pages.Int(1)}, R: NewCol("f")}},
+		&Bin{Op: OpDiv, L: NewCol("x"), R: &Const{V: pages.Int(0)}}, // div-by-zero convention
+	}
+	for _, e := range exprs {
+		bound, err := Bind(e, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn := CompileVecVal(bound)
+		for i, r := range rows {
+			if got, want := fn(b, i), bound.Eval(r); got != want {
+				t.Fatalf("%s row %d: vec %v, tree %v", bound.String(), i, got, want)
+			}
+		}
+	}
+}
+
+func TestAccVecMatchesRowAcc(t *testing.T) {
+	_, _, schema := randomBatch(1, 1)
+	b, rows, _ := randomBatch(200, 9)
+	specs := []AggSpec{
+		{Kind: AggCount},
+		{Kind: AggSum, Arg: NewCol("x")},
+		{Kind: AggSum, Arg: &Bin{Op: OpMul, L: NewCol("x"), R: NewCol("x")}},
+		{Kind: AggSum, Arg: &Bin{Op: OpSub, L: NewCol("x"), R: NewCol("x")}},
+		{Kind: AggSum, Arg: NewCol("f")},
+		{Kind: AggAvg, Arg: NewCol("x")},
+		{Kind: AggMin, Arg: NewCol("s")},
+		{Kind: AggMax, Arg: NewCol("f")},
+	}
+	var buf []int
+	sel := vec.FullSel(b.Len(), &buf)
+	for _, spec := range specs {
+		bound, err := spec.Bind(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowAcc, vecAcc, rowVecAcc := NewAcc(bound), NewAcc(bound), NewAcc(bound)
+		for _, r := range rows {
+			rowAcc.Add(r)
+		}
+		vecAcc.AddVec(b, sel)
+		for i := range rows {
+			rowVecAcc.AddVecRow(b, i)
+		}
+		if got, want := vecAcc.Result(), rowAcc.Result(); got != want {
+			t.Errorf("%s: AddVec %v, row path %v", bound.String(), got, want)
+		}
+		if got, want := rowVecAcc.Result(), rowAcc.Result(); got != want {
+			t.Errorf("%s: AddVecRow %v, row path %v", bound.String(), got, want)
+		}
+		if vecAcc.Count() != rowAcc.Count() {
+			t.Errorf("%s: counts diverge", bound.String())
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package heap
+
+import (
+	"testing"
+
+	"sharedq/internal/buffer"
+	"sharedq/internal/catalog"
+	"sharedq/internal/disk"
+	"sharedq/internal/pages"
+	"sharedq/internal/vec"
+)
+
+func cacheTestSetup(t *testing.T, rows int) (*buffer.Pool, *catalog.Table) {
+	t.Helper()
+	dev := disk.NewDevice(disk.Config{Timed: false})
+	tbl := &catalog.Table{
+		Name: "t",
+		Schema: pages.NewSchema(
+			pages.Column{Name: "a", Kind: pages.KindInt},
+			pages.Column{Name: "b", Kind: pages.KindString},
+		),
+	}
+	err := Load(dev, tbl, func(emit func(pages.Row) error) error {
+		for i := 0; i < rows; i++ {
+			if err := emit(pages.Row{pages.Int(int64(i)), pages.Str("v")}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := disk.NewFSCache(dev, disk.CacheConfig{})
+	return buffer.NewPool(cache, 64), tbl
+}
+
+func TestReadPageBatchCachesDecodes(t *testing.T) {
+	pool, tbl := cacheTestSetup(t, 5000)
+	bc := NewBatchCache(16)
+	kinds := vec.Kinds(tbl.Schema)
+
+	total := 0
+	for i := 0; i < tbl.NumPages; i++ {
+		b, err := ReadPageBatch(pool, bc, tbl.Name, i, kinds, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += b.Len()
+	}
+	if int64(total) != tbl.NumRows {
+		t.Fatalf("decoded %d rows, want %d", total, tbl.NumRows)
+	}
+	if hits, _ := bc.Stats(); hits != 0 {
+		t.Errorf("cold pass recorded %d hits", hits)
+	}
+	// Warm pass: identical batches, all hits, same pointers.
+	b0, err := ReadPageBatch(pool, bc, tbl.Name, 0, kinds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := ReadPageBatch(pool, bc, tbl.Name, 0, kinds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b0 != b1 {
+		t.Error("warm reads did not share the decoded batch")
+	}
+	if hits, _ := bc.Stats(); hits < 2 {
+		t.Errorf("warm pass recorded %d hits", hits)
+	}
+}
+
+func TestBatchCacheBoundsAndClear(t *testing.T) {
+	bc := NewBatchCache(4)
+	for i := 0; i < 10; i++ {
+		bc.Put(buffer.PageID{File: "t", Page: i}, &vec.Batch{})
+	}
+	if bc.Len() > 4 {
+		t.Errorf("cache grew to %d entries, cap 4", bc.Len())
+	}
+	bc.Clear()
+	if bc.Len() != 0 {
+		t.Errorf("Clear left %d entries", bc.Len())
+	}
+}
+
+func TestBatchCacheNilSafe(t *testing.T) {
+	var bc *BatchCache
+	if _, ok := bc.Get(buffer.PageID{}); ok {
+		t.Error("nil cache returned a hit")
+	}
+	bc.Put(buffer.PageID{}, nil) // must not panic
+	bc.Clear()
+	if bc.Len() != 0 {
+		t.Error("nil cache Len != 0")
+	}
+	// ReadPageBatch must work without a cache at all.
+	pool, tbl := cacheTestSetup(t, 100)
+	b, err := ReadPageBatch(pool, nil, tbl.Name, 0, vec.Kinds(tbl.Schema), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(b.Len()) != tbl.NumRows {
+		t.Errorf("cacheless read decoded %d rows, want %d", b.Len(), tbl.NumRows)
+	}
+}

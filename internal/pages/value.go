@@ -137,32 +137,45 @@ func (v Value) String() string {
 // Hashing CPU category the paper isolates in Figures 11/12.
 // FNV-1a over the value payload.
 func (v Value) Hash() uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(b byte) {
-		h ^= uint64(b)
-		h *= prime64
-	}
-	mix(byte(v.Kind))
 	switch v.Kind {
 	case KindInt:
-		u := uint64(v.I)
-		for i := 0; i < 8; i++ {
-			mix(byte(u >> (8 * i)))
-		}
+		return HashInt64(v.I)
 	case KindFloat:
 		// Hash the integer form when exact, else the bit pattern.
-		u := uint64(int64(v.F))
-		for i := 0; i < 8; i++ {
-			mix(byte(u >> (8 * i)))
-		}
+		return hashWord(KindFloat, uint64(int64(v.F)))
 	case KindString:
-		for i := 0; i < len(v.S); i++ {
-			mix(v.S[i])
-		}
+		return HashString(v.S)
+	default:
+		return (hashOffset64 ^ uint64(v.Kind)) * hashPrime64
+	}
+}
+
+const (
+	hashOffset64 = 14695981039346656037
+	hashPrime64  = 1099511628211
+)
+
+func hashWord(k Kind, u uint64) uint64 {
+	h := uint64(hashOffset64)
+	h = (h ^ uint64(k)) * hashPrime64
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint64(byte(u>>(8*i)))) * hashPrime64
+	}
+	return h
+}
+
+// HashInt64 hashes an unboxed integer key exactly as Int(v).Hash()
+// does, so the vectorized probe kernels that read raw int64 key columns
+// land in the same buckets as Value-keyed inserts.
+func HashInt64(v int64) uint64 { return hashWord(KindInt, uint64(v)) }
+
+// HashString hashes an unboxed string key exactly as Str(s).Hash()
+// does, for the same reason as HashInt64.
+func HashString(s string) uint64 {
+	h := uint64(hashOffset64)
+	h = (h ^ uint64(KindString)) * hashPrime64
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * hashPrime64
 	}
 	return h
 }

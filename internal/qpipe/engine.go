@@ -10,6 +10,7 @@ import (
 	"sharedq/internal/metrics"
 	"sharedq/internal/pages"
 	"sharedq/internal/plan"
+	"sharedq/internal/vec"
 )
 
 // Config selects a QPipe engine configuration. The paper's lines map as:
@@ -216,8 +217,10 @@ func (e *Engine) buildPipeline(q *plan.Query) (InPort, error) {
 	return probe, nil
 }
 
-// runJoin executes one hash-join packet: build from the dimension scan,
-// then probe the incoming stream, emitting joined pages.
+// runJoin executes one hash-join packet: build the columnar join side
+// from the dimension scan, then probe the incoming batch stream with
+// the vectorized kernels, emitting joined column batches (one output
+// page per probed input page).
 func (e *Engine) runJoin(d plan.DimJoin, factPred expr.Expr, probe, dimIn InPort, h *joinHost) {
 	defer func() {
 		h.out.Close()
@@ -225,47 +228,107 @@ func (e *Engine) runJoin(d plan.DimJoin, factPred expr.Expr, probe, dimIn InPort
 	}()
 
 	// Build phase: consume the dimension scan, filter, insert.
-	ht := exec.NewHashTable(1024, e.env.Col)
-	dimPred := expr.CompilePred(d.Pred)
+	bj := exec.NewBatchJoin(d, 1024)
+	vpred := expr.CompileVecPred(d.Pred)
+	var selBuf []int
 	for {
 		p, ok := dimIn.Next()
 		if !ok {
 			break
 		}
+		in, err := pageBatch(p)
+		if err != nil {
+			e.fail(err)
+			continue
+		}
+		if in == nil {
+			continue
+		}
 		stop := e.env.Col.Timer(metrics.Joins)
-		rows := exec.FilterRowsPred(p.Rows, dimPred)
+		sel := vec.FullSel(in.Len(), &selBuf)
+		if vpred != nil {
+			sel = vpred(in, sel)
+		}
 		stop()
 		stopH := e.env.Col.Timer(metrics.Hashing)
-		for _, r := range rows {
-			ht.Insert(r[d.DimKeyIdx], r)
-		}
+		bj.Add(in, sel)
 		stopH()
 	}
 
-	// Probe phase.
-	b := comm.NewBuilder(e.pc.PageRows)
-	factFn := expr.CompilePred(factPred)
+	// Probe phase. Joined rows are re-paged into ~PageRows-row batches
+	// (coalescing under-filled outputs of selective joins, splitting
+	// oversized fan-outs) so exchange pages keep the 32 KB granularity
+	// the FIFO/SPL copy-cost comparison models — the batch counterpart
+	// of the old comm.Builder.
+	factVec := expr.CompileVecPred(factPred)
+	var ps exec.ProbeScratch
+	pageRows := e.pc.PageRows
+	var pend *vec.Batch
 	for {
 		p, ok := probe.Next()
 		if !ok {
 			break
 		}
-		in := p.Rows
-		if factFn != nil {
+		in, err := pageBatch(p)
+		if err != nil {
+			e.fail(err)
+			continue
+		}
+		if in == nil {
+			continue
+		}
+		sel := vec.FullSel(in.Len(), &selBuf)
+		if factVec != nil {
 			stop := e.env.Col.Timer(metrics.Joins)
-			in = exec.FilterRowsPred(in, factFn)
+			sel = factVec(in, sel)
 			stop()
 		}
-		joined := exec.ProbeJoin(e.env, ht, d.FactColIdx, in)
-		for _, r := range joined {
-			if pg := b.Add(r); pg != nil {
-				e.emitJoin(h, pg)
+		if len(sel) == 0 {
+			continue
+		}
+		joined := bj.Probe(e.env, in, sel, &ps)
+		if pend == nil && joined.Len() == pageRows {
+			// Aligned full page: forward without copying.
+			e.emitJoin(h, comm.NewBatchPage(joined))
+			continue
+		}
+		for off := 0; off < joined.Len(); {
+			if pend == nil {
+				pend = vec.New(joined.Kinds(), pageRows)
+			}
+			take := pageRows - pend.Len()
+			if rest := joined.Len() - off; rest < take {
+				take = rest
+			}
+			pend.AppendRange(joined, off, off+take)
+			off += take
+			if pend.Len() == pageRows {
+				e.emitJoin(h, comm.NewBatchPage(pend))
+				pend = nil
 			}
 		}
 	}
-	if pg := b.Flush(); pg != nil {
-		e.emitJoin(h, pg)
+	if pend != nil && pend.Len() > 0 {
+		e.emitJoin(h, comm.NewBatchPage(pend))
 	}
+}
+
+// pageBatch returns a page's payload as a column batch: the batch
+// itself, a conversion of its rows, nil for an empty page, or an error
+// when non-empty rows cannot be represented columnar — a malformed
+// page must fail the query, not silently drop tuples.
+func pageBatch(p *comm.Page) (*vec.Batch, error) {
+	if p.Batch != nil {
+		return p.Batch, nil
+	}
+	if len(p.Rows) == 0 {
+		return nil, nil
+	}
+	b := vec.FromRows(p.Rows)
+	if b == nil {
+		return nil, fmt.Errorf("qpipe: page of %d rows is not uniformly typed", len(p.Rows))
+	}
+	return b, nil
 }
 
 // emitJoin closes the step WoP on the first output page, then emits.
@@ -301,21 +364,43 @@ func (e *Engine) drainFinal(q *plan.Query, in InPort) []pages.Row {
 // plans) pages and applies the per-query tail: fact-predicate filtering
 // for plans with no joins, aggregation or projection, sort and limit.
 // It is shared by the QPipe engine and the CJOIN stage (whose
-// subsequent operators are query-centric, §3.2).
+// subsequent operators are query-centric, §3.2). Column-batch pages
+// flow through the vectorized kernels; row pages through the
+// row-at-a-time operators.
 func Drain(env *exec.Env, q *plan.Query, in InPort) []pages.Row {
 	var agg *exec.Aggregator
+	var outFns []expr.VecVal
 	if q.HasAgg {
 		agg = exec.NewAggregator(q, env.Col)
+	} else {
+		outFns = exec.CompileOutputVals(q)
 	}
 	var plain []pages.Row
 	var factFn expr.Pred
+	var factVec expr.VecPred
 	if len(q.Dims) == 0 { // otherwise the predicate is applied upstream
 		factFn = expr.CompilePred(q.FactPred)
+		factVec = expr.CompileVecPred(q.FactPred)
 	}
+	var selBuf []int
 	for {
 		p, ok := in.Next()
 		if !ok {
 			break
+		}
+		if b := p.Batch; b != nil {
+			sel := vec.FullSel(b.Len(), &selBuf)
+			if factVec != nil {
+				stop := env.Col.Timer(metrics.Misc)
+				sel = factVec(b, sel)
+				stop()
+			}
+			if agg != nil {
+				agg.AddBatch(b, sel)
+			} else {
+				plain = exec.ProjectBatch(outFns, b, sel, plain)
+			}
+			continue
 		}
 		rows := p.Rows
 		if factFn != nil {

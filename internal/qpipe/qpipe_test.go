@@ -189,14 +189,14 @@ func TestCircularScanShares(t *testing.T) {
 	count := func(in InPort, first *comm.Page) int {
 		n := 0
 		if first != nil {
-			n += len(first.Rows)
+			n += first.NumRows()
 		}
 		for {
 			p, ok := in.Next()
 			if !ok {
 				return n
 			}
-			n += len(p.Rows)
+			n += p.NumRows()
 		}
 	}
 	var wg sync.WaitGroup

@@ -6,9 +6,8 @@ import (
 	"sharedq/internal/catalog"
 	"sharedq/internal/comm"
 	"sharedq/internal/exec"
-	"sharedq/internal/heap"
 	"sharedq/internal/metrics"
-	"sharedq/internal/pages"
+	"sharedq/internal/vec"
 )
 
 // ScanStage is the table-scan stage. With sharing enabled it runs one
@@ -81,12 +80,12 @@ func (st *ScanStage) Attach(t *catalog.Table) InPort {
 func (st *ScanStage) privateScan(t *catalog.Table, out OutPort) {
 	defer out.Close()
 	for i := 0; i < t.NumPages; i++ {
-		rows, err := st.readPage(t, i)
+		b, err := st.readPage(t, i)
 		if err != nil {
 			st.fail(err)
 			return
 		}
-		out.Emit(&comm.Page{Rows: rows, Index: i})
+		out.Emit(&comm.Page{Batch: b, Index: i})
 		if out.ActiveReaders() == 0 {
 			return
 		}
@@ -111,7 +110,7 @@ func (st *ScanStage) circularScan(sc *scanner) {
 		sc.next = (sc.next + 1) % sc.table.NumPages
 		st.mu.Unlock()
 
-		rows, err := st.readPage(sc.table, idx)
+		b, err := st.readPage(sc.table, idx)
 		if err != nil {
 			st.mu.Lock()
 			delete(st.scanners, sc.table.Name)
@@ -120,12 +119,13 @@ func (st *ScanStage) circularScan(sc *scanner) {
 			st.fail(err)
 			return
 		}
-		sc.out.Emit(&comm.Page{Rows: rows, Index: idx})
+		sc.out.Emit(&comm.Page{Batch: b, Index: idx})
 	}
 }
 
-func (st *ScanStage) readPage(t *catalog.Table, idx int) ([]pages.Row, error) {
-	stop := st.env.Col.Timer(metrics.Scans)
-	defer stop()
-	return heap.ReadPageRows(st.env.Pool, t.Name, idx, nil, st.env.Col)
+// readPage fetches one page as a decoded column batch through the
+// environment's decoded-batch cache: concurrent scanners (and the
+// CJOIN preprocessor) share one decode per page.
+func (st *ScanStage) readPage(t *catalog.Table, idx int) (*vec.Batch, error) {
+	return exec.ReadTableBatch(st.env, t, idx)
 }

@@ -1,0 +1,380 @@
+// Package vec implements the vectorized columnar batch representation
+// the execution engines operate on: one Batch per 32 KB storage page,
+// holding typed column vectors, processed batch-at-a-time through
+// selection vectors. Batches replace the row-at-a-time []pages.Row
+// slices of the original engine: operators touch contiguous typed
+// slices instead of dispatching through interfaces per tuple, and a
+// decoded batch is immutable, so concurrent shared scans (circular
+// scans, the CJOIN preprocessor) can safely share one decode of each
+// page — extending the paper's sharing idea from I/O to decode work.
+package vec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sharedq/internal/pages"
+)
+
+// Column is one typed column vector. Exactly one of the payload slices
+// is populated, selected by Kind.
+type Column struct {
+	Kind pages.Kind
+	I    []int64
+	F    []float64
+	S    []string
+}
+
+// Value boxes entry i of the column as a dynamically typed value.
+func (c *Column) Value(i int) pages.Value {
+	switch c.Kind {
+	case pages.KindInt:
+		return pages.Int(c.I[i])
+	case pages.KindFloat:
+		return pages.Float(c.F[i])
+	default:
+		return pages.Str(c.S[i])
+	}
+}
+
+// GatherInto appends the selected entries of c to dst (same kind).
+func (c *Column) GatherInto(dst *Column, sel []int) {
+	switch c.Kind {
+	case pages.KindInt:
+		for _, i := range sel {
+			dst.I = append(dst.I, c.I[i])
+		}
+	case pages.KindFloat:
+		for _, i := range sel {
+			dst.F = append(dst.F, c.F[i])
+		}
+	default:
+		for _, i := range sel {
+			dst.S = append(dst.S, c.S[i])
+		}
+	}
+}
+
+// append adds one boxed value, which must match the column kind.
+func (c *Column) append(v pages.Value) error {
+	if v.Kind != c.Kind {
+		return fmt.Errorf("vec: appending %s value to %s column", v.Kind, c.Kind)
+	}
+	switch c.Kind {
+	case pages.KindInt:
+		c.I = append(c.I, v.I)
+	case pages.KindFloat:
+		c.F = append(c.F, v.F)
+	default:
+		c.S = append(c.S, v.S)
+	}
+	return nil
+}
+
+// Batch is a columnar batch of rows: one Column per schema attribute,
+// all of equal length. A decoded batch is treated as immutable by every
+// consumer, which is what makes the per-table decoded-batch cache and
+// page-level sharing safe.
+type Batch struct {
+	Cols []Column
+	n    int
+}
+
+// Kinds extracts the column kinds of a schema, the layout descriptor a
+// batch is built from.
+func Kinds(s *pages.Schema) []pages.Kind {
+	ks := make([]pages.Kind, s.Len())
+	for i, c := range s.Columns {
+		ks[i] = c.Kind
+	}
+	return ks
+}
+
+// New returns an empty batch with the given column kinds, pre-sizing
+// each column vector for capacity rows.
+func New(kinds []pages.Kind, capacity int) *Batch {
+	b := &Batch{Cols: make([]Column, len(kinds))}
+	for i, k := range kinds {
+		b.Cols[i].Kind = k
+		if capacity > 0 {
+			switch k {
+			case pages.KindInt:
+				b.Cols[i].I = make([]int64, 0, capacity)
+			case pages.KindFloat:
+				b.Cols[i].F = make([]float64, 0, capacity)
+			default:
+				b.Cols[i].S = make([]string, 0, capacity)
+			}
+		}
+	}
+	return b
+}
+
+// ConcatKinds returns the column kinds of a joined batch: a's columns
+// followed by b's.
+func ConcatKinds(a, b []pages.Kind) []pages.Kind {
+	out := make([]pages.Kind, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// Len returns the number of rows.
+func (b *Batch) Len() int { return b.n }
+
+// NumCols returns the number of columns.
+func (b *Batch) NumCols() int { return len(b.Cols) }
+
+// Kinds returns the batch's column kinds.
+func (b *Batch) Kinds() []pages.Kind {
+	ks := make([]pages.Kind, len(b.Cols))
+	for i := range b.Cols {
+		ks[i] = b.Cols[i].Kind
+	}
+	return ks
+}
+
+// Value boxes the value at (column c, row i).
+func (b *Batch) Value(c, i int) pages.Value { return b.Cols[c].Value(i) }
+
+// ReadRow materializes row i into dst (reused when capacity allows).
+func (b *Batch) ReadRow(dst pages.Row, i int) pages.Row {
+	dst = dst[:0]
+	for c := range b.Cols {
+		dst = append(dst, b.Cols[c].Value(i))
+	}
+	return dst
+}
+
+// Row materializes row i as a fresh pages.Row.
+func (b *Batch) Row(i int) pages.Row {
+	return b.ReadRow(make(pages.Row, 0, len(b.Cols)), i)
+}
+
+// AppendTo materializes every row, appending to dst.
+func (b *Batch) AppendTo(dst []pages.Row) []pages.Row {
+	for i := 0; i < b.n; i++ {
+		dst = append(dst, b.Row(i))
+	}
+	return dst
+}
+
+// AppendRow appends one boxed row, which must match the batch layout.
+func (b *Batch) AppendRow(r pages.Row) error {
+	if len(r) != len(b.Cols) {
+		return fmt.Errorf("vec: appending %d-column row to %d-column batch", len(r), len(b.Cols))
+	}
+	for c, v := range r {
+		if err := b.Cols[c].append(v); err != nil {
+			return err
+		}
+	}
+	b.n++
+	return nil
+}
+
+// AppendFrom appends row i of src, whose layout must match b's.
+func (b *Batch) AppendFrom(src *Batch, i int) {
+	for c := range b.Cols {
+		switch b.Cols[c].Kind {
+		case pages.KindInt:
+			b.Cols[c].I = append(b.Cols[c].I, src.Cols[c].I[i])
+		case pages.KindFloat:
+			b.Cols[c].F = append(b.Cols[c].F, src.Cols[c].F[i])
+		default:
+			b.Cols[c].S = append(b.Cols[c].S, src.Cols[c].S[i])
+		}
+	}
+	b.n++
+}
+
+// SetLen records the row count after a kernel has appended to the
+// column vectors directly (e.g. per-column gathers); n must match the
+// column lengths.
+func (b *Batch) SetLen(n int) { b.n = n }
+
+// AppendRange bulk-appends rows [lo, hi) of src, whose layout must
+// match b's — one contiguous copy per column.
+func (b *Batch) AppendRange(src *Batch, lo, hi int) {
+	for c := range b.Cols {
+		switch b.Cols[c].Kind {
+		case pages.KindInt:
+			b.Cols[c].I = append(b.Cols[c].I, src.Cols[c].I[lo:hi]...)
+		case pages.KindFloat:
+			b.Cols[c].F = append(b.Cols[c].F, src.Cols[c].F[lo:hi]...)
+		default:
+			b.Cols[c].S = append(b.Cols[c].S, src.Cols[c].S[lo:hi]...)
+		}
+	}
+	b.n += hi - lo
+}
+
+// Slice returns a view of rows [lo, hi) sharing the column storage —
+// an O(columns) way to split a batch without copying. Like the
+// batches themselves, slices are read-only.
+func (b *Batch) Slice(lo, hi int) *Batch {
+	out := &Batch{Cols: make([]Column, len(b.Cols)), n: hi - lo}
+	for c := range b.Cols {
+		out.Cols[c].Kind = b.Cols[c].Kind
+		switch b.Cols[c].Kind {
+		case pages.KindInt:
+			out.Cols[c].I = b.Cols[c].I[lo:hi]
+		case pages.KindFloat:
+			out.Cols[c].F = b.Cols[c].F[lo:hi]
+		default:
+			out.Cols[c].S = b.Cols[c].S[lo:hi]
+		}
+	}
+	return out
+}
+
+// GatherRows appends column j of the selected boxed rows to dst, the
+// row-sourced counterpart of Column.GatherInto (one kind switch per
+// column, direct field reads per cell).
+func GatherRows(dst *Column, rows []pages.Row, j int, sel []int) {
+	switch dst.Kind {
+	case pages.KindInt:
+		for _, i := range sel {
+			dst.I = append(dst.I, rows[i][j].I)
+		}
+	case pages.KindFloat:
+		for _, i := range sel {
+			dst.F = append(dst.F, rows[i][j].F)
+		}
+	default:
+		for _, i := range sel {
+			dst.S = append(dst.S, rows[i][j].S)
+		}
+	}
+}
+
+// Gather returns a new batch holding the selected rows, in selection
+// order — the materializing counterpart of a selection vector.
+func (b *Batch) Gather(sel []int) *Batch {
+	out := New(b.Kinds(), len(sel))
+	for c := range b.Cols {
+		b.Cols[c].GatherInto(&out.Cols[c], sel)
+	}
+	out.n = len(sel)
+	return out
+}
+
+// Clone deep-copies the batch. Push-based (FIFO) page forwarding clones
+// batches so the copy cost stays on the producer's critical path, as in
+// the original QPipe design under comparison.
+func (b *Batch) Clone() *Batch {
+	out := &Batch{Cols: make([]Column, len(b.Cols)), n: b.n}
+	for c := range b.Cols {
+		out.Cols[c].Kind = b.Cols[c].Kind
+		switch b.Cols[c].Kind {
+		case pages.KindInt:
+			out.Cols[c].I = append([]int64(nil), b.Cols[c].I...)
+		case pages.KindFloat:
+			out.Cols[c].F = append([]float64(nil), b.Cols[c].F...)
+		default:
+			out.Cols[c].S = append([]string(nil), b.Cols[c].S...)
+		}
+	}
+	return out
+}
+
+// FromRows builds a batch from uniform rows, inferring column kinds
+// from the first row. It returns nil when rows are empty or not
+// uniformly typed; callers fall back to row-at-a-time processing then.
+func FromRows(rows []pages.Row) *Batch {
+	if len(rows) == 0 {
+		return nil
+	}
+	kinds := make([]pages.Kind, len(rows[0]))
+	for c, v := range rows[0] {
+		if v.Kind == 0 {
+			return nil
+		}
+		kinds[c] = v.Kind
+	}
+	b := New(kinds, len(rows))
+	for _, r := range rows {
+		if err := b.AppendRow(r); err != nil {
+			return nil
+		}
+	}
+	return b
+}
+
+// FromSlotted decodes every record of a slotted page directly into a
+// fresh batch with the given column kinds — one decode per page,
+// without materializing intermediate []pages.Row slices. The record
+// encoding is the pages row codec (u16 column count, then per column a
+// kind byte followed by the payload).
+func FromSlotted(sp *pages.SlottedPage, kinds []pages.Kind) (*Batch, error) {
+	n := sp.NumSlots()
+	b := New(kinds, n)
+	for i := 0; i < n; i++ {
+		rec, err := sp.Record(i)
+		if err != nil {
+			return nil, err
+		}
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("vec: short row header in slot %d", i)
+		}
+		if got := int(binary.LittleEndian.Uint16(rec)); got != len(kinds) {
+			return nil, fmt.Errorf("vec: slot %d has %d columns, schema has %d", i, got, len(kinds))
+		}
+		off := 2
+		for c := range kinds {
+			if off >= len(rec) {
+				return nil, fmt.Errorf("vec: truncated row at column %d", c)
+			}
+			k := pages.Kind(rec[off])
+			off++
+			if k != kinds[c] {
+				return nil, fmt.Errorf("vec: column %d is %s, schema says %s", c, k, kinds[c])
+			}
+			switch k {
+			case pages.KindInt:
+				if off+8 > len(rec) {
+					return nil, fmt.Errorf("vec: truncated int at column %d", c)
+				}
+				b.Cols[c].I = append(b.Cols[c].I, int64(binary.LittleEndian.Uint64(rec[off:])))
+				off += 8
+			case pages.KindFloat:
+				if off+8 > len(rec) {
+					return nil, fmt.Errorf("vec: truncated float at column %d", c)
+				}
+				b.Cols[c].F = append(b.Cols[c].F, math.Float64frombits(binary.LittleEndian.Uint64(rec[off:])))
+				off += 8
+			case pages.KindString:
+				if off+2 > len(rec) {
+					return nil, fmt.Errorf("vec: truncated string length at column %d", c)
+				}
+				l := int(binary.LittleEndian.Uint16(rec[off:]))
+				off += 2
+				if off+l > len(rec) {
+					return nil, fmt.Errorf("vec: truncated string at column %d", c)
+				}
+				b.Cols[c].S = append(b.Cols[c].S, string(rec[off:off+l]))
+				off += l
+			default:
+				return nil, fmt.Errorf("vec: bad kind %d at column %d", k, c)
+			}
+		}
+		b.n++
+	}
+	return b, nil
+}
+
+// FullSel writes the identity selection [0, n) into *buf (grown as
+// needed) and returns it. The returned slice aliases *buf, so one
+// scratch selection per call site is reused across batches.
+func FullSel(n int, buf *[]int) []int {
+	s := *buf
+	if cap(s) < n {
+		s = make([]int, n)
+		*buf = s
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

@@ -1,0 +1,152 @@
+package vec
+
+import (
+	"reflect"
+	"testing"
+
+	"sharedq/internal/pages"
+)
+
+func sampleRows() []pages.Row {
+	return []pages.Row{
+		{pages.Int(1), pages.Str("a"), pages.Float(1.5)},
+		{pages.Int(2), pages.Str("b"), pages.Float(2.5)},
+		{pages.Int(3), pages.Str("c"), pages.Float(3.5)},
+	}
+}
+
+func TestFromRowsRoundTrip(t *testing.T) {
+	rows := sampleRows()
+	b := FromRows(rows)
+	if b == nil {
+		t.Fatal("FromRows returned nil")
+	}
+	if b.Len() != 3 || b.NumCols() != 3 {
+		t.Fatalf("batch is %dx%d", b.Len(), b.NumCols())
+	}
+	back := b.AppendTo(nil)
+	if !reflect.DeepEqual(back, rows) {
+		t.Errorf("round trip: %v != %v", back, rows)
+	}
+	if v := b.Value(1, 2); v.S != "c" {
+		t.Errorf("Value(1,2) = %v", v)
+	}
+}
+
+func TestFromRowsRejectsNonUniform(t *testing.T) {
+	if b := FromRows(nil); b != nil {
+		t.Error("empty rows should yield nil")
+	}
+	mixed := []pages.Row{{pages.Int(1)}, {pages.Str("x")}}
+	if b := FromRows(mixed); b != nil {
+		t.Error("mixed kinds should yield nil")
+	}
+	zero := []pages.Row{{pages.Value{}}}
+	if b := FromRows(zero); b != nil {
+		t.Error("zero-kind values should yield nil")
+	}
+}
+
+func TestGatherAndClone(t *testing.T) {
+	b := FromRows(sampleRows())
+	g := b.Gather([]int{2, 0})
+	if g.Len() != 2 || g.Cols[0].I[0] != 3 || g.Cols[1].S[1] != "a" {
+		t.Errorf("gather = %v", g.AppendTo(nil))
+	}
+	c := b.Clone()
+	c.Cols[0].I[0] = 99
+	if b.Cols[0].I[0] != 1 {
+		t.Error("Clone shares storage with the original")
+	}
+}
+
+func TestFromSlottedDecodesOnce(t *testing.T) {
+	sp := pages.NewSlottedPage()
+	rows := sampleRows()
+	for _, r := range rows {
+		if !sp.AppendRow(r) {
+			t.Fatal("row did not fit")
+		}
+	}
+	kinds := []pages.Kind{pages.KindInt, pages.KindString, pages.KindFloat}
+	b, err := FromSlotted(sp, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b.AppendTo(nil), rows) {
+		t.Errorf("decoded %v", b.AppendTo(nil))
+	}
+	// A kind mismatch against the declared schema must surface.
+	if _, err := FromSlotted(sp, []pages.Kind{pages.KindString, pages.KindString, pages.KindFloat}); err == nil {
+		t.Error("kind mismatch not detected")
+	}
+	if _, err := FromSlotted(sp, kinds[:2]); err == nil {
+		t.Error("column count mismatch not detected")
+	}
+}
+
+func TestAppendFromAndSetLen(t *testing.T) {
+	src := FromRows(sampleRows())
+	dst := New(src.Kinds(), 0)
+	dst.AppendFrom(src, 1)
+	if dst.Len() != 1 || dst.Cols[0].I[0] != 2 {
+		t.Errorf("AppendFrom = %v", dst.AppendTo(nil))
+	}
+	// Direct column appends + SetLen, the kernel-builder protocol.
+	out := New(src.Kinds(), 2)
+	src.Cols[0].GatherInto(&out.Cols[0], []int{0, 2})
+	src.Cols[1].GatherInto(&out.Cols[1], []int{0, 2})
+	src.Cols[2].GatherInto(&out.Cols[2], []int{0, 2})
+	out.SetLen(2)
+	if out.Len() != 2 || out.Cols[2].F[1] != 3.5 {
+		t.Errorf("gather-into = %v", out.AppendTo(nil))
+	}
+}
+
+func TestSliceSharesStorage(t *testing.T) {
+	b := FromRows(sampleRows())
+	s := b.Slice(1, 3)
+	if s.Len() != 2 || s.Cols[0].I[0] != 2 || s.Cols[1].S[1] != "c" {
+		t.Errorf("slice = %v", s.AppendTo(nil))
+	}
+	if &s.Cols[0].I[0] != &b.Cols[0].I[1] {
+		t.Error("Slice copied column storage")
+	}
+}
+
+func TestGatherRows(t *testing.T) {
+	rows := sampleRows()
+	dst := Column{Kind: pages.KindString}
+	GatherRows(&dst, rows, 1, []int{2, 0})
+	if len(dst.S) != 2 || dst.S[0] != "c" || dst.S[1] != "a" {
+		t.Errorf("GatherRows = %v", dst.S)
+	}
+}
+
+func TestFullSelReuse(t *testing.T) {
+	var buf []int
+	s := FullSel(4, &buf)
+	if !reflect.DeepEqual(s, []int{0, 1, 2, 3}) {
+		t.Errorf("FullSel = %v", s)
+	}
+	s2 := FullSel(2, &buf)
+	if len(s2) != 2 || &s2[0] != &buf[0] {
+		t.Error("FullSel did not reuse the scratch buffer")
+	}
+}
+
+func TestAppendRowValidates(t *testing.T) {
+	b := New([]pages.Kind{pages.KindInt}, 0)
+	if err := b.AppendRow(pages.Row{pages.Str("no")}); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	if err := b.AppendRow(pages.Row{pages.Int(1), pages.Int(2)}); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if err := b.AppendRow(pages.Row{pages.Int(1)}); err != nil {
+		t.Error(err)
+	}
+	if b.Len() != 1 {
+		t.Errorf("Len = %d", b.Len())
+	}
+}

@@ -1,0 +1,137 @@
+package sharedq_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"sharedq"
+	"sharedq/internal/exec"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+	"sharedq/internal/ssb"
+)
+
+// The cross-mode parity suite: the full 13-query SSB flight runs
+// through every engine configuration (Baseline ... CJOIN-SP) and must
+// produce identical result sets everywhere. Because every mode now
+// executes on the vectorized batch path, and the Baseline results are
+// additionally checked against the row-at-a-time reference executor,
+// this proves the batch path equivalent to the row path it replaced.
+
+func paritySystem(t *testing.T) *sharedq.System {
+	t.Helper()
+	sys, err := sharedq.NewSystem(sharedq.SystemConfig{SF: 0.002, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// flightPlans renders one deterministic instance of each of the 13 SSB
+// flight templates and plans it.
+func flightPlans(t *testing.T, sys *sharedq.System) []*plan.Query {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	plans := make([]*plan.Query, ssb.FlightSize)
+	for i := range plans {
+		sql := ssb.Flight(i, rng)
+		q, err := plan.Build(sys.Cat, sql)
+		if err != nil {
+			t.Fatalf("flight query %d: %v", i, err)
+		}
+		plans[i] = q
+	}
+	return plans
+}
+
+func TestFlightParityAcrossModes(t *testing.T) {
+	sys := paritySystem(t)
+	plans := flightPlans(t, sys)
+
+	// Reference results: the row-at-a-time executor the vectorized
+	// path replaced.
+	wants := make([][]pages.Row, len(plans))
+	for i, q := range plans {
+		w, err := exec.ExecuteRows(sys.Env, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+
+	for _, mode := range sharedq.Modes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			eng := sharedq.NewEngine(sys, sharedq.Options{Mode: mode})
+			defer eng.Close()
+			for i, q := range plans {
+				got, err := eng.Submit(q)
+				if err != nil {
+					t.Fatalf("query %d (%s...): %v", i, q.SQL[:40], err)
+				}
+				if !reflect.DeepEqual(got, wants[i]) {
+					t.Errorf("query %d: %s returned %d rows, reference %d; first diff %s",
+						i, mode, len(got), len(wants[i]), firstDiff(got, wants[i]))
+				}
+			}
+		})
+	}
+}
+
+// TestFlightParityConcurrent submits the whole flight at once per
+// mode, so sharing (circular scans, SP, the CJOIN pipeline) actually
+// kicks in, and still requires baseline-identical results.
+func TestFlightParityConcurrent(t *testing.T) {
+	sys := paritySystem(t)
+	plans := flightPlans(t, sys)
+	wants := make([][]pages.Row, len(plans))
+	for i, q := range plans {
+		w, err := exec.ExecuteRows(sys.Env, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+
+	for _, mode := range sharedq.Modes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			eng := sharedq.NewEngine(sys, sharedq.Options{Mode: mode})
+			defer eng.Close()
+			results := make([][]pages.Row, len(plans))
+			errs := make([]error, len(plans))
+			var wg sync.WaitGroup
+			for i := range plans {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i], errs[i] = eng.Submit(plans[i])
+				}(i)
+			}
+			wg.Wait()
+			for i := range plans {
+				if errs[i] != nil {
+					t.Fatalf("query %d: %v", i, errs[i])
+				}
+				if !reflect.DeepEqual(results[i], wants[i]) {
+					t.Errorf("query %d diverged under concurrency (%d vs %d rows)",
+						i, len(results[i]), len(wants[i]))
+				}
+			}
+		})
+	}
+}
+
+func firstDiff(got, want []pages.Row) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			return fmt.Sprintf("at row %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	return fmt.Sprintf("row counts differ (%d vs %d)", len(got), len(want))
+}

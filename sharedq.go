@@ -12,6 +12,15 @@
 //     joins, and
 //   - SP applied on top of CJOIN (the paper's CJOIN-SP integration).
 //
+// Execution is vectorized: every engine configuration (Baseline
+// through CJOIN-SP) operates batch-at-a-time over typed column batches
+// (internal/vec) with selection-vector filter kernels, columnar
+// hash-join probes and batch aggregation. Each 32 KB storage page is
+// decoded into a column batch once and shared by all concurrent scans
+// through a per-table decoded-batch cache, extending the paper's
+// sharing of I/O work to decode work. (The SharedDB and Crescando
+// extension substrates of Table 2 still execute row-at-a-time.)
+//
 // Quick start:
 //
 //	sys, _ := sharedq.NewSystem(sharedq.SystemConfig{SF: 0.01})
