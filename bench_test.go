@@ -131,6 +131,7 @@ func BenchmarkModes(b *testing.B) {
 			for i := range qs {
 				qs[i] = ssb.Q32PoolPlan(i % 4)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := sharedq.RunBatch(sys, sharedq.Options{Mode: mode}, qs, false); err != nil {
@@ -344,6 +345,74 @@ func BenchmarkBatchProbe(b *testing.B) {
 			exec.ProbeJoin(sys.Env, ht, d.FactColIdx, rows)
 		}
 	})
+}
+
+// BenchmarkAggregate measures the vectorized grouped-aggregation hot
+// path: one page-sized joined batch folded into a warm aggregator, per
+// grouping fast path. Steady state (every group seen) must not
+// allocate — the acceptance bar for the group-id grouping pass — which
+// the int-key sub-benchmarks demonstrate with 0 allocs/op.
+func BenchmarkAggregate(b *testing.B) {
+	sys := benchSystem(b)
+	t := sys.Cat.MustGet(ssb.TableLineorder)
+	batch, err := exec.ReadTableBatch(sys.Env, t, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		sql  string
+	}{
+		{"int1", "SELECT lo_orderdate, SUM(lo_revenue) AS r, COUNT(*) AS n FROM lineorder GROUP BY lo_orderdate"},
+		{"int2", "SELECT lo_orderdate, lo_discount, SUM(lo_revenue) AS r FROM lineorder GROUP BY lo_orderdate, lo_discount"},
+		{"ungrouped", "SELECT SUM(lo_extendedprice * lo_discount) AS rev FROM lineorder"},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			q, err := plan.Build(sys.Cat, tc.sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			agg := exec.NewAggregator(q, sys.Col)
+			var buf []int
+			sel := vec.FullSel(batch.Len(), &buf)
+			agg.AddBatch(batch, sel) // warm up: create every group
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agg.AddBatch(batch, sel)
+			}
+		})
+	}
+}
+
+// BenchmarkBatchJoin measures the steady-state pooled probe: one
+// page-sized fact batch probed through a built dimension side, with the
+// joined output batch released back to the pool each iteration.
+func BenchmarkBatchJoin(b *testing.B) {
+	sys := benchSystem(b)
+	q, err := plan.Build(sys.Cat, ssb.Q32PoolPlan(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := q.Dims[0]
+	bj, err := exec.BuildBatchJoin(sys.Env, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch, err := exec.ReadTableBatch(sys.Env, q.Fact, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ps exec.ProbeScratch
+	var buf []int
+	sel := vec.FullSel(batch.Len(), &buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		joined := bj.Probe(sys.Env, batch, sel, &ps)
+		joined.Release()
+	}
 }
 
 // BenchmarkPageDecode measures one page decode into a column batch,

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Fails if allocs/op on BenchmarkModes/Baseline regresses above the
+# committed threshold (ci/allocs_threshold.txt). Allocation counts are
+# deterministic enough for a hard gate — unlike ns/op, they do not
+# depend on CI machine load.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+threshold=$(grep -v '^#' ci/allocs_threshold.txt | tr -d '[:space:]')
+out=$(go test -run '^$' -bench 'BenchmarkModes/Baseline' -benchmem -benchtime 5x .)
+echo "$out"
+
+allocs=$(echo "$out" | awk '/BenchmarkModes\/Baseline/ {for (i=1; i<=NF; i++) if ($i == "allocs/op") print $(i-1)}')
+if [ -z "$allocs" ]; then
+    echo "check_allocs: could not parse allocs/op from benchmark output" >&2
+    exit 1
+fi
+
+echo "BenchmarkModes/Baseline: ${allocs} allocs/op (threshold ${threshold})"
+if [ "$allocs" -gt "$threshold" ]; then
+    echo "check_allocs: FAIL — allocs/op ${allocs} exceeds threshold ${threshold}" >&2
+    exit 1
+fi
+echo "check_allocs: OK"

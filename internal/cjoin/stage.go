@@ -131,6 +131,9 @@ func NewStage(env *exec.Env, cfg Config) *Stage {
 	if cfg.Ports.Col == nil {
 		cfg.Ports.Col = env.Col
 	}
+	if cfg.Ports.Pool == nil {
+		cfg.Ports.Pool = env.Recycle
+	}
 	st := &Stage{
 		env:   env,
 		cfg:   cfg,
@@ -335,9 +338,18 @@ func (st *Stage) preprocessor() {
 			st.finishQueries(completed)
 			continue
 		}
+		// Per-tuple bitmaps are carved out of one flat word arena (two
+		// allocations per batch instead of one per fact tuple). Widths
+		// are frozen at emission; the pipeline only mutates words in
+		// place, so the carved slices never grow into each other.
 		b := &batch{facts: bat, bms: make([]Bitmap, bat.Len()), queries: snapshot}
-		for i := range b.bms {
-			b.bms[i] = mask.Clone()
+		if w := len(mask); w > 0 {
+			flat := make([]uint64, w*bat.Len())
+			for i := range b.bms {
+				bm := flat[i*w : (i+1)*w : (i+1)*w]
+				copy(bm, mask)
+				b.bms[i] = Bitmap(bm)
+			}
 		}
 		st.preQ <- b
 	}
@@ -466,20 +478,29 @@ func (st *Stage) updateFilter(f *filter, d plan.DimJoin, bit int) error {
 // join probes over the raw fact key column plus bitmap ANDs, dropping
 // tuples whose bitmaps empty.
 func (st *Stage) pipelineWorker() {
+	var sels []Bitmap // worker-local scratch, reused across batches
 	for b := range st.preQ {
 		st.filterMu.RLock()
 		filters := st.filters
 		n := b.facts.Len()
+		// The matched-row table travels with the batch (distributor
+		// parts read it after this worker moves on), so it cannot be
+		// worker-local scratch; one flat arena backs every filter's row
+		// slice to keep it at two allocations per batch.
 		b.dims = make([][]pages.Row, len(filters))
+		dimArena := make([]pages.Row, len(filters)*n)
 		alive := n
-		sels := make([]Bitmap, n)
+		if cap(sels) < n {
+			sels = make([]Bitmap, n)
+		}
+		sels = sels[:n]
 		for fi, f := range filters {
 			if alive == 0 {
 				break
 			}
-			b.dims[fi] = make([]pages.Row, n)
+			b.dims[fi] = dimArena[fi*n : (fi+1)*n : (fi+1)*n]
 			kc := &b.facts.Cols[f.factColIdx]
-			stopH := st.env.Col.Timer(metrics.Hashing)
+			t0 := time.Now()
 			if kc.Kind == pages.KindInt {
 				keys := kc.I
 				for ti := 0; ti < n; ti++ {
@@ -496,8 +517,8 @@ func (st *Stage) pipelineWorker() {
 					b.dims[fi][ti], sels[ti] = f.ht.lookup(kc.Value(ti))
 				}
 			}
-			stopH()
-			stopJ := st.env.Col.Timer(metrics.Joins)
+			st.env.Col.AddSince(metrics.Hashing, t0)
+			t1 := time.Now()
 			for ti := 0; ti < n; ti++ {
 				if b.bms[ti] == nil {
 					continue
@@ -507,7 +528,7 @@ func (st *Stage) pipelineWorker() {
 					alive--
 				}
 			}
-			stopJ()
+			st.env.Col.AddSince(metrics.Joins, t1)
 		}
 		st.filterMu.RUnlock()
 		st.distQ <- b
@@ -520,9 +541,10 @@ func (st *Stage) pipelineWorker() {
 // tuples, §3.2), assembles rows in the query's joined-schema layout and
 // emits them to the query's output buffer.
 func (st *Stage) distributorPart() {
+	var selBuf []int // reused across batches and queries
 	for b := range st.distQ {
 		for _, qq := range b.queries {
-			st.deliver(b, qq)
+			selBuf = st.deliver(b, qq, selBuf[:0])
 		}
 		for _, qq := range b.queries {
 			if qq.outstanding.Add(-1) == 0 && qq.done.Load() {
@@ -533,12 +555,14 @@ func (st *Stage) distributorPart() {
 	}
 }
 
-func (st *Stage) deliver(b *batch, qq *query) {
-	stop := st.env.Col.Timer(metrics.Misc)
+// deliver routes batch b's surviving tuples to query qq; sel is the
+// caller's reusable selection scratch, returned (possibly grown) for
+// the next call.
+func (st *Stage) deliver(b *batch, qq *query, sel []int) []int {
+	t0 := time.Now()
 	// Select this query's surviving tuples, then apply its fact
 	// predicate over the shared fact batch (CJOIN evaluates fact
 	// predicates on output tuples, §3.2) — both vectorized.
-	sel := make([]int, 0, 16)
 	for ti, bm := range b.bms {
 		if bm != nil && bm.Test(qq.bit) {
 			sel = append(sel, ti)
@@ -548,13 +572,15 @@ func (st *Stage) deliver(b *batch, qq *query) {
 		sel = qq.factVec(b.facts, sel)
 	}
 	if len(sel) == 0 {
-		stop()
-		return
+		st.env.Col.AddSince(metrics.Misc, t0)
+		return sel
 	}
 	// Assemble the output batch in the query's joined-schema layout:
 	// fact columns gathered from the shared batch, dimension columns
-	// appended from the matched dimension rows.
-	out := vec.New(qq.outKinds, len(sel))
+	// appended from the matched dimension rows. The batch is checked
+	// out of the pool; emitting transfers ownership to the query's
+	// output port, whose last reader releases it.
+	out := st.env.Recycle.Get(qq.outKinds, len(sel))
 	nf := b.facts.NumCols()
 	for c := 0; c < nf; c++ {
 		b.facts.Cols[c].GatherInto(&out.Cols[c], sel)
@@ -570,11 +596,12 @@ func (st *Stage) deliver(b *batch, qq *query) {
 		col += w
 	}
 	out.SetLen(len(sel))
-	stop()
+	st.env.Col.AddSince(metrics.Misc, t0)
 	qq.wopMu.Lock()
 	qq.started = true
 	qq.wopMu.Unlock()
 	qq.out.Emit(comm.NewBatchPage(out))
+	return sel
 }
 
 func maxInt(a, b int) int {

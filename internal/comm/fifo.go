@@ -34,18 +34,21 @@ func NewFIFO(capacity int) *FIFO {
 }
 
 // Put appends a page, blocking while the buffer is full. Putting to a
-// closed FIFO is a no-op (the consumer has gone away).
-func (f *FIFO) Put(p *Page) {
+// closed FIFO is a no-op (the consumer has gone away); the false return
+// tells the producer the page was dropped, so pooled pages can be
+// released instead of leaking to the garbage collector.
+func (f *FIFO) Put(p *Page) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for len(f.buf) >= f.cap && !f.closed {
 		f.nf.Wait()
 	}
 	if f.closed {
-		return
+		return false
 	}
 	f.buf = append(f.buf, p)
 	f.ne.Signal()
+	return true
 }
 
 // Get removes the oldest page, blocking while the buffer is empty.

@@ -55,15 +55,31 @@ func (p *Page) NumRows() int {
 // Clone deep-copies the page. Push-based SP forwards results by
 // copying (the design the paper's original QPipe implementation uses),
 // so the copy cost sits on the host's critical path by construction.
-func (p *Page) Clone() *Page {
+func (p *Page) Clone() *Page { return p.ClonePooled(nil) }
+
+// ClonePooled deep-copies the page, checking the copy's column batch
+// out of pool (unpooled copy when pool is nil). The push-based fan-out
+// recycles its per-consumer copies this way.
+func (p *Page) ClonePooled(pool *vec.Pool) *Page {
 	if p.Batch != nil {
-		return &Page{Batch: p.Batch.Clone(), Index: p.Index}
+		return &Page{Batch: pool.Clone(p.Batch), Index: p.Index}
 	}
 	rows := make([]pages.Row, len(p.Rows))
 	for i, r := range p.Rows {
 		rows[i] = r.Clone()
 	}
 	return &Page{Rows: rows, Index: p.Index}
+}
+
+// Release returns the page's column batch to its pool, if it has one.
+// The communication structures call it when the last reader has moved
+// past the page: ownership of an emitted page transfers to the port,
+// and the port releases it after its final consumer — batch payloads
+// must not be used after the consumer's next call to Next.
+func (p *Page) Release() {
+	if p != nil && p.Batch != nil {
+		p.Batch.Release()
+	}
 }
 
 // Builder accumulates rows into pages of at most maxRows rows.

@@ -106,6 +106,7 @@ func (s *SPL) Append(p *Page) {
 		s.notFull.Wait()
 	}
 	if s.closed || len(s.active) == 0 {
+		p.Release() // dropped: no reader will ever see it
 		return
 	}
 	n := &splNode{page: p, readers: len(s.active)}
@@ -183,9 +184,14 @@ func (s *SPL) Len() int {
 }
 
 // releaseLocked decrements a node's reader count and unlinks fully read
-// nodes from the front of the list. Caller holds s.mu.
+// nodes from the front of the list. The last reader to move past a node
+// releases its page's pooled batch — the "last reader drops it" point
+// of the batch recycling protocol. Caller holds s.mu.
 func (s *SPL) releaseLocked(n *splNode) {
 	n.readers--
+	if n.readers == 0 {
+		n.page.Release()
+	}
 	for s.first != nil && s.first.readers <= 0 {
 		s.first = s.first.next
 		if s.first == nil {

@@ -27,6 +27,7 @@ import (
 	"sharedq/internal/heap"
 	"sharedq/internal/metrics"
 	"sharedq/internal/ssb"
+	"sharedq/internal/vec"
 )
 
 // SystemConfig describes the simulated machine and database.
@@ -116,7 +117,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		Pool:  pool,
 		Cat:   cat,
 		Col:   col,
-		Env:   &exec.Env{Cat: cat, Pool: pool, Col: col, Batches: batches},
+		Env:   &exec.Env{Cat: cat, Pool: pool, Col: col, Batches: batches, Recycle: vec.NewPool()},
 	}, nil
 }
 

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"time"
+
 	"sharedq/internal/catalog"
 	"sharedq/internal/expr"
 	"sharedq/internal/heap"
@@ -22,8 +24,8 @@ import (
 // through the environment's decoded-batch cache (decode-once sharing).
 // Accounted to metrics.Scans.
 func ReadTableBatch(env *Env, t *catalog.Table, idx int) (*vec.Batch, error) {
-	stop := env.Col.Timer(metrics.Scans)
-	defer stop()
+	t0 := time.Now()
+	defer env.Col.AddSince(metrics.Scans, t0)
 	return heap.ReadPageBatch(env.Pool, env.Batches, t.Name, idx, vec.Kinds(t.Schema), env.Col)
 }
 
@@ -31,9 +33,9 @@ func ReadTableBatch(env *Env, t *catalog.Table, idx int) (*vec.Batch, error) {
 func ScanTableBatches(env *Env, t *catalog.Table, emit func(*vec.Batch) error) error {
 	kinds := vec.Kinds(t.Schema)
 	for i := 0; i < t.NumPages; i++ {
-		stop := env.Col.Timer(metrics.Scans)
+		t0 := time.Now()
 		b, err := heap.ReadPageBatch(env.Pool, env.Batches, t.Name, i, kinds, env.Col)
-		stop()
+		env.Col.AddSince(metrics.Scans, t0)
 		if err != nil {
 			return err
 		}
@@ -57,6 +59,8 @@ type BatchJoin struct {
 
 	heads []int32 // bucket -> first dim row in chain (-1 when empty)
 	next  []int32 // dim row -> next row in its chain
+
+	outKinds []pages.Kind // cached joined layout (probe cols + dim cols)
 }
 
 // NewBatchJoin returns an empty build side for d over the dimension
@@ -82,14 +86,7 @@ func NewBatchJoin(d plan.DimJoin, sizeHint int) *BatchJoin {
 // hashKey hashes dim row r's key; the same FNV-1a the row-at-a-time
 // HashTable uses, so the Hashing CPU category stays comparable.
 func (j *BatchJoin) hashKey(r int) uint64 {
-	switch j.keyKind {
-	case pages.KindInt:
-		return pages.HashInt64(j.dim.Cols[j.keyIdx].I[r])
-	case pages.KindString:
-		return pages.HashString(j.dim.Cols[j.keyIdx].S[r])
-	default:
-		return j.dim.Cols[j.keyIdx].Value(r).Hash()
-	}
+	return j.dim.Cols[j.keyIdx].HashAt(r)
 }
 
 // Add appends the selected rows of a dimension batch to the build side
@@ -147,7 +144,7 @@ type ProbeScratch struct {
 // metrics.Hashing, output materialization to metrics.Joins — the same
 // split the row-at-a-time ProbeJoin reports.
 func (j *BatchJoin) Probe(env *Env, b *vec.Batch, sel []int, ps *ProbeScratch) *vec.Batch {
-	stop := env.Col.Timer(metrics.Hashing)
+	t0 := time.Now()
 	probe, build := ps.probe[:0], ps.build[:0]
 	mask := uint64(len(j.heads) - 1)
 	kc := &b.Cols[j.factColIdx]
@@ -176,14 +173,30 @@ func (j *BatchJoin) Probe(env *Env, b *vec.Batch, sel []int, ps *ProbeScratch) *
 				}
 			}
 		}
-	default:
-		// Mismatched or float key kinds: box per probe value. The
-		// kind-tagged hash makes cross-kind probes miss, matching the
-		// row-at-a-time hash table's behavior.
+	case j.keyKind == pages.KindFloat && kc.Kind == pages.KindFloat:
+		// Float keys hash from the raw column with the same canonical
+		// form Value.Hash uses; equality is Compare==0 (NaN equals NaN),
+		// matching the row-at-a-time hash table.
+		keys := j.dim.Cols[j.keyIdx].F
+		col := kc.F
 		for _, i := range sel {
-			v := kc.Value(i)
-			for e := j.heads[v.Hash()&mask]; e >= 0; e = j.next[e] {
-				if j.dim.Value(j.keyIdx, int(e)).Equal(v) {
+			k := col[i]
+			for e := j.heads[pages.HashFloat64(k)&mask]; e >= 0; e = j.next[e] {
+				if ke := keys[e]; !(ke < k) && !(ke > k) {
+					probe = append(probe, int32(i))
+					build = append(build, e)
+				}
+			}
+		}
+	default:
+		// Mismatched key kinds: hash straight off the raw typed probe
+		// column (the kind-tagged hash makes cross-kind probes land in
+		// other buckets and miss, matching the row-at-a-time hash
+		// table); the rare colliding candidates are compared with full
+		// Value semantics.
+		for _, i := range sel {
+			for e := j.heads[kc.HashAt(i)&mask]; e >= 0; e = j.next[e] {
+				if j.dim.Value(j.keyIdx, int(e)).Equal(kc.Value(i)) {
 					probe = append(probe, int32(i))
 					build = append(build, e)
 				}
@@ -191,11 +204,15 @@ func (j *BatchJoin) Probe(env *Env, b *vec.Batch, sel []int, ps *ProbeScratch) *
 		}
 	}
 	ps.probe, ps.build = probe, build
-	stop()
+	env.Col.AddSince(metrics.Hashing, t0)
 
-	stopJ := env.Col.Timer(metrics.Joins)
-	defer stopJ()
-	out := vec.New(vec.ConcatKinds(b.Kinds(), j.dim.Kinds()), len(probe))
+	t1 := time.Now()
+	// A BatchJoin is probed at a fixed pipeline position, so the joined
+	// layout is computed once and reused.
+	if j.outKinds == nil {
+		j.outKinds = vec.ConcatKinds(b.Kinds(), j.dim.Kinds())
+	}
+	out := env.Recycle.Get(j.outKinds, len(probe))
 	nb := b.NumCols()
 	for c := range out.Cols {
 		oc := &out.Cols[c]
@@ -206,6 +223,7 @@ func (j *BatchJoin) Probe(env *Env, b *vec.Batch, sel []int, ps *ProbeScratch) *
 		}
 	}
 	out.SetLen(len(probe))
+	env.Col.AddSince(metrics.Joins, t1)
 	return out
 }
 
@@ -251,15 +269,15 @@ func BuildBatchJoin(env *Env, d plan.DimJoin) (*BatchJoin, error) {
 	vpred := expr.CompileVecPred(d.Pred)
 	var selBuf []int
 	err = ScanTableBatches(env, t, func(b *vec.Batch) error {
-		stop := env.Col.Timer(metrics.Joins)
+		t0 := time.Now()
 		sel := vec.FullSel(b.Len(), &selBuf)
 		if vpred != nil {
 			sel = vpred(b, sel)
 		}
-		stop()
-		stopH := env.Col.Timer(metrics.Hashing)
+		env.Col.AddSince(metrics.Joins, t0)
+		t1 := time.Now()
 		j.Add(b, sel)
-		stopH()
+		env.Col.AddSince(metrics.Hashing, t1)
 		return nil
 	})
 	if err != nil {
@@ -269,56 +287,104 @@ func BuildBatchJoin(env *Env, d plan.DimJoin) (*BatchJoin, error) {
 }
 
 // AddBatch folds the selected rows of a joined column batch into the
-// aggregator. Accounted to metrics.Aggregation.
+// aggregator: one group-id computation pass over the selection, then
+// one columnar accumulate pass per aggregate. The steady state (every
+// group already seen) performs no allocation — the group-id scratch,
+// key buffer and per-group registers are all reused. Accounted to
+// metrics.Aggregation.
 func (a *Aggregator) AddBatch(b *vec.Batch, sel []int) {
-	stop := a.col.Timer(metrics.Aggregation)
-	defer stop()
-	if len(a.q.GroupBy) == 0 {
-		g, ok := a.groups[""]
-		if !ok {
-			g = a.newGroup(nil, 0)
-			a.groups[""] = g
-			a.order = append(a.order, "")
-		}
-		for _, acc := range g.accs {
-			acc.AddVec(b, sel)
+	t0 := time.Now()
+	defer a.col.AddSince(metrics.Aggregation, t0)
+	if a.mode == groupNone {
+		a.ensureNone()
+		for _, g := range a.gaccs {
+			g.AddAll(b, sel, 0)
 		}
 		return
 	}
-	for _, i := range sel {
-		key := a.groupKeyVec(b, i)
-		g, ok := a.groups[key]
-		if !ok {
-			g = a.newGroup(b, i)
-			a.groups[key] = g
-			a.order = append(a.order, key)
-		}
-		for _, acc := range g.accs {
-			acc.AddVecRow(b, i)
-		}
+	if len(sel) == 0 {
+		return
+	}
+	gids := a.groupIDsBatch(b, sel)
+	for _, g := range a.gaccs {
+		g.AddBatch(b, sel, gids)
 	}
 }
 
-// newGroup allocates a group over the shared compiled aggregates,
-// capturing the group-by values of row i of b (b nil when the caller
-// fills keyVals itself or the group is ungrouped).
-func (a *Aggregator) newGroup(b *vec.Batch, i int) *group {
-	g := &group{accs: make([]*expr.Acc, len(a.aggs))}
-	for j, c := range a.aggs {
-		g.accs[j] = c.NewAcc()
+// groupIDsBatch maps each selected row to its dense group id, reusing
+// the aggregator's scratch slice. New groups are registered on first
+// sight (the only allocating case).
+func (a *Aggregator) groupIDsBatch(b *vec.Batch, sel []int) []int32 {
+	gids := a.gidBuf
+	if cap(gids) < len(sel) {
+		// Round up so a selection that creeps larger batch over batch
+		// grows the scratch logarithmically, not per batch.
+		n := 2 * cap(gids)
+		if n < len(sel) {
+			n = len(sel)
+		}
+		gids = make([]int32, n)
+		a.gidBuf = gids
 	}
-	if b != nil {
-		g.keyVals = make([]pages.Value, len(a.q.GroupBy))
-		for j, idx := range a.q.GroupBy {
-			g.keyVals[j] = b.Value(idx, i)
+	gids = gids[:len(sel)]
+	switch a.mode {
+	case groupInt1:
+		if c := &b.Cols[a.k0]; c.Kind == pages.KindInt {
+			col := c.I
+			for j, i := range sel {
+				k := uint64(col[i])
+				id, ok := a.intIDs[k]
+				if !ok {
+					id = a.newGroupID(b, i, nil)
+					a.intIDs[k] = id
+				}
+				gids[j] = id
+			}
+			return gids
+		}
+	case groupInt2:
+		c0, c1 := &b.Cols[a.k0], &b.Cols[a.k1]
+		if c0.Kind == pages.KindInt && c1.Kind == pages.KindInt {
+			l, r := c0.I, c1.I
+			for j, i := range sel {
+				v0, v1 := l[i], r[i]
+				if fitsInt32(v0) && fitsInt32(v1) {
+					k := packInt2(v0, v1)
+					id, ok := a.intIDs[k]
+					if !ok {
+						id = a.newGroupID(b, i, nil)
+						a.intIDs[k] = id
+					}
+					gids[j] = id
+				} else {
+					gids[j] = a.byteIDBatch(b, i)
+				}
+			}
+			return gids
 		}
 	}
-	return g
+	for j, i := range sel {
+		gids[j] = a.byteIDBatch(b, i)
+	}
+	return gids
 }
 
-// groupKeyVec encodes row i's group-by values, byte-identical to the
-// row-at-a-time groupKey so both paths bucket groups identically.
-func (a *Aggregator) groupKeyVec(bat *vec.Batch, i int) string {
+// byteIDBatch resolves row i's group id through the byte-encoded key
+// map. The m[string(buf)] lookup does not allocate on a hit; only a
+// first-seen group copies the key into a map entry.
+func (a *Aggregator) byteIDBatch(b *vec.Batch, i int) int32 {
+	key := a.encodeBatchKey(b, i)
+	id, ok := a.byteIDs[string(key)]
+	if !ok {
+		id = a.newGroupID(b, i, nil)
+		a.byteIDs[string(key)] = id
+	}
+	return id
+}
+
+// encodeBatchKey encodes row i's group-by values, byte-identical to the
+// row path's encodeRowKey so both paths bucket groups identically.
+func (a *Aggregator) encodeBatchKey(bat *vec.Batch, i int) []byte {
 	b := a.keyBuf[:0]
 	for _, idx := range a.q.GroupBy {
 		c := &bat.Cols[idx]
@@ -338,7 +404,7 @@ func (a *Aggregator) groupKeyVec(bat *vec.Batch, i int) string {
 		}
 	}
 	a.keyBuf = b
-	return string(b)
+	return b
 }
 
 // CompileOutputVals compiles the scalar output expressions of a
@@ -398,15 +464,21 @@ func Execute(env *Env, q *plan.Query) ([]pages.Row, error) {
 	var selBuf []int
 	var ps ProbeScratch
 	err := ScanTableBatches(env, q.Fact, func(b *vec.Batch) error {
+		// b starts as a shared decoded-cache batch (Release no-ops);
+		// every probe output is checked out of the batch pool and
+		// released as soon as the next pipeline stage has consumed it.
 		sel := vec.FullSel(b.Len(), &selBuf)
 		if factVec != nil {
 			sel = factVec(b, sel)
 		}
 		for i := range joins {
 			if len(sel) == 0 {
+				b.Release()
 				return nil
 			}
-			b = joins[i].Probe(env, b, sel, &ps)
+			joined := joins[i].Probe(env, b, sel, &ps)
+			b.Release()
+			b = joined
 			sel = vec.FullSel(b.Len(), &selBuf)
 		}
 		if agg != nil {
@@ -414,6 +486,7 @@ func Execute(env *Env, q *plan.Query) ([]pages.Row, error) {
 		} else {
 			plain = ProjectBatch(outFns, b, sel, plain)
 		}
+		b.Release()
 		return nil
 	})
 	if err != nil {

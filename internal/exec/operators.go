@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"sharedq/internal/buffer"
 	"sharedq/internal/catalog"
@@ -12,6 +13,7 @@ import (
 	"sharedq/internal/metrics"
 	"sharedq/internal/pages"
 	"sharedq/internal/plan"
+	"sharedq/internal/vec"
 )
 
 // Env bundles the runtime a query executes against.
@@ -23,6 +25,10 @@ type Env struct {
 	// engine running on this environment; nil disables caching (each
 	// scan decodes its own batches).
 	Batches *heap.BatchCache
+	// Recycle is the batch pool derived batches (join outputs, re-paged
+	// exchange pages, push copies) are checked out of and released back
+	// to; nil disables recycling and derived batches become garbage.
+	Recycle *vec.Pool
 }
 
 // ScanTable reads every page of the table in order, decoding rows and
@@ -135,102 +141,237 @@ func ProbeJoin(env *Env, ht *HashTable, keyIdx int, in []pages.Row) []pages.Row 
 	return out
 }
 
-// Aggregator accumulates grouped aggregates over joined rows.
-type Aggregator struct {
-	q      *plan.Query
-	aggs   []*expr.CompiledAgg // one compile shared by every group
-	col    *metrics.Collector
-	groups map[string]*group
-	order  []string // group keys in first-seen order
-	keyBuf []byte   // reusable group-key scratch
-}
+// groupMode selects how the Aggregator maps a row to its dense group
+// id. The int fast paths cover the common analytics shapes (GROUP BY
+// one or two integer columns) with a single map[uint64] lookup per row
+// and no key materialization; everything else append-encodes the
+// group-by values into a reusable byte buffer and looks the encoding up
+// with a map[string] (allocation-free on hit).
+type groupMode int
 
-type group struct {
-	keyVals []pages.Value
-	accs    []*expr.Acc
+const (
+	groupNone  groupMode = iota // no GROUP BY: one implicit group
+	groupInt1                   // single int column
+	groupInt2                   // two int columns, packed into a uint64
+	groupBytes                  // general byte-encoded key
+)
+
+// Aggregator accumulates grouped aggregates over joined rows. Groups
+// get dense ids in first-seen order; per-group aggregate state lives in
+// id-indexed registers (expr.GroupAccs), so the steady-state hot path —
+// existing group, existing accumulator — allocates nothing.
+type Aggregator struct {
+	q     *plan.Query
+	aggs  []*expr.CompiledAgg // one compile shared by every group
+	gaccs []*expr.GroupAccs   // per-aggregate, group-id-indexed state
+	col   *metrics.Collector
+
+	mode     groupMode
+	k0, k1   int              // group-by ordinals for the int fast paths
+	intIDs   map[uint64]int32 // packed int key -> group id
+	byteIDs  map[string]int32 // encoded key -> group id
+	keyVals  [][]pages.Value  // group id -> captured group-by values
+	keyBuf   []byte           // reusable group-key scratch
+	gidBuf   []int32          // reusable per-batch group-id scratch
+	noneInit bool             // groupNone: implicit group materialized
 }
 
 // NewAggregator returns an aggregator for q (which must have HasAgg or
 // be a pure projection; for pure projections use Project instead).
+// The grouping fast path is chosen once, from the joined schema's
+// group-by column kinds, so the row and batch paths bucket identically.
 func NewAggregator(q *plan.Query, col *metrics.Collector) *Aggregator {
-	aggs := make([]*expr.CompiledAgg, len(q.Aggs))
+	a := &Aggregator{q: q, col: col, mode: groupBytes}
+	a.aggs = make([]*expr.CompiledAgg, len(q.Aggs))
+	a.gaccs = make([]*expr.GroupAccs, len(q.Aggs))
 	for i := range q.Aggs {
-		aggs[i] = expr.CompileAgg(q.Aggs[i])
+		a.aggs[i] = expr.CompileAgg(q.Aggs[i])
+		a.gaccs[i] = a.aggs[i].NewGroupAccs()
 	}
-	return &Aggregator{q: q, aggs: aggs, col: col, groups: make(map[string]*group)}
+	switch len(q.GroupBy) {
+	case 0:
+		a.mode = groupNone
+	case 1:
+		if groupColKind(q, 0) == pages.KindInt {
+			a.mode, a.k0 = groupInt1, q.GroupBy[0]
+		}
+	case 2:
+		if groupColKind(q, 0) == pages.KindInt && groupColKind(q, 1) == pages.KindInt {
+			a.mode, a.k0, a.k1 = groupInt2, q.GroupBy[0], q.GroupBy[1]
+		}
+	}
+	if a.mode == groupInt1 || a.mode == groupInt2 {
+		a.intIDs = make(map[uint64]int32)
+	}
+	if a.mode != groupNone {
+		// The int modes keep the byte map as the overflow/fallback path
+		// (dual keys outside 32-bit range, values whose runtime kind
+		// disagrees with the schema).
+		a.byteIDs = make(map[string]int32)
+	}
+	return a
+}
+
+// groupColKind returns the schema kind of the i-th group-by column, or
+// 0 when the plan carries no joined schema (hand-built test plans).
+func groupColKind(q *plan.Query, i int) pages.Kind {
+	if q.JoinedSchema == nil {
+		return 0
+	}
+	idx := q.GroupBy[i]
+	if idx < 0 || idx >= q.JoinedSchema.Len() {
+		return 0
+	}
+	return q.JoinedSchema.Columns[idx].Kind
+}
+
+// fitsInt32 reports whether v packs into one half of a dual-int key.
+func fitsInt32(v int64) bool { return v >= -1<<31 && v < 1<<31 }
+
+// packInt2 packs two 32-bit-range keys into one uint64.
+func packInt2(v0, v1 int64) uint64 {
+	return uint64(uint32(v0))<<32 | uint64(uint32(v1))
+}
+
+// ensureNone materializes the implicit group of an ungrouped aggregate.
+func (a *Aggregator) ensureNone() {
+	if !a.noneInit {
+		a.noneInit = true
+		for _, g := range a.gaccs {
+			g.Grow(1)
+		}
+	}
+}
+
+// newGroupID assigns the next dense id, capturing the group-by values
+// of row i of b (or of row r when b is nil) and growing every
+// aggregate's register file.
+func (a *Aggregator) newGroupID(b *vec.Batch, i int, r pages.Row) int32 {
+	id := int32(len(a.keyVals))
+	vals := make([]pages.Value, len(a.q.GroupBy))
+	for j, idx := range a.q.GroupBy {
+		if b != nil {
+			vals[j] = b.Value(idx, i)
+		} else {
+			vals[j] = r[idx]
+		}
+	}
+	a.keyVals = append(a.keyVals, vals)
+	for _, g := range a.gaccs {
+		g.Grow(len(a.keyVals))
+	}
+	return id
 }
 
 // Add folds a batch of joined rows. Accounted to metrics.Aggregation.
 func (a *Aggregator) Add(rows []pages.Row) {
-	stop := a.col.Timer(metrics.Aggregation)
-	defer stop()
-	for _, r := range rows {
-		key := a.groupKey(r)
-		g, ok := a.groups[key]
-		if !ok {
-			g = a.newGroup(nil, 0)
-			g.keyVals = make([]pages.Value, len(a.q.GroupBy))
-			for i, idx := range a.q.GroupBy {
-				g.keyVals[i] = r[idx]
+	t0 := time.Now()
+	defer a.col.AddSince(metrics.Aggregation, t0)
+	if a.mode == groupNone {
+		a.ensureNone()
+		for _, r := range rows {
+			for _, g := range a.gaccs {
+				g.AddRow(r, 0)
 			}
-			a.groups[key] = g
-			a.order = append(a.order, key)
 		}
-		for _, acc := range g.accs {
-			acc.Add(r)
+		return
+	}
+	for _, r := range rows {
+		gid := a.groupIDRow(r)
+		for _, g := range a.gaccs {
+			g.AddRow(r, gid)
 		}
 	}
 }
 
-// groupKey encodes the group-by values into a compact byte key.
-// This runs once per input row, so it avoids formatting: integers are
-// appended as fixed 8-byte values, strings raw with a separator.
-func (a *Aggregator) groupKey(r pages.Row) string {
-	if len(a.q.GroupBy) == 0 {
-		return ""
-	}
-	b := a.keyBuf[:0]
-	for _, idx := range a.q.GroupBy {
-		v := r[idx]
-		switch v.Kind {
-		case pages.KindInt:
-			u := uint64(v.I)
-			b = append(b, 1, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
-				byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
-		case pages.KindString:
-			b = append(b, 2)
-			b = append(b, v.S...)
-			b = append(b, 0)
-		default:
-			u := uint64(int64(v.F * 100))
-			b = append(b, 3, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
-				byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+// groupIDRow maps one row to its dense group id, through the same maps
+// the batch path uses so both paths bucket groups identically.
+func (a *Aggregator) groupIDRow(r pages.Row) int32 {
+	switch a.mode {
+	case groupInt1:
+		if v := r[a.k0]; v.Kind == pages.KindInt {
+			k := uint64(v.I)
+			id, ok := a.intIDs[k]
+			if !ok {
+				id = a.newGroupID(nil, 0, r)
+				a.intIDs[k] = id
+			}
+			return id
+		}
+	case groupInt2:
+		v0, v1 := r[a.k0], r[a.k1]
+		if v0.Kind == pages.KindInt && v1.Kind == pages.KindInt &&
+			fitsInt32(v0.I) && fitsInt32(v1.I) {
+			k := packInt2(v0.I, v1.I)
+			id, ok := a.intIDs[k]
+			if !ok {
+				id = a.newGroupID(nil, 0, r)
+				a.intIDs[k] = id
+			}
+			return id
 		}
 	}
+	key := a.encodeRowKey(r)
+	id, ok := a.byteIDs[string(key)]
+	if !ok {
+		id = a.newGroupID(nil, 0, r)
+		a.byteIDs[string(key)] = id
+	}
+	return id
+}
+
+// encodeRowKey encodes the group-by values into the reusable byte
+// buffer. Integers are appended as fixed 8-byte values, strings raw
+// with a separator, floats at cent precision — one encoding shared by
+// the row and batch paths.
+func (a *Aggregator) encodeRowKey(r pages.Row) []byte {
+	b := a.keyBuf[:0]
+	for _, idx := range a.q.GroupBy {
+		b = appendKeyValue(b, r[idx])
+	}
 	a.keyBuf = b
-	return string(b)
+	return b
+}
+
+// appendKeyValue appends one group-by value's key encoding.
+func appendKeyValue(b []byte, v pages.Value) []byte {
+	switch v.Kind {
+	case pages.KindInt:
+		u := uint64(v.I)
+		b = append(b, 1, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	case pages.KindString:
+		b = append(b, 2)
+		b = append(b, v.S...)
+		b = append(b, 0)
+	default:
+		u := uint64(int64(v.F * 100))
+		b = append(b, 3, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	return b
 }
 
 // Rows materializes the output rows (unsorted, first-seen group order).
 // A query with no groups and no input produces one row of empty/zero
 // aggregates, matching SQL semantics for ungrouped aggregates.
 func (a *Aggregator) Rows() []pages.Row {
-	stop := a.col.Timer(metrics.Aggregation)
-	defer stop()
-	if len(a.q.GroupBy) == 0 && len(a.groups) == 0 {
-		a.groups[""] = a.newGroup(nil, 0)
-		a.order = append(a.order, "")
+	t0 := time.Now()
+	defer a.col.AddSince(metrics.Aggregation, t0)
+	n := len(a.keyVals)
+	if a.mode == groupNone {
+		a.ensureNone()
+		n = 1
 	}
-	out := make([]pages.Row, 0, len(a.order))
-	for _, key := range a.order {
-		g := a.groups[key]
+	out := make([]pages.Row, 0, n)
+	for gid := int32(0); gid < int32(n); gid++ {
 		row := make(pages.Row, len(a.q.Output))
 		for i, oc := range a.q.Output {
 			switch {
 			case oc.AggIdx >= 0:
-				row[i] = g.accs[oc.AggIdx].Result()
+				row[i] = a.gaccs[oc.AggIdx].Result(gid)
 			case oc.GroupIdx >= 0:
-				row[i] = g.keyVals[oc.GroupIdx]
+				row[i] = a.keyVals[gid][oc.GroupIdx]
 			}
 		}
 		out = append(out, row)
@@ -239,7 +380,15 @@ func (a *Aggregator) Rows() []pages.Row {
 }
 
 // NumGroups returns the number of groups accumulated so far.
-func (a *Aggregator) NumGroups() int { return len(a.groups) }
+func (a *Aggregator) NumGroups() int {
+	if a.mode == groupNone {
+		if a.noneInit {
+			return 1
+		}
+		return 0
+	}
+	return len(a.keyVals)
+}
 
 // Project maps joined rows to output rows for non-aggregated queries.
 func Project(q *plan.Query, rows []pages.Row) []pages.Row {

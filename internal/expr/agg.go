@@ -217,73 +217,171 @@ func (a *Acc) addValue(v pages.Value) {
 	}
 }
 
-// AddVecRow folds one row of a column batch, reading typed vectors
-// directly on the classified fast shapes.
-func (a *Acc) AddVecRow(b *vec.Batch, i int) {
-	a.count++
-	if a.arg == nil {
+// GroupAccs holds one aggregate's state for every group of a GROUP BY,
+// as parallel slices indexed by dense group id. It replaces the
+// one-*Acc-per-group layout on the vectorized path: accumulate kernels
+// walk a selection vector plus a group-id slice and update typed
+// registers directly, so grouped aggregation does no per-row dispatch
+// and no per-group allocation after a group's first row.
+type GroupAccs struct {
+	c        *CompiledAgg
+	counts   []int64
+	sumI     []int64
+	sumF     []float64
+	sawF     []bool
+	extremes []pages.Value
+}
+
+// NewGroupAccs returns empty per-group state for the compiled aggregate.
+func (c *CompiledAgg) NewGroupAccs() *GroupAccs { return &GroupAccs{c: c} }
+
+// Grow extends the state to hold at least n groups (new groups zeroed).
+func (g *GroupAccs) Grow(n int) {
+	for len(g.counts) < n {
+		g.counts = append(g.counts, 0)
+		g.sumI = append(g.sumI, 0)
+		g.sumF = append(g.sumF, 0)
+		g.sawF = append(g.sawF, false)
+		g.extremes = append(g.extremes, pages.Value{})
+	}
+}
+
+// NumGroups returns the number of groups the state holds.
+func (g *GroupAccs) NumGroups() int { return len(g.counts) }
+
+// addValue folds one evaluated argument value into group gi, with
+// Acc.addValue's semantics.
+func (g *GroupAccs) addValue(gi int32, v pages.Value) {
+	switch g.c.kind {
+	case AggSum, AggAvg:
+		if v.Kind == pages.KindFloat {
+			g.sawF[gi] = true
+			g.sumF[gi] += v.F
+		} else {
+			g.sumI[gi] += v.I
+		}
+	case AggMin:
+		if g.extremes[gi].IsZero() || v.Compare(g.extremes[gi]) < 0 {
+			g.extremes[gi] = v
+		}
+	case AggMax:
+		if g.extremes[gi].IsZero() || v.Compare(g.extremes[gi]) > 0 {
+			g.extremes[gi] = v
+		}
+	}
+}
+
+// AddRow folds one row into group gi (the row-at-a-time path).
+func (g *GroupAccs) AddRow(r pages.Row, gi int32) {
+	g.counts[gi]++
+	if g.c.arg == nil {
 		return
 	}
-	if a.kind == AggSum || a.kind == AggAvg {
-		switch a.shape {
+	g.addValue(gi, g.c.argFn(r))
+}
+
+// AddBatch folds the selected rows of a column batch, routing row sel[j]
+// to group gids[j]. The classified fast shapes update the typed
+// per-group registers in one pass over the selection; floats accumulate
+// term-by-term in selection order, so per-group results stay
+// bit-identical to the row-at-a-time path regardless of batching.
+func (g *GroupAccs) AddBatch(b *vec.Batch, sel []int, gids []int32) {
+	for _, gi := range gids[:len(sel)] {
+		g.counts[gi]++
+	}
+	c := g.c
+	if c.arg == nil || len(sel) == 0 {
+		return
+	}
+	if c.kind == AggSum || c.kind == AggAvg {
+		switch c.shape {
 		case shapeCol:
-			c := &b.Cols[a.c0]
-			switch c.Kind {
+			col := &b.Cols[c.c0]
+			switch col.Kind {
 			case pages.KindInt:
-				a.sumI += c.I[i]
+				v := col.I
+				for j, i := range sel {
+					g.sumI[gids[j]] += v[i]
+				}
 				return
 			case pages.KindFloat:
-				a.sawF = true
-				a.sumF += c.F[i]
+				v := col.F
+				for j, i := range sel {
+					gi := gids[j]
+					g.sawF[gi] = true
+					g.sumF[gi] += v[i]
+				}
 				return
 			}
 		case shapeColCol:
-			c0, c1 := &b.Cols[a.c0], &b.Cols[a.c1]
+			c0, c1 := &b.Cols[c.c0], &b.Cols[c.c1]
 			if c0.Kind == pages.KindInt && c1.Kind == pages.KindInt {
-				a.sumI += intOp(a.op, c0.I[i], c1.I[i])
+				l, r := c0.I, c1.I
+				switch c.op {
+				case OpMul:
+					for j, i := range sel {
+						g.sumI[gids[j]] += l[i] * r[i]
+					}
+				case OpAdd:
+					for j, i := range sel {
+						g.sumI[gids[j]] += l[i] + r[i]
+					}
+				case OpSub:
+					for j, i := range sel {
+						g.sumI[gids[j]] += l[i] - r[i]
+					}
+				default:
+					for j, i := range sel {
+						g.sumI[gids[j]] += intOp(c.op, l[i], r[i])
+					}
+				}
 				return
 			}
 		}
 	}
-	a.addValue(a.argVec(b, i))
+	for j, i := range sel {
+		g.addValue(gids[j], c.argVec(b, i))
+	}
 }
 
-// AddVec folds the selected rows of a column batch. Integer sums
-// accumulate in a local register; float sums accumulate term-by-term in
-// selection order so results are bit-identical to the row-at-a-time
+// AddAll folds the selected rows of a column batch into the single
+// group gi — the ungrouped-aggregate fast path. Integer sums
+// accumulate in a local register; float sums accumulate term-by-term
+// in selection order so results are bit-identical to the row-at-a-time
 // path regardless of batch boundaries.
-func (a *Acc) AddVec(b *vec.Batch, sel []int) {
-	a.count += int64(len(sel))
-	if a.arg == nil || len(sel) == 0 {
+func (g *GroupAccs) AddAll(b *vec.Batch, sel []int, gi int32) {
+	g.counts[gi] += int64(len(sel))
+	c := g.c
+	if c.arg == nil || len(sel) == 0 {
 		return
 	}
-	if a.kind == AggSum || a.kind == AggAvg {
-		switch a.shape {
+	if c.kind == AggSum || c.kind == AggAvg {
+		switch c.shape {
 		case shapeCol:
-			c := &b.Cols[a.c0]
-			switch c.Kind {
+			col := &b.Cols[c.c0]
+			switch col.Kind {
 			case pages.KindInt:
-				col := c.I
+				v := col.I
 				var s int64
 				for _, i := range sel {
-					s += col[i]
+					s += v[i]
 				}
-				a.sumI += s
+				g.sumI[gi] += s
 				return
 			case pages.KindFloat:
-				col := c.F
-				a.sawF = true
+				v := col.F
+				g.sawF[gi] = true
 				for _, i := range sel {
-					a.sumF += col[i]
+					g.sumF[gi] += v[i]
 				}
 				return
 			}
 		case shapeColCol:
-			c0, c1 := &b.Cols[a.c0], &b.Cols[a.c1]
+			c0, c1 := &b.Cols[c.c0], &b.Cols[c.c1]
 			if c0.Kind == pages.KindInt && c1.Kind == pages.KindInt {
 				l, r := c0.I, c1.I
 				var s int64
-				switch a.op {
+				switch c.op {
 				case OpMul:
 					for _, i := range sel {
 						s += l[i] * r[i]
@@ -298,16 +396,42 @@ func (a *Acc) AddVec(b *vec.Batch, sel []int) {
 					}
 				default:
 					for _, i := range sel {
-						s += intOp(a.op, l[i], r[i])
+						s += intOp(c.op, l[i], r[i])
 					}
 				}
-				a.sumI += s
+				g.sumI[gi] += s
 				return
 			}
 		}
 	}
 	for _, i := range sel {
-		a.addValue(a.argVec(b, i))
+		g.addValue(gi, c.argVec(b, i))
+	}
+}
+
+// Count returns the number of rows folded into group gi.
+func (g *GroupAccs) Count(gi int32) int64 { return g.counts[gi] }
+
+// Result returns group gi's aggregate value, with Acc.Result's
+// semantics.
+func (g *GroupAccs) Result(gi int32) pages.Value {
+	switch g.c.kind {
+	case AggCount:
+		return pages.Int(g.counts[gi])
+	case AggSum:
+		if g.sawF[gi] {
+			return pages.Float(g.sumF[gi] + float64(g.sumI[gi]))
+		}
+		return pages.Int(g.sumI[gi])
+	case AggAvg:
+		if g.counts[gi] == 0 {
+			return pages.Float(0)
+		}
+		return pages.Float((g.sumF[gi] + float64(g.sumI[gi])) / float64(g.counts[gi]))
+	case AggMin, AggMax:
+		return g.extremes[gi]
+	default:
+		return pages.Value{}
 	}
 }
 

@@ -141,7 +141,7 @@ func TestCompileVecValMatchesEval(t *testing.T) {
 	}
 }
 
-func TestAccVecMatchesRowAcc(t *testing.T) {
+func TestGroupAccsMatchRowAcc(t *testing.T) {
 	_, _, schema := randomBatch(1, 1)
 	b, rows, _ := randomBatch(200, 9)
 	specs := []AggSpec{
@@ -161,22 +161,57 @@ func TestAccVecMatchesRowAcc(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rowAcc, vecAcc, rowVecAcc := NewAcc(bound), NewAcc(bound), NewAcc(bound)
+		rowAcc := NewAcc(bound)
 		for _, r := range rows {
 			rowAcc.Add(r)
 		}
-		vecAcc.AddVec(b, sel)
-		for i := range rows {
-			rowVecAcc.AddVecRow(b, i)
+		c := CompileAgg(bound)
+
+		// AddAll: the ungrouped batch kernel.
+		all := c.NewGroupAccs()
+		all.Grow(1)
+		all.AddAll(b, sel, 0)
+		if got, want := all.Result(0), rowAcc.Result(); got != want {
+			t.Errorf("%s: AddAll %v, row path %v", bound.String(), got, want)
 		}
-		if got, want := vecAcc.Result(), rowAcc.Result(); got != want {
-			t.Errorf("%s: AddVec %v, row path %v", bound.String(), got, want)
+		if all.Count(0) != rowAcc.Count() {
+			t.Errorf("%s: AddAll counts diverge", bound.String())
 		}
-		if got, want := rowVecAcc.Result(), rowAcc.Result(); got != want {
-			t.Errorf("%s: AddVecRow %v, row path %v", bound.String(), got, want)
+
+		// AddBatch with interleaved group ids: the two groups' merged
+		// totals must match the row path, and per-group results must
+		// match per-group row-at-a-time accumulators.
+		grouped := c.NewGroupAccs()
+		grouped.Grow(2)
+		gids := make([]int32, len(sel))
+		g0, g1 := NewAcc(bound), NewAcc(bound)
+		for j, i := range sel {
+			gids[j] = int32(i % 2)
+			if i%2 == 0 {
+				g0.Add(rows[i])
+			} else {
+				g1.Add(rows[i])
+			}
 		}
-		if vecAcc.Count() != rowAcc.Count() {
-			t.Errorf("%s: counts diverge", bound.String())
+		grouped.AddBatch(b, sel, gids)
+		if got, want := grouped.Result(0), g0.Result(); got != want {
+			t.Errorf("%s: AddBatch group 0 %v, row path %v", bound.String(), got, want)
+		}
+		if got, want := grouped.Result(1), g1.Result(); got != want {
+			t.Errorf("%s: AddBatch group 1 %v, row path %v", bound.String(), got, want)
+		}
+		if grouped.Count(0)+grouped.Count(1) != rowAcc.Count() {
+			t.Errorf("%s: AddBatch counts diverge", bound.String())
+		}
+
+		// AddRow: the grouped row path.
+		byRow := c.NewGroupAccs()
+		byRow.Grow(1)
+		for _, r := range rows {
+			byRow.AddRow(r, 0)
+		}
+		if got, want := byRow.Result(0), rowAcc.Result(); got != want {
+			t.Errorf("%s: AddRow %v, row path %v", bound.String(), got, want)
 		}
 	}
 }

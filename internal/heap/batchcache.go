@@ -16,16 +16,27 @@ import (
 // work to decode work. Cached batches are immutable; readers share
 // them without copying.
 //
-// The cache is a bounded map. At capacity an arbitrary entry is
-// evicted (map iteration order); for the cyclic scan access pattern of
-// this engine, random eviction behaves close to LRU at a fraction of
-// the bookkeeping.
+// Eviction is clock / second-chance: entries live in a fixed slot
+// array; a hit sets the slot's reference bit (atomically, under the
+// read lock), and at capacity the clock hand sweeps slots, clearing
+// reference bits and evicting the first unreferenced slot. Unlike the
+// previous "evict an arbitrary map entry" scheme, a cyclic scan whose
+// working set fits the cache keeps re-marking its own pages and stops
+// evicting its own working set at capacity.
 type BatchCache struct {
 	mu     sync.RWMutex
-	m      map[buffer.PageID]*vec.Batch
+	m      map[buffer.PageID]int // id -> slot index
+	slots  []cacheSlot
+	hand   int
 	cap    int
 	hits   atomic.Int64
 	misses atomic.Int64
+}
+
+type cacheSlot struct {
+	id  buffer.PageID
+	b   *vec.Batch
+	ref atomic.Bool // second-chance bit; set on hit, cleared by the hand
 }
 
 // DefaultBatchCachePages bounds the cache at the buffer pool's default
@@ -38,16 +49,23 @@ func NewBatchCache(capPages int) *BatchCache {
 	if capPages <= 0 {
 		capPages = DefaultBatchCachePages
 	}
-	return &BatchCache{m: make(map[buffer.PageID]*vec.Batch), cap: capPages}
+	return &BatchCache{m: make(map[buffer.PageID]int), cap: capPages}
 }
 
-// Get returns the cached batch for id, if present.
+// Get returns the cached batch for id, if present, marking the slot
+// recently used.
 func (c *BatchCache) Get(id buffer.PageID) (*vec.Batch, bool) {
 	if c == nil {
 		return nil, false
 	}
 	c.mu.RLock()
-	b, ok := c.m[id]
+	i, ok := c.m[id]
+	var b *vec.Batch
+	if ok {
+		s := &c.slots[i]
+		s.ref.Store(true)
+		b = s.b
+	}
 	c.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
@@ -57,20 +75,43 @@ func (c *BatchCache) Get(id buffer.PageID) (*vec.Batch, bool) {
 	return b, ok
 }
 
-// Put stores a decoded batch, evicting an arbitrary entry at capacity.
+// Put stores a decoded batch. At capacity the clock hand sweeps for a
+// slot whose reference bit is clear, giving every recently hit entry a
+// second chance before it goes.
 func (c *BatchCache) Put(id buffer.PageID, b *vec.Batch) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
-	if _, ok := c.m[id]; !ok && len(c.m) >= c.cap {
-		for victim := range c.m {
-			delete(c.m, victim)
-			break
-		}
+	defer c.mu.Unlock()
+	if i, ok := c.m[id]; ok {
+		s := &c.slots[i]
+		s.b = b
+		s.ref.Store(true)
+		return
 	}
-	c.m[id] = b
-	c.mu.Unlock()
+	if len(c.slots) < c.cap {
+		c.slots = append(c.slots, cacheSlot{id: id, b: b})
+		c.slots[len(c.slots)-1].ref.Store(true)
+		c.m[id] = len(c.slots) - 1
+		return
+	}
+	// Sweep: clear reference bits until an unreferenced slot comes up.
+	// Bounded at two full turns — after one turn every bit is clear, so
+	// the second turn must find a victim.
+	for swept := 0; swept < 2*len(c.slots); swept++ {
+		s := &c.slots[c.hand]
+		i := c.hand
+		c.hand = (c.hand + 1) % len(c.slots)
+		if s.ref.Swap(false) {
+			continue
+		}
+		delete(c.m, s.id)
+		s.id, s.b = id, b
+		s.ref.Store(true)
+		c.m[id] = i
+		return
+	}
 }
 
 // Clear drops every cached batch (cold-cache measurement runs).
@@ -79,7 +120,9 @@ func (c *BatchCache) Clear() {
 		return
 	}
 	c.mu.Lock()
-	c.m = make(map[buffer.PageID]*vec.Batch)
+	c.m = make(map[buffer.PageID]int)
+	c.slots = nil
+	c.hand = 0
 	c.mu.Unlock()
 }
 

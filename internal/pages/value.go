@@ -141,8 +141,7 @@ func (v Value) Hash() uint64 {
 	case KindInt:
 		return HashInt64(v.I)
 	case KindFloat:
-		// Hash the integer form when exact, else the bit pattern.
-		return hashWord(KindFloat, uint64(int64(v.F)))
+		return HashFloat64(v.F)
 	case KindString:
 		return HashString(v.S)
 	default:
@@ -168,6 +167,19 @@ func hashWord(k Kind, u uint64) uint64 {
 // does, so the vectorized probe kernels that read raw int64 key columns
 // land in the same buckets as Value-keyed inserts.
 func HashInt64(v int64) uint64 { return hashWord(KindInt, uint64(v)) }
+
+// HashFloat64 hashes an unboxed float key exactly as Float(f).Hash()
+// does, so vectorized probe kernels over raw float columns land in the
+// same buckets as Value-keyed inserts. It hashes the bit pattern —
+// fractional keys sharing an integer part must not collide into one
+// bucket — with negative zero collapsed to zero so the two values
+// Compare reports equal also hash equal.
+func HashFloat64(f float64) uint64 {
+	if f == 0 {
+		f = 0 // -0.0 and +0.0 compare equal; hash them identically
+	}
+	return hashWord(KindFloat, math.Float64bits(f))
+}
 
 // HashString hashes an unboxed string key exactly as Str(s).Hash()
 // does, for the same reason as HashInt64.

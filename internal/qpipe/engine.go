@@ -3,6 +3,7 @@ package qpipe
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"sharedq/internal/comm"
 	"sharedq/internal/exec"
@@ -95,6 +96,7 @@ func New(env *exec.Env, cfg Config) *Engine {
 		FIFOCap:  cfg.FIFOCap,
 		PageRows: cfg.PageRows,
 		Col:      env.Col,
+		Pool:     env.Recycle,
 	}
 	if e.pc.PageRows <= 0 {
 		e.pc.PageRows = comm.DefaultPageRows
@@ -244,26 +246,30 @@ func (e *Engine) runJoin(d plan.DimJoin, factPred expr.Expr, probe, dimIn InPort
 		if in == nil {
 			continue
 		}
-		stop := e.env.Col.Timer(metrics.Joins)
+		t0 := time.Now()
 		sel := vec.FullSel(in.Len(), &selBuf)
 		if vpred != nil {
 			sel = vpred(in, sel)
 		}
-		stop()
-		stopH := e.env.Col.Timer(metrics.Hashing)
+		e.env.Col.AddSince(metrics.Joins, t0)
+		t1 := time.Now()
 		bj.Add(in, sel)
-		stopH()
+		e.env.Col.AddSince(metrics.Hashing, t1)
 	}
 
 	// Probe phase. Joined rows are re-paged into ~PageRows-row batches
 	// (coalescing under-filled outputs of selective joins, splitting
 	// oversized fan-outs) so exchange pages keep the 32 KB granularity
 	// the FIFO/SPL copy-cost comparison models — the batch counterpart
-	// of the old comm.Builder.
+	// of the old comm.Builder. Probe outputs and re-paged pages are
+	// checked out of the batch pool; emitting transfers ownership to the
+	// port (the last reader releases), and probe inputs are owned by the
+	// upstream port, which releases them on the next call to Next.
 	factVec := expr.CompileVecPred(factPred)
 	var ps exec.ProbeScratch
 	pageRows := e.pc.PageRows
 	var pend *vec.Batch
+	var pendKinds []pages.Kind // joined layout, computed once
 	for {
 		p, ok := probe.Next()
 		if !ok {
@@ -279,9 +285,9 @@ func (e *Engine) runJoin(d plan.DimJoin, factPred expr.Expr, probe, dimIn InPort
 		}
 		sel := vec.FullSel(in.Len(), &selBuf)
 		if factVec != nil {
-			stop := e.env.Col.Timer(metrics.Joins)
+			t0 := time.Now()
 			sel = factVec(in, sel)
-			stop()
+			e.env.Col.AddSince(metrics.Joins, t0)
 		}
 		if len(sel) == 0 {
 			continue
@@ -294,7 +300,10 @@ func (e *Engine) runJoin(d plan.DimJoin, factPred expr.Expr, probe, dimIn InPort
 		}
 		for off := 0; off < joined.Len(); {
 			if pend == nil {
-				pend = vec.New(joined.Kinds(), pageRows)
+				if pendKinds == nil {
+					pendKinds = joined.Kinds()
+				}
+				pend = e.env.Recycle.Get(pendKinds, pageRows)
 			}
 			take := pageRows - pend.Len()
 			if rest := joined.Len() - off; rest < take {
@@ -307,6 +316,7 @@ func (e *Engine) runJoin(d plan.DimJoin, factPred expr.Expr, probe, dimIn InPort
 				pend = nil
 			}
 		}
+		joined.Release()
 	}
 	if pend != nil && pend.Len() > 0 {
 		e.emitJoin(h, comm.NewBatchPage(pend))
@@ -391,9 +401,9 @@ func Drain(env *exec.Env, q *plan.Query, in InPort) []pages.Row {
 		if b := p.Batch; b != nil {
 			sel := vec.FullSel(b.Len(), &selBuf)
 			if factVec != nil {
-				stop := env.Col.Timer(metrics.Misc)
+				t0 := time.Now()
 				sel = factVec(b, sel)
-				stop()
+				env.Col.AddSince(metrics.Misc, t0)
 			}
 			if agg != nil {
 				agg.AddBatch(b, sel)

@@ -10,9 +10,11 @@ package qpipe
 
 import (
 	"sync"
+	"time"
 
 	"sharedq/internal/comm"
 	"sharedq/internal/metrics"
+	"sharedq/internal/vec"
 )
 
 // Comm selects the communication model for packet data flow.
@@ -68,6 +70,9 @@ type PortConfig struct {
 	FIFOCap  int // FIFO capacity, pages
 	PageRows int
 	Col      *metrics.Collector
+	// Pool recycles the push-copy clones the FIFO fan-out makes per
+	// consumer; nil disables recycling (the clones become garbage).
+	Pool *vec.Pool
 }
 
 // portConfig is the internal alias used throughout the engine.
@@ -78,7 +83,7 @@ func (pc PortConfig) NewOutPort() OutPort {
 	if pc.Model == CommSPL {
 		return &splPort{spl: comm.NewSPL(pc.SPLMax)}
 	}
-	return &fanout{cap: pc.FIFOCap, col: pc.Col}
+	return &fanout{cap: pc.FIFOCap, col: pc.Col, pool: pc.Pool}
 }
 
 // newOutPort is the internal spelling.
@@ -115,6 +120,7 @@ type fanout struct {
 	subs   []*fanSub
 	cap    int
 	col    *metrics.Collector
+	pool   *vec.Pool
 	closed bool
 }
 
@@ -153,9 +159,10 @@ func (fo *fanout) Emit(p *comm.Page) {
 	fo.mu.Lock()
 	defer fo.mu.Unlock()
 	if fo.closed {
+		p.Release()
 		return
 	}
-	first := true
+	sentOriginal := false
 	for _, s := range fo.subs {
 		if s.done || s.f.Closed() {
 			continue
@@ -171,15 +178,25 @@ func (fo *fanout) Emit(p *comm.Page) {
 		}
 		s.appended++
 		out := p
-		if !first {
+		if sentOriginal {
 			// Forwarding by copy, on this (the producer's) thread: the
 			// cost the paper's prediction model charges to the pivot.
-			stop := fo.col.Timer(metrics.Misc)
-			out = p.Clone()
-			stop()
+			// Copies are checked out of the batch pool; each FIFO has a
+			// single consumer, which releases them after reading.
+			t0 := time.Now()
+			out = p.ClonePooled(fo.pool)
+			fo.col.AddSince(metrics.Misc, t0)
 		}
-		first = false
-		s.f.Put(out)
+		if !s.f.Put(out) {
+			if sentOriginal {
+				out.Release() // dropped clone; consumer went away mid-emit
+			}
+			continue
+		}
+		sentOriginal = true
+	}
+	if !sentOriginal {
+		p.Release() // no reader took the original
 	}
 }
 
@@ -195,9 +212,37 @@ func (fo *fanout) Close() {
 	}
 }
 
+// fifoIn adapts a single-consumer FIFO to InPort. It mirrors the SPL's
+// page-lifetime rule on the pull side: the page returned by Next stays
+// valid until the consumer's next Next (or Cancel) call, at which point
+// the previous page is released back to the batch pool.
 type fifoIn struct {
-	f *comm.FIFO
+	f    *comm.FIFO
+	prev *comm.Page
 }
 
-func (in *fifoIn) Next() (*comm.Page, bool) { return in.f.Get() }
-func (in *fifoIn) Cancel()                  { in.f.Close() }
+func (in *fifoIn) Next() (*comm.Page, bool) {
+	in.prev.Release()
+	in.prev = nil
+	p, ok := in.f.Get()
+	if ok {
+		in.prev = p
+	}
+	return p, ok
+}
+
+func (in *fifoIn) Cancel() {
+	in.prev.Release()
+	in.prev = nil
+	in.f.Close()
+	// Drain abandoned pages so their pooled batches recycle instead of
+	// leaking to the garbage collector (this is the single consumer; a
+	// closed FIFO keeps its buffered pages readable).
+	for {
+		p, ok := in.f.Get()
+		if !ok {
+			return
+		}
+		p.Release()
+	}
+}

@@ -1,0 +1,179 @@
+package vec
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"sharedq/internal/pages"
+)
+
+// Pool is a recycling arena for derived batches — the filter gathers,
+// join outputs, re-paged exchange pages and push-copy clones that the
+// engines previously allocated fresh and left to the garbage collector.
+// Batches are checked out with Get (reference count 1), shared with
+// Retain, and returned with Release; the last holder to release a batch
+// puts it back for reuse. Decoded-page batches (the decoded-batch
+// cache's contents) are deliberately NOT pooled: they are immutable and
+// shared among an unknown set of concurrent scans, so they stay ordinary
+// garbage-collected values — Release on them is a no-op.
+//
+// A nil *Pool is valid and disables recycling: Get falls back to New and
+// the returned batches are unpooled. This keeps tests and callers that
+// build their own exec.Env working without a pool.
+type Pool struct {
+	p      sync.Pool
+	reuses atomic.Int64
+	news   atomic.Int64
+}
+
+// NewPool returns an empty batch pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Stats reports how many checkouts were served by recycling versus
+// fresh allocation, for tests and diagnostics.
+func (p *Pool) Stats() (reused, allocated int64) {
+	if p == nil {
+		return 0, 0
+	}
+	return p.reuses.Load(), p.news.Load()
+}
+
+// Get checks a batch with the given column layout out of the pool,
+// reference count 1. Recycled column storage is reused wherever the
+// requested kind matches the slot's previous kind; capacity pre-sizes
+// fresh columns only.
+func (p *Pool) Get(kinds []pages.Kind, capacity int) *Batch {
+	if p == nil {
+		return New(kinds, capacity)
+	}
+	b, _ := p.p.Get().(*Batch)
+	if b == nil {
+		b = New(kinds, capacity)
+		p.news.Add(1)
+	} else {
+		p.reuses.Add(1)
+		b.reshape(len(kinds), func(i int) pages.Kind { return kinds[i] })
+	}
+	b.pool = p
+	b.refs.Store(1)
+	return b
+}
+
+// Clone deep-copies src into a pooled batch (reference count 1). With a
+// nil pool it degrades to an unpooled Clone. The checkout reshapes
+// directly from src's columns, so a steady-state clone (the FIFO
+// push-copy loop) allocates nothing.
+func (p *Pool) Clone(src *Batch) *Batch {
+	if p == nil {
+		return src.Clone()
+	}
+	out, _ := p.p.Get().(*Batch)
+	if out == nil {
+		p.news.Add(1)
+		out = &Batch{Cols: make([]Column, len(src.Cols))}
+	} else {
+		p.reuses.Add(1)
+	}
+	out.reshape(len(src.Cols), func(i int) pages.Kind { return src.Cols[i].Kind })
+	out.pool = p
+	out.refs.Store(1)
+	out.AppendRange(src, 0, src.Len())
+	return out
+}
+
+// reshape retypes a recycled batch to an n-column layout with the given
+// per-slot kinds, keeping payload storage for every slot whose kind is
+// unchanged (the common case: operators request the same layout on
+// every checkout).
+func (b *Batch) reshape(n int, kind func(int) pages.Kind) {
+	if cap(b.Cols) < n {
+		old := b.Cols
+		b.Cols = make([]Column, n)
+		copy(b.Cols, old)
+	}
+	b.Cols = b.Cols[:n]
+	for i := 0; i < n; i++ {
+		c := &b.Cols[i]
+		if k := kind(i); c.Kind != k {
+			*c = Column{Kind: k}
+			continue
+		}
+		c.I = c.I[:0]
+		c.F = c.F[:0]
+		c.S = c.S[:0]
+	}
+	b.n = 0
+}
+
+// Retain adds a reference to a pooled batch, for handing it to an
+// additional reader. Unpooled batches ignore it.
+func (b *Batch) Retain() {
+	if b == nil || b.pool == nil {
+		return
+	}
+	b.refs.Add(1)
+}
+
+// Release drops one reference. When the last reference goes, the batch
+// returns to its pool for reuse; until then it must not be touched
+// again by the releasing holder. Unpooled batches (decoded-cache pages,
+// New/FromRows/FromSlotted results) ignore Release entirely, so callers
+// can release every batch they are done with without tracking origins.
+func (b *Batch) Release() {
+	if b == nil || b.pool == nil {
+		return
+	}
+	n := b.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("vec: batch released more times than retained")
+	}
+	p := b.pool
+	b.pool = nil
+	if poisonReleases.Load() {
+		b.poison()
+	}
+	p.p.Put(b)
+}
+
+// Pooled reports whether the batch is checked out of a pool (has a
+// pending Release). Diagnostic, used by tests.
+func (b *Batch) Pooled() bool { return b.pool != nil }
+
+// poisonReleases enables use-after-release detection: released batches
+// are overwritten with sentinel values before they return to the pool,
+// so any reader still aliasing one produces loudly wrong results
+// instead of silently racing on recycled storage.
+var poisonReleases atomic.Bool
+
+// PoisonString is the sentinel written over every string cell of a
+// released batch while poisoning is on.
+const PoisonString = "\x00vec:use-after-release"
+
+// PoisonInt is the sentinel written over every int cell of a released
+// batch while poisoning is on.
+const PoisonInt = int64(-0x6b6f6c6f6e6f6f70)
+
+// SetPoison toggles release-poisoning (a debug hook for the batch
+// lifetime tests; see the parity suite's poisoned variant).
+func SetPoison(on bool) { poisonReleases.Store(on) }
+
+// poison overwrites every cell with a sentinel and zeroes the length.
+func (b *Batch) poison() {
+	for ci := range b.Cols {
+		c := &b.Cols[ci]
+		for i := range c.I {
+			c.I[i] = PoisonInt
+		}
+		for i := range c.F {
+			c.F[i] = math.NaN()
+		}
+		for i := range c.S {
+			c.S[i] = PoisonString
+		}
+	}
+	b.n = 0
+}

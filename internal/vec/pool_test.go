@@ -1,0 +1,161 @@
+package vec
+
+import (
+	"math"
+	"testing"
+
+	"sharedq/internal/pages"
+)
+
+var testKinds = []pages.Kind{pages.KindInt, pages.KindFloat, pages.KindString}
+
+func fillTest(b *Batch) {
+	_ = b.AppendRow(pages.Row{pages.Int(1), pages.Float(1.5), pages.Str("x")})
+	_ = b.AppendRow(pages.Row{pages.Int(2), pages.Float(2.5), pages.Str("y")})
+}
+
+func TestPoolCheckoutRelease(t *testing.T) {
+	p := NewPool()
+	b := p.Get(testKinds, 4)
+	if !b.Pooled() {
+		t.Fatal("Get returned an unpooled batch")
+	}
+	fillTest(b)
+	b.Release()
+	if b.Pooled() {
+		t.Error("released batch still marked pooled")
+	}
+
+	// The next same-layout checkout should reuse the batch's storage.
+	c := p.Get(testKinds, 0)
+	if c.Len() != 0 {
+		t.Errorf("recycled batch has %d rows", c.Len())
+	}
+	for i, k := range testKinds {
+		if c.Cols[i].Kind != k {
+			t.Errorf("col %d kind = %v, want %v", i, c.Cols[i].Kind, k)
+		}
+	}
+	if reused, _ := p.Stats(); reused != 1 {
+		t.Errorf("reuses = %d, want 1", reused)
+	}
+	c.Release()
+}
+
+func TestPoolReshapeDifferentLayout(t *testing.T) {
+	p := NewPool()
+	b := p.Get(testKinds, 2)
+	fillTest(b)
+	b.Release()
+
+	other := []pages.Kind{pages.KindString, pages.KindString}
+	c := p.Get(other, 0)
+	if c.NumCols() != 2 || c.Cols[0].Kind != pages.KindString || c.Cols[1].Kind != pages.KindString {
+		t.Fatalf("reshaped batch layout = %v", c.Kinds())
+	}
+	if err := c.AppendRow(pages.Row{pages.Str("a"), pages.Str("b")}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+	c.Release()
+}
+
+func TestRetainDelaysRecycle(t *testing.T) {
+	p := NewPool()
+	b := p.Get(testKinds, 2)
+	fillTest(b)
+	b.Retain() // second reader
+	b.Release()
+	if !b.Pooled() {
+		t.Fatal("batch recycled while a reader still holds it")
+	}
+	if got := b.Cols[0].I[0]; got != 1 {
+		t.Errorf("retained batch corrupted: %d", got)
+	}
+	b.Release()
+	if b.Pooled() {
+		t.Error("batch not recycled after last release")
+	}
+}
+
+func TestReleaseUnpooledIsNoop(t *testing.T) {
+	b := New(testKinds, 2)
+	fillTest(b)
+	b.Release() // must not panic or change anything
+	b.Retain()
+	if b.Len() != 2 {
+		t.Errorf("len = %d", b.Len())
+	}
+}
+
+func TestOverReleasePanics(t *testing.T) {
+	p := NewPool()
+	b := p.Get(testKinds, 0)
+	b.Release() // refs 1 -> 0: recycled, pool detached
+	defer func() {
+		if recover() == nil {
+			t.Error("over-release did not panic")
+		}
+	}()
+	// Simulate a protocol bug: a holder that re-marks the batch pooled
+	// without a reference. The refcount guard must trip.
+	b.pool = p
+	b.Release()
+}
+
+func TestPoisonOverwritesReleasedBatch(t *testing.T) {
+	SetPoison(true)
+	defer SetPoison(false)
+	p := NewPool()
+	b := p.Get(testKinds, 2)
+	fillTest(b)
+	ints, floats, strs := b.Cols[0].I, b.Cols[1].F, b.Cols[2].S
+	b.Release()
+	if ints[0] != PoisonInt || !math.IsNaN(floats[0]) || strs[0] != PoisonString {
+		t.Errorf("released batch not poisoned: %d %v %q", ints[0], floats[0], strs[0])
+	}
+
+	// Poisoned storage must still be reusable.
+	c := p.Get(testKinds, 0)
+	fillTest(c)
+	if c.Len() != 2 || c.Cols[0].I[0] != 1 {
+		t.Errorf("recycled poisoned batch broken: %v", c.Cols[0].I)
+	}
+	c.Release()
+}
+
+func TestPoolCloneCopies(t *testing.T) {
+	p := NewPool()
+	src := New(testKinds, 2)
+	fillTest(src)
+	c := p.Clone(src)
+	if !c.Pooled() || c.Len() != 2 || c.Cols[2].S[1] != "y" {
+		t.Fatalf("pooled clone = %v rows, pooled=%v", c.Len(), c.Pooled())
+	}
+	c.Cols[0].I[0] = 99
+	if src.Cols[0].I[0] != 1 {
+		t.Error("clone aliases source storage")
+	}
+	c.Release()
+
+	// Nil pool degrades to a plain clone.
+	var np *Pool
+	u := np.Clone(src)
+	if u.Pooled() || u.Len() != 2 {
+		t.Errorf("nil-pool clone pooled=%v len=%d", u.Pooled(), u.Len())
+	}
+}
+
+func TestNilPoolGet(t *testing.T) {
+	var p *Pool
+	b := p.Get(testKinds, 2)
+	if b.Pooled() {
+		t.Error("nil pool returned a pooled batch")
+	}
+	fillTest(b)
+	if b.Len() != 2 {
+		t.Errorf("len = %d", b.Len())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"sharedq/internal/pages"
 )
@@ -35,6 +36,19 @@ func (c *Column) Value(i int) pages.Value {
 		return pages.Float(c.F[i])
 	default:
 		return pages.Str(c.S[i])
+	}
+}
+
+// HashAt hashes entry i exactly as Value(i).Hash() would, without
+// boxing: the raw payload goes through the kind-tagged FNV-1a directly.
+func (c *Column) HashAt(i int) uint64 {
+	switch c.Kind {
+	case pages.KindInt:
+		return pages.HashInt64(c.I[i])
+	case pages.KindFloat:
+		return pages.HashFloat64(c.F[i])
+	default:
+		return pages.HashString(c.S[i])
 	}
 }
 
@@ -75,10 +89,16 @@ func (c *Column) append(v pages.Value) error {
 // Batch is a columnar batch of rows: one Column per schema attribute,
 // all of equal length. A decoded batch is treated as immutable by every
 // consumer, which is what makes the per-table decoded-batch cache and
-// page-level sharing safe.
+// page-level sharing safe. Derived batches (join outputs, re-paged
+// exchange pages, push-copies) are checked out of a Pool and follow the
+// checkout → share (Retain) → Release lifetime protocol; batches built
+// with New or FromSlotted are unpooled and ignore Retain/Release.
 type Batch struct {
 	Cols []Column
 	n    int
+
+	pool *Pool        // owning pool; nil for unpooled batches
+	refs atomic.Int32 // outstanding references while pooled
 }
 
 // Kinds extracts the column kinds of a schema, the layout descriptor a

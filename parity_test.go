@@ -12,6 +12,7 @@ import (
 	"sharedq/internal/pages"
 	"sharedq/internal/plan"
 	"sharedq/internal/ssb"
+	"sharedq/internal/vec"
 )
 
 // The cross-mode parity suite: the full 13-query SSB flight runs
@@ -116,6 +117,62 @@ func TestFlightParityConcurrent(t *testing.T) {
 				}
 				if !reflect.DeepEqual(results[i], wants[i]) {
 					t.Errorf("query %d diverged under concurrency (%d vs %d rows)",
+						i, len(results[i]), len(wants[i]))
+				}
+			}
+		})
+	}
+}
+
+// TestFlightParityPoisonedReleases re-runs the concurrent parity suite
+// with release-poisoning on: every batch returned to the pool is
+// overwritten with sentinel values first. Any operator still aliasing a
+// released batch — through SPL shared readers, CJOIN satellites, FIFO
+// clones — then produces loudly wrong rows (or poisoned strings) and
+// fails parity, instead of silently racing on recycled storage.
+func TestFlightParityPoisonedReleases(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+
+	sys := paritySystem(t)
+	plans := flightPlans(t, sys)
+	wants := make([][]pages.Row, len(plans))
+	for i, q := range plans {
+		w, err := exec.ExecuteRows(sys.Env, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+
+	for _, mode := range sharedq.Modes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			eng := sharedq.NewEngine(sys, sharedq.Options{Mode: mode})
+			defer eng.Close()
+			results := make([][]pages.Row, len(plans))
+			errs := make([]error, len(plans))
+			var wg sync.WaitGroup
+			for i := range plans {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i], errs[i] = eng.Submit(plans[i])
+				}(i)
+			}
+			wg.Wait()
+			for i := range plans {
+				if errs[i] != nil {
+					t.Fatalf("query %d: %v", i, errs[i])
+				}
+				for _, r := range results[i] {
+					for _, v := range r {
+						if v.Kind == pages.KindString && v.S == vec.PoisonString {
+							t.Fatalf("query %d leaked a poisoned (released) value", i)
+						}
+					}
+				}
+				if !reflect.DeepEqual(results[i], wants[i]) {
+					t.Errorf("query %d diverged with poisoned releases (%d vs %d rows)",
 						i, len(results[i]), len(wants[i]))
 				}
 			}
