@@ -508,9 +508,11 @@ func BenchmarkCrescandoScan(b *testing.B) {
 	defer s.Close()
 	b.Run("read", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if got := len(s.Read(nil).Rows); got != 50000 {
+			res := s.Read(nil)
+			if got := res.Batch.Len(); got != 50000 {
 				b.Fatalf("read %d rows", got)
 			}
+			res.Release()
 		}
 	})
 	b.Run("mixed", func(b *testing.B) {
@@ -523,9 +525,74 @@ func BenchmarkCrescandoScan(b *testing.B) {
 			}()
 			go func() {
 				defer wg.Done()
-				s.Read(nil)
+				s.Read(nil).Release()
 			}()
 			wg.Wait()
 		}
 	})
+}
+
+// BenchmarkSharedDB measures one steady-state SharedDB batch wave — 8
+// pooled Q3.2 instances submitted concurrently against a long-lived
+// engine, plans pre-built — on the vectorized shared path (shared
+// column-batch dimension builds, bitmap-annotated columnar fact
+// probes, pooled joined batches, GroupAccs aggregation tail). CI gates
+// its allocs/op against ci/allocs_threshold.txt: each wave rebuilds
+// the per-batch shared state (the SharedDB model), so the committed
+// threshold is the acceptance bar rather than 0.
+func BenchmarkSharedDB(b *testing.B) {
+	sys := benchSystem(b)
+	eng := shareddb.New(sys.Env, shareddb.Config{Window: time.Millisecond})
+	plans := make([]*plan.Query, 8)
+	for i := range plans {
+		q, err := plan.Build(sys.Cat, ssb.Q32PoolPlan(i%4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		plans[i] = q
+	}
+	runWave := func() {
+		var wg sync.WaitGroup
+		for _, q := range plans {
+			wg.Add(1)
+			go func(q *plan.Query) {
+				defer wg.Done()
+				if _, err := eng.Submit(q); err != nil {
+					b.Error(err)
+				}
+			}(q)
+		}
+		wg.Wait()
+	}
+	runWave() // warm the decoded-batch cache and the batch pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runWave()
+	}
+}
+
+// BenchmarkCrescando measures the steady-state vectorized clock scan:
+// one selective read per op against a warm scan, the result batch
+// released back to the scan's pool each cycle. CI gates its allocs/op
+// against ci/allocs_threshold.txt (per-request bookkeeping — the Op
+// and its completion channel — is the steady-state floor).
+func BenchmarkCrescando(b *testing.B) {
+	rows := make([]pages.Row, 50000)
+	for i := range rows {
+		rows[i] = pages.Row{pages.Int(int64(i)), pages.Int(0)}
+	}
+	s := crescando.NewScan(rows, 1024)
+	defer s.Close()
+	pred := &expr.Bin{Op: expr.OpGe, L: &expr.Col{Name: "k", Idx: 0}, R: &expr.Const{V: pages.Int(49990)}}
+	s.Read(pred).Release() // warm the result pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := s.Read(pred)
+		if res.Batch.Len() != 10 {
+			b.Fatalf("read %d rows, want 10", res.Batch.Len())
+		}
+		res.Release()
+	}
 }

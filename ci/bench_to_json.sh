@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Convert `go test -bench` text on stdin into a JSON map of
+# benchmark -> {ns_op, b_op, allocs_op}, used by CI to publish the
+# bench smoke run (bench_smoke.json, uploaded as the BENCH_pr3.json
+# workflow artifact).
+set -euo pipefail
+awk '
+BEGIN { print "{"; n = 0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; b = ""; al = ""
+    for (i = 1; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      b  = $(i-1)
+        if ($i == "allocs/op") al = $(i-1)
+    }
+    line = sprintf("  \"%s\": {", name); sep = ""
+    if (ns != "") { line = line sep "\"ns_op\": " ns;     sep = ", " }
+    if (b  != "") { line = line sep "\"b_op\": " b;       sep = ", " }
+    if (al != "") { line = line sep "\"allocs_op\": " al }
+    line = line "}"
+    if (n++) printf(",\n")
+    printf("%s", line)
+}
+END { if (n) printf("\n"); print "}" }'

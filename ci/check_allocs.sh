@@ -1,24 +1,59 @@
 #!/usr/bin/env bash
-# Fails if allocs/op on BenchmarkModes/Baseline regresses above the
-# committed threshold (ci/allocs_threshold.txt). Allocation counts are
-# deterministic enough for a hard gate — unlike ns/op, they do not
-# depend on CI machine load.
+# Fails if allocs/op on any gated benchmark regresses above its
+# committed threshold. ci/allocs_threshold.txt holds one
+# "<benchmark-name> <max-allocs-per-op>" row per gate; every gated
+# benchmark runs in one `go test -bench` pass and every row is checked.
+# Allocation counts are deterministic enough for a hard gate — unlike
+# ns/op, they do not depend on CI machine load.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-threshold=$(grep -v '^#' ci/allocs_threshold.txt | tr -d '[:space:]')
-out=$(go test -run '^$' -bench 'BenchmarkModes/Baseline' -benchmem -benchtime 5x .)
-echo "$out"
-
-allocs=$(echo "$out" | awk '/BenchmarkModes\/Baseline/ {for (i=1; i<=NF; i++) if ($i == "allocs/op") print $(i-1)}')
-if [ -z "$allocs" ]; then
-    echo "check_allocs: could not parse allocs/op from benchmark output" >&2
+mapfile -t rows < <(grep -vE '^[[:space:]]*(#|$)' ci/allocs_threshold.txt)
+if [ "${#rows[@]}" -eq 0 ]; then
+    echo "check_allocs: no gated benchmarks in ci/allocs_threshold.txt" >&2
     exit 1
 fi
 
-echo "BenchmarkModes/Baseline: ${allocs} allocs/op (threshold ${threshold})"
-if [ "$allocs" -gt "$threshold" ]; then
-    echo "check_allocs: FAIL — allocs/op ${allocs} exceeds threshold ${threshold}" >&2
+# -bench patterns are matched per slash-separated level, and a
+# benchmark shallower than the pattern only runs in sub-discovery mode
+# (no measurement), so gated names are grouped by depth and each depth
+# runs as one anchored pass — ungated siblings (e.g. the other
+# BenchmarkModes configurations) do not run.
+out=""
+for depth in $(printf '%s\n' "${rows[@]}" | awk '{ print gsub(/\//, "/", $1) }' | sort -u); do
+    pattern=""
+    for level in $(seq 0 "$depth"); do
+        part=$(printf '%s\n' "${rows[@]}" | awk -v d="$depth" -v l="$level" \
+            '{ n = split($1, a, "/"); if (n == d + 1) print a[l+1] }' | sort -u | paste -sd'|' -)
+        pattern="${pattern:+${pattern}/}^(${part})\$"
+    done
+    out+=$(go test -run '^$' -bench "$pattern" -benchmem -benchtime 5x .)
+    out+=$'\n'
+done
+echo "$out"
+echo
+
+fail=0
+for row in "${rows[@]}"; do
+    name=$(awk '{print $1}' <<<"$row")
+    threshold=$(awk '{print $2}' <<<"$row")
+    allocs=$(awk -v n="$name" '
+        /^Benchmark/ {
+            bn = $1; sub(/-[0-9]+$/, "", bn)
+            if (bn == n) for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
+        }' <<<"$out")
+    if [ -z "$allocs" ]; then
+        echo "check_allocs: no benchmark output row for ${name}" >&2
+        fail=1
+        continue
+    fi
+    echo "${name}: ${allocs} allocs/op (threshold ${threshold})"
+    if [ "$allocs" -gt "$threshold" ]; then
+        echo "check_allocs: FAIL — ${name} allocs/op ${allocs} exceeds threshold ${threshold}" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 echo "check_allocs: OK"

@@ -12,6 +12,7 @@ import (
 
 	"sharedq"
 	"sharedq/internal/crescando"
+	"sharedq/internal/expr"
 	"sharedq/internal/pages"
 	"sharedq/internal/plan"
 	"sharedq/internal/shareddb"
@@ -71,7 +72,9 @@ func main() {
 	fmt.Printf("batch stats: %v\n\n", be.Stats())
 
 	// 3. Crescando scan: one circular pass serves a batch of reads and
-	// updates with updates-before-reads semantics per tuple.
+	// updates with updates-before-reads semantics per chunk batch.
+	// Predicates are vectorized selection kernels over the partition's
+	// column batches.
 	fmt.Println("--- Crescando-style read/update scan ---")
 	rows := make([]pages.Row, 10000)
 	for i := range rows {
@@ -79,6 +82,7 @@ func main() {
 	}
 	scan := crescando.NewScan(rows, 512)
 	defer scan.Close()
+	flagged := &expr.Bin{Op: expr.OpEq, L: &expr.Col{Name: "flag", Idx: 1}, R: &expr.Const{V: pages.Int(99)}}
 	var cwg sync.WaitGroup
 	cwg.Add(2)
 	var upd, rd crescando.Result
@@ -88,9 +92,10 @@ func main() {
 	}()
 	go func() {
 		defer cwg.Done()
-		rd = scan.Read(func(r pages.Row) bool { return r[1].I == 99 })
+		rd = scan.Read(flagged)
 	}()
 	cwg.Wait()
-	fmt.Printf("update touched %d tuples; concurrent read matched %d; cycles=%d\n",
-		upd.Updated, len(rd.Rows), scan.Cycles())
+	defer rd.Release()
+	fmt.Printf("update touched %d tuples; concurrent read matched %d; cycles=%d; stats=%v\n",
+		upd.Updated, rd.Batch.Len(), scan.Cycles(), scan.Stats())
 }

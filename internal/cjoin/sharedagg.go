@@ -8,6 +8,7 @@ import (
 	"sharedq/internal/metrics"
 	"sharedq/internal/pages"
 	"sharedq/internal/plan"
+	"sharedq/internal/vec"
 )
 
 // SharedAggregator is the shared aggregate operator the paper
@@ -23,6 +24,12 @@ import (
 // its own accumulator list per group; a tuple updates query q's
 // accumulators only when its bitmap carries q's bit.
 //
+// Groups get dense ids in first-seen order and per-(query, aggregate)
+// state lives in id-indexed registers (expr.GroupAccs), so the batch
+// path folds annotated column batches with one group-id pass per batch
+// and no allocation once every group has been seen — the same layout
+// the query-centric exec.Aggregator uses on the vectorized path.
+//
 // The operator works on a fixed set of queries (like SharedDB's batched
 // operators): all queries must be registered before feeding tuples.
 type SharedAggregator struct {
@@ -30,21 +37,26 @@ type SharedAggregator struct {
 	queries []*aggQuery
 	col     *metrics.Collector
 
-	groups map[string]*sharedGroup
-	order  []string
-	keyBuf []byte
+	ids     map[string]int32 // encoded group key -> dense id
+	keyVals [][]pages.Value  // id -> captured group-by values
+	keyBuf  []byte
+
+	// Reusable batch scratch: per-row group ids for the current batch,
+	// and the per-query sub-selection with its parallel group ids.
+	rowGid  []int32
+	qselBuf []int
+	qgidBuf []int32
 }
 
 type aggQuery struct {
-	bit  int
-	plan *plan.Query
-	pred expr.Pred           // fact predicate, evaluated on the joined tuple
-	aggs []*expr.CompiledAgg // compiled once, shared by every group's accumulators
-}
+	bit   int
+	plan  *plan.Query
+	pred  expr.Pred    // fact predicate, evaluated on the joined tuple
+	vpred expr.VecPred // the same predicate as a selection-vector kernel
 
-type sharedGroup struct {
-	keyVals []pages.Value
-	accs    [][]*expr.Acc // [query][agg]
+	aggs   []*expr.CompiledAgg // compiled once, shared by every group
+	gaccs  []*expr.GroupAccs   // per-aggregate, group-id-indexed state
+	counts []int64             // id -> tuples folded for this query
 }
 
 // NewSharedAggregator creates the operator for the given shared
@@ -53,14 +65,18 @@ func NewSharedAggregator(groupBy []int, col *metrics.Collector) *SharedAggregato
 	return &SharedAggregator{
 		groupBy: groupBy,
 		col:     col,
-		groups:  make(map[string]*sharedGroup),
+		ids:     make(map[string]int32),
 	}
 }
 
 // Register adds a query. Its plan must group by exactly the shared
 // group-by columns (same ordinals, same order); its aggregates may
-// differ freely from other queries'.
-func (s *SharedAggregator) Register(bit int, q *plan.Query, factPred expr.Pred) error {
+// differ freely from other queries'. factPred is the query's fact
+// predicate over the joined tuple (nil = none, typically when the
+// feeder pre-filtered facts); it is compiled once into both the
+// row-at-a-time and the selection-vector form, so Add and AddBatch
+// filter identically.
+func (s *SharedAggregator) Register(bit int, q *plan.Query, factPred expr.Expr) error {
 	if len(q.GroupBy) != len(s.groupBy) {
 		return fmt.Errorf("cjoin: query groups by %d columns, operator by %d", len(q.GroupBy), len(s.groupBy))
 	}
@@ -69,23 +85,60 @@ func (s *SharedAggregator) Register(bit int, q *plan.Query, factPred expr.Pred) 
 			return fmt.Errorf("cjoin: group-by column %d differs (%d vs %d)", i, g, s.groupBy[i])
 		}
 	}
-	if len(s.groups) > 0 {
+	if len(s.keyVals) > 0 {
 		return fmt.Errorf("cjoin: cannot register after tuples were added (batched operator)")
 	}
 	aggs := make([]*expr.CompiledAgg, len(q.Aggs))
+	gaccs := make([]*expr.GroupAccs, len(q.Aggs))
 	for i := range q.Aggs {
 		aggs[i] = expr.CompileAgg(q.Aggs[i])
+		gaccs[i] = aggs[i].NewGroupAccs()
 	}
-	s.queries = append(s.queries, &aggQuery{bit: bit, plan: q, pred: factPred, aggs: aggs})
+	s.queries = append(s.queries, &aggQuery{
+		bit:   bit,
+		plan:  q,
+		pred:  expr.CompilePred(factPred),
+		vpred: expr.CompileVecPred(factPred),
+		aggs:  aggs,
+		gaccs: gaccs,
+	})
 	return nil
 }
 
 // NumQueries returns the number of registered queries.
 func (s *SharedAggregator) NumQueries() int { return len(s.queries) }
 
+// newGroupID assigns the next dense id, capturing the group-by values
+// of row i of b (or of row r when b is nil) and growing every query's
+// register files.
+func (s *SharedAggregator) newGroupID(b *vec.Batch, i int, r pages.Row) int32 {
+	id := int32(len(s.keyVals))
+	vals := make([]pages.Value, len(s.groupBy))
+	for j, idx := range s.groupBy {
+		if b != nil {
+			vals[j] = b.Value(idx, i)
+		} else {
+			vals[j] = r[idx]
+		}
+	}
+	s.keyVals = append(s.keyVals, vals)
+	n := len(s.keyVals)
+	for _, q := range s.queries {
+		for _, g := range q.gaccs {
+			g.Grow(n)
+		}
+		for len(q.counts) < n {
+			q.counts = append(q.counts, 0)
+		}
+	}
+	return id
+}
+
 // Add folds one annotated tuple batch: rows in the joined layout with
 // parallel bitmaps. Group-key hashing happens once per tuple,
-// independent of the number of queries — the sharing win.
+// independent of the number of queries — the sharing win. This is the
+// row-at-a-time path, kept for callers without column batches; AddBatch
+// is the vectorized equivalent.
 func (s *SharedAggregator) Add(rows []pages.Row, bms []Bitmap) {
 	stop := s.col.Timer(metrics.Aggregation)
 	defer stop()
@@ -94,90 +147,141 @@ func (s *SharedAggregator) Add(rows []pages.Row, bms []Bitmap) {
 		if bm == nil || !bm.Any() {
 			continue
 		}
-		key := s.key(r)
-		g, ok := s.groups[key]
+		key := s.keyRow(r)
+		gid, ok := s.ids[string(key)]
 		if !ok {
-			g = &sharedGroup{accs: make([][]*expr.Acc, len(s.queries))}
-			for qi, q := range s.queries {
-				g.accs[qi] = make([]*expr.Acc, len(q.aggs))
-				for ai, c := range q.aggs {
-					g.accs[qi][ai] = c.NewAcc()
-				}
-			}
-			g.keyVals = make([]pages.Value, len(s.groupBy))
-			for ki, idx := range s.groupBy {
-				g.keyVals[ki] = r[idx]
-			}
-			s.groups[key] = g
-			s.order = append(s.order, key)
+			gid = s.newGroupID(nil, 0, r)
+			s.ids[string(key)] = gid
 		}
-		for qi, q := range s.queries {
+		for _, q := range s.queries {
 			if !bm.Test(q.bit) {
 				continue
 			}
 			if q.pred != nil && !q.pred(r) {
 				continue
 			}
-			for _, acc := range g.accs[qi] {
-				acc.Add(r)
+			q.counts[gid]++
+			for _, g := range q.gaccs {
+				g.AddRow(r, gid)
 			}
 		}
 	}
 }
 
-// key encodes the shared group-by values (same scheme as the
-// query-centric aggregator).
-func (s *SharedAggregator) key(r pages.Row) string {
-	b := s.keyBuf[:0]
-	for _, idx := range s.groupBy {
-		v := r[idx]
-		switch v.Kind {
-		case pages.KindInt:
-			u := uint64(v.I)
-			b = append(b, 1, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
-				byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
-		case pages.KindString:
-			b = append(b, 2)
-			b = append(b, v.S...)
-			b = append(b, 0)
-		default:
-			u := uint64(int64(v.F * 100))
-			b = append(b, 3, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
-				byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+// AddBatch folds the selected rows of an annotated column batch: the
+// joined layout as typed column vectors, with bms[i] carrying row
+// sel[i]'s query bitmap (nil rows are skipped). The group-id pass runs
+// once over the selection; each query then folds its sub-selection
+// through the columnar expr.GroupAccs kernels, with its fact predicate
+// applied as a selection-vector kernel. Steady state (every group
+// seen) performs no allocation — the scratch selections and group-id
+// slices are all reused.
+func (s *SharedAggregator) AddBatch(b *vec.Batch, sel []int, bms []Bitmap) {
+	stop := s.col.Timer(metrics.Aggregation)
+	defer stop()
+	if len(sel) == 0 {
+		return
+	}
+
+	// Pass 1 (shared): map each selected row to its dense group id.
+	// rowGid is indexed by batch row so per-query sub-selections can
+	// recover their rows' ids after predicate filtering.
+	if cap(s.rowGid) < b.Len() {
+		s.rowGid = make([]int32, b.Len())
+	}
+	rowGid := s.rowGid[:b.Len()]
+	for j, i := range sel {
+		if bms[j] == nil || !bms[j].Any() {
+			rowGid[i] = -1
+			continue
+		}
+		key := s.keyBatch(b, i)
+		gid, ok := s.ids[string(key)]
+		if !ok {
+			gid = s.newGroupID(b, i, nil)
+			s.ids[string(key)] = gid
+		}
+		rowGid[i] = gid
+	}
+
+	// Pass 2 (per query): select rows carrying the query's bit, filter
+	// with its vectorized fact predicate, recover group ids, and run
+	// the columnar accumulate kernels.
+	for _, q := range s.queries {
+		qsel := s.qselBuf[:0]
+		for j, i := range sel {
+			if bms[j] != nil && rowGid[i] >= 0 && bms[j].Test(q.bit) {
+				qsel = append(qsel, i)
+			}
+		}
+		s.qselBuf = qsel
+		if q.vpred != nil && len(qsel) > 0 {
+			qsel = q.vpred(b, qsel)
+		}
+		if len(qsel) == 0 {
+			continue
+		}
+		qgid := s.qgidBuf
+		if cap(qgid) < len(qsel) {
+			qgid = make([]int32, len(qsel))
+			s.qgidBuf = qgid
+		}
+		qgid = qgid[:len(qsel)]
+		for j, i := range qsel {
+			gid := rowGid[i]
+			qgid[j] = gid
+			q.counts[gid]++
+		}
+		for _, g := range q.gaccs {
+			g.AddBatch(b, qsel, qgid)
 		}
 	}
+}
+
+// keyRow encodes the shared group-by values of a joined row through
+// exec.AppendKeyValue, the canonical grouping encoding, so the shared
+// and query-centric aggregators bucket groups identically.
+func (s *SharedAggregator) keyRow(r pages.Row) []byte {
+	b := s.keyBuf[:0]
+	for _, idx := range s.groupBy {
+		b = exec.AppendKeyValue(b, r[idx])
+	}
 	s.keyBuf = b
-	return string(b)
+	return b
+}
+
+// keyBatch encodes row i's group-by values, byte-identical to keyRow
+// (Value boxes a column cell on the stack; the encoding itself stays
+// in one place).
+func (s *SharedAggregator) keyBatch(bat *vec.Batch, i int) []byte {
+	b := s.keyBuf[:0]
+	for _, idx := range s.groupBy {
+		b = exec.AppendKeyValue(b, bat.Value(idx, i))
+	}
+	s.keyBuf = b
+	return b
 }
 
 // NumGroups returns the number of groups seen.
-func (s *SharedAggregator) NumGroups() int { return len(s.groups) }
+func (s *SharedAggregator) NumGroups() int { return len(s.keyVals) }
 
 // Rows materializes query qi's output rows (its SELECT layout), sorted
 // per its ORDER BY via exec.SortRows. Groups to which the query
 // contributed no tuples are omitted, matching per-query semantics.
 func (s *SharedAggregator) Rows(qi int) []pages.Row {
 	q := s.queries[qi]
-	out := make([]pages.Row, 0, len(s.order))
-	for _, key := range s.order {
-		g := s.groups[key]
-		touched := false
-		for _, acc := range g.accs[qi] {
-			if acc.Count() > 0 {
-				touched = true
-				break
-			}
-		}
-		if !touched {
+	out := make([]pages.Row, 0, len(s.keyVals))
+	for gid := int32(0); gid < int32(len(s.keyVals)); gid++ {
+		if q.counts[gid] == 0 {
 			continue
 		}
 		row := make(pages.Row, len(q.plan.Output))
 		for i, oc := range q.plan.Output {
 			switch {
 			case oc.AggIdx >= 0:
-				row[i] = g.accs[qi][oc.AggIdx].Result()
+				row[i] = q.gaccs[oc.AggIdx].Result(gid)
 			case oc.GroupIdx >= 0:
-				row[i] = g.keyVals[oc.GroupIdx]
+				row[i] = s.keyVals[gid][oc.GroupIdx]
 			}
 		}
 		out = append(out, row)

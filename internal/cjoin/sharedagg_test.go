@@ -149,7 +149,7 @@ FROM lineorder, customer WHERE lo_custkey = c_custkey GROUP BY c_nation`)
 		t.Fatal(err)
 	}
 	qtyIdx := q.JoinedSchema.Index("lo_quantity")
-	pred := func(r pages.Row) bool { return r[qtyIdx].I > 10 }
+	pred := &expr.Bin{Op: expr.OpGt, L: &expr.Col{Name: "lo_quantity", Idx: qtyIdx}, R: &expr.Const{V: pages.Int(10)}}
 
 	sa := NewSharedAggregator(q.GroupBy, env.Col)
 	sa.Register(0, q, pred)

@@ -183,7 +183,10 @@ func (st *Stage) Close() {
 }
 
 // Stats returns sharing and admission counters: cjoin_admitted,
-// cjoin_batches (admission batches), cjoin_shared (SP satellites).
+// cjoin_batches (admission batches), cjoin_shared (SP satellites), and
+// cjoin_fact_batches (fact column batches emitted by the preprocessor
+// — the batch-pipeline unit the Table 2 harness compares across
+// systems).
 func (st *Stage) Stats() map[string]int64 { return st.stats.Snapshot() }
 
 // AdmissionTime returns the cumulative time spent in admission phases
@@ -342,6 +345,7 @@ func (st *Stage) preprocessor() {
 		// allocations per batch instead of one per fact tuple). Widths
 		// are frozen at emission; the pipeline only mutates words in
 		// place, so the carved slices never grow into each other.
+		st.stats.Get("cjoin_fact_batches").Inc()
 		b := &batch{facts: bat, bms: make([]Bitmap, bat.Len()), queries: snapshot}
 		if w := len(mask); w > 0 {
 			flat := make([]uint64, w*bat.Len())

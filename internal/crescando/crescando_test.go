@@ -4,7 +4,9 @@ import (
 	"sync"
 	"testing"
 
+	"sharedq/internal/expr"
 	"sharedq/internal/pages"
+	"sharedq/internal/race"
 )
 
 func rowsN(n int) []pages.Row {
@@ -22,18 +24,24 @@ func newScan(t *testing.T, n, chunk int) *Scan {
 	return s
 }
 
-func predGE(threshold int64) func(pages.Row) bool {
-	return func(r pages.Row) bool { return r[0].I >= threshold }
+// cmp builds a bound column/constant comparison (the predicates compile
+// to the same selection-vector kernels the engines use).
+func cmp(op expr.BinOp, col int, v int64) expr.Expr {
+	return &expr.Bin{Op: op, L: &expr.Col{Name: "c", Idx: col}, R: &expr.Const{V: pages.Int(v)}}
 }
+
+func predGE(threshold int64) expr.Expr { return cmp(expr.OpGe, 0, threshold) }
 
 func TestReadAll(t *testing.T) {
 	s := newScan(t, 1000, 64)
 	res := s.Read(nil)
-	if len(res.Rows) != 1000 {
-		t.Fatalf("read %d rows, want 1000", len(res.Rows))
+	defer res.Release()
+	rows := res.Rows()
+	if len(rows) != 1000 {
+		t.Fatalf("read %d rows, want 1000", len(rows))
 	}
 	seen := map[int64]bool{}
-	for _, r := range res.Rows {
+	for _, r := range rows {
 		if seen[r[0].I] {
 			t.Fatalf("duplicate tuple %d", r[0].I)
 		}
@@ -44,26 +52,41 @@ func TestReadAll(t *testing.T) {
 func TestReadPredicate(t *testing.T) {
 	s := newScan(t, 100, 16)
 	res := s.Read(predGE(90))
-	if len(res.Rows) != 10 {
-		t.Fatalf("read %d rows, want 10", len(res.Rows))
+	defer res.Release()
+	if res.Batch.Len() != 10 {
+		t.Fatalf("read %d rows, want 10", res.Batch.Len())
 	}
 }
 
 func TestUpdateCountsAndPersists(t *testing.T) {
 	s := newScan(t, 100, 16)
 	res := s.Update(predGE(50), 1, pages.Int(7))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
 	if res.Updated != 50 {
 		t.Fatalf("updated %d, want 50", res.Updated)
 	}
-	read := s.Read(func(r pages.Row) bool { return r[1].I == 7 })
-	if len(read.Rows) != 50 {
-		t.Fatalf("post-update read %d, want 50", len(read.Rows))
+	read := s.Read(cmp(expr.OpEq, 1, 7))
+	defer read.Release()
+	if read.Batch.Len() != 50 {
+		t.Fatalf("post-update read %d, want 50", read.Batch.Len())
+	}
+}
+
+func TestUpdateKindMismatchRejected(t *testing.T) {
+	s := newScan(t, 10, 4)
+	if res := s.Update(nil, 1, pages.Str("oops")); res.Err == nil {
+		t.Fatal("updating an int column with a string value should be rejected")
+	}
+	if res := s.Update(nil, 9, pages.Int(1)); res.Err == nil {
+		t.Fatal("out-of-range update column should be rejected")
 	}
 }
 
 func TestUpdateThenReadSameBatch(t *testing.T) {
 	// A read submitted after an update (while both are in flight) must
-	// see the update's effect on every tuple: per tuple, updates run
+	// see the update's effect on every tuple: per chunk, updates run
 	// before reads.
 	s := newScan(t, 5000, 8)
 	var wg sync.WaitGroup
@@ -75,9 +98,10 @@ func TestUpdateThenReadSameBatch(t *testing.T) {
 	}()
 	go func() {
 		defer wg.Done()
-		rd = s.Read(func(r pages.Row) bool { return r[1].I == 42 })
+		rd = s.Read(cmp(expr.OpEq, 1, 42))
 	}()
 	wg.Wait()
+	defer rd.Release()
 	if upd.Updated != 5000 {
 		t.Fatalf("updated %d", upd.Updated)
 	}
@@ -87,21 +111,23 @@ func TestUpdateThenReadSameBatch(t *testing.T) {
 	// next (still sees all: update applies before read per chunk). In
 	// all cases, every tuple the read matched carries the new value,
 	// and a follow-up full read must see all 5000.
-	after := s.Read(func(r pages.Row) bool { return r[1].I == 42 })
-	if len(after.Rows) != 5000 {
-		t.Fatalf("after-read %d, want 5000", len(after.Rows))
+	after := s.Read(cmp(expr.OpEq, 1, 42))
+	defer after.Release()
+	if after.Batch.Len() != 5000 {
+		t.Fatalf("after-read %d, want 5000", after.Batch.Len())
 	}
-	if len(rd.Rows) > 5000 {
-		t.Fatalf("read saw %d > table size", len(rd.Rows))
+	if rd.Batch.Len() > 5000 {
+		t.Fatalf("read saw %d > table size", rd.Batch.Len())
 	}
 }
 
 func TestReadCopiesAreStable(t *testing.T) {
 	s := newScan(t, 100, 16)
 	before := s.Read(nil)
+	defer before.Release()
 	s.Update(nil, 1, pages.Int(9))
-	for _, r := range before.Rows {
-		if r[1].I == 9 {
+	for i := 0; i < before.Batch.Len(); i++ {
+		if before.Batch.Cols[1].I[i] == 9 {
 			t.Fatal("earlier read's rows mutated by later update")
 		}
 	}
@@ -116,14 +142,18 @@ func TestConcurrentClients(t *testing.T) {
 			defer wg.Done()
 			if c%4 == 0 {
 				res := s.Update(predGE(int64(c*10)), 1, pages.Int(int64(c)))
+				if res.Err != nil {
+					t.Error(res.Err)
+				}
 				if res.Updated == 0 {
 					t.Errorf("client %d updated nothing", c)
 				}
 			} else {
 				res := s.Read(nil)
-				if len(res.Rows) != 2000 {
-					t.Errorf("client %d read %d rows", c, len(res.Rows))
+				if res.Batch.Len() != 2000 {
+					t.Errorf("client %d read %d rows", c, res.Batch.Len())
 				}
+				res.Release()
 			}
 		}(c)
 	}
@@ -131,19 +161,45 @@ func TestConcurrentClients(t *testing.T) {
 	if s.Cycles() == 0 {
 		t.Error("no full cycles recorded")
 	}
+	stats := s.Stats()
+	if stats["chunk_batches"] == 0 {
+		t.Errorf("no chunk batches counted: %v", stats)
+	}
+	if stats["reads"] != 12 || stats["updates"] != 4 {
+		t.Errorf("reads/updates = %d/%d, want 12/4", stats["reads"], stats["updates"])
+	}
+}
+
+func TestResultBatchesRecycle(t *testing.T) {
+	s := newScan(t, 500, 64)
+	for i := 0; i < 8; i++ {
+		res := s.Read(nil)
+		if res.Batch.Len() != 500 {
+			t.Fatalf("read %d rows", res.Batch.Len())
+		}
+		res.Release()
+	}
+	// Under the race detector sync.Pool randomly drops items to expose
+	// unsafe reuse, so recycling is only guaranteed without it.
+	if reused, _ := s.PoolStats(); reused == 0 && !race.Enabled {
+		t.Error("released read batches were never recycled")
+	}
 }
 
 func TestEmptyTable(t *testing.T) {
 	s := newScan(t, 0, 16)
 	res := s.Read(nil)
-	if len(res.Rows) != 0 {
+	defer res.Release()
+	if len(res.Rows()) != 0 {
 		t.Fatal("read from empty table returned rows")
 	}
 }
 
 func TestChunkLargerThanTable(t *testing.T) {
 	s := newScan(t, 10, 1000)
-	if got := len(s.Read(nil).Rows); got != 10 {
+	res := s.Read(nil)
+	defer res.Release()
+	if got := res.Batch.Len(); got != 10 {
 		t.Fatalf("read %d rows", got)
 	}
 }
@@ -152,9 +208,10 @@ func TestSequentialWaves(t *testing.T) {
 	s := newScan(t, 500, 64)
 	for i := int64(1); i <= 5; i++ {
 		s.Update(nil, 1, pages.Int(i))
-		res := s.Read(func(r pages.Row) bool { return r[1].I == i })
-		if len(res.Rows) != 500 {
-			t.Fatalf("wave %d: read %d rows", i, len(res.Rows))
+		res := s.Read(cmp(expr.OpEq, 1, i))
+		if res.Batch.Len() != 500 {
+			t.Fatalf("wave %d: read %d rows", i, res.Batch.Len())
 		}
+		res.Release()
 	}
 }

@@ -145,6 +145,15 @@ type ProbeScratch struct {
 // split the row-at-a-time ProbeJoin reports.
 func (j *BatchJoin) Probe(env *Env, b *vec.Batch, sel []int, ps *ProbeScratch) *vec.Batch {
 	t0 := time.Now()
+	j.matchPairs(b, sel, ps)
+	env.Col.AddSince(metrics.Hashing, t0)
+	return j.materializePairs(env, b, ps)
+}
+
+// matchPairs collects the (probe row, build row) key-match pairs of the
+// selected rows into ps — the shared chain-walk core of Probe and the
+// bitmap-annotated SharedBatchJoin probe.
+func (j *BatchJoin) matchPairs(b *vec.Batch, sel []int, ps *ProbeScratch) {
 	probe, build := ps.probe[:0], ps.build[:0]
 	mask := uint64(len(j.heads) - 1)
 	kc := &b.Cols[j.factColIdx]
@@ -204,25 +213,29 @@ func (j *BatchJoin) Probe(env *Env, b *vec.Batch, sel []int, ps *ProbeScratch) *
 		}
 	}
 	ps.probe, ps.build = probe, build
-	env.Col.AddSince(metrics.Hashing, t0)
+}
 
+// materializePairs gathers ps's match pairs into a pooled joined batch
+// (probe columns followed by dimension columns). Accounted to
+// metrics.Joins.
+func (j *BatchJoin) materializePairs(env *Env, b *vec.Batch, ps *ProbeScratch) *vec.Batch {
 	t1 := time.Now()
 	// A BatchJoin is probed at a fixed pipeline position, so the joined
 	// layout is computed once and reused.
 	if j.outKinds == nil {
 		j.outKinds = vec.ConcatKinds(b.Kinds(), j.dim.Kinds())
 	}
-	out := env.Recycle.Get(j.outKinds, len(probe))
+	out := env.Recycle.Get(j.outKinds, len(ps.probe))
 	nb := b.NumCols()
 	for c := range out.Cols {
 		oc := &out.Cols[c]
 		if c < nb {
-			gatherColumn(oc, &b.Cols[c], probe)
+			gatherColumn(oc, &b.Cols[c], ps.probe)
 		} else {
-			gatherColumn(oc, &j.dim.Cols[c-nb], build)
+			gatherColumn(oc, &j.dim.Cols[c-nb], ps.build)
 		}
 	}
-	out.SetLen(len(probe))
+	out.SetLen(len(ps.probe))
 	env.Col.AddSince(metrics.Joins, t1)
 	return out
 }

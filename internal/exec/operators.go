@@ -327,14 +327,17 @@ func (a *Aggregator) groupIDRow(r pages.Row) int32 {
 func (a *Aggregator) encodeRowKey(r pages.Row) []byte {
 	b := a.keyBuf[:0]
 	for _, idx := range a.q.GroupBy {
-		b = appendKeyValue(b, r[idx])
+		b = AppendKeyValue(b, r[idx])
 	}
 	a.keyBuf = b
 	return b
 }
 
-// appendKeyValue appends one group-by value's key encoding.
-func appendKeyValue(b []byte, v pages.Value) []byte {
+// AppendKeyValue appends one group-by value's key encoding — the
+// canonical grouping encoding every aggregator (query-centric row and
+// batch paths, cjoin.SharedAggregator) must bucket by. encodeBatchKey
+// is its typed-column fast path and stays byte-identical.
+func AppendKeyValue(b []byte, v pages.Value) []byte {
 	switch v.Kind {
 	case pages.KindInt:
 		u := uint64(v.I)

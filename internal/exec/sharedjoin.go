@@ -1,0 +1,92 @@
+package exec
+
+import (
+	"time"
+
+	"sharedq/internal/metrics"
+	"sharedq/internal/plan"
+	"sharedq/internal/vec"
+)
+
+// SharedBatchJoin is the bitmap-annotated variant of BatchJoin: every
+// build-side row carries a fixed-width selection bitmap (flat words, W
+// words per row), and probing ANDs each match's bitmap into the fact
+// tuple's bitmap, dropping matches whose intersection empties. It is
+// the columnar counterpart of cjoin's dimTable, used by batched shared
+// executors (SharedDB) whose query set — and therefore bitmap width —
+// is fixed for the lifetime of the build side.
+//
+// Bitmaps are flat []uint64 arenas rather than per-row slices so a
+// whole batch's annotations cost one (reusable) allocation, the layout
+// PR 2 introduced for the CJOIN preprocessor.
+type SharedBatchJoin struct {
+	BatchJoin
+	// W is the bitmap width in words; build row r's words live at
+	// sels[r*W : (r+1)*W].
+	W    int
+	sels []uint64
+}
+
+// NewSharedBatchJoin returns an empty bitmap-annotated build side for
+// dimension d with bitmaps of w words.
+func NewSharedBatchJoin(d plan.DimJoin, w, sizeHint int) *SharedBatchJoin {
+	return &SharedBatchJoin{BatchJoin: *NewBatchJoin(d, sizeHint), W: w}
+}
+
+// AddSel appends the selected rows of a dimension batch with their
+// bitmaps: bms is flat and parallel to sel, W words per entry. Rows are
+// appended in selection order, so the bitmap arena stays parallel to
+// the build-side batch.
+func (j *SharedBatchJoin) AddSel(b *vec.Batch, sel []int, bms []uint64) {
+	j.Add(b, sel)
+	j.sels = append(j.sels, bms...)
+}
+
+// Sel returns build row r's bitmap words (read-only).
+func (j *SharedBatchJoin) Sel(r int) []uint64 {
+	return j.sels[r*j.W : (r+1)*j.W]
+}
+
+// ProbeShared joins the selected rows of batch b against the build
+// side, carrying query bitmaps through the join: bms holds the input
+// tuples' bitmaps flat (W words per batch ROW — indexed by row, not by
+// selection position), and each key match survives only if its build
+// row's bitmap intersects the probing tuple's. The joined batch is
+// checked out of env.Recycle (probe columns then dimension columns, in
+// match order); outBms is the caller's reusable output arena, returned
+// regrown with one W-word bitmap per joined row.
+//
+// Chain walks and bitmap intersection are accounted to metrics.Hashing
+// and output materialization to metrics.Joins, the same split Probe
+// reports.
+func (j *SharedBatchJoin) ProbeShared(env *Env, b *vec.Batch, sel []int, bms []uint64, ps *ProbeScratch, outBms []uint64) (*vec.Batch, []uint64) {
+	t0 := time.Now()
+	j.matchPairs(b, sel, ps)
+
+	// Filter the key matches by bitmap intersection, compacting the
+	// pairs in place and emitting each survivor's merged bitmap.
+	w := j.W
+	probe, build := ps.probe, ps.build
+	outBms = outBms[:0]
+	kept := 0
+	for p := range probe {
+		i, e := int(probe[p]), int(build[p])
+		var any uint64
+		start := len(outBms)
+		for k := 0; k < w; k++ {
+			m := bms[i*w+k] & j.sels[e*w+k]
+			outBms = append(outBms, m)
+			any |= m
+		}
+		if any == 0 {
+			outBms = outBms[:start]
+			continue
+		}
+		probe[kept], build[kept] = probe[p], build[p]
+		kept++
+	}
+	ps.probe, ps.build = probe[:kept], build[:kept]
+	env.Col.AddSince(metrics.Hashing, t0)
+
+	return j.materializePairs(env, b, ps), outBms
+}

@@ -7,6 +7,10 @@ import (
 	"time"
 
 	"sharedq/internal/core"
+	"sharedq/internal/crescando"
+	"sharedq/internal/exec"
+	"sharedq/internal/expr"
+	"sharedq/internal/pages"
 	"sharedq/internal/plan"
 	"sharedq/internal/shareddb"
 )
@@ -62,6 +66,85 @@ func RunSharedDBBatch(sys *core.System, sqls []string) (Result, error) {
 	res.Stats = eng.Stats()
 	if res.Errors > 0 {
 		return res, fmt.Errorf("harness: %d batched queries failed", res.Errors)
+	}
+	return res, nil
+}
+
+// RunCrescandoMix loads the fact table into a Crescando partition and
+// serves one wave of n concurrent requests (3 reads : 1 update, over
+// the order-date column) in shared circular passes, measuring response
+// times like RunBatch. The returned Stats carry the scan's batch
+// counters (chunk_batches, rows_scanned, reads, updates).
+func RunCrescandoMix(sys *core.System, n int, seed int64) (Result, error) {
+	fact, ok := sys.Cat.FactTable()
+	if !ok {
+		return Result{}, fmt.Errorf("harness: no fact table registered")
+	}
+	var rows []pages.Row
+	err := exec.ScanTable(sys.Env, fact, func(page []pages.Row) error {
+		for _, r := range page {
+			rows = append(rows, r.Clone())
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	dateIdx := fact.Schema.Index("lo_orderdate")
+	qtyIdx := fact.Schema.Index("lo_quantity")
+	if dateIdx < 0 || qtyIdx < 0 {
+		return Result{}, fmt.Errorf("harness: fact schema lacks lo_orderdate/lo_quantity")
+	}
+	scan := crescando.NewScan(rows, 1024)
+	defer scan.Close()
+
+	rng := rand.New(rand.NewSource(seed))
+	durations := make([]time.Duration, n)
+	errs := make([]error, n)
+	res := Result{Concurrency: n}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		year := 1992 + rng.Intn(7)
+		pred := &expr.Bin{
+			Op: expr.OpGe,
+			L:  &expr.Col{Name: "lo_orderdate", Idx: dateIdx},
+			R:  &expr.Const{V: pages.Int(int64(year * 10000))},
+		}
+		wg.Add(1)
+		go func(i int, pred expr.Expr) {
+			defer wg.Done()
+			t := time.Now()
+			var r crescando.Result
+			if i%4 == 3 {
+				r = scan.Update(pred, qtyIdx, pages.Int(int64(i)))
+			} else {
+				r = scan.Read(pred)
+			}
+			durations[i] = time.Since(t)
+			errs[i] = r.Err
+			r.Release()
+		}(i, pred)
+	}
+	wg.Wait()
+
+	var sum time.Duration
+	res.MinResponse = durations[0]
+	for i, d := range durations {
+		sum += d
+		if d > res.MaxResponse {
+			res.MaxResponse = d
+		}
+		if d < res.MinResponse {
+			res.MinResponse = d
+		}
+		if errs[i] != nil {
+			res.Errors++
+		}
+	}
+	res.AvgResponse = sum / time.Duration(n)
+	res.Stats = scan.Stats()
+	if res.Errors > 0 {
+		return res, fmt.Errorf("harness: %d crescando requests failed", res.Errors)
 	}
 	return res, nil
 }

@@ -106,6 +106,7 @@ func All() []Experiment {
 		{"splsize", "Ablation §4.1: SPL maximum size sweep", figSPLSize},
 		{"distparts", "Ablation §3.2: CJOIN distributor parts 1 vs N", figDistParts},
 		{"table1", "Rules of thumb: advisor decisions across concurrency", figTable1},
+		{"table2", "Extension substrates (CJOIN-SP, SharedDB, Crescando) on one batch pipeline", figTable2},
 	}
 }
 

@@ -120,11 +120,20 @@ func firstErr(errs []error) error {
 
 // RunClosedLoop runs the Fig 16 throughput experiment: clients each
 // submit their next query as soon as the previous one finishes, for
-// the given duration. nextSQL generates the i-th query overall.
+// the given duration. nextSQL generates the i-th query overall; calls
+// to it are serialized (callers typically close over one rand.Rand),
+// so it need not be safe for concurrent use.
 func RunClosedLoop(sys *core.System, opts core.Options, nextSQL func(i int) string, clients int, d time.Duration) (Result, error) {
 	sys.ResetMetrics()
 	eng := core.NewEngine(sys, opts)
 	defer eng.Close()
+
+	var sqlMu sync.Mutex
+	nextSQLSerial := func(i int) string {
+		sqlMu.Lock()
+		defer sqlMu.Unlock()
+		return nextSQL(i)
+	}
 
 	res := Result{Mode: opts.Mode, Concurrency: clients}
 	var completed, errCount int64
@@ -151,7 +160,7 @@ func RunClosedLoop(sys *core.System, opts core.Options, nextSQL func(i int) stri
 			defer wg.Done()
 			for time.Now().Before(deadline) {
 				i := <-seq
-				q, err := plan.Build(sys.Cat, nextSQL(i))
+				q, err := plan.Build(sys.Cat, nextSQLSerial(i))
 				if err != nil {
 					mu.Lock()
 					errCount++

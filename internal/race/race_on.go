@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race reports whether the race detector is compiled in.
+// Tests asserting sync.Pool recycling consult it: under the race
+// detector the runtime randomly drops pooled items to expose unsafe
+// reuse, so strict reuse counts are nondeterministic there.
+package race
+
+// Enabled is true when the binary is built with -race.
+const Enabled = true

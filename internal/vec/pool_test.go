@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sharedq/internal/pages"
+	"sharedq/internal/race"
 )
 
 var testKinds = []pages.Kind{pages.KindInt, pages.KindFloat, pages.KindString}
@@ -36,7 +37,9 @@ func TestPoolCheckoutRelease(t *testing.T) {
 			t.Errorf("col %d kind = %v, want %v", i, c.Cols[i].Kind, k)
 		}
 	}
-	if reused, _ := p.Stats(); reused != 1 {
+	// Under the race detector sync.Pool randomly drops items to expose
+	// unsafe reuse, so the strict count only holds without it.
+	if reused, _ := p.Stats(); reused != 1 && !race.Enabled {
 		t.Errorf("reuses = %d, want 1", reused)
 	}
 	c.Release()

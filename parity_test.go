@@ -4,13 +4,17 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sort"
 	"sync"
 	"testing"
 
 	"sharedq"
+	"sharedq/internal/crescando"
 	"sharedq/internal/exec"
+	"sharedq/internal/expr"
 	"sharedq/internal/pages"
 	"sharedq/internal/plan"
+	"sharedq/internal/shareddb"
 	"sharedq/internal/ssb"
 	"sharedq/internal/vec"
 )
@@ -178,6 +182,214 @@ func TestFlightParityPoisonedReleases(t *testing.T) {
 			}
 		})
 	}
+}
+
+// --- Extension-substrate parity (Table 2 systems) ---
+//
+// The SharedDB and Crescando substrates execute on the same vectorized
+// batch pipeline as the engine modes above; these variants hold them to
+// the same bar — row-at-a-time reference results, under concurrency,
+// and with release-poisoning on (the pooled joined batches of the
+// shared fact probe and the pooled read-result batches of the clock
+// scan must never be read after release).
+
+// runSharedDBFlight submits the whole flight concurrently to one
+// batched engine, so batch formation actually groups queries.
+func runSharedDBFlight(t *testing.T, sys *sharedq.System, plans []*plan.Query) [][]pages.Row {
+	t.Helper()
+	eng := shareddb.New(sys.Env, shareddb.Config{})
+	results := make([][]pages.Row, len(plans))
+	errs := make([]error, len(plans))
+	var wg sync.WaitGroup
+	for i := range plans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = eng.Submit(plans[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("shareddb query %d: %v", i, err)
+		}
+	}
+	return results
+}
+
+func TestFlightParitySharedDB(t *testing.T) {
+	sys := paritySystem(t)
+	plans := flightPlans(t, sys)
+	wants := make([][]pages.Row, len(plans))
+	for i, q := range plans {
+		w, err := exec.ExecuteRows(sys.Env, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+	results := runSharedDBFlight(t, sys, plans)
+	for i := range plans {
+		if !reflect.DeepEqual(results[i], wants[i]) {
+			t.Errorf("query %d: SharedDB returned %d rows, reference %d; first diff %s",
+				i, len(results[i]), len(wants[i]), firstDiff(results[i], wants[i]))
+		}
+	}
+}
+
+func TestFlightParitySharedDBPoisoned(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+	sys := paritySystem(t)
+	plans := flightPlans(t, sys)
+	wants := make([][]pages.Row, len(plans))
+	for i, q := range plans {
+		w, err := exec.ExecuteRows(sys.Env, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+	results := runSharedDBFlight(t, sys, plans)
+	for i := range plans {
+		for _, r := range results[i] {
+			for _, v := range r {
+				if v.Kind == pages.KindString && v.S == vec.PoisonString {
+					t.Fatalf("query %d leaked a poisoned (released) value", i)
+				}
+			}
+		}
+		if !reflect.DeepEqual(results[i], wants[i]) {
+			t.Errorf("query %d diverged with poisoned releases (%d vs %d rows)",
+				i, len(results[i]), len(wants[i]))
+		}
+	}
+}
+
+// crescandoParityPreds returns bound predicates over the fact schema
+// exercising the vectorized kernel shapes (comparison, range, nil).
+func crescandoParityPreds(t *testing.T, sys *sharedq.System) []expr.Expr {
+	t.Helper()
+	fact, ok := sys.Cat.FactTable()
+	if !ok {
+		t.Fatal("no fact table")
+	}
+	date := fact.Schema.Index("lo_orderdate")
+	disc := fact.Schema.Index("lo_discount")
+	qty := fact.Schema.Index("lo_quantity")
+	if date < 0 || disc < 0 || qty < 0 {
+		t.Fatal("fact schema missing parity columns")
+	}
+	return []expr.Expr{
+		nil,
+		&expr.Bin{Op: expr.OpGe, L: &expr.Col{Name: "lo_orderdate", Idx: date}, R: &expr.Const{V: pages.Int(19960101)}},
+		&expr.And{Terms: []expr.Expr{
+			&expr.Between{X: &expr.Col{Name: "lo_discount", Idx: disc}, Lo: &expr.Const{V: pages.Int(1)}, Hi: &expr.Const{V: pages.Int(3)}},
+			&expr.Bin{Op: expr.OpLt, L: &expr.Col{Name: "lo_quantity", Idx: qty}, R: &expr.Const{V: pages.Int(25)}},
+		}},
+	}
+}
+
+// factRows materializes a private copy of the fact table's rows.
+func factRows(t *testing.T, sys *sharedq.System) []pages.Row {
+	t.Helper()
+	fact, _ := sys.Cat.FactTable()
+	var rows []pages.Row
+	err := exec.ScanTable(sys.Env, fact, func(page []pages.Row) error {
+		for _, r := range page {
+			rows = append(rows, r.Clone())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// sortedRows orders rows by full lexicographic value comparison, so
+// the clock scan's rotated output order can be compared against the
+// reference's table order.
+func sortedRows(rows []pages.Row) []pages.Row {
+	out := append([]pages.Row(nil), rows...)
+	sort.Slice(out, func(i, j int) bool {
+		for c := range out[i] {
+			if cmp := out[i][c].Compare(out[j][c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func runCrescandoParity(t *testing.T, poisoned bool) {
+	t.Helper()
+	sys := paritySystem(t)
+	ref := factRows(t, sys)
+	scan := crescando.NewScan(factRows(t, sys), 256)
+	defer scan.Close()
+	fact, _ := sys.Cat.FactTable()
+	qty := fact.Schema.Index("lo_quantity")
+
+	check := func(stage string) {
+		for pi, pred := range crescandoParityPreds(t, sys) {
+			res := scan.Read(pred)
+			got := sortedRows(res.Rows())
+			res.Release()
+			rp := expr.CompilePred(pred)
+			var want []pages.Row
+			for _, r := range ref {
+				if rp == nil || rp(r) {
+					want = append(want, r)
+				}
+			}
+			want = sortedRows(want)
+			if poisoned {
+				for _, r := range got {
+					for _, v := range r {
+						if (v.Kind == pages.KindString && v.S == vec.PoisonString) ||
+							(v.Kind == pages.KindInt && v.I == vec.PoisonInt) {
+							t.Fatalf("%s pred %d leaked a poisoned (released) value", stage, pi)
+						}
+					}
+				}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s pred %d: clock scan returned %d rows, reference %d; first diff %s",
+					stage, pi, len(got), len(want), firstDiff(got, want))
+			}
+		}
+	}
+	check("initial")
+
+	// An update applied through the scan must leave it in parity with
+	// the same update applied to the reference rows.
+	upPred := crescandoParityPreds(t, sys)[1]
+	res := scan.Update(upPred, qty, pages.Int(999))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	rp := expr.CompilePred(upPred)
+	var updated int64
+	for _, r := range ref {
+		if rp(r) {
+			r[qty] = pages.Int(999)
+			updated++
+		}
+	}
+	if res.Updated != updated {
+		t.Fatalf("update touched %d tuples, reference %d", res.Updated, updated)
+	}
+	check("post-update")
+}
+
+func TestCrescandoParity(t *testing.T) { runCrescandoParity(t, false) }
+
+func TestCrescandoParityPoisoned(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+	runCrescandoParity(t, true)
 }
 
 func firstDiff(got, want []pages.Row) string {
