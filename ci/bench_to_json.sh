@@ -1,22 +1,29 @@
 #!/usr/bin/env bash
 # Convert `go test -bench` text on stdin into a JSON map of
-# benchmark -> {ns_op, b_op, allocs_op}, used by CI to publish the
-# bench smoke run (bench_smoke.json, uploaded as the BENCH_pr3.json
-# workflow artifact).
+# benchmark -> {cpu, ns_op, b_op, allocs_op}, used by CI to publish the
+# bench smoke run (bench_smoke.json, uploaded as the BENCH_pr4.json
+# workflow artifact). The trailing "-N" GOMAXPROCS suffix go test
+# appends under -cpu is kept in the key (so multi-cpu sweeps do not
+# collide) and also parsed out into the "cpu" field; no suffix means
+# GOMAXPROCS=1.
 set -euo pipefail
 awk '
 BEGIN { print "{"; n = 0 }
 /^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
+    name = $1
+    cpu = 1
+    if (match(name, /-[0-9]+$/)) {
+        cpu = substr(name, RSTART + 1)
+    }
     ns = ""; b = ""; al = ""
     for (i = 1; i <= NF; i++) {
         if ($i == "ns/op")     ns = $(i-1)
         if ($i == "B/op")      b  = $(i-1)
         if ($i == "allocs/op") al = $(i-1)
     }
-    line = sprintf("  \"%s\": {", name); sep = ""
-    if (ns != "") { line = line sep "\"ns_op\": " ns;     sep = ", " }
-    if (b  != "") { line = line sep "\"b_op\": " b;       sep = ", " }
+    line = sprintf("  \"%s\": {\"cpu\": %d", name, cpu); sep = ", "
+    if (ns != "") { line = line sep "\"ns_op\": " ns }
+    if (b  != "") { line = line sep "\"b_op\": " b }
     if (al != "") { line = line sep "\"allocs_op\": " al }
     line = line "}"
     if (n++) printf(",\n")

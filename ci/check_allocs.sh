@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Fails if allocs/op on any gated benchmark regresses above its
 # committed threshold. ci/allocs_threshold.txt holds one
-# "<benchmark-name> <max-allocs-per-op>" row per gate; every gated
-# benchmark runs in one `go test -bench` pass and every row is checked.
+# "<benchmark-name> <max-allocs-per-op>" row per gate; a name ending in
+# "-N" (e.g. BenchmarkModes/Baseline-4) gates the benchmark at
+# GOMAXPROCS=N via `go test -cpu N` — the parallel variants of the
+# morsel-driven execution path. Gated benchmarks are grouped by (cpu,
+# depth) and each group runs as one `go test -bench` pass.
 # Allocation counts are deterministic enough for a hard gate — unlike
 # ns/op, they do not depend on CI machine load.
 set -euo pipefail
@@ -14,34 +17,66 @@ if [ "${#rows[@]}" -eq 0 ]; then
     exit 1
 fi
 
+# split_row <row> -> sets name threshold cpu bench (bench = name minus
+# any -N cpu suffix).
+split_row() {
+    name=$(awk '{print $1}' <<<"$1")
+    threshold=$(awk '{print $2}' <<<"$1")
+    cpu=1
+    bench="$name"
+    if [[ "$name" =~ ^(.+)-([0-9]+)$ ]]; then
+        bench="${BASH_REMATCH[1]}"
+        cpu="${BASH_REMATCH[2]}"
+    fi
+}
+
+depth_of() {
+    awk -v s="$1" 'BEGIN{ print gsub(/\//, "/", s) }' </dev/null
+}
+
 # -bench patterns are matched per slash-separated level, and a
 # benchmark shallower than the pattern only runs in sub-discovery mode
-# (no measurement), so gated names are grouped by depth and each depth
-# runs as one anchored pass — ungated siblings (e.g. the other
-# BenchmarkModes configurations) do not run.
+# (no measurement), so gated names are grouped by depth (and cpu) and
+# each group runs as one anchored pass — ungated siblings (e.g. the
+# other BenchmarkModes configurations) do not run.
+groups=$(for row in "${rows[@]}"; do
+    split_row "$row"
+    echo "$cpu $(depth_of "$bench")"
+done | sort -u)
+
 out=""
-for depth in $(printf '%s\n' "${rows[@]}" | awk '{ print gsub(/\//, "/", $1) }' | sort -u); do
+while read -r gcpu gdepth; do
+    benches=$(for row in "${rows[@]}"; do
+        split_row "$row"
+        if [ "$cpu" = "$gcpu" ] && [ "$(depth_of "$bench")" = "$gdepth" ]; then
+            echo "$bench"
+        fi
+    done | sort -u)
     pattern=""
-    for level in $(seq 0 "$depth"); do
-        part=$(printf '%s\n' "${rows[@]}" | awk -v d="$depth" -v l="$level" \
-            '{ n = split($1, a, "/"); if (n == d + 1) print a[l+1] }' | sort -u | paste -sd'|' -)
+    for level in $(seq 0 "$gdepth"); do
+        part=$(printf '%s\n' "$benches" | awk -v l="$level" \
+            '{ split($1, a, "/"); print a[l+1] }' | sort -u | paste -sd'|' -)
         pattern="${pattern:+${pattern}/}^(${part})\$"
     done
-    out+=$(go test -run '^$' -bench "$pattern" -benchmem -benchtime 5x .)
+    out+=$(go test -run '^$' -cpu "$gcpu" -bench "$pattern" -benchmem -benchtime 5x .)
     out+=$'\n'
-done
+done <<<"$groups"
 echo "$out"
 echo
 
 fail=0
 for row in "${rows[@]}"; do
-    name=$(awk '{print $1}' <<<"$row")
-    threshold=$(awk '{print $2}' <<<"$row")
-    allocs=$(awk -v n="$name" '
+    split_row "$row"
+    # A -cpu 1 run prints no GOMAXPROCS suffix, so the expected output
+    # name is the bare benchmark there and the suffixed row name above.
+    expect="$name"
+    if [ "$cpu" = "1" ]; then
+        expect="$bench"
+    fi
+    allocs=$(awk -v n="$expect" '
         /^Benchmark/ {
-            bn = $1; sub(/-[0-9]+$/, "", bn)
-            if (bn == n) for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
-        }' <<<"$out")
+            if ($1 == n) for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
+        }' <<<"$out" | head -n1)
     if [ -z "$allocs" ]; then
         echo "check_allocs: no benchmark output row for ${name}" >&2
         fail=1

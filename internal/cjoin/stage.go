@@ -31,6 +31,13 @@ type Config struct {
 	// an identical star-query packet attaches as a satellite and never
 	// enters the GQP (§3.3) — the CJOIN-SP configuration.
 	SP bool
+	// ScanPartitions is the number of partitioned preprocessor scanners:
+	// the fact table's page list is split into that many contiguous
+	// ranges, each cycled by its own scanner feeding the shared pipeline.
+	// A query's admission window is tracked per partition, so it still
+	// sees exactly one full circular pass over the whole table. Default:
+	// the environment's parallelism (exec.Env.Workers).
+	ScanPartitions int
 	// Ports configures the output communication model and sizes.
 	Ports qpipe.PortConfig
 }
@@ -56,8 +63,16 @@ type query struct {
 	myIn qpipe.InPort // the owner's reader, attached before admission
 	sig  string
 
-	entryPage   int
-	pagesSeen   int          // fact pages emitted while active (guarded by stage.mu)
+	// Per-partition admission window, guarded by stage.mu: the scanner
+	// position each partition was at when the query was admitted, how
+	// many of the partition's pages it has been shown, and whether its
+	// window there is still open. The query has seen the whole fact
+	// table exactly once when every partition's window has closed.
+	entry     []int
+	seen      []int
+	open      []bool
+	openParts int
+
 	outstanding atomic.Int64 // batches in flight carrying this query's bit
 	done        atomic.Bool  // preprocessor completed the circular window
 	closed      atomic.Bool
@@ -98,30 +113,40 @@ type Stage struct {
 	cfg   Config
 	stats *metrics.CounterSet
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	pending  []*query
-	active   []*query
-	hosts    map[string]*query // SP registry (step WoP)
-	nextBit  int
-	freeBit  []int
-	dirtyBit []int  // freed bits not yet cleared from the filters
-	mask     Bitmap // bits of active queries
-	scanPos  int    // next fact page index
-	closed   bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pending   []*query
+	active    []*query
+	hosts     map[string]*query // SP registry (step WoP)
+	nextBit   int
+	freeBit   []int
+	dirtyBit  []int // freed bits not yet cleared from the filters
+	parts     []scanPart
+	admitDone []*query // completed at admission (no pages to show)
+	closed    bool
 
 	inflight atomic.Int64 // batches emitted but not yet fully distributed
 
 	filterMu sync.RWMutex
 	filters  []*filter
 
-	preQ  chan *batch
-	distQ chan *batch
-	wg    sync.WaitGroup
+	preQ   chan *batch
+	distQ  chan *batch
+	wg     sync.WaitGroup
+	scanWG sync.WaitGroup // the partitioned scanners; closes preQ on drain
 
 	admissionNanos atomic.Int64
 	errMu          sync.Mutex
 	err            error
+}
+
+// scanPart is one partitioned scanner's share of the fact table: a
+// contiguous page range cycled circularly, plus the bits of the queries
+// whose admission window is currently open in this partition.
+type scanPart struct {
+	lo, hi int // page range [lo, hi)
+	pos    int // next page index to emit; guarded by stage.mu
+	mask   Bitmap
 }
 
 // NewStage creates and starts a CJOIN stage over env. Close must be
@@ -144,8 +169,36 @@ func NewStage(env *exec.Env, cfg Config) *Stage {
 	}
 	st.cond = sync.NewCond(&st.mu)
 
-	st.wg.Add(1)
-	go st.preprocessor()
+	// Partition the fact pages into contiguous ranges, one scanner each.
+	nPages := 0
+	if fact, ok := env.Cat.FactTable(); ok {
+		nPages = fact.NumPages
+	}
+	nScan := cfg.ScanPartitions
+	if nScan <= 0 {
+		nScan = env.Workers()
+	}
+	if nScan > nPages {
+		nScan = nPages
+	}
+	if nScan < 1 {
+		nScan = 1
+	}
+	st.parts = make([]scanPart, nScan)
+	for i := range st.parts {
+		lo := i * nPages / nScan
+		hi := (i + 1) * nPages / nScan
+		st.parts[i] = scanPart{lo: lo, hi: hi, pos: lo}
+	}
+	for i := range st.parts {
+		st.wg.Add(1)
+		st.scanWG.Add(1)
+		go st.scanner(i)
+	}
+	go func() {
+		st.scanWG.Wait()
+		close(st.preQ)
+	}()
 
 	var filterWG sync.WaitGroup
 	for i := 0; i < cfg.PipelineThreads; i++ {
@@ -171,11 +224,15 @@ func NewStage(env *exec.Env, cfg Config) *Stage {
 	return st
 }
 
-// Close stops the stage's goroutines. Outstanding queries are
-// completed first if their windows have closed; callers should not
-// Close while queries are in flight.
+// Close stops the stage's goroutines. It must only be called after all
+// submissions have returned; calling it with queries still in flight
+// panics (loudly, instead of racing their windows against shutdown).
 func (st *Stage) Close() {
 	st.mu.Lock()
+	if n := len(st.active) + len(st.pending); n > 0 {
+		st.mu.Unlock()
+		panic(fmt.Sprintf("cjoin: Close called with %d queries in flight; wait for Submit to return first", n))
+	}
 	st.closed = true
 	st.cond.Broadcast()
 	st.mu.Unlock()
@@ -265,45 +322,64 @@ func (st *Stage) unregister(qq *query) {
 	}
 }
 
-// preprocessor runs the circular scan of the fact table, admitting
-// pending batches between pages and completing queries at their
-// wrap-around points.
-func (st *Stage) preprocessor() {
+// scanner is partition pi's preprocessor: it cycles the partition's
+// page range, admits pending query batches between pages, and closes a
+// query's window in this partition once its entry position comes up
+// again. The union of all partitions' single circular passes shows each
+// query every fact page exactly once — the original CJOIN admission-
+// window semantics, with the scan itself fanned out across partitions.
+func (st *Stage) scanner(pi int) {
 	defer st.wg.Done()
-	defer close(st.preQ)
+	defer st.scanWG.Done()
 	fact, _ := st.env.Cat.FactTable()
 	for {
 		st.mu.Lock()
-		// Admission: one pause per batch of pending queries.
+		// Admission: one pause per batch of pending queries, performed
+		// by whichever scanner reaches them first.
 		if len(st.pending) > 0 {
 			batchQ := st.pending
 			st.pending = nil
 			st.admit(batchQ)
 		}
-		// Completion: queries whose entry page comes up again have seen
-		// the full fact table.
-		var completed []*query
+		p := &st.parts[pi]
+		// Completion: queries whose entry position in this partition
+		// comes up again have seen every one of its pages. A query whose
+		// last partition window closes is fully done. Queries completed
+		// trivially at admission are picked up here too.
+		completed := st.admitDone
+		st.admitDone = nil
+		var open []*query
 		for i := 0; i < len(st.active); {
 			qq := st.active[i]
-			if qq.entryPage == st.scanPos && qq.pagesSeen > 0 {
-				st.mask.Clear(qq.bit)
-				st.dirtyBit = append(st.dirtyBit, qq.bit)
-				st.active = append(st.active[:i], st.active[i+1:]...)
-				qq.done.Store(true)
-				completed = append(completed, qq)
-				continue
+			if qq.open[pi] && qq.entry[pi] == p.pos && qq.seen[pi] > 0 {
+				qq.open[pi] = false
+				qq.openParts--
+				p.mask.Clear(qq.bit)
+				if qq.openParts == 0 {
+					st.dirtyBit = append(st.dirtyBit, qq.bit)
+					st.active = append(st.active[:i], st.active[i+1:]...)
+					qq.done.Store(true)
+					completed = append(completed, qq)
+					// Scanners idling on the exit condition re-check it.
+					st.cond.Broadcast()
+					continue
+				}
+			}
+			if qq.open[pi] {
+				open = append(open, qq)
 			}
 			i++
 		}
-		if len(st.active) == 0 {
-			if st.closed {
+		if len(open) == 0 {
+			if st.closed && len(st.pending) == 0 && len(st.active) == 0 {
 				st.mu.Unlock()
 				st.finishQueries(completed)
 				return
 			}
-			if len(st.pending) == 0 && len(completed) == 0 {
-				// Idle: nothing running, nothing to finish. Sleep until
-				// a submission (or Close) arrives.
+			if len(completed) == 0 {
+				// Idle: nothing to scan for in this partition, nothing
+				// to finish. Sleep until a submission, an admission by
+				// another scanner, or Close arrives.
 				st.cond.Wait()
 				st.mu.Unlock()
 				continue
@@ -312,13 +388,13 @@ func (st *Stage) preprocessor() {
 			st.finishQueries(completed)
 			continue
 		}
-		idx := st.scanPos
-		st.scanPos = (st.scanPos + 1) % maxInt(fact.NumPages, 1)
-		snapshot := make([]*query, len(st.active))
-		copy(snapshot, st.active)
-		mask := st.mask.Clone()
-		for _, qq := range st.active {
-			qq.pagesSeen++
+		idx := p.pos
+		if p.pos++; p.pos == p.hi {
+			p.pos = p.lo
+		}
+		mask := p.mask.Clone()
+		for _, qq := range open {
+			qq.seen[pi]++
 			qq.outstanding.Add(1)
 		}
 		st.inflight.Add(1)
@@ -330,7 +406,13 @@ func (st *Stage) preprocessor() {
 			st.fail(err)
 			st.mu.Lock()
 			for _, qq := range st.active {
-				st.mask.Clear(qq.bit)
+				for j := range qq.open {
+					if qq.open[j] {
+						qq.open[j] = false
+						st.parts[j].mask.Clear(qq.bit)
+					}
+				}
+				qq.openParts = 0
 				st.dirtyBit = append(st.dirtyBit, qq.bit)
 				qq.done.Store(true)
 				completed = append(completed, qq)
@@ -346,7 +428,7 @@ func (st *Stage) preprocessor() {
 		// are frozen at emission; the pipeline only mutates words in
 		// place, so the carved slices never grow into each other.
 		st.stats.Get("cjoin_fact_batches").Inc()
-		b := &batch{facts: bat, bms: make([]Bitmap, bat.Len()), queries: snapshot}
+		b := &batch{facts: bat, bms: make([]Bitmap, bat.Len()), queries: open}
 		if w := len(mask); w > 0 {
 			flat := make([]uint64, w*bat.Len())
 			for i := range b.bms {
@@ -419,8 +501,21 @@ func (st *Stage) admit(qs []*query) {
 			qq.bit = st.nextBit
 			st.nextBit++
 		}
-		qq.entryPage = st.scanPos
-		qq.pagesSeen = 0
+		// Open one admission window per scan partition at its current
+		// position; the query completes when every window has wrapped.
+		qq.entry = make([]int, len(st.parts))
+		qq.seen = make([]int, len(st.parts))
+		qq.open = make([]bool, len(st.parts))
+		qq.openParts = 0
+		for i := range st.parts {
+			p := &st.parts[i]
+			qq.entry[i] = p.pos
+			if p.hi > p.lo {
+				qq.open[i] = true
+				qq.openParts++
+				p.mask = p.mask.Set(qq.bit)
+			}
+		}
 		qq.dimPos = make([]int, len(qq.plan.Dims))
 
 		for di, d := range qq.plan.Dims {
@@ -432,10 +527,19 @@ func (st *Stage) admit(qs []*query) {
 				st.fail(err)
 			}
 		}
-		st.mask = st.mask.Set(qq.bit)
-		st.active = append(st.active, qq)
+		if qq.openParts == 0 {
+			// No partition has pages to show (empty fact table): the
+			// window is trivially complete at admission.
+			st.dirtyBit = append(st.dirtyBit, qq.bit)
+			qq.done.Store(true)
+			st.admitDone = append(st.admitDone, qq)
+		} else {
+			st.active = append(st.active, qq)
+		}
 		st.stats.Get("cjoin_admitted").Inc()
 	}
+	// Other partitions' scanners may be idle; their open sets changed.
+	st.cond.Broadcast()
 }
 
 func (st *Stage) findOrAddFilter(d plan.DimJoin) int {
@@ -606,11 +710,4 @@ func (st *Stage) deliver(b *batch, qq *query, sel []int) []int {
 	qq.wopMu.Unlock()
 	qq.out.Emit(comm.NewBatchPage(out))
 	return sel
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

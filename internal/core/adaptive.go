@@ -10,52 +10,72 @@ import (
 
 // AdaptiveEngine operationalizes the paper's conclusion ("analytical
 // query engines should dynamically choose between query-centric
-// operators with SP for low concurrency and GQP with shared operators
-// enhanced by SP for high concurrency"): it runs a QPipe-SP engine and
-// a CJOIN-SP engine over the same system and routes each incoming star
-// query by the current concurrency, per the Table 1 rules of thumb.
+// operators with intra-query parallelism [plus SP] for low concurrency
+// and GQP with shared operators enhanced by SP for high concurrency"):
+// it runs three strategies over the same system and routes each
+// incoming star query by the current concurrency, per the Table 1
+// rules of thumb. An otherwise-idle system gives the lone query the
+// whole machine through the morsel-parallel query-centric executor; a
+// busy-but-unsaturated system shares sub-plans on the QPipe-SP engine;
+// a saturated one amortizes work on the CJOIN-SP global query plan.
 // Non-star queries always run on the QPipe-SP engine.
 type AdaptiveEngine struct {
-	sys      *System
-	qp       *Engine // QPipeSP
-	cj       *Engine // CJOINSP
-	cores    int
-	inflight atomic.Int64
-	routedQP atomic.Int64
-	routedCJ atomic.Int64
+	sys       *System
+	par       *Engine // Baseline: morsel-parallel query-centric
+	qp        *Engine // QPipeSP
+	cj        *Engine // CJOINSP
+	cores     int
+	inflight  atomic.Int64
+	routedPar atomic.Int64
+	routedQP  atomic.Int64
+	routedCJ  atomic.Int64
 }
 
-// NewAdaptiveEngine builds the two engines. cores sets the saturation
-// threshold (0 = runtime.NumCPU()).
+// NewAdaptiveEngine builds the three engines. cores sets the
+// saturation threshold (0 = runtime.NumCPU()).
 func NewAdaptiveEngine(sys *System, cores int, opts Options) *AdaptiveEngine {
 	if cores <= 0 {
 		cores = runtime.NumCPU()
 	}
-	qpOpts, cjOpts := opts, opts
+	parOpts, qpOpts, cjOpts := opts, opts, opts
+	parOpts.Mode = Baseline
 	qpOpts.Mode = QPipeSP
 	cjOpts.Mode = CJOINSP
 	return &AdaptiveEngine{
 		sys:   sys,
+		par:   NewEngine(sys, parOpts),
 		qp:    NewEngine(sys, qpOpts),
 		cj:    NewEngine(sys, cjOpts),
 		cores: cores,
 	}
 }
 
-// Close releases both engines.
+// Close releases all engines.
 func (a *AdaptiveEngine) Close() {
+	a.par.Close()
 	a.qp.Close()
 	a.cj.Close()
 }
 
 // Submit routes the query: GQP when the system is saturated (in-flight
-// queries exceed the core count), query-centric with SP otherwise.
+// queries exceed the core count), query-centric otherwise — with the
+// morsel-parallel executor when this is the only query in flight (one
+// query, all cores), the staged SP engine when concurrency can share.
 func (a *AdaptiveEngine) Submit(q *plan.Query) ([]pages.Row, error) {
 	n := int(a.inflight.Add(1))
 	defer a.inflight.Add(-1)
-	if q.IsStarJoinable() && Advise(n, a.cores).Mode == CJOINSP {
-		a.routedCJ.Add(1)
-		return a.cj.Submit(q)
+	if q.IsStarJoinable() {
+		if Advise(n, a.cores).Mode == CJOINSP {
+			a.routedCJ.Add(1)
+			return a.cj.Submit(q)
+		}
+		// The morsel-parallel arm only pays off when there are workers
+		// to fan out to; on a single-worker environment the staged
+		// engine keeps its pipeline overlap.
+		if n == 1 && a.par.env.Workers() > 1 {
+			a.routedPar.Add(1)
+			return a.par.Submit(q)
+		}
 	}
 	a.routedQP.Add(1)
 	return a.qp.Submit(q)
@@ -74,7 +94,16 @@ func (a *AdaptiveEngine) Query(sql string) ([]pages.Row, *pages.Schema, error) {
 	return rows, q.OutputSchema, nil
 }
 
-// Routing reports how many queries each engine received.
+// Routing reports how many queries went to each side of the paper's
+// dichotomy: query-centric (morsel-parallel and staged-SP combined)
+// versus the GQP.
 func (a *AdaptiveEngine) Routing() (queryCentric, gqp int64) {
-	return a.routedQP.Load(), a.routedCJ.Load()
+	return a.routedPar.Load() + a.routedQP.Load(), a.routedCJ.Load()
+}
+
+// RoutingDetail reports the per-strategy routing counts: the morsel-
+// parallel query-centric executor, the staged QPipe-SP engine, and the
+// CJOIN-SP global query plan.
+func (a *AdaptiveEngine) RoutingDetail() (parallelQC, stagedQC, gqp int64) {
+	return a.routedPar.Load(), a.routedQP.Load(), a.routedCJ.Load()
 }

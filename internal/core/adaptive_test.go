@@ -104,3 +104,36 @@ func TestAdaptiveBadSQL(t *testing.T) {
 		t.Error("bad SQL should fail")
 	}
 }
+
+// TestAdaptiveRoutesIdleSystemToParallelQueryCentric pins the new
+// intra-query-parallelism arm: with workers configured and nothing else
+// in flight, a star query runs on the morsel-parallel query-centric
+// executor, and its results stay baseline-identical.
+func TestAdaptiveRoutesIdleSystemToParallelQueryCentric(t *testing.T) {
+	sys := testSystem(t)
+	base := NewEngine(sys, Options{Mode: Baseline, Parallelism: 1})
+	a := NewAdaptiveEngine(sys, 8, Options{Parallelism: 4})
+	defer a.Close()
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 3; i++ {
+		sql := ssb.Q32(rng)
+		want, _, err := base.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := a.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("parallel query-centric arm diverged on %q", sql[:30])
+		}
+	}
+	par, staged, gqp := a.RoutingDetail()
+	if par != 3 {
+		t.Errorf("routing detail = %d/%d/%d, want 3 morsel-parallel", par, staged, gqp)
+	}
+	if qc, g := a.Routing(); qc != 3 || g != 0 {
+		t.Errorf("routing = %d/%d, want 3/0", qc, g)
+	}
+}

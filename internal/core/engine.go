@@ -97,6 +97,13 @@ type Options struct {
 	// stage (see cjoin.Config).
 	CJOINPipelineThreads  int
 	CJOINDistributorParts int
+	// Parallelism is the intra-query worker count: morsel-driven
+	// parallel fact pipelines in Baseline execution, parallel page
+	// fetch in the QPipe scan stage, and the number of partitioned
+	// CJOIN preprocessor scanners. 0 selects runtime.GOMAXPROCS(0)
+	// (all schedulable cores — runtime.NumCPU() unless overridden);
+	// 1 forces the single-threaded paths.
+	Parallelism int
 }
 
 // Engine executes queries under one configuration. All methods are
@@ -104,6 +111,7 @@ type Options struct {
 // happens.
 type Engine struct {
 	sys  *System
+	env  *exec.Env // sys.Env with the engine's parallelism applied
 	opts Options
 	qp   *qpipe.Engine // nil in Baseline mode
 	cj   *cjoin.Stage  // non-nil in CJOIN/CJOINSP modes
@@ -111,7 +119,14 @@ type Engine struct {
 
 // NewEngine builds an engine over sys.
 func NewEngine(sys *System, opts Options) *Engine {
-	e := &Engine{sys: sys, opts: opts}
+	e := &Engine{sys: sys, env: sys.Env, opts: opts}
+	if opts.Parallelism != 0 {
+		// Shallow copy: same substrate, caches and pool, but this
+		// engine's parallelism knob.
+		env := *sys.Env
+		env.Parallelism = opts.Parallelism
+		e.env = &env
+	}
 	qcfg := qpipe.Config{
 		Comm:         opts.Comm,
 		SPLMaxPages:  opts.SPLMaxPages,
@@ -123,21 +138,22 @@ func NewEngine(sys *System, opts Options) *Engine {
 	case Baseline:
 		// no engine state: volcano per query
 	case QPipe:
-		e.qp = qpipe.New(sys.Env, qcfg)
+		e.qp = qpipe.New(e.env, qcfg)
 	case QPipeCS:
 		qcfg.ShareScan = true
-		e.qp = qpipe.New(sys.Env, qcfg)
+		e.qp = qpipe.New(e.env, qcfg)
 	case QPipeSP:
 		qcfg.ShareScan = true
 		qcfg.ShareJoin = true
-		e.qp = qpipe.New(sys.Env, qcfg)
+		e.qp = qpipe.New(e.env, qcfg)
 	case CJOIN, CJOINSP:
 		// Non-star queries fall back to circular-scan QPipe.
 		qcfg.ShareScan = true
-		e.qp = qpipe.New(sys.Env, qcfg)
-		e.cj = cjoin.NewStage(sys.Env, cjoin.Config{
+		e.qp = qpipe.New(e.env, qcfg)
+		e.cj = cjoin.NewStage(e.env, cjoin.Config{
 			PipelineThreads:  opts.CJOINPipelineThreads,
 			DistributorParts: opts.CJOINDistributorParts,
+			ScanPartitions:   opts.Parallelism,
 			SP:               opts.Mode == CJOINSP,
 			Ports: qpipe.PortConfig{
 				Model:    opts.Comm,
@@ -188,7 +204,7 @@ func (e *Engine) Query(sql string) ([]pages.Row, *pages.Schema, error) {
 func (e *Engine) Submit(q *plan.Query) ([]pages.Row, error) {
 	switch {
 	case e.opts.Mode == Baseline:
-		return exec.Execute(e.sys.Env, q)
+		return exec.Execute(e.env, q)
 	case e.cj != nil && q.IsStarJoinable():
 		return e.cj.Submit(q)
 	default:

@@ -130,6 +130,15 @@ func (j *BatchJoin) rehash(rows int) {
 // Rows returns the number of build-side rows.
 func (j *BatchJoin) Rows() int { return j.dim.Len() }
 
+// SetProbeKinds fixes the joined output layout for a probe-side batch
+// layout of probe, returning the joined layout. Concurrent probers
+// (morsel workers) must call it once before probing begins, so Probe's
+// lazy layout initialization never races.
+func (j *BatchJoin) SetProbeKinds(probe []pages.Kind) []pages.Kind {
+	j.outKinds = vec.ConcatKinds(probe, j.dim.Kinds())
+	return j.outKinds
+}
+
 // ProbeScratch holds the reusable per-query probe state: the flat
 // (probe row, build row) match pairs of one batch. One scratch per
 // probing goroutine.
@@ -221,11 +230,13 @@ func (j *BatchJoin) matchPairs(b *vec.Batch, sel []int, ps *ProbeScratch) {
 func (j *BatchJoin) materializePairs(env *Env, b *vec.Batch, ps *ProbeScratch) *vec.Batch {
 	t1 := time.Now()
 	// A BatchJoin is probed at a fixed pipeline position, so the joined
-	// layout is computed once and reused.
+	// layout is computed once and reused. Parallel probers must fix it
+	// up front with SetProbeKinds; single-goroutine callers may rely on
+	// this lazy initialization.
 	if j.outKinds == nil {
 		j.outKinds = vec.ConcatKinds(b.Kinds(), j.dim.Kinds())
 	}
-	out := env.Recycle.Get(j.outKinds, len(ps.probe))
+	out := env.GetBatch(j.outKinds, len(ps.probe))
 	nb := b.NumCols()
 	for c := range out.Cols {
 		oc := &out.Cols[c]
@@ -454,6 +465,12 @@ func ProjectBatch(fns []expr.VecVal, b *vec.Batch, sel []int, dst []pages.Row) [
 // No state is shared with any concurrent query — the baseline model
 // the paper's sharing techniques are compared against. ExecuteRows is
 // the row-at-a-time reference implementation it replaced.
+//
+// When env.Workers() > 1 the fact pipeline runs morsel-parallel (see
+// morsel.go) with per-worker partial aggregates and a deterministic
+// merge; results are identical to the sequential path, which remains
+// the fallback for single-worker environments, tiny tables and
+// float-order-sensitive aggregations.
 func Execute(env *Env, q *plan.Query) ([]pages.Row, error) {
 	joins := make([]*BatchJoin, len(q.Dims))
 	for i, d := range q.Dims {
@@ -462,6 +479,10 @@ func Execute(env *Env, q *plan.Query) ([]pages.Row, error) {
 			return nil, err
 		}
 		joins[i] = j
+	}
+
+	if w := executeParallelism(env, q); w > 1 {
+		return executeMorsels(env, q, joins, w)
 	}
 
 	var agg *Aggregator

@@ -1,0 +1,179 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sharedq/internal/expr"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+	"sharedq/internal/vec"
+)
+
+// Morsel-driven intra-query parallelism (after Leis et al.,
+// "Morsel-Driven Parallelism") for the query-centric batch path: the
+// fact table's page list is range-partitioned into morsels of a few
+// pages; a pool of workers claims morsels from a shared counter and
+// runs the whole scan → filter → probe → partial-aggregate pipeline on
+// its own goroutine, with a worker-private pool shard (vec.Local) for
+// batch checkouts and a worker-private Aggregator for partial state.
+// A final merge step remaps each partial's dense group ids onto the
+// main aggregator ordered by first-seen page, so a parallel run emits
+// exactly the rows (and row order) of a sequential one. Non-aggregated
+// queries bucket their projected rows per morsel and concatenate in
+// morsel order, preserving table order the same way.
+
+// MorselPages is the number of fact pages per morsel (~128 KB of 32 KB
+// pages): small enough to balance load across workers, large enough to
+// amortize the dispatch counter.
+const MorselPages = 4
+
+// executeParallelism decides the worker count for q on env: the
+// environment's parallelism, capped by the number of morsels, and
+// forced to 1 when a float-order-sensitive aggregate (SUM/AVG over a
+// float argument) would lose bit-reproducibility under parallel
+// accumulation.
+func executeParallelism(env *Env, q *plan.Query) int {
+	w := env.Workers()
+	if w <= 1 {
+		return 1
+	}
+	if nm := (q.Fact.NumPages + MorselPages - 1) / MorselPages; nm < 2 {
+		return 1
+	} else if w > nm {
+		w = nm
+	}
+	for _, a := range q.Aggs {
+		if a.OrderSensitive(q.JoinedSchema) {
+			return 1
+		}
+	}
+	return w
+}
+
+// executeMorsels runs q's fact pipeline across workers goroutines over
+// the pre-built join sides. Callers guarantee workers >= 2.
+func executeMorsels(env *Env, q *plan.Query, joins []*BatchJoin, workers int) ([]pages.Row, error) {
+	fact := q.Fact
+	morsels := (fact.NumPages + MorselPages - 1) / MorselPages
+
+	// Fix every join's output layout up front: workers probe the same
+	// BatchJoin concurrently and must never race on the lazy
+	// initialization inside Probe.
+	kinds := vec.Kinds(fact.Schema)
+	for _, j := range joins {
+		kinds = j.SetProbeKinds(kinds)
+	}
+
+	var outFns []expr.VecVal
+	if !q.HasAgg {
+		outFns = CompileOutputVals(q)
+	}
+	aggs := make([]*Aggregator, workers)
+	plains := make([][]pages.Row, morsels) // morsel -> projected rows, table order
+
+	var (
+		next  atomic.Int64
+		stop  atomic.Bool
+		errMu sync.Mutex
+		first error
+		wg    sync.WaitGroup
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if first == nil {
+			first = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wenv := *env
+			wenv.Local = env.Recycle.Local()
+			// The worker releases everything it checks out, so at exit
+			// the shard's free list holds its recycled batches; drain
+			// them back to the shared pool for the next query.
+			defer wenv.Local.Drain()
+			var agg *Aggregator
+			if q.HasAgg {
+				agg = NewAggregator(q, env.Col)
+				aggs[w] = agg
+			}
+			factVec := expr.CompileVecPred(q.FactPred)
+			var selBuf []int
+			var ps ProbeScratch
+			for {
+				if stop.Load() {
+					return
+				}
+				m := int(next.Add(1)) - 1
+				if m >= morsels {
+					return
+				}
+				lo, hi := m*MorselPages, (m+1)*MorselPages
+				if hi > fact.NumPages {
+					hi = fact.NumPages
+				}
+				var plain []pages.Row
+				for pg := lo; pg < hi; pg++ {
+					if agg != nil {
+						agg.SetEpoch(int32(pg))
+					}
+					b, err := ReadTableBatch(&wenv, fact, pg)
+					if err != nil {
+						fail(err)
+						return
+					}
+					sel := vec.FullSel(b.Len(), &selBuf)
+					if factVec != nil {
+						sel = factVec(b, sel)
+					}
+					dead := false
+					for i := range joins {
+						if len(sel) == 0 {
+							b.Release()
+							dead = true
+							break
+						}
+						joined := joins[i].Probe(&wenv, b, sel, &ps)
+						b.Release()
+						b = joined
+						sel = vec.FullSel(b.Len(), &selBuf)
+					}
+					if dead {
+						continue
+					}
+					if agg != nil {
+						agg.AddBatch(b, sel)
+					} else {
+						plain = ProjectBatch(outFns, b, sel, plain)
+					}
+					b.Release()
+				}
+				if agg == nil {
+					plains[m] = plain
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+
+	var out []pages.Row
+	if q.HasAgg {
+		main := NewAggregator(q, env.Col)
+		main.MergeFrom(aggs)
+		out = main.Rows()
+	} else {
+		for _, p := range plains {
+			out = append(out, p...)
+		}
+	}
+	return SortRows(q, env.Col, out), nil
+}

@@ -1,0 +1,163 @@
+package exec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+	"sharedq/internal/ssb"
+	"sharedq/internal/vec"
+)
+
+// TestExecuteParallelMatchesSequential runs a representative query mix
+// — star joins, grouped aggregation without ORDER BY, ungrouped
+// aggregates, MIN/MAX and a bare projection — at several worker counts
+// and requires bit-identical results (rows AND order) against the
+// sequential path. Poisoned releases make any cross-worker batch
+// aliasing loudly wrong.
+func TestExecuteParallelMatchesSequential(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+	env := testEnvCached(t)
+	env.Recycle = vec.NewPool()
+	rng := rand.New(rand.NewSource(23))
+	sqls := []string{
+		ssb.Q11(rng),
+		ssb.Q21(rng),
+		ssb.Q32PoolPlan(1),
+		ssb.Q41(rng),
+		// No ORDER BY: output order must still match the sequential
+		// first-seen group order through the epoch-tagged merge.
+		"SELECT lo_orderdate, SUM(lo_revenue) AS r, COUNT(*) AS n FROM lineorder GROUP BY lo_orderdate",
+		"SELECT c_nation, AVG(lo_quantity) AS q FROM lineorder, customer WHERE lo_custkey = c_custkey GROUP BY c_nation",
+		"SELECT MIN(lo_revenue) AS lo, MAX(lo_revenue) AS hi FROM lineorder",
+		"SELECT COUNT(*) AS n FROM lineorder",
+		// Bare projection without ORDER BY: morsel buckets must
+		// concatenate back into table order.
+		"SELECT lo_orderkey, lo_linenumber FROM lineorder",
+	}
+	for _, sql := range sqls {
+		q, err := plan.Build(env.Cat, sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := *env
+		seq.Parallelism = 1
+		want, err := Execute(&seq, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			par := *env
+			par.Parallelism = workers
+			got, err := Execute(&par, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("workers=%d %q: %d rows vs sequential %d",
+					workers, sql[:40], len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestExecuteParallelismGate checks the fallback decisions: float-order-
+// sensitive aggregations and tiny tables must run single-threaded, and
+// int aggregations must not.
+func TestExecuteParallelismGate(t *testing.T) {
+	env := testEnvCached(t)
+	env.Parallelism = 8
+
+	build := func(sql string) *plan.Query {
+		t.Helper()
+		q, err := plan.Build(env.Cat, sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+
+	// TPC-H Q1 sums float columns: parallel partial sums would round
+	// differently, so it must stay sequential.
+	if w := executeParallelism(env, build(ssb.TPCHQ1())); w != 1 {
+		t.Errorf("float-sum query got parallelism %d, want 1", w)
+	}
+	// Integer-sum SSB queries parallelize (lineorder spans many pages
+	// at this scale).
+	if w := executeParallelism(env, build(ssb.Q32PoolPlan(0))); w <= 1 {
+		t.Errorf("int-sum star query got parallelism %d, want > 1", w)
+	}
+	// A dimension table this small has fewer than two morsels.
+	if w := executeParallelism(env, build("SELECT c_city, c_nation FROM customer")); w != 1 {
+		t.Errorf("tiny-table query got parallelism %d, want 1", w)
+	}
+	// Order-sensitivity is about float accumulation, not float output:
+	// AVG over an int column merges exactly.
+	if w := executeParallelism(env, build("SELECT lo_orderdate, AVG(lo_quantity) AS q FROM lineorder GROUP BY lo_orderdate")); w <= 1 {
+		t.Errorf("int AVG got parallelism %d, want > 1", w)
+	}
+}
+
+// TestAggregatorMergeFrom exercises the partial-aggregate merge
+// directly: rows split across partial aggregators page by page must
+// merge into exactly the state of folding them sequentially, for every
+// grouping mode.
+func TestAggregatorMergeFrom(t *testing.T) {
+	env := testEnvCached(t)
+	cases := []string{
+		"SELECT lo_orderdate, SUM(lo_revenue) AS r, COUNT(*) AS n, MIN(lo_quantity) AS lo, MAX(lo_quantity) AS hi FROM lineorder GROUP BY lo_orderdate",
+		"SELECT lo_orderdate, lo_discount, SUM(lo_revenue) AS r FROM lineorder GROUP BY lo_orderdate, lo_discount",
+		"SELECT SUM(lo_extendedprice * lo_discount) AS rev, COUNT(*) AS n FROM lineorder",
+	}
+	fact := env.Cat.MustGet(ssb.TableLineorder)
+	for _, sql := range cases {
+		q, err := plan.Build(env.Cat, sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqAgg := NewAggregator(q, env.Col)
+		// Interleave pages across three partials the way three morsel
+		// workers would claim them.
+		parts := []*Aggregator{
+			NewAggregator(q, env.Col),
+			NewAggregator(q, env.Col),
+			NewAggregator(q, env.Col),
+		}
+		var selBuf []int
+		for pg := 0; pg < fact.NumPages; pg++ {
+			b, err := ReadTableBatch(env, fact, pg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sel := vec.FullSel(b.Len(), &selBuf)
+			seqAgg.SetEpoch(int32(pg))
+			seqAgg.AddBatch(b, sel)
+			p := parts[pg%len(parts)]
+			p.SetEpoch(int32(pg))
+			p.AddBatch(b, sel)
+		}
+		merged := NewAggregator(q, env.Col)
+		merged.MergeFrom(parts)
+		got, want := merged.Rows(), seqAgg.Rows()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%q: merged %d groups, sequential %d; first diff %v",
+				sql[:40], len(got), len(want), firstRowDiff(got, want))
+		}
+	}
+}
+
+func firstRowDiff(got, want []pages.Row) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			return "row " + pages.Int(int64(i)).String()
+		}
+	}
+	return "row counts"
+}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -29,6 +30,31 @@ type Env struct {
 	// exchange pages, push copies) are checked out of and released back
 	// to; nil disables recycling and derived batches become garbage.
 	Recycle *vec.Pool
+	// Local is a worker-private shard of Recycle. Morsel workers run on
+	// a shallow Env copy with Local set, so their checkouts recycle
+	// through the shard instead of contending on the shared pool.
+	Local *vec.Local
+	// Parallelism is the morsel-driven worker count for query-centric
+	// execution and the scanner fan-out of the staged engines
+	// (0 selects runtime.GOMAXPROCS(0), i.e. all schedulable cores).
+	Parallelism int
+}
+
+// Workers resolves the environment's effective parallelism.
+func (e *Env) Workers() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// GetBatch checks a derived batch out of the worker-local pool shard
+// when one is attached, the shared pool otherwise.
+func (e *Env) GetBatch(kinds []pages.Kind, capacity int) *vec.Batch {
+	if e.Local != nil {
+		return e.Local.Get(kinds, capacity)
+	}
+	return e.Recycle.Get(kinds, capacity)
 }
 
 // ScanTable reads every page of the table in order, decoding rows and
@@ -174,6 +200,15 @@ type Aggregator struct {
 	keyBuf   []byte           // reusable group-key scratch
 	gidBuf   []int32          // reusable per-batch group-id scratch
 	noneInit bool             // groupNone: implicit group materialized
+
+	// Morsel-parallel bookkeeping: epoch is the fact page currently
+	// being folded (set by the worker before each page); firstSeen
+	// records, per group, the epoch of its creation. MergeFrom uses the
+	// pair to reconstruct the global first-seen group order, so a
+	// parallel execution emits groups in exactly the order a sequential
+	// scan would have.
+	epoch     int32
+	firstSeen []int32
 }
 
 // NewAggregator returns an aggregator for q (which must have HasAgg or
@@ -257,11 +292,17 @@ func (a *Aggregator) newGroupID(b *vec.Batch, i int, r pages.Row) int32 {
 		}
 	}
 	a.keyVals = append(a.keyVals, vals)
+	a.firstSeen = append(a.firstSeen, a.epoch)
 	for _, g := range a.gaccs {
 		g.Grow(len(a.keyVals))
 	}
 	return id
 }
+
+// SetEpoch tags subsequently created groups with the given fact page
+// index. Morsel workers call it before folding each page, so MergeFrom
+// can order groups by global first sighting.
+func (a *Aggregator) SetEpoch(page int32) { a.epoch = page }
 
 // Add folds a batch of joined rows. Accounted to metrics.Aggregation.
 func (a *Aggregator) Add(rows []pages.Row) {
@@ -353,6 +394,107 @@ func AppendKeyValue(b []byte, v pages.Value) []byte {
 			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
 	}
 	return b
+}
+
+// groupIDForVals resolves (or creates, tagged with epoch seen) the
+// dense group id for an already-captured group-by value tuple — the
+// merge path's counterpart of groupIDRow, using the same maps so merged
+// and directly-folded groups bucket identically.
+func (a *Aggregator) groupIDForVals(vals []pages.Value, seen int32) int32 {
+	newID := func() int32 {
+		id := int32(len(a.keyVals))
+		a.keyVals = append(a.keyVals, vals)
+		a.firstSeen = append(a.firstSeen, seen)
+		for _, g := range a.gaccs {
+			g.Grow(len(a.keyVals))
+		}
+		return id
+	}
+	switch a.mode {
+	case groupInt1:
+		if v := vals[0]; v.Kind == pages.KindInt {
+			k := uint64(v.I)
+			id, ok := a.intIDs[k]
+			if !ok {
+				id = newID()
+				a.intIDs[k] = id
+			}
+			return id
+		}
+	case groupInt2:
+		v0, v1 := vals[0], vals[1]
+		if v0.Kind == pages.KindInt && v1.Kind == pages.KindInt &&
+			fitsInt32(v0.I) && fitsInt32(v1.I) {
+			k := packInt2(v0.I, v1.I)
+			id, ok := a.intIDs[k]
+			if !ok {
+				id = newID()
+				a.intIDs[k] = id
+			}
+			return id
+		}
+	}
+	b := a.keyBuf[:0]
+	for _, v := range vals {
+		b = AppendKeyValue(b, v)
+	}
+	a.keyBuf = b
+	id, ok := a.byteIDs[string(b)]
+	if !ok {
+		id = newID()
+		a.byteIDs[string(b)] = id
+	}
+	return id
+}
+
+// MergeFrom folds per-worker partial aggregators (same plan) into a.
+// Groups are merged ordered by (first-seen page, creation order within
+// the page); a page is folded by exactly one worker, so that order is
+// exactly the first-seen order of a sequential scan — parallel and
+// sequential executions emit identical group sequences. Accounted to
+// metrics.Aggregation.
+func (a *Aggregator) MergeFrom(parts []*Aggregator) {
+	t0 := time.Now()
+	defer a.col.AddSince(metrics.Aggregation, t0)
+	if a.mode == groupNone {
+		for _, p := range parts {
+			if p == nil || !p.noneInit {
+				continue
+			}
+			a.ensureNone()
+			for i := range a.gaccs {
+				a.gaccs[i].MergeGroup(p.gaccs[i], 0, 0)
+			}
+		}
+		return
+	}
+	type entry struct {
+		part int32
+		gid  int32
+		seen int32
+	}
+	var entries []entry
+	for pi, p := range parts {
+		if p == nil {
+			continue
+		}
+		for g := range p.keyVals {
+			entries = append(entries, entry{int32(pi), int32(g), p.firstSeen[g]})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].seen != entries[j].seen {
+			return entries[i].seen < entries[j].seen
+		}
+		return entries[i].gid < entries[j].gid
+	})
+	for _, e := range entries {
+		p := parts[e.part]
+		dst := a.groupIDForVals(p.keyVals[e.gid], e.seen)
+		for i := range a.gaccs {
+			a.gaccs[i].MergeGroup(p.gaccs[i], e.gid, dst)
+		}
+	}
 }
 
 // Rows materializes the output rows (unsorted, first-seen group order).

@@ -99,6 +99,45 @@ func (a AggSpec) ResultKind(arg pages.Kind) pages.Kind {
 	}
 }
 
+// MayEvalFloat reports whether e can evaluate to a float over rows of
+// schema s: a float column reference, a float literal, or arithmetic
+// over either (Bin promotes to float unless both operands are ints).
+// Comparisons and the boolean connectives always yield ints. Unknown
+// node shapes, unbound columns and a nil schema answer true — the
+// conservative direction for callers deciding whether a parallel
+// aggregation would be float-order-sensitive.
+func MayEvalFloat(e Expr, s *pages.Schema) bool {
+	switch n := e.(type) {
+	case *Col:
+		if s == nil || n.Idx < 0 || n.Idx >= s.Len() {
+			return true
+		}
+		return s.Columns[n.Idx].Kind == pages.KindFloat
+	case *Const:
+		return n.V.Kind == pages.KindFloat
+	case *Bin:
+		if n.Op.IsComparison() {
+			return false
+		}
+		return MayEvalFloat(n.L, s) || MayEvalFloat(n.R, s)
+	case *And, *Or, *Between, *In:
+		return false
+	default:
+		return true
+	}
+}
+
+// OrderSensitive reports whether the aggregate's result can depend on
+// accumulation order: a SUM or AVG whose argument may evaluate to
+// float accumulates rounding differently under different orders, while
+// integer sums, counts and MIN/MAX are order-exact.
+func (a AggSpec) OrderSensitive(s *pages.Schema) bool {
+	if a.Arg == nil || a.Kind == AggCount || a.Kind == AggMin || a.Kind == AggMax {
+		return false
+	}
+	return MayEvalFloat(a.Arg, s)
+}
+
 // accShape classifies the aggregate argument for the vectorized fast
 // paths: a bare column, or a two-column arithmetic expression (the
 // SUM(lo_revenue - lo_supplycost) shape of the SSB Q4 flight).
@@ -411,6 +450,31 @@ func (g *GroupAccs) AddAll(b *vec.Batch, sel []int, gi int32) {
 
 // Count returns the number of rows folded into group gi.
 func (g *GroupAccs) Count(gi int32) int64 { return g.counts[gi] }
+
+// MergeGroup folds group sg of src (same compiled aggregate) into group
+// dg of g — the morsel-parallel counterpart of Acc.Merge: per-worker
+// partial registers combine into the final register file. Integer sums
+// and counts merge exactly; float sums merge with Acc.Merge's
+// order-dependence, which is why order-sensitive aggregations stay
+// single-threaded (see exec's parallelism gate).
+func (g *GroupAccs) MergeGroup(src *GroupAccs, sg, dg int32) {
+	g.counts[dg] += src.counts[sg]
+	g.sumI[dg] += src.sumI[sg]
+	g.sumF[dg] += src.sumF[sg]
+	g.sawF[dg] = g.sawF[dg] || src.sawF[sg]
+	switch g.c.kind {
+	case AggMin:
+		if e := src.extremes[sg]; !e.IsZero() &&
+			(g.extremes[dg].IsZero() || e.Compare(g.extremes[dg]) < 0) {
+			g.extremes[dg] = e
+		}
+	case AggMax:
+		if e := src.extremes[sg]; !e.IsZero() &&
+			(g.extremes[dg].IsZero() || e.Compare(g.extremes[dg]) > 0) {
+			g.extremes[dg] = e
+		}
+	}
+}
 
 // Result returns group gi's aggregate value, with Acc.Result's
 // semantics.

@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"sharedq/internal/core"
+	"sharedq/internal/metrics"
 	"sharedq/internal/qpipe"
 	"sharedq/internal/ssb"
 )
@@ -299,6 +300,22 @@ func figTable2(p Params) (*Report, error) {
 	rep.Notes = append(rep.Notes,
 		"held constant across systems: vectorized predicate kernels over typed column batches, columnar hash-join probes, flat bitmap arenas, pooled (checkout->Retain->Release) derived batches, and GroupAccs aggregation registers; the Crescando row serves a read/update point-access mix rather than the SSB star queries, as in the original system's workload",
 	)
+
+	// Batch-pool effectiveness across the whole comparison, exported
+	// through the shared counter-set plumbing: recycled vs freshly
+	// allocated checkouts, and how many recycles never left a
+	// worker-local shard.
+	cs := metrics.NewCounterSet()
+	sys.Env.Recycle.ExportCounters(cs)
+	pool := cs.Snapshot()
+	total := pool["pool_reuse"] + pool["pool_alloc"]
+	hit := 0.0
+	if total > 0 {
+		hit = 100 * float64(pool["pool_reuse"]) / float64(total)
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"vec.Pool: %d checkouts recycled (%d via worker-local shards), %d freshly allocated — %.1f%% hit rate",
+		pool["pool_reuse"], pool["pool_local_hit"], pool["pool_alloc"], hit))
 	return rep, nil
 }
 

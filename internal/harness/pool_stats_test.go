@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"testing"
+
+	"sharedq/internal/core"
+	"sharedq/internal/ssb"
+)
+
+// TestRunBatchReportsPoolShardStats pins the pool-counter satellite:
+// a morsel-parallel Baseline batch must report recycled checkouts and,
+// with workers fanned out, local-shard hits in its result stats.
+func TestRunBatchReportsPoolShardStats(t *testing.T) {
+	sys, err := core.NewSystem(core.SystemConfig{SF: 0.002, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]string, 4)
+	for i := range qs {
+		qs[i] = ssb.Q32PoolPlan(i)
+	}
+	// Warm wave (fills the pool), then the measured wave.
+	if _, err := RunBatch(sys, core.Options{Mode: core.Baseline, Parallelism: 4}, qs, false); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBatch(sys, core.Options{Mode: core.Baseline, Parallelism: 4}, qs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"pool_reuse", "pool_alloc", "pool_local_hit"} {
+		if _, ok := res.Stats[k]; !ok {
+			t.Errorf("stats missing %s", k)
+		}
+	}
+	if res.Stats["pool_local_hit"] == 0 {
+		t.Error("morsel workers served no checkouts from local shards")
+	}
+	if res.Stats["pool_reuse"] < res.Stats["pool_local_hit"] {
+		t.Errorf("pool_reuse=%d below pool_local_hit=%d",
+			res.Stats["pool_reuse"], res.Stats["pool_local_hit"])
+	}
+}

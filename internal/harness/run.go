@@ -64,6 +64,8 @@ func RunBatch(sys *core.System, opts core.Options, sqls []string, cold bool) (Re
 	eng := core.NewEngine(sys, opts)
 	defer eng.Close()
 
+	poolReuse0, poolAlloc0 := sys.Env.Recycle.Stats()
+	poolLocal0 := sys.Env.Recycle.LocalHits()
 	res := Result{Mode: opts.Mode, Concurrency: len(sqls)}
 	durations := make([]time.Duration, len(plans))
 	errs := make([]error, len(plans))
@@ -102,6 +104,12 @@ func RunBatch(sys *core.System, opts core.Options, sqls []string, cold bool) (Re
 	res.ReadRateMBps = sys.Col.ReadRateMBps()
 	res.Breakdown = sys.Col.Breakdown()
 	res.Stats = eng.Stats()
+	// Batch-pool effectiveness over this run: recycled vs fresh
+	// checkouts, and how many recycles the worker-local shards served.
+	poolReuse1, poolAlloc1 := sys.Env.Recycle.Stats()
+	res.Stats["pool_reuse"] = poolReuse1 - poolReuse0
+	res.Stats["pool_alloc"] = poolAlloc1 - poolAlloc0
+	res.Stats["pool_local_hit"] = sys.Env.Recycle.LocalHits() - poolLocal0
 	res.Admission = time.Duration(eng.CJOINAdmissionTime())
 	if res.Errors > 0 {
 		return res, fmt.Errorf("harness: %d of %d queries failed (first: %v)", res.Errors, len(plans), firstErr(errs))

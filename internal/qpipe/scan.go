@@ -2,6 +2,7 @@ package qpipe
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"sharedq/internal/catalog"
 	"sharedq/internal/comm"
@@ -76,16 +77,78 @@ func (st *ScanStage) Attach(t *catalog.Table) InPort {
 	return in
 }
 
-// privateScan emits pages 0..N-1 once and closes.
+// privateScan emits pages 0..N-1 once and closes. With parallelism
+// available, page fetch+decode fans out across workers while emission
+// stays strictly in page order, so downstream packets observe exactly
+// the sequential page stream — the scan saturates cores without
+// perturbing any order-sensitive consumer.
 func (st *ScanStage) privateScan(t *catalog.Table, out OutPort) {
 	defer out.Close()
+	workers := st.env.Workers()
+	if workers > t.NumPages {
+		workers = t.NumPages
+	}
+	if workers <= 1 {
+		for i := 0; i < t.NumPages; i++ {
+			b, err := st.readPage(t, i)
+			if err != nil {
+				st.fail(err)
+				return
+			}
+			out.Emit(&comm.Page{Batch: b, Index: i})
+			if out.ActiveReaders() == 0 {
+				return
+			}
+		}
+		return
+	}
+
+	type fetched struct {
+		b   *vec.Batch
+		err error
+	}
+	// Fetch-ahead is bounded: workers take a window token before
+	// claiming a page and the emitter returns it after reading that
+	// page's slot, so at most `window` decoded batches sit ahead of the
+	// (possibly backpressured) output port — the scan stays O(window)
+	// resident instead of decoding the whole table past a slow
+	// consumer. Slots form a ring: page i lands in slots[i%window],
+	// which the token accounting guarantees was drained before page
+	// i+window could be claimed.
+	window := workers * 2
+	slots := make([]chan fetched, window)
+	for i := range slots {
+		slots[i] = make(chan fetched, 1) // buffered: fetchers never block
+	}
+	sem := make(chan struct{}, window)
+	done := make(chan struct{})
+	defer close(done)
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				select {
+				case sem <- struct{}{}:
+				case <-done:
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= t.NumPages {
+					return
+				}
+				b, err := st.readPage(t, i)
+				slots[i%window] <- fetched{b, err}
+			}
+		}()
+	}
 	for i := 0; i < t.NumPages; i++ {
-		b, err := st.readPage(t, i)
-		if err != nil {
-			st.fail(err)
+		f := <-slots[i%window]
+		<-sem
+		if f.err != nil {
+			st.fail(f.err)
 			return
 		}
-		out.Emit(&comm.Page{Batch: b, Index: i})
+		out.Emit(&comm.Page{Batch: f.b, Index: i})
 		if out.ActiveReaders() == 0 {
 			return
 		}
@@ -96,8 +159,26 @@ func (st *ScanStage) privateScan(t *catalog.Table, out OutPort) {
 // wrapped around to its entry page (the ports' linear-WoP bookkeeping
 // finishes each reader). The registry check and de-registration are
 // atomic under the stage lock, so a packet never attaches to a scanner
-// that has decided to stop.
+// that has decided to stop. With parallelism available a prefetcher
+// goroutine warms the decoded-batch cache a few pages ahead of the
+// emission point, overlapping decode with delivery.
 func (st *ScanStage) circularScan(sc *scanner) {
+	const lookahead = 4
+	var prefetch chan int
+	if st.env.Workers() > 1 && sc.table.NumPages > lookahead {
+		prefetch = make(chan int, lookahead)
+		go func() {
+			for idx := range prefetch {
+				// Warm the cache; the synchronous read below returns the
+				// decoded batch either way, so errors surface there.
+				_, _ = st.readPage(sc.table, idx)
+			}
+		}()
+		defer close(prefetch)
+		for j := 1; j <= lookahead; j++ {
+			prefetch <- j % sc.table.NumPages
+		}
+	}
 	for {
 		st.mu.Lock()
 		if sc.out.ActiveReaders() == 0 {
@@ -110,6 +191,12 @@ func (st *ScanStage) circularScan(sc *scanner) {
 		sc.next = (sc.next + 1) % sc.table.NumPages
 		st.mu.Unlock()
 
+		if prefetch != nil {
+			select { // never block emission on the prefetcher
+			case prefetch <- (idx + lookahead) % sc.table.NumPages:
+			default:
+			}
+		}
 		b, err := st.readPage(sc.table, idx)
 		if err != nil {
 			st.mu.Lock()

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sharedq/internal/metrics"
 	"sharedq/internal/pages"
 )
 
@@ -22,21 +23,129 @@ import (
 // the returned batches are unpooled. This keeps tests and callers that
 // build their own exec.Env working without a pool.
 type Pool struct {
-	p      sync.Pool
-	reuses atomic.Int64
-	news   atomic.Int64
+	p         sync.Pool
+	reuses    atomic.Int64
+	news      atomic.Int64
+	localHits atomic.Int64
 }
 
 // NewPool returns an empty batch pool.
 func NewPool() *Pool { return &Pool{} }
 
 // Stats reports how many checkouts were served by recycling versus
-// fresh allocation, for tests and diagnostics.
+// fresh allocation, for tests and diagnostics. Recycled checkouts
+// include those served by worker-local shards (see Local).
 func (p *Pool) Stats() (reused, allocated int64) {
 	if p == nil {
 		return 0, 0
 	}
-	return p.reuses.Load(), p.news.Load()
+	return p.reuses.Load() + p.localHits.Load(), p.news.Load()
+}
+
+// LocalHits reports how many of the recycled checkouts were served by a
+// worker-local shard without touching the shared pool.
+func (p *Pool) LocalHits() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.localHits.Load()
+}
+
+// ExportCounters publishes the pool's checkout statistics into a
+// counter set under the names "pool_reuse", "pool_alloc" and
+// "pool_local_hit", so harness results and the table2 experiment can
+// report pool(-shard) effectiveness alongside the sharing counters.
+func (p *Pool) ExportCounters(cs *metrics.CounterSet) {
+	if p == nil || cs == nil {
+		return
+	}
+	reused, allocated := p.Stats()
+	cs.Get("pool_reuse").Store(reused)
+	cs.Get("pool_alloc").Store(allocated)
+	cs.Get("pool_local_hit").Store(p.localHits.Load())
+}
+
+// localShardCap bounds a worker shard's private free list; releases
+// beyond it overflow into the shared pool.
+const localShardCap = 8
+
+// Local is a worker-private shard of a Pool: a small free list owned by
+// one goroutine's checkout loop. A morsel worker that releases every
+// batch it checks out recycles entirely through its shard, so parallel
+// workers never contend on the shared pool's internals. The shard's
+// mutex is only ever contended when another goroutine releases a batch
+// the worker handed off — the uncommon path.
+//
+// A Local over a nil Pool is valid and degrades to unpooled New.
+type Local struct {
+	pool    *Pool
+	mu      sync.Mutex
+	free    []*Batch
+	drained bool // Drain called: later releases pass through to the pool
+}
+
+// Local returns a new worker-private shard of the pool.
+func (p *Pool) Local() *Local { return &Local{pool: p} }
+
+// Get checks a batch out of the shard (falling back to the shared
+// pool), reference count 1. Released batches that were checked out of
+// this shard return to it first.
+func (l *Local) Get(kinds []pages.Kind, capacity int) *Batch {
+	if l == nil || l.pool == nil {
+		return New(kinds, capacity)
+	}
+	var b *Batch
+	l.mu.Lock()
+	if n := len(l.free); n > 0 {
+		b = l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+	}
+	l.mu.Unlock()
+	if b == nil {
+		b = l.pool.Get(kinds, capacity)
+		b.home = l
+		return b
+	}
+	l.pool.localHits.Add(1)
+	b.reshape(len(kinds), func(i int) pages.Kind { return kinds[i] })
+	b.pool = l.pool
+	b.home = l
+	b.refs.Store(1)
+	return b
+}
+
+// Drain moves the shard's free list into the shared pool and marks
+// the shard pass-through: any batch still out (handed off with Retain)
+// that releases later goes straight to the pool instead of stranding
+// on the abandoned free list. A worker calls it when it finishes, so
+// batches it recycled stay available to later queries instead of
+// becoming garbage with the shard.
+func (l *Local) Drain() {
+	if l == nil || l.pool == nil {
+		return
+	}
+	l.mu.Lock()
+	free := l.free
+	l.free = nil
+	l.drained = true
+	l.mu.Unlock()
+	for _, b := range free {
+		l.pool.p.Put(b)
+	}
+}
+
+// put returns a released batch to the shard, overflowing into the
+// shared pool when the free list is full or the shard was drained.
+func (l *Local) put(b *Batch) {
+	l.mu.Lock()
+	if !l.drained && len(l.free) < localShardCap {
+		l.free = append(l.free, b)
+		l.mu.Unlock()
+		return
+	}
+	l.mu.Unlock()
+	l.pool.p.Put(b)
 }
 
 // Get checks a batch with the given column layout out of the pool,
@@ -56,6 +165,7 @@ func (p *Pool) Get(kinds []pages.Kind, capacity int) *Batch {
 		b.reshape(len(kinds), func(i int) pages.Kind { return kinds[i] })
 	}
 	b.pool = p
+	b.home = nil
 	b.refs.Store(1)
 	return b
 }
@@ -77,6 +187,7 @@ func (p *Pool) Clone(src *Batch) *Batch {
 	}
 	out.reshape(len(src.Cols), func(i int) pages.Kind { return src.Cols[i].Kind })
 	out.pool = p
+	out.home = nil
 	out.refs.Store(1)
 	out.AppendRange(src, 0, src.Len())
 	return out
@@ -132,9 +243,15 @@ func (b *Batch) Release() {
 		panic("vec: batch released more times than retained")
 	}
 	p := b.pool
+	home := b.home
 	b.pool = nil
+	b.home = nil
 	if poisonReleases.Load() {
 		b.poison()
+	}
+	if home != nil {
+		home.put(b)
+		return
 	}
 	p.p.Put(b)
 }

@@ -162,3 +162,126 @@ func TestNilPoolGet(t *testing.T) {
 		t.Errorf("len = %d", b.Len())
 	}
 }
+
+func TestLocalShardRecycles(t *testing.T) {
+	p := NewPool()
+	l := p.Local()
+
+	// A checkout released back while the shard is open must be served
+	// from the shard on the next checkout, counted as a local hit.
+	b := l.Get(testKinds, 4)
+	if !b.Pooled() {
+		t.Fatal("shard Get returned an unpooled batch")
+	}
+	fillTest(b)
+	b.Release()
+	c := l.Get(testKinds, 0)
+	if race.Enabled {
+		// Under -race sync.Pool sheds items randomly, but the shard's
+		// private free list must not: the recycle is deterministic.
+		if p.LocalHits() != 1 {
+			t.Fatalf("local hits = %d, want 1", p.LocalHits())
+		}
+	}
+	if got := c.Len(); got != 0 {
+		t.Errorf("recycled shard batch has %d rows", got)
+	}
+	for i, k := range testKinds {
+		if c.Cols[i].Kind != k {
+			t.Errorf("col %d kind = %v, want %v", i, c.Cols[i].Kind, k)
+		}
+	}
+	reused, _ := p.Stats()
+	if reused < p.LocalHits() {
+		t.Errorf("Stats reused=%d below local hits %d", reused, p.LocalHits())
+	}
+	c.Release()
+}
+
+func TestLocalShardPoisonAndOverflow(t *testing.T) {
+	SetPoison(true)
+	defer SetPoison(false)
+	p := NewPool()
+	l := p.Local()
+
+	// Releases through a shard must poison like shared-pool releases.
+	b := l.Get(testKinds, 2)
+	fillTest(b)
+	ints := b.Cols[0].I[:2]
+	b.Release()
+	if ints[0] != PoisonInt || ints[1] != PoisonInt {
+		t.Error("shard release did not poison int storage")
+	}
+
+	// Overflowing the shard cap must spill to the shared pool, not drop
+	// or grow without bound.
+	held := make([]*Batch, localShardCap+4)
+	for i := range held {
+		held[i] = l.Get(testKinds, 1)
+	}
+	for _, h := range held {
+		h.Release()
+	}
+	if n := len(l.free); n != localShardCap {
+		t.Errorf("shard free list holds %d batches, want %d", n, localShardCap)
+	}
+}
+
+func TestLocalShardNilPool(t *testing.T) {
+	var p *Pool
+	l := p.Local()
+	b := l.Get(testKinds, 2)
+	if b.Pooled() {
+		t.Error("nil-pool shard returned a pooled batch")
+	}
+	b.Release() // must be a no-op
+}
+
+func TestLocalShardCrossGoroutineRelease(t *testing.T) {
+	p := NewPool()
+	l := p.Local()
+	b := l.Get(testKinds, 2)
+	fillTest(b)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b.Release() // handed off: release from another goroutine
+	}()
+	<-done
+	c := l.Get(testKinds, 0)
+	if c.Len() != 0 {
+		t.Errorf("batch recycled across goroutines has %d rows", c.Len())
+	}
+	c.Release()
+}
+
+func TestLocalShardDrain(t *testing.T) {
+	p := NewPool()
+	l := p.Local()
+	b := l.Get(testKinds, 2)
+	c := l.Get(testKinds, 2)
+	b.Release() // sits on the shard's free list
+	l.Drain()
+	if n := len(l.free); n != 0 {
+		t.Errorf("drained shard still holds %d batches", n)
+	}
+	// A batch still out at Drain time must pass through to the shared
+	// pool on release, not strand on the abandoned shard.
+	c.Release()
+	if n := len(l.free); n != 0 {
+		t.Errorf("post-drain release stranded %d batches on the shard", n)
+	}
+	if !race.Enabled {
+		// Both batches should be recyclable from the shared pool now
+		// (sync.Pool sheds randomly under -race, so only check without).
+		reused0, _ := p.Stats()
+		d := p.Get(testKinds, 0)
+		e := p.Get(testKinds, 0)
+		reused1, _ := p.Stats()
+		if reused1-reused0 != 2 {
+			t.Errorf("recycled %d of 2 drained batches", reused1-reused0)
+		}
+		d.Release()
+		e.Release()
+	}
+}

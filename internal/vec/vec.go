@@ -98,6 +98,7 @@ type Batch struct {
 	n    int
 
 	pool *Pool        // owning pool; nil for unpooled batches
+	home *Local       // worker shard it was checked out of, if any
 	refs atomic.Int32 // outstanding references while pooled
 }
 

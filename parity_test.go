@@ -404,3 +404,63 @@ func firstDiff(got, want []pages.Row) string {
 	}
 	return fmt.Sprintf("row counts differ (%d vs %d)", len(got), len(want))
 }
+
+// TestFlightParityParallelism re-runs the concurrent cross-mode parity
+// suite at explicit intra-query parallelism levels with release-
+// poisoning on: morsel workers hand pooled batches across scan → probe
+// → partial-aggregate stages, and any checkout→Retain→Release mistake
+// in those hand-offs surfaces as poisoned values or parity misses.
+// Parallelism 1 pins the sequential fallback; 4 drives the morsel
+// dispatcher, the parallel QPipe page fetch and the partitioned CJOIN
+// scanners even on small machines.
+func TestFlightParityParallelism(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+
+	sys := paritySystem(t)
+	plans := flightPlans(t, sys)
+	wants := make([][]pages.Row, len(plans))
+	for i, q := range plans {
+		w, err := exec.ExecuteRows(sys.Env, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+
+	for _, par := range []int{1, 4} {
+		for _, mode := range sharedq.Modes() {
+			t.Run(fmt.Sprintf("%s/parallelism=%d", mode, par), func(t *testing.T) {
+				eng := sharedq.NewEngine(sys, sharedq.Options{Mode: mode, Parallelism: par})
+				defer eng.Close()
+				results := make([][]pages.Row, len(plans))
+				errs := make([]error, len(plans))
+				var wg sync.WaitGroup
+				for i := range plans {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						results[i], errs[i] = eng.Submit(plans[i])
+					}(i)
+				}
+				wg.Wait()
+				for i := range plans {
+					if errs[i] != nil {
+						t.Fatalf("query %d: %v", i, errs[i])
+					}
+					for _, r := range results[i] {
+						for _, v := range r {
+							if v.Kind == pages.KindString && v.S == vec.PoisonString {
+								t.Fatalf("query %d leaked a poisoned (released) value", i)
+							}
+						}
+					}
+					if !reflect.DeepEqual(results[i], wants[i]) {
+						t.Errorf("query %d diverged at parallelism %d (%d vs %d rows)",
+							i, par, len(results[i]), len(wants[i]))
+					}
+				}
+			})
+		}
+	}
+}

@@ -13,13 +13,17 @@
 //   - SP applied on top of CJOIN (the paper's CJOIN-SP integration).
 //
 // Execution is vectorized: every engine configuration (Baseline
-// through CJOIN-SP) operates batch-at-a-time over typed column batches
+// through CJOIN-SP) and both Table 2 extension substrates (SharedDB,
+// Crescando) operate batch-at-a-time over typed column batches
 // (internal/vec) with selection-vector filter kernels, columnar
 // hash-join probes and batch aggregation. Each 32 KB storage page is
 // decoded into a column batch once and shared by all concurrent scans
 // through a per-table decoded-batch cache, extending the paper's
-// sharing of I/O work to decode work. (The SharedDB and Crescando
-// extension substrates of Table 2 still execute row-at-a-time.)
+// sharing of I/O work to decode work. Query-centric execution is
+// additionally morsel-parallel (Options.Parallelism, default
+// GOMAXPROCS): one query fans its scan→filter→probe→aggregate
+// pipeline out across all cores with results bit-identical to the
+// sequential path.
 //
 // Quick start:
 //
