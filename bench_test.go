@@ -9,6 +9,7 @@
 package sharedq_test
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -137,6 +138,46 @@ func BenchmarkModes(b *testing.B) {
 				if _, err := sharedq.RunBatch(sys, sharedq.Options{Mode: mode}, qs, false); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkModesCtx measures the context-aware query path: the same 8
+// pooled Q3.2 instances as BenchmarkModes, each submitted through
+// QueryCtx-style plumbing (per-query context derivation, deadline
+// composition, cooperative cancellation checks) with a generous
+// deadline that never fires. CI gates its allocs/op so the lifecycle
+// machinery stays off the steady-state allocation path.
+func BenchmarkModesCtx(b *testing.B) {
+	sys := benchSystem(b)
+	for _, mode := range []sharedq.Mode{sharedq.Baseline, sharedq.CJOIN} {
+		b.Run(mode.String(), func(b *testing.B) {
+			eng := sharedq.NewEngine(sys, sharedq.Options{Mode: mode, DefaultTimeout: time.Hour})
+			defer eng.Close()
+			plans := make([]*plan.Query, 8)
+			for i := range plans {
+				q, err := plan.Build(sys.Cat, ssb.Q32PoolPlan(i%4))
+				if err != nil {
+					b.Fatal(err)
+				}
+				plans[i] = q
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for _, q := range plans {
+					wg.Add(1)
+					go func(q *plan.Query) {
+						defer wg.Done()
+						if _, err := eng.SubmitCtx(ctx, q); err != nil {
+							b.Error(err)
+						}
+					}(q)
+				}
+				wg.Wait()
 			}
 		})
 	}

@@ -3,8 +3,11 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"sharedq"
 	"sharedq/internal/exec"
@@ -37,6 +40,25 @@ LIMIT 5`
 		}
 		eng.Close()
 		fmt.Println()
+	}
+
+	// Query lifecycle: QueryCtx runs a query under a context, so a
+	// deadline (or an abandoning client calling cancel) stops it
+	// mid-flight — it detaches from shared scans, retracts its CJOIN
+	// admission window and releases every pooled batch it held.
+	eng := sharedq.NewEngine(sys, sharedq.Options{
+		Mode:           sharedq.CJOINSP,
+		DefaultTimeout: 5 * time.Second, // engine-wide bound for every query
+	})
+	defer eng.Close() // graceful drain: waits for in-flight queries
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Microsecond)
+	defer cancel()
+	if _, _, err := eng.QueryCtx(ctx, q); errors.Is(err, context.DeadlineExceeded) {
+		fmt.Println("50µs deadline: query cancelled mid-flight, no leaks")
+	} else if err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Println("query finished inside 50µs (warm cache)")
 	}
 
 	// The library's rules-of-thumb advisor (Table 1 of the paper).

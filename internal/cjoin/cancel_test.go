@@ -1,0 +1,235 @@
+package cjoin
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"sharedq/internal/exec"
+	"sharedq/internal/plan"
+	"sharedq/internal/qpipe"
+	"sharedq/internal/ssb"
+	"sharedq/internal/vec"
+)
+
+// TestSubmitCtxRetractsCancelledQuery cancels one query mid-pass while
+// an identical-shape neighbor keeps running: the cancelled one must
+// return context.Canceled and stop gating the circular pass (the
+// cjoin_retracted counter ticks), the survivor must still produce
+// baseline-correct rows, and the stage must drain cleanly.
+func TestSubmitCtxRetractsCancelledQuery(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+	env := testEnv(t)
+	env.Recycle = vec.NewPool()
+	// Gate the fact scan through the fault hook (no fault, just a
+	// barrier): the victim's circular pass cannot complete until the
+	// gate opens, so the cancellation deterministically lands while
+	// its admission window is open.
+	fact, _ := env.Cat.FactTable()
+	gate := make(chan struct{})
+	var openGate sync.Once
+	release := func() { openGate.Do(func() { close(gate) }) }
+	defer release()
+	gated := *env
+	gated.ReadFault = func(table string, idx int) error {
+		if table == fact.Name {
+			<-gate
+		}
+		return nil
+	}
+	st := NewStage(&gated, Config{
+		Ports: qpipe.PortConfig{Model: qpipe.CommSPL, Col: env.Col},
+	})
+	defer st.Close()
+	rng := rand.New(rand.NewSource(33))
+
+	victim, err := plan.Build(env.Cat, ssb.Q32(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor, err := plan.Build(env.Cat, ssb.Q32(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.Execute(env, survivor)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	var victimErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, victimErr = st.SubmitCtx(ctx, victim)
+	}()
+	// Cancel once the victim has been admitted: its window is open and
+	// held open by the gated scan.
+	for st.Stats()["cjoin_admitted"] == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	cancel()
+	wg.Wait()
+	if !errors.Is(victimErr, context.Canceled) {
+		t.Errorf("victim = %v, want context.Canceled", victimErr)
+	}
+	if st.Stats()["cjoin_retracted"] == 0 {
+		t.Error("cancellation did not retract the admission window")
+	}
+
+	// With the gate open, an unrelated query still gets exact results.
+	release()
+	got, err := st.Submit(survivor)
+	if err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("survivor diverges from baseline after neighbor retraction")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for env.Recycle.Outstanding() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d pool batches leaked after retraction", env.Recycle.Outstanding())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestScannerReadFaultClosesRetractedHost pins the interaction of
+// retraction with the scanner error path: a host query cancelled while
+// a scanner holds one of its outstanding batch claims (mid-read) is
+// gone from st.active, so the error sweep cannot see it — the claim
+// undone on the failed read must be the point that closes its output
+// port, or an SP satellite attached to the host drains it forever.
+func TestScannerReadFaultClosesRetractedHost(t *testing.T) {
+	env := testEnv(t)
+	fact, _ := env.Cat.FactTable()
+	boom := errors.New("injected read fault")
+	release := make(chan struct{})
+	var openRelease sync.Once
+	defer openRelease.Do(func() { close(release) })
+	gated := *env
+	gated.ReadFault = func(table string, idx int) error {
+		if table != fact.Name {
+			return nil
+		}
+		// Block the circular pass until released, then fail every read.
+		<-release
+		return boom
+	}
+	st := NewStage(&gated, Config{
+		SP:    true,
+		Ports: qpipe.PortConfig{Model: qpipe.CommSPL, Col: env.Col},
+	})
+	defer st.Close()
+	rng := rand.New(rand.NewSource(17))
+	sql := ssb.Q32(rng)
+	host, err := plan.Build(env.Cat, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat, err := plan.Build(env.Cat, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	var hostErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, hostErr = st.SubmitCtx(ctx, host)
+	}()
+	// Wait until the host is admitted (a scanner now blocks mid-read,
+	// holding one of its outstanding claims).
+	for st.Stats()["cjoin_admitted"] == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	// Attach a satellite to the host's open WoP and wait until its
+	// reader is actually on the host's port.
+	satDone := make(chan error, 1)
+	go func() {
+		_, err := st.Submit(sat)
+		satDone <- err
+	}()
+	sig := host.JoinPrefixSignature(len(host.Dims) - 1)
+	for {
+		st.mu.Lock()
+		h := st.hosts[sig]
+		attached := h != nil && h.out.ActiveReaders() >= 2
+		st.mu.Unlock()
+		if attached {
+			break
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	cancel() // retract the host while its claim is still outstanding
+	wg.Wait()
+	if !errors.Is(hostErr, context.Canceled) {
+		t.Fatalf("host = %v, want context.Canceled", hostErr)
+	}
+	openRelease.Do(func() { close(release) }) // fail the blocked read
+
+	select {
+	case err := <-satDone:
+		// The satellite saw the host's truncated stream, resubmitted,
+		// and its own run failed on the injected fault — any outcome is
+		// fine as long as it returns.
+		if err == nil {
+			t.Log("satellite completed from buffered host output")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("satellite hung: retracted host's port never closed on the read-fault path")
+	}
+}
+
+// TestScannerReadFaultFailsSubmit pins the scanner error path: a read
+// fault mid-circular-pass must fail the in-flight queries' Submits
+// (not hang them). The seed code incremented the failed batch's
+// outstanding claims without ever shipping it, so the queries' output
+// ports never closed and Submit blocked forever.
+func TestScannerReadFaultFailsSubmit(t *testing.T) {
+	env := testEnv(t)
+	boom := errors.New("injected read fault")
+	fact, _ := env.Cat.FactTable()
+	faulty := *env
+	faulty.ReadFault = func(table string, idx int) error {
+		if table == fact.Name && idx == fact.NumPages/2 {
+			return boom
+		}
+		return nil
+	}
+	st := NewStage(&faulty, Config{
+		Ports: qpipe.PortConfig{Model: qpipe.CommSPL, Col: env.Col},
+	})
+	defer st.Close()
+	rng := rand.New(rand.NewSource(9))
+	q, err := plan.Build(env.Cat, ssb.Q32(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := st.Submit(q)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, boom) {
+			t.Errorf("Submit with mid-pass read fault = %v, want injected fault", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Submit hung on a mid-pass read fault (outstanding claim never undone)")
+	}
+}

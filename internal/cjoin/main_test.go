@@ -1,0 +1,12 @@
+package cjoin
+
+import (
+	"testing"
+
+	"sharedq/internal/leakcheck"
+)
+
+// TestMain is the package's goroutine-leak gate: stage scanners,
+// pipeline workers or distributor parts still running after the tests
+// complete fail the build.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,6 +1,8 @@
 package cjoin
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -15,6 +17,10 @@ import (
 	"sharedq/internal/qpipe"
 	"sharedq/internal/vec"
 )
+
+// ErrClosed is returned by Submit after Close: the stage no longer
+// admits queries.
+var ErrClosed = errors.New("cjoin: stage is closed")
 
 // Config tunes the CJOIN stage.
 type Config struct {
@@ -76,6 +82,7 @@ type query struct {
 	outstanding atomic.Int64 // batches in flight carrying this query's bit
 	done        atomic.Bool  // preprocessor completed the circular window
 	closed      atomic.Bool
+	cancelled   atomic.Bool // admission window retracted before completion
 
 	wopMu   sync.Mutex // guards started against satellite attachment
 	started bool       // first output emitted; step WoP closed
@@ -224,15 +231,15 @@ func NewStage(env *exec.Env, cfg Config) *Stage {
 	return st
 }
 
-// Close stops the stage's goroutines. It must only be called after all
-// submissions have returned; calling it with queries still in flight
-// panics (loudly, instead of racing their windows against shutdown).
+// Close shuts the stage down gracefully: it stops admitting new
+// queries (later Submits return ErrClosed), lets every in-flight query
+// finish its circular admission window, and then waits for the
+// scanners, pipeline workers and distributor parts to unwind. Safe to
+// call more than once. Callers that cannot wait for in-flight queries
+// cancel them first (SubmitCtx) — a cancelled query retracts its
+// window immediately, so a cancel-then-Close shutdown is prompt.
 func (st *Stage) Close() {
 	st.mu.Lock()
-	if n := len(st.active) + len(st.pending); n > 0 {
-		st.mu.Unlock()
-		panic(fmt.Sprintf("cjoin: Close called with %d queries in flight; wait for Submit to return first", n))
-	}
 	st.closed = true
 	st.cond.Broadcast()
 	st.mu.Unlock()
@@ -270,48 +277,87 @@ func (st *Stage) Err() error {
 // Submit runs one star query through the global query plan and returns
 // its output rows. Safe for concurrent use.
 func (st *Stage) Submit(q *plan.Query) ([]pages.Row, error) {
+	return st.SubmitCtx(context.Background(), q)
+}
+
+// SubmitCtx is Submit under a context. A cancelled or timed-out query
+// retracts its admission window immediately — its bit is cleared from
+// every partition mask so it stops gating the circular pass, its slot
+// in the filter bitmaps is queued for retirement, and the distributor
+// stops assembling output batches for it — and SubmitCtx returns
+// ctx.Err(). An SP satellite whose host is cancelled mid-stream
+// resubmits transparently (its truncated stream is discarded).
+func (st *Stage) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, error) {
 	if !q.IsStarJoinable() {
 		return nil, fmt.Errorf("cjoin: %q is not a star query", q.SQL)
 	}
 	sig := q.JoinPrefixSignature(len(q.Dims) - 1)
 
-	st.mu.Lock()
-	if st.cfg.SP {
-		if h, ok := st.hosts[sig]; ok {
-			h.wopMu.Lock()
-			if !h.started {
-				// Step WoP open: the new packet is identical to an
-				// admitted one — reuse its results and skip admission,
-				// bitmap extension and redundant evaluation entirely
-				// (§3.3).
-				in := h.out.AddReader(true)
-				h.wopMu.Unlock()
-				st.mu.Unlock()
-				st.stats.Get("cjoin_shared").Inc()
-				rows := qpipe.Drain(st.env, q, in)
-				return rows, st.Err()
-			}
-			h.wopMu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-	}
-	qq := &query{
-		plan:     q,
-		out:      st.cfg.Ports.NewOutPort(),
-		sig:      sig,
-		factVec:  expr.CompileVecPred(q.FactPred),
-		outKinds: vec.Kinds(q.JoinedSchema),
-	}
-	qq.myIn = qq.out.AddReader(true)
-	st.pending = append(st.pending, qq)
-	if st.cfg.SP {
-		st.hosts[sig] = qq
-	}
-	st.cond.Broadcast()
-	st.mu.Unlock()
+		st.mu.Lock()
+		if st.closed {
+			st.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if st.cfg.SP {
+			if h, ok := st.hosts[sig]; ok {
+				h.wopMu.Lock()
+				if !h.started {
+					// Step WoP open: the new packet is identical to an
+					// admitted one — reuse its results and skip admission,
+					// bitmap extension and redundant evaluation entirely
+					// (§3.3).
+					in := h.out.AddReader(true)
+					h.wopMu.Unlock()
+					st.mu.Unlock()
+					stopWatch := context.AfterFunc(ctx, in.Abort)
+					rows := qpipe.Drain(st.env, q, in)
+					stopWatch()
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					if h.cancelled.Load() {
+						// The host was abandoned and its output stream is
+						// truncated; run the query ourselves. No share
+						// happened, so the counter stays untouched.
+						continue
+					}
+					st.stats.Get("cjoin_shared").Inc()
+					return rows, st.Err()
+				}
+				h.wopMu.Unlock()
+			}
+		}
+		qq := &query{
+			plan:     q,
+			out:      st.cfg.Ports.NewOutPort(),
+			sig:      sig,
+			factVec:  expr.CompileVecPred(q.FactPred),
+			outKinds: vec.Kinds(q.JoinedSchema),
+		}
+		qq.myIn = qq.out.AddReader(true)
+		st.pending = append(st.pending, qq)
+		if st.cfg.SP {
+			st.hosts[sig] = qq
+		}
+		st.cond.Broadcast()
+		st.mu.Unlock()
 
-	rows := qpipe.Drain(st.env, q, qq.myIn)
-	st.unregister(qq)
-	return rows, st.Err()
+		stopWatch := context.AfterFunc(ctx, func() {
+			st.retract(qq)
+			qq.myIn.Abort()
+		})
+		rows := qpipe.Drain(st.env, q, qq.myIn)
+		stopWatch()
+		st.unregister(qq)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return rows, st.Err()
+	}
 }
 
 func (st *Stage) unregister(qq *query) {
@@ -320,6 +366,59 @@ func (st *Stage) unregister(qq *query) {
 	if st.hosts[qq.sig] == qq {
 		delete(st.hosts, qq.sig)
 	}
+}
+
+// retract withdraws a cancelled query from the global plan: still-
+// pending queries simply leave the queue; admitted ones close their
+// remaining per-partition admission windows (clearing their bit from
+// the partition masks so scanners stop emitting on their behalf) and
+// queue their filter bit for retirement at the next admission pause.
+// Batches already in flight still carry the bit; the distributor skips
+// assembling output for a cancelled query and its outstanding count
+// drains as usual, closing the output port.
+func (st *Stage) retract(qq *query) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i, p := range st.pending {
+		if p == qq {
+			st.pending = append(st.pending[:i], st.pending[i+1:]...)
+			qq.cancelled.Store(true)
+			if st.hosts[qq.sig] == qq {
+				delete(st.hosts, qq.sig)
+			}
+			qq.done.Store(true)
+			st.closeQuery(qq)
+			st.stats.Get("cjoin_retracted").Inc()
+			return
+		}
+	}
+	for i, a := range st.active {
+		if a == qq {
+			qq.cancelled.Store(true)
+			if st.hosts[qq.sig] == qq {
+				delete(st.hosts, qq.sig)
+			}
+			for pi := range qq.open {
+				if qq.open[pi] {
+					qq.open[pi] = false
+					st.parts[pi].mask.Clear(qq.bit)
+				}
+			}
+			qq.openParts = 0
+			st.dirtyBit = append(st.dirtyBit, qq.bit)
+			st.active = append(st.active[:i], st.active[i+1:]...)
+			qq.done.Store(true)
+			if qq.outstanding.Load() == 0 {
+				st.closeQuery(qq)
+			}
+			st.stats.Get("cjoin_retracted").Inc()
+			// Scanners idling on this query's windows re-check their
+			// open sets (and the Close exit condition).
+			st.cond.Broadcast()
+			return
+		}
+	}
+	// Already completed (or already retracted): nothing to withdraw.
 }
 
 // scanner is partition pi's preprocessor: it cycles the partition's
@@ -405,6 +504,18 @@ func (st *Stage) scanner(pi int) {
 		if err != nil {
 			st.fail(err)
 			st.mu.Lock()
+			// The failed batch never ships: undo its outstanding claims,
+			// or the open queries' output ports would never close and
+			// their Submits would block forever. A query retracted since
+			// the claim was taken is already done and out of st.active —
+			// the sweep below won't see it, so the last claim dropped
+			// here must close its port (mirroring distributorPart), or
+			// an attached SP satellite drains it forever.
+			for _, qq := range open {
+				if qq.outstanding.Add(-1) == 0 && qq.done.Load() {
+					completed = append(completed, qq)
+				}
+			}
 			for _, qq := range st.active {
 				for j := range qq.open {
 					if qq.open[j] {
@@ -667,6 +778,10 @@ func (st *Stage) distributorPart() {
 // caller's reusable selection scratch, returned (possibly grown) for
 // the next call.
 func (st *Stage) deliver(b *batch, qq *query, sel []int) []int {
+	if qq.cancelled.Load() {
+		// Retracted mid-flight: nobody will read this query's output.
+		return sel
+	}
 	t0 := time.Now()
 	// Select this query's surviving tuples, then apply its fact
 	// predicate over the shared fact batch (CJOIN evaluates fact

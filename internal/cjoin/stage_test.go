@@ -1,10 +1,12 @@
 package cjoin
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"sharedq/internal/buffer"
 	"sharedq/internal/catalog"
@@ -443,33 +445,65 @@ func TestPartitionedScannersParity(t *testing.T) {
 	}
 }
 
-// TestCloseWithInFlightQueriesPanics pins the Close contract: shutting
-// the stage down while a query's admission window is still open must
-// fail loudly instead of racing the scanners against teardown.
-func TestCloseWithInFlightQueriesPanics(t *testing.T) {
+// TestCloseDrainsInFlightQueries pins the graceful-shutdown contract:
+// Close with queries still in flight waits for their circular windows
+// to complete — every in-flight Submit returns its full, correct
+// result — and only then tears the pipeline down. Submissions arriving
+// after Close has begun are rejected with ErrClosed.
+func TestCloseDrainsInFlightQueries(t *testing.T) {
 	env := testEnv(t)
 	st := NewStage(env, Config{
 		Ports: qpipe.PortConfig{Model: qpipe.CommSPL, Col: env.Col},
 	})
-	// Install a fake in-flight query directly under the stage lock: a
-	// real Submit races admission with Close, which is exactly the
-	// nondeterminism the guard exists to surface.
-	st.mu.Lock()
-	st.active = append(st.active, &query{})
-	st.mu.Unlock()
+	rng := rand.New(rand.NewSource(21))
+	const n = 4
+	plans := make([]*plan.Query, n)
+	wants := make([][]pages.Row, n)
+	for i := range plans {
+		q, err := plan.Build(env.Cat, ssb.Q32(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := exec.Execute(env, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[i], wants[i] = q, w
+	}
 
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("Close with an in-flight query did not panic")
-			}
-		}()
-		st.Close()
-	}()
+	results := make([][]pages.Row, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range plans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = st.Submit(plans[i])
+		}(i)
+	}
+	// Wait until every query has actually been admitted, so Close lands
+	// with windows genuinely open.
+	for {
+		if st.Stats()["cjoin_admitted"] == n {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	st.Close()
+	wg.Wait()
+	for i := range plans {
+		if errs[i] != nil {
+			t.Fatalf("query %d failed across Close: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], wants[i]) {
+			t.Errorf("query %d: drained result diverges from baseline", i)
+		}
+	}
 
-	// Clearing the fake query must make Close safe again.
-	st.mu.Lock()
-	st.active = nil
-	st.mu.Unlock()
+	// The stage is down: new submissions are rejected, and a second
+	// Close is a no-op.
+	if _, err := st.Submit(plans[0]); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
 	st.Close()
 }

@@ -66,6 +66,7 @@ type Consumer struct {
 	entryIndex int      // circular-scan entry point; -1 for plain streams
 	appended   int      // nodes appended since attach
 	done       bool
+	aborted    bool // Abort requested; detach on the consumer's next Next
 }
 
 // AddConsumer attaches a reader. With fromStart, the consumer also
@@ -215,6 +216,13 @@ func (c *Consumer) Next() (*Page, bool) {
 		c.prev = nil
 	}
 	for {
+		if c.aborted && !c.done {
+			// Cancellation requested from another goroutine (Abort): the
+			// detach happens here, on the consumer's own thread, so a page
+			// the consumer was still processing is never released out from
+			// under it.
+			c.detachLocked()
+		}
 		if c.done {
 			return nil, false
 		}
@@ -243,7 +251,9 @@ func (c *Consumer) Next() (*Page, bool) {
 
 // Close detaches the consumer early (e.g. a cancelled query), releasing
 // its claim on all unread pages so the producer is not throttled by a
-// reader that will never come back.
+// reader that will never come back. Close must only be called from the
+// consumer's own goroutine (it may release the page the last Next
+// returned); use Abort to cancel from elsewhere.
 func (c *Consumer) Close() {
 	s := c.spl
 	s.mu.Lock()
@@ -251,6 +261,29 @@ func (c *Consumer) Close() {
 	if c.done {
 		return
 	}
+	c.detachLocked()
+}
+
+// Abort requests detachment from another goroutine: it is safe
+// concurrent with Next. A consumer blocked in Next wakes and detaches
+// immediately; one that is busy processing a page detaches on its next
+// Next call, so the page it holds stays valid until then.
+func (c *Consumer) Abort() {
+	s := c.spl
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.done {
+		return
+	}
+	c.aborted = true
+	s.notEmpty.Broadcast()
+}
+
+// detachLocked finishes the consumer: release the claim on the last
+// returned page and on every unread node, and leave the active set so
+// the producer stops counting this reader. Caller holds s.mu.
+func (c *Consumer) detachLocked() {
+	s := c.spl
 	c.done = true
 	delete(s.active, c)
 	if c.prev != nil {

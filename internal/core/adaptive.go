@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 
@@ -50,11 +51,25 @@ func NewAdaptiveEngine(sys *System, cores int, opts Options) *AdaptiveEngine {
 	}
 }
 
-// Close releases all engines.
+// Close gracefully shuts all three engines down: each drains its
+// in-flight queries before tearing down (see Engine.Close).
 func (a *AdaptiveEngine) Close() {
 	a.par.Close()
 	a.qp.Close()
 	a.cj.Close()
+}
+
+// Shutdown drains all three engines bounded by ctx (see
+// Engine.Shutdown); the first context error, if any, is returned.
+func (a *AdaptiveEngine) Shutdown(ctx context.Context) error {
+	err := a.par.Shutdown(ctx)
+	if e := a.qp.Shutdown(ctx); err == nil {
+		err = e
+	}
+	if e := a.cj.Shutdown(ctx); err == nil {
+		err = e
+	}
+	return err
 }
 
 // Submit routes the query: GQP when the system is saturated (in-flight
@@ -62,32 +77,43 @@ func (a *AdaptiveEngine) Close() {
 // morsel-parallel executor when this is the only query in flight (one
 // query, all cores), the staged SP engine when concurrency can share.
 func (a *AdaptiveEngine) Submit(q *plan.Query) ([]pages.Row, error) {
+	return a.SubmitCtx(context.Background(), q)
+}
+
+// SubmitCtx routes like Submit, under a context (see Engine.QueryCtx
+// for the cancellation semantics of each arm).
+func (a *AdaptiveEngine) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, error) {
 	n := int(a.inflight.Add(1))
 	defer a.inflight.Add(-1)
 	if q.IsStarJoinable() {
 		if Advise(n, a.cores).Mode == CJOINSP {
 			a.routedCJ.Add(1)
-			return a.cj.Submit(q)
+			return a.cj.SubmitCtx(ctx, q)
 		}
 		// The morsel-parallel arm only pays off when there are workers
 		// to fan out to; on a single-worker environment the staged
 		// engine keeps its pipeline overlap.
 		if n == 1 && a.par.env.Workers() > 1 {
 			a.routedPar.Add(1)
-			return a.par.Submit(q)
+			return a.par.SubmitCtx(ctx, q)
 		}
 	}
 	a.routedQP.Add(1)
-	return a.qp.Submit(q)
+	return a.qp.SubmitCtx(ctx, q)
 }
 
 // Query parses, plans and executes sql adaptively.
 func (a *AdaptiveEngine) Query(sql string) ([]pages.Row, *pages.Schema, error) {
+	return a.QueryCtx(context.Background(), sql)
+}
+
+// QueryCtx parses, plans and executes sql adaptively under ctx.
+func (a *AdaptiveEngine) QueryCtx(ctx context.Context, sql string) ([]pages.Row, *pages.Schema, error) {
 	q, err := plan.Build(a.sys.Cat, sql)
 	if err != nil {
 		return nil, nil, err
 	}
-	rows, err := a.Submit(q)
+	rows, err := a.SubmitCtx(ctx, q)
 	if err != nil {
 		return nil, nil, err
 	}

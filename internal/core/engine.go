@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"sharedq/internal/cjoin"
 	"sharedq/internal/exec"
@@ -9,6 +13,10 @@ import (
 	"sharedq/internal/plan"
 	"sharedq/internal/qpipe"
 )
+
+// ErrClosed is returned by Submit/Query once the engine has begun
+// shutting down: a closed engine admits no new queries.
+var ErrClosed = errors.New("core: engine is closed")
 
 // Mode selects one of the execution-engine configurations under
 // comparison (§5.1).
@@ -104,6 +112,12 @@ type Options struct {
 	// (all schedulable cores — runtime.NumCPU() unless overridden);
 	// 1 forces the single-threaded paths.
 	Parallelism int
+	// DefaultTimeout bounds every query submitted to the engine: a
+	// query that has not completed within it is cancelled and returns
+	// context.DeadlineExceeded. It composes with (never extends) any
+	// deadline already on the caller's context. 0 disables the bound —
+	// callers pass their own deadline through QueryCtx/SubmitCtx.
+	DefaultTimeout time.Duration
 }
 
 // Engine executes queries under one configuration. All methods are
@@ -115,11 +129,23 @@ type Engine struct {
 	opts Options
 	qp   *qpipe.Engine // nil in Baseline mode
 	cj   *cjoin.Stage  // non-nil in CJOIN/CJOINSP modes
+
+	// Lifecycle state: SubmitCtx registers in-flight queries so Close
+	// can drain them, and baseCtx is the engine-lifetime context whose
+	// cancellation (Shutdown's forced phase) aborts every one of them.
+	lcMu       sync.Mutex
+	lcCond     *sync.Cond
+	inflight   int
+	closed     bool
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 }
 
 // NewEngine builds an engine over sys.
 func NewEngine(sys *System, opts Options) *Engine {
 	e := &Engine{sys: sys, env: sys.Env, opts: opts}
+	e.lcCond = sync.NewCond(&e.lcMu)
+	e.baseCtx, e.baseCancel = context.WithCancel(context.Background())
 	if opts.Parallelism != 0 {
 		// Shallow copy: same substrate, caches and pool, but this
 		// engine's parallelism knob.
@@ -173,11 +199,96 @@ func (e *Engine) Mode() Mode { return e.opts.Mode }
 // System returns the substrate the engine runs on.
 func (e *Engine) System() *System { return e.sys }
 
-// Close releases engine goroutines (the CJOIN pipeline). Safe to call
-// once, after all submissions have returned.
-func (e *Engine) Close() {
+// Close shuts the engine down gracefully: it stops admitting new
+// queries (later submissions return ErrClosed), waits for every
+// in-flight query to complete, then tears down the CJOIN pipeline and
+// the QPipe scan machinery. Queries the caller will not wait for
+// should be cancelled through their contexts (or use Shutdown with a
+// deadline). Safe to call more than once.
+func (e *Engine) Close() { _ = e.Shutdown(context.Background()) }
+
+// Shutdown drains the engine like Close, bounded by ctx: if the drain
+// has not finished when ctx is done, every remaining in-flight query
+// is cancelled (it returns context.Canceled to its submitter) and
+// Shutdown waits for the unwind before tearing the stages down. It
+// returns ctx.Err() when the forced phase was needed, nil for a clean
+// drain.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.lcMu.Lock()
+	e.closed = true
+	// When ctx fires mid-drain, cancel the engine-lifetime context:
+	// every in-flight query's context is derived from it, so they all
+	// unblock, release their batches and return to their submitters.
+	forced := false
+	stopWatch := context.AfterFunc(ctx, func() {
+		e.lcMu.Lock()
+		if e.inflight > 0 {
+			forced = true
+		}
+		e.lcMu.Unlock()
+		e.baseCancel()
+	})
+	for e.inflight > 0 {
+		e.lcCond.Wait()
+	}
+	e.lcMu.Unlock()
+	stopWatch()
+	e.baseCancel() // the engine admits nothing anymore; free the context
 	if e.cj != nil {
 		e.cj.Close()
+	}
+	if e.qp != nil {
+		e.qp.Close()
+	}
+	// The watcher may still be mid-run after a false Stop; forced is
+	// read under the same lock it writes. A watcher that runs after
+	// the drain finished observes inflight == 0 and leaves it false.
+	e.lcMu.Lock()
+	wasForced := forced
+	e.lcMu.Unlock()
+	if wasForced {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// begin registers an in-flight query; it fails once Close has started.
+func (e *Engine) begin() error {
+	e.lcMu.Lock()
+	defer e.lcMu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.inflight++
+	return nil
+}
+
+func (e *Engine) end() {
+	e.lcMu.Lock()
+	e.inflight--
+	if e.inflight == 0 {
+		e.lcCond.Broadcast()
+	}
+	e.lcMu.Unlock()
+}
+
+// queryContext derives the per-query context: the caller's, bounded by
+// Options.DefaultTimeout when set, and cancelled when the engine's
+// forced shutdown fires. The returned cancel must be called when the
+// query finishes.
+func (e *Engine) queryContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	var timeoutCancel context.CancelFunc
+	if e.opts.DefaultTimeout > 0 {
+		ctx, timeoutCancel = context.WithTimeout(ctx, e.opts.DefaultTimeout)
+	}
+	qctx, qcancel := context.WithCancel(ctx)
+	stopWatch := context.AfterFunc(e.baseCtx, qcancel)
+	return qctx, func() {
+		stopWatch()
+		qcancel()
+		if timeoutCancel != nil {
+			timeoutCancel()
+		}
 	}
 }
 
@@ -189,11 +300,20 @@ func (e *Engine) Plan(sql string) (*plan.Query, error) {
 // Query parses, plans and executes sql, returning the result rows and
 // their schema.
 func (e *Engine) Query(sql string) ([]pages.Row, *pages.Schema, error) {
+	return e.QueryCtx(context.Background(), sql)
+}
+
+// QueryCtx parses, plans and executes sql under ctx: cancelling the
+// context (or exceeding its deadline, or the engine's DefaultTimeout)
+// aborts the query mid-flight — it detaches from shared scans, retracts
+// its CJOIN admission window, releases every pooled batch it holds and
+// returns ctx.Err().
+func (e *Engine) QueryCtx(ctx context.Context, sql string) ([]pages.Row, *pages.Schema, error) {
 	q, err := e.Plan(sql)
 	if err != nil {
 		return nil, nil, err
 	}
-	rows, err := e.Submit(q)
+	rows, err := e.SubmitCtx(ctx, q)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -202,13 +322,24 @@ func (e *Engine) Query(sql string) ([]pages.Row, *pages.Schema, error) {
 
 // Submit executes a planned query under the engine's configuration.
 func (e *Engine) Submit(q *plan.Query) ([]pages.Row, error) {
+	return e.SubmitCtx(context.Background(), q)
+}
+
+// SubmitCtx executes a planned query under ctx (see QueryCtx).
+func (e *Engine) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, error) {
+	if err := e.begin(); err != nil {
+		return nil, err
+	}
+	defer e.end()
+	qctx, cancel := e.queryContext(ctx)
+	defer cancel()
 	switch {
 	case e.opts.Mode == Baseline:
-		return exec.Execute(e.env, q)
+		return exec.ExecuteCtx(qctx, e.env, q)
 	case e.cj != nil && q.IsStarJoinable():
-		return e.cj.Submit(q)
+		return e.cj.SubmitCtx(qctx, q)
 	default:
-		return e.qp.Submit(q)
+		return e.qp.SubmitCtx(qctx, q)
 	}
 }
 

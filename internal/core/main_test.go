@@ -1,0 +1,12 @@
+package core
+
+import (
+	"testing"
+
+	"sharedq/internal/leakcheck"
+)
+
+// TestMain is the package's goroutine-leak gate: an Engine that leaves
+// scanners, join packets or CJOIN pipeline workers running after Close
+// fails the build.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

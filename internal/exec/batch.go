@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"time"
 
 	"sharedq/internal/catalog"
@@ -24,18 +25,42 @@ import (
 // through the environment's decoded-batch cache (decode-once sharing).
 // Accounted to metrics.Scans.
 func ReadTableBatch(env *Env, t *catalog.Table, idx int) (*vec.Batch, error) {
+	return readPageBatch(env, t.Name, idx, vec.Kinds(t.Schema))
+}
+
+// readPageBatch is the single page-read gate every batch scan goes
+// through: the fault-injection hook, the Scans timing and the
+// decoded-batch cache live here, so no read path can drift out from
+// under the error-injection tests. kinds is caller-supplied so tight
+// scan loops can hoist its computation.
+func readPageBatch(env *Env, table string, idx int, kinds []pages.Kind) (*vec.Batch, error) {
+	if env.ReadFault != nil {
+		if err := env.ReadFault(table, idx); err != nil {
+			return nil, err
+		}
+	}
 	t0 := time.Now()
 	defer env.Col.AddSince(metrics.Scans, t0)
-	return heap.ReadPageBatch(env.Pool, env.Batches, t.Name, idx, vec.Kinds(t.Schema), env.Col)
+	return heap.ReadPageBatch(env.Pool, env.Batches, table, idx, kinds, env.Col)
 }
 
 // ScanTableBatches reads every page of t in order as column batches.
 func ScanTableBatches(env *Env, t *catalog.Table, emit func(*vec.Batch) error) error {
+	return ScanTableBatchesCtx(context.Background(), env, t, emit)
+}
+
+// ScanTableBatchesCtx is ScanTableBatches with cooperative
+// cancellation: the context is checked before every page read, so a
+// cancelled scan stops within one page. An emit error aborts the scan;
+// emit owns the batch for the duration of the call only (decoded-cache
+// batches are unpooled, so no release bookkeeping is needed here).
+func ScanTableBatchesCtx(ctx context.Context, env *Env, t *catalog.Table, emit func(*vec.Batch) error) error {
 	kinds := vec.Kinds(t.Schema)
 	for i := 0; i < t.NumPages; i++ {
-		t0 := time.Now()
-		b, err := heap.ReadPageBatch(env.Pool, env.Batches, t.Name, i, kinds, env.Col)
-		env.Col.AddSince(metrics.Scans, t0)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b, err := readPageBatch(env, t.Name, i, kinds)
 		if err != nil {
 			return err
 		}
@@ -277,6 +302,12 @@ func gatherColumn(dst, src *vec.Column, idx []int32) {
 // accounted to metrics.Joins and insertion to metrics.Hashing, like
 // the row-at-a-time BuildDimTable.
 func BuildBatchJoin(env *Env, d plan.DimJoin) (*BatchJoin, error) {
+	return BuildBatchJoinCtx(context.Background(), env, d)
+}
+
+// BuildBatchJoinCtx is BuildBatchJoin with cooperative cancellation:
+// the dimension scan checks the context before every page.
+func BuildBatchJoinCtx(ctx context.Context, env *Env, d plan.DimJoin) (*BatchJoin, error) {
 	t, err := env.Cat.Get(d.Table)
 	if err != nil {
 		return nil, err
@@ -292,7 +323,7 @@ func BuildBatchJoin(env *Env, d plan.DimJoin) (*BatchJoin, error) {
 	j := NewBatchJoin(d, hint)
 	vpred := expr.CompileVecPred(d.Pred)
 	var selBuf []int
-	err = ScanTableBatches(env, t, func(b *vec.Batch) error {
+	err = ScanTableBatchesCtx(ctx, env, t, func(b *vec.Batch) error {
 		t0 := time.Now()
 		sel := vec.FullSel(b.Len(), &selBuf)
 		if vpred != nil {
@@ -472,9 +503,20 @@ func ProjectBatch(fns []expr.VecVal, b *vec.Batch, sel []int, dst []pages.Row) [
 // the fallback for single-worker environments, tiny tables and
 // float-order-sensitive aggregations.
 func Execute(env *Env, q *plan.Query) ([]pages.Row, error) {
+	return ExecuteCtx(context.Background(), env, q)
+}
+
+// ExecuteCtx is Execute under a context: cancellation and deadlines
+// are checked cooperatively once per fact batch (and per dimension
+// page during the build phase), and a cancelled query returns
+// ctx.Err() with every checked-out pool batch released. Every error
+// return in the pipeline body below must release the batch it holds —
+// the invariant the poisoned error-injection tests in cancel_test.go
+// pin down.
+func ExecuteCtx(ctx context.Context, env *Env, q *plan.Query) ([]pages.Row, error) {
 	joins := make([]*BatchJoin, len(q.Dims))
 	for i, d := range q.Dims {
-		j, err := BuildBatchJoin(env, d)
+		j, err := BuildBatchJoinCtx(ctx, env, d)
 		if err != nil {
 			return nil, err
 		}
@@ -482,7 +524,7 @@ func Execute(env *Env, q *plan.Query) ([]pages.Row, error) {
 	}
 
 	if w := executeParallelism(env, q); w > 1 {
-		return executeMorsels(env, q, joins, w)
+		return executeMorsels(ctx, env, q, joins, w)
 	}
 
 	var agg *Aggregator
@@ -497,10 +539,12 @@ func Execute(env *Env, q *plan.Query) ([]pages.Row, error) {
 	factVec := expr.CompileVecPred(q.FactPred)
 	var selBuf []int
 	var ps ProbeScratch
-	err := ScanTableBatches(env, q.Fact, func(b *vec.Batch) error {
+	err := ScanTableBatchesCtx(ctx, env, q.Fact, func(b *vec.Batch) error {
 		// b starts as a shared decoded-cache batch (Release no-ops);
 		// every probe output is checked out of the batch pool and
 		// released as soon as the next pipeline stage has consumed it.
+		// Mid-pipeline error returns while b is a checked-out probe
+		// output must release it first.
 		sel := vec.FullSel(b.Len(), &selBuf)
 		if factVec != nil {
 			sel = factVec(b, sel)
@@ -509,6 +553,10 @@ func Execute(env *Env, q *plan.Query) ([]pages.Row, error) {
 			if len(sel) == 0 {
 				b.Release()
 				return nil
+			}
+			if err := ctx.Err(); err != nil {
+				b.Release()
+				return err
 			}
 			joined := joins[i].Probe(env, b, sel, &ps)
 			b.Release()

@@ -1,0 +1,175 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"sharedq/internal/buffer"
+	"sharedq/internal/catalog"
+	"sharedq/internal/disk"
+	"sharedq/internal/metrics"
+	"sharedq/internal/plan"
+	"sharedq/internal/ssb"
+	"sharedq/internal/vec"
+)
+
+// pooledEnv is testEnv plus a batch pool, so checkout/release imbalance
+// is observable through Pool.Outstanding.
+func pooledEnv(t *testing.T) *Env {
+	t.Helper()
+	dev := disk.NewDevice(disk.Config{Timed: false})
+	cat := catalog.New()
+	ssb.RegisterSchemas(cat)
+	if err := (ssb.Gen{SF: 0.0005, Seed: 42}).Load(dev, cat); err != nil {
+		t.Fatal(err)
+	}
+	cache := disk.NewFSCache(dev, disk.CacheConfig{})
+	return &Env{
+		Cat:     cat,
+		Pool:    buffer.NewPool(cache, 4096),
+		Col:     &metrics.Collector{},
+		Recycle: vec.NewPool(),
+	}
+}
+
+func starPlan(t *testing.T, env *Env) *plan.Query {
+	t.Helper()
+	q, err := plan.Build(env.Cat, ssb.Q32PoolPlan(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestExecuteReadFaultReleasesBatches is the error-injection audit test
+// for the Execute/emit paths: a read fault in the middle of the fact
+// scan must surface as the query's error with every checked-out pool
+// batch released — under poisoned releases, so a path that kept using
+// a released batch would also fail loudly.
+func TestExecuteReadFaultReleasesBatches(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+	env := pooledEnv(t)
+	q := starPlan(t, env)
+	boom := errors.New("injected read fault")
+
+	for _, page := range []int{0, 1, 3} {
+		t.Run(fmt.Sprintf("factPage=%d", page), func(t *testing.T) {
+			faulty := *env
+			faulty.ReadFault = func(table string, idx int) error {
+				if table == q.Fact.Name && idx == page {
+					return boom
+				}
+				return nil
+			}
+			if _, err := Execute(&faulty, q); !errors.Is(err, boom) {
+				t.Fatalf("Execute with fault at page %d = %v, want injected fault", page, err)
+			}
+			if n := env.Recycle.Outstanding(); n != 0 {
+				t.Fatalf("%d pool batches leaked on the read-fault path", n)
+			}
+		})
+	}
+
+	// A dimension-scan fault during the build phase must behave the same.
+	faulty := *env
+	faulty.ReadFault = func(table string, idx int) error {
+		if table == q.Dims[0].Table {
+			return boom
+		}
+		return nil
+	}
+	if _, err := Execute(&faulty, q); !errors.Is(err, boom) {
+		t.Fatalf("Execute with dimension fault = %v, want injected fault", err)
+	}
+	if n := env.Recycle.Outstanding(); n != 0 {
+		t.Fatalf("%d pool batches leaked on the dimension-fault path", n)
+	}
+}
+
+// TestExecuteMorselsReadFault injects the fault into the parallel
+// morsel path: one worker fails, the others stop at their next morsel
+// claim, and nothing leaks.
+func TestExecuteMorselsReadFault(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+	env := pooledEnv(t)
+	env.Parallelism = 4
+	q := starPlan(t, env)
+	boom := errors.New("injected read fault")
+	faulty := *env
+	faulty.ReadFault = func(table string, idx int) error {
+		if table == q.Fact.Name && idx == q.Fact.NumPages/2 {
+			return boom
+		}
+		return nil
+	}
+	if _, err := Execute(&faulty, q); !errors.Is(err, boom) {
+		t.Fatalf("parallel Execute with fault = %v, want injected fault", err)
+	}
+	if n := env.Recycle.Outstanding(); n != 0 {
+		t.Fatalf("%d pool batches leaked on the parallel fault path", n)
+	}
+}
+
+// TestExecuteCtxCancellation covers the cooperative cancellation
+// points: an already-cancelled context fails before any work, a
+// deadline in the past returns DeadlineExceeded, and cancellation
+// racing the pipeline at random points never leaks a pool batch or
+// corrupts a surviving run (poisoned releases would make either loud).
+func TestExecuteCtxCancellation(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+	env := pooledEnv(t)
+	q := starPlan(t, env)
+	want, err := Execute(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecuteCtx(ctx, env, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled ExecuteCtx = %v, want context.Canceled", err)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), -time.Second)
+	defer dcancel()
+	if _, err := ExecuteCtx(dctx, env, q); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired-deadline ExecuteCtx = %v, want context.DeadlineExceeded", err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			wenv := *env
+			wenv.Parallelism = workers
+			rng := rand.New(rand.NewSource(int64(workers)))
+			for i := 0; i < 30; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				delay := time.Duration(rng.Intn(300)) * time.Microsecond
+				timer := time.AfterFunc(delay, cancel)
+				rows, err := ExecuteCtx(ctx, &wenv, q)
+				timer.Stop()
+				cancel()
+				switch {
+				case err == nil:
+					if !reflect.DeepEqual(rows, want) {
+						t.Fatalf("iteration %d: surviving run diverges from reference", i)
+					}
+				case errors.Is(err, context.Canceled):
+					// cancelled mid-flight: fine
+				default:
+					t.Fatalf("iteration %d: unexpected error %v", i, err)
+				}
+				if n := env.Recycle.Outstanding(); n != 0 {
+					t.Fatalf("iteration %d: %d pool batches leaked after cancellation", i, n)
+				}
+			}
+		})
+	}
+}

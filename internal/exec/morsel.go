@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -53,7 +54,12 @@ func executeParallelism(env *Env, q *plan.Query) int {
 
 // executeMorsels runs q's fact pipeline across workers goroutines over
 // the pre-built join sides. Callers guarantee workers >= 2.
-func executeMorsels(env *Env, q *plan.Query, joins []*BatchJoin, workers int) ([]pages.Row, error) {
+// Cancellation is cooperative per morsel: each worker checks the
+// context before claiming the next morsel, so an abandoned query stops
+// within MorselPages pages per worker and the shared stop flag drains
+// the rest of the pool. Workers release every batch they check out on
+// all exits, and their pool shards drain back to the shared pool.
+func executeMorsels(ctx context.Context, env *Env, q *plan.Query, joins []*BatchJoin, workers int) ([]pages.Row, error) {
 	fact := q.Fact
 	morsels := (fact.NumPages + MorselPages - 1) / MorselPages
 
@@ -108,6 +114,10 @@ func executeMorsels(env *Env, q *plan.Query, joins []*BatchJoin, workers int) ([
 			var ps ProbeScratch
 			for {
 				if stop.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
 					return
 				}
 				m := int(next.Add(1)) - 1

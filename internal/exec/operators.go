@@ -38,6 +38,11 @@ type Env struct {
 	// execution and the scanner fan-out of the staged engines
 	// (0 selects runtime.GOMAXPROCS(0), i.e. all schedulable cores).
 	Parallelism int
+	// ReadFault, when non-nil, is consulted before every table-page
+	// read and its error (if any) fails the read — an error-injection
+	// hook for the batch-lifetime and cancellation tests (simulated I/O
+	// faults at chosen pages). Nil in production environments.
+	ReadFault func(table string, page int) error
 }
 
 // Workers resolves the environment's effective parallelism.

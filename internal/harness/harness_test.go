@@ -70,6 +70,46 @@ func TestRunClosedLoop(t *testing.T) {
 	}
 }
 
+// TestRunClosedLoopCfgLifecycle drives the closed loop with the
+// lifecycle knobs: a high client-abandonment rate with a tight abandon
+// window must produce cancelled queries (counted separately, not as
+// errors) while the loop keeps completing work, and the pool must be
+// fully released afterwards.
+func TestRunClosedLoopCfgLifecycle(t *testing.T) {
+	sys := tinySystem(t)
+	rng := newRng(5)
+	r, err := RunClosedLoopCfg(sys, core.Options{Mode: core.CJOINSP}, func(i int) string {
+		return ssb.MixQuery(i, rng)
+	}, 4, 250*time.Millisecond, ClosedLoopConfig{
+		QueryTimeout: 50 * time.Millisecond,
+		CancelRate:   0.7,
+		CancelAfter:  300 * time.Microsecond,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Errors != 0 {
+		t.Errorf("errors = %d (cancellations must not count as errors)", r.Errors)
+	}
+	if r.Cancelled == 0 {
+		t.Error("no queries were cancelled at a 70% abandon rate")
+	}
+	// Throughput counts completed queries only; under heavy load (e.g.
+	// the race detector) a short window can legitimately cancel every
+	// query, so zero throughput is only wrong when nothing ran at all.
+	if r.ThroughputQPH <= 0 && r.Cancelled == 0 {
+		t.Errorf("no queries completed or cancelled: throughput=%v cancelled=%d", r.ThroughputQPH, r.Cancelled)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.Env.Recycle.Outstanding() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d pool batches leaked after the cancelling closed loop", sys.Env.Recycle.Outstanding())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tbl := &Table{
 		Title:  "T",

@@ -6,6 +6,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -35,6 +37,11 @@ type Result struct {
 	Stats        map[string]int64
 	Admission    time.Duration
 	Errors       int
+	// Cancelled counts queries abandoned mid-flight (client
+	// cancellation or per-query timeout) in lifecycle-aware runs. They
+	// are not errors: an abandoned query returning context.Canceled is
+	// the system working as intended.
+	Cancelled int
 }
 
 // String renders the measurement line reported under the figures.
@@ -132,7 +139,38 @@ func firstErr(errs []error) error {
 // to it are serialized (callers typically close over one rand.Rand),
 // so it need not be safe for concurrent use.
 func RunClosedLoop(sys *core.System, opts core.Options, nextSQL func(i int) string, clients int, d time.Duration) (Result, error) {
+	return RunClosedLoopCfg(sys, opts, nextSQL, clients, d, ClosedLoopConfig{})
+}
+
+// ClosedLoopConfig adds query-lifecycle behavior to a closed-loop run,
+// modelling the abandoned clients and bounded deadlines of a serving
+// deployment.
+type ClosedLoopConfig struct {
+	// QueryTimeout applies a per-query deadline (0 = none); a query
+	// exceeding it counts as Cancelled, not as an error.
+	QueryTimeout time.Duration
+	// CancelRate is the fraction of queries (0..1) each client
+	// abandons mid-flight after a random delay in [0, CancelAfter) —
+	// the user who closes the tab.
+	CancelRate float64
+	// CancelAfter bounds the random abandon delay (default 2ms).
+	CancelAfter time.Duration
+	// Seed makes the cancellation pattern reproducible.
+	Seed int64
+}
+
+// RunClosedLoopCfg is RunClosedLoop with per-query timeouts and client
+// abandonment: the closed loop keeps its pace because a cancelled
+// query frees its client immediately — exactly the behavior a serving
+// system needs when a user gives up on a long-tail query.
+func RunClosedLoopCfg(sys *core.System, opts core.Options, nextSQL func(i int) string, clients int, d time.Duration, cfg ClosedLoopConfig) (Result, error) {
 	sys.ResetMetrics()
+	if cfg.QueryTimeout > 0 {
+		opts.DefaultTimeout = cfg.QueryTimeout
+	}
+	if cfg.CancelAfter <= 0 {
+		cfg.CancelAfter = 2 * time.Millisecond
+	}
 	eng := core.NewEngine(sys, opts)
 	defer eng.Close()
 
@@ -144,7 +182,7 @@ func RunClosedLoop(sys *core.System, opts core.Options, nextSQL func(i int) stri
 	}
 
 	res := Result{Mode: opts.Mode, Concurrency: clients}
-	var completed, errCount int64
+	var completed, errCount, cancelCount int64
 	var mu sync.Mutex
 	seq := make(chan int, clients*4)
 	done := make(chan struct{})
@@ -164,8 +202,9 @@ func RunClosedLoop(sys *core.System, opts core.Options, nextSQL func(i int) stri
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
-		go func() {
+		go func(c int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
 			for time.Now().Before(deadline) {
 				i := <-seq
 				q, err := plan.Build(sys.Cat, nextSQLSerial(i))
@@ -175,17 +214,28 @@ func RunClosedLoop(sys *core.System, opts core.Options, nextSQL func(i int) stri
 					mu.Unlock()
 					return
 				}
-				if _, err := eng.Submit(q); err != nil {
-					mu.Lock()
-					errCount++
-					mu.Unlock()
-					continue
+				ctx, cancel := context.WithCancel(context.Background())
+				if cfg.CancelRate > 0 && rng.Float64() < cfg.CancelRate {
+					delay := time.Duration(rng.Int63n(int64(cfg.CancelAfter)))
+					timer := time.AfterFunc(delay, cancel)
+					_, err = eng.SubmitCtx(ctx, q)
+					timer.Stop()
+				} else {
+					_, err = eng.SubmitCtx(ctx, q)
 				}
+				cancel()
 				mu.Lock()
-				completed++
+				switch {
+				case err == nil:
+					completed++
+				case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+					cancelCount++
+				default:
+					errCount++
+				}
 				mu.Unlock()
 			}
-		}()
+		}(c)
 	}
 	wg.Wait()
 	sys.Col.Stop()
@@ -198,6 +248,7 @@ func RunClosedLoop(sys *core.System, opts core.Options, nextSQL func(i int) stri
 	res.ReadRateMBps = sys.Col.ReadRateMBps()
 	res.Stats = eng.Stats()
 	res.Errors = int(errCount)
+	res.Cancelled = int(cancelCount)
 	if errCount > 0 {
 		return res, fmt.Errorf("harness: %d closed-loop queries failed", errCount)
 	}

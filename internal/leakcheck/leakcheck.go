@@ -1,0 +1,86 @@
+// Package leakcheck is the repository's goroutine-leak gate: a
+// dependency-free, goleak-style TestMain helper. Packages that spawn
+// long-lived goroutines (circular scanners, CJOIN pipeline workers,
+// morsel pools) install it as their TestMain, and any goroutine still
+// running sharedq code after the package's tests complete fails the
+// build with a stack dump — leaked scanners and workers cannot land.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// DefaultWait bounds how long Check waits for straggling goroutines to
+// unwind before declaring them leaked. Shutdown is asynchronous by
+// nature (a closing engine's scanners exit after their last reader
+// detaches), so the gate retries rather than failing on the first
+// still-running stack.
+const DefaultWait = 5 * time.Second
+
+// Main is a TestMain body: run the package's tests, then fail the
+// binary if goroutines running sharedq code leaked.
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := Check(DefaultWait); err != nil {
+			fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check polls until no goroutine outside the test harness is running
+// sharedq code, or the wait expires — in which case it returns an
+// error carrying the leaked stacks.
+func Check(wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		leaked := leakedGoroutines()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%d goroutine(s) still running sharedq code after %v:\n\n%s",
+				len(leaked), wait, strings.Join(leaked, "\n\n"))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// leakedGoroutines returns the stacks of goroutines executing sharedq
+// code, excluding the calling goroutine and the test harness itself.
+func leakedGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var leaked []string
+	for i, g := range strings.Split(string(buf), "\n\n") {
+		if i == 0 {
+			continue // the goroutine running this check
+		}
+		if !strings.Contains(g, "sharedq/") {
+			continue // runtime, testing and timer internals
+		}
+		if strings.Contains(g, "sharedq/internal/leakcheck") ||
+			strings.Contains(g, "testing.(*T).Run") ||
+			strings.Contains(g, "testing.runTests") {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}

@@ -1,0 +1,89 @@
+package qpipe
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"sharedq/internal/exec"
+	"sharedq/internal/plan"
+	"sharedq/internal/ssb"
+	"sharedq/internal/vec"
+)
+
+// TestSubmitCtxCancelAcrossConfigs cancels a query mid-drain in every
+// engine configuration (FIFO and SPL, with and without scan/join
+// sharing) while a concurrent identical-shape query survives: the
+// survivor must return exact results, the cancelled query must return
+// context.Canceled, and the pool must quiesce — under poisoned
+// releases, so a producer still writing into a released batch fails
+// loudly.
+func TestSubmitCtxCancelAcrossConfigs(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+	env := testEnv(t)
+	env.Recycle = vec.NewPool()
+	rng := rand.New(rand.NewSource(77))
+	q1, err := plan.Build(env.Cat, ssb.Q32(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := plan.Build(env.Cat, ssb.Q32(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.Execute(env, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cfg := range allConfigs {
+		name := cfg.Comm.String()
+		if cfg.ShareScan {
+			name += "+cs"
+		}
+		if cfg.ShareJoin {
+			name += "+sp"
+		}
+		t.Run(name, func(t *testing.T) {
+			e := New(env, cfg)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var wg sync.WaitGroup
+			var victimErr error
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				timer := time.AfterFunc(200*time.Microsecond, cancel)
+				defer timer.Stop()
+				_, victimErr = e.SubmitCtx(ctx, q1)
+			}()
+			got, err := e.Submit(q2)
+			wg.Wait()
+			if err != nil {
+				t.Fatalf("survivor: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("survivor diverges from baseline beside a cancelled query")
+			}
+			if victimErr != nil && !errors.Is(victimErr, context.Canceled) {
+				t.Errorf("victim = %v, want nil or context.Canceled", victimErr)
+			}
+			e.Close()
+			if _, err := e.Submit(q2); !errors.Is(err, ErrClosed) {
+				t.Errorf("Submit after Close = %v, want ErrClosed", err)
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for env.Recycle.Outstanding() != 0 {
+				if time.Now().After(deadline) {
+					t.Fatalf("%d pool batches leaked", env.Recycle.Outstanding())
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		})
+	}
+}

@@ -1,6 +1,8 @@
 package qpipe
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -13,6 +15,10 @@ import (
 	"sharedq/internal/plan"
 	"sharedq/internal/vec"
 )
+
+// ErrClosed is returned by Submit after Close: the engine no longer
+// admits queries.
+var ErrClosed = errors.New("qpipe: engine is closed")
 
 // Config selects a QPipe engine configuration. The paper's lines map as:
 //
@@ -61,6 +67,17 @@ type Engine struct {
 
 	errMu sync.Mutex
 	err   error
+
+	// Submission lifecycle: SubmitCtx registers under subMu so Close
+	// can refuse new work and drain in-flight submissions before it
+	// waits on the packet/scanner groups (a submission past a bare
+	// closed check could otherwise Add to a WaitGroup Close is already
+	// Waiting on).
+	subMu   sync.Mutex
+	subCond *sync.Cond
+	subs    int
+	closed  bool
+	joinWG  sync.WaitGroup // in-flight join packets (runJoin goroutines)
 }
 
 // inflightResult is a running query's promised final output, reusable
@@ -90,6 +107,7 @@ func New(env *exec.Env, cfg Config) *Engine {
 		joinHosts: make(map[string]*joinHost),
 		results:   make(map[string]*inflightResult),
 	}
+	e.subCond = sync.NewCond(&e.subMu)
 	e.pc = PortConfig{
 		Model:    cfg.Comm,
 		SPLMax:   cfg.SPLMaxPages,
@@ -135,20 +153,64 @@ func (e *Engine) Err() error {
 // output rows. It is safe to call concurrently from many goroutines;
 // concurrent submissions are where sharing happens.
 func (e *Engine) Submit(q *plan.Query) ([]pages.Row, error) {
+	return e.SubmitCtx(context.Background(), q)
+}
+
+// SubmitCtx is Submit under a context. Cancellation aborts the query's
+// final reader (unblocking a backpressured pipeline), which cascades
+// up through the join packets and scan attachments: a join host whose
+// output loses its last reader cancels its own inputs, and a circular
+// scan whose readers all detach stops and unregisters. A cancelled
+// query returns ctx.Err(); join packets it hosted keep running only
+// while satellites are still attached to them.
+func (e *Engine) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, error) {
+	e.subMu.Lock()
+	if e.closed {
+		e.subMu.Unlock()
+		return nil, ErrClosed
+	}
+	e.subs++
+	e.subMu.Unlock()
+	defer func() {
+		e.subMu.Lock()
+		e.subs--
+		if e.subs == 0 {
+			e.subCond.Broadcast()
+		}
+		e.subMu.Unlock()
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var host *inflightResult
 	if e.cfg.ShareResults {
 		sig := q.Signature()
-		e.resMu.Lock()
-		if r, ok := e.results[sig]; ok {
+		for host == nil {
+			e.resMu.Lock()
+			r, ok := e.results[sig]
+			if !ok {
+				host = &inflightResult{done: make(chan struct{})}
+				e.results[sig] = host
+				e.resMu.Unlock()
+				break
+			}
 			e.resMu.Unlock()
 			// Identical plan in flight: wait and reuse (§3.1).
+			select {
+			case <-r.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded) {
+				// The host was abandoned, not failed: its results never
+				// materialized. Take the host role ourselves (or attach
+				// to whichever query claimed it meanwhile). No share
+				// happened, so the counter stays untouched.
+				continue
+			}
 			e.stats.Get("result_shared").Inc()
-			<-r.done
 			return r.rows, r.err
 		}
-		host = &inflightResult{done: make(chan struct{})}
-		e.results[sig] = host
-		e.resMu.Unlock()
 		defer func() {
 			e.resMu.Lock()
 			delete(e.results, sig)
@@ -164,7 +226,17 @@ func (e *Engine) Submit(q *plan.Query) ([]pages.Row, error) {
 		}
 		return nil, err
 	}
+	// The context watcher aborts the final reader; the Abort is safe
+	// concurrent with the drain below and a no-op once the drain ends.
+	stopWatch := context.AfterFunc(ctx, port.Abort)
 	rows := e.drainFinal(q, port)
+	stopWatch()
+	if cerr := ctx.Err(); cerr != nil {
+		if host != nil {
+			host.err = cerr
+		}
+		return nil, cerr
+	}
 	err = e.Err()
 	if host != nil {
 		host.rows, host.err = rows, err
@@ -173,6 +245,22 @@ func (e *Engine) Submit(q *plan.Query) ([]pages.Row, error) {
 		return nil, err
 	}
 	return rows, nil
+}
+
+// Close shuts the engine down gracefully: new submissions are refused
+// with ErrClosed, in-flight ones drain (cancel them through their
+// contexts for a prompt shutdown), and then Close waits for every join
+// packet and scanner to unwind. Safe to call concurrently with
+// SubmitCtx and more than once.
+func (e *Engine) Close() {
+	e.subMu.Lock()
+	e.closed = true
+	for e.subs > 0 {
+		e.subCond.Wait()
+	}
+	e.subMu.Unlock()
+	e.joinWG.Wait()
+	e.scan.Close()
 }
 
 // buildPipeline wires the packet graph for q bottom-up and returns the
@@ -213,10 +301,31 @@ func (e *Engine) buildPipeline(q *plan.Query) (InPort, error) {
 		if isFirst {
 			factPred = q.FactPred
 		}
+		e.joinWG.Add(1)
 		go e.runJoin(q.Dims[i], factPred, probe, dimIn, h)
 		probe = myOut
 	}
 	return probe, nil
+}
+
+// abandoned reports whether every reader of a join host's output has
+// gone away — the packet's work benefits nobody and it should tear
+// down. The recheck happens under the attach lock with the WoP closed
+// first, so a satellite can never attach to a packet that has decided
+// to die: either it attaches before the check (the packet sees a
+// reader and keeps running) or it finds started=true and hosts its own
+// join.
+func (e *Engine) abandoned(h *joinHost) bool {
+	if h.out.ActiveReaders() > 0 {
+		return false
+	}
+	e.joinMu.Lock()
+	defer e.joinMu.Unlock()
+	if h.out.ActiveReaders() > 0 {
+		return false
+	}
+	h.started = true
+	return true
 }
 
 // runJoin executes one hash-join packet: build the columnar join side
@@ -224,6 +333,7 @@ func (e *Engine) buildPipeline(q *plan.Query) (InPort, error) {
 // the vectorized kernels, emitting joined column batches (one output
 // page per probed input page).
 func (e *Engine) runJoin(d plan.DimJoin, factPred expr.Expr, probe, dimIn InPort, h *joinHost) {
+	defer e.joinWG.Done()
 	defer func() {
 		h.out.Close()
 		e.unregister(h)
@@ -234,6 +344,13 @@ func (e *Engine) runJoin(d plan.DimJoin, factPred expr.Expr, probe, dimIn InPort
 	vpred := expr.CompileVecPred(d.Pred)
 	var selBuf []int
 	for {
+		if e.abandoned(h) {
+			// Every reader (the hosting query, any satellites) detached:
+			// stop building and release the scan attachments.
+			dimIn.Cancel()
+			probe.Cancel()
+			return
+		}
 		p, ok := dimIn.Next()
 		if !ok {
 			break
@@ -271,6 +388,11 @@ func (e *Engine) runJoin(d plan.DimJoin, factPred expr.Expr, probe, dimIn InPort
 	var pend *vec.Batch
 	var pendKinds []pages.Kind // joined layout, computed once
 	for {
+		if e.abandoned(h) {
+			pend.Release()
+			probe.Cancel()
+			return
+		}
 		p, ok := probe.Next()
 		if !ok {
 			break

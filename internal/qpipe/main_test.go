@@ -1,0 +1,12 @@
+package qpipe
+
+import (
+	"testing"
+
+	"sharedq/internal/leakcheck"
+)
+
+// TestMain is the package's goroutine-leak gate: scan-stage scanners,
+// fetch workers or join packets still running after the tests complete
+// fail the build.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

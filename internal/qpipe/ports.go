@@ -10,6 +10,7 @@ package qpipe
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sharedq/internal/comm"
@@ -44,7 +45,14 @@ type InPort interface {
 	Next() (*comm.Page, bool)
 	// Cancel detaches early, releasing the reader's claim on buffered
 	// pages so producers are not throttled by an abandoned reader.
+	// Cancel must only be called from the consuming goroutine; use
+	// Abort to cancel from elsewhere.
 	Cancel()
+	// Abort requests cancellation from another goroutine (a context
+	// watcher): it is safe concurrent with Next. A consumer blocked in
+	// Next wakes and detaches; a busy one detaches on its next Next
+	// call, so the page it is processing stays valid until then.
+	Abort()
 }
 
 // OutPort is a packet's output, supporting one or more readers.
@@ -109,6 +117,7 @@ type splIn struct {
 
 func (in *splIn) Next() (*comm.Page, bool) { return in.c.Next() }
 func (in *splIn) Cancel()                  { in.c.Close() }
+func (in *splIn) Abort()                   { in.c.Abort() }
 
 // --- FIFO-backed ports (push model) ---
 
@@ -155,14 +164,40 @@ func (fo *fanout) ActiveReaders() int {
 	return n
 }
 
+// Emit delivers p to every attached reader, copying for all but one.
+// Two constraints shape the structure:
+//
+//   - The blocking Put happens with fo.mu released: a full FIFO
+//     backpressures only this producer, never anyone who needs the
+//     fan-out's reader bookkeeping. (Holding fo.mu across Put
+//     deadlocks the scan stage — which checks ActiveReaders and
+//     attaches readers under its stage lock — against a query whose
+//     pipeline is still being wired: the consumer that would drain
+//     the full FIFO is exactly the one stuck attaching its next
+//     scan.)
+//   - Every copy is made before the first hand-off: once a page is
+//     Put, its single consumer owns it and may release it back to the
+//     batch pool at any moment, so a later clone reading the original
+//     would race that release.
+//
+// Forwarding by copy stays on this (the producer's) thread: the cost
+// the paper's prediction model charges to the pivot. Copies are
+// checked out of the batch pool; each FIFO has a single consumer,
+// which releases them after reading.
 func (fo *fanout) Emit(p *comm.Page) {
 	fo.mu.Lock()
-	defer fo.mu.Unlock()
 	if fo.closed {
+		fo.mu.Unlock()
 		p.Release()
 		return
 	}
-	sentOriginal := false
+	// Bookkeeping pass: decide the destinations under the lock. Readers
+	// attached after this point see the next page, exactly as if they
+	// had attached after this Emit completed. The scratch is call-local
+	// (stack-backed for the common fan-outs): CJOIN distributor parts
+	// emit concurrently to one port.
+	var destsArr [8]*fanSub
+	dests := destsArr[:0]
 	for _, s := range fo.subs {
 		if s.done || s.f.Closed() {
 			continue
@@ -177,26 +212,25 @@ func (fo *fanout) Emit(p *comm.Page) {
 			s.entry = p.Index
 		}
 		s.appended++
-		out := p
-		if sentOriginal {
-			// Forwarding by copy, on this (the producer's) thread: the
-			// cost the paper's prediction model charges to the pivot.
-			// Copies are checked out of the batch pool; each FIFO has a
-			// single consumer, which releases them after reading.
-			t0 := time.Now()
-			out = p.ClonePooled(fo.pool)
-			fo.col.AddSince(metrics.Misc, t0)
-		}
-		if !s.f.Put(out) {
-			if sentOriginal {
-				out.Release() // dropped clone; consumer went away mid-emit
-			}
-			continue
-		}
-		sentOriginal = true
+		dests = append(dests, s)
 	}
-	if !sentOriginal {
-		p.Release() // no reader took the original
+	fo.mu.Unlock()
+	if len(dests) == 0 {
+		p.Release() // no reader takes the page
+		return
+	}
+	// Copy pass, then delivery pass.
+	var pagesArr [8]*comm.Page
+	pages := append(pagesArr[:0], p)
+	for i := 1; i < len(dests); i++ {
+		t0 := time.Now()
+		pages = append(pages, p.ClonePooled(fo.pool))
+		fo.col.AddSince(metrics.Misc, t0)
+	}
+	for i, s := range dests {
+		if !s.f.Put(pages[i]) {
+			pages[i].Release() // consumer went away mid-emit
+		}
 	}
 }
 
@@ -215,16 +249,31 @@ func (fo *fanout) Close() {
 // fifoIn adapts a single-consumer FIFO to InPort. It mirrors the SPL's
 // page-lifetime rule on the pull side: the page returned by Next stays
 // valid until the consumer's next Next (or Cancel) call, at which point
-// the previous page is released back to the batch pool.
+// the previous page is released back to the batch pool. Abort only
+// touches the atomic flag and the FIFO (never prev), so it is safe
+// concurrent with Next; the buffered-page drain happens on the
+// consumer's side of the hand-off.
 type fifoIn struct {
-	f    *comm.FIFO
-	prev *comm.Page
+	f       *comm.FIFO
+	prev    *comm.Page
+	aborted atomic.Bool
 }
 
 func (in *fifoIn) Next() (*comm.Page, bool) {
 	in.prev.Release()
 	in.prev = nil
+	if in.aborted.Load() {
+		in.drain()
+		return nil, false
+	}
 	p, ok := in.f.Get()
+	if ok && in.aborted.Load() {
+		// Abort raced the Get: this page is ours to release, along with
+		// whatever else is still buffered.
+		p.Release()
+		in.drain()
+		return nil, false
+	}
 	if ok {
 		in.prev = p
 	}
@@ -235,9 +284,20 @@ func (in *fifoIn) Cancel() {
 	in.prev.Release()
 	in.prev = nil
 	in.f.Close()
-	// Drain abandoned pages so their pooled batches recycle instead of
-	// leaking to the garbage collector (this is the single consumer; a
-	// closed FIFO keeps its buffered pages readable).
+	in.drain()
+}
+
+func (in *fifoIn) Abort() {
+	in.aborted.Store(true)
+	// Closing wakes a blocked Get and tells the producer's fan-out to
+	// stop copying pages for this reader.
+	in.f.Close()
+}
+
+// drain releases abandoned buffered pages so their pooled batches
+// recycle instead of leaking to the garbage collector (this is the
+// single consumer; a closed FIFO keeps its buffered pages readable).
+func (in *fifoIn) drain() {
 	for {
 		p, ok := in.f.Get()
 		if !ok {

@@ -27,6 +27,11 @@ type ScanStage struct {
 	mu       sync.Mutex
 	scanners map[string]*scanner
 	fail     func(error)
+
+	// wg tracks every goroutine the stage spawns (private scanners and
+	// their fetch workers, circular scanners and their prefetchers) so
+	// Close can wait for all of them to unwind.
+	wg sync.WaitGroup
 }
 
 // NewScanStage creates the stage. fail receives asynchronous scanner
@@ -60,6 +65,7 @@ func (st *ScanStage) Attach(t *catalog.Table) InPort {
 	if !st.share {
 		out := st.pc.newOutPort()
 		in := out.AddReader(false)
+		st.wg.Add(1)
 		go st.privateScan(t, out)
 		return in
 	}
@@ -73,8 +79,17 @@ func (st *ScanStage) Attach(t *catalog.Table) InPort {
 	in := sc.out.AddReader(false)
 	st.scanners[t.Name] = sc
 	st.stats.Get("scan_started").Inc()
+	st.wg.Add(1)
 	go st.circularScan(sc)
 	return in
+}
+
+// Close waits for every scanner goroutine to unwind. Scanners stop on
+// their own once their readers finish or detach, so Close is a drain:
+// callers stop submitting queries first (the engine's Close does),
+// then Close returns once the in-flight scans have wound down.
+func (st *ScanStage) Close() {
+	st.wg.Wait()
 }
 
 // privateScan emits pages 0..N-1 once and closes. With parallelism
@@ -83,6 +98,7 @@ func (st *ScanStage) Attach(t *catalog.Table) InPort {
 // the sequential page stream — the scan saturates cores without
 // perturbing any order-sensitive consumer.
 func (st *ScanStage) privateScan(t *catalog.Table, out OutPort) {
+	defer st.wg.Done()
 	defer out.Close()
 	workers := st.env.Workers()
 	if workers > t.NumPages {
@@ -125,7 +141,9 @@ func (st *ScanStage) privateScan(t *catalog.Table, out OutPort) {
 	defer close(done)
 	var next atomic.Int64
 	for w := 0; w < workers; w++ {
+		st.wg.Add(1)
 		go func() {
+			defer st.wg.Done()
 			for {
 				select {
 				case sem <- struct{}{}:
@@ -163,11 +181,14 @@ func (st *ScanStage) privateScan(t *catalog.Table, out OutPort) {
 // goroutine warms the decoded-batch cache a few pages ahead of the
 // emission point, overlapping decode with delivery.
 func (st *ScanStage) circularScan(sc *scanner) {
+	defer st.wg.Done()
 	const lookahead = 4
 	var prefetch chan int
 	if st.env.Workers() > 1 && sc.table.NumPages > lookahead {
 		prefetch = make(chan int, lookahead)
+		st.wg.Add(1)
 		go func() {
+			defer st.wg.Done()
 			for idx := range prefetch {
 				// Warm the cache; the synchronous read below returns the
 				// decoded batch either way, so errors surface there.

@@ -23,10 +23,11 @@ import (
 // the returned batches are unpooled. This keeps tests and callers that
 // build their own exec.Env working without a pool.
 type Pool struct {
-	p         sync.Pool
-	reuses    atomic.Int64
-	news      atomic.Int64
-	localHits atomic.Int64
+	p           sync.Pool
+	reuses      atomic.Int64
+	news        atomic.Int64
+	localHits   atomic.Int64
+	outstanding atomic.Int64 // checkouts not yet fully released
 }
 
 // NewPool returns an empty batch pool.
@@ -49,6 +50,18 @@ func (p *Pool) LocalHits() int64 {
 		return 0
 	}
 	return p.localHits.Load()
+}
+
+// Outstanding reports the number of checked-out batches whose final
+// Release has not happened yet — the pool-leak gauge. A quiesced
+// system (no queries in flight, engines closed) must read zero here:
+// anything else is a batch some error or cancellation path dropped
+// without releasing. The lifecycle tests assert exactly that.
+func (p *Pool) Outstanding() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.outstanding.Load()
 }
 
 // ExportCounters publishes the pool's checkout statistics into a
@@ -108,6 +121,7 @@ func (l *Local) Get(kinds []pages.Kind, capacity int) *Batch {
 		return b
 	}
 	l.pool.localHits.Add(1)
+	l.pool.outstanding.Add(1)
 	b.reshape(len(kinds), func(i int) pages.Kind { return kinds[i] })
 	b.pool = l.pool
 	b.home = l
@@ -164,6 +178,7 @@ func (p *Pool) Get(kinds []pages.Kind, capacity int) *Batch {
 		p.reuses.Add(1)
 		b.reshape(len(kinds), func(i int) pages.Kind { return kinds[i] })
 	}
+	p.outstanding.Add(1)
 	b.pool = p
 	b.home = nil
 	b.refs.Store(1)
@@ -185,6 +200,7 @@ func (p *Pool) Clone(src *Batch) *Batch {
 	} else {
 		p.reuses.Add(1)
 	}
+	p.outstanding.Add(1)
 	out.reshape(len(src.Cols), func(i int) pages.Kind { return src.Cols[i].Kind })
 	out.pool = p
 	out.home = nil
@@ -246,6 +262,7 @@ func (b *Batch) Release() {
 	home := b.home
 	b.pool = nil
 	b.home = nil
+	p.outstanding.Add(-1)
 	if poisonReleases.Load() {
 		b.poison()
 	}

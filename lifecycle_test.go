@@ -1,0 +1,289 @@
+package sharedq_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"sharedq"
+	"sharedq/internal/exec"
+	"sharedq/internal/leakcheck"
+	"sharedq/internal/pages"
+	"sharedq/internal/vec"
+)
+
+// The query-lifecycle suite: cancellation, deadlines and graceful
+// shutdown must behave identically across every engine configuration
+// (Baseline through CJOIN-SP), both communication models and both
+// parallelism settings — a cancelled query returns context.Canceled,
+// a timed-out one context.DeadlineExceeded, and in every case the
+// engine afterwards holds zero checked-out pool batches (asserted
+// through vec.Pool.Outstanding under poisoned releases) and zero
+// goroutines (asserted through the leakcheck gate).
+
+// waitPoolQuiesced polls until every checked-out pool batch has been
+// released; asynchronous teardown (distributor parts closing a
+// cancelled query's port) may still be running when Submit returns.
+func waitPoolQuiesced(t *testing.T, sys *sharedq.System) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := sys.Env.Recycle.Outstanding()
+		if n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d pool batches still checked out after quiesce", n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func checkNoLeaks(t *testing.T, sys *sharedq.System) {
+	t.Helper()
+	waitPoolQuiesced(t, sys)
+	if err := leakcheck.Check(5 * time.Second); err != nil {
+		t.Fatalf("goroutine leak: %v", err)
+	}
+}
+
+// TestCancellationParityAcrossModes cancels queries at random points
+// across all 6 modes x {FIFO, SPL} x Parallelism {1, 4}: a query that
+// survives must return exactly the reference rows; one that does not
+// must return context.Canceled; and after the engine closes, no pool
+// batch and no goroutine may remain. Poisoned releases turn any
+// use-after-release on a cancellation path into a loud failure, and
+// the CI race job runs this suite under -race.
+func TestCancellationParityAcrossModes(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+	sys := paritySystem(t)
+	plans := flightPlans(t, sys)
+	wants := make([][]pages.Row, len(plans))
+	for i, q := range plans {
+		w, err := exec.ExecuteRows(sys.Env, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+
+	seed := int64(1)
+	for _, mode := range sharedq.Modes() {
+		for _, cm := range []sharedq.Comm{sharedq.CommSPL, sharedq.CommFIFO} {
+			for _, par := range []int{1, 4} {
+				seed++
+				name := fmt.Sprintf("%s/%s/p%d", mode, cm, par)
+				t.Run(name, func(t *testing.T) {
+					eng := sharedq.NewEngine(sys, sharedq.Options{Mode: mode, Comm: cm, Parallelism: par})
+					rng := rand.New(rand.NewSource(seed))
+					delays := make([]time.Duration, len(plans))
+					for i := range delays {
+						if rng.Intn(4) == 0 {
+							delays[i] = -1 // never cancelled: must succeed
+						} else {
+							delays[i] = time.Duration(rng.Intn(3000)) * time.Microsecond
+						}
+					}
+					results := make([][]pages.Row, len(plans))
+					errs := make([]error, len(plans))
+					var wg sync.WaitGroup
+					for i := range plans {
+						wg.Add(1)
+						go func(i int) {
+							defer wg.Done()
+							ctx, cancel := context.WithCancel(context.Background())
+							defer cancel()
+							if d := delays[i]; d >= 0 {
+								timer := time.AfterFunc(d, cancel)
+								defer timer.Stop()
+							}
+							results[i], errs[i] = eng.SubmitCtx(ctx, plans[i])
+						}(i)
+					}
+					wg.Wait()
+					cancelled := 0
+					for i := range plans {
+						switch {
+						case errs[i] == nil:
+							if !reflect.DeepEqual(results[i], wants[i]) {
+								t.Errorf("query %d survived cancellation but diverges from reference (%d rows, want %d)",
+									i, len(results[i]), len(wants[i]))
+							}
+						case errors.Is(errs[i], context.Canceled):
+							if delays[i] < 0 {
+								t.Errorf("query %d was never cancelled but returned %v", i, errs[i])
+							}
+							cancelled++
+						default:
+							t.Errorf("query %d: unexpected error %v", i, errs[i])
+						}
+					}
+					t.Logf("%s: %d/%d cancelled mid-flight", name, cancelled, len(plans))
+					eng.Close()
+					checkNoLeaks(t, sys)
+				})
+			}
+		}
+	}
+}
+
+// TestDefaultTimeoutAcrossModes pins Options.DefaultTimeout: with a
+// deadline far smaller than any query, every mode must return
+// context.DeadlineExceeded and leak nothing.
+func TestDefaultTimeoutAcrossModes(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+	sys := paritySystem(t)
+	plans := flightPlans(t, sys)
+	for _, mode := range sharedq.Modes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			eng := sharedq.NewEngine(sys, sharedq.Options{Mode: mode, DefaultTimeout: time.Nanosecond})
+			if _, err := eng.Submit(plans[0]); !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("Submit under 1ns DefaultTimeout = %v, want context.DeadlineExceeded", err)
+			}
+			eng.Close()
+			checkNoLeaks(t, sys)
+		})
+	}
+}
+
+// TestQueryCtxDeadline exercises the public QueryCtx surface with a
+// caller-side deadline on a long SQL statement.
+func TestQueryCtxDeadline(t *testing.T) {
+	sys := paritySystem(t)
+	eng := sharedq.NewEngine(sys, sharedq.Options{Mode: sharedq.CJOINSP})
+	defer eng.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	sql := `SELECT c_nation, SUM(lo_revenue) AS rev FROM lineorder, customer
+	        WHERE lo_custkey = c_custkey GROUP BY c_nation ORDER BY rev DESC`
+	if _, _, err := eng.QueryCtx(ctx, sql); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("QueryCtx past deadline = %v, want context.DeadlineExceeded", err)
+	}
+	// The same statement without a deadline still runs.
+	if rows, _, err := eng.Query(sql); err != nil || len(rows) == 0 {
+		t.Fatalf("Query after expired QueryCtx = %d rows, %v", len(rows), err)
+	}
+}
+
+// TestEngineCloseDrains pins the graceful-drain contract for every
+// mode: Close with queries in flight waits for them (each returns its
+// complete result), later submissions get ErrClosed, and nothing
+// leaks. Double Close is a no-op.
+func TestEngineCloseDrains(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+	sys := paritySystem(t)
+	plans := flightPlans(t, sys)
+	wants := make([][]pages.Row, len(plans))
+	for i, q := range plans {
+		w, err := exec.ExecuteRows(sys.Env, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+	for _, mode := range sharedq.Modes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			eng := sharedq.NewEngine(sys, sharedq.Options{Mode: mode})
+			results := make([][]pages.Row, len(plans))
+			errs := make([]error, len(plans))
+			var started, wg sync.WaitGroup
+			for i := range plans {
+				started.Add(1)
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					started.Done()
+					results[i], errs[i] = eng.Submit(plans[i])
+				}(i)
+			}
+			started.Wait()
+			time.Sleep(200 * time.Microsecond) // let most submissions register
+			eng.Close()
+			wg.Wait()
+			for i := range plans {
+				switch {
+				case errs[i] == nil:
+					if !reflect.DeepEqual(results[i], wants[i]) {
+						t.Errorf("query %d: result across Close diverges from reference", i)
+					}
+				case errors.Is(errs[i], sharedq.ErrClosed):
+					// lost the race with Close before registering: fine
+				default:
+					t.Errorf("query %d: unexpected error %v", i, errs[i])
+				}
+			}
+			if _, err := eng.Submit(plans[0]); !errors.Is(err, sharedq.ErrClosed) {
+				t.Errorf("Submit after Close = %v, want ErrClosed", err)
+			}
+			eng.Close() // second Close must be a clean no-op
+			checkNoLeaks(t, sys)
+		})
+	}
+}
+
+// TestShutdownForceCancels pins the bounded drain: Shutdown with an
+// already-expired context cancels whatever is still in flight — each
+// such query returns context.Canceled to its submitter — and reports
+// the context error, with no leaks afterwards.
+func TestShutdownForceCancels(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+	sys := paritySystem(t)
+	plans := flightPlans(t, sys)
+	for _, mode := range []sharedq.Mode{sharedq.QPipeSP, sharedq.CJOINSP} {
+		t.Run(mode.String(), func(t *testing.T) {
+			eng := sharedq.NewEngine(sys, sharedq.Options{Mode: mode})
+			errs := make([]error, len(plans))
+			var started, wg sync.WaitGroup
+			for i := range plans {
+				started.Add(1)
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					started.Done()
+					_, errs[i] = eng.Submit(plans[i])
+				}(i)
+			}
+			started.Wait()
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			// Shutdown reports ctx.Err() when it force-cancelled
+			// in-flight queries; nil when every query had already
+			// drained (or never registered) — both are legal here,
+			// since the queries race the expired context.
+			if err := eng.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				t.Errorf("Shutdown with expired context = %v, want nil or context.Canceled", err)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, sharedq.ErrClosed) {
+					t.Errorf("query %d: unexpected error %v", i, err)
+				}
+			}
+			checkNoLeaks(t, sys)
+		})
+	}
+}
+
+// TestShutdownCleanDrainReturnsNil pins the other half of the
+// Shutdown contract: when nothing is in flight, even an
+// already-expired context is a clean drain and Shutdown returns nil —
+// callers alerting on forced shutdowns see no false positive.
+func TestShutdownCleanDrainReturnsNil(t *testing.T) {
+	sys := paritySystem(t)
+	eng := sharedq.NewEngine(sys, sharedq.Options{Mode: sharedq.CJOINSP})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := eng.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown of an idle engine = %v, want nil", err)
+	}
+	checkNoLeaks(t, sys)
+}

@@ -34,6 +34,26 @@
 //	    FROM lineorder, customer WHERE lo_custkey = c_custkey
 //	    GROUP BY c_nation ORDER BY rev DESC LIMIT 5`)
 //
+// # Query lifecycle
+//
+// Every engine entry point has a context-aware variant
+// (Engine.QueryCtx, Engine.SubmitCtx): cancelling the context — or
+// exceeding its deadline, or the engine-wide Options.DefaultTimeout —
+// aborts the query mid-flight. A cancelled query detaches from shared
+// circular scans, retracts its CJOIN admission window so it stops
+// gating the shared pass, releases every pooled batch it checked out,
+// and returns context.Canceled or context.DeadlineExceeded:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+//	defer cancel()
+//	rows, schema, err := eng.QueryCtx(ctx, sql)
+//
+// Engine.Close is a graceful drain — it stops admitting (later
+// submissions return ErrClosed), waits for in-flight queries, then
+// tears down the shared pipelines — and Engine.Shutdown bounds the
+// drain with a context, force-cancelling whatever is still running
+// when it expires.
+//
 // The internal packages hold the implementation; this package is the
 // supported surface, re-exporting the core types.
 package sharedq
@@ -43,6 +63,10 @@ import (
 	"sharedq/internal/harness"
 	"sharedq/internal/qpipe"
 )
+
+// ErrClosed is returned by query submissions once the engine has begun
+// shutting down.
+var ErrClosed = core.ErrClosed
 
 // Engine configuration modes (§5.1 of the paper).
 const (
