@@ -1,61 +1,138 @@
 // Command ssbgen generates and inspects the Star Schema Benchmark
-// database used by the experiments.
+// database used by the experiments. Generation streams page-by-page
+// through a counting sink — no table is ever materialized in memory —
+// so sizing SF >= 1 databases needs only a few fixed buffers.
 //
 // Usage:
 //
-//	ssbgen -sf 0.1                 # table sizes at SF 0.1
+//	ssbgen -sf 1                          # table sizes at SF 1
+//	ssbgen -sf 1 -compressed -stats       # compressed sizes + per-column encodings
 //	ssbgen -sf 0.01 -table customer -sample 5
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
-	"sharedq"
+	"sharedq/internal/catalog"
 	"sharedq/internal/exec"
 	"sharedq/internal/heap"
+	"sharedq/internal/pages"
+	"sharedq/internal/ssb"
 )
+
+// countingSink counts finished pages and discards their bytes: the
+// whole load runs in the writers' fixed buffers regardless of SF.
+type countingSink struct {
+	pages map[string]int
+}
+
+func (s *countingSink) AppendPage(file string, data []byte) (int, error) {
+	if len(data) != pages.PageSize {
+		return 0, fmt.Errorf("ssbgen: %d-byte page for %s", len(data), file)
+	}
+	s.pages[file]++
+	return s.pages[file] - 1, nil
+}
 
 func main() {
 	var (
-		sf     = flag.Float64("sf", 0.01, "scale factor")
-		seed   = flag.Int64("seed", 1, "generator seed")
-		table  = flag.String("table", "", "table to sample (default: summary of all)")
-		sample = flag.Int("sample", 5, "rows to print with -table")
+		sf         = flag.Float64("sf", 0.01, "scale factor")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		table      = flag.String("table", "", "table to sample (default: summary of all)")
+		sample     = flag.Int("sample", 5, "rows to print with -table")
+		compressed = flag.Bool("compressed", false, "size the compressed columnar format")
+		stats      = flag.Bool("stats", false, "print per-column cardinality and chosen encoding")
 	)
 	flag.Parse()
 
-	sys, err := sharedq.NewSystem(sharedq.SystemConfig{SF: *sf, Seed: *seed})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ssbgen:", err)
-		os.Exit(1)
-	}
+	g := ssb.Gen{SF: *sf, Seed: *seed}
 
-	if *table == "" {
-		fmt.Printf("%-12s %12s %8s %10s\n", "table", "rows", "pages", "bytes")
-		var totalPages int
-		for _, name := range sys.Cat.Names() {
-			t := sys.Cat.MustGet(name)
-			fmt.Printf("%-12s %12d %8d %10d\n", t.Name, t.NumRows, t.NumPages, t.NumPages*32*1024)
-			totalPages += t.NumPages
+	if *table != "" {
+		if err := printSample(g, *table, *sample); err != nil {
+			fmt.Fprintln(os.Stderr, "ssbgen:", err)
+			os.Exit(1)
 		}
-		fmt.Printf("%-12s %12s %8d %10d\n", "total", "", totalPages, totalPages*32*1024)
 		return
 	}
 
-	t, err := sys.Cat.Get(*table)
-	if err != nil {
+	if err := printSummary(g, *compressed, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "ssbgen:", err)
 		os.Exit(1)
 	}
-	rows, err := heap.ScanAll(sys.Pool, t, nil)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ssbgen:", err)
-		os.Exit(1)
+}
+
+// printSample streams the named table's generator and prints the first
+// n rows, stopping generation as soon as it has them.
+func printSample(g ssb.Gen, table string, n int) error {
+	fn := g.Generator(table)
+	sch := ssb.SchemaOf(table)
+	if fn == nil || sch == nil {
+		return fmt.Errorf("unknown table %q", table)
 	}
-	if *sample < len(rows) {
-		rows = rows[:*sample]
+	errDone := errors.New("done")
+	var rows []pages.Row
+	err := fn(func(r pages.Row) error {
+		rows = append(rows, r.Clone())
+		if len(rows) >= n {
+			return errDone
+		}
+		return nil
+	})
+	if err != nil && err != errDone {
+		return err
 	}
-	fmt.Print(exec.FormatRows(t.Schema, rows))
+	fmt.Print(exec.FormatRows(sch, rows))
+	return nil
+}
+
+func printSummary(g ssb.Gen, compressed, stats bool) error {
+	cat := catalog.New()
+	ssb.RegisterSchemas(cat)
+	sink := &countingSink{pages: make(map[string]int)}
+	intern := make(map[string]*pages.Dict)
+	tables := []string{
+		ssb.TableDate, ssb.TableCustomer, ssb.TableSupplier,
+		ssb.TablePart, ssb.TableLineorder, ssb.TableLineitem,
+	}
+
+	fmt.Printf("%-12s %12s %8s %12s\n", "table", "rows", "pages", "bytes")
+	var totalPages int
+	for _, name := range tables {
+		t := cat.MustGet(name)
+		var st *ssb.TableStats
+		var comp *pages.TableCompression
+		var err error
+		if compressed || stats {
+			if st, err = g.Analyze(name); err != nil {
+				return err
+			}
+			comp = st.Choose(intern)
+		}
+		if compressed {
+			err = heap.LoadColumnar(sink, t, comp, g.Generator(name))
+		} else {
+			err = heap.Load(sink, t, g.Generator(name))
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %12d %8d %12d\n", t.Name, t.NumRows, t.NumPages, t.NumPages*pages.PageSize)
+		totalPages += t.NumPages
+		if stats {
+			for c := range st.Cols {
+				cs := &st.Cols[c]
+				card := fmt.Sprint(cs.Distinct)
+				if cs.Distinct > ssb.DictCardinalityCap {
+					card = fmt.Sprintf(">%d", ssb.DictCardinalityCap)
+				}
+				fmt.Printf("  %-22s %-7s distinct=%-6s enc=%s\n",
+					cs.Name, cs.Kind, card, comp.Cols[c].Enc)
+			}
+		}
+	}
+	fmt.Printf("%-12s %12s %8d %12d\n", "total", "", totalPages, totalPages*pages.PageSize)
+	return nil
 }

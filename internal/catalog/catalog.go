@@ -28,6 +28,11 @@ type Table struct {
 	NumPages    int
 	ForeignKeys []ForeignKey
 	IsFact      bool // fact table of a star schema
+	// Compression, when non-nil, marks the table's pages as compressed
+	// columnar and carries the per-column encoding metadata (including
+	// shared dictionaries) the decoder needs. Nil selects the slotted
+	// row format. Set once at load time, before any reads.
+	Compression *pages.TableCompression
 }
 
 // FKTo returns the foreign key from this table to dim, if any.

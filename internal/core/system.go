@@ -61,6 +61,12 @@ type SystemConfig struct {
 	// buffer pool size; negative disables the cache so every scan
 	// decodes its own batches).
 	BatchCachePages int
+	// Compressed loads tables as compressed columnar pages (dictionary,
+	// run-length and bit-packed encodings chosen per column at load
+	// time) instead of slotted row pages. Query results are identical;
+	// scans read fewer pages and predicates, joins and group-bys on
+	// dictionary columns operate on codes (decode-late).
+	Compressed bool
 }
 
 // System is an assembled storage substrate plus catalog and metrics:
@@ -91,7 +97,14 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	})
 	cat := catalog.New()
 	ssb.RegisterSchemas(cat)
-	if err := (ssb.Gen{SF: cfg.SF, Seed: cfg.Seed}).Load(dev, cat); err != nil {
+	gen := ssb.Gen{SF: cfg.SF, Seed: cfg.Seed}
+	var err error
+	if cfg.Compressed {
+		err = gen.LoadCompressed(dev, cat)
+	} else {
+		err = gen.Load(dev, cat)
+	}
+	if err != nil {
 		return nil, err
 	}
 	dev.SetTimed(cfg.DiskResident)

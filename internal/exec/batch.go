@@ -25,7 +25,7 @@ import (
 // through the environment's decoded-batch cache (decode-once sharing).
 // Accounted to metrics.Scans.
 func ReadTableBatch(env *Env, t *catalog.Table, idx int) (*vec.Batch, error) {
-	return readPageBatch(env, t.Name, idx, vec.Kinds(t.Schema))
+	return readPageBatch(env, t, idx, vec.Kinds(t.Schema))
 }
 
 // readPageBatch is the single page-read gate every batch scan goes
@@ -33,15 +33,15 @@ func ReadTableBatch(env *Env, t *catalog.Table, idx int) (*vec.Batch, error) {
 // decoded-batch cache live here, so no read path can drift out from
 // under the error-injection tests. kinds is caller-supplied so tight
 // scan loops can hoist its computation.
-func readPageBatch(env *Env, table string, idx int, kinds []pages.Kind) (*vec.Batch, error) {
+func readPageBatch(env *Env, t *catalog.Table, idx int, kinds []pages.Kind) (*vec.Batch, error) {
 	if env.ReadFault != nil {
-		if err := env.ReadFault(table, idx); err != nil {
+		if err := env.ReadFault(t.Name, idx); err != nil {
 			return nil, err
 		}
 	}
 	t0 := time.Now()
 	defer env.Col.AddSince(metrics.Scans, t0)
-	return heap.ReadPageBatch(env.Pool, env.Batches, table, idx, kinds, env.Col)
+	return heap.ReadPageBatch(env.Pool, env.Batches, t, idx, kinds, env.Col)
 }
 
 // ScanTableBatches reads every page of t in order as column batches.
@@ -60,7 +60,7 @@ func ScanTableBatchesCtx(ctx context.Context, env *Env, t *catalog.Table, emit f
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		b, err := readPageBatch(env, t.Name, i, kinds)
+		b, err := readPageBatch(env, t, i, kinds)
 		if err != nil {
 			return err
 		}
@@ -205,12 +205,30 @@ func (j *BatchJoin) matchPairs(b *vec.Batch, sel []int, ps *ProbeScratch) {
 			}
 		}
 	case j.keyKind == pages.KindString && kc.Kind == pages.KindString:
-		keys := j.dim.Cols[j.keyIdx].S
-		col := kc.S
+		bk := &j.dim.Cols[j.keyIdx]
+		if bk.Coded() && kc.Dict == bk.Dict {
+			// Both sides carry the same shared dictionary: compare raw
+			// uint32 codes and hash through the dictionary's precomputed
+			// value hashes, which bucket identically to plain probes —
+			// the join never touches the decoded strings.
+			d := kc.Dict
+			keys := bk.Codes
+			col := kc.Codes
+			for _, i := range sel {
+				k := col[i]
+				for e := j.heads[d.Hash(k)&mask]; e >= 0; e = j.next[e] {
+					if keys[e] == k {
+						probe = append(probe, int32(i))
+						build = append(build, e)
+					}
+				}
+			}
+			break
+		}
 		for _, i := range sel {
-			k := col[i]
+			k := kc.Str(i)
 			for e := j.heads[pages.HashString(k)&mask]; e >= 0; e = j.next[e] {
-				if keys[e] == k {
+				if bk.Str(int(e)) == k {
 					probe = append(probe, int32(i))
 					build = append(build, e)
 				}
@@ -276,25 +294,11 @@ func (j *BatchJoin) materializePairs(env *Env, b *vec.Batch, ps *ProbeScratch) *
 	return out
 }
 
-// gatherColumn appends src[idx] for every idx into dst.
+// gatherColumn appends src[idx] for every idx into dst, keeping
+// dictionary string columns coded whenever dst can adopt src's
+// dictionary (decode-late: join gathers move codes, not strings).
 func gatherColumn(dst, src *vec.Column, idx []int32) {
-	switch src.Kind {
-	case pages.KindInt:
-		col := src.I
-		for _, i := range idx {
-			dst.I = append(dst.I, col[i])
-		}
-	case pages.KindFloat:
-		col := src.F
-		for _, i := range idx {
-			dst.F = append(dst.F, col[i])
-		}
-	default:
-		col := src.S
-		for _, i := range idx {
-			dst.S = append(dst.S, col[i])
-		}
-	}
+	vec.GatherColumn(dst, src, idx)
 }
 
 // BuildBatchJoin scans dimension d, filters with its predicate
@@ -418,6 +422,32 @@ func (a *Aggregator) groupIDsBatch(b *vec.Batch, sel []int) []int32 {
 			return gids
 		}
 	}
+	if len(a.q.GroupBy) == 1 {
+		if c := &b.Cols[a.q.GroupBy[0]]; c.Kind == pages.KindString && c.Coded() {
+			memo := a.dictMemo[c.Dict]
+			if memo == nil {
+				if a.dictMemo == nil {
+					a.dictMemo = make(map[*pages.Dict][]int32)
+				}
+				memo = make([]int32, c.Dict.Len())
+				a.dictMemo[c.Dict] = memo
+			}
+			col := c.Codes
+			for j, i := range sel {
+				id := memo[col[i]]
+				if id == 0 {
+					// First sighting of this code: resolve through the
+					// byte-key map (the single point where group ids are
+					// assigned) and memoize, decoding the value exactly
+					// once per (dictionary, code) pair.
+					id = a.byteIDBatch(b, i) + 1
+					memo[col[i]] = id
+				}
+				gids[j] = id - 1
+			}
+			return gids
+		}
+	}
 	for j, i := range sel {
 		gids[j] = a.byteIDBatch(b, i)
 	}
@@ -450,7 +480,7 @@ func (a *Aggregator) encodeBatchKey(bat *vec.Batch, i int) []byte {
 				byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
 		case pages.KindString:
 			b = append(b, 2)
-			b = append(b, c.S[i]...)
+			b = append(b, c.Str(i)...)
 			b = append(b, 0)
 		default:
 			u := uint64(int64(c.F[i] * 100))

@@ -68,7 +68,7 @@ func (e *Env) GetBatch(kinds []pages.Kind, capacity int) *vec.Batch {
 func ScanTable(env *Env, t *catalog.Table, emit func(rows []pages.Row) error) error {
 	for i := 0; i < t.NumPages; i++ {
 		stop := env.Col.Timer(metrics.Scans)
-		rows, err := heap.ReadPageRows(env.Pool, t.Name, i, nil, env.Col)
+		rows, err := heap.ReadPageRows(env.Pool, t, i, nil, env.Col)
 		stop()
 		if err != nil {
 			return err
@@ -205,6 +205,14 @@ type Aggregator struct {
 	keyBuf   []byte           // reusable group-key scratch
 	gidBuf   []int32          // reusable per-batch group-id scratch
 	noneInit bool             // groupNone: implicit group materialized
+
+	// dictMemo caches code -> group id (offset by one; zero means
+	// unseen) per dictionary for single-column group-bys over coded
+	// string columns, so the batch path resolves group ids with one
+	// array index instead of encoding and hashing the string key.
+	// Entries register through the byte-key map, so plain and coded
+	// batches of the same column share group ids.
+	dictMemo map[*pages.Dict][]int32
 
 	// Morsel-parallel bookkeeping: epoch is the fact page currently
 	// being folded (set by the worker before each page); firstSeen

@@ -166,6 +166,9 @@ func colConstVec(idx int, op BinOp, k pages.Value) VecPred {
 				}
 				return sel[:0]
 			}
+			if c.Coded() {
+				return dictCmpSel(c, op, v, sel)
+			}
 			col := c.S
 			out := sel[:0]
 			switch op {
@@ -238,6 +241,69 @@ func colConstVec(idx int, op BinOp, k pages.Value) VecPred {
 	return nil
 }
 
+// dictCmpSel filters sel by comparing dictionary codes against the
+// constant, translated once per batch. Dictionaries are sorted, so code
+// order coincides with value order and every comparison — including the
+// ranges — collapses to one uint32 compare per row; the strings
+// themselves are never decoded.
+func dictCmpSel(c *vec.Column, op BinOp, v string, sel []int) []int {
+	d := c.Dict
+	col := c.Codes
+	out := sel[:0]
+	switch op {
+	case OpEq:
+		code, ok := d.Code(v)
+		if !ok {
+			return out
+		}
+		for _, i := range sel {
+			if col[i] == code {
+				out = append(out, i)
+			}
+		}
+	case OpNe:
+		code, ok := d.Code(v)
+		if !ok {
+			return sel
+		}
+		for _, i := range sel {
+			if col[i] != code {
+				out = append(out, i)
+			}
+		}
+	default:
+		// Order comparisons reduce to one code bound: values < v are
+		// exactly the codes below LowerBound(v), values <= v those
+		// below UpperBound(v); > and >= are their complements.
+		var bound uint32
+		var keepGE bool
+		switch op {
+		case OpLt:
+			bound = uint32(d.LowerBound(v))
+		case OpLe:
+			bound = uint32(d.UpperBound(v))
+		case OpGt:
+			bound, keepGE = uint32(d.UpperBound(v)), true
+		default: // OpGe
+			bound, keepGE = uint32(d.LowerBound(v)), true
+		}
+		if keepGE {
+			for _, i := range sel {
+				if col[i] >= bound {
+					out = append(out, i)
+				}
+			}
+		} else {
+			for _, i := range sel {
+				if col[i] < bound {
+					out = append(out, i)
+				}
+			}
+		}
+	}
+	return out
+}
+
 func cmpFloat(a, b float64) int {
 	switch {
 	case a < b:
@@ -277,6 +343,35 @@ func compileVecBetween(bt *Between) VecPred {
 			return out
 		}
 	}
+	if lo.V.Kind == pages.KindString && hi.V.Kind == pages.KindString {
+		l, h := lo.V.S, hi.V.S
+		return func(b *vec.Batch, sel []int) []int {
+			cc := &b.Cols[idx]
+			out := sel[:0]
+			if cc.Kind != pages.KindString {
+				return out
+			}
+			if cc.Coded() {
+				// l <= value <= h is exactly the half-open code range
+				// [LowerBound(l), UpperBound(h)).
+				lb, hb := uint32(cc.Dict.LowerBound(l)), uint32(cc.Dict.UpperBound(h))
+				col := cc.Codes
+				for _, i := range sel {
+					if x := col[i]; x >= lb && x < hb {
+						out = append(out, i)
+					}
+				}
+				return out
+			}
+			col := cc.S
+			for _, i := range sel {
+				if x := col[i]; x >= l && x <= h {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+	}
 	lv, hv := lo.V, hi.V
 	return func(b *vec.Batch, sel []int) []int {
 		cc := &b.Cols[idx]
@@ -299,6 +394,7 @@ func compileVecIn(in *In) VecPred {
 	idx := c.Idx
 	strs := make(map[string]struct{}, len(in.List))
 	ints := make(map[int64]struct{}, len(in.List))
+	var strList []string // insertion order, for per-batch code translation
 	for _, e := range in.List {
 		k, ok := e.(*Const)
 		if !ok {
@@ -306,6 +402,9 @@ func compileVecIn(in *In) VecPred {
 		}
 		switch k.V.Kind {
 		case pages.KindString:
+			if _, dup := strs[k.V.S]; !dup {
+				strList = append(strList, k.V.S)
+			}
 			strs[k.V.S] = struct{}{}
 		case pages.KindInt:
 			ints[k.V.I] = struct{}{}
@@ -318,6 +417,39 @@ func compileVecIn(in *In) VecPred {
 		out := sel[:0]
 		switch cc.Kind {
 		case pages.KindString:
+			if cc.Coded() {
+				// Translate the IN-list to codes once per batch (list
+				// members absent from the dictionary match no row). Small
+				// lists — every SSB IN-list — scan a stack array of codes;
+				// larger ones fall back to decoding through the string set.
+				var codes [8]uint32
+				if len(strList) <= len(codes) {
+					d, nc := cc.Dict, 0
+					for _, s := range strList {
+						if code, ok := d.Code(s); ok {
+							codes[nc] = code
+							nc++
+						}
+					}
+					col := cc.Codes
+					for _, i := range sel {
+						x := col[i]
+						for k := 0; k < nc; k++ {
+							if codes[k] == x {
+								out = append(out, i)
+								break
+							}
+						}
+					}
+					return out
+				}
+				for _, i := range sel {
+					if _, ok := strs[cc.Str(i)]; ok {
+						out = append(out, i)
+					}
+				}
+				return out
+			}
 			col := cc.S
 			for _, i := range sel {
 				if _, ok := strs[col[i]]; ok {

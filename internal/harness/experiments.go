@@ -107,6 +107,7 @@ func All() []Experiment {
 		{"distparts", "Ablation §3.2: CJOIN distributor parts 1 vs N", figDistParts},
 		{"table1", "Rules of thumb: advisor decisions across concurrency", figTable1},
 		{"table2", "Extension substrates (CJOIN-SP, SharedDB, Crescando) on one batch pipeline", figTable2},
+		{"compress", "Compressed columnar storage: effective scan bandwidth, slotted vs compressed", figCompress},
 	}
 }
 

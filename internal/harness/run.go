@@ -73,6 +73,8 @@ func RunBatch(sys *core.System, opts core.Options, sqls []string, cold bool) (Re
 
 	poolReuse0, poolAlloc0 := sys.Env.Recycle.Stats()
 	poolLocal0 := sys.Env.Recycle.LocalHits()
+	bcHit0, bcMiss0 := sys.Env.Batches.Stats()
+	bcEvict0 := sys.Env.Batches.Evictions()
 	res := Result{Mode: opts.Mode, Concurrency: len(sqls)}
 	durations := make([]time.Duration, len(plans))
 	errs := make([]error, len(plans))
@@ -117,6 +119,13 @@ func RunBatch(sys *core.System, opts core.Options, sqls []string, cold bool) (Re
 	res.Stats["pool_reuse"] = poolReuse1 - poolReuse0
 	res.Stats["pool_alloc"] = poolAlloc1 - poolAlloc0
 	res.Stats["pool_local_hit"] = sys.Env.Recycle.LocalHits() - poolLocal0
+	// Decoded-batch cache effectiveness over this run: pages served
+	// without re-decoding, pages decoded, and hot-set churn. Nil-safe —
+	// systems built with the cache disabled report zeros.
+	bcHit1, bcMiss1 := sys.Env.Batches.Stats()
+	res.Stats["batch_cache_hit"] = bcHit1 - bcHit0
+	res.Stats["batch_cache_miss"] = bcMiss1 - bcMiss0
+	res.Stats["batch_cache_evict"] = sys.Env.Batches.Evictions() - bcEvict0
 	res.Admission = time.Duration(eng.CJOINAdmissionTime())
 	if res.Errors > 0 {
 		return res, fmt.Errorf("harness: %d of %d queries failed (first: %v)", res.Errors, len(plans), firstErr(errs))

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"sharedq/internal/buffer"
+	"sharedq/internal/catalog"
 	"sharedq/internal/metrics"
 	"sharedq/internal/pages"
 	"sharedq/internal/vec"
@@ -24,13 +25,14 @@ import (
 // working set fits the cache keeps re-marking its own pages and stops
 // evicting its own working set at capacity.
 type BatchCache struct {
-	mu     sync.RWMutex
-	m      map[buffer.PageID]int // id -> slot index
-	slots  []cacheSlot
-	hand   int
-	cap    int
-	hits   atomic.Int64
-	misses atomic.Int64
+	mu        sync.RWMutex
+	m         map[buffer.PageID]int // id -> slot index
+	slots     []cacheSlot
+	hand      int
+	cap       int
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 type cacheSlot struct {
@@ -106,6 +108,7 @@ func (c *BatchCache) Put(id buffer.PageID, b *vec.Batch) {
 		if s.ref.Swap(false) {
 			continue
 		}
+		c.evictions.Add(1)
 		delete(c.m, s.id)
 		s.id, s.b = id, b
 		s.ref.Store(true)
@@ -144,12 +147,35 @@ func (c *BatchCache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
-// ReadPageBatch fetches page idx of table as a decoded column batch.
-// On a cache hit neither the buffer pool nor the device is touched; on
-// a miss the page is fetched through the pool, decoded once, and (when
-// cache is non-nil) published for every later reader.
-func ReadPageBatch(pool *buffer.Pool, cache *BatchCache, table string, idx int, kinds []pages.Kind, col *metrics.Collector) (*vec.Batch, error) {
-	id := buffer.PageID{File: table, Page: idx}
+// Evictions returns how many cached batches the clock hand has replaced.
+func (c *BatchCache) Evictions() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.evictions.Load()
+}
+
+// ExportCounters publishes the cache's cumulative statistics into a
+// counter set under "batch_cache_hit", "batch_cache_miss" and
+// "batch_cache_evict" — the same idiom vec.Pool uses, so harness
+// results report decode-sharing effectiveness next to pool counters.
+func (c *BatchCache) ExportCounters(cs *metrics.CounterSet) {
+	if c == nil || cs == nil {
+		return
+	}
+	cs.Get("batch_cache_hit").Store(c.hits.Load())
+	cs.Get("batch_cache_miss").Store(c.misses.Load())
+	cs.Get("batch_cache_evict").Store(c.evictions.Load())
+}
+
+// ReadPageBatch fetches page idx of t as a decoded column batch. On a
+// cache hit neither the buffer pool nor the device is touched; on a
+// miss the page is fetched through the pool, decoded once — through the
+// columnar codec when the table is compressed, keeping dictionary
+// string columns coded — and (when cache is non-nil) published for
+// every later reader.
+func ReadPageBatch(pool *buffer.Pool, cache *BatchCache, t *catalog.Table, idx int, kinds []pages.Kind, col *metrics.Collector) (*vec.Batch, error) {
+	id := buffer.PageID{File: t.Name, Page: idx}
 	if b, ok := cache.Get(id); ok {
 		return b, nil
 	}
@@ -158,11 +184,16 @@ func ReadPageBatch(pool *buffer.Pool, cache *BatchCache, table string, idx int, 
 		return nil, err
 	}
 	defer pool.Unpin(id)
-	sp, err := pages.LoadSlottedPage(data)
-	if err != nil {
-		return nil, err
+	var b *vec.Batch
+	if t.Compression != nil {
+		b, err = vec.FromCompressed(data, kinds, t.Compression)
+	} else {
+		var sp *pages.SlottedPage
+		sp, err = pages.LoadSlottedPage(data)
+		if err == nil {
+			b, err = vec.FromSlotted(sp, kinds)
+		}
 	}
-	b, err := vec.FromSlotted(sp, kinds)
 	if err != nil {
 		return nil, err
 	}

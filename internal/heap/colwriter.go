@@ -1,0 +1,215 @@
+package heap
+
+import (
+	"fmt"
+
+	"sharedq/internal/catalog"
+	"sharedq/internal/pages"
+	"sharedq/internal/vec"
+)
+
+// ColWriter bulk-loads rows into compressed columnar pages: values
+// accumulate column-major for the current page and flush through the
+// pages codec whenever the next row would overflow the 32 KB budget.
+// Page size is tracked with exact per-encoding arithmetic (the codec
+// writes precisely what the estimate counts), so pages fill to the
+// brim — more rows per page is the whole point. Not safe for
+// concurrent use; loading happens once, before measurements.
+type ColWriter struct {
+	sink  PageSink
+	file  string
+	kinds []pages.Kind
+	specs []pages.ColCompression
+
+	cols []pages.ColData // current page, column-major
+	n    int             // rows in the current page
+	size int             // variable payload bytes of the current page
+	base int             // fixed bytes per page (header + per-column headers)
+
+	lastI []int64  // per-column last int value, for RLE run tracking
+	lastC []uint32 // per-column last code, for string RLE run tracking
+	codes []uint32 // per-column translated code of the row being appended
+
+	rows  int64
+	pages int
+	buf   []byte
+}
+
+// NewColWriter creates a writer for a table with the given column kinds
+// and per-column encodings.
+func NewColWriter(sink PageSink, file string, kinds []pages.Kind, specs []pages.ColCompression) *ColWriter {
+	w := &ColWriter{
+		sink:  sink,
+		file:  file,
+		kinds: kinds,
+		specs: specs,
+		cols:  make([]pages.ColData, len(kinds)),
+		lastI: make([]int64, len(kinds)),
+		lastC: make([]uint32, len(kinds)),
+		codes: make([]uint32, len(kinds)),
+	}
+	// Fixed per-page bytes: the page header plus, per column, the
+	// tag + length header and the encoding's own header.
+	w.base = 10
+	for c := range specs {
+		w.base += 5
+		switch specs[c].Enc {
+		case pages.EncDict:
+			w.base++ // width byte
+		case pages.EncRLE:
+			w.base += 4 // run count
+		case pages.EncBitpack:
+			w.base += 9 // min + width
+		}
+	}
+	return w
+}
+
+// rowDelta returns the variable bytes row r adds to the current page,
+// translating dictionary values into w.codes as a side effect.
+func (w *ColWriter) rowDelta(r pages.Row) (int, error) {
+	delta := 0
+	for c := range w.kinds {
+		v := r[c]
+		if v.Kind != w.kinds[c] {
+			return 0, fmt.Errorf("heap: column %d is %s, schema says %s", c, v.Kind, w.kinds[c])
+		}
+		spec := &w.specs[c]
+		switch spec.Enc {
+		case pages.EncRaw:
+			if w.kinds[c] == pages.KindString {
+				delta += 2 + len(v.S)
+			} else {
+				delta += 8
+			}
+		case pages.EncDict, pages.EncRLE:
+			if w.kinds[c] == pages.KindString {
+				code, ok := spec.Dict.Code(v.S)
+				if !ok {
+					return 0, fmt.Errorf("heap: value %q missing from column %d dictionary", v.S, c)
+				}
+				w.codes[c] = code
+				if spec.Enc == pages.EncDict {
+					delta += packedDelta(w.n, spec.Dict.BitWidth())
+				} else if w.n == 0 || w.lastC[c] != code {
+					delta += 8
+				}
+			} else if w.n == 0 || w.lastI[c] != v.I {
+				delta += 12
+			}
+		case pages.EncBitpack:
+			delta += packedDelta(w.n, spec.Width)
+		}
+	}
+	return delta, nil
+}
+
+// packedDelta is the byte growth of a width-bit packed stream going
+// from n to n+1 values.
+func packedDelta(n, width int) int {
+	return ((n+1)*width+7)/8 - (n*width+7)/8
+}
+
+// Append adds one row, flushing the current page first when the row
+// would overflow it.
+func (w *ColWriter) Append(r pages.Row) error {
+	if len(r) != len(w.kinds) {
+		return fmt.Errorf("heap: appending %d-column row to %d-column table", len(r), len(w.kinds))
+	}
+	delta, err := w.rowDelta(r)
+	if err != nil {
+		return err
+	}
+	if w.n > 0 && w.base+w.size+delta > pages.PageSize {
+		if err := w.flush(); err != nil {
+			return err
+		}
+		// Run-length state reset with the page; re-measure the row.
+		if delta, err = w.rowDelta(r); err != nil {
+			return err
+		}
+	}
+	if w.n == 0 && w.base+delta > pages.PageSize {
+		return fmt.Errorf("heap: row of %d+%d bytes does not fit in an empty columnar page", w.base, delta)
+	}
+	for c := range w.kinds {
+		cd := &w.cols[c]
+		spec := &w.specs[c]
+		switch {
+		case w.kinds[c] == pages.KindString && spec.Enc != pages.EncRaw:
+			cd.Codes = append(cd.Codes, w.codes[c])
+			w.lastC[c] = w.codes[c]
+		case w.kinds[c] == pages.KindInt:
+			cd.I = append(cd.I, r[c].I)
+			w.lastI[c] = r[c].I
+		case w.kinds[c] == pages.KindFloat:
+			cd.F = append(cd.F, r[c].F)
+		default:
+			cd.S = append(cd.S, r[c].S)
+		}
+	}
+	w.n++
+	w.size += delta
+	w.rows++
+	return nil
+}
+
+// flush encodes the current page, pads it to exactly 32 KB (the
+// simulated device accepts only full pages) and appends it to the sink.
+func (w *ColWriter) flush() error {
+	if w.n == 0 {
+		return nil
+	}
+	buf, err := pages.EncodeColPage(w.buf[:0], w.n, w.kinds, w.specs, w.cols)
+	if err != nil {
+		return err
+	}
+	if len(buf) != w.base+w.size {
+		return fmt.Errorf("heap: encoded page is %d bytes, estimate said %d", len(buf), w.base+w.size)
+	}
+	for len(buf) < pages.PageSize {
+		buf = append(buf, 0)
+	}
+	w.buf = buf
+	if _, err := w.sink.AppendPage(w.file, buf); err != nil {
+		return err
+	}
+	w.pages++
+	w.n, w.size = 0, 0
+	for c := range w.cols {
+		cd := &w.cols[c]
+		cd.I, cd.F, cd.S, cd.Codes = cd.I[:0], cd.F[:0], cd.S[:0], cd.Codes[:0]
+	}
+	return nil
+}
+
+// Close flushes the final partial page and returns (rows, pages) written.
+func (w *ColWriter) Close() (int64, int, error) {
+	if err := w.flush(); err != nil {
+		return 0, 0, err
+	}
+	return w.rows, w.pages, nil
+}
+
+// LoadColumnar bulk-loads rows into sink as compressed columnar pages
+// under the table's name, recording the row/page counts and the
+// compression metadata in the catalog entry. The metadata (encodings,
+// dictionaries, bit-pack frames) must cover every value the generator
+// emits — the loader's analysis pass guarantees that.
+func LoadColumnar(sink PageSink, t *catalog.Table, comp *pages.TableCompression, rows func(emit func(pages.Row) error) error) error {
+	if comp == nil || len(comp.Cols) != t.Schema.Len() {
+		return fmt.Errorf("heap: compression metadata does not cover table %s", t.Name)
+	}
+	w := NewColWriter(sink, t.Name, vec.Kinds(t.Schema), comp.Cols)
+	if err := rows(func(r pages.Row) error { return w.Append(r) }); err != nil {
+		return err
+	}
+	n, p, err := w.Close()
+	if err != nil {
+		return err
+	}
+	t.NumRows = n
+	t.NumPages = p
+	t.Compression = comp
+	return nil
+}

@@ -8,15 +8,22 @@ import (
 
 	"sharedq/internal/buffer"
 	"sharedq/internal/catalog"
-	"sharedq/internal/disk"
 	"sharedq/internal/metrics"
 	"sharedq/internal/pages"
+	"sharedq/internal/vec"
 )
+
+// PageSink receives finished 32 KB pages from a bulk loader. The
+// simulated disk.Device satisfies it; cmd/ssbgen substitutes a counting
+// sink to size datasets page-by-page without materializing a device.
+type PageSink interface {
+	AppendPage(file string, data []byte) (int, error)
+}
 
 // Writer bulk-loads rows into a table file. Not safe for concurrent use;
 // loading happens once, before measurements, as in the paper's setup.
 type Writer struct {
-	dev   *disk.Device
+	dev   PageSink
 	file  string
 	cur   *pages.SlottedPage
 	rows  int64
@@ -24,7 +31,7 @@ type Writer struct {
 }
 
 // NewWriter creates a writer appending to the named file on dev.
-func NewWriter(dev *disk.Device, file string) *Writer {
+func NewWriter(dev PageSink, file string) *Writer {
 	return &Writer{dev: dev, file: file, cur: pages.NewSlottedPage()}
 }
 
@@ -64,15 +71,25 @@ func (w *Writer) Close() (int64, int, error) {
 	return w.rows, w.pages, nil
 }
 
-// ReadPageRows fetches page idx of table through the pool and decodes
-// its rows, appending to dst. The page is unpinned before returning.
-func ReadPageRows(pool *buffer.Pool, table string, idx int, dst []pages.Row, col *metrics.Collector) ([]pages.Row, error) {
-	id := buffer.PageID{File: table, Page: idx}
+// ReadPageRows fetches page idx of t through the pool and decodes its
+// rows, appending to dst. The page is unpinned before returning.
+// Compressed tables decode through the columnar codec and materialize
+// boxed rows (the row path is the reference/compatibility surface; the
+// batch path keeps dictionary columns coded).
+func ReadPageRows(pool *buffer.Pool, t *catalog.Table, idx int, dst []pages.Row, col *metrics.Collector) ([]pages.Row, error) {
+	id := buffer.PageID{File: t.Name, Page: idx}
 	data, err := pool.Fetch(id, col)
 	if err != nil {
 		return dst, err
 	}
 	defer pool.Unpin(id)
+	if t.Compression != nil {
+		b, err := vec.FromCompressed(data, vec.Kinds(t.Schema), t.Compression)
+		if err != nil {
+			return dst, err
+		}
+		return b.AppendTo(dst), nil
+	}
 	sp, err := pages.LoadSlottedPage(data)
 	if err != nil {
 		return dst, err
@@ -82,7 +99,7 @@ func ReadPageRows(pool *buffer.Pool, table string, idx int, dst []pages.Row, col
 
 // Load bulk-loads rows into dev under the table's name and updates the
 // table's row/page counts in the catalog entry.
-func Load(dev *disk.Device, t *catalog.Table, rows func(emit func(pages.Row) error) error) error {
+func Load(dev PageSink, t *catalog.Table, rows func(emit func(pages.Row) error) error) error {
 	w := NewWriter(dev, t.Name)
 	if err := rows(func(r pages.Row) error { return w.Append(r) }); err != nil {
 		return err
@@ -103,7 +120,7 @@ func ScanAll(pool *buffer.Pool, t *catalog.Table, col *metrics.Collector) ([]pag
 	var out []pages.Row
 	var err error
 	for i := 0; i < t.NumPages; i++ {
-		out, err = ReadPageRows(pool, t.Name, i, out, col)
+		out, err = ReadPageRows(pool, t, i, out, col)
 		if err != nil {
 			return nil, err
 		}

@@ -39,9 +39,16 @@ func TestWriterRoundTrip(t *testing.T) {
 	if dev.NumPages("t") != np {
 		t.Fatalf("device has %d pages, writer says %d", dev.NumPages("t"), np)
 	}
+	tbl := &catalog.Table{
+		Name: "t",
+		Schema: pages.NewSchema(
+			pages.Column{Name: "i", Kind: pages.KindInt},
+			pages.Column{Name: "s", Kind: pages.KindString},
+		),
+	}
 	var got []pages.Row
 	for i := 0; i < np; i++ {
-		got, err = ReadPageRows(pool, "t", i, got, nil)
+		got, err = ReadPageRows(pool, tbl, i, got, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,7 +130,8 @@ func TestLoadPropagatesError(t *testing.T) {
 
 func TestReadPageRowsMissing(t *testing.T) {
 	_, pool := env(t)
-	if _, err := ReadPageRows(pool, "nope", 0, nil, nil); err == nil {
+	tbl := &catalog.Table{Name: "nope", Schema: pages.NewSchema()}
+	if _, err := ReadPageRows(pool, tbl, 0, nil, nil); err == nil {
 		t.Error("missing table should fail")
 	}
 }

@@ -1,0 +1,579 @@
+package pages
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the compressed columnar page format: a 32 KB
+// device page holding one table's rows column-major, each column
+// independently encoded (raw, dictionary, run-length or bit-packed).
+// Compressed pages hold several times more rows than the slotted row
+// format, which is what multiplies effective scan bandwidth in the
+// disk-resident regime — the scan-sharing engines stream fewer bytes
+// per row shared.
+//
+// Layout:
+//
+//	u32 magic ("CPG1")
+//	u32 rowCount
+//	u16 colCount
+//	per column: u8 tag (encoding | 0x80 null flag), u32 payloadLen, payload
+//
+// A payload begins with a validity bitmap (ceil(n/8) bytes, bit set =
+// valid) when the null flag is set; null cells still carry a (zero)
+// value in the encoded stream. The engine itself has no null concept —
+// the flag exists so the format round-trips nullable data.
+
+// ColEnc identifies one column encoding inside a compressed page.
+type ColEnc uint8
+
+const (
+	EncRaw     ColEnc = iota // verbatim values (ints/floats 8 B, strings u16 len + bytes)
+	EncDict                  // dictionary codes, bit-packed at the dictionary's width (strings)
+	EncRLE                   // run-length runs: (value, length) for ints, (code, length) for strings
+	EncBitpack               // frame-of-reference bit-packing: min + packed deltas (ints)
+)
+
+// String names the encoding for stats output and error messages.
+func (e ColEnc) String() string {
+	switch e {
+	case EncRaw:
+		return "raw"
+	case EncDict:
+		return "dict"
+	case EncRLE:
+		return "rle"
+	case EncBitpack:
+		return "bitpack"
+	default:
+		return fmt.Sprintf("enc(%d)", uint8(e))
+	}
+}
+
+const (
+	colPageMagic = 0x43504731 // "CPG1"
+	colHasNulls  = 0x80       // tag flag: payload starts with a validity bitmap
+	colEncMask   = 0x7f
+)
+
+// Dict is a sorted string dictionary shared by every page of a column
+// (and, when contents coincide, by several columns — interned
+// dictionaries are what enable code-to-code join probes). Sortedness is
+// the load-bearing invariant: code order equals value order, so range
+// predicates translate to code comparisons.
+type Dict struct {
+	// Values lists the dictionary entries in ascending order; the code
+	// of a value is its index. Read-only after construction.
+	Values []string
+
+	codes  map[string]uint32
+	hashes []uint64
+}
+
+// NewDict builds a dictionary over the given values (sorted and
+// deduplicated internally, so callers may pass them in any order).
+func NewDict(values []string) *Dict {
+	vs := append([]string(nil), values...)
+	sort.Strings(vs)
+	uniq := vs[:0]
+	for i, v := range vs {
+		if i == 0 || v != vs[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	d := &Dict{
+		Values: uniq,
+		codes:  make(map[string]uint32, len(uniq)),
+		hashes: make([]uint64, len(uniq)),
+	}
+	for i, v := range uniq {
+		d.codes[v] = uint32(i)
+		// Precomputed per-code hashes make HashAt on a coded column an
+		// array read, and keep it byte-identical to hashing the decoded
+		// string — coded and plain probes land in the same buckets.
+		d.hashes[i] = HashString(v)
+	}
+	return d
+}
+
+// Len returns the number of dictionary entries.
+func (d *Dict) Len() int { return len(d.Values) }
+
+// Code returns the code of v and whether v is in the dictionary.
+func (d *Dict) Code(v string) (uint32, bool) {
+	c, ok := d.codes[v]
+	return c, ok
+}
+
+// LowerBound returns the first code whose value is >= v (Len() when
+// every entry is smaller).
+func (d *Dict) LowerBound(v string) uint32 {
+	return uint32(sort.SearchStrings(d.Values, v))
+}
+
+// UpperBound returns the first code whose value is > v (Len() when
+// every entry is <= v).
+func (d *Dict) UpperBound(v string) uint32 {
+	return uint32(sort.Search(len(d.Values), func(i int) bool { return d.Values[i] > v }))
+}
+
+// Hash returns HashString(Values[code]) from the precomputed table.
+func (d *Dict) Hash(code uint32) uint64 { return d.hashes[code] }
+
+// BitWidth returns the bits needed to store any code of the dictionary.
+func (d *Dict) BitWidth() int {
+	if len(d.Values) <= 1 {
+		return 0
+	}
+	return BitsFor(uint64(len(d.Values) - 1))
+}
+
+// BitsFor returns the minimal bit width representing v (0 for v == 0:
+// an all-equal column packs to nothing, the decoder re-materializes the
+// base value).
+func BitsFor(v uint64) int {
+	n := 0
+	for v != 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// ColCompression describes how one column of a table is encoded on its
+// compressed pages; the table's loader chooses it once, per column.
+type ColCompression struct {
+	Enc   ColEnc
+	Dict  *Dict // dictionary for EncDict / string EncRLE columns
+	Min   int64 // frame-of-reference base for EncBitpack
+	Width int   // bit width of EncBitpack deltas
+}
+
+// TableCompression is the per-column encoding metadata of a compressed
+// table, stored in its catalog entry; a nil *TableCompression means the
+// table uses the slotted row format.
+type TableCompression struct {
+	Cols []ColCompression
+}
+
+// ColData carries one column's values into EncodeColPage and out of
+// DecodeColPage. Exactly one payload slice is populated per column:
+// I/F for numeric columns, Codes for dictionary-coded string columns
+// (decode-late: strings stay codes until an operator needs the text),
+// S for raw strings. Valid, when non-nil, flags per-row validity.
+type ColData struct {
+	I     []int64
+	F     []float64
+	S     []string
+	Codes []uint32
+	Valid []bool
+}
+
+// EncodeColPage appends a compressed columnar page of n rows to dst and
+// returns the extended buffer (not padded to PageSize; the heap writer
+// pads, since the simulated device requires exact 32 KB pages).
+func EncodeColPage(dst []byte, n int, kinds []Kind, specs []ColCompression, cols []ColData) ([]byte, error) {
+	if len(kinds) != len(specs) || len(kinds) != len(cols) {
+		return nil, fmt.Errorf("pages: encode: %d kinds, %d specs, %d columns", len(kinds), len(specs), len(cols))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, colPageMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(kinds)))
+	for c := range cols {
+		var err error
+		dst, err = appendEncodedCol(dst, n, kinds[c], specs[c], cols[c])
+		if err != nil {
+			return nil, fmt.Errorf("pages: encode column %d: %w", c, err)
+		}
+	}
+	return dst, nil
+}
+
+// appendEncodedCol writes one column's tag, payload length and payload.
+func appendEncodedCol(dst []byte, n int, kind Kind, spec ColCompression, cd ColData) ([]byte, error) {
+	tag := byte(spec.Enc)
+	if cd.Valid != nil {
+		if len(cd.Valid) != n {
+			return nil, fmt.Errorf("validity bitmap has %d entries for %d rows", len(cd.Valid), n)
+		}
+		tag |= colHasNulls
+	}
+	dst = append(dst, tag)
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // payload length backpatched below
+	start := len(dst)
+
+	if cd.Valid != nil {
+		dst = appendValidity(dst, cd.Valid)
+	}
+	switch spec.Enc {
+	case EncRaw:
+		switch kind {
+		case KindInt:
+			if len(cd.I) != n {
+				return nil, fmt.Errorf("raw int column has %d values for %d rows", len(cd.I), n)
+			}
+			for _, v := range cd.I {
+				dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+			}
+		case KindFloat:
+			if len(cd.F) != n {
+				return nil, fmt.Errorf("raw float column has %d values for %d rows", len(cd.F), n)
+			}
+			for _, v := range cd.F {
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+			}
+		default:
+			if len(cd.S) != n {
+				return nil, fmt.Errorf("raw string column has %d values for %d rows", len(cd.S), n)
+			}
+			for _, s := range cd.S {
+				if len(s) > math.MaxUint16 {
+					return nil, fmt.Errorf("string of %d bytes exceeds the u16 length prefix", len(s))
+				}
+				dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+				dst = append(dst, s...)
+			}
+		}
+	case EncDict:
+		if spec.Dict == nil {
+			return nil, fmt.Errorf("dict encoding without a dictionary")
+		}
+		if len(cd.Codes) != n {
+			return nil, fmt.Errorf("dict column has %d codes for %d rows", len(cd.Codes), n)
+		}
+		w := spec.Dict.BitWidth()
+		dst = append(dst, byte(w))
+		dst = appendPackedBits(dst, w, n, func(i int) uint64 { return uint64(cd.Codes[i]) })
+	case EncRLE:
+		switch kind {
+		case KindInt:
+			if len(cd.I) != n {
+				return nil, fmt.Errorf("rle int column has %d values for %d rows", len(cd.I), n)
+			}
+			runsAt := len(dst)
+			dst = append(dst, 0, 0, 0, 0)
+			runs := uint32(0)
+			for i := 0; i < n; {
+				j := i + 1
+				for j < n && cd.I[j] == cd.I[i] {
+					j++
+				}
+				dst = binary.LittleEndian.AppendUint64(dst, uint64(cd.I[i]))
+				dst = binary.LittleEndian.AppendUint32(dst, uint32(j-i))
+				runs++
+				i = j
+			}
+			binary.LittleEndian.PutUint32(dst[runsAt:], runs)
+		case KindString:
+			if spec.Dict == nil {
+				return nil, fmt.Errorf("string rle encoding without a dictionary")
+			}
+			if len(cd.Codes) != n {
+				return nil, fmt.Errorf("rle string column has %d codes for %d rows", len(cd.Codes), n)
+			}
+			runsAt := len(dst)
+			dst = append(dst, 0, 0, 0, 0)
+			runs := uint32(0)
+			for i := 0; i < n; {
+				j := i + 1
+				for j < n && cd.Codes[j] == cd.Codes[i] {
+					j++
+				}
+				dst = binary.LittleEndian.AppendUint32(dst, cd.Codes[i])
+				dst = binary.LittleEndian.AppendUint32(dst, uint32(j-i))
+				runs++
+				i = j
+			}
+			binary.LittleEndian.PutUint32(dst[runsAt:], runs)
+		default:
+			return nil, fmt.Errorf("rle encoding unsupported for kind %s", kind)
+		}
+	case EncBitpack:
+		if kind != KindInt {
+			return nil, fmt.Errorf("bitpack encoding unsupported for kind %s", kind)
+		}
+		if len(cd.I) != n {
+			return nil, fmt.Errorf("bitpack column has %d values for %d rows", len(cd.I), n)
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(spec.Min))
+		dst = append(dst, byte(spec.Width))
+		for _, v := range cd.I {
+			if v < spec.Min || (spec.Width < 64 && uint64(v-spec.Min) >= 1<<uint(spec.Width)) {
+				return nil, fmt.Errorf("value %d outside bitpack frame [min=%d width=%d]", v, spec.Min, spec.Width)
+			}
+		}
+		dst = appendPackedBits(dst, spec.Width, n, func(i int) uint64 { return uint64(cd.I[i] - spec.Min) })
+	default:
+		return nil, fmt.Errorf("unknown encoding %d", spec.Enc)
+	}
+
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-start))
+	return dst, nil
+}
+
+// DecodeColPage parses a compressed columnar page, returning the row
+// count and one ColData per column. Dictionary-coded string columns
+// come back as Codes (decode-late); everything else as plain values.
+// specs must be the TableCompression the page was written with.
+func DecodeColPage(data []byte, kinds []Kind, specs []ColCompression) (int, []ColData, error) {
+	if len(data) < 10 {
+		return 0, nil, fmt.Errorf("pages: short columnar page header")
+	}
+	if binary.LittleEndian.Uint32(data) != colPageMagic {
+		return 0, nil, fmt.Errorf("pages: bad columnar page magic")
+	}
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	nc := int(binary.LittleEndian.Uint16(data[8:]))
+	if nc != len(kinds) || nc != len(specs) {
+		return 0, nil, fmt.Errorf("pages: page has %d columns, metadata has %d/%d", nc, len(kinds), len(specs))
+	}
+	cols := make([]ColData, nc)
+	off := 10
+	for c := 0; c < nc; c++ {
+		if off+5 > len(data) {
+			return 0, nil, fmt.Errorf("pages: truncated column %d header", c)
+		}
+		tag := data[off]
+		plen := int(binary.LittleEndian.Uint32(data[off+1:]))
+		off += 5
+		if off+plen > len(data) {
+			return 0, nil, fmt.Errorf("pages: truncated column %d payload", c)
+		}
+		payload := data[off : off+plen]
+		off += plen
+		enc := ColEnc(tag & colEncMask)
+		if enc != specs[c].Enc {
+			return 0, nil, fmt.Errorf("pages: column %d encoded %s, metadata says %s", c, enc, specs[c].Enc)
+		}
+		if err := decodeCol(&cols[c], payload, n, tag, kinds[c], specs[c]); err != nil {
+			return 0, nil, fmt.Errorf("pages: decode column %d: %w", c, err)
+		}
+	}
+	return n, cols, nil
+}
+
+// decodeCol decodes one column payload into cd.
+func decodeCol(cd *ColData, payload []byte, n int, tag byte, kind Kind, spec ColCompression) error {
+	if tag&colHasNulls != 0 {
+		need := (n + 7) / 8
+		if len(payload) < need {
+			return fmt.Errorf("truncated validity bitmap")
+		}
+		cd.Valid = make([]bool, n)
+		for i := 0; i < n; i++ {
+			cd.Valid[i] = payload[i>>3]&(1<<(i&7)) != 0
+		}
+		payload = payload[need:]
+	}
+	switch spec.Enc {
+	case EncRaw:
+		switch kind {
+		case KindInt:
+			if len(payload) < 8*n {
+				return fmt.Errorf("truncated raw ints")
+			}
+			cd.I = make([]int64, n)
+			for i := range cd.I {
+				cd.I[i] = int64(binary.LittleEndian.Uint64(payload[8*i:]))
+			}
+		case KindFloat:
+			if len(payload) < 8*n {
+				return fmt.Errorf("truncated raw floats")
+			}
+			cd.F = make([]float64, n)
+			for i := range cd.F {
+				cd.F[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+			}
+		default:
+			cd.S = make([]string, n)
+			off := 0
+			for i := range cd.S {
+				if off+2 > len(payload) {
+					return fmt.Errorf("truncated string length")
+				}
+				l := int(binary.LittleEndian.Uint16(payload[off:]))
+				off += 2
+				if off+l > len(payload) {
+					return fmt.Errorf("truncated string")
+				}
+				cd.S[i] = string(payload[off : off+l])
+				off += l
+			}
+		}
+	case EncDict:
+		if spec.Dict == nil {
+			return fmt.Errorf("dict column without a dictionary")
+		}
+		if len(payload) < 1 {
+			return fmt.Errorf("truncated dict width")
+		}
+		w := int(payload[0])
+		cd.Codes = make([]uint32, n)
+		if err := unpackBits(payload[1:], w, n, func(i int, v uint64) { cd.Codes[i] = uint32(v) }); err != nil {
+			return err
+		}
+		if err := checkCodes(cd.Codes, spec.Dict); err != nil {
+			return err
+		}
+	case EncRLE:
+		if len(payload) < 4 {
+			return fmt.Errorf("truncated run count")
+		}
+		runs := int(binary.LittleEndian.Uint32(payload))
+		payload = payload[4:]
+		switch kind {
+		case KindInt:
+			if len(payload) < 12*runs {
+				return fmt.Errorf("truncated int runs")
+			}
+			cd.I = make([]int64, 0, n)
+			for r := 0; r < runs; r++ {
+				v := int64(binary.LittleEndian.Uint64(payload[12*r:]))
+				l := int(binary.LittleEndian.Uint32(payload[12*r+8:]))
+				if len(cd.I)+l > n {
+					return fmt.Errorf("runs exceed row count")
+				}
+				for k := 0; k < l; k++ {
+					cd.I = append(cd.I, v)
+				}
+			}
+			if len(cd.I) != n {
+				return fmt.Errorf("runs cover %d of %d rows", len(cd.I), n)
+			}
+		case KindString:
+			if spec.Dict == nil {
+				return fmt.Errorf("string rle column without a dictionary")
+			}
+			if len(payload) < 8*runs {
+				return fmt.Errorf("truncated string runs")
+			}
+			cd.Codes = make([]uint32, 0, n)
+			for r := 0; r < runs; r++ {
+				v := binary.LittleEndian.Uint32(payload[8*r:])
+				l := int(binary.LittleEndian.Uint32(payload[8*r+4:]))
+				if len(cd.Codes)+l > n {
+					return fmt.Errorf("runs exceed row count")
+				}
+				for k := 0; k < l; k++ {
+					cd.Codes = append(cd.Codes, v)
+				}
+			}
+			if len(cd.Codes) != n {
+				return fmt.Errorf("runs cover %d of %d rows", len(cd.Codes), n)
+			}
+			if err := checkCodes(cd.Codes, spec.Dict); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("rle decoding unsupported for kind %s", kind)
+		}
+	case EncBitpack:
+		if len(payload) < 9 {
+			return fmt.Errorf("truncated bitpack header")
+		}
+		min := int64(binary.LittleEndian.Uint64(payload))
+		w := int(payload[8])
+		cd.I = make([]int64, n)
+		if err := unpackBits(payload[9:], w, n, func(i int, v uint64) { cd.I[i] = min + int64(v) }); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown encoding %d", spec.Enc)
+	}
+	return nil
+}
+
+// checkCodes validates decoded codes against the dictionary bound, so a
+// corrupt page fails the decode instead of a later Values[code] read.
+func checkCodes(codes []uint32, d *Dict) error {
+	n := uint32(d.Len())
+	for _, c := range codes {
+		if c >= n {
+			return fmt.Errorf("code %d outside dictionary of %d entries", c, n)
+		}
+	}
+	return nil
+}
+
+// appendValidity packs a []bool into a little-endian bitmap.
+func appendValidity(dst []byte, valid []bool) []byte {
+	nb := (len(valid) + 7) / 8
+	at := len(dst)
+	for i := 0; i < nb; i++ {
+		dst = append(dst, 0)
+	}
+	for i, ok := range valid {
+		if ok {
+			dst[at+i>>3] |= 1 << (i & 7)
+		}
+	}
+	return dst
+}
+
+// appendPackedBits appends n width-bit values (LSB-first within the
+// byte stream). Width 0 appends nothing: the encoding carries the base
+// value out of band.
+func appendPackedBits(dst []byte, width, n int, get func(i int) uint64) []byte {
+	if width == 0 {
+		return dst
+	}
+	var acc byte
+	bits := 0
+	for i := 0; i < n; i++ {
+		v := get(i)
+		rem := width
+		for rem > 0 {
+			take := 8 - bits
+			if take > rem {
+				take = rem
+			}
+			acc |= byte(v&(1<<take-1)) << bits
+			v >>= uint(take)
+			bits += take
+			rem -= take
+			if bits == 8 {
+				dst = append(dst, acc)
+				acc, bits = 0, 0
+			}
+		}
+	}
+	if bits > 0 {
+		dst = append(dst, acc)
+	}
+	return dst
+}
+
+// unpackBits reads n width-bit values packed by appendPackedBits.
+func unpackBits(src []byte, width, n int, emit func(i int, v uint64)) error {
+	if width == 0 {
+		for i := 0; i < n; i++ {
+			emit(i, 0)
+		}
+		return nil
+	}
+	if need := (n*width + 7) / 8; len(src) < need {
+		return fmt.Errorf("truncated bit-packed payload: %d bytes, need %d", len(src), need)
+	}
+	pos := 0
+	for i := 0; i < n; i++ {
+		var v uint64
+		got := 0
+		for got < width {
+			b := src[pos>>3]
+			off := pos & 7
+			take := 8 - off
+			if take > width-got {
+				take = width - got
+			}
+			v |= uint64(b>>off&(1<<take-1)) << got
+			got += take
+			pos += take
+		}
+		emit(i, v)
+	}
+	return nil
+}

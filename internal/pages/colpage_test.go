@@ -1,0 +1,285 @@
+package pages
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// encodeDecode round-trips one single-column page and returns the
+// decoded column.
+func encodeDecode(t *testing.T, n int, kind Kind, spec ColCompression, cd ColData) ColData {
+	t.Helper()
+	page, err := EncodeColPage(nil, n, []Kind{kind}, []ColCompression{spec}, []ColData{cd})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	m, cols, err := DecodeColPage(page, []Kind{kind}, []ColCompression{spec})
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if m != n {
+		t.Fatalf("decoded %d rows, want %d", m, n)
+	}
+	return cols[0]
+}
+
+func checkValid(t *testing.T, want, got []bool) {
+	t.Helper()
+	if want == nil {
+		if got != nil {
+			t.Fatalf("decode invented a validity bitmap")
+		}
+		return
+	}
+	if len(got) != len(want) {
+		t.Fatalf("validity has %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("validity[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// maybeNulls returns a validity slice for about a third of the cases:
+// nil (no nulls), sparse nulls, or all-null.
+func maybeNulls(rng *rand.Rand, n int) []bool {
+	switch rng.Intn(3) {
+	case 0:
+		return nil
+	case 1:
+		v := make([]bool, n)
+		for i := range v {
+			v[i] = rng.Intn(10) != 0
+		}
+		return v
+	default:
+		return make([]bool, n) // all null
+	}
+}
+
+func TestColPageRoundTripDict(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vocab := []string{"ASIA", "AMERICA", "EUROPE", "AFRICA", "MIDDLE EAST", ""}
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(2000) // includes 0: the empty page
+		words := vocab[:1+rng.Intn(len(vocab))]
+		d := NewDict(words)
+		codes := make([]uint32, n)
+		for i := range codes {
+			codes[i] = uint32(rng.Intn(d.Len()))
+		}
+		valid := maybeNulls(rng, n)
+		spec := ColCompression{Enc: EncDict, Dict: d}
+		got := encodeDecode(t, n, KindString, spec, ColData{Codes: codes, Valid: valid})
+		for i := range codes {
+			if got.Codes[i] != codes[i] {
+				t.Fatalf("trial %d: code[%d] = %d, want %d", trial, i, got.Codes[i], codes[i])
+			}
+		}
+		checkValid(t, valid, got.Valid)
+	}
+}
+
+func TestColPageRoundTripRLE(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(2000)
+		// Int RLE with runs of random length (including n == 0 and the
+		// single-value column when one run covers everything).
+		vals := make([]int64, 0, n)
+		v := rng.Int63n(100) - 50
+		for len(vals) < n {
+			runLen := 1 + rng.Intn(64)
+			for k := 0; k < runLen && len(vals) < n; k++ {
+				vals = append(vals, v)
+			}
+			v += int64(rng.Intn(5))
+		}
+		valid := maybeNulls(rng, n)
+		got := encodeDecode(t, n, KindInt, ColCompression{Enc: EncRLE}, ColData{I: vals, Valid: valid})
+		for i := range vals {
+			if got.I[i] != vals[i] {
+				t.Fatalf("trial %d: v[%d] = %d, want %d", trial, i, got.I[i], vals[i])
+			}
+		}
+		checkValid(t, valid, got.Valid)
+
+		// String RLE over dictionary codes.
+		d := NewDict([]string{"A", "N", "R"})
+		codes := make([]uint32, n)
+		c := uint32(rng.Intn(3))
+		for i := 0; i < n; {
+			runLen := 1 + rng.Intn(32)
+			for k := 0; k < runLen && i < n; k++ {
+				codes[i] = c
+				i++
+			}
+			c = uint32(rng.Intn(3))
+		}
+		gs := encodeDecode(t, n, KindString, ColCompression{Enc: EncRLE, Dict: d}, ColData{Codes: codes})
+		for i := range codes {
+			if gs.Codes[i] != codes[i] {
+				t.Fatalf("trial %d: code[%d] = %d, want %d", trial, i, gs.Codes[i], codes[i])
+			}
+		}
+	}
+}
+
+func TestColPageRoundTripBitpack(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(2000)
+		min := rng.Int63n(1 << 40)
+		if rng.Intn(2) == 0 {
+			min = -min
+		}
+		width := rng.Intn(41) // 0 = single-value column
+		vals := make([]int64, n)
+		for i := range vals {
+			if width == 0 {
+				vals[i] = min
+			} else {
+				vals[i] = min + int64(rng.Uint64()&(1<<width-1))
+			}
+		}
+		valid := maybeNulls(rng, n)
+		spec := ColCompression{Enc: EncBitpack, Min: min, Width: width}
+		got := encodeDecode(t, n, KindInt, spec, ColData{I: vals, Valid: valid})
+		for i := range vals {
+			if got.I[i] != vals[i] {
+				t.Fatalf("trial %d (min=%d w=%d): v[%d] = %d, want %d", trial, min, width, i, got.I[i], vals[i])
+			}
+		}
+		checkValid(t, valid, got.Valid)
+	}
+}
+
+func TestColPageRoundTripRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(500)
+		ints := make([]int64, n)
+		floats := make([]float64, n)
+		strs := make([]string, n)
+		for i := 0; i < n; i++ {
+			ints[i] = rng.Int63() - rng.Int63()
+			floats[i] = rng.NormFloat64()
+			strs[i] = fmt.Sprintf("val-%d-%d", trial, rng.Intn(1000))
+		}
+		kinds := []Kind{KindInt, KindFloat, KindString}
+		specs := []ColCompression{{Enc: EncRaw}, {Enc: EncRaw}, {Enc: EncRaw}}
+		cols := []ColData{{I: ints}, {F: floats}, {S: strs, Valid: maybeNulls(rng, n)}}
+		page, err := EncodeColPage(nil, n, kinds, specs, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, got, err := DecodeColPage(page, kinds, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != n {
+			t.Fatalf("decoded %d rows, want %d", m, n)
+		}
+		for i := 0; i < n; i++ {
+			if got[0].I[i] != ints[i] || got[1].F[i] != floats[i] || got[2].S[i] != strs[i] {
+				t.Fatalf("trial %d row %d: got (%d, %v, %q)", trial, i, got[0].I[i], got[1].F[i], got[2].S[i])
+			}
+		}
+		checkValid(t, cols[2].Valid, got[2].Valid)
+	}
+}
+
+func TestColPageSingleValueColumns(t *testing.T) {
+	// A single-value column under each encoding: dict width 0 (one
+	// entry), an RLE page of one run, bitpack width 0.
+	const n = 777
+	d := NewDict([]string{"ONLY"})
+	if d.BitWidth() != 0 {
+		t.Fatalf("one-entry dict has width %d", d.BitWidth())
+	}
+	got := encodeDecode(t, n, KindString, ColCompression{Enc: EncDict, Dict: d}, ColData{Codes: make([]uint32, n)})
+	for i, c := range got.Codes {
+		if c != 0 {
+			t.Fatalf("code[%d] = %d", i, c)
+		}
+	}
+
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = 42
+	}
+	ri := encodeDecode(t, n, KindInt, ColCompression{Enc: EncRLE}, ColData{I: vals})
+	for i := range ri.I {
+		if ri.I[i] != 42 {
+			t.Fatalf("rle v[%d] = %d", i, ri.I[i])
+		}
+	}
+
+	bp := encodeDecode(t, n, KindInt, ColCompression{Enc: EncBitpack, Min: 42, Width: 0}, ColData{I: vals})
+	for i := range bp.I {
+		if bp.I[i] != 42 {
+			t.Fatalf("bitpack v[%d] = %d", i, bp.I[i])
+		}
+	}
+}
+
+func TestColPageEmptyPage(t *testing.T) {
+	kinds := []Kind{KindInt, KindString}
+	specs := []ColCompression{{Enc: EncBitpack, Min: 0, Width: 4}, {Enc: EncDict, Dict: NewDict([]string{"x", "y"})}}
+	page, err := EncodeColPage(nil, 0, kinds, specs, []ColData{{}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, cols, err := DecodeColPage(page, kinds, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || len(cols) != 2 || len(cols[0].I) != 0 || len(cols[1].Codes) != 0 {
+		t.Fatalf("empty page decoded to n=%d cols=%v", n, cols)
+	}
+}
+
+func TestDictSortedInvariants(t *testing.T) {
+	d := NewDict([]string{"EUROPE", "ASIA", "ASIA", "AFRICA"})
+	if d.Len() != 3 {
+		t.Fatalf("dedup failed: %v", d.Values)
+	}
+	for i := 1; i < d.Len(); i++ {
+		if d.Values[i-1] >= d.Values[i] {
+			t.Fatalf("dictionary not sorted: %v", d.Values)
+		}
+	}
+	if c, ok := d.Code("ASIA"); !ok || d.Values[c] != "ASIA" {
+		t.Fatalf("Code(ASIA) = %d, %v", c, ok)
+	}
+	if _, ok := d.Code("PLUTO"); ok {
+		t.Fatal("Code found a missing value")
+	}
+	// Range bounds: [LowerBound("ASIA"), UpperBound("EUROPE")) covers
+	// ASIA and EUROPE but not AFRICA.
+	lb, ub := d.LowerBound("ASIA"), d.UpperBound("EUROPE")
+	if lb != 1 || ub != 3 {
+		t.Fatalf("bounds = [%d, %d)", lb, ub)
+	}
+	for code := uint32(0); code < uint32(d.Len()); code++ {
+		if d.Hash(code) != HashString(d.Values[code]) {
+			t.Fatalf("precomputed hash mismatch at %d", code)
+		}
+	}
+}
+
+func TestColPageRejectsCorruptCodes(t *testing.T) {
+	d := NewDict([]string{"a", "b", "c"})
+	spec := ColCompression{Enc: EncDict, Dict: d}
+	page, err := EncodeColPage(nil, 4, []Kind{KindString}, []ColCompression{spec}, []ColData{{Codes: []uint32{0, 1, 2, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decoding against a smaller dictionary must reject out-of-range codes.
+	small := ColCompression{Enc: EncDict, Dict: NewDict([]string{"a", "b"})}
+	if _, _, err := DecodeColPage(page, []Kind{KindString}, []ColCompression{small}); err == nil {
+		t.Fatal("out-of-range codes decoded without error")
+	}
+}

@@ -1,0 +1,224 @@
+package ssb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sharedq/internal/catalog"
+	"sharedq/internal/heap"
+	"sharedq/internal/pages"
+)
+
+// This file holds the load-time encoding chooser: a statistics pass
+// over each table's (restartable, deterministic) generator, a
+// per-column cost model picking the cheapest of raw, dictionary,
+// run-length and frame-of-reference bit-packing, and the compressed
+// bulk load itself.
+
+// DictCardinalityCap bounds dictionary size: a string column with more
+// distinct values than this stays raw — the dictionary would rival the
+// data, and code widths would stop paying for themselves.
+const DictCardinalityCap = 4096
+
+// SchemaOf returns the named SSB table's schema (nil for unknown names).
+func SchemaOf(table string) *pages.Schema {
+	switch table {
+	case TableLineorder:
+		return LineorderSchema()
+	case TableCustomer:
+		return CustomerSchema()
+	case TableSupplier:
+		return SupplierSchema()
+	case TablePart:
+		return PartSchema()
+	case TableDate:
+		return DateSchema()
+	case TableLineitem:
+		return LineitemSchema()
+	}
+	return nil
+}
+
+// ColStats summarizes one generated column for the encoding chooser and
+// for ssbgen -stats.
+type ColStats struct {
+	Name     string
+	Kind     pages.Kind
+	Rows     int64
+	Distinct int      // distinct values seen, capped at DictCardinalityCap+1
+	Values   []string // sorted distinct strings, when under the cap
+	MinI     int64    // int columns: value range for the bit-pack frame
+	MaxI     int64
+	Runs     int64 // value-change count (RLE run count)
+	StrBytes int64 // raw string payload bytes (2-byte length + data)
+}
+
+// TableStats holds the per-column statistics of one table.
+type TableStats struct {
+	Table string
+	Cols  []ColStats
+}
+
+// Analyze streams the named table's generator once and gathers the
+// statistics the chooser needs. Generators replay identically, so the
+// later encode pass sees exactly the analyzed data.
+func (g Gen) Analyze(table string) (*TableStats, error) {
+	fn := g.Generator(table)
+	sch := SchemaOf(table)
+	if fn == nil || sch == nil {
+		return nil, fmt.Errorf("ssb: unknown table %q", table)
+	}
+	nc := sch.Len()
+	st := &TableStats{Table: table, Cols: make([]ColStats, nc)}
+	seenS := make([]map[string]struct{}, nc)
+	seenI := make([]map[int64]struct{}, nc)
+	lastI := make([]int64, nc)
+	lastS := make([]string, nc)
+	for c := 0; c < nc; c++ {
+		st.Cols[c].Name = sch.Columns[c].Name
+		st.Cols[c].Kind = sch.Columns[c].Kind
+		seenS[c] = make(map[string]struct{})
+		seenI[c] = make(map[int64]struct{})
+	}
+	err := fn(func(r pages.Row) error {
+		for c := range r {
+			cs := &st.Cols[c]
+			switch cs.Kind {
+			case pages.KindInt:
+				v := r[c].I
+				if cs.Rows == 0 || v < cs.MinI {
+					cs.MinI = v
+				}
+				if cs.Rows == 0 || v > cs.MaxI {
+					cs.MaxI = v
+				}
+				if cs.Rows == 0 || lastI[c] != v {
+					cs.Runs++
+				}
+				lastI[c] = v
+				if len(seenI[c]) <= DictCardinalityCap {
+					seenI[c][v] = struct{}{}
+				}
+			case pages.KindString:
+				v := r[c].S
+				cs.StrBytes += int64(2 + len(v))
+				if cs.Rows == 0 || lastS[c] != v {
+					cs.Runs++
+				}
+				lastS[c] = v
+				if len(seenS[c]) <= DictCardinalityCap {
+					seenS[c][v] = struct{}{}
+				}
+			}
+			cs.Rows++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for c := range st.Cols {
+		cs := &st.Cols[c]
+		switch cs.Kind {
+		case pages.KindInt:
+			cs.Distinct = len(seenI[c])
+		case pages.KindString:
+			cs.Distinct = len(seenS[c])
+			if cs.Distinct <= DictCardinalityCap {
+				vals := make([]string, 0, len(seenS[c]))
+				for v := range seenS[c] {
+					vals = append(vals, v)
+				}
+				sort.Strings(vals)
+				cs.Values = vals
+			}
+		}
+	}
+	return st, nil
+}
+
+// Choose maps the statistics to per-column encodings by estimated
+// encoded size. intern dedupes dictionaries by content across tables
+// (customer and supplier nation, for example), so columns over the same
+// value set share one *pages.Dict and joins and gathers between them
+// stay in code space.
+func (s *TableStats) Choose(intern map[string]*pages.Dict) *pages.TableCompression {
+	comp := &pages.TableCompression{Cols: make([]pages.ColCompression, len(s.Cols))}
+	for i := range s.Cols {
+		comp.Cols[i] = s.Cols[i].choose(intern)
+	}
+	return comp
+}
+
+// choose picks one column's encoding: the cheapest estimated encoding
+// under a whole-column cost model (the page codec's exact per-page
+// costs differ only by per-page headers and run breaks at page
+// boundaries, which do not change the ranking at these cardinalities).
+func (cs *ColStats) choose(intern map[string]*pages.Dict) pages.ColCompression {
+	n := cs.Rows
+	switch cs.Kind {
+	case pages.KindInt:
+		w := pages.BitsFor(uint64(cs.MaxI - cs.MinI))
+		packed := 9 + (n*int64(w)+7)/8
+		rle := 4 + 12*cs.Runs
+		raw := 8 * n
+		if rle < packed && rle < raw {
+			return pages.ColCompression{Enc: pages.EncRLE}
+		}
+		if packed < raw {
+			return pages.ColCompression{Enc: pages.EncBitpack, Min: cs.MinI, Width: w}
+		}
+		return pages.ColCompression{Enc: pages.EncRaw}
+	case pages.KindString:
+		if cs.Distinct > DictCardinalityCap || len(cs.Values) == 0 {
+			return pages.ColCompression{Enc: pages.EncRaw}
+		}
+		d := internDict(intern, cs.Values)
+		dict := 1 + (n*int64(d.BitWidth())+7)/8
+		rle := 4 + 8*cs.Runs
+		if rle < dict && rle < cs.StrBytes {
+			return pages.ColCompression{Enc: pages.EncRLE, Dict: d}
+		}
+		if dict < cs.StrBytes {
+			return pages.ColCompression{Enc: pages.EncDict, Dict: d}
+		}
+		return pages.ColCompression{Enc: pages.EncRaw}
+	}
+	return pages.ColCompression{Enc: pages.EncRaw}
+}
+
+// internDict returns the canonical dictionary for a sorted value set,
+// creating it on first sight.
+func internDict(intern map[string]*pages.Dict, vals []string) *pages.Dict {
+	key := strings.Join(vals, "\x00")
+	if d, ok := intern[key]; ok {
+		return d
+	}
+	d := pages.NewDict(vals)
+	intern[key] = d
+	return d
+}
+
+// LoadCompressed generates every SSB table onto sink as compressed
+// columnar pages: one statistics pass per table feeds the encoding
+// chooser, then the encode pass replays the generator through the
+// columnar writer. Catalog entries get their row/page counts and
+// compression metadata; RegisterSchemas must have been called.
+func (g Gen) LoadCompressed(sink heap.PageSink, cat *catalog.Catalog) error {
+	intern := make(map[string]*pages.Dict)
+	for _, l := range g.loaders() {
+		t, err := cat.Get(l.table)
+		if err != nil {
+			return err
+		}
+		st, err := g.Analyze(l.table)
+		if err != nil {
+			return fmt.Errorf("ssb: analyzing %s: %w", l.table, err)
+		}
+		if err := heap.LoadColumnar(sink, t, st.Choose(intern), l.fn); err != nil {
+			return fmt.Errorf("ssb: loading %s compressed: %w", l.table, err)
+		}
+	}
+	return nil
+}

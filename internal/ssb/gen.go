@@ -65,13 +65,17 @@ func (g Gen) rng(table string) *rand.Rand {
 // year*1000 + dayOfYear, a dense sortable integer key.
 func DateKey(year, dayOfYear int) int64 { return int64(year*1000 + dayOfYear) }
 
-// Load generates every SSB table (including lineitem) onto dev and
-// updates row/page counts in cat. RegisterSchemas must have been called.
-func (g Gen) Load(dev *disk.Device, cat *catalog.Catalog) error {
-	loaders := []struct {
-		table string
-		fn    func(emit func(pages.Row) error) error
-	}{
+// loader pairs a table name with its row generator. Generators are
+// deterministic and restartable — every call replays the same rows —
+// which is what lets the compressed loader run a statistics pass and an
+// encode pass over identical data.
+type loader struct {
+	table string
+	fn    func(emit func(pages.Row) error) error
+}
+
+func (g Gen) loaders() []loader {
+	return []loader{
 		{TableDate, g.genDate},
 		{TableCustomer, g.genCustomer},
 		{TableSupplier, g.genSupplier},
@@ -79,7 +83,24 @@ func (g Gen) Load(dev *disk.Device, cat *catalog.Catalog) error {
 		{TableLineorder, g.genLineorder},
 		{TableLineitem, g.genLineitem},
 	}
-	for _, l := range loaders {
+}
+
+// Generator returns the named table's row generator (nil for unknown
+// tables); cmd/ssbgen streams samples straight off it without loading a
+// device.
+func (g Gen) Generator(table string) func(emit func(pages.Row) error) error {
+	for _, l := range g.loaders() {
+		if l.table == table {
+			return l.fn
+		}
+	}
+	return nil
+}
+
+// Load generates every SSB table (including lineitem) onto dev and
+// updates row/page counts in cat. RegisterSchemas must have been called.
+func (g Gen) Load(dev *disk.Device, cat *catalog.Catalog) error {
+	for _, l := range g.loaders() {
 		t, err := cat.Get(l.table)
 		if err != nil {
 			return err

@@ -229,6 +229,8 @@ func (b *Batch) reshape(n int, kind func(int) pages.Kind) {
 		c.I = c.I[:0]
 		c.F = c.F[:0]
 		c.S = c.S[:0]
+		c.Codes = c.Codes[:0]
+		c.Dict = nil
 	}
 	b.n = 0
 }
@@ -308,6 +310,12 @@ func (b *Batch) poison() {
 		for i := range c.S {
 			c.S[i] = PoisonString
 		}
+		// Coded columns: out-of-range codes with the dictionary detached,
+		// so a stale reader panics loudly instead of reading recycled data.
+		for i := range c.Codes {
+			c.Codes[i] = ^uint32(0)
+		}
+		c.Dict = nil
 	}
 	b.n = 0
 }

@@ -19,12 +19,74 @@ import (
 )
 
 // Column is one typed column vector. Exactly one of the payload slices
-// is populated, selected by Kind.
+// is populated, selected by Kind — except for dictionary-coded string
+// columns (decode-late), which populate Codes + Dict instead of S and
+// defer string materialization until an operator genuinely needs the
+// text. Predicates, join probes and group-id lookups all operate on
+// the codes directly.
 type Column struct {
 	Kind pages.Kind
 	I    []int64
 	F    []float64
 	S    []string
+	// Codes holds dictionary codes when Dict is non-nil (string columns
+	// decoded from compressed pages, and gathers that preserved the
+	// coded form). Code order equals value order: the dictionaries are
+	// sorted.
+	Codes []uint32
+	Dict  *pages.Dict
+}
+
+// Coded reports whether the column is dictionary-coded (Codes + Dict
+// populated instead of S).
+func (c *Column) Coded() bool { return c.Dict != nil }
+
+// Str returns string entry i, translating through the dictionary when
+// the column is coded.
+func (c *Column) Str(i int) string {
+	if c.Dict != nil {
+		return c.Dict.Values[c.Codes[i]]
+	}
+	return c.S[i]
+}
+
+// decode materializes a coded column into plain strings — the single
+// point where decode-late columns give up their codes (an operator
+// needed the values in a representation codes cannot satisfy).
+func (c *Column) decode() {
+	if c.Dict == nil {
+		return
+	}
+	for _, code := range c.Codes {
+		c.S = append(c.S, c.Dict.Values[code])
+	}
+	c.Codes = c.Codes[:0]
+	c.Dict = nil
+}
+
+// appendStringFrom appends src's string entry i to c, preserving the
+// coded representation when both sides share a dictionary (or c is
+// still empty and can adopt src's); mismatched dictionaries fall back
+// to decoded strings.
+func (c *Column) appendStringFrom(src *Column, i int) {
+	if src.Dict != nil {
+		if c.Dict == src.Dict || (c.Dict == nil && len(c.S) == 0) {
+			c.Dict = src.Dict
+			c.Codes = append(c.Codes, src.Codes[i])
+			return
+		}
+		c.decode()
+		c.S = append(c.S, src.Dict.Values[src.Codes[i]])
+		return
+	}
+	c.decode()
+	c.S = append(c.S, src.S[i])
+}
+
+// canAdopt reports whether appending coded entries of src to c keeps c
+// coded (same dictionary, or c is empty and adopts src's).
+func (c *Column) canAdopt(src *Column) bool {
+	return c.Dict == src.Dict || (c.Dict == nil && len(c.S) == 0)
 }
 
 // Value boxes entry i of the column as a dynamically typed value.
@@ -35,12 +97,15 @@ func (c *Column) Value(i int) pages.Value {
 	case pages.KindFloat:
 		return pages.Float(c.F[i])
 	default:
-		return pages.Str(c.S[i])
+		return pages.Str(c.Str(i))
 	}
 }
 
 // HashAt hashes entry i exactly as Value(i).Hash() would, without
 // boxing: the raw payload goes through the kind-tagged FNV-1a directly.
+// Coded columns read the dictionary's precomputed per-code hash, which
+// equals hashing the decoded string — coded and plain keys bucket
+// identically.
 func (c *Column) HashAt(i int) uint64 {
 	switch c.Kind {
 	case pages.KindInt:
@@ -48,11 +113,15 @@ func (c *Column) HashAt(i int) uint64 {
 	case pages.KindFloat:
 		return pages.HashFloat64(c.F[i])
 	default:
+		if c.Dict != nil {
+			return c.Dict.Hash(c.Codes[i])
+		}
 		return pages.HashString(c.S[i])
 	}
 }
 
 // GatherInto appends the selected entries of c to dst (same kind).
+// Coded string columns stay coded when dst can share the dictionary.
 func (c *Column) GatherInto(dst *Column, sel []int) {
 	switch c.Kind {
 	case pages.KindInt:
@@ -64,8 +133,45 @@ func (c *Column) GatherInto(dst *Column, sel []int) {
 			dst.F = append(dst.F, c.F[i])
 		}
 	default:
+		if c.Dict != nil && dst.canAdopt(c) {
+			dst.Dict = c.Dict
+			for _, i := range sel {
+				dst.Codes = append(dst.Codes, c.Codes[i])
+			}
+			return
+		}
 		for _, i := range sel {
-			dst.S = append(dst.S, c.S[i])
+			dst.appendStringFrom(c, i)
+		}
+	}
+}
+
+// GatherColumn appends src[idx] for every idx into dst (same kind) —
+// the int32-indexed gather the join materializer uses. Coded string
+// columns stay coded when dst can share the dictionary.
+func GatherColumn(dst, src *Column, idx []int32) {
+	switch src.Kind {
+	case pages.KindInt:
+		col := src.I
+		for _, i := range idx {
+			dst.I = append(dst.I, col[i])
+		}
+	case pages.KindFloat:
+		col := src.F
+		for _, i := range idx {
+			dst.F = append(dst.F, col[i])
+		}
+	default:
+		if src.Dict != nil && dst.canAdopt(src) {
+			dst.Dict = src.Dict
+			col := src.Codes
+			for _, i := range idx {
+				dst.Codes = append(dst.Codes, col[i])
+			}
+			return
+		}
+		for _, i := range idx {
+			dst.appendStringFrom(src, int(i))
 		}
 	}
 }
@@ -81,6 +187,7 @@ func (c *Column) append(v pages.Value) error {
 	case pages.KindFloat:
 		c.F = append(c.F, v.F)
 	default:
+		c.decode()
 		c.S = append(c.S, v.S)
 	}
 	return nil
@@ -203,7 +310,7 @@ func (b *Batch) AppendFrom(src *Batch, i int) {
 		case pages.KindFloat:
 			b.Cols[c].F = append(b.Cols[c].F, src.Cols[c].F[i])
 		default:
-			b.Cols[c].S = append(b.Cols[c].S, src.Cols[c].S[i])
+			b.Cols[c].appendStringFrom(&src.Cols[c], i)
 		}
 	}
 	b.n++
@@ -218,13 +325,26 @@ func (b *Batch) SetLen(n int) { b.n = n }
 // match b's — one contiguous copy per column.
 func (b *Batch) AppendRange(src *Batch, lo, hi int) {
 	for c := range b.Cols {
-		switch b.Cols[c].Kind {
+		dc, sc := &b.Cols[c], &src.Cols[c]
+		switch dc.Kind {
 		case pages.KindInt:
-			b.Cols[c].I = append(b.Cols[c].I, src.Cols[c].I[lo:hi]...)
+			dc.I = append(dc.I, sc.I[lo:hi]...)
 		case pages.KindFloat:
-			b.Cols[c].F = append(b.Cols[c].F, src.Cols[c].F[lo:hi]...)
+			dc.F = append(dc.F, sc.F[lo:hi]...)
 		default:
-			b.Cols[c].S = append(b.Cols[c].S, src.Cols[c].S[lo:hi]...)
+			switch {
+			case sc.Dict != nil && dc.canAdopt(sc):
+				dc.Dict = sc.Dict
+				dc.Codes = append(dc.Codes, sc.Codes[lo:hi]...)
+			case sc.Dict != nil:
+				dc.decode()
+				for i := lo; i < hi; i++ {
+					dc.S = append(dc.S, sc.Dict.Values[sc.Codes[i]])
+				}
+			default:
+				dc.decode()
+				dc.S = append(dc.S, sc.S[lo:hi]...)
+			}
 		}
 	}
 	b.n += hi - lo
@@ -243,7 +363,12 @@ func (b *Batch) Slice(lo, hi int) *Batch {
 		case pages.KindFloat:
 			out.Cols[c].F = b.Cols[c].F[lo:hi]
 		default:
-			out.Cols[c].S = b.Cols[c].S[lo:hi]
+			if b.Cols[c].Dict != nil {
+				out.Cols[c].Codes = b.Cols[c].Codes[lo:hi]
+				out.Cols[c].Dict = b.Cols[c].Dict
+			} else {
+				out.Cols[c].S = b.Cols[c].S[lo:hi]
+			}
 		}
 	}
 	return out
@@ -293,7 +418,12 @@ func (b *Batch) Clone() *Batch {
 		case pages.KindFloat:
 			out.Cols[c].F = append([]float64(nil), b.Cols[c].F...)
 		default:
-			out.Cols[c].S = append([]string(nil), b.Cols[c].S...)
+			if b.Cols[c].Dict != nil {
+				out.Cols[c].Codes = append([]uint32(nil), b.Cols[c].Codes...)
+				out.Cols[c].Dict = b.Cols[c].Dict
+			} else {
+				out.Cols[c].S = append([]string(nil), b.Cols[c].S...)
+			}
 		}
 	}
 	return out
@@ -380,6 +510,45 @@ func FromSlotted(sp *pages.SlottedPage, kinds []pages.Kind) (*Batch, error) {
 			}
 		}
 		b.n++
+	}
+	return b, nil
+}
+
+// FromCompressed decodes a compressed columnar page directly into a
+// fresh batch — the compressed-table counterpart of FromSlotted.
+// Dictionary-coded string columns stay coded (Codes + Dict) so the
+// pipeline operates on codes; everything else decodes to plain typed
+// vectors. The engine carries no null concept, so pages with validity
+// bitmaps are rejected here rather than silently misread.
+func FromCompressed(data []byte, kinds []pages.Kind, comp *pages.TableCompression) (*Batch, error) {
+	if comp == nil {
+		return nil, fmt.Errorf("vec: decoding compressed page without compression metadata")
+	}
+	if len(comp.Cols) != len(kinds) {
+		return nil, fmt.Errorf("vec: compression metadata covers %d columns, schema has %d", len(comp.Cols), len(kinds))
+	}
+	n, cols, err := pages.DecodeColPage(data, kinds, comp.Cols)
+	if err != nil {
+		return nil, err
+	}
+	b := &Batch{Cols: make([]Column, len(kinds)), n: n}
+	for c := range kinds {
+		cd := &cols[c]
+		if cd.Valid != nil {
+			return nil, fmt.Errorf("vec: column %d carries nulls, which the engine does not model", c)
+		}
+		b.Cols[c].Kind = kinds[c]
+		switch {
+		case cd.Codes != nil:
+			b.Cols[c].Codes = cd.Codes
+			b.Cols[c].Dict = comp.Cols[c].Dict
+		case kinds[c] == pages.KindInt:
+			b.Cols[c].I = cd.I
+		case kinds[c] == pages.KindFloat:
+			b.Cols[c].F = cd.F
+		default:
+			b.Cols[c].S = cd.S
+		}
 	}
 	return b, nil
 }

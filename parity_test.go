@@ -464,3 +464,117 @@ func TestFlightParityParallelism(t *testing.T) {
 		}
 	}
 }
+
+// TestFlightParityCompressed loads the same (SF, Seed) database twice —
+// slotted row pages versus compressed columnar pages — and requires the
+// whole flight to return bit-identical results in every mode at
+// parallelism 1 and 4, with release-poisoning on. This pins down the
+// operate-on-compressed kernels: dictionary-code predicates, code-space
+// join probes and gathers, and the memoized group-by must agree exactly
+// with the decoded path, and any kernel that leaks a released coded
+// batch surfaces as a poisoned value. The row-at-a-time reference
+// executor also runs against the compressed system, covering the
+// decode-to-rows path.
+func TestFlightParityCompressed(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+
+	ref := paritySystem(t)
+	plans := flightPlans(t, ref)
+	wants := make([][]pages.Row, len(plans))
+	for i, q := range plans {
+		w, err := exec.ExecuteRows(ref.Env, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+
+	csys, err := sharedq.NewSystem(sharedq.SystemConfig{SF: 0.002, Seed: 7, Compressed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cplans := flightPlans(t, csys)
+
+	t.Run("rows", func(t *testing.T) {
+		for i, q := range cplans {
+			got, err := exec.ExecuteRows(csys.Env, q)
+			if err != nil {
+				t.Fatalf("query %d: %v", i, err)
+			}
+			if !reflect.DeepEqual(got, wants[i]) {
+				t.Errorf("query %d: row path diverged on compressed storage (%d vs %d rows); first diff %s",
+					i, len(got), len(wants[i]), firstDiff(got, wants[i]))
+			}
+		}
+	})
+
+	t.Run("shareddb", func(t *testing.T) {
+		results := runSharedDBFlight(t, csys, cplans)
+		for i := range cplans {
+			if !reflect.DeepEqual(results[i], wants[i]) {
+				t.Errorf("query %d: SharedDB diverged on compressed storage (%d vs %d rows); first diff %s",
+					i, len(results[i]), len(wants[i]), firstDiff(results[i], wants[i]))
+			}
+		}
+	})
+
+	t.Run("crescando", func(t *testing.T) {
+		refRows := factRows(t, ref)
+		scan := crescando.NewScan(factRows(t, csys), 256)
+		defer scan.Close()
+		for pi, pred := range crescandoParityPreds(t, csys) {
+			res := scan.Read(pred)
+			got := sortedRows(res.Rows())
+			res.Release()
+			rp := expr.CompilePred(pred)
+			var want []pages.Row
+			for _, r := range refRows {
+				if rp == nil || rp(r) {
+					want = append(want, r)
+				}
+			}
+			want = sortedRows(want)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("pred %d: clock scan over compressed-loaded rows returned %d rows, reference %d; first diff %s",
+					pi, len(got), len(want), firstDiff(got, want))
+			}
+		}
+	})
+
+	for _, par := range []int{1, 4} {
+		for _, mode := range sharedq.Modes() {
+			t.Run(fmt.Sprintf("%s/parallelism=%d", mode, par), func(t *testing.T) {
+				eng := sharedq.NewEngine(csys, sharedq.Options{Mode: mode, Parallelism: par})
+				defer eng.Close()
+				results := make([][]pages.Row, len(cplans))
+				errs := make([]error, len(cplans))
+				var wg sync.WaitGroup
+				for i := range cplans {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						results[i], errs[i] = eng.Submit(cplans[i])
+					}(i)
+				}
+				wg.Wait()
+				for i := range cplans {
+					if errs[i] != nil {
+						t.Fatalf("query %d: %v", i, errs[i])
+					}
+					for _, r := range results[i] {
+						for _, v := range r {
+							if v.Kind == pages.KindString && v.S == vec.PoisonString {
+								t.Fatalf("query %d leaked a poisoned (released) value", i)
+							}
+						}
+					}
+					if !reflect.DeepEqual(results[i], wants[i]) {
+						t.Errorf("query %d diverged on compressed storage (%s, parallelism %d): %d vs %d rows; first diff %s",
+							i, mode, par, len(results[i]), len(wants[i]), firstDiff(results[i], wants[i]))
+					}
+				}
+			})
+		}
+	}
+}

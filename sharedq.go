@@ -25,6 +25,13 @@
 // pipeline out across all cores with results bit-identical to the
 // sequential path.
 //
+// Storage is either slotted row pages or, with
+// SystemConfig.Compressed, compressed columnar pages (dictionary,
+// run-length and bit-packed encodings chosen per column at load
+// time). Execution is decode-late: predicates, hash joins and
+// group-by operate directly on dictionary codes where they can, and
+// results are bit-identical across both formats.
+//
 // Quick start:
 //
 //	sys, _ := sharedq.NewSystem(sharedq.SystemConfig{SF: 0.01})
