@@ -468,7 +468,7 @@ func BenchmarkPageDecode(b *testing.B) {
 	b.Run("cold", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := heap.ReadPageBatch(sys.Pool, nil, t, i%t.NumPages, kinds, nil); err != nil {
+			if _, err := heap.ReadPageBatch(sys.Pool, nil, nil, t, i%t.NumPages, kinds, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -477,7 +477,7 @@ func BenchmarkPageDecode(b *testing.B) {
 		bc := heap.NewBatchCache(t.NumPages + 1)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := heap.ReadPageBatch(sys.Pool, bc, t, i%t.NumPages, kinds, nil); err != nil {
+			if _, err := heap.ReadPageBatch(sys.Pool, nil, bc, t, i%t.NumPages, kinds, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -717,7 +717,7 @@ func BenchmarkScanBandwidth(b *testing.B) {
 			kinds := vec.Kinds(tbl.Schema)
 			rows := 0
 			for i := 0; i < tbl.NumPages; i++ {
-				bt, err := heap.ReadPageBatch(pool, nil, tbl, i, kinds, nil)
+				bt, err := heap.ReadPageBatch(pool, nil, nil, tbl, i, kinds, nil)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -726,20 +726,70 @@ func BenchmarkScanBandwidth(b *testing.B) {
 			coldBytes := dev.BytesRead()
 			bc := heap.NewBatchCache(tbl.NumPages + 1)
 			for i := 0; i < tbl.NumPages; i++ {
-				if _, err := heap.ReadPageBatch(pool, bc, tbl, i, kinds, nil); err != nil {
+				if _, err := heap.ReadPageBatch(pool, nil, bc, tbl, i, kinds, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := heap.ReadPageBatch(pool, bc, tbl, i%tbl.NumPages, kinds, nil); err != nil {
+				if _, err := heap.ReadPageBatch(pool, nil, bc, tbl, i%tbl.NumPages, kinds, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
 			// Reported after the loop: ResetTimer clears extra metrics.
 			b.ReportMetric(float64(coldBytes)/float64(rows), "bytes-read/row")
 			b.ReportMetric(float64(rows)/float64(tbl.NumPages), "rows/page")
+		})
+	}
+}
+
+// BenchmarkChecksumVerify measures the integrity check every page read
+// performs before decode, per page format. It sits on the cold-read
+// path of every scan, so it must not allocate; CI gates it at zero.
+func BenchmarkChecksumVerify(b *testing.B) {
+	slotted := pages.NewSlottedPage()
+	for i := 0; slotted.AppendRow(pages.Row{pages.Int(int64(i)), pages.Str("checksum-bench-record"), pages.Float(1.5)}); i++ {
+	}
+	slotted.Seal()
+
+	kinds := []pages.Kind{pages.KindInt, pages.KindFloat, pages.KindString}
+	specs := []pages.ColCompression{{Enc: pages.EncRaw}, {Enc: pages.EncRaw}, {Enc: pages.EncRaw}}
+	cols := make([]pages.ColData, len(kinds))
+	const n = 512
+	for i := 0; i < n; i++ {
+		cols[0].I = append(cols[0].I, int64(i))
+		cols[1].F = append(cols[1].F, float64(i)/3)
+		cols[2].S = append(cols[2].S, "checksum-bench")
+	}
+	colBuf, err := pages.EncodeColPage(nil, n, kinds, specs, cols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for len(colBuf) < pages.PageSize {
+		colBuf = append(colBuf, 0)
+	}
+	pages.SealColPage(colBuf)
+
+	for _, tc := range []struct {
+		name string
+		buf  []byte
+	}{
+		{"slotted", slotted.Bytes()},
+		{"columnar", colBuf},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			if err := pages.VerifyPage(tc.buf); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(pages.PageSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pages.VerifyPage(tc.buf); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

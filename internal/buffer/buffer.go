@@ -240,6 +240,25 @@ func (p *Pool) Unpin(id PageID) {
 	}
 }
 
+// Discard evicts the frame holding id (when it is unpinned and not
+// mid-fetch) and drops the FS-cache copy, so the next Fetch re-reads
+// the device — the read-retry path for pages that failed checksum
+// verification. A pinned or in-flight frame is left alone: concurrent
+// readers still hold it, and their own verification decides its fate.
+func (p *Pool) Discard(id PageID) {
+	p.mu.Lock()
+	if idx, ok := p.table[id]; ok {
+		f := p.frames[idx]
+		if f.pins.Load() == 0 && f.busy == nil {
+			delete(p.table, id)
+			f.valid = false
+			f.ref.Store(false)
+		}
+	}
+	p.mu.Unlock()
+	p.cache.Invalidate(id.File, id.Page)
+}
+
 // Clear evicts every unpinned page, modelling a cold buffer pool at the
 // start of a measurement.
 func (p *Pool) Clear() {

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sharedq/internal/catalog"
 	"sharedq/internal/comm"
 	"sharedq/internal/exec"
 	"sharedq/internal/expr"
@@ -90,6 +91,26 @@ type query struct {
 	dimPos   []int // filter-chain position of each of the plan's dims
 	factVec  expr.VecPred
 	outKinds []pages.Kind // joined-schema layout of the query's output batches
+
+	// qerr is an error scoped to this query alone (today: a panic
+	// recovered while assembling its output — its own predicate kernel,
+	// typically). The other queries sharing the batch are untouched.
+	qerrMu sync.Mutex
+	qerr   error
+}
+
+func (qq *query) fail(err error) {
+	qq.qerrMu.Lock()
+	if qq.qerr == nil {
+		qq.qerr = err
+	}
+	qq.qerrMu.Unlock()
+}
+
+func (qq *query) Err() error {
+	qq.qerrMu.Lock()
+	defer qq.qerrMu.Unlock()
+	return qq.qerr
 }
 
 // filter is one dimension's shared selection + shared hash join.
@@ -314,10 +335,13 @@ func (st *Stage) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, err
 					h.wopMu.Unlock()
 					st.mu.Unlock()
 					stopWatch := context.AfterFunc(ctx, in.Abort)
-					rows := qpipe.Drain(st.env, q, in)
+					rows, derr := drainContained(st.env, q, in)
 					stopWatch()
 					if err := ctx.Err(); err != nil {
 						return nil, err
+					}
+					if derr != nil {
+						return nil, derr
 					}
 					if h.cancelled.Load() {
 						// The host was abandoned and its output stream is
@@ -350,11 +374,20 @@ func (st *Stage) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, err
 			st.retract(qq)
 			qq.myIn.Abort()
 		})
-		rows := qpipe.Drain(st.env, q, qq.myIn)
+		rows, derr := drainContained(st.env, q, qq.myIn)
 		stopWatch()
 		st.unregister(qq)
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if derr == nil {
+			derr = qq.Err()
+		}
+		if derr != nil {
+			// The query must not leave its admission window behind: a
+			// panicked drain no longer consumes the output stream.
+			st.retract(qq)
+			return nil, derr
 		}
 		return rows, st.Err()
 	}
@@ -366,6 +399,20 @@ func (st *Stage) unregister(qq *query) {
 	if st.hosts[qq.sig] == qq {
 		delete(st.hosts, qq.sig)
 	}
+}
+
+// drainContained drains a query's output on the submitter's goroutine,
+// converting a panic in the per-query tail (aggregation, sort) into
+// that query's error. The port is cancelled on the panic path so held
+// pages release and the pipeline is not backpressured by a dead reader.
+func drainContained(env *exec.Env, q *plan.Query, in qpipe.InPort) (rows []pages.Row, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rows, err = nil, exec.RecoverPanic(env, r)
+			in.Cancel()
+		}
+	}()
+	return qpipe.Drain(env, q, in), nil
 }
 
 // retract withdraws a cancelled query from the global plan: still-
@@ -500,7 +547,7 @@ func (st *Stage) scanner(pi int) {
 		st.mu.Unlock()
 		st.finishQueries(completed)
 
-		bat, err := exec.ReadTableBatch(st.env, fact, idx)
+		bat, err := st.readFactBatch(fact, idx)
 		if err != nil {
 			st.fail(err)
 			st.mu.Lock()
@@ -550,6 +597,19 @@ func (st *Stage) scanner(pi int) {
 		}
 		st.preQ <- b
 	}
+}
+
+// readFactBatch reads one fact page for the preprocessor, converting a
+// panic during fetch or decode into an error so the scanner's existing
+// read-failure path (fail every open query, undo outstanding claims)
+// handles it — no scanner goroutine dies holding admission state.
+func (st *Stage) readFactBatch(t *catalog.Table, idx int) (b *vec.Batch, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			b, err = nil, exec.RecoverPanic(st.env, r)
+		}
+	}()
+	return exec.ReadTableBatch(st.env, t, idx)
 }
 
 // finishQueries closes the outputs of completed queries that have no
@@ -635,7 +695,10 @@ func (st *Stage) admit(qs []*query) {
 			f := st.filters[fi]
 			f.ref = f.ref.Set(qq.bit)
 			if err := st.updateFilter(f, d, qq.bit); err != nil {
-				st.fail(err)
+				// Scoped to the admitting query: its filter selections are
+				// suspect, so its results are discarded at SubmitCtx, but
+				// the other queries' bits are untouched.
+				qq.fail(err)
 			}
 		}
 		if qq.openParts == 0 {
@@ -672,7 +735,15 @@ func (st *Stage) findOrAddFilter(d plan.DimJoin) int {
 // evaluates the new query's predicate a whole batch at a time over the
 // shared decoded pages (cost (b)) and sets the query's bit on selected
 // rows, inserting rows as needed (costs (c), (d)).
-func (st *Stage) updateFilter(f *filter, d plan.DimJoin, bit int) error {
+func (st *Stage) updateFilter(f *filter, d plan.DimJoin, bit int) (err error) {
+	// Admission runs under the stage and filter locks; a panicking
+	// dimension-predicate kernel converts to an error here so admission
+	// completes and the locks release in order.
+	defer func() {
+		if r := recover(); r != nil {
+			err = exec.RecoverPanic(st.env, r)
+		}
+	}()
 	t, err := st.env.Cat.Get(d.Table)
 	if err != nil {
 		return err
@@ -699,59 +770,84 @@ func (st *Stage) updateFilter(f *filter, d plan.DimJoin, bit int) error {
 func (st *Stage) pipelineWorker() {
 	var sels []Bitmap // worker-local scratch, reused across batches
 	for b := range st.preQ {
-		st.filterMu.RLock()
-		filters := st.filters
-		n := b.facts.Len()
-		// The matched-row table travels with the batch (distributor
-		// parts read it after this worker moves on), so it cannot be
-		// worker-local scratch; one flat arena backs every filter's row
-		// slice to keep it at two allocations per batch.
-		b.dims = make([][]pages.Row, len(filters))
-		dimArena := make([]pages.Row, len(filters)*n)
-		alive := n
-		if cap(sels) < n {
-			sels = make([]Bitmap, n)
+		if err := st.filterBatch(b, &sels); err != nil {
+			// A panic mid-chain leaves the batch's bitmaps half-filtered:
+			// kill every surviving tuple so no wrong rows ship, record
+			// the failure, and still forward the batch — the distributor
+			// must drain it to keep the outstanding/inflight protocol
+			// (and with it admission pauses and query completion) alive.
+			st.fail(err)
+			for i := range b.bms {
+				b.bms[i] = nil
+			}
 		}
-		sels = sels[:n]
-		for fi, f := range filters {
-			if alive == 0 {
-				break
-			}
-			b.dims[fi] = dimArena[fi*n : (fi+1)*n : (fi+1)*n]
-			kc := &b.facts.Cols[f.factColIdx]
-			t0 := time.Now()
-			if kc.Kind == pages.KindInt {
-				keys := kc.I
-				for ti := 0; ti < n; ti++ {
-					if b.bms[ti] == nil {
-						continue
-					}
-					b.dims[fi][ti], sels[ti] = f.ht.lookupInt(keys[ti])
-				}
-			} else {
-				for ti := 0; ti < n; ti++ {
-					if b.bms[ti] == nil {
-						continue
-					}
-					b.dims[fi][ti], sels[ti] = f.ht.lookup(kc.Value(ti))
-				}
-			}
-			st.env.Col.AddSince(metrics.Hashing, t0)
-			t1 := time.Now()
+		st.distQ <- b
+	}
+}
+
+// filterBatch passes one batch through the filter chain under the read
+// lock, converting a panic into an error with the lock cleanly
+// released.
+func (st *Stage) filterBatch(b *batch, selsp *[]Bitmap) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = exec.RecoverPanic(st.env, r)
+		}
+	}()
+	sels := *selsp
+	defer func() { *selsp = sels }()
+	st.filterMu.RLock()
+	defer st.filterMu.RUnlock()
+	filters := st.filters
+	n := b.facts.Len()
+	// The matched-row table travels with the batch (distributor
+	// parts read it after this worker moves on), so it cannot be
+	// worker-local scratch; one flat arena backs every filter's row
+	// slice to keep it at two allocations per batch.
+	b.dims = make([][]pages.Row, len(filters))
+	dimArena := make([]pages.Row, len(filters)*n)
+	alive := n
+	if cap(sels) < n {
+		sels = make([]Bitmap, n)
+	}
+	sels = sels[:n]
+	for fi, f := range filters {
+		if alive == 0 {
+			break
+		}
+		b.dims[fi] = dimArena[fi*n : (fi+1)*n : (fi+1)*n]
+		kc := &b.facts.Cols[f.factColIdx]
+		t0 := time.Now()
+		if kc.Kind == pages.KindInt {
+			keys := kc.I
 			for ti := 0; ti < n; ti++ {
 				if b.bms[ti] == nil {
 					continue
 				}
-				if !b.bms[ti].FilterAnd(sels[ti], f.ref) {
-					b.bms[ti] = nil
-					alive--
-				}
+				b.dims[fi][ti], sels[ti] = f.ht.lookupInt(keys[ti])
 			}
-			st.env.Col.AddSince(metrics.Joins, t1)
+		} else {
+			for ti := 0; ti < n; ti++ {
+				if b.bms[ti] == nil {
+					continue
+				}
+				b.dims[fi][ti], sels[ti] = f.ht.lookup(kc.Value(ti))
+			}
 		}
-		st.filterMu.RUnlock()
-		st.distQ <- b
+		st.env.Col.AddSince(metrics.Hashing, t0)
+		t1 := time.Now()
+		for ti := 0; ti < n; ti++ {
+			if b.bms[ti] == nil {
+				continue
+			}
+			if !b.bms[ti].FilterAnd(sels[ti], f.ref) {
+				b.bms[ti] = nil
+				alive--
+			}
+		}
+		st.env.Col.AddSince(metrics.Joins, t1)
 	}
+	return nil
 }
 
 // distributorPart routes each batch's surviving tuples to the relevant
@@ -760,10 +856,16 @@ func (st *Stage) pipelineWorker() {
 // tuples, §3.2), assembles rows in the query's joined-schema layout and
 // emits them to the query's output buffer.
 func (st *Stage) distributorPart() {
-	var selBuf []int // reused across batches and queries
+	var selBuf []int    // reused across batches and queries
+	var failed []*query // queries whose delivery panicked this batch
 	for b := range st.distQ {
+		failed = failed[:0]
 		for _, qq := range b.queries {
-			selBuf = st.deliver(b, qq, selBuf[:0])
+			var panicked bool
+			selBuf, panicked = st.deliverContained(b, qq, selBuf)
+			if panicked {
+				failed = append(failed, qq)
+			}
 		}
 		for _, qq := range b.queries {
 			if qq.outstanding.Add(-1) == 0 && qq.done.Load() {
@@ -771,7 +873,31 @@ func (st *Stage) distributorPart() {
 			}
 		}
 		st.inflight.Add(-1)
+		// Retraction takes the stage lock, which an admission pause may
+		// be holding while it waits for inflight to drain — so it must
+		// come after this batch's claims are returned, or the two
+		// deadlock (admission waiting on this batch, this part waiting
+		// on admission).
+		for _, qq := range failed {
+			st.retract(qq)
+		}
 	}
+}
+
+// deliverContained is deliver under panic containment: a panicking
+// kernel (the query's own fact predicate, typically) fails exactly that
+// query — the caller retracts it once the batch's claims are settled,
+// closing its window, retiring its bit and ending its output port —
+// while the batch's other queries receive their tuples normally and
+// the outstanding/inflight protocol stays intact.
+func (st *Stage) deliverContained(b *batch, qq *query, sel []int) (out []int, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			qq.fail(exec.RecoverPanic(st.env, r))
+			out, panicked = sel, true
+		}
+	}()
+	return st.deliver(b, qq, sel[:0]), false
 }
 
 // deliver routes batch b's surviving tuples to query qq; sel is the
@@ -804,6 +930,14 @@ func (st *Stage) deliver(b *batch, qq *query, sel []int) []int {
 	// out of the pool; emitting transfers ownership to the query's
 	// output port, whose last reader releases it.
 	out := st.env.Recycle.Get(qq.outKinds, len(sel))
+	// If assembly panics below, the checkout must not leak; Emit is the
+	// ownership hand-off, after which this defer sees no panic.
+	defer func() {
+		if r := recover(); r != nil {
+			out.Release()
+			panic(r)
+		}
+	}()
 	nf := b.facts.NumCols()
 	for c := 0; c < nf; c++ {
 		b.facts.Cols[c].GatherInto(&out.Cols[c], sel)

@@ -18,6 +18,13 @@ import (
 // shutting down: a closed engine admits no new queries.
 var ErrClosed = errors.New("core: engine is closed")
 
+// ErrOverloaded is returned when admission control sheds a query: the
+// engine is at Options.MaxInFlight (with OverloadQueue off) or the
+// batch pool's live memory exceeds Options.MaxPoolBytes. It is
+// retryable — the engine is healthy, just saturated; back off and
+// resubmit. Test with errors.Is.
+var ErrOverloaded = errors.New("core: engine overloaded, retry later")
+
 // Mode selects one of the execution-engine configurations under
 // comparison (§5.1).
 type Mode int
@@ -112,6 +119,23 @@ type Options struct {
 	// (all schedulable cores — runtime.NumCPU() unless overridden);
 	// 1 forces the single-threaded paths.
 	Parallelism int
+	// MaxInFlight bounds the number of queries executing concurrently —
+	// the overload valve. 0 means unbounded. A submission beyond the
+	// bound is shed immediately with ErrOverloaded, or, with
+	// OverloadQueue set, waits for a slot (bounded by the query's
+	// context deadline and the engine's DefaultTimeout). Shed
+	// submissions count in the system's admission_shed counter.
+	MaxInFlight int
+	// OverloadQueue makes over-limit submissions wait for an execution
+	// slot instead of failing fast: latency degrades before
+	// availability. The wait respects the query context, so a deadline
+	// or cancellation still bounds it.
+	OverloadQueue bool
+	// MaxPoolBytes sheds new queries (ErrOverloaded) while the batch
+	// pool's live column storage (vec.Pool.LiveBytes) exceeds it — the
+	// memory ceiling that turns would-be OOM into backpressure. 0 means
+	// no ceiling. Queries already admitted are never interrupted by it.
+	MaxPoolBytes int64
 	// DefaultTimeout bounds every query submitted to the engine: a
 	// query that has not completed within it is cancelled and returns
 	// context.DeadlineExceeded. It composes with (never extends) any
@@ -129,6 +153,7 @@ type Engine struct {
 	opts Options
 	qp   *qpipe.Engine // nil in Baseline mode
 	cj   *cjoin.Stage  // non-nil in CJOIN/CJOINSP modes
+	sem  chan struct{} // execution slots when MaxInFlight > 0
 
 	// Lifecycle state: SubmitCtx registers in-flight queries so Close
 	// can drain them, and baseCtx is the engine-lifetime context whose
@@ -144,6 +169,9 @@ type Engine struct {
 // NewEngine builds an engine over sys.
 func NewEngine(sys *System, opts Options) *Engine {
 	e := &Engine{sys: sys, env: sys.Env, opts: opts}
+	if opts.MaxInFlight > 0 {
+		e.sem = make(chan struct{}, opts.MaxInFlight)
+	}
 	e.lcCond = sync.NewCond(&e.lcMu)
 	e.baseCtx, e.baseCancel = context.WithCancel(context.Background())
 	if opts.Parallelism != 0 {
@@ -292,6 +320,43 @@ func (e *Engine) queryContext(ctx context.Context) (context.Context, context.Can
 	}
 }
 
+// admit applies overload backpressure before a query executes: the
+// pool memory ceiling sheds outright (memory pressure is global — a
+// queue of waiters would only pile on), and the MaxInFlight valve
+// sheds or queues per Options.OverloadQueue. A queued wait ends when a
+// slot frees or qctx does (deadline, cancellation, forced shutdown).
+func (e *Engine) admit(qctx context.Context) error {
+	if max := e.opts.MaxPoolBytes; max > 0 && e.env.Recycle.LiveBytes() > max {
+		e.sys.Robust.Get("admission_shed").Inc()
+		return ErrOverloaded
+	}
+	if e.sem == nil {
+		return nil
+	}
+	if e.opts.OverloadQueue {
+		select {
+		case e.sem <- struct{}{}:
+			return nil
+		case <-qctx.Done():
+			return qctx.Err()
+		}
+	}
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	default:
+		e.sys.Robust.Get("admission_shed").Inc()
+		return ErrOverloaded
+	}
+}
+
+// release returns the admitted query's execution slot.
+func (e *Engine) release() {
+	if e.sem != nil {
+		<-e.sem
+	}
+}
+
 // Plan parses and plans a SQL string against the system catalog.
 func (e *Engine) Plan(sql string) (*plan.Query, error) {
 	return plan.Build(e.sys.Cat, sql)
@@ -333,6 +398,10 @@ func (e *Engine) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, err
 	defer e.end()
 	qctx, cancel := e.queryContext(ctx)
 	defer cancel()
+	if err := e.admit(qctx); err != nil {
+		return nil, err
+	}
+	defer e.release()
 	switch {
 	case e.opts.Mode == Baseline:
 		return exec.ExecuteCtx(qctx, e.env, q)

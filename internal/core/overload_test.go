@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sharedq/internal/pages"
+)
+
+// slowSystem builds a system whose timed device makes a cold table
+// scan take on the order of a second, so a test can observe a query
+// mid-flight without sync hooks.
+func slowSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(SystemConfig{
+		SF: 0.002, Seed: 3, DiskResident: true,
+		BandwidthMBps: 1, SeekTime: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestOverloadShed pins the fail-fast valve: with MaxInFlight=1 and no
+// queue, a second concurrent query returns ErrOverloaded immediately
+// (it does not wait behind the running one) and the shed is counted.
+func TestOverloadShed(t *testing.T) {
+	sys := slowSystem(t)
+	e := NewEngine(sys, Options{Mode: Baseline, MaxInFlight: 1})
+	defer e.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = e.QueryCtx(ctx, "SELECT COUNT(*) AS n FROM lineorder")
+	}()
+	time.Sleep(100 * time.Millisecond) // the cold scan runs ~1s on the timed device
+
+	start := time.Now()
+	_, _, err := e.Query("SELECT COUNT(*) AS n FROM customer")
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second query error = %v; want ErrOverloaded", err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Errorf("shed took %v; want immediate", d)
+	}
+	if n := sys.Robust.Get("admission_shed").Load(); n != 1 {
+		t.Errorf("admission_shed = %d, want 1", n)
+	}
+	cancel()
+	wg.Wait()
+
+	// The valve frees with the slot: after the first query unwinds, the
+	// engine admits again.
+	if _, _, err := e.Query("SELECT COUNT(*) AS n FROM customer"); err != nil {
+		t.Fatalf("query after shed failed: %v", err)
+	}
+}
+
+// TestOverloadQueue pins the queue-instead-of-shed choice: N queries
+// through a 2-slot engine all succeed, none shed, and the queued wait
+// still respects the waiter's context deadline.
+func TestOverloadQueue(t *testing.T) {
+	sys := testSystem(t)
+	e := NewEngine(sys, Options{Mode: Baseline, MaxInFlight: 2, OverloadQueue: true})
+	defer e.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	rows := make([][]pages.Row, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rows[i], _, errs[i] = e.Query("SELECT COUNT(*) AS n FROM lineorder")
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("queued query %d: %v", i, err)
+		}
+		if len(rows[i]) != 1 {
+			t.Fatalf("queued query %d returned %d rows", i, len(rows[i]))
+		}
+	}
+	if n := sys.Robust.Get("admission_shed").Load(); n != 0 {
+		t.Errorf("admission_shed = %d, want 0 with queueing", n)
+	}
+}
+
+// TestOverloadQueueDeadline pins that a queued waiter is bounded by its
+// context: with the only slot held, a waiter with a short deadline
+// returns context.DeadlineExceeded instead of waiting forever.
+func TestOverloadQueueDeadline(t *testing.T) {
+	sys := slowSystem(t)
+	e := NewEngine(sys, Options{Mode: Baseline, MaxInFlight: 1, OverloadQueue: true})
+	defer e.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = e.QueryCtx(ctx, "SELECT COUNT(*) AS n FROM lineorder")
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	wctx, wcancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer wcancel()
+	_, _, err := e.QueryCtx(wctx, "SELECT COUNT(*) AS n FROM customer")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued waiter error = %v; want DeadlineExceeded", err)
+	}
+	cancel()
+	wg.Wait()
+}
+
+// TestOverloadPoolCeiling pins the memory ceiling: while the batch
+// pool's live bytes exceed MaxPoolBytes, submissions shed with
+// ErrOverloaded; once the memory is released, admission resumes.
+func TestOverloadPoolCeiling(t *testing.T) {
+	sys := testSystem(t)
+	e := NewEngine(sys, Options{Mode: Baseline, MaxPoolBytes: 1})
+	defer e.Close()
+
+	// Hold pool memory the way an in-flight query would: a pre-sized
+	// checkout charges its column capacity to the live gauge.
+	b := sys.Env.Recycle.Get([]pages.Kind{pages.KindInt}, 4096)
+	if sys.Env.Recycle.LiveBytes() <= 1 {
+		t.Fatalf("LiveBytes = %d, want > 1", sys.Env.Recycle.LiveBytes())
+	}
+	if _, _, err := e.Query("SELECT COUNT(*) AS n FROM customer"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-ceiling query error = %v; want ErrOverloaded", err)
+	}
+	if n := sys.Robust.Get("admission_shed").Load(); n == 0 {
+		t.Error("admission_shed did not count the memory shed")
+	}
+	b.Release()
+	if sys.Env.Recycle.LiveBytes() != 0 {
+		t.Fatalf("LiveBytes = %d after release, want 0", sys.Env.Recycle.LiveBytes())
+	}
+	if _, _, err := e.Query("SELECT COUNT(*) AS n FROM customer"); err != nil {
+		t.Fatalf("query after memory release failed: %v", err)
+	}
+}

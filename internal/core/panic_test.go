@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"sharedq/internal/exec"
+	"sharedq/internal/expr"
+	"sharedq/internal/ssb"
+)
+
+// panicMagic is the fact-predicate literal the armed kernel fault keys
+// on: any query whose predicate tree contains it panics on its first
+// kernel invocation; every other query compiles and runs normally.
+const panicMagic = 424242
+
+func poisonedSQL() string {
+	return fmt.Sprintf(`SELECT SUM(lo_revenue) AS revenue, d_year
+FROM lineorder, date
+WHERE lo_orderdate = d_datekey
+  AND lo_quantity < %d
+GROUP BY d_year
+ORDER BY d_year ASC`, panicMagic)
+}
+
+// TestPanicContainmentAllModes is the per-query panic-containment
+// invariant: in every configuration, a query whose kernel panics
+// mid-flight fails with a typed *exec.PanicError while a concurrent
+// query — possibly sharing the same scan, join or CJOIN window —
+// returns exactly the rows it would have returned alone, and no pooled
+// batch leaks.
+func TestPanicContainmentAllModes(t *testing.T) {
+	sys := testSystem(t)
+	healthy := ssb.Q11(rand.New(rand.NewSource(7)))
+	base := NewEngine(sys, Options{Mode: Baseline})
+	want, _, err := base.Query(healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Close()
+
+	for _, mode := range Modes() {
+		for _, par := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/par%d", mode, par), func(t *testing.T) {
+				e := NewEngine(sys, Options{Mode: mode, Parallelism: par})
+				defer e.Close()
+				expr.ArmKernelPanic(panicMagic)
+				defer expr.DisarmKernelPanic()
+
+				before := sys.Robust.Get("query_panic_recovered").Load()
+				var wg sync.WaitGroup
+				var perr error
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_, _, perr = e.Query(poisonedSQL())
+				}()
+				rows, _, herr := e.Query(healthy)
+				wg.Wait()
+
+				if herr != nil {
+					t.Fatalf("healthy query failed alongside panicking one: %v", herr)
+				}
+				if !reflect.DeepEqual(rows, want) {
+					t.Errorf("healthy query diverged: %d rows, want %d", len(rows), len(want))
+				}
+				if perr == nil {
+					t.Fatal("poisoned query succeeded; want PanicError")
+				}
+				var pe *exec.PanicError
+				if !errors.As(perr, &pe) {
+					t.Fatalf("poisoned query error = %v; want *exec.PanicError", perr)
+				}
+				if len(pe.Stack) == 0 {
+					t.Error("PanicError carries no stack")
+				}
+				if got := sys.Robust.Get("query_panic_recovered").Load(); got <= before {
+					t.Error("query_panic_recovered counter did not advance")
+				}
+			})
+		}
+	}
+	// Engines are closed per subtest; any batch still checked out now is
+	// a leak from a contained panic.
+	if n := sys.Env.Recycle.Outstanding(); n != 0 {
+		t.Errorf("%d pooled batches leaked", n)
+	}
+}
+
+// TestPanicContainmentRepeated pins that containment is not one-shot:
+// an engine that has absorbed a panic keeps serving queries, and a
+// second poisoned query is contained the same way.
+func TestPanicContainmentRepeated(t *testing.T) {
+	sys := testSystem(t)
+	for _, mode := range []Mode{Baseline, QPipeSP, CJOINSP} {
+		e := NewEngine(sys, Options{Mode: mode})
+		expr.ArmKernelPanic(panicMagic)
+		for i := 0; i < 2; i++ {
+			if _, _, err := e.Query(poisonedSQL()); err == nil {
+				t.Fatalf("%s: poisoned query %d succeeded", mode, i)
+			}
+			if _, _, err := e.Query("SELECT COUNT(*) AS n FROM lineorder"); err != nil {
+				t.Fatalf("%s: engine dead after contained panic %d: %v", mode, i, err)
+			}
+		}
+		expr.DisarmKernelPanic()
+		e.Close()
+	}
+	if n := sys.Env.Recycle.Outstanding(); n != 0 {
+		t.Errorf("%d pooled batches leaked", n)
+	}
+}

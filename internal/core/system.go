@@ -79,6 +79,15 @@ type System struct {
 	Cat   *catalog.Catalog
 	Col   *metrics.Collector
 	Env   *exec.Env
+	// Guard is the storage-integrity policy every page read of this
+	// system goes through: checksum verification, bounded read retries
+	// with backoff, and quarantine of persistently corrupt pages (reads
+	// of quarantined pages fail fast with heap.ErrCorruptPage).
+	Guard *heap.Guard
+	// Robust collects the fault-tolerance counters — page_retry,
+	// page_quarantined, query_panic_recovered, admission_shed — shared
+	// by the guard and every engine built on this system.
+	Robust *metrics.CounterSet
 }
 
 // NewSystem builds the substrate and loads the SSB database (including
@@ -123,14 +132,18 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		}
 		batches = heap.NewBatchCache(n)
 	}
+	robust := metrics.NewCounterSet()
+	guard := heap.NewGuard(robust)
 	return &System{
-		Cfg:   cfg,
-		Dev:   dev,
-		Cache: cache,
-		Pool:  pool,
-		Cat:   cat,
-		Col:   col,
-		Env:   &exec.Env{Cat: cat, Pool: pool, Col: col, Batches: batches, Recycle: vec.NewPool()},
+		Cfg:    cfg,
+		Dev:    dev,
+		Cache:  cache,
+		Pool:   pool,
+		Cat:    cat,
+		Col:    col,
+		Env:    &exec.Env{Cat: cat, Pool: pool, Col: col, Batches: batches, Recycle: vec.NewPool(), Guard: guard},
+		Guard:  guard,
+		Robust: robust,
 	}, nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sync"
 
+	"sharedq/internal/exec"
 	"sharedq/internal/expr"
 	"sharedq/internal/metrics"
 	"sharedq/internal/pages"
@@ -265,51 +266,81 @@ func (s *Scan) processChunk(ch *vec.Batch) {
 	s.stats.Get("chunk_batches").Inc()
 	for _, op := range s.active {
 		op.seenFirst = true
-		if op.set == nil {
+		if op.set == nil || op.err != nil {
 			continue
 		}
-		sel := vec.FullSel(n, &s.selBuf)
-		if op.pred != nil {
-			sel = op.pred(ch, sel)
-		}
-		if len(sel) > 0 {
-			c := &ch.Cols[op.set.Col]
-			switch c.Kind {
-			case pages.KindInt:
-				v := op.set.Value.I
-				for _, i := range sel {
-					c.I[i] = v
-				}
-			case pages.KindFloat:
-				v := op.set.Value.F
-				for _, i := range sel {
-					c.F[i] = v
-				}
-			default:
-				v := op.set.Value.S
-				for _, i := range sel {
-					c.S[i] = v
-				}
-			}
-			op.updated += int64(len(sel))
-		}
+		s.updateChunk(op, ch, n)
 		s.stats.Get("rows_scanned").Add(int64(n))
 	}
 	for _, op := range s.active {
-		if op.set != nil {
+		if op.set != nil || op.err != nil {
 			continue
 		}
-		sel := vec.FullSel(n, &s.selBuf)
-		if op.pred != nil {
-			sel = op.pred(ch, sel)
-		}
-		if len(sel) > 0 {
-			for c := range op.out.Cols {
-				ch.Cols[c].GatherInto(&op.out.Cols[c], sel)
-			}
-			op.out.SetLen(op.out.Len() + len(sel))
-		}
+		s.readChunk(op, ch, n)
 		s.stats.Get("rows_scanned").Add(int64(n))
+	}
+}
+
+// containOp converts a panicking request kernel into a per-request
+// error: the request completes at its normal wrap-around point
+// carrying the error, a read's partial result batch goes back to the
+// pool, and the scan loop — and every other active request riding the
+// same pass — continues untouched. The scan goroutine owns the chunk
+// data, so a half-applied update leaves the partition consistent at
+// the tuple level (assignments are per-tuple stores).
+func (s *Scan) containOp(op *Op) {
+	if r := recover(); r != nil {
+		s.stats.Get("query_panic_recovered").Inc()
+		op.err = exec.RecoverPanic(nil, r)
+		if op.out != nil {
+			op.out.Release()
+			op.out = nil
+		}
+	}
+}
+
+// updateChunk applies one update request to one chunk batch.
+func (s *Scan) updateChunk(op *Op, ch *vec.Batch, n int) {
+	defer s.containOp(op)
+	sel := vec.FullSel(n, &s.selBuf)
+	if op.pred != nil {
+		sel = op.pred(ch, sel)
+	}
+	if len(sel) > 0 {
+		c := &ch.Cols[op.set.Col]
+		switch c.Kind {
+		case pages.KindInt:
+			v := op.set.Value.I
+			for _, i := range sel {
+				c.I[i] = v
+			}
+		case pages.KindFloat:
+			v := op.set.Value.F
+			for _, i := range sel {
+				c.F[i] = v
+			}
+		default:
+			v := op.set.Value.S
+			for _, i := range sel {
+				c.S[i] = v
+			}
+		}
+		op.updated += int64(len(sel))
+	}
+}
+
+// readChunk gathers one read request's survivors from one chunk batch.
+func (s *Scan) readChunk(op *Op, ch *vec.Batch, n int) {
+	defer s.containOp(op)
+	sel := vec.FullSel(n, &s.selBuf)
+	if op.pred != nil {
+		sel = op.pred(ch, sel)
+	}
+	if len(sel) > 0 {
+		for c := range op.out.Cols {
+			ch.Cols[c].GatherInto(&op.out.Cols[c], sel)
+		}
+		op.out.SetLen(op.out.Len() + len(sel))
 	}
 }
 

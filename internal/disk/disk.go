@@ -111,6 +111,26 @@ func (d *Device) AppendPage(file string, data []byte) (int, error) {
 	return len(d.files[file]) - 1, nil
 }
 
+// CorruptBit flips one bit of a stored page in place — the injection
+// surface for persistent media corruption in tests and the chaos
+// harness. Every later device read of the page returns the corrupt
+// bytes (caches above the device keep clean copies until invalidated),
+// so checksum-verified readers retry, fail, and quarantine the page.
+// Calling it twice with the same arguments restores the original bit.
+func (d *Device) CorruptBit(file string, page, byteOff int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ps := d.files[file]
+	if page < 0 || page >= len(ps) {
+		return fmt.Errorf("disk: corrupt: %s has no page %d", file, page)
+	}
+	if byteOff < 0 || byteOff >= pages.PageSize {
+		return fmt.Errorf("disk: corrupt: byte offset %d outside page", byteOff)
+	}
+	ps[page][byteOff] ^= 0x01
+	return nil
+}
+
 // NumPages returns the number of pages in the named file (0 if absent).
 func (d *Device) NumPages(file string) int {
 	d.mu.Lock()

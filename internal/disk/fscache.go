@@ -142,6 +142,22 @@ func (c *FSCache) insertLocked(k cacheKey, data []byte) {
 	c.entries[k] = c.lru.PushFront(&cacheEntry{key: k, data: cp})
 }
 
+// Invalidate drops the cached copy of one page, so the next read of it
+// reaches the device. The read-retry path uses it to heal transient
+// corruption instead of re-serving a bad cached copy; the file's
+// sequential-read state is reset too, so the retry is a single-page
+// device read rather than a read-ahead burst re-filling neighbours.
+func (c *FSCache) Invalidate(file string, page int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := cacheKey{file, page}
+	if el, ok := c.entries[k]; ok {
+		c.lru.Remove(el)
+		delete(c.entries, k)
+	}
+	delete(c.lastRead, file)
+}
+
 // Clear drops all cached pages and sequential-pattern state, modelling
 // the paper's "we clear the file system caches before every measurement".
 func (c *FSCache) Clear() {

@@ -34,14 +34,28 @@ func ReadTableBatch(env *Env, t *catalog.Table, idx int) (*vec.Batch, error) {
 // under the error-injection tests. kinds is caller-supplied so tight
 // scan loops can hoist its computation.
 func readPageBatch(env *Env, t *catalog.Table, idx int, kinds []pages.Kind) (*vec.Batch, error) {
-	if env.ReadFault != nil {
-		if err := env.ReadFault(t.Name, idx); err != nil {
-			return nil, err
-		}
+	if err := pageFaults(env, t.Name, idx); err != nil {
+		return nil, err
 	}
 	t0 := time.Now()
 	defer env.Col.AddSince(metrics.Scans, t0)
-	return heap.ReadPageBatch(env.Pool, env.Batches, t, idx, kinds, env.Col)
+	return heap.ReadPageBatch(env.Pool, env.Guard, env.Batches, t, idx, kinds, env.Col)
+}
+
+// pageFaults applies the environment's fault-injection hooks for one
+// page read: ReadFault fails the read outright, CorruptFault schedules
+// a one-shot bit flip the guard's verification will catch. Both the
+// batch and row read paths funnel through it.
+func pageFaults(env *Env, table string, page int) error {
+	if env.ReadFault != nil {
+		if err := env.ReadFault(table, page); err != nil {
+			return err
+		}
+	}
+	if env.CorruptFault != nil && env.CorruptFault(table, page) {
+		env.Guard.InjectCorruption(table, page)
+	}
+	return nil
 }
 
 // ScanTableBatches reads every page of t in order as column batches.
@@ -543,7 +557,16 @@ func Execute(env *Env, q *plan.Query) ([]pages.Row, error) {
 // return in the pipeline body below must release the batch it holds —
 // the invariant the poisoned error-injection tests in cancel_test.go
 // pin down.
-func ExecuteCtx(ctx context.Context, env *Env, q *plan.Query) ([]pages.Row, error) {
+func ExecuteCtx(ctx context.Context, env *Env, q *plan.Query) (_ []pages.Row, err error) {
+	// Panic containment: a panicking kernel (or any other bug reached by
+	// this query) becomes a per-query *PanicError instead of taking the
+	// process down. Batches held mid-pipeline are released by the inner
+	// recover in the scan callback before the panic unwinds to here.
+	defer func() {
+		if r := recover(); r != nil {
+			err = RecoverPanic(env, r)
+		}
+	}()
 	joins := make([]*BatchJoin, len(q.Dims))
 	for i, d := range q.Dims {
 		j, err := BuildBatchJoinCtx(ctx, env, d)
@@ -569,12 +592,19 @@ func ExecuteCtx(ctx context.Context, env *Env, q *plan.Query) ([]pages.Row, erro
 	factVec := expr.CompileVecPred(q.FactPred)
 	var selBuf []int
 	var ps ProbeScratch
-	err := ScanTableBatchesCtx(ctx, env, q.Fact, func(b *vec.Batch) error {
+	err = ScanTableBatchesCtx(ctx, env, q.Fact, func(b *vec.Batch) error {
 		// b starts as a shared decoded-cache batch (Release no-ops);
 		// every probe output is checked out of the batch pool and
 		// released as soon as the next pipeline stage has consumed it.
 		// Mid-pipeline error returns while b is a checked-out probe
-		// output must release it first.
+		// output must release it first — and so must a panic, hence the
+		// release-and-rethrow recover (the outer recover converts it).
+		defer func() {
+			if r := recover(); r != nil {
+				b.Release()
+				panic(r)
+			}
+		}()
 		sel := vec.FullSel(b.Len(), &selBuf)
 		if factVec != nil {
 			sel = factVec(b, sel)

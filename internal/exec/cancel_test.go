@@ -117,6 +117,57 @@ func TestExecuteMorselsReadFault(t *testing.T) {
 	}
 }
 
+// TestExecuteRowsReadFault pins the row-at-a-time path to the same
+// fault hooks as the batch path: ScanTable must consult Env.ReadFault
+// for every page it reads (no side door past injection or quarantine),
+// and an injected fault must surface as the query's error.
+func TestExecuteRowsReadFault(t *testing.T) {
+	env := pooledEnv(t)
+	q := starPlan(t, env)
+	boom := errors.New("injected read fault")
+
+	// Count consultations on a clean run: one per page of every table
+	// the pipeline touches, fact included.
+	consulted := map[string]int{}
+	counting := *env
+	counting.ReadFault = func(table string, idx int) error {
+		consulted[table]++
+		return nil
+	}
+	got, err := ExecuteRows(&counting, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Execute(env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("row pipeline disagrees with batch pipeline: %v vs %v", got, want)
+	}
+	if got := consulted[q.Fact.Name]; got != q.Fact.NumPages {
+		t.Fatalf("fact scan consulted ReadFault %d times, want %d", got, q.Fact.NumPages)
+	}
+	for _, d := range q.Dims {
+		tbl := env.Cat.MustGet(d.Table)
+		if got := consulted[d.Table]; got != tbl.NumPages {
+			t.Fatalf("dimension %s consulted ReadFault %d times, want %d", d.Table, got, tbl.NumPages)
+		}
+	}
+
+	// And a fault mid-fact-scan fails the query.
+	faulty := *env
+	faulty.ReadFault = func(table string, idx int) error {
+		if table == q.Fact.Name && idx == q.Fact.NumPages/2 {
+			return boom
+		}
+		return nil
+	}
+	if _, err := ExecuteRows(&faulty, q); !errors.Is(err, boom) {
+		t.Fatalf("ExecuteRows with fault = %v, want injected fault", err)
+	}
+}
+
 // TestExecuteCtxCancellation covers the cooperative cancellation
 // points: an already-cancelled context fails before any work, a
 // deadline in the past returns DeadlineExceeded, and cancellation

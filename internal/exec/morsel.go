@@ -104,6 +104,15 @@ func executeMorsels(ctx context.Context, env *Env, q *plan.Query, joins []*Batch
 			// the shard's free list holds its recycled batches; drain
 			// them back to the shared pool for the next query.
 			defer wenv.Local.Drain()
+			// Panic containment: a panicking worker fails the query (and
+			// stops its siblings via the shared stop flag) instead of
+			// taking the process down. The per-page recover below has
+			// already released the batch in flight when one unwinds here.
+			defer func() {
+				if r := recover(); r != nil {
+					fail(RecoverPanic(env, r))
+				}
+			}()
 			var agg *Aggregator
 			if q.HasAgg {
 				agg = NewAggregator(q, env.Col)
@@ -133,36 +142,45 @@ func executeMorsels(ctx context.Context, env *Env, q *plan.Query, joins []*Batch
 					if agg != nil {
 						agg.SetEpoch(int32(pg))
 					}
-					b, err := ReadTableBatch(&wenv, fact, pg)
+					err := func() error {
+						b, err := ReadTableBatch(&wenv, fact, pg)
+						if err != nil {
+							return err
+						}
+						// Release the batch in flight when a kernel
+						// panics, then let the worker recover convert it.
+						defer func() {
+							if r := recover(); r != nil {
+								b.Release()
+								panic(r)
+							}
+						}()
+						sel := vec.FullSel(b.Len(), &selBuf)
+						if factVec != nil {
+							sel = factVec(b, sel)
+						}
+						for i := range joins {
+							if len(sel) == 0 {
+								b.Release()
+								return nil
+							}
+							joined := joins[i].Probe(&wenv, b, sel, &ps)
+							b.Release()
+							b = joined
+							sel = vec.FullSel(b.Len(), &selBuf)
+						}
+						if agg != nil {
+							agg.AddBatch(b, sel)
+						} else {
+							plain = ProjectBatch(outFns, b, sel, plain)
+						}
+						b.Release()
+						return nil
+					}()
 					if err != nil {
 						fail(err)
 						return
 					}
-					sel := vec.FullSel(b.Len(), &selBuf)
-					if factVec != nil {
-						sel = factVec(b, sel)
-					}
-					dead := false
-					for i := range joins {
-						if len(sel) == 0 {
-							b.Release()
-							dead = true
-							break
-						}
-						joined := joins[i].Probe(&wenv, b, sel, &ps)
-						b.Release()
-						b = joined
-						sel = vec.FullSel(b.Len(), &selBuf)
-					}
-					if dead {
-						continue
-					}
-					if agg != nil {
-						agg.AddBatch(b, sel)
-					} else {
-						plain = ProjectBatch(outFns, b, sel, plain)
-					}
-					b.Release()
 				}
 				if agg == nil {
 					plains[m] = plain

@@ -43,6 +43,16 @@ type Env struct {
 	// hook for the batch-lifetime and cancellation tests (simulated I/O
 	// faults at chosen pages). Nil in production environments.
 	ReadFault func(table string, page int) error
+	// CorruptFault, when non-nil, is consulted before every table-page
+	// read; returning true flips one bit in that read's copy of the
+	// page before checksum verification (a transient transfer fault —
+	// the guard's retry path heals it). It is ReadFault's sibling for
+	// corruption injection. Nil in production environments.
+	CorruptFault func(table string, page int) bool
+	// Guard is the storage-integrity policy (checksum verification,
+	// read retries, quarantine) shared by every read through this
+	// environment; nil verifies checksums without retry or quarantine.
+	Guard *heap.Guard
 }
 
 // Workers resolves the environment's effective parallelism.
@@ -64,11 +74,16 @@ func (e *Env) GetBatch(kinds []pages.Kind, capacity int) *vec.Batch {
 
 // ScanTable reads every page of the table in order, decoding rows and
 // passing each page's rows to emit. Scan work is accounted to
-// metrics.Scans.
+// metrics.Scans. Like the batch path, every page read goes through the
+// environment's fault hooks and integrity guard — the row path offers
+// no way around error injection or quarantine.
 func ScanTable(env *Env, t *catalog.Table, emit func(rows []pages.Row) error) error {
 	for i := 0; i < t.NumPages; i++ {
+		if err := pageFaults(env, t.Name, i); err != nil {
+			return err
+		}
 		stop := env.Col.Timer(metrics.Scans)
-		rows, err := heap.ReadPageRows(env.Pool, t, i, nil, env.Col)
+		rows, err := heap.ReadPageRows(env.Pool, env.Guard, t, i, nil, env.Col)
 		stop()
 		if err != nil {
 			return err

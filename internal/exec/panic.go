@@ -1,0 +1,39 @@
+package exec
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a panic recovered at a query-execution boundary and
+// converted into a per-query error. The engines wrap every goroutine
+// that runs query code in a recover() that produces one of these, so a
+// panicking kernel fails its own query — with the stack preserved for
+// diagnosis — while concurrent queries sharing the same scan, join or
+// stage complete normally.
+type PanicError struct {
+	// Val is the value the query panicked with.
+	Val any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: query panicked: %v\n%s", e.Val, e.Stack)
+}
+
+// RecoverPanic converts a recover() value into a *PanicError carrying
+// the current goroutine's stack and bumps the query_panic_recovered
+// counter. Call it only with a non-nil recover() result:
+//
+//	defer func() {
+//		if r := recover(); r != nil {
+//			fail(exec.RecoverPanic(env, r))
+//		}
+//	}()
+func RecoverPanic(env *Env, r any) *PanicError {
+	if env != nil && env.Guard != nil && env.Guard.Counters != nil {
+		env.Guard.Counters.Get("query_panic_recovered").Inc()
+	}
+	return &PanicError{Val: r, Stack: debug.Stack()}
+}

@@ -1,0 +1,72 @@
+package expr
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sharedq/internal/pages"
+	"sharedq/internal/vec"
+)
+
+// Kernel fault injection for the chaos harness and panic-containment
+// tests. Arming a literal makes every subsequently compiled vectorized
+// predicate whose expression tree contains that exact int constant
+// panic when invoked — so a test poisons one query (by writing the
+// magic literal into its predicate) and leaves every concurrent query
+// untouched. The engines' recover boundaries must convert the panic
+// into a per-query error; nothing outside test code arms the hook.
+
+// kernelPanicLiteral is the armed magic literal; zero means disarmed.
+var kernelPanicLiteral atomic.Int64
+
+// ArmKernelPanic arms the fault hook on literal v (v != 0).
+func ArmKernelPanic(v int64) { kernelPanicLiteral.Store(v) }
+
+// DisarmKernelPanic clears the fault hook.
+func DisarmKernelPanic() { kernelPanicLiteral.Store(0) }
+
+// armedPanicKernel returns a panicking kernel when the hook is armed
+// and e contains the armed literal; nil otherwise.
+func armedPanicKernel(e Expr) VecPred {
+	v := kernelPanicLiteral.Load()
+	if v == 0 || !hasIntLiteral(e, v) {
+		return nil
+	}
+	return func(b *vec.Batch, sel []int) []int {
+		panic(fmt.Sprintf("expr: injected kernel fault (armed literal %d)", v))
+	}
+}
+
+// hasIntLiteral walks e looking for an int constant equal to v.
+func hasIntLiteral(e Expr, v int64) bool {
+	switch n := e.(type) {
+	case *Const:
+		return n.V.Kind == pages.KindInt && n.V.I == v
+	case *Bin:
+		return hasIntLiteral(n.L, v) || hasIntLiteral(n.R, v)
+	case *And:
+		for _, t := range n.Terms {
+			if hasIntLiteral(t, v) {
+				return true
+			}
+		}
+	case *Or:
+		for _, t := range n.Terms {
+			if hasIntLiteral(t, v) {
+				return true
+			}
+		}
+	case *Between:
+		return hasIntLiteral(n.X, v) || hasIntLiteral(n.Lo, v) || hasIntLiteral(n.Hi, v)
+	case *In:
+		if hasIntLiteral(n.X, v) {
+			return true
+		}
+		for _, t := range n.List {
+			if hasIntLiteral(t, v) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -32,6 +32,9 @@ func CompileVecPred(e Expr) VecPred {
 	if e == nil {
 		return nil
 	}
+	if k := armedPanicKernel(e); k != nil {
+		return k
+	}
 	if n, ok := e.(*And); ok {
 		parts := make([]VecPred, len(n.Terms))
 		for i, t := range n.Terms {

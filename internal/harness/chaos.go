@@ -1,0 +1,414 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+
+	"sharedq/internal/core"
+	"sharedq/internal/exec"
+	"sharedq/internal/expr"
+	"sharedq/internal/heap"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+	"sharedq/internal/qpipe"
+	"sharedq/internal/ssb"
+)
+
+// ErrInjectedRead is the error the chaos schedule's read-fault hook
+// returns; victim queries over the faulted table must surface it
+// (errors.Is) and nothing else may.
+var ErrInjectedRead = errors.New("harness: injected read fault")
+
+// chaosPanicMagic is the poisoned predicate literal the armed kernel
+// fault hook panics on. Queries not mentioning it are unaffected.
+const chaosPanicMagic = 424242
+
+// ChaosConfig scales a chaos run.
+type ChaosConfig struct {
+	// SF is the scale factor (default 0.002 — seconds per full run).
+	SF float64
+	// Seed drives the survivor workload.
+	Seed int64
+	// Modes lists the engine configurations to exercise (default all).
+	Modes []core.Mode
+	// Comm selects the QPipe communication model.
+	Comm qpipe.Comm
+	// Parallelism is the per-engine intra-query worker count.
+	Parallelism int
+	// Survivors is the number of healthy concurrent queries that must
+	// come through every fault run bit-identical (default 4).
+	Survivors int
+	// SkipOverload disables the overload-burst sub-phase.
+	SkipOverload bool
+}
+
+// ChaosModeResult is one mode's outcome: what failed (and how), what
+// survived, and the fault-tolerance counters the run moved.
+type ChaosModeResult struct {
+	Mode      core.Mode
+	Survivors int              // healthy queries verified bit-identical
+	Failures  map[string]error // victim name -> typed error observed
+	Counters  map[string]int64 // robust counter deltas over the fault run
+	Sheds     int64            // admissions shed during the overload burst
+}
+
+// chaos fault-schedule constants: each victim query is the only query
+// touching its table, so the blast radius of every injected fault is
+// exactly one query per run.
+const (
+	chaosCorruptTable = ssb.TablePart     // persistent bit-flip, page 0
+	chaosReadTable    = ssb.TableLineitem // injected read faults
+	chaosFlakyTable   = ssb.TableLineorder
+)
+
+// chaos victim queries (keys of ChaosModeResult.Failures).
+var chaosVictims = map[string]string{
+	"corrupt":   "SELECT COUNT(*) AS n FROM part",
+	"readfault": "SELECT COUNT(*) AS n FROM lineitem",
+	"panic": "SELECT SUM(lo_revenue) AS revenue, d_year FROM lineorder, date " +
+		"WHERE lo_orderdate = d_datekey AND lo_quantity < 424242 " +
+		"GROUP BY d_year ORDER BY d_year ASC",
+}
+
+// RunChaos drives a closed chaos cycle over every requested mode: a
+// clean run records the expected rows of a healthy workload, then the
+// same workload re-runs under a seeded fault schedule — a persistently
+// corrupt page (bit flip on the device), injected read faults, a
+// transient corruption healed by the guard's retry, and a poisoned
+// query whose predicate kernel panics. After every fault run it checks
+// the paper-engine robustness invariants:
+//
+//   - surviving queries return rows bit-identical to the clean run,
+//   - each victim fails with its typed error (ErrCorruptPage,
+//     ErrInjectedRead, PanicError) and nothing leaks across queries,
+//   - the robustness counters moved (retry, quarantine, panic recovery),
+//   - the batch pool drains to zero outstanding checkouts,
+//   - after repair (bit flipped back, quarantine lifted) the corrupt
+//     victim succeeds again.
+//
+// An overload burst then drives a 2-slot engine with blocked slots and
+// asserts every rejection is ErrOverloaded and every rejection was
+// counted as a shed. The system is repaired between modes, so one
+// database serves the whole matrix.
+func RunChaos(cfg ChaosConfig) ([]ChaosModeResult, error) {
+	if cfg.SF <= 0 {
+		cfg.SF = 0.002
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Survivors <= 0 {
+		cfg.Survivors = 4
+	}
+	if len(cfg.Modes) == 0 {
+		cfg.Modes = core.Modes()
+	}
+	sys, err := memSystem(cfg.SF, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := newRng(cfg.Seed)
+	// Survivors touch only lineorder, customer, supplier and date —
+	// disjoint from the corrupt and read-fault tables, so every one of
+	// them must come through the fault schedule untouched.
+	survivorSQL := randomQ32s(rng, cfg.Survivors)
+	survivors := make([]*plan.Query, len(survivorSQL))
+	for i, sql := range survivorSQL {
+		if survivors[i], err = plan.Build(sys.Cat, sql); err != nil {
+			return nil, fmt.Errorf("harness: planning survivor %d: %w", i, err)
+		}
+	}
+	victims := make(map[string]*plan.Query, len(chaosVictims))
+	for name, sql := range chaosVictims {
+		if victims[name], err = plan.Build(sys.Cat, sql); err != nil {
+			return nil, fmt.Errorf("harness: planning victim %q: %w", name, err)
+		}
+	}
+
+	var out []ChaosModeResult
+	for _, mode := range cfg.Modes {
+		res, err := runChaosMode(sys, cfg, mode, survivors, victims)
+		if err != nil {
+			return out, fmt.Errorf("harness: chaos %v: %w", mode, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// runChaosMode runs one mode's clean run, fault run, invariant checks,
+// overload burst and repair. It leaves the system healthy.
+func runChaosMode(sys *core.System, cfg ChaosConfig, mode core.Mode, survivors []*plan.Query, victims map[string]*plan.Query) (ChaosModeResult, error) {
+	res := ChaosModeResult{Mode: mode, Failures: make(map[string]error)}
+	opts := core.Options{Mode: mode, Comm: cfg.Comm, Parallelism: cfg.Parallelism}
+
+	// Clean run: the healthy workload's expected rows.
+	sys.ClearCaches()
+	cleanRows, cleanErrs := submitAll(sys, opts, survivors)
+	for i, err := range cleanErrs {
+		if err != nil {
+			return res, fmt.Errorf("clean run query %d failed: %v", i, err)
+		}
+	}
+
+	// Arm the fault schedule.
+	if err := sys.Dev.CorruptBit(chaosCorruptTable, 0, 100); err != nil {
+		return res, fmt.Errorf("corrupting device page: %v", err)
+	}
+	sys.ClearCaches() // reads must see the device, not cached frames
+	sys.Env.ReadFault = func(table string, page int) error {
+		if table == chaosReadTable {
+			return ErrInjectedRead
+		}
+		return nil
+	}
+	var flaky atomic.Bool // one transient corruption; the retry heals it
+	flaky.Store(true)
+	sys.Env.CorruptFault = func(table string, page int) bool {
+		return table == chaosFlakyTable && page == 0 && flaky.CompareAndSwap(true, false)
+	}
+	expr.ArmKernelPanic(chaosPanicMagic)
+	robust0 := robustSnapshot(sys)
+
+	// Fault run: survivors and victims concurrently on one engine.
+	names := make([]string, 0, len(victims))
+	all := append([]*plan.Query(nil), survivors...)
+	for _, name := range []string{"corrupt", "readfault", "panic"} {
+		names = append(names, name)
+		all = append(all, victims[name])
+	}
+	faultRows, faultErrs := submitAll(sys, opts, all)
+
+	// Disarm before judging, so a failed invariant can't poison later
+	// modes (or the repair check below).
+	expr.DisarmKernelPanic()
+	sys.Env.ReadFault = nil
+	sys.Env.CorruptFault = nil
+
+	// Invariants: survivors bit-identical, victims typed.
+	for i := range survivors {
+		if faultErrs[i] != nil {
+			return res, fmt.Errorf("survivor %d failed under faults: %v", i, faultErrs[i])
+		}
+		if !reflect.DeepEqual(faultRows[i], cleanRows[i]) {
+			return res, fmt.Errorf("survivor %d rows diverged under faults", i)
+		}
+	}
+	res.Survivors = len(survivors)
+	for j, name := range names {
+		err := faultErrs[len(survivors)+j]
+		res.Failures[name] = err
+		switch name {
+		case "corrupt":
+			var cp *heap.ErrCorruptPage
+			if !errors.As(err, &cp) {
+				return res, fmt.Errorf("corrupt victim error = %v, want ErrCorruptPage", err)
+			}
+		case "readfault":
+			if !errors.Is(err, ErrInjectedRead) {
+				return res, fmt.Errorf("read-fault victim error = %v, want ErrInjectedRead", err)
+			}
+		case "panic":
+			var pe *exec.PanicError
+			if !errors.As(err, &pe) {
+				return res, fmt.Errorf("panic victim error = %v, want PanicError", err)
+			}
+		}
+	}
+	res.Counters = make(map[string]int64, len(robust0))
+	for name, v0 := range robust0 {
+		res.Counters[name] = sys.Robust.Get(name).Load() - v0
+	}
+	for _, name := range []string{"page_retry", "page_quarantined", "query_panic_recovered"} {
+		if res.Counters[name] == 0 {
+			return res, fmt.Errorf("counter %s did not move", name)
+		}
+	}
+	if n := sys.Env.Recycle.Outstanding(); n != 0 {
+		return res, fmt.Errorf("%d pool batches leaked", n)
+	}
+
+	// Overload burst: hold both execution slots with reads blocked on a
+	// gate, shed a wave against the full valve, then release.
+	if !cfg.SkipOverload {
+		sheds, err := overloadBurst(sys)
+		if err != nil {
+			return res, err
+		}
+		res.Sheds = sheds
+	}
+
+	// Repair: flip the bit back, lift the quarantine, drop stale cached
+	// frames — and prove the victim recovers.
+	if err := sys.Dev.CorruptBit(chaosCorruptTable, 0, 100); err != nil {
+		return res, fmt.Errorf("repairing device page: %v", err)
+	}
+	sys.Guard.Unquarantine()
+	sys.ClearCaches()
+	rows, errs := submitAll(sys, opts, []*plan.Query{victims["corrupt"]})
+	if errs[0] != nil {
+		return res, fmt.Errorf("repaired victim still fails: %v", errs[0])
+	}
+	if len(rows[0]) != 1 {
+		return res, fmt.Errorf("repaired victim returned %d rows", len(rows[0]))
+	}
+	return res, nil
+}
+
+// submitAll runs the plans concurrently against a fresh engine of the
+// given options and returns per-query rows and errors (RunBatch's
+// submission shape, but keeping the rows — chaos compares them).
+func submitAll(sys *core.System, opts core.Options, plans []*plan.Query) ([][]pages.Row, []error) {
+	eng := core.NewEngine(sys, opts)
+	defer eng.Close()
+	rows := make([][]pages.Row, len(plans))
+	errs := make([]error, len(plans))
+	var wg sync.WaitGroup
+	for i := range plans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rows[i], errs[i] = eng.Submit(plans[i])
+		}(i)
+	}
+	wg.Wait()
+	return rows, errs
+}
+
+// overloadBurst pins the admission valve under deterministic pressure:
+// two blocker queries occupy both execution slots of a 2-slot engine
+// (their first page read parks on a gate), a wave of queries is shed
+// against the full valve, then the gate opens and the blockers finish.
+// Every rejection must be ErrOverloaded and every one must have been
+// counted as a shed.
+func overloadBurst(sys *core.System) (int64, error) {
+	const waves = 6
+	shed0 := sys.Robust.Get("admission_shed").Load()
+	eng := core.NewEngine(sys, core.Options{Mode: core.Baseline, MaxInFlight: 2})
+	defer eng.Close()
+
+	gate := make(chan struct{})
+	var entered sync.WaitGroup
+	entered.Add(2)
+	var onceC, onceS sync.Once
+	sys.Env.ReadFault = func(table string, page int) error {
+		switch table {
+		case ssb.TableCustomer:
+			onceC.Do(entered.Done)
+			<-gate
+		case ssb.TableSupplier:
+			onceS.Do(entered.Done)
+			<-gate
+		}
+		return nil
+	}
+	defer func() { sys.Env.ReadFault = nil }()
+	sys.ClearCaches() // blocker scans must reach the (hooked) read path
+
+	var wg sync.WaitGroup
+	blockErrs := make([]error, 2)
+	for i, sql := range []string{
+		"SELECT COUNT(*) AS n FROM customer",
+		"SELECT COUNT(*) AS n FROM supplier",
+	} {
+		q, err := plan.Build(sys.Cat, sql)
+		if err != nil {
+			return 0, err
+		}
+		wg.Add(1)
+		go func(i int, q *plan.Query) {
+			defer wg.Done()
+			_, blockErrs[i] = eng.SubmitCtx(context.Background(), q)
+		}(i, q)
+	}
+	entered.Wait() // both slots held, both scans parked on the gate
+
+	dq, err := plan.Build(sys.Cat, "SELECT COUNT(*) AS n FROM date")
+	if err != nil {
+		close(gate)
+		wg.Wait()
+		return 0, err
+	}
+	for i := 0; i < waves; i++ {
+		if _, werr := eng.Submit(dq); !errors.Is(werr, core.ErrOverloaded) {
+			close(gate)
+			wg.Wait()
+			return 0, fmt.Errorf("burst query %d error = %v, want ErrOverloaded", i, werr)
+		}
+	}
+	close(gate)
+	wg.Wait()
+	for i, berr := range blockErrs {
+		if berr != nil {
+			return 0, fmt.Errorf("blocker %d failed: %v", i, berr)
+		}
+	}
+	sheds := sys.Robust.Get("admission_shed").Load() - shed0
+	if sheds != waves {
+		return sheds, fmt.Errorf("admission_shed delta = %d, want %d", sheds, waves)
+	}
+	return sheds, nil
+}
+
+// figChaos renders the chaos matrix for runexp: one row per mode with
+// its survivor count, victim outcomes, robustness counter deltas and
+// overload sheds, in both communication models.
+func figChaos(p Params) (*Report, error) {
+	p = p.def(0.002, 4)
+	rep := &Report{ID: "chaos", Title: "Fault injection: survivors, typed failures and robustness counters"}
+	for _, comm := range []qpipe.Comm{qpipe.CommFIFO, qpipe.CommSPL} {
+		results, err := RunChaos(ChaosConfig{
+			SF: p.SF, Seed: p.Seed, Comm: comm,
+			Parallelism: lowConcurrency(p.MaxQ),
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl := &Table{
+			Title:  fmt.Sprintf("%v: per-mode fault run (%d survivors + 3 victims each)", comm, results[0].Survivors),
+			Header: []string{"mode", "survivors", "corrupt", "readfault", "panic", "page_retry", "page_quarantined", "panic_recovered", "sheds"},
+		}
+		for _, r := range results {
+			tbl.Rows = append(tbl.Rows, []string{
+				r.Mode.String(),
+				fmt.Sprintf("%d ok", r.Survivors),
+				errName(r.Failures["corrupt"]),
+				errName(r.Failures["readfault"]),
+				errName(r.Failures["panic"]),
+				fmt.Sprint(r.Counters["page_retry"]),
+				fmt.Sprint(r.Counters["page_quarantined"]),
+				fmt.Sprint(r.Counters["query_panic_recovered"]),
+				fmt.Sprint(r.Sheds),
+			})
+		}
+		rep.Tables = append(rep.Tables, tbl)
+	}
+	rep.Notes = append(rep.Notes,
+		"Every victim query is the only one touching its faulted table; survivors are verified bit-identical to a clean run.",
+		"The transient corruption on lineorder is healed by the guard's retry (page_retry) without failing any query.")
+	return rep, nil
+}
+
+// errName compresses a victim's error to its type for the table.
+func errName(err error) string {
+	var cp *heap.ErrCorruptPage
+	var pe *exec.PanicError
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.As(err, &cp):
+		return "ErrCorruptPage"
+	case errors.Is(err, ErrInjectedRead):
+		return "ErrInjectedRead"
+	case errors.As(err, &pe):
+		return "PanicError"
+	case errors.Is(err, core.ErrOverloaded):
+		return "ErrOverloaded"
+	default:
+		return err.Error()
+	}
+}

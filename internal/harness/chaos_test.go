@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"testing"
+
+	"sharedq/internal/core"
+	"sharedq/internal/qpipe"
+)
+
+// TestChaos drives the full fault schedule — persistent corruption,
+// injected read faults, transient corruption, a panicking kernel and an
+// overload burst — across every mode in both communication models and
+// at serial and parallel intra-query settings. RunChaos itself asserts
+// the invariants (survivors bit-identical, victims typed, counters
+// moved, pool drained, repair works); the test only picks the matrix.
+func TestChaos(t *testing.T) {
+	parallelisms := []int{1, 4}
+	comms := []qpipe.Comm{qpipe.CommFIFO, qpipe.CommSPL}
+	if testing.Short() {
+		// One cell with the full mode set keeps -short fast while still
+		// covering every engine's containment paths.
+		parallelisms = []int{4}
+		comms = []qpipe.Comm{qpipe.CommSPL}
+	}
+	for _, comm := range comms {
+		for _, par := range parallelisms {
+			t.Run(comm.String()+"/par"+string(rune('0'+par)), func(t *testing.T) {
+				results, err := RunChaos(ChaosConfig{
+					SF: 0.002, Seed: 11, Comm: comm, Parallelism: par,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(results) != len(core.Modes()) {
+					t.Fatalf("got %d mode results, want %d", len(results), len(core.Modes()))
+				}
+				for _, r := range results {
+					if r.Survivors == 0 {
+						t.Errorf("%v: no survivors verified", r.Mode)
+					}
+					if r.Sheds == 0 {
+						t.Errorf("%v: overload burst shed nothing", r.Mode)
+					}
+				}
+			})
+		}
+	}
+}

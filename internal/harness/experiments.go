@@ -108,6 +108,7 @@ func All() []Experiment {
 		{"table1", "Rules of thumb: advisor decisions across concurrency", figTable1},
 		{"table2", "Extension substrates (CJOIN-SP, SharedDB, Crescando) on one batch pipeline", figTable2},
 		{"compress", "Compressed columnar storage: effective scan bandwidth, slotted vs compressed", figCompress},
+		{"chaos", "Fault injection across all modes: survivors, typed failures, robustness counters", figChaos},
 	}
 }
 

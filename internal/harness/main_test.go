@@ -1,0 +1,13 @@
+package harness
+
+import (
+	"testing"
+
+	"sharedq/internal/leakcheck"
+)
+
+// TestMain is the package's goroutine-leak gate: an engine, scanner or
+// chaos-harness worker still running after the tests complete fails
+// the build. The chaos suite in particular tears down a full engine
+// per mode per fault schedule — any path that leaks one shows up here.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -75,6 +75,7 @@ func RunBatch(sys *core.System, opts core.Options, sqls []string, cold bool) (Re
 	poolLocal0 := sys.Env.Recycle.LocalHits()
 	bcHit0, bcMiss0 := sys.Env.Batches.Stats()
 	bcEvict0 := sys.Env.Batches.Evictions()
+	robust0 := robustSnapshot(sys)
 	res := Result{Mode: opts.Mode, Concurrency: len(sqls)}
 	durations := make([]time.Duration, len(plans))
 	errs := make([]error, len(plans))
@@ -126,11 +127,31 @@ func RunBatch(sys *core.System, opts core.Options, sqls []string, cold bool) (Re
 	res.Stats["batch_cache_hit"] = bcHit1 - bcHit0
 	res.Stats["batch_cache_miss"] = bcMiss1 - bcMiss0
 	res.Stats["batch_cache_evict"] = sys.Env.Batches.Evictions() - bcEvict0
+	// Fault-tolerance activity over this run: page-read retries, pages
+	// quarantined, panics contained, queries shed at admission. All zero
+	// on a healthy, uncontended run.
+	for name, v0 := range robust0 {
+		res.Stats[name] = sys.Robust.Get(name).Load() - v0
+	}
 	res.Admission = time.Duration(eng.CJOINAdmissionTime())
 	if res.Errors > 0 {
 		return res, fmt.Errorf("harness: %d of %d queries failed (first: %v)", res.Errors, len(plans), firstErr(errs))
 	}
 	return res, nil
+}
+
+// robustCounters are the fault-tolerance counters surfaced as deltas
+// in every RunBatch result (and rendered by the chaos experiment).
+var robustCounters = []string{"page_retry", "page_quarantined", "query_panic_recovered", "admission_shed"}
+
+// robustSnapshot captures the system's fault-tolerance counters so a
+// run can report its own deltas (the counters accumulate per system).
+func robustSnapshot(sys *core.System) map[string]int64 {
+	out := make(map[string]int64, len(robustCounters))
+	for _, name := range robustCounters {
+		out[name] = sys.Robust.Get(name).Load()
+	}
+	return out
 }
 
 func firstErr(errs []error) error {

@@ -169,17 +169,21 @@ func (c *BatchCache) ExportCounters(cs *metrics.CounterSet) {
 }
 
 // ReadPageBatch fetches page idx of t as a decoded column batch. On a
-// cache hit neither the buffer pool nor the device is touched; on a
-// miss the page is fetched through the pool, decoded once — through the
-// columnar codec when the table is compressed, keeping dictionary
-// string columns coded — and (when cache is non-nil) published for
-// every later reader.
-func ReadPageBatch(pool *buffer.Pool, cache *BatchCache, t *catalog.Table, idx int, kinds []pages.Kind, col *metrics.Collector) (*vec.Batch, error) {
+// cache hit neither the buffer pool nor the device is touched — and no
+// checksum is re-verified: a cached batch was decoded from bytes that
+// passed verification, so it stays valid even if the underlying page
+// later rots (stale-but-valid). On a miss the page is fetched through
+// the pool, checksum-verified (retrying and quarantining per g, which
+// may be nil), decoded once — through the columnar codec when the
+// table is compressed, keeping dictionary string columns coded — and
+// (when cache is non-nil) published for every later reader. A page
+// that fails verification or decode is never cached.
+func ReadPageBatch(pool *buffer.Pool, g *Guard, cache *BatchCache, t *catalog.Table, idx int, kinds []pages.Kind, col *metrics.Collector) (*vec.Batch, error) {
 	id := buffer.PageID{File: t.Name, Page: idx}
 	if b, ok := cache.Get(id); ok {
 		return b, nil
 	}
-	data, err := pool.Fetch(id, col)
+	data, err := fetchVerified(pool, g, t, idx, col)
 	if err != nil {
 		return nil, err
 	}

@@ -42,7 +42,7 @@ func TestReadPageBatchCachesDecodes(t *testing.T) {
 
 	total := 0
 	for i := 0; i < tbl.NumPages; i++ {
-		b, err := ReadPageBatch(pool, bc, tbl, i, kinds, nil)
+		b, err := ReadPageBatch(pool, nil, bc, tbl, i, kinds, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -55,11 +55,11 @@ func TestReadPageBatchCachesDecodes(t *testing.T) {
 		t.Errorf("cold pass recorded %d hits", hits)
 	}
 	// Warm pass: identical batches, all hits, same pointers.
-	b0, err := ReadPageBatch(pool, bc, tbl, 0, kinds, nil)
+	b0, err := ReadPageBatch(pool, nil, bc, tbl, 0, kinds, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b1, err := ReadPageBatch(pool, bc, tbl, 0, kinds, nil)
+	b1, err := ReadPageBatch(pool, nil, bc, tbl, 0, kinds, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestBatchCacheNilSafe(t *testing.T) {
 	}
 	// ReadPageBatch must work without a cache at all.
 	pool, tbl := cacheTestSetup(t, 100)
-	b, err := ReadPageBatch(pool, nil, tbl, 0, vec.Kinds(tbl.Schema), nil)
+	b, err := ReadPageBatch(pool, nil, nil, tbl, 0, vec.Kinds(tbl.Schema), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

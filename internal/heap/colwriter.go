@@ -48,9 +48,10 @@ func NewColWriter(sink PageSink, file string, kinds []pages.Kind, specs []pages.
 		lastC: make([]uint32, len(kinds)),
 		codes: make([]uint32, len(kinds)),
 	}
-	// Fixed per-page bytes: the page header plus, per column, the
-	// tag + length header and the encoding's own header.
-	w.base = 10
+	// Fixed per-page bytes: the v2 page header (magic + checksum +
+	// row/column counts) plus, per column, the tag + length header and
+	// the encoding's own header.
+	w.base = 14
 	for c := range specs {
 		w.base += 5
 		switch specs[c].Enc {
@@ -170,6 +171,7 @@ func (w *ColWriter) flush() error {
 	for len(buf) < pages.PageSize {
 		buf = append(buf, 0)
 	}
+	pages.SealColPage(buf)
 	w.buf = buf
 	if _, err := w.sink.AppendPage(w.file, buf); err != nil {
 		return err

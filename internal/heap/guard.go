@@ -1,0 +1,199 @@
+package heap
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sharedq/internal/buffer"
+	"sharedq/internal/catalog"
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+)
+
+// ErrCorruptPage identifies a page that failed checksum verification
+// after exhausting its read retries and has been quarantined: every
+// later read of it fails fast with this error instead of re-reading
+// the device. Callers match it with errors.As.
+type ErrCorruptPage struct {
+	Table string
+	Page  int
+}
+
+func (e *ErrCorruptPage) Error() string {
+	return fmt.Sprintf("heap: page %s/%d is corrupt (quarantined)", e.Table, e.Page)
+}
+
+// Unwrap lets errors.Is(err, pages.ErrChecksum) see through the typed
+// wrapper.
+func (e *ErrCorruptPage) Unwrap() error { return pages.ErrChecksum }
+
+// Guard is the storage-integrity policy shared by every page read of a
+// system: checksum verification before decode, bounded re-reads with
+// backoff for transient faults, and a quarantine set for persistent
+// ones. A nil *Guard still verifies checksums but neither retries nor
+// quarantines — the bare behavior unit tests of the decode path want.
+//
+// All methods are safe for concurrent use.
+type Guard struct {
+	// Retries is how many times a failed read is retried against the
+	// device (after invalidating cached copies) before the page is
+	// quarantined. NewGuard defaults it to 3.
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per attempt.
+	// NewGuard defaults it to 50µs.
+	Backoff time.Duration
+	// Counters, when non-nil, receives "page_retry" and
+	// "page_quarantined" increments.
+	Counters *metrics.CounterSet
+
+	mu     sync.Mutex
+	quar   map[buffer.PageID]struct{}
+	inject map[buffer.PageID]struct{}
+}
+
+// NewGuard returns a Guard with default retry policy, publishing its
+// counters into cs (which may be nil).
+func NewGuard(cs *metrics.CounterSet) *Guard {
+	return &Guard{
+		Retries:  3,
+		Backoff:  50 * time.Microsecond,
+		Counters: cs,
+		quar:     make(map[buffer.PageID]struct{}),
+		inject:   make(map[buffer.PageID]struct{}),
+	}
+}
+
+// Quarantined reports whether the page has been quarantined.
+func (g *Guard) Quarantined(table string, page int) bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	_, ok := g.quar[buffer.PageID{File: table, Page: page}]
+	g.mu.Unlock()
+	return ok
+}
+
+// QuarantineCount returns the number of quarantined pages.
+func (g *Guard) QuarantineCount() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	n := len(g.quar)
+	g.mu.Unlock()
+	return n
+}
+
+// Unquarantine clears the quarantine set (tests; an operator surface
+// for after the underlying fault is repaired).
+func (g *Guard) Unquarantine() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.quar = make(map[buffer.PageID]struct{})
+	g.mu.Unlock()
+}
+
+// InjectCorruption marks the page so its next fetched copy has one bit
+// flipped before verification — the transient-fault injection surface
+// behind exec.Env.CorruptFault. The flip lands on a private copy, never
+// the shared frame, so concurrent readers of the same page are
+// unaffected (modelling a per-transfer error); the mark is consumed by
+// one fetch attempt, so the guard's retry heals it.
+func (g *Guard) InjectCorruption(table string, page int) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.inject[buffer.PageID{File: table, Page: page}] = struct{}{}
+	g.mu.Unlock()
+}
+
+func (g *Guard) takeInjection(id buffer.PageID) bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	_, ok := g.inject[id]
+	if ok {
+		delete(g.inject, id)
+	}
+	g.mu.Unlock()
+	return ok
+}
+
+func (g *Guard) quarantine(id buffer.PageID) {
+	g.mu.Lock()
+	g.quar[id] = struct{}{}
+	g.mu.Unlock()
+	if g.Counters != nil {
+		g.Counters.Get("page_quarantined").Inc()
+	}
+}
+
+func (g *Guard) noteRetry() {
+	if g.Counters != nil {
+		g.Counters.Get("page_retry").Inc()
+	}
+}
+
+// fetchVerified fetches page idx of t through the pool and verifies its
+// checksum before the caller decodes; on success the page is pinned and
+// the caller must Unpin it. On mismatch the guard retries the read with
+// backoff — invalidating the pool frame and FS-cache copy so the retry
+// reaches the device — and quarantines the page when retries are
+// exhausted. The clean path performs no allocation.
+func fetchVerified(pool *buffer.Pool, g *Guard, t *catalog.Table, idx int, col *metrics.Collector) ([]byte, error) {
+	id := buffer.PageID{File: t.Name, Page: idx}
+	if g != nil && g.Quarantined(t.Name, idx) {
+		return nil, &ErrCorruptPage{Table: t.Name, Page: idx}
+	}
+	retries := 0
+	backoff := time.Duration(0)
+	if g != nil {
+		retries = g.Retries
+		backoff = g.Backoff
+	}
+	for attempt := 0; ; attempt++ {
+		data, err := pool.Fetch(id, col)
+		if err != nil {
+			return nil, err
+		}
+		if g.takeInjection(id) {
+			// Flip a bit on a private copy: the shared frame stays clean
+			// for concurrent readers, as with a real transfer error.
+			tmp := make([]byte, len(data))
+			copy(tmp, data)
+			tmp[16] ^= 0x04
+			pool.Unpin(id)
+			if verr := pages.VerifyPage(tmp); verr == nil {
+				// Unchecksummed legacy page: the flip is undetectable;
+				// serve the clean frame instead of the poisoned copy.
+				return pool.Fetch(id, col)
+			}
+		} else {
+			if verr := pages.VerifyPage(data); verr == nil {
+				return data, nil
+			}
+			pool.Unpin(id)
+		}
+		// The copy in the pool (and any FS-cache copy) failed
+		// verification: drop both so the retry reaches the device.
+		pool.Discard(id)
+		if attempt < retries {
+			g.noteRetry()
+			if backoff > 0 {
+				time.Sleep(backoff << uint(attempt))
+			}
+			continue
+		}
+		if g == nil {
+			return nil, fmt.Errorf("heap: page %s/%d: %w", t.Name, idx, pages.ErrChecksum)
+		}
+		g.quarantine(id)
+		return nil, &ErrCorruptPage{Table: t.Name, Page: idx}
+	}
+}

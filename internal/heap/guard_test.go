@@ -1,0 +1,189 @@
+package heap
+
+import (
+	"errors"
+	"testing"
+
+	"sharedq/internal/buffer"
+	"sharedq/internal/catalog"
+	"sharedq/internal/disk"
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+	"sharedq/internal/vec"
+)
+
+// guardTestSetup loads a small slotted table and returns every layer of
+// the read stack, so tests can corrupt the device and clear each cache
+// independently.
+func guardTestSetup(t *testing.T, rows int) (*disk.Device, *disk.FSCache, *buffer.Pool, *catalog.Table) {
+	t.Helper()
+	dev := disk.NewDevice(disk.Config{Timed: false})
+	tbl := &catalog.Table{
+		Name: "t",
+		Schema: pages.NewSchema(
+			pages.Column{Name: "a", Kind: pages.KindInt},
+			pages.Column{Name: "b", Kind: pages.KindString},
+		),
+	}
+	err := Load(dev, tbl, func(emit func(pages.Row) error) error {
+		for i := 0; i < rows; i++ {
+			if err := emit(pages.Row{pages.Int(int64(i)), pages.Str("v")}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := disk.NewFSCache(dev, disk.CacheConfig{})
+	return dev, cache, buffer.NewPool(cache, 64), tbl
+}
+
+func TestGuardTransientCorruptionHealsOnRetry(t *testing.T) {
+	_, _, pool, tbl := guardTestSetup(t, 1000)
+	g := NewGuard(metrics.NewCounterSet())
+	g.InjectCorruption(tbl.Name, 0)
+
+	b, err := ReadPageBatch(pool, g, nil, tbl, 0, vec.Kinds(tbl.Schema), nil)
+	if err != nil {
+		t.Fatalf("transient corruption did not heal: %v", err)
+	}
+	if b.Len() == 0 {
+		t.Fatal("healed read returned an empty batch")
+	}
+	if got := g.Counters.Get("page_retry").Load(); got != 1 {
+		t.Errorf("page_retry = %d, want 1", got)
+	}
+	if n := g.QuarantineCount(); n != 0 {
+		t.Errorf("healed page was quarantined (%d pages)", n)
+	}
+}
+
+func TestGuardPersistentCorruptionQuarantines(t *testing.T) {
+	dev, _, pool, tbl := guardTestSetup(t, 5000)
+	// Flip a bit in the record area of page 0: every device read returns
+	// the corrupt bytes, so retries cannot heal it.
+	if err := dev.CorruptBit(tbl.Name, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGuard(metrics.NewCounterSet())
+
+	_, err := ReadPageRows(pool, g, tbl, 0, nil, nil)
+	var cp *ErrCorruptPage
+	if !errors.As(err, &cp) {
+		t.Fatalf("err = %v, want *ErrCorruptPage", err)
+	}
+	if cp.Table != tbl.Name || cp.Page != 0 {
+		t.Errorf("corrupt page identified as %s/%d, want %s/0", cp.Table, cp.Page, tbl.Name)
+	}
+	if !errors.Is(err, pages.ErrChecksum) {
+		t.Error("ErrCorruptPage does not unwrap to pages.ErrChecksum")
+	}
+	if got := g.Counters.Get("page_retry").Load(); got != int64(g.Retries) {
+		t.Errorf("page_retry = %d, want %d", got, g.Retries)
+	}
+	if got := g.Counters.Get("page_quarantined").Load(); got != 1 {
+		t.Errorf("page_quarantined = %d, want 1", got)
+	}
+
+	// Quarantined: the next read fails fast, without touching the device
+	// again.
+	before := dev.BytesRead()
+	_, err = ReadPageRows(pool, g, tbl, 0, nil, nil)
+	if !errors.As(err, &cp) {
+		t.Fatalf("quarantined read: err = %v, want *ErrCorruptPage", err)
+	}
+	if dev.BytesRead() != before {
+		t.Error("quarantined read reached the device")
+	}
+	if got := g.Counters.Get("page_retry").Load(); got != int64(g.Retries) {
+		t.Errorf("quarantined read retried: page_retry = %d", got)
+	}
+
+	// Other pages of the table stay readable.
+	if _, err := ReadPageRows(pool, g, tbl, 1, nil, nil); err != nil {
+		t.Errorf("healthy page failed after quarantine of its neighbor: %v", err)
+	}
+
+	// Repairing the fault alone is not enough — quarantine is sticky
+	// until cleared.
+	if err := dev.CorruptBit(tbl.Name, 0, 100); err != nil { // self-inverse
+		t.Fatal(err)
+	}
+	if _, err := ReadPageRows(pool, g, tbl, 0, nil, nil); !errors.As(err, &cp) {
+		t.Errorf("repaired page readable before Unquarantine: err = %v", err)
+	}
+	g.Unquarantine()
+	if _, err := ReadPageRows(pool, g, tbl, 0, nil, nil); err != nil {
+		t.Errorf("repaired page unreadable after Unquarantine: %v", err)
+	}
+}
+
+func TestNilGuardVerifiesWithoutRetry(t *testing.T) {
+	dev, _, pool, tbl := guardTestSetup(t, 1000)
+	if err := dev.CorruptBit(tbl.Name, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	before := dev.BytesRead()
+	_, err := ReadPageRows(pool, nil, tbl, 0, nil, nil)
+	if !errors.Is(err, pages.ErrChecksum) {
+		t.Fatalf("err = %v, want wrapped pages.ErrChecksum", err)
+	}
+	var cp *ErrCorruptPage
+	if errors.As(err, &cp) {
+		t.Error("nil guard produced a quarantine error")
+	}
+	if read := dev.BytesRead() - before; read != int64(pages.PageSize) {
+		t.Errorf("nil guard read %d bytes, want one page (no retries)", read)
+	}
+}
+
+// TestCorruptionVsBatchCache pins the cache semantics around corruption:
+// a page decoded while healthy keeps serving from the batch cache after
+// the stored copy rots (stale-but-valid — the cached decode was verified
+// when it was made), while a cold read of the same page must fail. A
+// failed decode must never be cached.
+func TestCorruptionVsBatchCache(t *testing.T) {
+	dev, cache, pool, tbl := guardTestSetup(t, 1000)
+	g := NewGuard(metrics.NewCounterSet())
+	bc := NewBatchCache(16)
+	kinds := vec.Kinds(tbl.Schema)
+
+	warm, err := ReadPageBatch(pool, g, bc, tbl, 0, kinds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := dev.CorruptBit(tbl.Name, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stale-but-valid: the cached decode predates the corruption and is
+	// served as-is, no error, same batch.
+	hit, err := ReadPageBatch(pool, g, bc, tbl, 0, kinds, nil)
+	if err != nil {
+		t.Fatalf("cached read after corruption: %v", err)
+	}
+	if hit != warm {
+		t.Error("cached read did not return the previously decoded batch")
+	}
+	if n := g.QuarantineCount(); n != 0 {
+		t.Errorf("cache hit quarantined %d pages", n)
+	}
+
+	// Cold: drop every cache between the reader and the device; now the
+	// corruption is visible and the read must fail with the typed error.
+	bc.Clear()
+	pool.Clear()
+	cache.Clear()
+	_, err = ReadPageBatch(pool, g, bc, tbl, 0, kinds, nil)
+	var cp *ErrCorruptPage
+	if !errors.As(err, &cp) {
+		t.Fatalf("cold read of corrupt page: err = %v, want *ErrCorruptPage", err)
+	}
+	// The failed decode must not have populated the batch cache.
+	if _, ok := bc.Get(buffer.PageID{File: tbl.Name, Page: 0}); ok {
+		t.Error("corrupt page was cached after a failed read")
+	}
+}

@@ -55,6 +55,7 @@ func (w *Writer) flush() error {
 	if w.cur.NumSlots() == 0 {
 		return nil
 	}
+	w.cur.Seal()
 	if _, err := w.dev.AppendPage(w.file, w.cur.Bytes()); err != nil {
 		return err
 	}
@@ -71,14 +72,15 @@ func (w *Writer) Close() (int64, int, error) {
 	return w.rows, w.pages, nil
 }
 
-// ReadPageRows fetches page idx of t through the pool and decodes its
-// rows, appending to dst. The page is unpinned before returning.
-// Compressed tables decode through the columnar codec and materialize
-// boxed rows (the row path is the reference/compatibility surface; the
-// batch path keeps dictionary columns coded).
-func ReadPageRows(pool *buffer.Pool, t *catalog.Table, idx int, dst []pages.Row, col *metrics.Collector) ([]pages.Row, error) {
+// ReadPageRows fetches page idx of t through the pool, verifies its
+// checksum (retrying and quarantining per g, which may be nil) and
+// decodes its rows, appending to dst. The page is unpinned before
+// returning. Compressed tables decode through the columnar codec and
+// materialize boxed rows (the row path is the reference/compatibility
+// surface; the batch path keeps dictionary columns coded).
+func ReadPageRows(pool *buffer.Pool, g *Guard, t *catalog.Table, idx int, dst []pages.Row, col *metrics.Collector) ([]pages.Row, error) {
 	id := buffer.PageID{File: t.Name, Page: idx}
-	data, err := pool.Fetch(id, col)
+	data, err := fetchVerified(pool, g, t, idx, col)
 	if err != nil {
 		return dst, err
 	}
@@ -115,12 +117,13 @@ func Load(dev PageSink, t *catalog.Table, rows func(emit func(pages.Row) error) 
 
 // ScanAll reads every row of a table through the pool; a convenience for
 // tests and small dimension-table materialization (CJOIN's admission
-// phase scans whole dimension tables).
+// phase scans whole dimension tables). Engine scans go through
+// exec.ScanTable instead, which applies the fault hooks and guard.
 func ScanAll(pool *buffer.Pool, t *catalog.Table, col *metrics.Collector) ([]pages.Row, error) {
 	var out []pages.Row
 	var err error
 	for i := 0; i < t.NumPages; i++ {
-		out, err = ReadPageRows(pool, t, i, out, col)
+		out, err = ReadPageRows(pool, nil, t, i, out, col)
 		if err != nil {
 			return nil, err
 		}

@@ -48,7 +48,7 @@ func TestWriterRoundTrip(t *testing.T) {
 	}
 	var got []pages.Row
 	for i := 0; i < np; i++ {
-		got, err = ReadPageRows(pool, tbl, i, got, nil)
+		got, err = ReadPageRows(pool, nil, tbl, i, got, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +131,7 @@ func TestLoadPropagatesError(t *testing.T) {
 func TestReadPageRowsMissing(t *testing.T) {
 	_, pool := env(t)
 	tbl := &catalog.Table{Name: "nope", Schema: pages.NewSchema()}
-	if _, err := ReadPageRows(pool, tbl, 0, nil, nil); err == nil {
+	if _, err := ReadPageRows(pool, nil, tbl, 0, nil, nil); err == nil {
 		t.Error("missing table should fail")
 	}
 }

@@ -15,12 +15,16 @@ import (
 // disk-resident regime — the scan-sharing engines stream fewer bytes
 // per row shared.
 //
-// Layout:
+// Layout (v2, the current format):
 //
-//	u32 magic ("CPG1")
+//	u32 magic ("CPG2")
+//	u32 CRC32-C over everything after this field (see SealColPage)
 //	u32 rowCount
 //	u16 colCount
 //	per column: u8 tag (encoding | 0x80 null flag), u32 payloadLen, payload
+//
+// v1 pages (magic "CPG1", unchecksummed seeds) omit the checksum field;
+// the decoder reads both.
 //
 // A payload begins with a validity bitmap (ceil(n/8) bytes, bit set =
 // valid) when the null flag is set; null cells still carry a (zero)
@@ -54,10 +58,21 @@ func (e ColEnc) String() string {
 }
 
 const (
-	colPageMagic = 0x43504731 // "CPG1"
-	colHasNulls  = 0x80       // tag flag: payload starts with a validity bitmap
-	colEncMask   = 0x7f
+	colPageMagic   = 0x43504731 // "CPG1": legacy, unchecksummed
+	colPageMagicV2 = 0x43504732 // "CPG2": u32 CRC32-C follows the magic
+	colHasNulls    = 0x80       // tag flag: payload starts with a validity bitmap
+	colEncMask     = 0x7f
+
+	colPageHeaderV1 = 10 // magic + rowCount + colCount
+	colPageHeaderV2 = 14 // magic + crc + rowCount + colCount
 )
+
+// MaxColPageRows bounds the row count a columnar page may declare.
+// Even the densest legal encoding (width-0 bit-packing) cannot pack
+// more than 8 rows per payload byte of a 32 KB page, so anything above
+// this is malformed; the decoder rejects it before sizing column
+// allocations, keeping memory bounded on corrupt or fuzzed input.
+const MaxColPageRows = PageSize * 8
 
 // Dict is a sorted string dictionary shared by every page of a column
 // (and, when contents coincide, by several columns — interned
@@ -179,7 +194,8 @@ func EncodeColPage(dst []byte, n int, kinds []Kind, specs []ColCompression, cols
 	if len(kinds) != len(specs) || len(kinds) != len(cols) {
 		return nil, fmt.Errorf("pages: encode: %d kinds, %d specs, %d columns", len(kinds), len(specs), len(cols))
 	}
-	dst = binary.LittleEndian.AppendUint32(dst, colPageMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, colPageMagicV2)
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // CRC32-C, stamped by SealColPage after padding
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(kinds)))
 	for c := range cols {
@@ -320,19 +336,30 @@ func appendEncodedCol(dst []byte, n int, kind Kind, spec ColCompression, cd ColD
 // come back as Codes (decode-late); everything else as plain values.
 // specs must be the TableCompression the page was written with.
 func DecodeColPage(data []byte, kinds []Kind, specs []ColCompression) (int, []ColData, error) {
-	if len(data) < 10 {
+	if len(data) < colPageHeaderV1 {
 		return 0, nil, fmt.Errorf("pages: short columnar page header")
 	}
-	if binary.LittleEndian.Uint32(data) != colPageMagic {
+	hdr := colPageHeaderV1
+	switch binary.LittleEndian.Uint32(data) {
+	case colPageMagic:
+	case colPageMagicV2:
+		hdr = colPageHeaderV2
+		if len(data) < hdr {
+			return 0, nil, fmt.Errorf("pages: short columnar page header")
+		}
+	default:
 		return 0, nil, fmt.Errorf("pages: bad columnar page magic")
 	}
-	n := int(binary.LittleEndian.Uint32(data[4:]))
-	nc := int(binary.LittleEndian.Uint16(data[8:]))
+	n := int(binary.LittleEndian.Uint32(data[hdr-6:]))
+	nc := int(binary.LittleEndian.Uint16(data[hdr-2:]))
+	if n > MaxColPageRows {
+		return 0, nil, fmt.Errorf("pages: implausible row count %d", n)
+	}
 	if nc != len(kinds) || nc != len(specs) {
 		return 0, nil, fmt.Errorf("pages: page has %d columns, metadata has %d/%d", nc, len(kinds), len(specs))
 	}
 	cols := make([]ColData, nc)
-	off := 10
+	off := hdr
 	for c := 0; c < nc; c++ {
 		if off+5 > len(data) {
 			return 0, nil, fmt.Errorf("pages: truncated column %d header", c)

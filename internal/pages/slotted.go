@@ -11,24 +11,34 @@ import (
 // new data is periodically loaded"), but the slot directory keeps the
 // format general and self-describing on disk.
 //
-// Layout within the PageSize-byte buffer:
+// Layout within the PageSize-byte buffer (v2, the current format):
 //
 //	[0:2)   u16 slot count
-//	[2:4)   u16 free-space offset (start of unused region)
-//	[4:...) record bytes
+//	[2:4)   u16 free-space offset (start of unused region), high bit set
+//	[4:8)   u32 CRC32-C over the page minus this field (see Seal)
+//	[8:...) record bytes
 //	[...:end) slot directory: per slot, u16 offset + u16 length,
 //	          slot i at PageSize-4*(i+1)
+//
+// v1 pages (unchecksummed seeds) lack the checksum field: records start
+// at offset 4 and the free-offset high bit is clear. A v1 free offset
+// never exceeds PageSize-4, so the bit detects the version
+// unambiguously; both versions read through the same accessors.
 type SlottedPage struct {
 	buf []byte
 }
 
-const slotHeaderSize = 4 // bytes per header region
-const slotEntrySize = 4  // bytes per slot directory entry
+const slotHeaderSize = 4     // v1 header: slot count + free offset
+const slotHeaderV2Size = 8   // v2 header adds a u32 CRC32-C at [4:8)
+const slotEntrySize = 4      // bytes per slot directory entry
+const slottedV2Flag = 0x8000 // high bit of the free-offset field marks v2
 
-// NewSlottedPage returns an empty page backed by a fresh buffer.
+// NewSlottedPage returns an empty page backed by a fresh buffer, in the
+// checksummed v2 format.
 func NewSlottedPage() *SlottedPage {
 	p := &SlottedPage{buf: make([]byte, PageSize)}
-	p.setFreeOff(slotHeaderSize)
+	binary.LittleEndian.PutUint16(p.buf[2:4], slottedV2Flag)
+	p.setFreeOff(slotHeaderV2Size)
 	return p
 }
 
@@ -54,11 +64,28 @@ func (p *SlottedPage) setNumSlots(n int) {
 }
 
 func (p *SlottedPage) freeOff() int {
-	return int(binary.LittleEndian.Uint16(p.buf[2:4]))
+	return int(binary.LittleEndian.Uint16(p.buf[2:4]) &^ slottedV2Flag)
 }
 
 func (p *SlottedPage) setFreeOff(off int) {
-	binary.LittleEndian.PutUint16(p.buf[2:4], uint16(off))
+	v := uint16(off)
+	if p.v2() {
+		v |= slottedV2Flag
+	}
+	binary.LittleEndian.PutUint16(p.buf[2:4], v)
+}
+
+// v2 reports whether the page carries a checksum field.
+func (p *SlottedPage) v2() bool {
+	return binary.LittleEndian.Uint16(p.buf[2:4])&slottedV2Flag != 0
+}
+
+// headerSize returns the offset at which record bytes begin.
+func (p *SlottedPage) headerSize() int {
+	if p.v2() {
+		return slotHeaderV2Size
+	}
+	return slotHeaderSize
 }
 
 // FreeSpace returns the number of bytes available for one more record
@@ -88,14 +115,22 @@ func (p *SlottedPage) Append(rec []byte) (slot int, ok bool) {
 	return n, true
 }
 
-// Record returns the bytes of slot i (aliasing the page buffer).
+// Record returns the bytes of slot i (aliasing the page buffer). The
+// slot entry is bounds-checked against the page, so a corrupt or
+// malformed directory yields an error rather than a panic.
 func (p *SlottedPage) Record(i int) ([]byte, error) {
 	if i < 0 || i >= p.NumSlots() {
 		return nil, fmt.Errorf("pages: slot %d out of range [0,%d)", i, p.NumSlots())
 	}
 	entry := PageSize - slotEntrySize*(i+1)
+	if entry < p.headerSize() {
+		return nil, fmt.Errorf("pages: slot directory overflows the page at slot %d", i)
+	}
 	off := int(binary.LittleEndian.Uint16(p.buf[entry:]))
 	length := int(binary.LittleEndian.Uint16(p.buf[entry+2:]))
+	if off < slotHeaderSize || off+length > PageSize {
+		return nil, fmt.Errorf("pages: slot %d spans [%d,%d) outside the page", i, off, off+length)
+	}
 	return p.buf[off : off+length], nil
 }
 
@@ -146,8 +181,8 @@ func (p *SlottedPage) Rows(dst []Row) ([]Row, error) {
 	return dst, nil
 }
 
-// Reset empties the page for reuse.
+// Reset empties the page for reuse, preserving its format version.
 func (p *SlottedPage) Reset() {
 	p.setNumSlots(0)
-	p.setFreeOff(slotHeaderSize)
+	p.setFreeOff(p.headerSize())
 }

@@ -312,6 +312,12 @@ func DecodeRow(b []byte) (Row, int, error) {
 		return nil, 0, fmt.Errorf("pages: short row header")
 	}
 	n := int(binary.LittleEndian.Uint16(b))
+	// Each column occupies at least its kind byte, so a count the buffer
+	// cannot hold is rejected before allocating the row (corrupt or
+	// fuzzed headers must not drive allocation).
+	if n > len(b)-2 {
+		return nil, 0, fmt.Errorf("pages: row claims %d columns in %d bytes", n, len(b))
+	}
 	off := 2
 	r := make(Row, n)
 	for i := 0; i < n; i++ {

@@ -65,9 +65,6 @@ type Engine struct {
 	resMu   sync.Mutex
 	results map[string]*inflightResult
 
-	errMu sync.Mutex
-	err   error
-
 	// Submission lifecycle: SubmitCtx registers under subMu so Close
 	// can refuse new work and drain in-flight submissions before it
 	// waits on the packet/scanner groups (a submission past a bare
@@ -96,6 +93,63 @@ type joinHost struct {
 	out     OutPort
 	started bool // first output page emitted; WoP closed
 	sig     string
+	// up is the previous host in the hosting query's pipeline (nil when
+	// the probe side comes straight from the scan stage). Satellites of
+	// this host share the same upstream chain by construction — a step
+	// WoP covers the whole plan prefix.
+	up *joinHost
+
+	// err is a failure scoped to this packet (a recovered panic, a dim
+	// scan failure, a malformed page). It fails only the queries whose
+	// pipeline passes through this host — concurrent queries sharing the
+	// scan but not this sub-plan complete normally.
+	errMu sync.Mutex
+	err   error
+	// scanErrs are the error slots of the scan attachments feeding this
+	// packet directly (the fact scan for the chain's first host). They
+	// are per-scan, not engine-wide, so a bad page fails exactly the
+	// queries that were reading that scan.
+	scanErrs []*scanErr
+}
+
+// fail records the host's first packet-scoped error.
+func (h *joinHost) fail(err error) {
+	h.errMu.Lock()
+	if h.err == nil {
+		h.err = err
+	}
+	h.errMu.Unlock()
+}
+
+// addScanErr registers a scan attachment's error slot with the host.
+// Guarded by errMu because satellites may already be walking the chain.
+func (h *joinHost) addScanErr(se *scanErr) {
+	h.errMu.Lock()
+	h.scanErrs = append(h.scanErrs, se)
+	h.errMu.Unlock()
+}
+
+// chainErr returns the first error along the host chain ending here —
+// packet errors and the errors of the scans feeding each packet.
+// A nil receiver (no joins in the pipeline) reports nil.
+func (h *joinHost) chainErr() error {
+	for ; h != nil; h = h.up {
+		h.errMu.Lock()
+		err := h.err
+		if err == nil {
+			for _, se := range h.scanErrs {
+				if serr := se.Err(); serr != nil {
+					err = serr
+					break
+				}
+			}
+		}
+		h.errMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // New creates an engine.
@@ -119,7 +173,7 @@ func New(env *exec.Env, cfg Config) *Engine {
 	if e.pc.PageRows <= 0 {
 		e.pc.PageRows = comm.DefaultPageRows
 	}
-	e.scan = NewScanStage(env, e.pc, cfg.ShareScan, e.stats, e.fail)
+	e.scan = NewScanStage(env, e.pc, cfg.ShareScan, e.stats)
 	return e
 }
 
@@ -133,21 +187,6 @@ func (e *Engine) Env() *exec.Env { return e.env }
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
-
-func (e *Engine) fail(err error) {
-	e.errMu.Lock()
-	defer e.errMu.Unlock()
-	if e.err == nil {
-		e.err = err
-	}
-}
-
-// Err returns the first asynchronous error observed by any packet.
-func (e *Engine) Err() error {
-	e.errMu.Lock()
-	defer e.errMu.Unlock()
-	return e.err
-}
 
 // Submit executes one planned query to completion and returns its
 // output rows. It is safe to call concurrently from many goroutines;
@@ -219,7 +258,7 @@ func (e *Engine) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, err
 		}()
 	}
 
-	port, err := e.buildPipeline(q)
+	port, errFn, err := e.buildPipeline(q)
 	if err != nil {
 		if host != nil {
 			host.err = err
@@ -229,7 +268,7 @@ func (e *Engine) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, err
 	// The context watcher aborts the final reader; the Abort is safe
 	// concurrent with the drain below and a no-op once the drain ends.
 	stopWatch := context.AfterFunc(ctx, port.Abort)
-	rows := e.drainFinal(q, port)
+	rows, err := e.drainRecover(q, port)
 	stopWatch()
 	if cerr := ctx.Err(); cerr != nil {
 		if host != nil {
@@ -237,7 +276,13 @@ func (e *Engine) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, err
 		}
 		return nil, cerr
 	}
-	err = e.Err()
+	if err == nil {
+		// A failure in this query's pipeline — a panic recovered inside
+		// a join packet, a scan that died on a bad page — fails exactly
+		// the queries whose pipeline runs through that chain, never the
+		// unrelated queries sharing the engine.
+		err = errFn()
+	}
 	if host != nil {
 		host.rows, host.err = rows, err
 	}
@@ -245,6 +290,21 @@ func (e *Engine) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, err
 		return nil, err
 	}
 	return rows, nil
+}
+
+// drainRecover drains the pipeline's final port on the submitter's
+// goroutine, converting a panic in the per-query tail (predicate,
+// aggregation, sort kernels) into this query's error. The port is
+// cancelled on the panic path so held pages release and producers
+// unblock.
+func (e *Engine) drainRecover(q *plan.Query, port InPort) (rows []pages.Row, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = exec.RecoverPanic(e.env, r)
+			port.Cancel()
+		}
+	}()
+	return e.drainFinal(q, port), nil
 }
 
 // Close shuts the engine down gracefully: new submissions are refused
@@ -264,10 +324,13 @@ func (e *Engine) Close() {
 }
 
 // buildPipeline wires the packet graph for q bottom-up and returns the
-// port delivering joined (or raw, for single-table plans) pages.
-func (e *Engine) buildPipeline(q *plan.Query) (InPort, error) {
+// port delivering joined (or raw, for single-table plans) pages, plus
+// an error function reporting the first failure scoped to this query's
+// pipeline (its host chain and the scans feeding it).
+func (e *Engine) buildPipeline(q *plan.Query) (InPort, func() error, error) {
 	// Fact scan through the scan stage (shared circular scan when on).
-	probe := e.scan.Attach(q.Fact)
+	probe, factErr := e.scan.Attach(q.Fact)
+	var last *joinHost // tail of this query's host chain
 
 	for i := range q.Dims {
 		isFirst := i == 0
@@ -278,34 +341,47 @@ func (e *Engine) buildPipeline(q *plan.Query) (InPort, error) {
 			if h, ok := e.joinHosts[sig]; ok && !h.started {
 				// Step WoP open: attach as satellite. The redundant
 				// probe input is cancelled; this packet's plan prefix
-				// is evaluated once, by the host.
+				// is evaluated once, by the host (whose chain carries
+				// the host's own scan-error slots).
 				out := h.out.AddReader(true)
 				e.joinMu.Unlock()
 				probe.Cancel()
 				probe = out
+				last = h
 				e.stats.Get(fmt.Sprintf("join%d_shared", i)).Inc()
 				continue
 			}
 		}
 		// Host path: run the join.
-		h := &joinHost{out: e.pc.newOutPort(), sig: sig}
+		h := &joinHost{out: e.pc.newOutPort(), sig: sig, up: last}
 		if e.cfg.ShareJoin {
 			e.joinHosts[sig] = h
 		}
 		e.joinMu.Unlock()
 		e.stats.Get(fmt.Sprintf("join%d_run", i)).Inc()
 
-		dimIn := e.scan.Attach(e.env.Cat.MustGet(q.Dims[i].Table))
+		if isFirst {
+			// The chain's first host consumes the fact scan directly; a
+			// fact-scan failure must fail the chain, not end it silently
+			// short.
+			h.addScanErr(factErr)
+		}
+		dimIn, dimErr := e.scan.Attach(e.env.Cat.MustGet(q.Dims[i].Table))
 		myOut := h.out.AddReader(true)
 		var factPred expr.Expr
 		if isFirst {
 			factPred = q.FactPred
 		}
 		e.joinWG.Add(1)
-		go e.runJoin(q.Dims[i], factPred, probe, dimIn, h)
+		go e.runJoin(q.Dims[i], factPred, probe, dimIn, dimErr, h)
 		probe = myOut
+		last = h
 	}
-	return probe, nil
+	if last == nil {
+		// Single-table plan: the query drains the fact scan itself.
+		return probe, factErr.Err, nil
+	}
+	return probe, last.chainErr, nil
 }
 
 // abandoned reports whether every reader of a join host's output has
@@ -332,11 +408,27 @@ func (e *Engine) abandoned(h *joinHost) bool {
 // from the dimension scan, then probe the incoming batch stream with
 // the vectorized kernels, emitting joined column batches (one output
 // page per probed input page).
-func (e *Engine) runJoin(d plan.DimJoin, factPred expr.Expr, probe, dimIn InPort, h *joinHost) {
+func (e *Engine) runJoin(d plan.DimJoin, factPred expr.Expr, probe, dimIn InPort, dimErr *scanErr, h *joinHost) {
 	defer e.joinWG.Done()
 	defer func() {
 		h.out.Close()
 		e.unregister(h)
+	}()
+	var pend *vec.Batch
+	// Panic containment: a panicking kernel (the poisoned query's
+	// predicate, typically) fails this host — and with it every query
+	// whose pipeline passes through it — not the process or the other
+	// queries on the engine. The in-flight output batch is released and
+	// both input attachments cancel, detaching the packet from the
+	// shared scans; the Close defer above then ends the output stream so
+	// downstream readers unblock and read the host error.
+	defer func() {
+		if r := recover(); r != nil {
+			h.fail(exec.RecoverPanic(e.env, r))
+			pend.Release()
+			probe.Cancel()
+			dimIn.Cancel()
+		}
 	}()
 
 	// Build phase: consume the dimension scan, filter, insert.
@@ -357,7 +449,7 @@ func (e *Engine) runJoin(d plan.DimJoin, factPred expr.Expr, probe, dimIn InPort
 		}
 		in, err := pageBatch(p)
 		if err != nil {
-			e.fail(err)
+			h.fail(err)
 			continue
 		}
 		if in == nil {
@@ -373,6 +465,14 @@ func (e *Engine) runJoin(d plan.DimJoin, factPred expr.Expr, probe, dimIn InPort
 		bj.Add(in, sel)
 		e.env.Col.AddSince(metrics.Hashing, t1)
 	}
+	if err := dimErr.Err(); err != nil {
+		// The dimension scan died partway: the hash table is partial and
+		// probing it would emit silently wrong rows to every attached
+		// query. Fail the packet and tear down instead.
+		h.fail(err)
+		probe.Cancel()
+		return
+	}
 
 	// Probe phase. Joined rows are re-paged into ~PageRows-row batches
 	// (coalescing under-filled outputs of selective joins, splitting
@@ -385,7 +485,6 @@ func (e *Engine) runJoin(d plan.DimJoin, factPred expr.Expr, probe, dimIn InPort
 	factVec := expr.CompileVecPred(factPred)
 	var ps exec.ProbeScratch
 	pageRows := e.pc.PageRows
-	var pend *vec.Batch
 	var pendKinds []pages.Kind // joined layout, computed once
 	for {
 		if e.abandoned(h) {
@@ -399,7 +498,7 @@ func (e *Engine) runJoin(d plan.DimJoin, factPred expr.Expr, probe, dimIn InPort
 		}
 		in, err := pageBatch(p)
 		if err != nil {
-			e.fail(err)
+			h.fail(err)
 			continue
 		}
 		if in == nil {

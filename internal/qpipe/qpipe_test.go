@@ -218,12 +218,12 @@ func TestCircularScanShares(t *testing.T) {
 	e := New(env, Config{Comm: CommSPL, ShareScan: true, SPLMaxPages: 2})
 	tbl := env.Cat.MustGet(ssb.TableLineitem)
 
-	in1 := e.scan.Attach(tbl)
+	in1, _ := e.scan.Attach(tbl)
 	p1, ok := in1.Next()
 	if !ok {
 		t.Fatal("reader 1 got no page")
 	}
-	in2 := e.scan.Attach(tbl)
+	in2, _ := e.scan.Attach(tbl)
 	s := e.Stats()
 	if s["scan_started"] != 1 || s["scan_shared"] != 1 {
 		t.Fatalf("scan stats = %v, want 1 started + 1 shared", s)
@@ -372,7 +372,7 @@ func TestScanStageEmptyTable(t *testing.T) {
 	env := testEnv(t)
 	env.Cat.Add(&catalog.Table{Name: "empty", Schema: pages.NewSchema(pages.Column{Name: "x", Kind: pages.KindInt})})
 	e := New(env, Config{Comm: CommSPL, ShareScan: true})
-	in := e.scan.Attach(env.Cat.MustGet("empty"))
+	in, _ := e.scan.Attach(env.Cat.MustGet("empty"))
 	if _, ok := in.Next(); ok {
 		t.Error("empty table delivered a page")
 	}

@@ -26,7 +26,6 @@ type ScanStage struct {
 
 	mu       sync.Mutex
 	scanners map[string]*scanner
-	fail     func(error)
 
 	// wg tracks every goroutine the stage spawns (private scanners and
 	// their fetch workers, circular scanners and their prefetchers) so
@@ -34,54 +33,84 @@ type ScanStage struct {
 	wg sync.WaitGroup
 }
 
-// NewScanStage creates the stage. fail receives asynchronous scanner
-// errors (it may be called from scanner goroutines).
-func NewScanStage(env *exec.Env, pc portConfig, share bool, stats *metrics.CounterSet, fail func(error)) *ScanStage {
+// NewScanStage creates the stage.
+func NewScanStage(env *exec.Env, pc portConfig, share bool, stats *metrics.CounterSet) *ScanStage {
 	return &ScanStage{
 		env:      env,
 		pc:       pc,
 		share:    share,
 		stats:    stats,
 		scanners: make(map[string]*scanner),
-		fail:     fail,
 	}
+}
+
+// scanErr is one scan generation's failure slot, shared by exactly the
+// queries attached to that scan: a read error (or recovered panic)
+// fails them and nobody else — the engine-wide error of the earlier
+// design poisoned every in-flight query on the first bad page of any
+// table. First error wins.
+type scanErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (s *scanErr) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the scan's error, if any. Nil receivers report nil.
+func (s *scanErr) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
 }
 
 type scanner struct {
 	table *catalog.Table
 	out   OutPort
+	se    *scanErr
 	next  int // next page index to emit; guarded by stage.mu
 }
 
 // Attach returns an input port delivering the full content of table t
-// exactly once (as pages tagged with their table page index).
-func (st *ScanStage) Attach(t *catalog.Table) InPort {
+// exactly once (as pages tagged with their table page index), plus the
+// error slot for that scan: when the stream ends early on a read
+// failure, the slot carries the error to every attached query.
+func (st *ScanStage) Attach(t *catalog.Table) (InPort, *scanErr) {
 	if t.NumPages == 0 {
 		out := st.pc.newOutPort()
 		in := out.AddReader(false)
 		out.Close()
-		return in
+		return in, &scanErr{}
 	}
 	if !st.share {
 		out := st.pc.newOutPort()
 		in := out.AddReader(false)
+		se := &scanErr{}
 		st.wg.Add(1)
-		go st.privateScan(t, out)
-		return in
+		go st.privateScan(t, out, se)
+		return in, se
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if sc, ok := st.scanners[t.Name]; ok {
 		st.stats.Get("scan_shared").Inc()
-		return sc.out.AddReader(false)
+		return sc.out.AddReader(false), sc.se
 	}
-	sc := &scanner{table: t, out: st.pc.newOutPort()}
+	sc := &scanner{table: t, out: st.pc.newOutPort(), se: &scanErr{}}
 	in := sc.out.AddReader(false)
 	st.scanners[t.Name] = sc
 	st.stats.Get("scan_started").Inc()
 	st.wg.Add(1)
 	go st.circularScan(sc)
-	return in
+	return in, sc.se
 }
 
 // Close waits for every scanner goroutine to unwind. Scanners stop on
@@ -97,9 +126,17 @@ func (st *ScanStage) Close() {
 // stays strictly in page order, so downstream packets observe exactly
 // the sequential page stream — the scan saturates cores without
 // perturbing any order-sensitive consumer.
-func (st *ScanStage) privateScan(t *catalog.Table, out OutPort) {
+func (st *ScanStage) privateScan(t *catalog.Table, out OutPort, se *scanErr) {
 	defer st.wg.Done()
 	defer out.Close()
+	// Containment backstop for panics outside readPage (port plumbing):
+	// the scan's error slot records it and the Close defer above ends the
+	// stream so readers unblock.
+	defer func() {
+		if r := recover(); r != nil {
+			se.fail(exec.RecoverPanic(st.env, r))
+		}
+	}()
 	workers := st.env.Workers()
 	if workers > t.NumPages {
 		workers = t.NumPages
@@ -108,7 +145,7 @@ func (st *ScanStage) privateScan(t *catalog.Table, out OutPort) {
 		for i := 0; i < t.NumPages; i++ {
 			b, err := st.readPage(t, i)
 			if err != nil {
-				st.fail(err)
+				se.fail(err)
 				return
 			}
 			out.Emit(&comm.Page{Batch: b, Index: i})
@@ -163,7 +200,7 @@ func (st *ScanStage) privateScan(t *catalog.Table, out OutPort) {
 		f := <-slots[i%window]
 		<-sem
 		if f.err != nil {
-			st.fail(f.err)
+			se.fail(f.err)
 			return
 		}
 		out.Emit(&comm.Page{Batch: f.b, Index: i})
@@ -182,6 +219,20 @@ func (st *ScanStage) privateScan(t *catalog.Table, out OutPort) {
 // emission point, overlapping decode with delivery.
 func (st *ScanStage) circularScan(sc *scanner) {
 	defer st.wg.Done()
+	// Containment backstop for panics outside readPage: deregister and
+	// close like the read-error path so attached readers unblock instead
+	// of waiting on a dead scanner.
+	defer func() {
+		if r := recover(); r != nil {
+			st.mu.Lock()
+			if st.scanners[sc.table.Name] == sc {
+				delete(st.scanners, sc.table.Name)
+			}
+			st.mu.Unlock()
+			sc.out.Close()
+			sc.se.fail(exec.RecoverPanic(st.env, r))
+		}
+	}()
 	const lookahead = 4
 	var prefetch chan int
 	if st.env.Workers() > 1 && sc.table.NumPages > lookahead {
@@ -224,7 +275,7 @@ func (st *ScanStage) circularScan(sc *scanner) {
 			delete(st.scanners, sc.table.Name)
 			st.mu.Unlock()
 			sc.out.Close()
-			st.fail(err)
+			sc.se.fail(err)
 			return
 		}
 		sc.out.Emit(&comm.Page{Batch: b, Index: idx})
@@ -233,7 +284,15 @@ func (st *ScanStage) circularScan(sc *scanner) {
 
 // readPage fetches one page as a decoded column batch through the
 // environment's decoded-batch cache: concurrent scanners (and the
-// CJOIN preprocessor) share one decode per page.
-func (st *ScanStage) readPage(t *catalog.Table, idx int) (*vec.Batch, error) {
+// CJOIN preprocessor) share one decode per page. A panic during fetch
+// or decode converts to an error here, so every scanner goroutine's
+// existing error path (fail + close) handles it and no fetch-ahead
+// slot protocol is left waiting on a dead worker.
+func (st *ScanStage) readPage(t *catalog.Table, idx int) (b *vec.Batch, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			b, err = nil, exec.RecoverPanic(st.env, r)
+		}
+	}()
 	return exec.ReadTableBatch(st.env, t, idx)
 }

@@ -186,6 +186,14 @@ func (e *Engine) runBatch(batch []*request) {
 		wg.Add(1)
 		go func(r *request) {
 			defer wg.Done()
+			// Backstop: Execute already converts panics to per-query
+			// errors, but the batch-completion protocol (runBatches
+			// closes r.done) must survive even a panic outside it.
+			defer func() {
+				if rec := recover(); rec != nil {
+					r.err = exec.RecoverPanic(e.env, rec)
+				}
+			}()
 			e.stats.Get("solo").Inc()
 			r.rows, r.err = exec.Execute(e.env, r.q)
 		}(r)
@@ -203,6 +211,17 @@ func (e *Engine) runGroup(g []*request) {
 			r.err = err
 		}
 	}
+	// Panic containment: a panicking kernel anywhere in the shared
+	// evaluation (dimension build, probe, shared aggregation) fails the
+	// whole group — the group shares one evaluation, so its members
+	// share its fate — while other groups and solo queries in the batch
+	// complete normally. The scan callback below releases the batch in
+	// flight before the panic unwinds to here.
+	defer func() {
+		if r := recover(); r != nil {
+			fail(exec.RecoverPanic(e.env, r))
+		}
+	}()
 	if len(g) > 1 {
 		e.stats.Get("shared_group").Add(int64(len(g)))
 	}
@@ -254,6 +273,14 @@ func (e *Engine) runGroup(g []*request) {
 		bmView     []cjoin.Bitmap // reusable header view handed to AddBatch
 	)
 	err := exec.ScanTableBatches(e.env, lead.Fact, func(b *vec.Batch) error {
+		// Release the (possibly pooled, post-probe) batch in flight when
+		// a kernel panics, then let runGroup's recover convert it.
+		defer func() {
+			if r := recover(); r != nil {
+				b.Release()
+				panic(r)
+			}
+		}()
 		e.stats.Get("fact_batches").Inc()
 		sel := vec.FullSel(b.Len(), &selBuf)
 		need := w * b.Len()

@@ -28,6 +28,7 @@ type Pool struct {
 	news        atomic.Int64
 	localHits   atomic.Int64
 	outstanding atomic.Int64 // checkouts not yet fully released
+	liveBytes   atomic.Int64 // capacity bytes of outstanding checkouts
 }
 
 // NewPool returns an empty batch pool.
@@ -62,6 +63,32 @@ func (p *Pool) Outstanding() int64 {
 		return 0
 	}
 	return p.outstanding.Load()
+}
+
+// LiveBytes reports the column-storage capacity (in bytes) of every
+// batch currently checked out — the pool's memory-pressure gauge,
+// which core's admission control compares against its ceiling before
+// admitting a query. The figure is charged at checkout and released at
+// the final Release, so growth *after* checkout shows up the next time
+// that storage is recycled: approximate by design, exact at quiescence
+// (a drained system reads zero).
+func (p *Pool) LiveBytes() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.liveBytes.Load()
+}
+
+// capBytes sums the batch's column storage capacities: 8-byte ints and
+// floats, 16-byte string headers (payloads are shared and uncounted),
+// 4-byte dictionary codes.
+func (b *Batch) capBytes() int64 {
+	var n int64
+	for i := range b.Cols {
+		c := &b.Cols[i]
+		n += int64(cap(c.I))*8 + int64(cap(c.F))*8 + int64(cap(c.S))*16 + int64(cap(c.Codes))*4
+	}
+	return n
 }
 
 // ExportCounters publishes the pool's checkout statistics into a
@@ -126,6 +153,8 @@ func (l *Local) Get(kinds []pages.Kind, capacity int) *Batch {
 	b.pool = l.pool
 	b.home = l
 	b.refs.Store(1)
+	b.acct = b.capBytes()
+	l.pool.liveBytes.Add(b.acct)
 	return b
 }
 
@@ -182,6 +211,8 @@ func (p *Pool) Get(kinds []pages.Kind, capacity int) *Batch {
 	b.pool = p
 	b.home = nil
 	b.refs.Store(1)
+	b.acct = b.capBytes()
+	p.liveBytes.Add(b.acct)
 	return b
 }
 
@@ -206,6 +237,8 @@ func (p *Pool) Clone(src *Batch) *Batch {
 	out.home = nil
 	out.refs.Store(1)
 	out.AppendRange(src, 0, src.Len())
+	out.acct = out.capBytes()
+	p.liveBytes.Add(out.acct)
 	return out
 }
 
@@ -265,6 +298,8 @@ func (b *Batch) Release() {
 	b.pool = nil
 	b.home = nil
 	p.outstanding.Add(-1)
+	p.liveBytes.Add(-b.acct)
+	b.acct = 0
 	if poisonReleases.Load() {
 		b.poison()
 	}

@@ -207,6 +207,7 @@ type Batch struct {
 	pool *Pool        // owning pool; nil for unpooled batches
 	home *Local       // worker shard it was checked out of, if any
 	refs atomic.Int32 // outstanding references while pooled
+	acct int64        // capacity bytes charged to the pool's live gauge
 }
 
 // Kinds extracts the column kinds of a schema, the layout descriptor a

@@ -61,19 +61,58 @@
 // drain with a context, force-cancelling whatever is still running
 // when it expires.
 //
+// # Fault tolerance and overload
+//
+// Every page carries a CRC32-C checksum that is verified before
+// decode, on the batch path and the row path alike. A failed
+// verification is retried against the device a bounded number of
+// times with backoff (transient faults heal silently); a page that
+// stays corrupt is quarantined, and every query touching it — and
+// only those queries — fails with *ErrCorruptPage (match with
+// errors.As). A kernel panic during execution is contained to the
+// query that triggered it, surfacing as *PanicError while unrelated
+// queries sharing the same scan or join pipeline keep running.
+// Options.MaxInFlight, Options.OverloadQueue and Options.MaxPoolBytes
+// bound admission: over-limit submissions fail fast with
+// ErrOverloaded (or queue for a slot, with OverloadQueue), so an
+// overloaded engine sheds load instead of collapsing. The "chaos"
+// experiment drives this whole schedule — corruption, read faults, a
+// panicking kernel and an overload burst — across every mode and
+// verifies that concurrent healthy queries return bit-identical
+// results throughout.
+//
 // The internal packages hold the implementation; this package is the
 // supported surface, re-exporting the core types.
 package sharedq
 
 import (
 	"sharedq/internal/core"
+	"sharedq/internal/exec"
 	"sharedq/internal/harness"
+	"sharedq/internal/heap"
 	"sharedq/internal/qpipe"
 )
 
 // ErrClosed is returned by query submissions once the engine has begun
 // shutting down.
 var ErrClosed = core.ErrClosed
+
+// ErrOverloaded is returned by query submissions shed at admission: the
+// engine is at Options.MaxInFlight (without OverloadQueue) or the batch
+// pool's live memory exceeds Options.MaxPoolBytes. The query never
+// started; retrying later is safe.
+var ErrOverloaded = core.ErrOverloaded
+
+// ErrCorruptPage identifies a quarantined page that failed checksum
+// verification after exhausting its read retries. Queries touching the
+// page fail with it (match with errors.As); all other queries are
+// unaffected.
+type ErrCorruptPage = heap.ErrCorruptPage
+
+// PanicError wraps a panic recovered during one query's execution. The
+// panicking query fails with it; queries sharing the same pipeline
+// keep running.
+type PanicError = exec.PanicError
 
 // Engine configuration modes (§5.1 of the paper).
 const (
