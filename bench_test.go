@@ -27,9 +27,11 @@ import (
 	"sharedq/internal/heap"
 	"sharedq/internal/pages"
 	"sharedq/internal/plan"
+	"sharedq/internal/serve"
 	"sharedq/internal/shareddb"
 	"sharedq/internal/ssb"
 	"sharedq/internal/vec"
+	"sharedq/internal/wire"
 )
 
 // benchParams are the reduced scales used for `go test -bench`.
@@ -791,5 +793,69 @@ func BenchmarkChecksumVerify(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkWireFrame measures encoding one complete result exchange —
+// schema, a 256-row column-major batch, done — into a reused buffer.
+// This is the server's per-frame hot path: it runs once per batch on
+// every streamed result, so CI gates it at zero allocations.
+func BenchmarkWireFrame(b *testing.B) {
+	schema := pages.NewSchema(
+		pages.Column{Name: "lo_orderkey", Kind: pages.KindInt},
+		pages.Column{Name: "lo_revenue", Kind: pages.KindInt},
+		pages.Column{Name: "c_nation", Kind: pages.KindString},
+	)
+	rows := make([]pages.Row, 256)
+	for i := range rows {
+		rows[i] = pages.Row{pages.Int(int64(i)), pages.Int(int64(i) * 37), pages.Str("INDONESIA")}
+	}
+	var buf []byte
+	buf = wire.AppendSchema(buf[:0], schema)
+	buf = wire.AppendBatch(buf, schema, rows)
+	buf = wire.AppendDone(buf, uint64(len(rows)))
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = wire.AppendSchema(buf[:0], schema)
+		buf = wire.AppendBatch(buf, schema, rows)
+		buf = wire.AppendDone(buf, uint64(len(rows)))
+	}
+}
+
+// BenchmarkServeThroughput measures one full network round trip on a
+// persistent frame-protocol connection: query submission, admission,
+// streamed execution and result decode — the serving stack end to end.
+func BenchmarkServeThroughput(b *testing.B) {
+	sys, err := sharedq.NewSystem(sharedq.SystemConfig{SF: 0.002, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sharedq.NewEngine(sys, sharedq.Options{Mode: sharedq.CJOINSP})
+	defer eng.Close()
+	srv := serve.New(serve.Config{Engine: eng, Addr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := serve.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	const q = `SELECT c_nation, SUM(lo_revenue) AS rev FROM lineorder, customer
+		WHERE lo_custkey = c_custkey AND c_region = 'ASIA' GROUP BY c_nation`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := cl.Query("bench", q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for rs.Next() {
+		}
+		if rs.Err() != nil {
+			b.Fatal(rs.Err())
+		}
 	}
 }

@@ -1,0 +1,123 @@
+// Command sharedqd serves a sharedq engine over the network: the
+// length-prefixed frame protocol on -addr (see internal/wire) and an
+// HTTP/JSON endpoint plus Prometheus-style /metrics on -http.
+//
+//	sharedqd -sf 0.01 -mode cjoin-sp -addr :4045 -http :4046
+//
+// SIGTERM/SIGINT triggers a graceful drain: stop accepting, let
+// in-flight queries finish for -drain, then cancel the remainder and
+// exit. A second signal forces immediate shutdown.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"sharedq"
+	"sharedq/internal/admit"
+	"sharedq/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:4045", "frame-protocol listen address")
+		httpAddr = flag.String("http", "127.0.0.1:4046", "HTTP/JSON + /metrics listen address")
+		sf       = flag.Float64("sf", 0.01, "SSB scale factor")
+		seed     = flag.Int64("seed", 1, "data generation seed")
+		modeName = flag.String("mode", "cjoin-sp", "engine mode (baseline, qpipe, qpipe-cs, qpipe-sp, cjoin, cjoin-sp)")
+		par      = flag.Int("parallelism", 0, "intra-query parallelism (0 = all cores)")
+		timeout  = flag.Duration("query-timeout", 30*time.Second, "per-query deadline (0 = none)")
+		slots    = flag.Int("slots", 0, "admission slots (0 = 2x cores)")
+		maxQueue = flag.Int("max-queue", 64, "per-tenant admission queue depth")
+		maxWait  = flag.Duration("max-wait", 0, "shed when predicted start delay exceeds this (0 = off)")
+		align    = flag.Bool("align-passes", true, "batch admissions at CJOIN circular-pass boundaries")
+		weights  = flag.String("tenant-weights", "", "comma list of tenant=weight admission weights")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain allowance")
+	)
+	flag.Parse()
+
+	mode, err := sharedq.ParseMode(*modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sharedqd:", err)
+		os.Exit(2)
+	}
+	wmap, err := parseWeights(*weights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sharedqd:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("sharedqd: loading SSB at SF %g...\n", *sf)
+	sys, err := sharedq.NewSystem(sharedq.SystemConfig{SF: *sf, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sharedqd:", err)
+		os.Exit(1)
+	}
+	eng := sharedq.NewEngine(sys, sharedq.Options{
+		Mode:           mode,
+		Parallelism:    *par,
+		DefaultTimeout: *timeout,
+	})
+	defer eng.Close()
+
+	srv := serve.New(serve.Config{
+		Engine:   eng,
+		Addr:     *addr,
+		HTTPAddr: *httpAddr,
+		Admit: admit.Config{
+			Slots:       *slots,
+			MaxQueue:    *maxQueue,
+			MaxWait:     *maxWait,
+			AlignPasses: *align,
+			Weights:     wmap,
+		},
+	})
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "sharedqd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sharedqd: mode %s, frames on %s, http on %s\n", mode, srv.Addr(), srv.HTTPAddr())
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	fmt.Printf("sharedqd: %v, draining for up to %v...\n", got, *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	go func() {
+		<-sig // second signal: skip the drain
+		cancel()
+	}()
+	err = srv.Shutdown(ctx)
+	cancel()
+	if err != nil {
+		fmt.Println("sharedqd: drain expired, queries were cancelled")
+	} else {
+		fmt.Println("sharedqd: clean drain")
+	}
+}
+
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad tenant weight %q (want name=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad tenant weight %q", part)
+		}
+		out[name] = w
+	}
+	return out, nil
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"sharedq/internal/serve"
+)
+
+// TestDaemonLifecycle builds the real sharedqd binary, drives it with a
+// 200-connection burst over the frame protocol, then sends SIGTERM
+// while a streamed query is mid-flight and verifies the graceful
+// drain: the in-flight stream completes, new connections are refused,
+// and the process exits 0 reporting a clean drain.
+func TestDaemonLifecycle(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "sharedqd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-http", "127.0.0.1:0",
+		"-sf", "0.002", "-seed", "1", "-mode", "cjoin-sp",
+		"-slots", "8", "-max-queue", "64", "-drain", "15s",
+		"-tenant-weights", "gold=4,free=1",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	var output strings.Builder
+	var outMu sync.Mutex
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			outMu.Lock()
+			output.WriteString(sc.Text())
+			output.WriteByte('\n')
+			outMu.Unlock()
+			select {
+			case lines <- sc.Text():
+			default:
+			}
+		}
+		done <- cmd.Wait()
+	}()
+	defer cmd.Process.Kill() // no-op if the drain already exited it
+
+	// The daemon prints its resolved ephemeral addresses on startup.
+	addrRe := regexp.MustCompile(`frames on (\S+), http on (\S+)`)
+	var addr string
+	deadline := time.After(60 * time.Second)
+	for addr == "" {
+		select {
+		case line := <-lines:
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				addr = m[1]
+			}
+		case err := <-done:
+			t.Fatalf("daemon exited before listening: %v\n%s", err, readAll(&outMu, &output))
+		case <-deadline:
+			t.Fatalf("daemon never reported its address\n%s", readAll(&outMu, &output))
+		}
+	}
+
+	const q = `SELECT SUM(lo_revenue) AS rev FROM lineorder, customer
+		WHERE lo_custkey = c_custkey AND c_region = 'ASIA'`
+
+	// 200-connection burst, 16 at a time: every request must end in a
+	// result or a typed shed verdict.
+	var served, shed, failed atomic.Int64
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 16)
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			tenant := "gold"
+			if i%2 == 1 {
+				tenant = "free"
+			}
+			cl, err := serve.Dial(addr)
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			defer cl.Close()
+			rs, err := cl.Query(tenant, q)
+			if err != nil {
+				if re, ok := err.(*serve.RemoteError); ok && re.Backpressure() {
+					shed.Add(1)
+				} else {
+					failed.Add(1)
+				}
+				return
+			}
+			for rs.Next() {
+			}
+			if rs.Err() != nil {
+				failed.Add(1)
+				return
+			}
+			served.Add(1)
+		}(i)
+	}
+	wg.Wait()
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("burst: %d of 200 connections failed with untyped errors (served %d, shed %d)",
+			n, served.Load(), shed.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("burst: no connection was served")
+	}
+
+	// Open a streamed projection and stop mid-stream, then SIGTERM: the
+	// drain must let this stream finish before the process exits.
+	cl, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rs, err := cl.Query("gold", "SELECT lo_orderkey, lo_revenue FROM lineorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Next() {
+		t.Fatalf("no first row: %v", rs.Err())
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// The listener closes promptly: new connections stop being served.
+	refusedBy := time.Now().Add(10 * time.Second)
+	for time.Now().Before(refusedBy) {
+		c2, err := serve.Dial(addr)
+		if err != nil {
+			break
+		}
+		if _, err := c2.Query("gold", q); err != nil {
+			c2.Close()
+			break
+		}
+		c2.Close()
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Meanwhile our in-flight stream still completes.
+	n := uint64(1)
+	for rs.Next() {
+		n++
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatalf("in-flight stream broken by drain after %d rows: %v", n, err)
+	}
+	if n != rs.Count() {
+		t.Fatalf("streamed %d rows, server reported %d", n, rs.Count())
+	}
+	cl.Close()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\n%s", err, readAll(&outMu, &output))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM\n%s", readAll(&outMu, &output))
+	}
+	if out := readAll(&outMu, &output); !strings.Contains(out, "clean drain") {
+		t.Fatalf("daemon did not report a clean drain:\n%s", out)
+	}
+}
+
+func readAll(mu *sync.Mutex, b *strings.Builder) string {
+	mu.Lock()
+	defer mu.Unlock()
+	return b.String()
+}
+
+func TestParseWeights(t *testing.T) {
+	got, err := parseWeights("gold=4, free=1")
+	if err != nil || got["gold"] != 4 || got["free"] != 1 {
+		t.Fatalf("parseWeights = %v, %v", got, err)
+	}
+	if m, err := parseWeights(""); err != nil || m != nil {
+		t.Fatalf("empty = %v, %v", m, err)
+	}
+	for _, bad := range []string{"gold", "gold=0", "gold=x", "=3"} {
+		if _, err := parseWeights(bad); err == nil {
+			t.Errorf("parseWeights(%q) should fail", bad)
+		}
+	}
+}

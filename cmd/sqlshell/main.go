@@ -1,6 +1,8 @@
 // Command sqlshell is an interactive SQL shell over the engine.
 // Statements are read line by line (end each with a newline); the
-// engine configuration and scale are flags.
+// engine configuration and scale are flags. Results stream: rows print
+// as the pipeline produces them, and Ctrl-C cancels the running query
+// (detaching it from shared scans) without leaving the shell.
 //
 //	sqlshell -sf 0.01 -mode cjoin-sp
 //	> SELECT c_nation, SUM(lo_revenue) AS rev FROM lineorder, customer WHERE lo_custkey = c_custkey GROUP BY c_nation ORDER BY rev DESC LIMIT 5
@@ -8,14 +10,16 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"sharedq"
-	"sharedq/internal/exec"
 )
 
 func main() {
@@ -51,19 +55,55 @@ func main() {
 		case sql == "\\q" || sql == "exit" || sql == "quit":
 			return
 		case sql == "\\stats":
-			for k, v := range eng.Stats() {
+			st := eng.Stats()
+			for k, v := range st.Counters {
 				fmt.Printf("  %-20s %d\n", k, v)
 			}
+			fmt.Printf("  %-20s %d\n", "in_flight", st.InFlight)
+			fmt.Printf("  %-20s %d\n", "pool_outstanding", st.PoolOutstanding)
+			fmt.Printf("  %-20s %d\n", "pool_live_bytes", st.PoolLiveBytes)
 		default:
-			t0 := time.Now()
-			rows, schema, err := eng.Query(sql)
-			if err != nil {
-				fmt.Println("error:", err)
-			} else {
-				fmt.Print(exec.FormatRows(schema, rows))
-				fmt.Printf("(%d rows in %s)\n", len(rows), time.Since(t0).Round(time.Microsecond))
-			}
+			runQuery(eng, sql)
 		}
 		fmt.Print("> ")
+	}
+}
+
+// runQuery streams one statement, printing rows as they arrive.
+// Ctrl-C cancels the query's context — the cursor's Close path
+// detaches it from shared scans and releases its pooled batches — and
+// returns to the prompt instead of killing the shell.
+func runQuery(eng *sharedq.Engine, sql string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	t0 := time.Now()
+	rows, err := eng.Stream(ctx, sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer rows.Close()
+	schema := rows.Schema()
+	names := make([]string, len(schema.Columns))
+	for i, c := range schema.Columns {
+		names[i] = c.Name
+	}
+	fmt.Println(strings.Join(names, "\t"))
+	n := 0
+	for rows.Next() {
+		row := rows.Row()
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+		n++
+	}
+	if err := rows.Err(); errors.Is(err, context.Canceled) {
+		fmt.Printf("(interrupted after %d rows in %s)\n", n, time.Since(t0).Round(time.Microsecond))
+	} else if err != nil {
+		fmt.Println("error:", err)
+	} else {
+		fmt.Printf("(%d rows in %s)\n", n, time.Since(t0).Round(time.Microsecond))
 	}
 }

@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"sharedq"
-	"sharedq/internal/exec"
 )
 
 func main() {
@@ -30,13 +29,28 @@ LIMIT 5`
 
 	for _, mode := range []sharedq.Mode{sharedq.Baseline, sharedq.CJOINSP} {
 		eng := sharedq.NewEngine(sys, sharedq.Options{Mode: mode})
-		rows, schema, err := eng.Query(q)
+		// Stream returns a cursor: rows arrive as the pipeline produces
+		// them. Always Close — closing mid-stream cancels the query and
+		// releases everything it held.
+		rows, err := eng.Stream(context.Background(), q)
 		if err != nil {
 			log.Fatalf("%s: %v", mode, err)
 		}
-		fmt.Printf("--- %s ---\n%s", mode, exec.FormatRows(schema, rows))
-		if stats := eng.Stats(); len(stats) > 0 {
-			fmt.Printf("stats: %v\n", stats)
+		fmt.Printf("--- %s ---\n", mode)
+		for rows.Next() {
+			var nation string
+			var rev, orders int64
+			if err := rows.Scan(&nation, &rev, &orders); err != nil {
+				log.Fatalf("%s: %v", mode, err)
+			}
+			fmt.Printf("%-15s %14d %8d\n", nation, rev, orders)
+		}
+		if err := rows.Err(); err != nil {
+			log.Fatalf("%s: %v", mode, err)
+		}
+		rows.Close()
+		if stats := eng.Stats(); len(stats.Counters) > 0 {
+			fmt.Printf("stats: %v\n", stats.Counters)
 		}
 		eng.Close()
 		fmt.Println()

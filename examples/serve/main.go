@@ -1,0 +1,113 @@
+// Serving quickstart: stand up a sharedqd-style server in-process —
+// frame protocol, HTTP/JSON, /metrics, and a weighted admission
+// controller — then act as its clients: stream a query over TCP,
+// absorb a typed backpressure verdict, query over HTTP, scrape
+// metrics, and drain gracefully.
+//
+// The standalone daemon is `go run ./cmd/sharedqd`; this example wires
+// the same pieces as a library so the lifecycle is visible.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"sharedq"
+	"sharedq/internal/serve"
+)
+
+func main() {
+	sys, err := sharedq.NewSystem(sharedq.SystemConfig{SF: 0.005, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := sharedq.NewEngine(sys, sharedq.Options{Mode: sharedq.CJOINSP})
+	defer eng.Close()
+
+	// The admission controller fronts the engine: weighted fair queueing
+	// across tenants, predictive shedding with retry-after, and (in the
+	// CJOIN modes) admission batching at circular-pass boundaries.
+	srv := serve.New(serve.Config{
+		Engine:   eng,
+		Addr:     "127.0.0.1:0", // ephemeral ports for the example
+		HTTPAddr: "127.0.0.1:0",
+		Admit: sharedq.AdmitConfig{
+			Slots:       4,
+			MaxQueue:    8,
+			AlignPasses: true,
+			Weights:     map[string]int{"gold": 4, "free": 1},
+		},
+	})
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving frames on %s, http on %s\n\n", srv.Addr(), srv.HTTPAddr())
+
+	const q = `SELECT c_nation, SUM(lo_revenue) AS rev FROM lineorder, customer
+		WHERE lo_custkey = c_custkey AND c_region = 'ASIA'
+		GROUP BY c_nation ORDER BY rev DESC LIMIT 3`
+
+	// A frame-protocol client: the server streams column batches as the
+	// engine's cursor produces them; disconnecting mid-stream cancels
+	// the query server-side.
+	cl, err := serve.Dial(srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := cl.Query("gold", q)
+	if err != nil {
+		if re, ok := err.(*serve.RemoteError); ok && re.Backpressure() {
+			// A shed query never started; the verdict says when to retry.
+			log.Fatalf("shed, retry in %v", re.RetryAfter)
+		}
+		log.Fatal(err)
+	}
+	fmt.Println("--- streamed over TCP (tenant gold) ---")
+	for rs.Next() {
+		fmt.Println(rs.Row())
+	}
+	if rs.Err() != nil {
+		log.Fatal(rs.Err())
+	}
+	fmt.Printf("(%d rows)\n\n", rs.Count())
+	cl.Close()
+
+	// The HTTP/JSON convenience endpoint, same lifecycle underneath.
+	resp, err := http.Post("http://"+srv.HTTPAddr()+"/query", "application/json",
+		strings.NewReader(`{"tenant":"free","sql":"SELECT COUNT(*) AS n FROM lineorder"}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("--- HTTP (tenant free, status %d) ---\n%s\n\n", resp.StatusCode, body)
+
+	// Prometheus-style metrics: engine counters, pool health, admission
+	// and per-tenant counters.
+	resp, err = http.Get("http://" + srv.HTTPAddr() + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	scrape, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println("--- /metrics (excerpt) ---")
+	for _, line := range strings.Split(string(scrape), "\n") {
+		if strings.Contains(line, "tenant") || strings.Contains(line, "serve_queries") ||
+			strings.Contains(line, "pass") {
+			fmt.Println(line)
+		}
+	}
+
+	// Graceful drain: stop accepting, let in-flight queries finish.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nclean drain")
+}

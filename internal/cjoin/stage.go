@@ -164,9 +164,23 @@ type Stage struct {
 	scanWG sync.WaitGroup // the partitioned scanners; closes preQ on drain
 
 	admissionNanos atomic.Int64
+	passFn         atomic.Value // func(), observer of circular-pass wraps
 	errMu          sync.Mutex
 	err            error
 }
+
+// OnPass registers fn to run each time a partitioned scanner wraps its
+// circular page range — a pass boundary, the moment CJOIN admission
+// windows naturally open and close. An admission controller uses it to
+// align admission batches to pass boundaries. fn runs on a scanner
+// goroutine outside the stage lock and must be fast and non-blocking;
+// passing nil unregisters. Each wrap also bumps the cjoin_pass counter.
+func (st *Stage) OnPass(fn func()) {
+	st.passFn.Store(passHook{fn})
+}
+
+// passHook wraps the callback so atomic.Value tolerates storing nil.
+type passHook struct{ fn func() }
 
 // scanPart is one partitioned scanner's share of the fact table: a
 // contiguous page range cycled circularly, plus the bits of the queries
@@ -309,19 +323,35 @@ func (st *Stage) Submit(q *plan.Query) ([]pages.Row, error) {
 // ctx.Err(). An SP satellite whose host is cancelled mid-stream
 // resubmits transparently (its truncated stream is discarded).
 func (st *Stage) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, error) {
+	var out []pages.Row
+	if err := st.SubmitStreamCtx(ctx, q, exec.CollectSink(&out)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SubmitStreamCtx is SubmitCtx with incremental delivery: the query's
+// output batches are projected and handed to emit as the distributor
+// produces them (aggregates and sorted queries emit one final chunk,
+// see qpipe.DrainStream). An SP satellite cannot stream — it must see
+// its host's complete, untruncated result before any row may be
+// surfaced (an abandoned host forces a resubmit) — so satellites
+// materialize first and then emit. An error return may follow chunks
+// already emitted; the stream is complete only on a nil return.
+func (st *Stage) SubmitStreamCtx(ctx context.Context, q *plan.Query, emit exec.RowSink) error {
 	if !q.IsStarJoinable() {
-		return nil, fmt.Errorf("cjoin: %q is not a star query", q.SQL)
+		return fmt.Errorf("cjoin: %q is not a star query", q.SQL)
 	}
 	sig := q.JoinPrefixSignature(len(q.Dims) - 1)
 
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		st.mu.Lock()
 		if st.closed {
 			st.mu.Unlock()
-			return nil, ErrClosed
+			return ErrClosed
 		}
 		if st.cfg.SP {
 			if h, ok := st.hosts[sig]; ok {
@@ -338,10 +368,10 @@ func (st *Stage) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, err
 					rows, derr := drainContained(st.env, q, in)
 					stopWatch()
 					if err := ctx.Err(); err != nil {
-						return nil, err
+						return err
 					}
 					if derr != nil {
-						return nil, derr
+						return derr
 					}
 					if h.cancelled.Load() {
 						// The host was abandoned and its output stream is
@@ -350,7 +380,10 @@ func (st *Stage) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, err
 						continue
 					}
 					st.stats.Get("cjoin_shared").Inc()
-					return rows, st.Err()
+					if err := st.Err(); err != nil {
+						return err
+					}
+					return emit(rows)
 				}
 				h.wopMu.Unlock()
 			}
@@ -374,11 +407,11 @@ func (st *Stage) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, err
 			st.retract(qq)
 			qq.myIn.Abort()
 		})
-		rows, derr := drainContained(st.env, q, qq.myIn)
+		derr := drainStreamContained(st.env, q, qq.myIn, emit)
 		stopWatch()
 		st.unregister(qq)
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		if derr == nil {
 			derr = qq.Err()
@@ -387,9 +420,9 @@ func (st *Stage) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, err
 			// The query must not leave its admission window behind: a
 			// panicked drain no longer consumes the output stream.
 			st.retract(qq)
-			return nil, derr
+			return derr
 		}
-		return rows, st.Err()
+		return st.Err()
 	}
 }
 
@@ -413,6 +446,21 @@ func drainContained(env *exec.Env, q *plan.Query, in qpipe.InPort) (rows []pages
 		}
 	}()
 	return qpipe.Drain(env, q, in), nil
+}
+
+// drainStreamContained is drainContained with incremental delivery via
+// qpipe.DrainStream: plain projections emit one chunk per output page
+// while the pipeline still runs; blocking tails (aggregation, sort)
+// emit a single final chunk. Panic containment and the cancel-on-panic
+// port discipline are identical to drainContained.
+func drainStreamContained(env *exec.Env, q *plan.Query, in qpipe.InPort, emit exec.RowSink) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = exec.RecoverPanic(env, r)
+			in.Cancel()
+		}
+	}()
+	return qpipe.DrainStream(env, q, in, emit)
 }
 
 // retract withdraws a cancelled query from the global plan: still-
@@ -535,8 +583,11 @@ func (st *Stage) scanner(pi int) {
 			continue
 		}
 		idx := p.pos
+		wrapped := false
 		if p.pos++; p.pos == p.hi {
 			p.pos = p.lo
+			wrapped = true
+			st.stats.Get("cjoin_pass").Inc()
 		}
 		mask := p.mask.Clone()
 		for _, qq := range open {
@@ -545,6 +596,11 @@ func (st *Stage) scanner(pi int) {
 		}
 		st.inflight.Add(1)
 		st.mu.Unlock()
+		if wrapped {
+			if h, ok := st.passFn.Load().(passHook); ok && h.fn != nil {
+				h.fn()
+			}
+		}
 		st.finishQueries(completed)
 
 		bat, err := st.readFactBatch(fact, idx)

@@ -156,7 +156,7 @@ func TestEngineStats(t *testing.T) {
 	if _, _, err := e.Query(ssb.Q32(rng)); err != nil {
 		t.Fatal(err)
 	}
-	s := e.Stats()
+	s := e.Counters()
 	if s["cjoin_admitted"] != 1 {
 		t.Errorf("stats = %v", s)
 	}

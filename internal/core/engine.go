@@ -390,7 +390,10 @@ func (e *Engine) Submit(q *plan.Query) ([]pages.Row, error) {
 	return e.SubmitCtx(context.Background(), q)
 }
 
-// SubmitCtx executes a planned query under ctx (see QueryCtx).
+// SubmitCtx executes a planned query under ctx (see QueryCtx). It is a
+// collect-all wrapper over the streaming core: the engine's native
+// result delivery is incremental (see StreamSubmit), and SubmitCtx
+// gathers the chunks into one slice.
 func (e *Engine) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, error) {
 	if err := e.begin(); err != nil {
 		return nil, err
@@ -402,19 +405,31 @@ func (e *Engine) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, err
 		return nil, err
 	}
 	defer e.release()
+	var out []pages.Row
+	if err := e.submitStream(qctx, q, exec.CollectSink(&out)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// submitStream dispatches an admitted query to its mode's streaming
+// entry point. The caller owns lifecycle (begin/end), context and
+// admission; emit receives result chunks with slice ownership
+// transferred (see exec.RowSink).
+func (e *Engine) submitStream(qctx context.Context, q *plan.Query, emit exec.RowSink) error {
 	switch {
 	case e.opts.Mode == Baseline:
-		return exec.ExecuteCtx(qctx, e.env, q)
+		return exec.ExecuteStreamCtx(qctx, e.env, q, emit)
 	case e.cj != nil && q.IsStarJoinable():
-		return e.cj.SubmitCtx(qctx, q)
+		return e.cj.SubmitStreamCtx(qctx, q, emit)
 	default:
-		return e.qp.SubmitCtx(qctx, q)
+		return e.qp.SubmitStreamCtx(qctx, q, emit)
 	}
 }
 
-// Stats merges the sharing counters of the engine's stages: QPipe's
+// Counters merges the sharing counters of the engine's stages: QPipe's
 // scan/join counters and CJOIN's admission/sharing counters.
-func (e *Engine) Stats() map[string]int64 {
+func (e *Engine) Counters() map[string]int64 {
 	out := make(map[string]int64)
 	if e.qp != nil {
 		for k, v := range e.qp.Stats() {
@@ -428,6 +443,64 @@ func (e *Engine) Stats() map[string]int64 {
 		out["cjoin_admission_ms"] = e.cj.AdmissionTime().Milliseconds()
 	}
 	return out
+}
+
+// Stats is a point-in-time snapshot of an engine's observable state:
+// the stage sharing counters plus the robustness counters, the batch
+// pool's health, and the number of queries currently executing. It is
+// the supported monitoring surface — a server exports exactly this.
+type Stats struct {
+	// Counters holds the sharing and robustness counters by name
+	// (scan_attach, result_shared, cjoin_admitted, cjoin_pass,
+	// admission_shed, panic_recovered, ...).
+	Counters map[string]int64
+	// PoolOutstanding is the number of pooled column batches currently
+	// checked out; it returns to the baseline when no queries run, so a
+	// nonzero idle value indicates a leak.
+	PoolOutstanding int64
+	// PoolLiveBytes is the live column storage held by checked-out
+	// batches — what Options.MaxPoolBytes sheds against.
+	PoolLiveBytes int64
+	// InFlight is the number of queries admitted and not yet finished.
+	InFlight int
+}
+
+// Stats snapshots the engine's counters, pool health and in-flight
+// query count. Safe to call concurrently with running queries; the
+// fields are individually consistent, not a single atomic cut.
+func (e *Engine) Stats() Stats {
+	c := e.Counters()
+	for k, v := range e.sys.Robust.Snapshot() {
+		c[k] = v
+	}
+	return Stats{
+		Counters:        c,
+		PoolOutstanding: e.env.Recycle.Outstanding(),
+		PoolLiveBytes:   e.env.Recycle.LiveBytes(),
+		InFlight:        e.InFlight(),
+	}
+}
+
+// InFlight returns the number of queries currently registered with the
+// engine (admitted or queued for admission).
+func (e *Engine) InFlight() int {
+	e.lcMu.Lock()
+	n := e.inflight
+	e.lcMu.Unlock()
+	return n
+}
+
+// OnCircularPass registers fn to run at every circular-scan pass
+// boundary of the CJOIN stage (see cjoin.Stage.OnPass). It is a no-op
+// in modes without a CJOIN stage and returns false there; an admission
+// controller uses the return to decide whether pass alignment is
+// available at all.
+func (e *Engine) OnCircularPass(fn func()) bool {
+	if e.cj == nil {
+		return false
+	}
+	e.cj.OnPass(fn)
+	return true
 }
 
 // CJOINAdmissionTime returns the cumulative CJOIN admission time (zero

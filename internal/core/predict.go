@@ -54,6 +54,16 @@ func PredictPushSP(c PushSPCost) bool {
 	return share < noShare
 }
 
+// Marginal returns the predicted marginal cost of attaching one more
+// consumer to the shared pivot: the host's work is already paid, so
+// the increment is one more forwarding step — the k·F term's
+// derivative. An admission controller weighs this against the cost of
+// running the newcomer stand-alone (PivotWork on a free core, or a
+// whole extra round past saturation).
+func (c PushSPCost) Marginal() time.Duration {
+	return c.ForwardPerConsumer
+}
+
 // Advice is a Table 1 recommendation.
 type Advice struct {
 	// Engine configuration to prefer.
@@ -132,4 +142,47 @@ func PredictGQP(c GQPCost) bool {
 	qc := time.Duration(rounds) * (c.FactScan + c.PerQueryWork)
 	gqp := c.FactScan + c.SharedWork + time.Duration(c.Queries)*c.AdmissionPerQuery
 	return gqp < qc
+}
+
+// Marginal returns the predicted cost of admitting one more query to
+// the GQP — the derivative of T_gqp with respect to n: the per-query
+// admission cost (dimension scans, bitmap extension, pipeline stall)
+// plus the mix's shared work linearized per member (one more query
+// widens the union of selections roughly by its share). The fact scan
+// itself is already paid — that is the whole point of the GQP — so it
+// does not appear. An admission controller sheds when this marginal
+// cost, queued behind the work already admitted, would blow the
+// newcomer's deadline.
+func (c GQPCost) Marginal() time.Duration {
+	m := c.AdmissionPerQuery
+	if c.Queries > 0 {
+		m += c.SharedWork / time.Duration(c.Queries)
+	}
+	return m
+}
+
+// PredictRetryAfter estimates how long a query shed now should wait
+// before resubmitting: the time for the backlog ahead of it —
+// everything executing plus everything queued — to drain through the
+// available slots at the observed per-query service time.
+//
+//	retry ≈ avgService · ceil((inflight + queued) / slots)
+//
+// The estimate is deliberately on the high side for a healthy system
+// (queries drain in parallel waves) — a shed client retrying late
+// costs little; retrying early re-sheds and doubles the admission
+// traffic the valve exists to remove.
+func PredictRetryAfter(inflight, queued, slots int, avgService time.Duration) time.Duration {
+	if slots < 1 {
+		slots = 1
+	}
+	if avgService <= 0 {
+		avgService = time.Millisecond
+	}
+	backlog := inflight + queued
+	if backlog < 1 {
+		backlog = 1
+	}
+	waves := (backlog + slots - 1) / slots
+	return avgService * time.Duration(waves)
 }

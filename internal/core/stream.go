@@ -1,0 +1,242 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+)
+
+// Rows is a streaming result cursor, the engine's native result
+// surface. Iterate with Next/Scan (or Next/Row), check Err after the
+// loop, and always Close. A plain projection delivers its first rows
+// while the scan is still running; aggregates and sorted queries block
+// until their single final chunk exists. Chunks are freshly
+// materialized rows — never pooled batches — so a cursor abandoned
+// mid-stream leaks nothing once Close runs: Close cancels the query's
+// context, which detaches it from shared scans, retracts its CJOIN
+// admission window and releases every pooled batch the pipeline holds.
+//
+// A Rows is not safe for concurrent use.
+type Rows struct {
+	schema *pages.Schema
+	ch     chan []pages.Row
+	done   chan struct{}
+	err    error // producer's verdict; readable only after done closes
+	cancel context.CancelFunc
+
+	cur    []pages.Row
+	idx    int
+	rerr   error
+	closed bool
+}
+
+// Stream parses, plans and executes sql under ctx, returning a cursor
+// over the result. Admission control runs synchronously: an engine at
+// its overload limits sheds here — the returned error tests true
+// against ErrOverloaded and the query never started.
+func (e *Engine) Stream(ctx context.Context, sql string) (*Rows, error) {
+	q, err := e.Plan(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.StreamSubmit(ctx, q)
+}
+
+// StreamSubmit executes a planned query under ctx, returning a cursor
+// over the result (see Stream).
+func (e *Engine) StreamSubmit(ctx context.Context, q *plan.Query) (*Rows, error) {
+	if err := e.begin(); err != nil {
+		return nil, err
+	}
+	qctx, cancel := e.queryContext(ctx)
+	if err := e.admit(qctx); err != nil {
+		cancel()
+		e.end()
+		return nil, err
+	}
+	// A context already dead at submission fails fast: the query never
+	// starts, matching the admission contract.
+	if err := qctx.Err(); err != nil {
+		e.release()
+		cancel()
+		e.end()
+		return nil, err
+	}
+	r := &Rows{
+		schema: q.OutputSchema,
+		ch:     make(chan []pages.Row, 2),
+		done:   make(chan struct{}),
+		cancel: cancel,
+		idx:    -1,
+	}
+	go func() {
+		r.err = e.submitStream(qctx, q, func(rows []pages.Row) error {
+			select {
+			case r.ch <- rows:
+				return nil
+			case <-qctx.Done():
+				return qctx.Err()
+			}
+		})
+		close(r.done)
+		e.release()
+		cancel()
+		e.end()
+	}()
+	return r, nil
+}
+
+// Next advances the cursor to the next row, blocking until one is
+// available. It returns false at end of stream or on error; check Err
+// to tell the two apart.
+func (r *Rows) Next() bool {
+	if r.closed || r.rerr != nil {
+		return false
+	}
+	if r.idx+1 < len(r.cur) {
+		r.idx++
+		return true
+	}
+	for {
+		select {
+		case chunk := <-r.ch:
+			if len(chunk) == 0 {
+				continue
+			}
+			r.cur, r.idx = chunk, 0
+			return true
+		case <-r.done:
+			// The producer is finished; consume chunks it buffered
+			// before exiting, then surface its verdict.
+			select {
+			case chunk := <-r.ch:
+				if len(chunk) == 0 {
+					continue
+				}
+				r.cur, r.idx = chunk, 0
+				return true
+			default:
+				r.rerr = r.err
+				r.closed = true
+				return false
+			}
+		}
+	}
+}
+
+// Row returns the current row. Valid only after a true Next; the
+// returned slice is owned by the caller.
+func (r *Rows) Row() pages.Row {
+	if r.idx < 0 || r.idx >= len(r.cur) {
+		return nil
+	}
+	return r.cur[r.idx]
+}
+
+// Scan copies the current row's values into dst. Each destination may
+// be *int64, *float64, *string, *pages.Value or *any.
+func (r *Rows) Scan(dst ...any) error {
+	row := r.Row()
+	if row == nil {
+		return errors.New("core: Scan called without a successful Next")
+	}
+	if len(dst) != len(row) {
+		return fmt.Errorf("core: Scan expects %d destinations, got %d", len(row), len(dst))
+	}
+	for i, d := range dst {
+		v := row[i]
+		switch p := d.(type) {
+		case *int64:
+			if v.Kind != pages.KindInt {
+				return fmt.Errorf("core: Scan column %d is not an int", i)
+			}
+			*p = v.I
+		case *float64:
+			switch v.Kind {
+			case pages.KindFloat:
+				*p = v.F
+			case pages.KindInt:
+				*p = float64(v.I)
+			default:
+				return fmt.Errorf("core: Scan column %d is not numeric", i)
+			}
+		case *string:
+			if v.Kind != pages.KindString {
+				return fmt.Errorf("core: Scan column %d is not a string", i)
+			}
+			*p = v.S
+		case *pages.Value:
+			*p = v
+		case *any:
+			switch v.Kind {
+			case pages.KindInt:
+				*p = v.I
+			case pages.KindFloat:
+				*p = v.F
+			default:
+				*p = v.S
+			}
+		default:
+			return fmt.Errorf("core: Scan destination %d has unsupported type %T", i, d)
+		}
+	}
+	return nil
+}
+
+// Err returns the error that terminated iteration, if any. A cursor
+// closed deliberately before exhaustion reports nil.
+func (r *Rows) Err() error { return r.rerr }
+
+// Schema describes the result columns.
+func (r *Rows) Schema() *pages.Schema { return r.schema }
+
+// Close releases the cursor. If the query is still running it is
+// cancelled — shared-scan detach, CJOIN window retraction and pool
+// releases all happen before Close returns, so a leak check passes
+// immediately after. Closing an exhausted or already-closed cursor is a
+// no-op. Safe to defer unconditionally.
+func (r *Rows) Close() error {
+	if r.closed {
+		r.closed = true
+		r.cancel() // idempotent; frees context resources on early paths
+		return r.rerr
+	}
+	r.closed = true
+	r.cancel()
+	for {
+		select {
+		case <-r.ch:
+			// Discard chunks so a blocked producer can observe the
+			// cancellation and exit.
+		case <-r.done:
+			for {
+				select {
+				case <-r.ch:
+				default:
+					// The producer's context.Canceled is the echo of our
+					// own cancel — not an error the caller caused.
+					if r.err != nil && !errors.Is(r.err, context.Canceled) && r.rerr == nil {
+						r.rerr = r.err
+					}
+					return r.rerr
+				}
+			}
+		}
+	}
+}
+
+// Collect drains the remaining rows and closes the cursor.
+func (r *Rows) Collect() ([]pages.Row, error) {
+	var out []pages.Row
+	for r.Next() {
+		out = append(out, r.Row())
+	}
+	err := r.Err()
+	if cerr := r.Close(); err == nil {
+		err = cerr
+	}
+	return out, err
+}

@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"context"
+
+	"sharedq/internal/expr"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+	"sharedq/internal/vec"
+)
+
+// RowSink receives result rows incrementally. Ownership of the slice
+// transfers to the sink: the producer never touches it again, so a
+// sink may retain or alias it without copying. A sink error aborts the
+// producing query and is returned from its streaming entry point.
+type RowSink func(rows []pages.Row) error
+
+// CollectSink returns a RowSink appending every chunk to *dst. The
+// first chunk is aliased rather than copied — chunk ownership
+// transfers to the sink — so blocking single-chunk results (aggregates,
+// sorts) collect with zero copies, and the collect-all wrappers around
+// the streaming entry points cost nothing over the old materializing
+// paths.
+func CollectSink(dst *[]pages.Row) RowSink {
+	return func(rows []pages.Row) error {
+		if *dst == nil {
+			*dst = rows
+			return nil
+		}
+		*dst = append(*dst, rows...)
+		return nil
+	}
+}
+
+// ExecuteStreamCtx is ExecuteCtx with incremental delivery: result
+// rows are handed to emit as they materialize instead of being
+// collected. A plain projection (no aggregate, no ORDER BY, no LIMIT)
+// streams one chunk per fact batch, so the first rows arrive while the
+// scan is still running and no full result set is ever buffered.
+// Aggregations and sorted or limited queries are inherently blocking —
+// their result only exists once the input is consumed — and emit a
+// single final chunk.
+//
+// Pool discipline is unchanged from ExecuteCtx: every emitted chunk is
+// freshly materialized (never a pooled batch), and every checked-out
+// batch is released inside the pipeline, so an abort between chunks
+// leaks nothing.
+func ExecuteStreamCtx(ctx context.Context, env *Env, q *plan.Query, emit RowSink) (err error) {
+	if q.HasAgg || len(q.OrderBy) > 0 || q.Limit >= 0 {
+		rows, err := ExecuteCtx(ctx, env, q)
+		if err != nil {
+			return err
+		}
+		return emit(rows)
+	}
+	// Panic containment, as in ExecuteCtx: a panicking kernel becomes a
+	// per-query *PanicError instead of taking the process down.
+	defer func() {
+		if r := recover(); r != nil {
+			err = RecoverPanic(env, r)
+		}
+	}()
+	joins := make([]*BatchJoin, len(q.Dims))
+	for i, d := range q.Dims {
+		j, err := BuildBatchJoinCtx(ctx, env, d)
+		if err != nil {
+			return err
+		}
+		joins[i] = j
+	}
+	if w := executeParallelism(env, q); w > 1 {
+		// The morsel-parallel path materializes per-worker buckets and
+		// merges them in page order; stream the merged result as one
+		// chunk (it is already fully resident at merge time).
+		rows, err := executeMorsels(ctx, env, q, joins, w)
+		if err != nil {
+			return err
+		}
+		return emit(rows)
+	}
+
+	outFns := CompileOutputVals(q)
+	factVec := expr.CompileVecPred(q.FactPred)
+	var selBuf []int
+	var ps ProbeScratch
+	return ScanTableBatchesCtx(ctx, env, q.Fact, func(b *vec.Batch) error {
+		// Same release discipline as ExecuteCtx's scan body: b starts as
+		// a shared decoded-cache batch, probe outputs are pooled and
+		// released as soon as the next stage consumed them, and a panic
+		// releases the held batch before unwinding.
+		defer func() {
+			if r := recover(); r != nil {
+				b.Release()
+				panic(r)
+			}
+		}()
+		sel := vec.FullSel(b.Len(), &selBuf)
+		if factVec != nil {
+			sel = factVec(b, sel)
+		}
+		for i := range joins {
+			if len(sel) == 0 {
+				b.Release()
+				return nil
+			}
+			if err := ctx.Err(); err != nil {
+				b.Release()
+				return err
+			}
+			joined := joins[i].Probe(env, b, sel, &ps)
+			b.Release()
+			b = joined
+			sel = vec.FullSel(b.Len(), &selBuf)
+		}
+		var chunk []pages.Row
+		if len(sel) > 0 {
+			chunk = ProjectBatch(outFns, b, sel, nil)
+		}
+		b.Release()
+		if len(chunk) == 0 {
+			return nil
+		}
+		return emit(chunk)
+	})
+}

@@ -109,6 +109,7 @@ func All() []Experiment {
 		{"table2", "Extension substrates (CJOIN-SP, SharedDB, Crescando) on one batch pipeline", figTable2},
 		{"compress", "Compressed columnar storage: effective scan bandwidth, slotted vs compressed", figCompress},
 		{"chaos", "Fault injection across all modes: survivors, typed failures, robustness counters", figChaos},
+		{"serve", "Closed-loop network serving: streamed results, weighted admission, pass-aligned batching", figServe},
 	}
 }
 

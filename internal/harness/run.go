@@ -113,7 +113,7 @@ func RunBatch(sys *core.System, opts core.Options, sqls []string, cold bool) (Re
 	res.CoresUsed = sys.Col.CoresUsed()
 	res.ReadRateMBps = sys.Col.ReadRateMBps()
 	res.Breakdown = sys.Col.Breakdown()
-	res.Stats = eng.Stats()
+	res.Stats = eng.Counters()
 	// Batch-pool effectiveness over this run: recycled vs fresh
 	// checkouts, and how many recycles the worker-local shards served.
 	poolReuse1, poolAlloc1 := sys.Env.Recycle.Stats()
@@ -276,7 +276,7 @@ func RunClosedLoopCfg(sys *core.System, opts core.Options, nextSQL func(i int) s
 	}
 	res.CoresUsed = sys.Col.CoresUsed()
 	res.ReadRateMBps = sys.Col.ReadRateMBps()
-	res.Stats = eng.Stats()
+	res.Stats = eng.Counters()
 	res.Errors = int(errCount)
 	res.Cancelled = int(cancelCount)
 	if errCount > 0 {

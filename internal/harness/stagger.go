@@ -70,7 +70,7 @@ func RunStaggered(sys *core.System, opts core.Options, sqls []string, delay time
 	res.CoresUsed = sys.Col.CoresUsed()
 	res.ReadRateMBps = sys.Col.ReadRateMBps()
 	res.Breakdown = sys.Col.Breakdown()
-	res.Stats = eng.Stats()
+	res.Stats = eng.Counters()
 	if res.Errors > 0 {
 		return res, fmt.Errorf("harness: %d of %d staggered queries failed", res.Errors, len(plans))
 	}

@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteProm renders a counter snapshot in the Prometheus text
+// exposition format, one line per counter, prefixed (e.g. "sharedq_").
+// A counter name of the form "base:tag" — the convention the admission
+// controller uses for per-tenant counters ("tenant_admitted:acme") —
+// becomes base{labelName="tag"} with the given label name, so a scrape
+// groups tenants under one metric family. Output is sorted by name for
+// deterministic scrapes.
+func WriteProm(w io.Writer, prefix, labelName string, vals map[string]int64) {
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		name, label, hasLabel := strings.Cut(k, ":")
+		name = promSanitize(name)
+		if hasLabel {
+			fmt.Fprintf(w, "%s%s{%s=%q} %d\n", prefix, name, labelName, label, vals[k])
+			continue
+		}
+		fmt.Fprintf(w, "%s%s %d\n", prefix, name, vals[k])
+	}
+}
+
+// promSanitize maps a counter name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:]; anything else becomes '_'.
+func promSanitize(s string) string {
+	out := []byte(s)
+	for i := 0; i < len(out); i++ {
+		c := out[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out[i] = '_'
+			}
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

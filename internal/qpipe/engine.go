@@ -203,10 +203,24 @@ func (e *Engine) Submit(q *plan.Query) ([]pages.Row, error) {
 // query returns ctx.Err(); join packets it hosted keep running only
 // while satellites are still attached to them.
 func (e *Engine) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, error) {
+	var out []pages.Row
+	if err := e.SubmitStreamCtx(ctx, q, exec.CollectSink(&out)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SubmitStreamCtx is SubmitCtx with incremental delivery: result rows
+// are handed to emit chunk by chunk as the pipeline's final port
+// drains (one chunk per exchanged page for plain projections;
+// aggregates and sorted queries emit one final chunk, see
+// DrainStream). An error return may follow chunks already emitted —
+// the stream is only complete when SubmitStreamCtx returns nil.
+func (e *Engine) SubmitStreamCtx(ctx context.Context, q *plan.Query, emit exec.RowSink) error {
 	e.subMu.Lock()
 	if e.closed {
 		e.subMu.Unlock()
-		return nil, ErrClosed
+		return ErrClosed
 	}
 	e.subs++
 	e.subMu.Unlock()
@@ -219,7 +233,7 @@ func (e *Engine) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, err
 		e.subMu.Unlock()
 	}()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	var host *inflightResult
 	if e.cfg.ShareResults {
@@ -238,7 +252,7 @@ func (e *Engine) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, err
 			select {
 			case <-r.done:
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return ctx.Err()
 			}
 			if errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded) {
 				// The host was abandoned, not failed: its results never
@@ -248,7 +262,10 @@ func (e *Engine) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, err
 				continue
 			}
 			e.stats.Get("result_shared").Inc()
-			return r.rows, r.err
+			if r.err != nil {
+				return r.err
+			}
+			return emit(r.rows)
 		}
 		defer func() {
 			e.resMu.Lock()
@@ -263,18 +280,25 @@ func (e *Engine) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, err
 		if host != nil {
 			host.err = err
 		}
-		return nil, err
+		return err
 	}
 	// The context watcher aborts the final reader; the Abort is safe
 	// concurrent with the drain below and a no-op once the drain ends.
 	stopWatch := context.AfterFunc(ctx, port.Abort)
-	rows, err := e.drainRecover(q, port)
+	var rows []pages.Row
+	if host != nil {
+		// A result-sharing host must materialize: satellites that attach
+		// while this query runs reuse the complete result set.
+		rows, err = e.drainRecover(q, port)
+	} else {
+		err = e.drainStreamRecover(q, port, emit)
+	}
 	stopWatch()
 	if cerr := ctx.Err(); cerr != nil {
 		if host != nil {
 			host.err = cerr
 		}
-		return nil, cerr
+		return cerr
 	}
 	if err == nil {
 		// A failure in this query's pipeline — a panic recovered inside
@@ -285,11 +309,25 @@ func (e *Engine) SubmitCtx(ctx context.Context, q *plan.Query) ([]pages.Row, err
 	}
 	if host != nil {
 		host.rows, host.err = rows, err
+		if err == nil {
+			err = emit(rows)
+		}
 	}
-	if err != nil {
-		return nil, err
-	}
-	return rows, nil
+	return err
+}
+
+// drainStreamRecover is drainRecover for the streaming path: chunks
+// flow to emit as pages drain, and a panic in the per-query tail (or
+// in the sink) becomes this query's error with the port cancelled so
+// held pages release and producers unblock.
+func (e *Engine) drainStreamRecover(q *plan.Query, port InPort, emit exec.RowSink) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = exec.RecoverPanic(e.env, r)
+			port.Cancel()
+		}
+	}()
+	return DrainStream(e.env, q, port, emit)
 }
 
 // drainRecover drains the pipeline's final port on the submitter's
@@ -589,6 +627,64 @@ func (e *Engine) unregister(h *joinHost) {
 // drainFinal consumes the pipeline's last port through Drain.
 func (e *Engine) drainFinal(q *plan.Query, in InPort) []pages.Row {
 	return Drain(e.env, q, in)
+}
+
+// DrainStream consumes a port like Drain, delivering result rows to
+// emit incrementally: a plain projection (no aggregate, no ORDER BY,
+// no LIMIT) emits one chunk per drained page, so rows reach the sink
+// while upstream packets are still producing and no full result set is
+// buffered anywhere. Aggregations and sorted or limited queries are
+// inherently blocking and emit a single final chunk. A sink error
+// cancels the port (detaching from shared producers) and is returned.
+// It is shared by the QPipe engine and the CJOIN stage, the same way
+// Drain is.
+func DrainStream(env *exec.Env, q *plan.Query, in InPort, emit exec.RowSink) error {
+	if q.HasAgg || len(q.OrderBy) > 0 || q.Limit >= 0 {
+		return emit(Drain(env, q, in))
+	}
+	outFns := exec.CompileOutputVals(q)
+	var factFn expr.Pred
+	var factVec expr.VecPred
+	if len(q.Dims) == 0 { // otherwise the predicate is applied upstream
+		factFn = expr.CompilePred(q.FactPred)
+		factVec = expr.CompileVecPred(q.FactPred)
+	}
+	var selBuf []int
+	for {
+		p, ok := in.Next()
+		if !ok {
+			return nil
+		}
+		var chunk []pages.Row
+		if b := p.Batch; b != nil {
+			sel := vec.FullSel(b.Len(), &selBuf)
+			if factVec != nil {
+				t0 := time.Now()
+				sel = factVec(b, sel)
+				env.Col.AddSince(metrics.Misc, t0)
+			}
+			if len(sel) > 0 {
+				chunk = exec.ProjectBatch(outFns, b, sel, nil)
+			}
+		} else {
+			rows := p.Rows
+			if factFn != nil {
+				stop := env.Col.Timer(metrics.Misc)
+				rows = exec.FilterRowsPred(rows, factFn)
+				stop()
+			}
+			if len(rows) > 0 {
+				chunk = exec.Project(q, rows)
+			}
+		}
+		if len(chunk) == 0 {
+			continue
+		}
+		if err := emit(chunk); err != nil {
+			in.Cancel()
+			return err
+		}
+	}
 }
 
 // Drain consumes a port delivering joined (or raw, for single-table

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"sharedq/internal/pages"
+	"sharedq/internal/wire"
+)
+
+// RemoteError is a TError frame surfaced client-side: the server's
+// typed verdict on a failed query.
+type RemoteError struct {
+	Code       byte
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("serve: remote error code %d: %s", e.Code, e.Msg)
+}
+
+// Backpressure reports whether the error is a shed verdict — the query
+// never started and should be resubmitted after RetryAfter.
+func (e *RemoteError) Backpressure() bool {
+	return e.Code == wire.CodeOverloaded || e.Code == wire.CodeRetryAfter
+}
+
+// Client is a frame-protocol connection to a sharedqd server. One
+// query runs at a time; not safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	rbuf []byte
+	wbuf []byte
+}
+
+// Dial connects to a server's frame-protocol address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}, nil
+}
+
+// Close hangs up. A query mid-stream is cancelled server-side by the
+// disconnect (that is the protocol's cancellation mechanism).
+func (c *Client) Close() error { return c.conn.Close() }
+
+// RowStream iterates a streamed query result. The stream must be
+// consumed (Next until false) before the connection can run another
+// query; Abandon (or Client.Close) gives up mid-stream.
+type RowStream struct {
+	c      *Client
+	schema *pages.Schema
+	batch  []pages.Row
+	idx    int
+	count  uint64
+	err    error
+	done   bool
+}
+
+// Query submits sql for tenant and reads up to the first response
+// frame. A shed query returns *RemoteError with Backpressure() true
+// and a RetryAfter delay.
+func (c *Client) Query(tenant, sql string) (*RowStream, error) {
+	c.wbuf = wire.AppendQuery(c.wbuf[:0], tenant, sql)
+	if _, err := c.bw.Write(c.wbuf); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	typ, payload, err := wire.ReadFrame(c.br, &c.rbuf)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case wire.TSchema:
+		schema, err := wire.ParseSchema(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &RowStream{c: c, schema: schema, idx: -1}, nil
+	case wire.TError:
+		code, after, msg, perr := wire.ParseError(payload)
+		if perr != nil {
+			return nil, perr
+		}
+		return nil, &RemoteError{Code: code, RetryAfter: after, Msg: msg}
+	default:
+		return nil, fmt.Errorf("serve: unexpected frame type %d", typ)
+	}
+}
+
+// Schema describes the result columns.
+func (rs *RowStream) Schema() *pages.Schema { return rs.schema }
+
+// Next advances to the next row, reading frames as needed.
+func (rs *RowStream) Next() bool {
+	if rs.done || rs.err != nil {
+		return false
+	}
+	if rs.idx+1 < len(rs.batch) {
+		rs.idx++
+		return true
+	}
+	for {
+		typ, payload, err := wire.ReadFrame(rs.c.br, &rs.c.rbuf)
+		if err != nil {
+			rs.err = err
+			return false
+		}
+		switch typ {
+		case wire.TBatch:
+			rows, err := wire.ParseBatch(payload, rs.schema)
+			if err != nil {
+				rs.err = err
+				return false
+			}
+			if len(rows) == 0 {
+				continue
+			}
+			rs.batch, rs.idx = rows, 0
+			return true
+		case wire.TDone:
+			rs.count, rs.err = wire.ParseDone(payload)
+			rs.done = true
+			return false
+		case wire.TError:
+			code, after, msg, perr := wire.ParseError(payload)
+			if perr != nil {
+				rs.err = perr
+			} else {
+				rs.err = &RemoteError{Code: code, RetryAfter: after, Msg: msg}
+			}
+			rs.done = true
+			return false
+		default:
+			rs.err = fmt.Errorf("serve: unexpected frame type %d mid-stream", typ)
+			return false
+		}
+	}
+}
+
+// Row returns the current row (valid after a true Next).
+func (rs *RowStream) Row() pages.Row {
+	if rs.idx < 0 || rs.idx >= len(rs.batch) {
+		return nil
+	}
+	return rs.batch[rs.idx]
+}
+
+// Err returns the terminal error, nil after a clean TDone.
+func (rs *RowStream) Err() error {
+	if rs.done && rs.err == nil {
+		return nil
+	}
+	return rs.err
+}
+
+// Count returns the server-reported total row count (valid once Next
+// has returned false with nil Err).
+func (rs *RowStream) Count() uint64 { return rs.count }
+
+// Abandon gives up on the stream by closing the underlying connection;
+// the server cancels the query on the disconnect. The Client is
+// unusable afterwards.
+func (rs *RowStream) Abandon() error {
+	rs.done = true
+	return rs.c.Close()
+}

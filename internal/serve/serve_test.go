@@ -1,0 +1,386 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sharedq/internal/admit"
+	"sharedq/internal/core"
+	"sharedq/internal/leakcheck"
+	"sharedq/internal/ssb"
+	"sharedq/internal/wire"
+)
+
+func TestMain(m *testing.M) { leakcheck.Main(m) }
+
+func testServer(t *testing.T, opts core.Options, ac admit.Config) (*Server, *core.Engine) {
+	t.Helper()
+	sys, err := core.NewSystem(core.SystemConfig{SF: 0.0005, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(sys, opts)
+	t.Cleanup(eng.Close)
+	srv := New(Config{Engine: eng, Addr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0", Admit: ac})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, eng
+}
+
+const testQuery = "SELECT d_year, SUM(lo_revenue) AS rev FROM lineorder, date " +
+	"WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year ASC"
+
+func TestQueryOverTCP(t *testing.T) {
+	srv, eng := testServer(t, core.Options{Mode: core.Baseline}, admit.Config{})
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rs, err := cl.Query("t1", testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	for rs.Next() {
+		got++
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if uint64(got) != rs.Count() {
+		t.Fatalf("rows = %d, server count = %d", got, rs.Count())
+	}
+	// Cross-check against an in-process run.
+	want, _, err := eng.Query(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != len(want) {
+		t.Fatalf("rows = %d, want %d", got, len(want))
+	}
+	// Same connection serves another query.
+	rs, err = cl.Query("t1", testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rs.Next() {
+	}
+	if rs.Err() != nil {
+		t.Fatal(rs.Err())
+	}
+}
+
+func TestRowValuesSurvive(t *testing.T) {
+	srv, eng := testServer(t, core.Options{Mode: core.QPipeSP}, admit.Config{})
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rs, err := cl.Query("t1", testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := eng.Query(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for rs.Next() {
+		row := rs.Row()
+		if i >= len(want) {
+			t.Fatal("too many rows")
+		}
+		for j := range row {
+			if !row[j].Equal(want[i][j]) {
+				t.Fatalf("row %d col %d = %v, want %v", i, j, row[j], want[i][j])
+			}
+		}
+		i++
+	}
+	if rs.Err() != nil {
+		t.Fatal(rs.Err())
+	}
+}
+
+func TestBadSQLTyped(t *testing.T) {
+	srv, _ := testServer(t, core.Options{Mode: core.Baseline}, admit.Config{})
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	_, err = cl.Query("t1", "SELEKT nonsense")
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v", err)
+	}
+	if re.Code != wire.CodeBadRequest {
+		t.Fatalf("code = %d, want CodeBadRequest", re.Code)
+	}
+	// The connection survives a bad query.
+	rs, err := cl.Query("t1", testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rs.Next() {
+	}
+	if rs.Err() != nil {
+		t.Fatal(rs.Err())
+	}
+}
+
+// TestShedTypedBackpressure saturates a one-slot server and checks shed
+// clients get CodeRetryAfter with a positive delay — and that the shed
+// queries never started engine-side.
+func TestShedTypedBackpressure(t *testing.T) {
+	srv, eng := testServer(t, core.Options{Mode: core.Baseline},
+		admit.Config{Slots: 1, MaxQueue: 1})
+	// Hold the slot open by acquiring directly.
+	release, err := srv.Admission().Acquire(context.Background(), "hog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	// Fill the queue with a second direct acquire in flight.
+	qctx, qcancel := context.WithCancel(context.Background())
+	defer qcancel()
+	queued := make(chan struct{})
+	go func() {
+		close(queued)
+		rel, err := srv.Admission().Acquire(qctx, "hog")
+		if err == nil {
+			rel()
+		}
+	}()
+	<-queued
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Admission().Queued() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	before := eng.Stats().Counters
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	_, err = cl.Query("hog", testQuery)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if !re.Backpressure() || re.Code != wire.CodeRetryAfter || re.RetryAfter <= 0 {
+		t.Fatalf("verdict = %+v", re)
+	}
+	after := eng.Stats().Counters
+	for k, v := range after {
+		if before[k] != v && !strings.HasPrefix(k, "admission") {
+			t.Fatalf("shed query moved engine counter %s: %d -> %d", k, before[k], v)
+		}
+	}
+}
+
+// TestDisconnectCancelsQuery kills the client mid-stream and checks the
+// server unwinds the query (no goroutine/batch leak — the package leak
+// gate enforces the rest).
+func TestDisconnectCancelsQuery(t *testing.T) {
+	srv, eng := testServer(t, core.Options{Mode: core.QPipeCS}, admit.Config{})
+	// A projection query streams many chunks, so the client can vanish
+	// mid-stream.
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := cl.Query("t1", "SELECT lo_orderkey, lo_revenue FROM lineorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Next() {
+		t.Fatalf("no first row: %v", rs.Err())
+	}
+	rs.Abandon()
+	// The engine must return to idle: no in-flight queries, pool drained.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := eng.Stats()
+		if st.InFlight == 0 && st.PoolOutstanding == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("query did not unwind after disconnect: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHTTPQueryAndMetrics(t *testing.T) {
+	srv, _ := testServer(t, core.Options{Mode: core.QPipeSP}, admit.Config{})
+	resp, err := http.Post("http://"+srv.HTTPAddr()+"/query", "application/json",
+		strings.NewReader(`{"tenant":"web","sql":"`+testQuery+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Columns  []struct{ Name, Kind string }
+		Rows     [][]any
+		RowCount int
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(out.Columns) != 2 || out.RowCount != len(out.Rows) || out.RowCount == 0 {
+		t.Fatalf("response = %+v", out)
+	}
+
+	mresp, err := http.Get("http://" + srv.HTTPAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", mresp.StatusCode)
+	}
+	for _, want := range []string{
+		"sharedq_pool_outstanding ",
+		"sharedq_inflight ",
+		"sharedq_serve_queries ",
+		`sharedq_tenant_admitted{tenant="web"} 1`,
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, mbody)
+		}
+	}
+}
+
+func TestHTTPBackpressureStatus(t *testing.T) {
+	srv, _ := testServer(t, core.Options{Mode: core.Baseline},
+		admit.Config{Slots: 1, MaxQueue: 1, MaxWait: time.Nanosecond, SeedService: time.Hour})
+	release, err := srv.Admission().Acquire(context.Background(), "hog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	resp, err := http.Get("http://" + srv.HTTPAddr() + "/query?tenant=hog&sql=" +
+		"SELECT+d_year+FROM+date")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("missing Retry-After header")
+	}
+}
+
+// TestConnBurst opens 200 concurrent connections across 4 tenants in
+// mixed modes, runs a query on each, and checks every one completes or
+// sheds with typed backpressure — never hangs — and that the server
+// drains cleanly afterwards.
+func TestConnBurst(t *testing.T) {
+	srv, eng := testServer(t, core.Options{Mode: core.CJOINSP, Parallelism: 2},
+		admit.Config{Slots: 8, MaxQueue: 128, AlignPasses: true})
+	const conns = 200
+	tenants := []string{"alpha", "beta", "gamma", "delta"}
+	var ok, shed, failed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := Dial(srv.Addr())
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			defer cl.Close()
+			q := ssb.Q32(rand.New(rand.NewSource(int64(i))))
+			rs, err := cl.Query(tenants[i%len(tenants)], q)
+			if err != nil {
+				var re *RemoteError
+				if errors.As(err, &re) && re.Backpressure() {
+					shed.Add(1)
+					return
+				}
+				failed.Add(1)
+				t.Errorf("conn %d: %v", i, err)
+				return
+			}
+			for rs.Next() {
+			}
+			if rs.Err() != nil {
+				failed.Add(1)
+				t.Errorf("conn %d stream: %v", i, rs.Err())
+				return
+			}
+			ok.Add(1)
+		}(i)
+	}
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Fatalf("ok %d shed %d failed %d", ok.Load(), shed.Load(), failed.Load())
+	}
+	if ok.Load() == 0 {
+		t.Fatal("every connection shed; expected completions")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st := eng.Stats()
+	if st.InFlight != 0 || st.PoolOutstanding != 0 {
+		t.Fatalf("post-drain engine state: %+v", st)
+	}
+}
+
+// TestGracefulShutdownMidQuery starts a slow query, shuts the server
+// down with a generous allowance, and checks the query completed (clean
+// drain, no forced cancel).
+func TestGracefulShutdownMidQuery(t *testing.T) {
+	srv, _ := testServer(t, core.Options{Mode: core.QPipeCS}, admit.Config{})
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rs, err := cl.Query("t1", testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Shutdown(ctx) }()
+	for rs.Next() {
+	}
+	if rs.Err() != nil {
+		t.Fatalf("query interrupted by graceful drain: %v", rs.Err())
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

@@ -1,0 +1,600 @@
+// Package serve is the sharedqd serving layer: a TCP frame protocol
+// (package wire) and an HTTP/JSON convenience endpoint over one
+// core.Engine, fronted by the sharing-aware admission controller
+// (package admit).
+//
+// Connection lifecycle maps one-to-one onto query lifecycle: each TCP
+// connection runs one query at a time under a context derived from the
+// server's; a client that disconnects mid-query cancels that context,
+// which detaches the query from shared scans, retracts its CJOIN
+// admission window and releases its pooled batches — the machinery the
+// engine's leak gates already verify. Shed submissions never reach the
+// engine: the admission controller rejects them with *admit.ErrRetryAfter
+// and the handler answers with a typed backpressure frame
+// (wire.CodeRetryAfter + delay), so an overloaded server says "come
+// back in 40ms" instead of hanging.
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"sharedq/internal/admit"
+	"sharedq/internal/core"
+	"sharedq/internal/exec"
+	"sharedq/internal/heap"
+	"sharedq/internal/metrics"
+	"sharedq/internal/pages"
+	"sharedq/internal/wire"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Engine is the engine to serve. Required; the caller owns its
+	// lifecycle (the server never closes it).
+	Engine *core.Engine
+	// Addr is the TCP listen address for the frame protocol
+	// (default "127.0.0.1:4045"; use ":0" for an ephemeral test port).
+	Addr string
+	// HTTPAddr is the listen address for the HTTP/JSON endpoint and
+	// /metrics (default "127.0.0.1:4046"; empty string "off" is not
+	// supported — monitoring should always be reachable).
+	HTTPAddr string
+	// Admit tunes the admission controller; the Engine field is set by
+	// the server.
+	Admit admit.Config
+	// DefaultTenant names submissions that do not identify themselves.
+	DefaultTenant string
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:4045"
+	}
+	if cfg.HTTPAddr == "" {
+		cfg.HTTPAddr = "127.0.0.1:4046"
+	}
+	if cfg.DefaultTenant == "" {
+		cfg.DefaultTenant = "default"
+	}
+	return cfg
+}
+
+// Server serves an engine over TCP frames and HTTP/JSON. Create with
+// New, start with Start, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	eng   *core.Engine
+	ctrl  *admit.Controller
+	stats *metrics.CounterSet
+
+	ln     net.Listener
+	httpLn net.Listener
+	httpSv *http.Server
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool // conn → currently running a query
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New builds a server over cfg.Engine (not yet listening).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ac := cfg.Admit
+	ac.Engine = cfg.Engine
+	s := &Server{
+		cfg:   cfg,
+		eng:   cfg.Engine,
+		ctrl:  admit.New(ac),
+		stats: metrics.NewCounterSet(),
+		conns: make(map[net.Conn]bool),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	// Pre-register the server counters so a scrape sees the full set
+	// (at zero) before any traffic arrives.
+	for _, name := range []string{
+		"serve_conns_total", "serve_queries", "serve_http_queries",
+		"serve_rows", "serve_shed", "serve_errors", "serve_disconnects",
+	} {
+		s.stats.Get(name)
+	}
+	return s
+}
+
+// Start binds both listeners and begins accepting. It returns once
+// listening (use Addr/HTTPAddr for the bound addresses); serving
+// continues in background goroutines until Shutdown.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	httpLn, err := net.Listen("tcp", s.cfg.HTTPAddr)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	s.ln, s.httpLn = ln, httpLn
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleHTTPQuery)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.httpSv = &http.Server{Handler: mux}
+
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop()
+	}()
+	go func() {
+		defer s.wg.Done()
+		err := s.httpSv.Serve(httpLn)
+		if err != nil && err != http.ErrServerClosed {
+			s.stats.Get("serve_http_serve_errors").Inc()
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound frame-protocol address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// HTTPAddr returns the bound HTTP address.
+func (s *Server) HTTPAddr() string { return s.httpLn.Addr().String() }
+
+// Shutdown stops the server gracefully: stop accepting, let in-flight
+// queries drain until ctx expires, then cancel whatever remains (each
+// remaining query unwinds through its context exactly as a client
+// disconnect would) and close every connection. The engine is left
+// running — it belongs to the caller.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.ln.Close()
+	httpCtx, cancel := context.WithTimeout(ctx, time.Second)
+	_ = s.httpSv.Shutdown(httpCtx)
+	cancel()
+
+	// Idle connections (blocked waiting for the next TQuery) have
+	// nothing to drain — close them now. Active ones finish their
+	// query, send its tail, and exit via the closed check in their
+	// handler loop.
+	s.mu.Lock()
+	for c, active := range s.conns {
+		if !active {
+			c.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	// Drain phase: active connections finish their current query.
+	// Force phase on ctx expiry: cancel the base context (aborting
+	// every in-flight query) and close conns.
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCancel()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.baseCancel()
+	s.ctrl.Close()
+	return err
+}
+
+// Close is Shutdown with no drain allowance.
+func (s *Server) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Shutdown(ctx)
+}
+
+// Admission returns the server's admission controller (for stats).
+func (s *Server) Admission() *admit.Controller { return s.ctrl }
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = false
+		s.mu.Unlock()
+		s.stats.Get("serve_conns_total").Inc()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// handleConn runs the frame protocol on one connection: a loop of
+// TQuery → (TSchema TBatch* TDone | TError). Buffers are per-connection
+// and reused across queries, so the steady-state per-frame path does
+// not allocate.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.dropConn(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var rbuf []byte                // frame read buffer
+	wbuf := make([]byte, 0, 1<<16) // frame write buffer
+	for {
+		typ, payload, err := wire.ReadFrame(br, &rbuf)
+		if err != nil {
+			return // disconnect (or shutdown closed the conn)
+		}
+		if typ != wire.TQuery {
+			wbuf = wire.AppendError(wbuf[:0], wire.CodeBadRequest, 0,
+				fmt.Sprintf("expected TQuery, got frame type %d", typ))
+			bw.Write(wbuf)
+			bw.Flush()
+			return
+		}
+		tenant, sql, err := wire.ParseQuery(payload)
+		if err != nil {
+			wbuf = wire.AppendError(wbuf[:0], wire.CodeBadRequest, 0, err.Error())
+			bw.Write(wbuf)
+			bw.Flush()
+			return
+		}
+		if tenant == "" {
+			tenant = s.cfg.DefaultTenant
+		}
+		if !s.setActive(conn, true) {
+			return
+		}
+		wbuf = s.runQuery(conn, br, bw, wbuf, tenant, sql)
+		closed := !s.setActive(conn, false)
+		if bw.Flush() != nil || closed {
+			return
+		}
+	}
+}
+
+// setActive flips the connection's in-query flag; it reports false when
+// the server has begun shutting down (the handler should exit).
+func (s *Server) setActive(conn net.Conn, active bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.conns[conn]; ok {
+		s.conns[conn] = active
+	}
+	return !s.closed
+}
+
+// runQuery executes one query and streams its response frames. It
+// returns the (possibly grown) write buffer for reuse.
+func (s *Server) runQuery(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, wbuf []byte, tenant, sql string) []byte {
+	s.stats.Get("serve_queries").Inc()
+	qctx, qcancel := context.WithCancel(s.baseCtx)
+	defer qcancel()
+
+	// Admission first: a shed query never starts, and the client gets
+	// the typed retry-after verdict immediately.
+	release, err := s.ctrl.Acquire(qctx, tenant)
+	if err != nil {
+		s.stats.Get("serve_shed").Inc()
+		return s.writeError(bw, wbuf, err)
+	}
+	defer release()
+
+	rows, err := s.eng.Stream(qctx, sql)
+	if err != nil {
+		return s.writeError(bw, wbuf, err)
+	}
+	defer rows.Close()
+
+	// Disconnect watchdog: the client sends nothing while a query
+	// streams, so a successful read here means disconnect (error) —
+	// cancel the query so it unwinds engine-side. The deadline poke in
+	// the epilogue unblocks the watchdog when the query outlives the
+	// client's silence.
+	watch := make(chan struct{})
+	go func() {
+		defer close(watch)
+		if _, err := br.Peek(1); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return // epilogue poke, not a disconnect
+			}
+			qcancel()
+		}
+	}()
+
+	schema := rows.Schema()
+	wbuf = wire.AppendSchema(wbuf[:0], schema)
+	if _, werr := bw.Write(wbuf); werr != nil {
+		qcancel()
+	}
+	var count uint64
+	chunk := make([]pages.Row, 0, 256)
+	flushChunk := func() bool {
+		if len(chunk) == 0 {
+			return true
+		}
+		wbuf = wire.AppendBatch(wbuf[:0], schema, chunk)
+		count += uint64(len(chunk))
+		chunk = chunk[:0]
+		s.stats.Get("serve_frames").Inc()
+		if _, werr := bw.Write(wbuf); werr != nil {
+			qcancel()
+			return false
+		}
+		return bw.Flush() == nil
+	}
+	iterErr := func() error {
+		for rows.Next() {
+			chunk = append(chunk, rows.Row())
+			if len(chunk) == cap(chunk) {
+				if !flushChunk() {
+					return context.Canceled
+				}
+			}
+		}
+		if err := rows.Err(); err != nil {
+			return err
+		}
+		if !flushChunk() {
+			return context.Canceled
+		}
+		return nil
+	}()
+
+	// Unblock the watchdog: poke the read with an immediate deadline,
+	// wait for it to exit, then restore. The bufio reader consumes the
+	// timeout error, so the next ReadFrame sees a clean stream.
+	conn.SetReadDeadline(time.Now())
+	<-watch
+	conn.SetReadDeadline(time.Time{})
+
+	if iterErr != nil {
+		s.stats.Get("serve_query_errors").Inc()
+		return s.writeError(bw, wbuf, iterErr)
+	}
+	s.stats.Get("serve_rows").Add(int64(count))
+	wbuf = wire.AppendDone(wbuf[:0], count)
+	bw.Write(wbuf)
+	return wbuf
+}
+
+// writeError maps err onto its typed wire frame and sends it.
+func (s *Server) writeError(bw *bufio.Writer, wbuf []byte, err error) []byte {
+	code, retry := classify(err, s.ctrl)
+	wbuf = wire.AppendError(wbuf[:0], code, retry, err.Error())
+	bw.Write(wbuf)
+	return wbuf
+}
+
+// classify maps an engine or admission error onto a wire error code
+// and, for backpressure codes, a retry-after delay.
+func classify(err error, ctrl *admit.Controller) (code byte, retryAfter time.Duration) {
+	var ra *admit.ErrRetryAfter
+	var cp *heap.ErrCorruptPage
+	var pe *exec.PanicError
+	switch {
+	case errors.As(err, &ra):
+		return wire.CodeRetryAfter, ra.After
+	case errors.Is(err, core.ErrOverloaded):
+		// The engine's own valve shed it; suggest one service time.
+		retry := time.Duration(0)
+		if ctrl != nil {
+			retry = ctrl.ServiceEstimate()
+		}
+		return wire.CodeOverloaded, retry
+	case errors.Is(err, core.ErrClosed):
+		return wire.CodeClosed, 0
+	case errors.As(err, &cp):
+		return wire.CodeCorruptPage, 0
+	case errors.As(err, &pe):
+		return wire.CodePanic, 0
+	case errors.Is(err, context.DeadlineExceeded):
+		return wire.CodeDeadline, 0
+	case errors.Is(err, context.Canceled):
+		return wire.CodeCanceled, 0
+	case isPlanError(err):
+		return wire.CodeBadRequest, 0
+	default:
+		return wire.CodeInternal, 0
+	}
+}
+
+// isPlanError spots parse/plan failures by their package prefixes; they
+// are client errors, not server faults.
+func isPlanError(err error) bool {
+	msg := err.Error()
+	return strings.HasPrefix(msg, "plan:") || strings.HasPrefix(msg, "sqlparse:") ||
+		strings.HasPrefix(msg, "catalog:") || strings.HasPrefix(msg, "cjoin:")
+}
+
+// httpStatus maps a wire error code onto an HTTP status.
+func httpStatus(code byte) int {
+	switch code {
+	case wire.CodeBadRequest:
+		return http.StatusBadRequest
+	case wire.CodeOverloaded, wire.CodeRetryAfter:
+		return http.StatusTooManyRequests
+	case wire.CodeClosed:
+		return http.StatusServiceUnavailable
+	case wire.CodeDeadline:
+		return http.StatusGatewayTimeout
+	case wire.CodeCanceled:
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleHTTPQuery is the JSON convenience endpoint:
+//
+//	POST /query  {"tenant": "acme", "sql": "SELECT ..."}
+//	GET  /query?tenant=acme&sql=SELECT+...
+//
+// Success: {"columns": [{"name","kind"}...], "rows": [[...]...], "rowCount": n}.
+// Failure: status 4xx/5xx with {"error", "code"} and, for backpressure,
+// a Retry-After header in seconds.
+func (s *Server) handleHTTPQuery(w http.ResponseWriter, r *http.Request) {
+	var tenant, sql string
+	switch r.Method {
+	case http.MethodGet:
+		tenant, sql = r.URL.Query().Get("tenant"), r.URL.Query().Get("sql")
+	case http.MethodPost:
+		var body struct{ Tenant, SQL string }
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, `{"error":"bad JSON body"}`, http.StatusBadRequest)
+			return
+		}
+		tenant, sql = body.Tenant, body.SQL
+	default:
+		http.Error(w, `{"error":"use GET or POST"}`, http.StatusMethodNotAllowed)
+		return
+	}
+	if sql == "" {
+		http.Error(w, `{"error":"missing sql"}`, http.StatusBadRequest)
+		return
+	}
+	if tenant == "" {
+		tenant = s.cfg.DefaultTenant
+	}
+	s.stats.Get("serve_http_queries").Inc()
+
+	qctx, qcancel := context.WithCancel(r.Context())
+	defer qcancel()
+	stop := context.AfterFunc(s.baseCtx, qcancel)
+	defer stop()
+
+	release, err := s.ctrl.Acquire(qctx, tenant)
+	if err != nil {
+		s.httpError(w, err)
+		return
+	}
+	defer release()
+	rows, err := s.eng.Stream(qctx, sql)
+	if err != nil {
+		s.httpError(w, err)
+		return
+	}
+	defer rows.Close()
+
+	w.Header().Set("Content-Type", "application/json")
+	// Stream the JSON response: header, then rows as they arrive.
+	fmt.Fprintf(w, `{"columns":[`)
+	for i, c := range rows.Schema().Columns {
+		if i > 0 {
+			w.Write([]byte{','})
+		}
+		fmt.Fprintf(w, `{"name":%q,"kind":%q}`, c.Name, c.Kind)
+	}
+	fmt.Fprintf(w, `],"rows":[`)
+	flusher, _ := w.(http.Flusher)
+	n := 0
+	enc := json.NewEncoder(w)
+	for rows.Next() {
+		if n > 0 {
+			w.Write([]byte{','})
+		}
+		row := rows.Row()
+		vals := make([]any, len(row))
+		for i, v := range row {
+			switch v.Kind {
+			case pages.KindInt:
+				vals[i] = v.I
+			case pages.KindFloat:
+				vals[i] = v.F
+			default:
+				vals[i] = v.S
+			}
+		}
+		// Encoder adds a newline per element; acceptable in a stream.
+		if err := enc.Encode(vals); err != nil {
+			return // client gone
+		}
+		n++
+		if n%1024 == 0 && flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := rows.Err(); err != nil {
+		// Headers are out; the best we can do is a malformed tail the
+		// client's JSON parser rejects, plus the error in-band.
+		fmt.Fprintf(w, `],"error":%q}`, err.Error())
+		return
+	}
+	fmt.Fprintf(w, `],"rowCount":%d}`, n)
+}
+
+func (s *Server) httpError(w http.ResponseWriter, err error) {
+	code, retry := classify(err, s.ctrl)
+	status := httpStatus(code)
+	if retry > 0 {
+		secs := int(retry.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"error":%q,"code":%d}`+"\n", err.Error(), code)
+}
+
+// handleMetrics exposes Prometheus-style counters: the engine's
+// sharing/robustness counters and pool state, the admission
+// controller's per-tenant counters, and the server's own.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	st := s.eng.Stats()
+	metrics.WriteProm(w, "sharedq_", "tenant", st.Counters)
+	fmt.Fprintf(w, "sharedq_pool_outstanding %d\n", st.PoolOutstanding)
+	fmt.Fprintf(w, "sharedq_pool_live_bytes %d\n", st.PoolLiveBytes)
+	fmt.Fprintf(w, "sharedq_inflight %d\n", st.InFlight)
+	metrics.WriteProm(w, "sharedq_", "tenant", s.ctrl.Stats())
+	fmt.Fprintf(w, "sharedq_admit_queued %d\n", s.ctrl.Queued())
+	fmt.Fprintf(w, "sharedq_admit_inflight %d\n", s.ctrl.InFlight())
+	metrics.WriteProm(w, "sharedq_", "tenant", s.stats.Snapshot())
+}
+
+// Stats snapshots the server's own counters (serve_conns_total,
+// serve_queries, serve_frames, serve_rows, serve_shed, ...).
+func (s *Server) Stats() map[string]int64 { return s.stats.Snapshot() }

@@ -1,0 +1,368 @@
+// Package wire is the sharedqd client/server frame codec: a
+// length-prefixed binary protocol carrying streamed result chunks and
+// typed errors over any byte stream (TCP in practice).
+//
+// Every frame is
+//
+//	uint32 big-endian payload length | 1 type byte | payload
+//
+// where the length counts the type byte plus the payload. A session is
+// one request/response exchange per query, multiplexed-free by design —
+// a client opens a connection, sends TQuery frames one at a time, and
+// reads the response stream for each:
+//
+//	client → server:  TQuery {tenant, sql}
+//	server → client:  TSchema {columns}
+//	                  TBatch  {rows}     (zero or more, streamed)
+//	                  TDone   {rowCount}
+//	            or:   TError  {code, retryAfterMillis, message}
+//
+// A TError may follow TBatch frames (a query can fail mid-stream); the
+// result is complete only when TDone arrives. Error codes map the
+// engine's typed errors one-to-one so clients can branch without string
+// matching: CodeRetryAfter/CodeOverloaded are backpressure (resubmit
+// after the embedded delay — the query never started), CodeCanceled and
+// CodeDeadline echo context errors, CodeCorruptPage and CodePanic are
+// the fault-containment verdicts, CodeClosed means the server is
+// draining for shutdown.
+//
+// Encoding is append-style (Append*) so a serving loop reuses one
+// buffer per connection and the steady-state per-frame path allocates
+// nothing; decoding parses in place and only ParseBatch materializes
+// rows (on the client, where they must outlive the read buffer).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"sharedq/internal/pages"
+)
+
+// Frame types.
+const (
+	TQuery  byte = 1 // client → server: {tenant, sql}
+	TSchema byte = 2 // server → client: result columns
+	TBatch  byte = 3 // server → client: a chunk of result rows
+	TDone   byte = 4 // server → client: stream complete, total row count
+	TError  byte = 5 // server → client: typed failure, ends the stream
+)
+
+// Error codes carried by TError frames.
+const (
+	CodeInternal    byte = 0 // unclassified server-side failure
+	CodeBadRequest  byte = 1 // unparsable frame or SQL
+	CodeOverloaded  byte = 2 // shed by the engine's overload valve
+	CodeRetryAfter  byte = 3 // shed by admission control; retry after the embedded delay
+	CodeCanceled    byte = 4 // context canceled (client went away or server drained the query)
+	CodeDeadline    byte = 5 // context deadline exceeded
+	CodeCorruptPage byte = 6 // storage checksum mismatch (quarantined page)
+	CodePanic       byte = 7 // query panicked; contained, engine healthy
+	CodeClosed      byte = 8 // server is shutting down, admits nothing
+)
+
+// MaxFrame bounds a frame's declared length; a peer announcing more is
+// corrupt or hostile and the connection should drop.
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge reports a frame length above MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+
+// ErrTruncated reports a structurally short payload.
+var ErrTruncated = errors.New("wire: truncated payload")
+
+// ReadFrame reads one frame from r into *buf (growing it as needed —
+// pass the same pointer every call to amortize the allocation) and
+// returns the frame type and its payload, aliased into *buf: the
+// payload is valid only until the next ReadFrame on the same buffer.
+func ReadFrame(r io.Reader, buf *[]byte) (t byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 {
+		return 0, nil, ErrTruncated
+	}
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
+	}
+	b := (*buf)[:n]
+	if _, err := io.ReadFull(r, b); err != nil {
+		// A half-frame is a protocol error, not a clean EOF.
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return b[0], b[1:], nil
+}
+
+// beginFrame appends a frame header with a placeholder length and
+// returns the offset to patch in endFrame.
+func beginFrame(dst []byte, t byte) ([]byte, int) {
+	off := len(dst)
+	return append(dst, 0, 0, 0, 0, t), off
+}
+
+// endFrame patches the length prefix of the frame begun at off.
+func endFrame(dst []byte, off int) []byte {
+	binary.BigEndian.PutUint32(dst[off:], uint32(len(dst)-off-4))
+	return dst
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = appendU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func parseU32(p []byte) (uint32, []byte, error) {
+	if len(p) < 4 {
+		return 0, nil, ErrTruncated
+	}
+	return binary.BigEndian.Uint32(p), p[4:], nil
+}
+
+func parseU64(p []byte) (uint64, []byte, error) {
+	if len(p) < 8 {
+		return 0, nil, ErrTruncated
+	}
+	return binary.BigEndian.Uint64(p), p[8:], nil
+}
+
+func parseStr(p []byte) (string, []byte, error) {
+	n, p, err := parseU32(p)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint32(len(p)) < n {
+		return "", nil, ErrTruncated
+	}
+	return string(p[:n]), p[n:], nil
+}
+
+// AppendQuery appends a TQuery frame.
+func AppendQuery(dst []byte, tenant, sql string) []byte {
+	dst, off := beginFrame(dst, TQuery)
+	dst = appendStr(dst, tenant)
+	dst = appendStr(dst, sql)
+	return endFrame(dst, off)
+}
+
+// ParseQuery decodes a TQuery payload.
+func ParseQuery(p []byte) (tenant, sql string, err error) {
+	tenant, p, err = parseStr(p)
+	if err != nil {
+		return "", "", err
+	}
+	sql, p, err = parseStr(p)
+	if err != nil {
+		return "", "", err
+	}
+	if len(p) != 0 {
+		return "", "", fmt.Errorf("wire: %d trailing bytes in TQuery", len(p))
+	}
+	return tenant, sql, nil
+}
+
+// AppendSchema appends a TSchema frame.
+func AppendSchema(dst []byte, s *pages.Schema) []byte {
+	dst, off := beginFrame(dst, TSchema)
+	dst = appendU32(dst, uint32(len(s.Columns)))
+	for _, c := range s.Columns {
+		dst = append(dst, byte(c.Kind))
+		dst = appendStr(dst, c.Name)
+	}
+	return endFrame(dst, off)
+}
+
+// ParseSchema decodes a TSchema payload.
+func ParseSchema(p []byte) (*pages.Schema, error) {
+	n, p, err := parseU32(p)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("wire: implausible column count %d", n)
+	}
+	cols := make([]pages.Column, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(p) < 1 {
+			return nil, ErrTruncated
+		}
+		kind := pages.Kind(p[0])
+		p = p[1:]
+		if kind != pages.KindInt && kind != pages.KindFloat && kind != pages.KindString {
+			return nil, fmt.Errorf("wire: unknown column kind %d", kind)
+		}
+		var name string
+		name, p, err = parseStr(p)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, pages.Column{Name: name, Kind: kind})
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes in TSchema", len(p))
+	}
+	return pages.NewSchema(cols...), nil
+}
+
+// AppendBatch appends a TBatch frame carrying rows, encoded
+// column-major by the schema's kinds: for each column in order, all of
+// its values back to back (int64/float64 as 8 big-endian bytes, strings
+// length-prefixed). Column-major keeps same-typed bytes contiguous —
+// the layout the engine's own pages use. Rows must conform to s.
+func AppendBatch(dst []byte, s *pages.Schema, rows []pages.Row) []byte {
+	dst, off := beginFrame(dst, TBatch)
+	dst = appendU32(dst, uint32(len(rows)))
+	for ci, c := range s.Columns {
+		switch c.Kind {
+		case pages.KindInt:
+			for _, r := range rows {
+				dst = appendU64(dst, uint64(r[ci].I))
+			}
+		case pages.KindFloat:
+			for _, r := range rows {
+				dst = appendU64(dst, math.Float64bits(r[ci].F))
+			}
+		default:
+			for _, r := range rows {
+				dst = appendStr(dst, r[ci].S)
+			}
+		}
+	}
+	return endFrame(dst, off)
+}
+
+// ParseBatch decodes a TBatch payload against the stream's schema,
+// materializing fresh rows (the payload buffer may be reused by the
+// caller's next read).
+func ParseBatch(p []byte, s *pages.Schema) ([]pages.Row, error) {
+	n, p, err := parseU32(p)
+	if err != nil {
+		return nil, err
+	}
+	// Every row carries at least one byte per column on the wire only
+	// for strings; ints/floats are 8. Bound n by the payload so a
+	// corrupt count cannot force a huge allocation.
+	if int(n) > len(p)+1 {
+		return nil, fmt.Errorf("wire: row count %d exceeds payload", n)
+	}
+	vals := make([]pages.Value, int(n)*s.Len())
+	rows := make([]pages.Row, n)
+	for i := range rows {
+		rows[i] = vals[i*s.Len() : (i+1)*s.Len() : (i+1)*s.Len()]
+	}
+	for ci, c := range s.Columns {
+		switch c.Kind {
+		case pages.KindInt:
+			for i := range rows {
+				var v uint64
+				v, p, err = parseU64(p)
+				if err != nil {
+					return nil, err
+				}
+				rows[i][ci] = pages.Int(int64(v))
+			}
+		case pages.KindFloat:
+			for i := range rows {
+				var v uint64
+				v, p, err = parseU64(p)
+				if err != nil {
+					return nil, err
+				}
+				rows[i][ci] = pages.Float(math.Float64frombits(v))
+			}
+		default:
+			for i := range rows {
+				var v string
+				v, p, err = parseStr(p)
+				if err != nil {
+					return nil, err
+				}
+				rows[i][ci] = pages.Str(v)
+			}
+		}
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes in TBatch", len(p))
+	}
+	return rows, nil
+}
+
+// AppendDone appends a TDone frame with the stream's total row count.
+func AppendDone(dst []byte, rowCount uint64) []byte {
+	dst, off := beginFrame(dst, TDone)
+	dst = appendU64(dst, rowCount)
+	return endFrame(dst, off)
+}
+
+// ParseDone decodes a TDone payload.
+func ParseDone(p []byte) (rowCount uint64, err error) {
+	v, p, err := parseU64(p)
+	if err != nil {
+		return 0, err
+	}
+	if len(p) != 0 {
+		return 0, fmt.Errorf("wire: %d trailing bytes in TDone", len(p))
+	}
+	return v, nil
+}
+
+// AppendError appends a TError frame. retryAfter is meaningful for
+// CodeRetryAfter/CodeOverloaded and rounds to milliseconds (minimum
+// 1ms when positive).
+func AppendError(dst []byte, code byte, retryAfter time.Duration, msg string) []byte {
+	dst, off := beginFrame(dst, TError)
+	millis := retryAfter.Milliseconds()
+	if retryAfter > 0 && millis == 0 {
+		millis = 1
+	}
+	if millis < 0 {
+		millis = 0
+	}
+	if millis > math.MaxUint32 {
+		millis = math.MaxUint32
+	}
+	dst = append(dst, code)
+	dst = appendU32(dst, uint32(millis))
+	dst = appendStr(dst, msg)
+	return endFrame(dst, off)
+}
+
+// ParseError decodes a TError payload.
+func ParseError(p []byte) (code byte, retryAfter time.Duration, msg string, err error) {
+	if len(p) < 1 {
+		return 0, 0, "", ErrTruncated
+	}
+	code = p[0]
+	millis, p, err := parseU32(p[1:])
+	if err != nil {
+		return 0, 0, "", err
+	}
+	msg, p, err = parseStr(p)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	if len(p) != 0 {
+		return 0, 0, "", fmt.Errorf("wire: %d trailing bytes in TError", len(p))
+	}
+	return code, time.Duration(millis) * time.Millisecond, msg, nil
+}

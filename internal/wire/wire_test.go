@@ -1,0 +1,276 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"sharedq/internal/pages"
+)
+
+func testSchema() *pages.Schema {
+	return pages.NewSchema(
+		pages.Column{Name: "d_year", Kind: pages.KindInt},
+		pages.Column{Name: "profit", Kind: pages.KindFloat},
+		pages.Column{Name: "c_nation", Kind: pages.KindString},
+	)
+}
+
+func testRows() []pages.Row {
+	return []pages.Row{
+		{pages.Int(1997), pages.Float(1234.5), pages.Str("UNITED STATES")},
+		{pages.Int(-3), pages.Float(-0.25), pages.Str("")},
+		{pages.Int(0), pages.Float(0), pages.Str("CHINA")},
+	}
+}
+
+func readOne(t *testing.T, frame []byte) (byte, []byte) {
+	t.Helper()
+	var buf []byte
+	typ, payload, err := ReadFrame(bytes.NewReader(frame), &buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	return typ, payload
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	frame := AppendQuery(nil, "tenant-7", "select sum(lo_revenue) from lineorder")
+	typ, payload := readOne(t, frame)
+	if typ != TQuery {
+		t.Fatalf("type = %d", typ)
+	}
+	tenant, sql, err := ParseQuery(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "tenant-7" || sql != "select sum(lo_revenue) from lineorder" {
+		t.Fatalf("got %q %q", tenant, sql)
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	s := testSchema()
+	typ, payload := readOne(t, AppendSchema(nil, s))
+	if typ != TSchema {
+		t.Fatalf("type = %d", typ)
+	}
+	got, err := ParseSchema(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != s.String() {
+		t.Fatalf("schema = %s, want %s", got, s)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	s, rows := testSchema(), testRows()
+	typ, payload := readOne(t, AppendBatch(nil, s, rows))
+	if typ != TBatch {
+		t.Fatalf("type = %d", typ)
+	}
+	got, err := ParseBatch(payload, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("rows = %d, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if !got[i][j].Equal(rows[i][j]) {
+				t.Fatalf("row %d col %d = %v, want %v", i, j, got[i][j], rows[i][j])
+			}
+		}
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	s := testSchema()
+	_, payload := readOne(t, AppendBatch(nil, s, nil))
+	got, err := ParseBatch(payload, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("rows = %d", len(got))
+	}
+}
+
+func TestDoneAndErrorRoundTrip(t *testing.T) {
+	typ, payload := readOne(t, AppendDone(nil, 42))
+	if typ != TDone {
+		t.Fatalf("type = %d", typ)
+	}
+	if n, err := ParseDone(payload); err != nil || n != 42 {
+		t.Fatalf("done = %d, %v", n, err)
+	}
+
+	typ, payload = readOne(t, AppendError(nil, CodeRetryAfter, 75*time.Millisecond, "queue full"))
+	if typ != TError {
+		t.Fatalf("type = %d", typ)
+	}
+	code, after, msg, err := ParseError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != CodeRetryAfter || after != 75*time.Millisecond || msg != "queue full" {
+		t.Fatalf("error = %d %v %q", code, after, msg)
+	}
+}
+
+func TestErrorRetryAfterRounding(t *testing.T) {
+	// Sub-millisecond positive delays must not round down to "retry now".
+	_, payload := readOne(t, AppendError(nil, CodeOverloaded, 100*time.Microsecond, ""))
+	_, after, _, err := ParseError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != time.Millisecond {
+		t.Fatalf("after = %v, want 1ms", after)
+	}
+}
+
+func TestFrameStream(t *testing.T) {
+	// Several frames back to back through one reused buffer.
+	s, rows := testSchema(), testRows()
+	var frame []byte
+	frame = AppendSchema(frame, s)
+	frame = AppendBatch(frame, s, rows)
+	frame = AppendBatch(frame, s, rows[:1])
+	frame = AppendDone(frame, 4)
+	r := bytes.NewReader(frame)
+	var buf []byte
+	want := []byte{TSchema, TBatch, TBatch, TDone}
+	for i, w := range want {
+		typ, _, err := ReadFrame(r, &buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != w {
+			t.Fatalf("frame %d type = %d, want %d", i, typ, w)
+		}
+	}
+	if _, _, err := ReadFrame(r, &buf); err != io.EOF {
+		t.Fatalf("tail err = %v, want EOF", err)
+	}
+}
+
+func TestReadFrameLimits(t *testing.T) {
+	// Oversized declared length is rejected before allocating.
+	var hdr [5]byte
+	hdr[0], hdr[1] = 0xFF, 0xFF
+	var buf []byte
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:]), &buf); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+	// Zero-length frame (no type byte) is truncated.
+	if _, _, err := ReadFrame(bytes.NewReader(make([]byte, 4)), &buf); err != ErrTruncated {
+		t.Fatalf("err = %v", err)
+	}
+	// Half a frame is ErrUnexpectedEOF, not a clean EOF.
+	frame := AppendDone(nil, 7)
+	if _, _, err := ReadFrame(bytes.NewReader(frame[:len(frame)-2]), &buf); err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseRejectsTrailingBytes(t *testing.T) {
+	_, payload := readOne(t, AppendDone(nil, 1))
+	if _, err := ParseDone(append(payload, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	_, payload = readOne(t, AppendQuery(nil, "t", "q"))
+	if _, _, err := ParseQuery(append(payload, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestEncodeReusesBuffer(t *testing.T) {
+	s, rows := testSchema(), testRows()
+	buf := make([]byte, 0, 4096)
+	n := testing.AllocsPerRun(100, func() {
+		buf = AppendBatch(buf[:0], s, rows)
+	})
+	if n != 0 {
+		t.Fatalf("AppendBatch allocates %v per frame", n)
+	}
+}
+
+// FuzzWireFrame feeds arbitrary bytes through the frame reader and
+// every payload parser: decoding must never panic, and anything that
+// decodes successfully must re-encode to the identical payload
+// (canonical encoding round-trip).
+func FuzzWireFrame(f *testing.F) {
+	s, rows := testSchema(), testRows()
+	f.Add(AppendQuery(nil, "tenant", "select 1"))
+	f.Add(AppendSchema(nil, s))
+	f.Add(AppendBatch(nil, s, rows))
+	f.Add(AppendDone(nil, 3))
+	f.Add(AppendError(nil, CodePanic, time.Second, "boom"))
+	f.Add([]byte{0, 0, 0, 2, TBatch, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var buf []byte
+		for {
+			typ, payload, err := ReadFrame(r, &buf)
+			if err != nil {
+				return
+			}
+			switch typ {
+			case TQuery:
+				if tenant, sql, err := ParseQuery(payload); err == nil {
+					re := AppendQuery(nil, tenant, sql)
+					if !bytes.Equal(re[5:], payload) {
+						t.Fatalf("TQuery re-encode mismatch")
+					}
+				}
+			case TSchema:
+				if sc, err := ParseSchema(payload); err == nil {
+					re := AppendSchema(nil, sc)
+					if !bytes.Equal(re[5:], payload) {
+						t.Fatalf("TSchema re-encode mismatch")
+					}
+				}
+			case TBatch:
+				if got, err := ParseBatch(payload, s); err == nil {
+					re := AppendBatch(nil, s, got)
+					if !bytes.Equal(re[5:], payload) {
+						t.Fatalf("TBatch re-encode mismatch")
+					}
+				}
+			case TDone:
+				if n, err := ParseDone(payload); err == nil {
+					re := AppendDone(nil, n)
+					if !bytes.Equal(re[5:], payload) {
+						t.Fatalf("TDone re-encode mismatch")
+					}
+				}
+			case TError:
+				if code, after, msg, err := ParseError(payload); err == nil {
+					re := AppendError(nil, code, after, msg)
+					if !bytes.Equal(re[5:], payload) {
+						t.Fatalf("TError re-encode mismatch")
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestLongStrings(t *testing.T) {
+	s := pages.NewSchema(pages.Column{Name: "s", Kind: pages.KindString})
+	long := strings.Repeat("x", 100_000)
+	rows := []pages.Row{{pages.Str(long)}}
+	_, payload := readOne(t, AppendBatch(nil, s, rows))
+	got, err := ParseBatch(payload, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0].S != long {
+		t.Fatal("long string mangled")
+	}
+}

@@ -61,6 +61,47 @@
 // drain with a context, force-cancelling whatever is still running
 // when it expires.
 //
+// # Streaming results
+//
+// Engine.Stream returns a Rows cursor that delivers result rows as
+// the pipeline produces them, instead of collecting everything first
+// (Engine.Query and Engine.QueryCtx are collect-all wrappers over the
+// same path). Iterate with Next/Scan, check Err after the loop, and
+// always Close — closing mid-stream cancels the query exactly like a
+// context cancellation, so an abandoned cursor detaches from shared
+// scans and leaks nothing:
+//
+//	rows, err := eng.Stream(ctx, sql)
+//	if err != nil { ... }       // admission errors surface here; a shed query never starts
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var nation string
+//	    var rev int64
+//	    if err := rows.Scan(&nation, &rev); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// Engine.Stats returns a point-in-time observability snapshot (the
+// sharing and robustness counters, batch-pool health, in-flight
+// count) — the surface the network daemon's /metrics endpoint
+// scrapes.
+//
+// # Serving and admission control
+//
+// Command sharedqd (cmd/sharedqd) serves an engine over the network:
+// a length-prefixed binary frame protocol that streams column batches
+// as the cursor produces them, plus an HTTP/JSON endpoint and a
+// Prometheus-style /metrics. A client disconnect cancels its running
+// query through the same lifecycle path as a context cancellation.
+// In front of the engine sits a sharing-aware admission controller
+// with per-tenant weighted fair queueing, predictive shedding (from
+// the engine's observed service times and the GQPCost.Marginal cost
+// model), and — in the CJOIN modes — admission batching aligned to
+// circular-scan pass boundaries, amortizing the per-admission
+// pipeline stall the paper describes in §3.1. A shed query never
+// starts; it fails with *ErrRetryAfter (which matches ErrOverloaded
+// under errors.Is) carrying a concrete resubmission delay.
+//
 // # Fault tolerance and overload
 //
 // Every page carries a CRC32-C checksum that is verified before
@@ -86,6 +127,9 @@
 package sharedq
 
 import (
+	"time"
+
+	"sharedq/internal/admit"
 	"sharedq/internal/core"
 	"sharedq/internal/exec"
 	"sharedq/internal/harness"
@@ -113,6 +157,12 @@ type ErrCorruptPage = heap.ErrCorruptPage
 // panicking query fails with it; queries sharing the same pipeline
 // keep running.
 type PanicError = exec.PanicError
+
+// ErrRetryAfter is the admission controller's shed verdict: the query
+// never started, and After is a concrete resubmission delay predicted
+// from the engine's observed service times. It matches ErrOverloaded
+// under errors.Is, so existing overload handling keeps working.
+type ErrRetryAfter = admit.ErrRetryAfter
 
 // Engine configuration modes (§5.1 of the paper).
 const (
@@ -152,6 +202,16 @@ type (
 	// GQPCost feeds the shared-operator prediction model the paper
 	// sketches in §6.
 	GQPCost = core.GQPCost
+	// Rows is the streaming result cursor returned by Engine.Stream.
+	Rows = core.Rows
+	// Stats is Engine.Stats's observability snapshot.
+	Stats = core.Stats
+	// AdmitConfig tunes the sharing-aware admission controller that
+	// fronts a served engine (cmd/sharedqd).
+	AdmitConfig = admit.Config
+	// AdmitController is the admission controller itself, for embedding
+	// sharedqd-style serving in another process.
+	AdmitController = admit.Controller
 	// Comm selects a communication model.
 	Comm = qpipe.Comm
 	// Result is one measured harness run.
@@ -190,6 +250,16 @@ func PredictPushSP(c PushSPCost) bool { return core.PredictPushSP(c) }
 
 // PredictGQP applies the §6 shared-operator prediction model.
 func PredictGQP(c GQPCost) bool { return core.PredictGQP(c) }
+
+// PredictRetryAfter estimates how long a newly shed query should wait
+// before resubmitting, given the system's load and observed average
+// service time.
+func PredictRetryAfter(inflight, queued, slots int, avgService time.Duration) time.Duration {
+	return core.PredictRetryAfter(inflight, queued, slots, avgService)
+}
+
+// NewAdmitController builds an admission controller over cfg.Engine.
+func NewAdmitController(cfg AdmitConfig) *AdmitController { return admit.New(cfg) }
 
 // Experiments lists every reproducible figure and table.
 func Experiments() []Experiment { return harness.All() }

@@ -1,0 +1,250 @@
+package sharedq_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"sharedq"
+	"sharedq/internal/vec"
+)
+
+// The streaming-cursor lifecycle suite: Engine.Stream must behave
+// identically across every engine configuration, both communication
+// models and both parallelism settings — a fully drained cursor yields
+// exactly the collect-all result, an early Close or a mid-iteration
+// cancel releases everything the query held, and in every case the
+// engine afterwards holds zero checked-out pool batches and zero
+// goroutines. Poisoned releases turn any use-after-release on an
+// abandonment path into a loud failure, and the CI race job runs this
+// suite under -race.
+
+// streamQuery is a plain projection — the streaming case: rows flow
+// while the scan is still running, in many chunks, so early Close and
+// mid-iteration cancel genuinely interrupt a live pipeline.
+const streamQuery = `SELECT lo_orderkey, lo_revenue FROM lineorder WHERE lo_discount >= 2`
+
+// streamAggQuery is the blocking case: one final chunk after the
+// aggregate completes.
+const streamAggQuery = `SELECT c_nation, SUM(lo_revenue) AS rev FROM lineorder, customer
+	WHERE lo_custkey = c_custkey GROUP BY c_nation ORDER BY rev DESC`
+
+// fingerprint reduces a result to order-independent invariants (shared
+// circular scans may deliver projection rows starting mid-pass, so row
+// order is not comparable across modes).
+func fingerprint(t *testing.T, rows *sharedq.Rows) (n int, sum int64) {
+	t.Helper()
+	for rows.Next() {
+		var key, rev int64
+		if err := rows.Scan(&key, &rev); err != nil {
+			t.Fatal(err)
+		}
+		n++
+		sum += key ^ rev
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return n, sum
+}
+
+func TestStreamLifecycleAcrossModes(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+	sys := paritySystem(t)
+
+	// Reference fingerprint from the baseline collect-all path.
+	refEng := sharedq.NewEngine(sys, sharedq.Options{Mode: sharedq.Baseline})
+	refRows, _, err := refEng.Query(streamQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN, wantSum := len(refRows), int64(0)
+	for _, r := range refRows {
+		wantSum += r[0].I ^ r[1].I
+	}
+	refEng.Close()
+	if wantN == 0 {
+		t.Fatal("reference query returned no rows")
+	}
+
+	for _, mode := range sharedq.Modes() {
+		for _, cm := range []sharedq.Comm{sharedq.CommSPL, sharedq.CommFIFO} {
+			for _, par := range []int{1, 4} {
+				name := fmt.Sprintf("%s/%s/p%d", mode, cm, par)
+				t.Run(name, func(t *testing.T) {
+					eng := sharedq.NewEngine(sys, sharedq.Options{Mode: mode, Comm: cm, Parallelism: par})
+
+					// Full drain: the stream is the collect-all result.
+					rows, err := eng.Stream(context.Background(), streamQuery)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if n, sum := fingerprint(t, rows); n != wantN || sum != wantSum {
+						t.Errorf("streamed %d rows (checksum %d), want %d (%d)", n, sum, wantN, wantSum)
+					}
+					if err := rows.Close(); err != nil {
+						t.Errorf("Close after drain: %v", err)
+					}
+
+					// Early Close mid-stream: a deliberate abandon is not an
+					// error, and the engine stays usable.
+					rows, err = eng.Stream(context.Background(), streamQuery)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := 0; i < 3 && rows.Next(); i++ {
+					}
+					if err := rows.Close(); err != nil {
+						t.Errorf("early Close: %v", err)
+					}
+
+					// Cancel mid-iteration: once the buffered chunks drain,
+					// the cursor must surface context.Canceled.
+					ctx, cancel := context.WithCancel(context.Background())
+					rows, err = eng.Stream(ctx, streamQuery)
+					if err != nil {
+						cancel()
+						t.Fatal(err)
+					}
+					if rows.Next() {
+						cancel()
+					}
+					got := 1
+					for rows.Next() {
+						got++
+					}
+					// Blocking shapes (e.g. the morsel-parallel path) may have
+					// emitted the whole result as one chunk before the cancel
+					// landed; a truncated stream must surface the cancel.
+					if got < wantN {
+						if err := rows.Err(); !errors.Is(err, context.Canceled) {
+							t.Errorf("after cancel: Err() = %v, want context.Canceled", err)
+						}
+					}
+					rows.Close()
+					cancel()
+
+					// The blocking shape: aggregates arrive as one final
+					// chunk, through the same cursor.
+					rows, err = eng.Stream(context.Background(), streamAggQuery)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var aggN int
+					for rows.Next() {
+						var nation string
+						var rev int64
+						if err := rows.Scan(&nation, &rev); err != nil {
+							t.Fatal(err)
+						}
+						aggN++
+					}
+					if err := rows.Err(); err != nil {
+						t.Fatal(err)
+					}
+					if aggN == 0 {
+						t.Error("aggregate stream returned no rows")
+					}
+					rows.Close()
+
+					eng.Close()
+					checkNoLeaks(t, sys)
+				})
+			}
+		}
+	}
+}
+
+// TestStreamCursorContract pins the cursor's small-print: Collect,
+// Scan destination checking, double Close, use after Close, and
+// admission errors surfacing from Stream itself (a shed query never
+// produces a cursor).
+func TestStreamCursorContract(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+	sys := paritySystem(t)
+	eng := sharedq.NewEngine(sys, sharedq.Options{Mode: sharedq.CJOINSP})
+
+	// Collect drains and closes in one call.
+	rows, err := eng.Stream(context.Background(), streamAggQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := rows.Collect()
+	if err != nil || len(all) == 0 {
+		t.Fatalf("Collect = %d rows, %v", len(all), err)
+	}
+	if rows.Next() {
+		t.Error("Next after Collect should be false")
+	}
+
+	// Scan type checking.
+	rows, err = eng.Stream(context.Background(), streamAggQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no rows: %v", rows.Err())
+	}
+	var wrong int64
+	if err := rows.Scan(&wrong); err == nil {
+		t.Error("Scan with wrong arity should fail")
+	}
+	var nation string
+	if err := rows.Scan(&nation, &wrong); err != nil {
+		t.Errorf("Scan: %v", err)
+	}
+	// Double Close is idempotent.
+	if err := rows.Close(); err != nil {
+		t.Errorf("first Close: %v", err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if rows.Next() {
+		t.Error("Next after Close should be false")
+	}
+
+	// Plan errors surface from Stream, before any cursor exists.
+	if _, err := eng.Stream(context.Background(), "SELEKT nonsense"); err == nil {
+		t.Error("bad SQL should fail at Stream")
+	}
+
+	// An already-cancelled context never starts the query.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Stream(ctx, streamQuery); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled Stream = %v, want context.Canceled", err)
+	}
+	eng.Close()
+	checkNoLeaks(t, sys)
+}
+
+// TestStreamOverloadNeverStarts pins the admission contract on the
+// streaming path: with MaxInFlight saturated, Stream fails fast with
+// ErrOverloaded and the shed query observably never began.
+func TestStreamOverloadNeverStarts(t *testing.T) {
+	sys := paritySystem(t)
+	eng := sharedq.NewEngine(sys, sharedq.Options{Mode: sharedq.QPipeSP, MaxInFlight: 1})
+	defer eng.Close()
+
+	rows, err := eng.Stream(context.Background(), streamQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatalf("no first row: %v", rows.Err())
+	}
+	// The first cursor holds the only slot while it is open.
+	r2, err := eng.Stream(context.Background(), streamQuery)
+	if err == nil {
+		r2.Close()
+		t.Fatal("second Stream succeeded with the only slot held")
+	}
+	if !errors.Is(err, sharedq.ErrOverloaded) {
+		t.Fatalf("second Stream = %v, want ErrOverloaded", err)
+	}
+}
