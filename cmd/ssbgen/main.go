@@ -45,10 +45,11 @@ func main() {
 		sample     = flag.Int("sample", 5, "rows to print with -table")
 		compressed = flag.Bool("compressed", false, "size the compressed columnar format")
 		stats      = flag.Bool("stats", false, "print per-column cardinality and chosen encoding")
+		skew       = flag.Float64("skew", 0, "Zipfian skew theta for lineorder foreign keys (0 = uniform)")
 	)
 	flag.Parse()
 
-	g := ssb.Gen{SF: *sf, Seed: *seed}
+	g := ssb.Gen{SF: *sf, Seed: *seed, Skew: *skew}
 
 	if *table != "" {
 		if err := printSample(g, *table, *sample); err != nil {

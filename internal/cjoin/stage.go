@@ -42,9 +42,27 @@ type Config struct {
 	// the fact table's page list is split into that many contiguous
 	// ranges, each cycled by its own scanner feeding the shared pipeline.
 	// A query's admission window is tracked per partition, so it still
-	// sees exactly one full circular pass over the whole table. Default:
-	// the environment's parallelism (exec.Env.Workers).
+	// sees exactly one full circular pass over the whole table. It is a
+	// starting point: skewed page weights make partition passes finish
+	// at very different times, so an idle scanner may split the busiest
+	// partition live (see MaxScanPartitions). Default: the environment's
+	// parallelism (exec.Env.Workers).
 	ScanPartitions int
+	// MaxScanPartitions caps live partition splitting: an idle scanner
+	// steals the unswept tail of the partition with the most pages left
+	// in its cycle, spawning a new scanner for it, up to this many
+	// partitions total. 0 defaults to twice the starting partition
+	// count; negative disables splitting.
+	MaxScanPartitions int
+	// StragglerLagPages enables straggler detachment: a query whose
+	// output port is full even after absorbing this many extra pages —
+	// its consumer has fallen that far behind the shared pipeline — has
+	// its admission window retracted instead of convoying every query in
+	// the plan, and the stage re-derives its undelivered pages privately
+	// into the same output stream. Results are identical; the global
+	// pipeline returns to full speed. 0 disables (the paper's
+	// stall-on-slow-consumer behavior).
+	StragglerLagPages int
 	// Ports configures the output communication model and sizes.
 	Ports qpipe.PortConfig
 }
@@ -84,6 +102,17 @@ type query struct {
 	done        atomic.Bool  // preprocessor completed the circular window
 	closed      atomic.Bool
 	cancelled   atomic.Bool // admission window retracted before completion
+
+	// Straggler detachment (Config.StragglerLagPages): straggled flips
+	// when the distributor cannot deliver to this query's output even
+	// with elastic growth; detached claims the one-shot window
+	// retraction + private continuation; missed records the fact pages
+	// skipped between the two (plus the refused page itself), which the
+	// continuation re-derives.
+	straggled atomic.Bool
+	detached  atomic.Bool
+	missMu    sync.Mutex
+	missed    []int
 
 	wopMu   sync.Mutex // guards started against satellite attachment
 	started bool       // first output emitted; step WoP closed
@@ -128,6 +157,7 @@ type filter struct {
 // position.
 type batch struct {
 	facts   *vec.Batch
+	idx     int // fact page index, for straggler miss accounting
 	bms     []Bitmap
 	dims    [][]pages.Row // [filter][tuple]
 	queries []*query      // active queries at emission
@@ -150,8 +180,12 @@ type Stage struct {
 	freeBit   []int
 	dirtyBit  []int // freed bits not yet cleared from the filters
 	parts     []scanPart
+	maxParts  int      // live-splitting bound on len(parts)
 	admitDone []*query // completed at admission (no pages to show)
 	closed    bool
+
+	maxLag int                 // Config.StragglerLagPages
+	robust *metrics.CounterSet // straggler/split counters (may be nil)
 
 	inflight atomic.Int64 // batches emitted but not yet fully distributed
 
@@ -184,11 +218,14 @@ type passHook struct{ fn func() }
 
 // scanPart is one partitioned scanner's share of the fact table: a
 // contiguous page range cycled circularly, plus the bits of the queries
-// whose admission window is currently open in this partition.
+// whose admission window is currently open in this partition. emitted
+// is the partition's progress counter; the gap between partitions'
+// remaining work is what live splitting levels out.
 type scanPart struct {
-	lo, hi int // page range [lo, hi)
-	pos    int // next page index to emit; guarded by stage.mu
-	mask   Bitmap
+	lo, hi  int // page range [lo, hi)
+	pos     int // next page index to emit; guarded by stage.mu
+	emitted int64
+	mask    Bitmap
 }
 
 // NewStage creates and starts a CJOIN stage over env. Close must be
@@ -202,12 +239,16 @@ func NewStage(env *exec.Env, cfg Config) *Stage {
 		cfg.Ports.Pool = env.Recycle
 	}
 	st := &Stage{
-		env:   env,
-		cfg:   cfg,
-		stats: metrics.NewCounterSet(),
-		hosts: make(map[string]*query),
-		preQ:  make(chan *batch, cfg.PipelineThreads*2),
-		distQ: make(chan *batch, cfg.DistributorParts*2),
+		env:    env,
+		cfg:    cfg,
+		stats:  metrics.NewCounterSet(),
+		hosts:  make(map[string]*query),
+		preQ:   make(chan *batch, cfg.PipelineThreads*2),
+		distQ:  make(chan *batch, cfg.DistributorParts*2),
+		maxLag: cfg.StragglerLagPages,
+	}
+	if env.Guard != nil {
+		st.robust = env.Guard.Counters
 	}
 	st.cond = sync.NewCond(&st.mu)
 
@@ -231,6 +272,14 @@ func NewStage(env *exec.Env, cfg Config) *Stage {
 		lo := i * nPages / nScan
 		hi := (i + 1) * nPages / nScan
 		st.parts[i] = scanPart{lo: lo, hi: hi, pos: lo}
+	}
+	switch {
+	case cfg.MaxScanPartitions > 0:
+		st.maxParts = cfg.MaxScanPartitions
+	case cfg.MaxScanPartitions == 0:
+		st.maxParts = 2 * nScan
+	default:
+		st.maxParts = nScan // splitting disabled
 	}
 	for i := range st.parts {
 		st.wg.Add(1)
@@ -571,9 +620,17 @@ func (st *Stage) scanner(pi int) {
 				return
 			}
 			if len(completed) == 0 {
-				// Idle: nothing to scan for in this partition, nothing
-				// to finish. Sleep until a submission, an admission by
-				// another scanner, or Close arrives.
+				// Idle: nothing to scan for in this partition. Before
+				// sleeping, try to split the busiest partition's unswept
+				// tail into a new one — skewed page weights leave some
+				// partitions far behind while this scanner has nothing
+				// to do. On a split, loop: another may be worth taking.
+				if st.splitBusiestLocked() {
+					st.mu.Unlock()
+					continue
+				}
+				// Nothing to steal either. Sleep until a submission, an
+				// admission by another scanner, or Close arrives.
 				st.cond.Wait()
 				st.mu.Unlock()
 				continue
@@ -584,6 +641,7 @@ func (st *Stage) scanner(pi int) {
 		}
 		idx := p.pos
 		wrapped := false
+		p.emitted++
 		if p.pos++; p.pos == p.hi {
 			p.pos = p.lo
 			wrapped = true
@@ -642,7 +700,7 @@ func (st *Stage) scanner(pi int) {
 		// are frozen at emission; the pipeline only mutates words in
 		// place, so the carved slices never grow into each other.
 		st.stats.Get("cjoin_fact_batches").Inc()
-		b := &batch{facts: bat, bms: make([]Bitmap, bat.Len()), queries: open}
+		b := &batch{facts: bat, idx: idx, bms: make([]Bitmap, bat.Len()), queries: open}
 		if w := len(mask); w > 0 {
 			flat := make([]uint64, w*bat.Len())
 			for i := range b.bms {
@@ -666,6 +724,104 @@ func (st *Stage) readFactBatch(t *catalog.Table, idx int) (b *vec.Batch, err err
 		}
 	}()
 	return exec.ReadTableBatch(st.env, t, idx)
+}
+
+// minSplitPages is the smallest tail worth carving into a partition of
+// its own: below this, spawning a scanner costs more than it levels.
+const minSplitPages = 2
+
+// splitBusiestLocked carves the unswept tail of the partition with the
+// most pages left in its cycle into a new partition with its own
+// scanner, so an idle scanner turns into progress on the heavy range.
+// The split point mid is chosen past every open query's entry position
+// in that partition, which keeps exactly-once delivery trivially
+// intact: every open window either still needs the whole tail (entry
+// at or before the partition's position — it gets a fresh one-pass
+// window on the new partition) or none of it (entry between position
+// and mid — its window stays wholly inside the shrunk partition).
+// Reports whether a split happened. Caller holds st.mu.
+func (st *Stage) splitBusiestLocked() bool {
+	if len(st.parts) >= st.maxParts || len(st.active) == 0 {
+		return false
+	}
+	// The busiest partition: most pages between its position and the
+	// end of its range, among partitions some query's window is open in.
+	openIn := make([]bool, len(st.parts))
+	for _, qq := range st.active {
+		for pi, o := range qq.open {
+			if o {
+				openIn[pi] = true
+			}
+		}
+	}
+	best, bestRem := -1, 2*minSplitPages-1
+	for i := range st.parts {
+		if !openIn[i] {
+			continue
+		}
+		if rem := st.parts[i].hi - st.parts[i].pos; rem > bestRem {
+			best, bestRem = i, rem
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	p := &st.parts[best]
+	mid := (p.pos + p.hi + 1) / 2
+	// Entries strictly ahead of the position mark pages already seen
+	// this cycle; the stolen tail must start past all of them (and past
+	// the position itself) so no window needs a partial pass of it.
+	for _, qq := range st.active {
+		if qq.open[best] && qq.entry[best] > p.pos && qq.entry[best]+1 > mid {
+			mid = qq.entry[best] + 1
+		}
+	}
+	if mid <= p.pos {
+		mid = p.pos + 1
+	}
+	if p.hi-mid < minSplitPages {
+		return false
+	}
+	k := len(st.parts)
+	st.parts = append(st.parts, scanPart{lo: mid, hi: p.hi, pos: mid})
+	p = &st.parts[best] // re-take: append may have moved the backing array
+	p.hi = mid
+	np := &st.parts[k]
+	for _, qq := range st.active {
+		// A window still needing the tail (entry at or before pos, or a
+		// freshly opened full-range window) moves that need to a fresh
+		// one-pass window on the new partition.
+		take := qq.open[best] && (qq.entry[best] < p.pos || qq.seen[best] == 0)
+		qq.entry = append(qq.entry, mid)
+		qq.seen = append(qq.seen, 0)
+		qq.open = append(qq.open, take)
+		if take {
+			qq.openParts++
+			np.mask = np.mask.Set(qq.bit)
+		}
+	}
+	st.stats.Get("cjoin_partition_splits").Inc()
+	st.robustInc("partition_splits")
+	st.wg.Add(1)
+	st.scanWG.Add(1)
+	go st.scanner(k)
+	return true
+}
+
+// robustInc bumps a fault-tolerance counter when the stage has a
+// robust counter set wired (it shares the engine-wide set).
+func (st *Stage) robustInc(name string) {
+	if st.robust != nil {
+		st.robust.Get(name).Inc()
+	}
+}
+
+// recordMiss notes a fact page the shared pipeline skipped for a
+// straggled query; the private continuation re-derives it.
+func (qq *query) recordMiss(idx int) {
+	qq.missMu.Lock()
+	qq.missed = append(qq.missed, idx)
+	qq.missMu.Unlock()
 }
 
 // finishQueries closes the outputs of completed queries that have no
@@ -937,6 +1093,176 @@ func (st *Stage) distributorPart() {
 		for _, qq := range failed {
 			st.retract(qq)
 		}
+		// Straggler detachment also takes the stage lock, so it too must
+		// wait until the batch's claims are settled. The CAS elects
+		// exactly one part to perform the retract-and-continue handoff.
+		for _, qq := range b.queries {
+			if qq.straggled.Load() && qq.detached.CompareAndSwap(false, true) {
+				st.detachStraggler(qq)
+			}
+		}
+	}
+}
+
+// detachStraggler retracts a straggling query's remaining admission
+// windows from the shared plan — the convoy resumes at full speed the
+// moment its bit leaves the partition masks — and hands the query to a
+// private continuation goroutine. The never-emitted remainder of each
+// open window (circularly from the partition's position back to the
+// query's entry) is computed here under the stage lock; pages that were
+// in flight when the query straggled are on its miss list. The two sets
+// are disjoint and together are exactly the pages the consumer has not
+// been shown.
+func (st *Stage) detachStraggler(qq *query) {
+	st.mu.Lock()
+	var rem [][2]int
+	for i, a := range st.active {
+		if a != qq {
+			continue
+		}
+		for pi := range qq.open {
+			if !qq.open[pi] {
+				continue
+			}
+			p := &st.parts[pi]
+			entry, pos := qq.entry[pi], p.pos
+			switch {
+			case qq.seen[pi] == 0:
+				// Window open, nothing shown yet: the whole range remains.
+				if pos < p.hi {
+					rem = append(rem, [2]int{pos, p.hi})
+				}
+				if p.lo < pos {
+					rem = append(rem, [2]int{p.lo, pos})
+				}
+			case entry > pos:
+				rem = append(rem, [2]int{pos, entry})
+			case entry < pos:
+				rem = append(rem, [2]int{pos, p.hi})
+				if p.lo < entry {
+					rem = append(rem, [2]int{p.lo, entry})
+				}
+				// entry == pos with pages seen: the window just completed;
+				// nothing remains.
+			}
+			qq.open[pi] = false
+			p.mask.Clear(qq.bit)
+		}
+		qq.openParts = 0
+		st.dirtyBit = append(st.dirtyBit, qq.bit)
+		st.active = append(st.active[:i], st.active[i+1:]...)
+		qq.done.Store(true)
+		// Scanners idling on this query's windows re-check their open sets.
+		st.cond.Broadcast()
+		break
+	}
+	st.stats.Get("cjoin_straggler_detached").Inc()
+	st.robustInc("straggler_detached")
+	st.mu.Unlock()
+	st.wg.Add(1)
+	go st.continueDetached(qq, rem)
+}
+
+// continueDetached is a detached straggler's private continuation: it
+// waits for the shared pipeline's last claims on the query to settle
+// (which completes the missed-page list), then re-derives every
+// undelivered fact page — the recorded misses plus the remaining spans
+// of the retracted windows — through private hash joins, emitting into
+// the same output port the shared plan was feeding. The consumer
+// observes one uninterrupted result stream with the same rows it would
+// have received; only the producer changed underneath it. Blocking on
+// the slow consumer's full port stalls only this goroutine.
+func (st *Stage) continueDetached(qq *query, rem [][2]int) {
+	defer st.wg.Done()
+	// closed was pre-claimed at refusal, so every closeQuery attempt
+	// no-ops: this defer is the port's sole closer.
+	defer qq.out.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			qq.fail(exec.RecoverPanic(st.env, r))
+		}
+	}()
+	for qq.outstanding.Load() > 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	qq.missMu.Lock()
+	missed := qq.missed
+	qq.missed = nil
+	qq.missMu.Unlock()
+	if qq.cancelled.Load() {
+		return
+	}
+	fact, ok := st.env.Cat.FactTable()
+	if !ok || (len(missed) == 0 && len(rem) == 0) {
+		return
+	}
+	// Private build sides, one per dimension in plan order — chained
+	// probes produce the fact-columns-then-dims joined layout, the same
+	// layout the shared distributor assembles.
+	joins := make([]*exec.BatchJoin, len(qq.plan.Dims))
+	kinds := vec.Kinds(fact.Schema)
+	for di := range qq.plan.Dims {
+		bj, err := exec.BuildBatchJoin(st.env, qq.plan.Dims[di])
+		if err != nil {
+			qq.fail(err)
+			return
+		}
+		kinds = bj.SetProbeKinds(kinds)
+		joins[di] = bj
+	}
+	var selBuf []int
+	var ps exec.ProbeScratch
+	derive := func(idx int) bool {
+		bat, err := st.readFactBatch(fact, idx)
+		if err != nil {
+			qq.fail(err)
+			return false
+		}
+		sel := vec.FullSel(bat.Len(), &selBuf)
+		if qq.factVec != nil {
+			sel = qq.factVec(bat, sel)
+		}
+		if len(sel) == 0 {
+			return true
+		}
+		if len(joins) == 0 {
+			// No dimensions: gather the selected fact rows out of the
+			// shared decoded batch into an owned output batch.
+			out := st.env.Recycle.Get(qq.outKinds, len(sel))
+			for c := range out.Cols {
+				bat.Cols[c].GatherInto(&out.Cols[c], sel)
+			}
+			out.SetLen(len(sel))
+			qq.out.Emit(comm.NewBatchPage(out))
+			return true
+		}
+		cur := bat
+		for _, bj := range joins {
+			nxt := bj.Probe(st.env, cur, sel, &ps)
+			if cur != bat {
+				cur.Release()
+			}
+			cur = nxt
+			if cur.Len() == 0 {
+				cur.Release()
+				return true
+			}
+			sel = vec.FullSel(cur.Len(), &selBuf)
+		}
+		qq.out.Emit(comm.NewBatchPage(cur))
+		return true
+	}
+	for _, idx := range missed {
+		if !derive(idx) {
+			return
+		}
+	}
+	for _, span := range rem {
+		for i := span[0]; i < span[1]; i++ {
+			if !derive(i) {
+				return
+			}
+		}
 	}
 }
 
@@ -962,6 +1288,13 @@ func (st *Stage) deliverContained(b *batch, qq *query, sel []int) (out []int, pa
 func (st *Stage) deliver(b *batch, qq *query, sel []int) []int {
 	if qq.cancelled.Load() {
 		// Retracted mid-flight: nobody will read this query's output.
+		return sel
+	}
+	if qq.straggled.Load() {
+		// Detached mid-flight: the shared pipeline no longer assembles
+		// output for this query. Its private continuation re-derives this
+		// page once the batch's claim settles, so record it and move on.
+		qq.recordMiss(b.idx)
 		return sel
 	}
 	t0 := time.Now()
@@ -1013,6 +1346,25 @@ func (st *Stage) deliver(b *batch, qq *query, sel []int) []int {
 	qq.wopMu.Lock()
 	qq.started = true
 	qq.wopMu.Unlock()
-	qq.out.Emit(comm.NewBatchPage(out))
+	pg := comm.NewBatchPage(out)
+	if st.maxLag > 0 {
+		if eo, ok := qq.out.(qpipe.ElasticOut); ok {
+			if !eo.EmitGrow(pg, st.maxLag) {
+				// The query's consumer is maxLag pages behind even after
+				// elastic growth: a straggler. Refusal keeps page ownership
+				// here — drop the batch, mark the query for detachment, and
+				// record the page for private re-derivation. closed is
+				// pre-claimed under the batch's outstanding claim so the
+				// normal completion path cannot close the output port out
+				// from under the continuation.
+				out.Release()
+				qq.closed.Store(true)
+				qq.straggled.Store(true)
+				qq.recordMiss(b.idx)
+			}
+			return sel
+		}
+	}
+	qq.out.Emit(pg)
 	return sel
 }

@@ -15,6 +15,13 @@ type FIFO struct {
 	buf    []*Page
 	cap    int
 	closed bool
+
+	// Straggler bookkeeping (CloseStraggled): the producer force-detached
+	// this consumer; buffered pages remain readable, then the consumer
+	// resumes privately from resumeIdx up to its entry point.
+	straggled bool
+	resumeIdx int
+	entryIdx  int
 }
 
 // DefaultFIFOPages bounds a FIFO at 8 pages (the paper uses a 256 KB
@@ -66,6 +73,47 @@ func (f *FIFO) Get() (*Page, bool) {
 	f.buf = f.buf[1:]
 	f.nf.Signal()
 	return p, true
+}
+
+// PutGrow is Put with bounded elasticity instead of blocking: the
+// buffer may grow to cap+extra pages; beyond that the page is refused
+// (false) WITHOUT blocking, and ownership stays with the caller — who
+// typically force-detaches the consumer and re-derives the refused
+// page privately. A closed FIFO also refuses.
+func (f *FIFO) PutGrow(p *Page, extra int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed || len(f.buf) >= f.cap+extra {
+		return false
+	}
+	f.buf = append(f.buf, p)
+	f.ne.Signal()
+	return true
+}
+
+// CloseStraggled ends the stream like Close but marks the consumer as
+// force-detached by the producer's straggler policy: buffered pages
+// stay readable, and once drained Straggled tells the consumer the
+// pages [resume, entry) mod N it must re-derive privately to have seen
+// a full pass.
+func (f *FIFO) CloseStraggled(resume, entry int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.straggled = true
+	f.resumeIdx = resume
+	f.entryIdx = entry
+	f.closed = true
+	f.ne.Broadcast()
+	f.nf.Broadcast()
+}
+
+// Straggled reports whether the producer force-detached this consumer,
+// and if so where the private continuation must resume ([resume,
+// entry) mod N, after draining the buffered pages).
+func (f *FIFO) Straggled() (resume, entry int, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.resumeIdx, f.entryIdx, f.straggled
 }
 
 // Close marks the end of the stream. Pending pages remain readable;

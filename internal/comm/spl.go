@@ -43,6 +43,17 @@ type SPL struct {
 
 	produced int64 // pages ever appended
 	maxSeen  int   // high-water mark of length, for tests/ablation
+
+	// Straggler policy (SetStragglerLag): maxLag > 0 lets Append grow
+	// the list past maxPages — up to maxPages+maxLag — as long as the
+	// overflow is attributable to laggards (some consumer keeps pace),
+	// and force-detaches any circular-scan consumer that falls maxLag
+	// pages behind the fastest reader. A detached consumer's Next ends
+	// its stream; Straggled reports where a private continuation must
+	// resume to deliver exactly the unseen pages.
+	maxLag     int
+	onStraggle func()    // called under mu per force-detach
+	onLag      func(int) // called under mu with the current spread
 }
 
 // NewSPL returns an SPL bounded at maxPages (DefaultSPLPages if <= 0).
@@ -67,6 +78,16 @@ type Consumer struct {
 	appended   int      // nodes appended since attach
 	done       bool
 	aborted    bool // Abort requested; detach on the consumer's next Next
+	straggled  bool // force-detached by the producer's straggler policy
+	resumeIdx  int  // first unread page index at force-detach
+
+	// handoff is the page the consumer was processing when it was
+	// force-detached: its claim on the list node is released right away
+	// (so one pinned node cannot hold the whole list at capacity for as
+	// long as the straggler stays stalled), and the page's batch is
+	// retained privately instead. Released on the consumer's next call,
+	// per the usual "valid until the next Next" contract.
+	handoff *Page
 }
 
 // AddConsumer attaches a reader. With fromStart, the consumer also
@@ -87,6 +108,17 @@ func (s *SPL) AddConsumer(fromStart bool, entryIndex int) *Consumer {
 		}
 	}
 	s.active[c] = true
+	// A new reader can change the straggler policy's verdict: a producer
+	// parked in Append behind a sole stalled reader (never detachable —
+	// there is no convoy to protect) must re-evaluate now that a second
+	// reader exists and the stalled one holds it back. Every other event
+	// that changes detachability (a read, a close, an abort) already
+	// signals notFull; without this, the producer sleeps through the
+	// whole stall because the stalled reader never reads and the fresh
+	// one has nothing to read.
+	if s.maxLag > 0 {
+		s.notFull.Broadcast()
+	}
 	return c
 }
 
@@ -97,15 +129,202 @@ func (s *SPL) ActiveConsumers() int {
 	return len(s.active)
 }
 
+// SetStragglerLag enables the straggler policy: a circular-scan
+// consumer that falls lag pages behind the fastest reader is
+// force-detached (see Consumer.Straggled) instead of stalling the
+// producer, and the list may grow to maxPages+lag while the overflow
+// is attributable to laggards. onStraggle (per detach) and onLag (the
+// current fastest-to-slowest spread, per append) are optional
+// observers; both run under the list lock and must not call back into
+// the SPL. lag <= 0 disables the policy (the default).
+func (s *SPL) SetStragglerLag(lag int, onStraggle func(), onLag func(int)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxLag = lag
+	s.onStraggle = onStraggle
+	s.onLag = onLag
+}
+
+// backlogLocked counts the consumer's unread pages (up to its
+// finishing node). Caller holds s.mu.
+func (s *SPL) backlogLocked(c *Consumer) int {
+	n := 0
+	for node := c.cur; node != nil; node = node.next {
+		if node.finishing[c] {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// minBacklogLocked returns the smallest backlog among active
+// consumers (0 when none are attached). Caller holds s.mu.
+func (s *SPL) minBacklogLocked() int {
+	min := -1
+	for c := range s.active {
+		if b := s.backlogLocked(c); min < 0 || b < min {
+			min = b
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// spreadLocked returns the fastest-to-slowest backlog spread — the
+// per-reader lag a straggler bound is measured against.
+func (s *SPL) spreadLocked() int {
+	min, max := -1, 0
+	for c := range s.active {
+		b := s.backlogLocked(c)
+		if min < 0 || b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if min <= 0 {
+		return max
+	}
+	return max - min
+}
+
+// detachStragglersLocked force-detaches every circular-scan consumer
+// lagging maxLag+ pages behind the fastest reader. It never detaches
+// the whole convoy: with one active consumer, or with every consumer
+// equally behind (a uniformly slow convoy is backpressure, not a
+// straggler), the spread is zero and nothing detaches. Reports whether
+// anything was detached. Caller holds s.mu.
+func (s *SPL) detachStragglersLocked() bool {
+	if len(s.active) < 2 {
+		return false
+	}
+	min := s.minBacklogLocked()
+	var victims []*Consumer
+	for c := range s.active {
+		if c.entryIndex < 0 {
+			continue // not a circular-scan reader: no private continuation exists
+		}
+		if s.backlogLocked(c)-min >= s.maxLag {
+			victims = append(victims, c)
+		}
+	}
+	for _, c := range victims {
+		s.straggleLocked(c)
+	}
+	return len(victims) > 0
+}
+
+// straggleLocked force-detaches c: record where it stopped, release
+// its claim on every unread node, and remove it from the active set so
+// the producer stops counting it. The consumer may still be processing
+// its last returned page (c.prev), so that page's payload is handed
+// off to the consumer (retained, released on its next Next call) while
+// the node itself is released now — otherwise the stalled reader's one
+// pinned node would keep every later node linked (unlinking is
+// front-only) and hold the list at capacity for the whole stall.
+// Caller holds s.mu.
+func (s *SPL) straggleLocked(c *Consumer) {
+	c.straggled = true
+	c.done = true
+	c.resumeIdx = c.cur.page.Index
+	delete(s.active, c)
+	if c.prev != nil {
+		if c.prev.page.Batch != nil {
+			c.prev.page.Batch.Retain()
+			c.handoff = c.prev.page
+		}
+		s.releaseLocked(c.prev)
+		c.prev = nil
+	}
+	for n := c.cur; n != nil; n = n.next {
+		fin := n.finishing[c]
+		s.releaseLocked(n)
+		if fin {
+			break
+		}
+	}
+	c.cur = nil
+	if s.onStraggle != nil {
+		s.onStraggle()
+	}
+	s.notEmpty.Broadcast()
+}
+
+// Straggled reports whether the consumer was force-detached by the
+// straggler policy, and if so the page index it would have read next
+// (resume) and its circular-scan entry point (entry): the pages
+// [resume, entry) mod N are exactly what a private continuation must
+// deliver for the consumer to have seen the table once — with
+// resume == entry meaning the full table (the consumer read nothing),
+// never the empty range: a detached consumer has always read fewer
+// than N pages.
+func (c *Consumer) Straggled() (resume, entry int, ok bool) {
+	c.spl.mu.Lock()
+	defer c.spl.mu.Unlock()
+	// Cancellation outranks a straggle: an aborted consumer's query is
+	// going away, so no continuation should run for it.
+	return c.resumeIdx, c.entryIndex, c.straggled && !c.aborted
+}
+
 // Append adds a page at the head of the list, blocking while the list
 // is at its maximum size. Pages appended while no consumer is attached
-// are dropped. Appending to a closed SPL is a no-op.
+// are dropped. Appending to a closed SPL is a no-op. With a straggler
+// policy set (SetStragglerLag), a lagging consumer is force-detached
+// instead of stalling the append, and the list absorbs bounded
+// overflow (up to maxPages+maxLag) while any reader keeps pace.
 func (s *SPL) Append(p *Page) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.maxLag > 0 && s.onLag != nil {
+		s.onLag(s.spreadLocked())
+	}
 	for s.length >= s.maxPages && !s.closed && len(s.active) > 0 {
+		if s.maxLag > 0 {
+			// Re-sample the spread here too: a straggler's lag mostly
+			// becomes visible while the producer is parked at capacity,
+			// between Append entries.
+			if s.onLag != nil {
+				s.onLag(s.spreadLocked())
+			}
+			if s.detachStragglersLocked() {
+				continue
+			}
+			// Overflow attributable to laggards: while the fastest
+			// reader keeps pace, keep the convoy fed instead of
+			// stalling behind the slowest, within the hard cap.
+			if s.minBacklogLocked() < s.maxPages && s.length < s.maxPages+s.maxLag {
+				break
+			}
+		}
 		s.notFull.Wait()
 	}
+	s.appendLocked(p)
+}
+
+// AppendGrow is Append with bounded elasticity instead of blocking:
+// the list may grow to maxPages+extra; beyond that the page is refused
+// (false) WITHOUT blocking, and ownership stays with the caller — who
+// typically force-detaches the reader and re-derives the refused page
+// privately. Appending to a closed or reader-less SPL consumes the
+// page (as Append does) and reports true.
+func (s *SPL) AppendGrow(p *Page, extra int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.length >= s.maxPages+extra && !s.closed && len(s.active) > 0 {
+		return false
+	}
+	s.appendLocked(p)
+	return true
+}
+
+// appendLocked links a page at the head of the list and does the
+// linear-WoP finishing bookkeeping. Caller holds s.mu and has already
+// applied the capacity policy.
+func (s *SPL) appendLocked(p *Page) {
 	if s.closed || len(s.active) == 0 {
 		p.Release() // dropped: no reader will ever see it
 		return
@@ -215,6 +434,10 @@ func (c *Consumer) Next() (*Page, bool) {
 		s.releaseLocked(c.prev)
 		c.prev = nil
 	}
+	if c.handoff != nil {
+		c.handoff.Release()
+		c.handoff = nil
+	}
 	for {
 		if c.aborted && !c.done {
 			// Cancellation requested from another goroutine (Abort): the
@@ -258,6 +481,10 @@ func (c *Consumer) Close() {
 	s := c.spl
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if c.handoff != nil {
+		c.handoff.Release()
+		c.handoff = nil
+	}
 	if c.done {
 		return
 	}

@@ -119,6 +119,20 @@ type Options struct {
 	// (all schedulable cores — runtime.NumCPU() unless overridden);
 	// 1 forces the single-threaded paths.
 	Parallelism int
+	// MorselPages is the number of fact pages per morsel claim for
+	// parallel execution (0 selects exec.MorselPages, currently 4).
+	// Smaller morsels balance better under skew; larger ones amortize
+	// the claim CAS.
+	MorselPages int
+	// StragglerLagPages bounds how far one shared-scan reader may fall
+	// behind the scan head before it is detached from the convoy and
+	// migrated to a private scan (QPipe circular scans) or retracted
+	// and resubmitted privately (CJOIN). The detached query still
+	// returns bit-identical results; the remaining convoy regains full
+	// speed. 0 disables detachment (a slow reader stalls the convoy,
+	// the pre-detach behavior); values below the exchange-buffer bound
+	// are rounded up to it.
+	StragglerLagPages int
 	// MaxInFlight bounds the number of queries executing concurrently —
 	// the overload valve. 0 means unbounded. A submission beyond the
 	// bound is shed immediately with ErrOverloaded, or, with
@@ -174,19 +188,23 @@ func NewEngine(sys *System, opts Options) *Engine {
 	}
 	e.lcCond = sync.NewCond(&e.lcMu)
 	e.baseCtx, e.baseCancel = context.WithCancel(context.Background())
-	if opts.Parallelism != 0 {
+	if opts.Parallelism != 0 || opts.MorselPages != 0 {
 		// Shallow copy: same substrate, caches and pool, but this
-		// engine's parallelism knob.
+		// engine's parallelism and morsel knobs.
 		env := *sys.Env
-		env.Parallelism = opts.Parallelism
+		if opts.Parallelism != 0 {
+			env.Parallelism = opts.Parallelism
+		}
+		env.MorselPages = opts.MorselPages
 		e.env = &env
 	}
 	qcfg := qpipe.Config{
-		Comm:         opts.Comm,
-		SPLMaxPages:  opts.SPLMaxPages,
-		FIFOCap:      opts.FIFOCap,
-		PageRows:     opts.PageRows,
-		ShareResults: opts.ShareResults,
+		Comm:              opts.Comm,
+		SPLMaxPages:       opts.SPLMaxPages,
+		FIFOCap:           opts.FIFOCap,
+		PageRows:          opts.PageRows,
+		ShareResults:      opts.ShareResults,
+		StragglerLagPages: opts.StragglerLagPages,
 	}
 	switch opts.Mode {
 	case Baseline:
@@ -205,10 +223,11 @@ func NewEngine(sys *System, opts Options) *Engine {
 		qcfg.ShareScan = true
 		e.qp = qpipe.New(e.env, qcfg)
 		e.cj = cjoin.NewStage(e.env, cjoin.Config{
-			PipelineThreads:  opts.CJOINPipelineThreads,
-			DistributorParts: opts.CJOINDistributorParts,
-			ScanPartitions:   opts.Parallelism,
-			SP:               opts.Mode == CJOINSP,
+			PipelineThreads:   opts.CJOINPipelineThreads,
+			DistributorParts:  opts.CJOINDistributorParts,
+			ScanPartitions:    opts.Parallelism,
+			SP:                opts.Mode == CJOINSP,
+			StragglerLagPages: opts.StragglerLagPages,
 			Ports: qpipe.PortConfig{
 				Model:    opts.Comm,
 				SPLMax:   opts.SPLMaxPages,

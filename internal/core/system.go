@@ -37,6 +37,11 @@ type SystemConfig struct {
 	SF float64
 	// Seed makes data generation deterministic.
 	Seed int64
+	// Skew is the Zipfian theta for the fact table's foreign keys
+	// (0 = uniform, the SSB spec; >= 1 concentrates references on a few
+	// hot dimension rows and hot group keys — the skewed-workload
+	// experiments). See ssb.Gen.Skew.
+	Skew float64
 	// DiskResident enables disk timing simulation (the paper's
 	// disk-resident experiments); false models the RAM-drive setup.
 	DiskResident bool
@@ -106,7 +111,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	})
 	cat := catalog.New()
 	ssb.RegisterSchemas(cat)
-	gen := ssb.Gen{SF: cfg.SF, Seed: cfg.Seed}
+	gen := ssb.Gen{SF: cfg.SF, Seed: cfg.Seed, Skew: cfg.Skew}
 	var err error
 	if cfg.Compressed {
 		err = gen.LoadCompressed(dev, cat)

@@ -404,12 +404,49 @@ func (a *Aggregator) groupIDsBatch(b *vec.Batch, sel []int) []int32 {
 	case groupInt1:
 		if c := &b.Cols[a.k0]; c.Kind == pages.KindInt {
 			col := c.I
+			if !a.hotSampled {
+				var smp [hotSampleMax]uint64
+				n := 0
+				for _, i := range sel {
+					if n == hotSampleMax {
+						break
+					}
+					smp[n] = uint64(col[i])
+					n++
+				}
+				a.sampleHotKeys(smp[:n])
+			}
+			if hid := a.hotIDs; hid != nil {
+				hk := a.hotKeys
+				for j, i := range sel {
+					k := uint64(col[i])
+					h := hotSlot(k) & a.hotMask
+					if hid[h] != 0 && hk[h] == k {
+						id := hid[h] - 1
+						a.touch(id, i)
+						gids[j] = id
+						continue
+					}
+					id, ok := a.intIDs[k]
+					if !ok {
+						id = a.newGroupID(b, i, nil)
+						a.intIDs[k] = id
+					} else {
+						a.touch(id, i)
+					}
+					hk[h], hid[h] = k, id+1
+					gids[j] = id
+				}
+				return gids
+			}
 			for j, i := range sel {
 				k := uint64(col[i])
 				id, ok := a.intIDs[k]
 				if !ok {
 					id = a.newGroupID(b, i, nil)
 					a.intIDs[k] = id
+				} else {
+					a.touch(id, i)
 				}
 				gids[j] = id
 			}
@@ -419,14 +456,50 @@ func (a *Aggregator) groupIDsBatch(b *vec.Batch, sel []int) []int32 {
 		c0, c1 := &b.Cols[a.k0], &b.Cols[a.k1]
 		if c0.Kind == pages.KindInt && c1.Kind == pages.KindInt {
 			l, r := c0.I, c1.I
+			if !a.hotSampled {
+				var smp [hotSampleMax]uint64
+				n := 0
+				for _, i := range sel {
+					if n == hotSampleMax {
+						break
+					}
+					if v0, v1 := l[i], r[i]; fitsInt32(v0) && fitsInt32(v1) {
+						smp[n] = packInt2(v0, v1)
+						n++
+					}
+				}
+				a.sampleHotKeys(smp[:n])
+			}
+			hk, hid := a.hotKeys, a.hotIDs
 			for j, i := range sel {
 				v0, v1 := l[i], r[i]
 				if fitsInt32(v0) && fitsInt32(v1) {
 					k := packInt2(v0, v1)
+					if hid != nil {
+						h := hotSlot(k) & a.hotMask
+						if hid[h] != 0 && hk[h] == k {
+							id := hid[h] - 1
+							a.touch(id, i)
+							gids[j] = id
+							continue
+						}
+						id, ok := a.intIDs[k]
+						if !ok {
+							id = a.newGroupID(b, i, nil)
+							a.intIDs[k] = id
+						} else {
+							a.touch(id, i)
+						}
+						hk[h], hid[h] = k, id+1
+						gids[j] = id
+						continue
+					}
 					id, ok := a.intIDs[k]
 					if !ok {
 						id = a.newGroupID(b, i, nil)
 						a.intIDs[k] = id
+					} else {
+						a.touch(id, i)
 					}
 					gids[j] = id
 				} else {
@@ -456,6 +529,8 @@ func (a *Aggregator) groupIDsBatch(b *vec.Batch, sel []int) []int32 {
 					// once per (dictionary, code) pair.
 					id = a.byteIDBatch(b, i) + 1
 					memo[col[i]] = id
+				} else {
+					a.touch(id-1, i)
 				}
 				gids[j] = id - 1
 			}
@@ -468,6 +543,52 @@ func (a *Aggregator) groupIDsBatch(b *vec.Batch, sel []int) []int32 {
 	return gids
 }
 
+// hotSampleMax bounds the one-time key sample that decides whether the
+// hot-key cache is worth enabling.
+const hotSampleMax = 128
+
+// hotSlot spreads a packed int group key over the direct-mapped hot
+// cache (Fibonacci hashing; the cache is power-of-two sized, so the
+// caller masks the result).
+func hotSlot(k uint64) uint64 { return (k * 0x9e3779b97f4a7c15) >> 32 }
+
+// sampleHotKeys runs once per aggregator, on the first int-keyed batch:
+// it counts distinct keys in a bounded sample and enables the hot-key
+// cache only when at least half the sample repeats — the signature of a
+// skewed or low-cardinality key column. The cache is sized to ~4x the
+// sampled distinct count so the hot keys rarely collide; a near-unique
+// sample (or one too small to judge) leaves the cache disabled, since
+// it would mostly thrash. Each morsel worker owns its own aggregator,
+// so each sizes its cache from the pages it actually folds.
+func (a *Aggregator) sampleHotKeys(smp []uint64) {
+	a.hotSampled = true
+	if len(smp) < 16 {
+		return
+	}
+	var distinct [hotSampleMax]uint64
+	nd := 0
+sample:
+	for _, k := range smp {
+		for _, d := range distinct[:nd] {
+			if d == k {
+				continue sample
+			}
+		}
+		distinct[nd] = k
+		nd++
+	}
+	if 2*nd > len(smp) {
+		return
+	}
+	size := 64
+	for size < 4*nd {
+		size *= 2
+	}
+	a.hotKeys = make([]uint64, size)
+	a.hotIDs = make([]int32, size)
+	a.hotMask = uint64(size - 1)
+}
+
 // byteIDBatch resolves row i's group id through the byte-encoded key
 // map. The m[string(buf)] lookup does not allocate on a hit; only a
 // first-seen group copies the key into a map entry.
@@ -477,6 +598,8 @@ func (a *Aggregator) byteIDBatch(b *vec.Batch, i int) int32 {
 	if !ok {
 		id = a.newGroupID(b, i, nil)
 		a.byteIDs[string(key)] = id
+	} else {
+		a.touch(id, i)
 	}
 	return id
 }

@@ -13,21 +13,36 @@ import (
 
 // Morsel-driven intra-query parallelism (after Leis et al.,
 // "Morsel-Driven Parallelism") for the query-centric batch path: the
-// fact table's page list is range-partitioned into morsels of a few
-// pages; a pool of workers claims morsels from a shared counter and
-// runs the whole scan → filter → probe → partial-aggregate pipeline on
-// its own goroutine, with a worker-private pool shard (vec.Local) for
-// batch checkouts and a worker-private Aggregator for partial state.
-// A final merge step remaps each partial's dense group ids onto the
-// main aggregator ordered by first-seen page, so a parallel run emits
-// exactly the rows (and row order) of a sequential one. Non-aggregated
-// queries bucket their projected rows per morsel and concatenate in
-// morsel order, preserving table order the same way.
+// fact table's page list is range-partitioned into per-worker claims;
+// each worker takes morsels of a few pages off the front of its own
+// claim and runs the whole scan → filter → probe → partial-aggregate
+// pipeline on its own goroutine, with a worker-private pool shard
+// (vec.Local) for batch checkouts and a worker-private Aggregator for
+// partial state. A worker whose claim runs dry steals the back half of
+// the largest remaining claim (steal-half, one CAS per steal), so one
+// heavy page range or one descheduled worker no longer bounds the
+// query's latency. A final merge step remaps each partial's dense
+// group ids onto the main aggregator ordered by first-seen page, so a
+// parallel execution — under any steal schedule — emits exactly the
+// rows (and row order) of a sequential one. Non-aggregated queries
+// bucket their projected rows per fact page and concatenate in page
+// order, preserving table order the same way.
 
-// MorselPages is the number of fact pages per morsel (~128 KB of 32 KB
-// pages): small enough to balance load across workers, large enough to
-// amortize the dispatch counter.
+// MorselPages is the default number of fact pages per morsel (~128 KB
+// of 32 KB pages): small enough to balance load across workers, large
+// enough to amortize the claim CAS. Override per environment with
+// Env.MorselPages.
 const MorselPages = 4
+
+// MorselSize resolves the environment's effective morsel size in fact
+// pages (Env.MorselPages when positive, the MorselPages default
+// otherwise).
+func (e *Env) MorselSize() int {
+	if e.MorselPages > 0 {
+		return e.MorselPages
+	}
+	return MorselPages
+}
 
 // executeParallelism decides the worker count for q on env: the
 // environment's parallelism, capped by the number of morsels, and
@@ -39,7 +54,8 @@ func executeParallelism(env *Env, q *plan.Query) int {
 	if w <= 1 {
 		return 1
 	}
-	if nm := (q.Fact.NumPages + MorselPages - 1) / MorselPages; nm < 2 {
+	mp := env.MorselSize()
+	if nm := (q.Fact.NumPages + mp - 1) / mp; nm < 2 {
 		return 1
 	} else if w > nm {
 		w = nm
@@ -52,16 +68,108 @@ func executeParallelism(env *Env, q *plan.Query) int {
 	return w
 }
 
+// pageClaim is one worker's unclaimed fact-page range, packed
+// lo<<32|hi into a single atomic word so owners (taking morsels off
+// the front) and thieves (halving the back) coordinate with plain CAS.
+// Padded out to a cache line so per-worker claims don't false-share.
+type pageClaim struct {
+	r atomic.Uint64
+	_ [7]uint64
+}
+
+func packClaim(lo, hi int) uint64       { return uint64(uint32(lo))<<32 | uint64(uint32(hi)) }
+func unpackClaim(v uint64) (lo, hi int) { return int(uint32(v >> 32)), int(uint32(v)) }
+
+// take claims up to n pages off the front of the range. ok is false
+// when the range is empty.
+func (c *pageClaim) take(n int) (lo, hi int, ok bool) {
+	for {
+		cur := c.r.Load()
+		clo, chi := unpackClaim(cur)
+		if clo >= chi {
+			return 0, 0, false
+		}
+		nlo := clo + n
+		if nlo > chi {
+			nlo = chi
+		}
+		if c.r.CompareAndSwap(cur, packClaim(nlo, chi)) {
+			return clo, nlo, true
+		}
+	}
+}
+
+// stealHalf removes the back half of the range (rounding down, so a
+// single-page remainder stays with its owner). ok is false when there
+// is nothing worth stealing.
+func (c *pageClaim) stealHalf() (lo, hi int, ok bool) {
+	for {
+		cur := c.r.Load()
+		clo, chi := unpackClaim(cur)
+		n := (chi - clo) / 2
+		if n == 0 {
+			return 0, 0, false
+		}
+		if c.r.CompareAndSwap(cur, packClaim(clo, chi-n)) {
+			return chi - n, chi, true
+		}
+	}
+}
+
+// remaining is a racy size estimate used only for victim selection.
+func (c *pageClaim) remaining() int {
+	lo, hi := unpackClaim(c.r.Load())
+	return hi - lo
+}
+
+// stealInto refills claims[w] from the largest sibling claim,
+// returning false when every claim is dry or the query is stopping.
+// Each successful steal is one morsel_steals increment. The stop check
+// inside the rescan loop is load-bearing: a worker that exits early
+// (cancellation, error, panic) sets stop and may orphan a claim, and a
+// single-page orphan is permanently visible to remaining() yet refused
+// by stealHalf — without the check every surviving worker would spin
+// here forever and the query's WaitGroup would never drain.
+func stealInto(env *Env, claims []pageClaim, w int, stop *atomic.Bool) bool {
+	for {
+		if stop.Load() {
+			return false
+		}
+		victim, best := -1, 0
+		for i := range claims {
+			if i == w {
+				continue
+			}
+			if n := claims[i].remaining(); n > best {
+				victim, best = i, n
+			}
+		}
+		if victim < 0 {
+			return false
+		}
+		if lo, hi, ok := claims[victim].stealHalf(); ok {
+			claims[w].r.Store(packClaim(lo, hi))
+			if env.Guard != nil && env.Guard.Counters != nil {
+				env.Guard.Counters.Get("morsel_steals").Inc()
+			}
+			return true
+		}
+		// Lost the race (the victim drained or was stolen from first),
+		// or only a single-page remainder exists — its owner, if alive,
+		// drains it within one take; rescan.
+	}
+}
+
 // executeMorsels runs q's fact pipeline across workers goroutines over
 // the pre-built join sides. Callers guarantee workers >= 2.
 // Cancellation is cooperative per morsel: each worker checks the
 // context before claiming the next morsel, so an abandoned query stops
-// within MorselPages pages per worker and the shared stop flag drains
+// within a morsel's pages per worker and the shared stop flag drains
 // the rest of the pool. Workers release every batch they check out on
 // all exits, and their pool shards drain back to the shared pool.
 func executeMorsels(ctx context.Context, env *Env, q *plan.Query, joins []*BatchJoin, workers int) ([]pages.Row, error) {
 	fact := q.Fact
-	morsels := (fact.NumPages + MorselPages - 1) / MorselPages
+	morselPages := env.MorselSize()
 
 	// Fix every join's output layout up front: workers probe the same
 	// BatchJoin concurrently and must never race on the lazy
@@ -76,10 +184,25 @@ func executeMorsels(ctx context.Context, env *Env, q *plan.Query, joins []*Batch
 		outFns = CompileOutputVals(q)
 	}
 	aggs := make([]*Aggregator, workers)
-	plains := make([][]pages.Row, morsels) // morsel -> projected rows, table order
+	plains := make([][]pages.Row, fact.NumPages) // page -> projected rows, table order
+
+	// Initial claims: one contiguous page range per worker. The ranges
+	// are only a starting shape — steal-half redistributes them as soon
+	// as any worker runs ahead.
+	claims := make([]pageClaim, workers)
+	chunk := (fact.NumPages + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if lo > fact.NumPages {
+			lo = fact.NumPages
+		}
+		if hi > fact.NumPages {
+			hi = fact.NumPages
+		}
+		claims[w].r.Store(packClaim(lo, hi))
+	}
 
 	var (
-		next  atomic.Int64
 		stop  atomic.Bool
 		errMu sync.Mutex
 		first error
@@ -129,16 +252,15 @@ func executeMorsels(ctx context.Context, env *Env, q *plan.Query, joins []*Batch
 					fail(err)
 					return
 				}
-				m := int(next.Add(1)) - 1
-				if m >= morsels {
-					return
+				lo, hi, ok := claims[w].take(morselPages)
+				if !ok {
+					if !stealInto(env, claims, w, &stop) {
+						return
+					}
+					continue
 				}
-				lo, hi := m*MorselPages, (m+1)*MorselPages
-				if hi > fact.NumPages {
-					hi = fact.NumPages
-				}
-				var plain []pages.Row
 				for pg := lo; pg < hi; pg++ {
+					var plain []pages.Row
 					if agg != nil {
 						agg.SetEpoch(int32(pg))
 					}
@@ -181,9 +303,9 @@ func executeMorsels(ctx context.Context, env *Env, q *plan.Query, joins []*Batch
 						fail(err)
 						return
 					}
-				}
-				if agg == nil {
-					plains[m] = plain
+					if agg == nil {
+						plains[pg] = plain
+					}
 				}
 			}
 		}(w)

@@ -38,6 +38,9 @@ type Env struct {
 	// execution and the scanner fan-out of the staged engines
 	// (0 selects runtime.GOMAXPROCS(0), i.e. all schedulable cores).
 	Parallelism int
+	// MorselPages is the number of fact pages per morsel claim for
+	// parallel execution (0 selects the MorselPages default).
+	MorselPages int
 	// ReadFault, when non-nil, is consulted before every table-page
 	// read and its error (if any) fails the read — an error-injection
 	// hook for the batch-lifetime and cancellation tests (simulated I/O
@@ -231,12 +234,27 @@ type Aggregator struct {
 
 	// Morsel-parallel bookkeeping: epoch is the fact page currently
 	// being folded (set by the worker before each page); firstSeen
-	// records, per group, the epoch of its creation. MergeFrom uses the
-	// pair to reconstruct the global first-seen group order, so a
+	// records, per group, the packed (page, row) of the earliest
+	// sighting this aggregator has made — creation tags it, and later
+	// sightings on a lower page (a worker that stole a low range after
+	// folding a high one visits pages out of order) lower it. MergeFrom
+	// sorts by it to reconstruct the global first-seen group order, so a
 	// parallel execution emits groups in exactly the order a sequential
-	// scan would have.
+	// scan would have, under any steal schedule.
 	epoch     int32
-	firstSeen []int32
+	firstSeen []int64
+
+	// Hot-key cache (skewed group keys): a small direct-mapped
+	// key -> group-id+1 cache in front of the int-key map, sized from a
+	// one-time sample of the first int-keyed batch. Under a Zipfian key
+	// distribution most rows hit the few hot slots and skip the map
+	// probe entirely; a near-unique sample leaves it disabled (it would
+	// only thrash). Per-aggregator state, so each morsel worker's
+	// partial sizes its own from the data it actually sees.
+	hotKeys    []uint64
+	hotIDs     []int32 // group id + 1; 0 marks an empty slot
+	hotMask    uint64
+	hotSampled bool
 }
 
 // NewAggregator returns an aggregator for q (which must have HasAgg or
@@ -320,17 +338,36 @@ func (a *Aggregator) newGroupID(b *vec.Batch, i int, r pages.Row) int32 {
 		}
 	}
 	a.keyVals = append(a.keyVals, vals)
-	a.firstSeen = append(a.firstSeen, a.epoch)
+	a.firstSeen = append(a.firstSeen, seenAt(a.epoch, i))
 	for _, g := range a.gaccs {
 		g.Grow(len(a.keyVals))
 	}
 	return id
 }
 
-// SetEpoch tags subsequently created groups with the given fact page
+// SetEpoch tags subsequent group sightings with the given fact page
 // index. Morsel workers call it before folding each page, so MergeFrom
 // can order groups by global first sighting.
 func (a *Aggregator) SetEpoch(page int32) { a.epoch = page }
+
+// seenAt packs one group sighting into a single ordered key: comparing
+// packed values is comparing (fact page, row within page) — the order a
+// sequential front-to-back scan discovers groups in.
+func seenAt(epoch int32, row int) int64 {
+	return int64(epoch)<<32 | int64(uint32(row))
+}
+
+// touch records a sighting of group id at row i of the current epoch,
+// keeping firstSeen the minimum over all sightings. The batch paths
+// call it on every resolved row: a worker whose steal schedule visits a
+// low page after a high one would otherwise carry a creation tag later
+// than the group's true first appearance, and merge out of sequential
+// order.
+func (a *Aggregator) touch(id int32, i int) {
+	if s := seenAt(a.epoch, i); s < a.firstSeen[id] {
+		a.firstSeen[id] = s
+	}
+}
 
 // Add folds a batch of joined rows. Accounted to metrics.Aggregation.
 func (a *Aggregator) Add(rows []pages.Row) {
@@ -424,11 +461,11 @@ func AppendKeyValue(b []byte, v pages.Value) []byte {
 	return b
 }
 
-// groupIDForVals resolves (or creates, tagged with epoch seen) the
-// dense group id for an already-captured group-by value tuple — the
+// groupIDForVals resolves (or creates, tagged with sighting key seen)
+// the dense group id for an already-captured group-by value tuple — the
 // merge path's counterpart of groupIDRow, using the same maps so merged
 // and directly-folded groups bucket identically.
-func (a *Aggregator) groupIDForVals(vals []pages.Value, seen int32) int32 {
+func (a *Aggregator) groupIDForVals(vals []pages.Value, seen int64) int32 {
 	newID := func() int32 {
 		id := int32(len(a.keyVals))
 		a.keyVals = append(a.keyVals, vals)
@@ -499,7 +536,7 @@ func (a *Aggregator) MergeFrom(parts []*Aggregator) {
 	type entry struct {
 		part int32
 		gid  int32
-		seen int32
+		seen int64
 	}
 	var entries []entry
 	for pi, p := range parts {

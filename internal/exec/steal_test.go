@@ -1,0 +1,158 @@
+package exec
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sharedq/internal/heap"
+	"sharedq/internal/metrics"
+	"sharedq/internal/plan"
+	"sharedq/internal/vec"
+)
+
+func claimRange(c *pageClaim) (int, int) { return unpackClaim(c.r.Load()) }
+
+func TestPageClaimTakeAndStealHalf(t *testing.T) {
+	var c pageClaim
+	c.r.Store(packClaim(0, 10))
+
+	if lo, hi, ok := c.take(3); !ok || lo != 0 || hi != 3 {
+		t.Fatalf("take(3) = [%d,%d) ok=%v", lo, hi, ok)
+	}
+	// Steal-half rounds down and takes the back of the range.
+	if lo, hi, ok := c.stealHalf(); !ok || lo != 7 || hi != 10 {
+		t.Fatalf("stealHalf = [%d,%d) ok=%v", lo, hi, ok)
+	}
+	if lo, hi := claimRange(&c); lo != 3 || hi != 7 {
+		t.Fatalf("owner left with [%d,%d)", lo, hi)
+	}
+	// take past the end clamps to the range.
+	if lo, hi, ok := c.take(100); !ok || lo != 3 || hi != 7 {
+		t.Fatalf("take(100) = [%d,%d) ok=%v", lo, hi, ok)
+	}
+	if _, _, ok := c.take(1); ok {
+		t.Fatal("take on drained claim succeeded")
+	}
+
+	// A single-page remainder is never stolen: it stays with its owner.
+	c.r.Store(packClaim(4, 5))
+	if _, _, ok := c.stealHalf(); ok {
+		t.Fatal("stealHalf stole a single-page remainder")
+	}
+	if lo, hi := claimRange(&c); lo != 4 || hi != 5 {
+		t.Fatalf("single-page claim disturbed: [%d,%d)", lo, hi)
+	}
+}
+
+func TestStealIntoRefillsFromLargestVictim(t *testing.T) {
+	cs := metrics.NewCounterSet()
+	env := &Env{Guard: heap.NewGuard(cs)}
+	claims := make([]pageClaim, 3)
+	claims[0].r.Store(packClaim(0, 0))   // thief, dry
+	claims[1].r.Store(packClaim(0, 4))   // small victim
+	claims[2].r.Store(packClaim(10, 20)) // largest victim
+	var stop atomic.Bool
+
+	if !stealInto(env, claims, 0, &stop) {
+		t.Fatal("stealInto found nothing despite live victims")
+	}
+	if lo, hi := claimRange(&claims[0]); lo != 15 || hi != 20 {
+		t.Fatalf("thief got [%d,%d), want the back half [15,20)", lo, hi)
+	}
+	if lo, hi := claimRange(&claims[2]); lo != 10 || hi != 15 {
+		t.Fatalf("victim left with [%d,%d), want [10,15)", lo, hi)
+	}
+	if n := cs.Get("morsel_steals").Load(); n != 1 {
+		t.Fatalf("morsel_steals = %d, want 1", n)
+	}
+	// All dry: no victim.
+	claims[1].r.Store(packClaim(4, 4))
+	claims[2].r.Store(packClaim(15, 15))
+	claims[0].r.Store(packClaim(20, 20))
+	if stealInto(env, claims, 0, &stop) {
+		t.Fatal("stealInto succeeded with every claim dry")
+	}
+}
+
+// TestStealIntoStopsOnOrphanedPage is the livelock regression: a worker
+// exiting early (cancellation, error, panic) sets stop but may leave a
+// single-page claim behind. That orphan is visible to victim selection
+// yet refused by stealHalf forever, so without the stop check the
+// rescan loop spins indefinitely.
+func TestStealIntoStopsOnOrphanedPage(t *testing.T) {
+	env := &Env{}
+	claims := make([]pageClaim, 2)
+	claims[0].r.Store(packClaim(0, 0)) // thief, dry
+	claims[1].r.Store(packClaim(7, 8)) // orphaned single page, owner gone
+	var stop atomic.Bool
+	stop.Store(true)
+
+	done := make(chan bool, 1)
+	go func() { done <- stealInto(env, claims, 0, &stop) }()
+	select {
+	case got := <-done:
+		if got {
+			t.Fatal("stealInto reported a steal while stopping")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stealInto livelocked on an orphaned single-page claim")
+	}
+}
+
+// TestParallelStealsStayDeterministic drives the whole morsel path with
+// single-page morsels and more workers than the initial ranges can keep
+// busy, so work stealing actually fires, and requires bit-identical
+// results against the sequential path every round. The initial chunked
+// partition over 7 workers leaves at least one worker underfed, making
+// a steal near-certain each run; the counter assertion retries a few
+// rounds to stay robust against extreme scheduling.
+func TestParallelStealsStayDeterministic(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+	env := testEnvCached(t)
+	env.Recycle = vec.NewPool()
+	cs := metrics.NewCounterSet()
+	env.Guard = heap.NewGuard(cs)
+	env.MorselPages = 1
+
+	sqls := []string{
+		"SELECT lo_orderdate, SUM(lo_revenue) AS r, COUNT(*) AS n FROM lineorder GROUP BY lo_orderdate",
+		"SELECT c_nation, COUNT(*) AS n FROM lineorder, customer WHERE lo_custkey = c_custkey GROUP BY c_nation",
+		"SELECT lo_orderkey, lo_revenue FROM lineorder",
+	}
+	for _, sql := range sqls {
+		q, err := plan.Build(env.Cat, sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := *env
+		seq.Parallelism = 1
+		want, err := Execute(&seq, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 20; round++ {
+			par := *env
+			par.Parallelism = 7
+			got, err := Execute(&par, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d %q: parallel run diverged (%d rows vs %d)",
+					round, sql, len(got), len(want))
+			}
+			if cs.Get("morsel_steals").Load() > 0 && round >= 2 {
+				break // determinism exercised under stealing; enough rounds
+			}
+		}
+	}
+	if n := cs.Get("morsel_steals").Load(); n == 0 {
+		t.Errorf("morsel_steals never moved across repeated tiny-morsel runs")
+	}
+	if n := env.Recycle.Outstanding(); n != 0 {
+		t.Errorf("%d pool batches leaked", n)
+	}
+}

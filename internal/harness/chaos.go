@@ -44,6 +44,8 @@ type ChaosConfig struct {
 	Survivors int
 	// SkipOverload disables the overload-burst sub-phase.
 	SkipOverload bool
+	// SkipStraggler disables the slow-consumer sub-phase.
+	SkipStraggler bool
 }
 
 // ChaosModeResult is one mode's outcome: what failed (and how), what
@@ -54,6 +56,9 @@ type ChaosModeResult struct {
 	Failures  map[string]error // victim name -> typed error observed
 	Counters  map[string]int64 // robust counter deltas over the fault run
 	Sheds     int64            // admissions shed during the overload burst
+	// Detached counts straggler detachments during the slow-consumer
+	// phase: >0 in the sharing modes, always 0 with private scans.
+	Detached int64
 }
 
 // chaos fault-schedule constants: each victim query is the only query
@@ -242,6 +247,16 @@ func runChaosMode(sys *core.System, cfg ChaosConfig, mode core.Mode, survivors [
 		res.Sheds = sheds
 	}
 
+	// Slow-consumer phase: a stalled streaming consumer must be detached
+	// from the convoy (sharing modes) and still receive every row.
+	if !cfg.SkipStraggler {
+		detached, err := stragglerScenario(sys, cfg, mode)
+		if err != nil {
+			return res, fmt.Errorf("straggler scenario: %w", err)
+		}
+		res.Detached = detached
+	}
+
 	// Repair: flip the bit back, lift the quarantine, drop stale cached
 	// frames — and prove the victim recovers.
 	if err := sys.Dev.CorruptBit(chaosCorruptTable, 0, 100); err != nil {
@@ -370,7 +385,7 @@ func figChaos(p Params) (*Report, error) {
 		}
 		tbl := &Table{
 			Title:  fmt.Sprintf("%v: per-mode fault run (%d survivors + 3 victims each)", comm, results[0].Survivors),
-			Header: []string{"mode", "survivors", "corrupt", "readfault", "panic", "page_retry", "page_quarantined", "panic_recovered", "sheds"},
+			Header: []string{"mode", "survivors", "corrupt", "readfault", "panic", "page_retry", "page_quarantined", "panic_recovered", "sheds", "detached"},
 		}
 		for _, r := range results {
 			tbl.Rows = append(tbl.Rows, []string{
@@ -383,6 +398,7 @@ func figChaos(p Params) (*Report, error) {
 				fmt.Sprint(r.Counters["page_quarantined"]),
 				fmt.Sprint(r.Counters["query_panic_recovered"]),
 				fmt.Sprint(r.Sheds),
+				fmt.Sprint(r.Detached),
 			})
 		}
 		rep.Tables = append(rep.Tables, tbl)

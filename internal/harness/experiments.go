@@ -109,6 +109,7 @@ func All() []Experiment {
 		{"table2", "Extension substrates (CJOIN-SP, SharedDB, Crescando) on one batch pipeline", figTable2},
 		{"compress", "Compressed columnar storage: effective scan bandwidth, slotted vs compressed", figCompress},
 		{"chaos", "Fault injection across all modes: survivors, typed failures, robustness counters", figChaos},
+		{"skew", "Skewed fact FKs + stalled consumer: detach-don't-stall, work stealing, live partition splits", figSkew},
 		{"serve", "Closed-loop network serving: streamed results, weighted admission, pass-aligned batching", figServe},
 	}
 }

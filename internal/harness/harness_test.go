@@ -147,7 +147,7 @@ func TestSweep(t *testing.T) {
 }
 
 func TestAllExperimentsRegistered(t *testing.T) {
-	want := []string{"6a", "6b", "6c", "10l", "10r", "11", "12", "13", "14", "15", "16rt", "16tp", "wop", "batch", "splsize", "distparts", "table1", "table2", "compress", "chaos", "serve"}
+	want := []string{"6a", "6b", "6c", "10l", "10r", "11", "12", "13", "14", "15", "16rt", "16tp", "wop", "batch", "splsize", "distparts", "table1", "table2", "compress", "chaos", "skew", "serve"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("%d experiments, want %d", len(all), len(want))

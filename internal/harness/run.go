@@ -142,7 +142,10 @@ func RunBatch(sys *core.System, opts core.Options, sqls []string, cold bool) (Re
 
 // robustCounters are the fault-tolerance counters surfaced as deltas
 // in every RunBatch result (and rendered by the chaos experiment).
-var robustCounters = []string{"page_retry", "page_quarantined", "query_panic_recovered", "admission_shed"}
+var robustCounters = []string{
+	"page_retry", "page_quarantined", "query_panic_recovered", "admission_shed",
+	"straggler_detached", "morsel_steals", "partition_splits", "reader_max_lag_pages",
+}
 
 // robustSnapshot captures the system's fault-tolerance counters so a
 // run can report its own deltas (the counters accumulate per system).

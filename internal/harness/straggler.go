@@ -1,0 +1,311 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sharedq/internal/core"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+)
+
+// Slow-consumer scenario constants: the detach bound the runs use and
+// the stall the throttled consumer sleeps after its first row. The
+// stall is chosen far above a healthy convoy's run time at chaos scale,
+// so "convoy finished in under the stall" can only mean the straggler
+// was detached (or the mode never coupled the queries to begin with).
+const (
+	stragglerLag   = 2
+	stragglerStall = 250 * time.Millisecond
+)
+
+// StragglerRun is one measured convoy-plus-slow-consumer batch.
+type StragglerRun struct {
+	ConvoyAvg time.Duration
+	ConvoyMax time.Duration
+	// StragglerTime is the slow query's end-to-end time, stall included.
+	StragglerTime time.Duration
+	// StragglerRows is what the throttled consumer received; runs are
+	// compared multiset-wise against an unthrottled reference.
+	StragglerRows []pages.Row
+	// Robust counter deltas over the run.
+	Detached, Splits, Steals int64
+}
+
+// runStragglerBatch submits the convoy queries against a fresh engine
+// alongside one streamed projection whose consumer stalls for the given
+// duration after its first row — the tab nobody is reading. The convoy
+// starts only after the slow consumer holds its first row, so it is
+// provably attached (and, in sharing modes, coupled to the convoy's
+// scan) before the stall begins. stall 0 is the clean reference run.
+func runStragglerBatch(sys *core.System, opts core.Options, convoy []*plan.Query, slow *plan.Query, stall time.Duration) (StragglerRun, error) {
+	var out StragglerRun
+	det0 := sys.Robust.Get("straggler_detached").Load()
+	spl0 := sys.Robust.Get("partition_splits").Load()
+	stl0 := sys.Robust.Get("morsel_steals").Load()
+	eng := core.NewEngine(sys, opts)
+	defer eng.Close()
+
+	started := make(chan struct{})
+	slowErr := make(chan error, 1)
+	go func() {
+		t0 := time.Now()
+		rs, err := eng.StreamSubmit(context.Background(), slow)
+		if err != nil {
+			close(started)
+			slowErr <- err
+			return
+		}
+		var rows []pages.Row
+		first := true
+		for rs.Next() {
+			rows = append(rows, rs.Row())
+			if first {
+				first = false
+				close(started)
+				if stall > 0 {
+					time.Sleep(stall)
+				}
+			}
+		}
+		if first {
+			close(started)
+		}
+		err = rs.Err()
+		if cerr := rs.Close(); err == nil {
+			err = cerr
+		}
+		out.StragglerRows = rows
+		out.StragglerTime = time.Since(t0)
+		slowErr <- err
+	}()
+	<-started
+
+	durs := make([]time.Duration, len(convoy))
+	errs := make([]error, len(convoy))
+	var wg sync.WaitGroup
+	for i := range convoy {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			_, errs[i] = eng.Submit(convoy[i])
+			durs[i] = time.Since(t0)
+		}(i)
+	}
+	wg.Wait()
+	if err := <-slowErr; err != nil {
+		return out, fmt.Errorf("harness: straggler query failed: %w", err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("harness: convoy query %d failed: %w", i, err)
+		}
+	}
+	var sum time.Duration
+	for _, d := range durs {
+		sum += d
+		if d > out.ConvoyMax {
+			out.ConvoyMax = d
+		}
+	}
+	out.ConvoyAvg = sum / time.Duration(len(durs))
+	out.Detached = sys.Robust.Get("straggler_detached").Load() - det0
+	out.Splits = sys.Robust.Get("partition_splits").Load() - spl0
+	out.Steals = sys.Robust.Get("morsel_steals").Load() - stl0
+	return out, nil
+}
+
+// slowProjectionSQL picks the slow consumer's query: a streamed
+// projection (no blocking tail, so consumer pace backpressures the
+// pipeline) routed through the mode's sharing substrate — the circular
+// scan for the QPipe modes, the GQP for the CJOIN modes.
+func slowProjectionSQL(mode core.Mode) string {
+	if mode == core.CJOIN || mode == core.CJOINSP {
+		return "SELECT lo_revenue, d_year FROM lineorder, date WHERE lo_orderdate = d_datekey"
+	}
+	return "SELECT lo_orderkey, lo_revenue FROM lineorder"
+}
+
+// stragglerShares reports whether the mode couples concurrent queries
+// through a shared producer at all — the modes where a detachment must
+// be observed for the convoy to have survived a stalled consumer.
+func stragglerShares(mode core.Mode) bool {
+	switch mode {
+	case core.QPipeCS, core.QPipeSP, core.CJOIN, core.CJOINSP:
+		return true
+	}
+	return false
+}
+
+// sameRowMultiset compares two result row slices as multisets: shared
+// circular scans rotate row order by the query's entry point, so order
+// is not part of an unsorted projection's contract.
+func sameRowMultiset(a, b []pages.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ka := make([]string, len(a))
+	kb := make([]string, len(b))
+	for i := range a {
+		ka[i] = fmt.Sprint(a[i])
+		kb[i] = fmt.Sprint(b[i])
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// stragglerScenario is the chaos slow-consumer phase: a clean reference
+// run records what the slow projection should return and how fast the
+// convoy is, then the same workload re-runs with the consumer stalled
+// and detachment armed. The invariants:
+//
+//   - the straggler's rows match the reference (multiset-wise; a shared
+//     circular scan rotates order by entry point),
+//   - the convoy finishes in under the stall — it was not held hostage,
+//   - sharing modes actually detached (the counter moved); private-scan
+//     modes pass trivially and must count zero,
+//   - the batch pool drains to zero outstanding checkouts.
+func stragglerScenario(sys *core.System, cfg ChaosConfig, mode core.Mode) (int64, error) {
+	slow, err := plan.Build(sys.Cat, slowProjectionSQL(mode))
+	if err != nil {
+		return 0, fmt.Errorf("planning straggler query: %w", err)
+	}
+	convoySQL := randomQ32s(newRng(cfg.Seed+7), 3)
+	convoy := make([]*plan.Query, len(convoySQL))
+	for i, sql := range convoySQL {
+		if convoy[i], err = plan.Build(sys.Cat, sql); err != nil {
+			return 0, fmt.Errorf("planning convoy query %d: %w", i, err)
+		}
+	}
+	opts := core.Options{Mode: mode, Comm: cfg.Comm, Parallelism: cfg.Parallelism}
+	clean, err := runStragglerBatch(sys, opts, convoy, slow, 0)
+	if err != nil {
+		return 0, err
+	}
+	opts.StragglerLagPages = stragglerLag
+	run, err := runStragglerBatch(sys, opts, convoy, slow, stragglerStall)
+	if err != nil {
+		return 0, err
+	}
+	if !sameRowMultiset(clean.StragglerRows, run.StragglerRows) {
+		return run.Detached, fmt.Errorf("straggler rows diverged after detach (%d vs %d rows)",
+			len(run.StragglerRows), len(clean.StragglerRows))
+	}
+	if run.ConvoyMax >= stragglerStall {
+		return run.Detached, fmt.Errorf("convoy held hostage by straggler: max response %v >= stall %v",
+			run.ConvoyMax, stragglerStall)
+	}
+	if stragglerShares(mode) && run.Detached == 0 {
+		return 0, fmt.Errorf("straggler_detached did not move in sharing mode %v", mode)
+	}
+	if n := sys.Env.Recycle.Outstanding(); n != 0 {
+		return run.Detached, fmt.Errorf("%d pool batches leaked after straggler run", n)
+	}
+	return run.Detached, nil
+}
+
+// figSkew is the robustness experiment: Zipfian-skewed fact foreign
+// keys plus one stalled consumer, across the sharing substrates. Table
+// one shows the convoy surviving the straggler (detach on) vs stalling
+// behind it (detach off); table two shows the skew-leveling machinery
+// (morsel steals, live partition splits) under a skewed key
+// distribution.
+func figSkew(p Params) (*Report, error) {
+	p = p.def(0.01, 8)
+	const theta = 1.1
+	const stall = 150 * time.Millisecond
+	skewSys, err := core.NewSystem(core.SystemConfig{SF: p.SF, Seed: p.Seed, Skew: theta})
+	if err != nil {
+		return nil, err
+	}
+	uniSys, err := memSystem(p.SF, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	n := lowConcurrency(p.MaxQ)
+	convoySQL := randomQ32s(newRng(p.Seed), n)
+
+	tbl := &Table{
+		Title: fmt.Sprintf("Convoy avg response (ms), %d queries + 1 stalled consumer (%.0f ms stall), theta=%.1f, SF=%.3g",
+			n, float64(stall)/float64(time.Millisecond), theta, p.SF),
+		Header: []string{"mode", "no straggler", "straggler+detach", "ratio", "straggler, no detach", "straggler rows", "detached"},
+	}
+	rep := &Report{ID: "skew", Title: "skew & straggler resistance: detach-don't-stall, work stealing, live partition splits", Tables: []*Table{tbl}}
+	for _, mode := range []core.Mode{core.QPipeCS, core.CJOIN} {
+		convoy := make([]*plan.Query, len(convoySQL))
+		for i, sql := range convoySQL {
+			if convoy[i], err = plan.Build(skewSys.Cat, sql); err != nil {
+				return nil, err
+			}
+		}
+		slow, err := plan.Build(skewSys.Cat, slowProjectionSQL(mode))
+		if err != nil {
+			return nil, err
+		}
+		opts := core.Options{Mode: mode, Parallelism: lowConcurrency(p.MaxQ)}
+		base, err := runStragglerBatch(skewSys, opts, convoy, slow, 0)
+		if err != nil {
+			return nil, err
+		}
+		opts.StragglerLagPages = stragglerLag
+		det, err := runStragglerBatch(skewSys, opts, convoy, slow, stall)
+		if err != nil {
+			return nil, err
+		}
+		opts.StragglerLagPages = 0
+		stalled, err := runStragglerBatch(skewSys, opts, convoy, slow, stall)
+		if err != nil {
+			return nil, err
+		}
+		rowsCell := "identical"
+		if !sameRowMultiset(base.StragglerRows, det.StragglerRows) {
+			rowsCell = "DIVERGED"
+		}
+		ratio := float64(det.ConvoyAvg) / float64(base.ConvoyAvg)
+		tbl.Rows = append(tbl.Rows, []string{
+			mode.String(), fmtDur(base.ConvoyAvg), fmtDur(det.ConvoyAvg), fmtF(ratio),
+			fmtDur(stalled.ConvoyAvg), rowsCell, fmt.Sprint(det.Detached),
+		})
+	}
+
+	lvl := &Table{
+		Title:  fmt.Sprintf("Skew leveling, %d queries, Parallelism=4: uniform vs Zipfian theta=%.1f fact FKs", n, theta),
+		Header: []string{"distribution", "mode", "avg (ms)", "morsel_steals", "partition_splits"},
+	}
+	rep.Tables = append(rep.Tables, lvl)
+	for _, sysCase := range []struct {
+		name string
+		sys  *core.System
+	}{{"uniform", uniSys}, {"zipf", skewSys}} {
+		qs := randomQ32s(newRng(p.Seed+1), n)
+		for _, opt := range []core.Options{
+			{Mode: core.Baseline, Parallelism: 4},
+			{Mode: core.CJOIN, Parallelism: 4, StragglerLagPages: stragglerLag},
+		} {
+			r, err := RunBatch(sysCase.sys, opt, qs, false)
+			if err != nil {
+				return nil, err
+			}
+			lvl.Rows = append(lvl.Rows, []string{
+				sysCase.name, opt.Mode.String(), fmtDur(r.AvgResponse),
+				fmt.Sprint(r.Stats["morsel_steals"]), fmt.Sprint(r.Stats["partition_splits"]),
+			})
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"A detached straggler's rows are verified multiset-identical to the unthrottled reference run.",
+		"'straggler, no detach' reproduces the pre-detach behavior: the convoy is held for the full stall.",
+		"Splits need an idle scanner (partition passes finishing at different times); at small SF the counter may stay 0.")
+	return rep, nil
+}

@@ -224,6 +224,17 @@ func (c *Counter) Load() int64 { return c.v.Load() }
 // Store sets the value.
 func (c *Counter) Store(n int64) { c.v.Store(n) }
 
+// Max raises the value to n if n is larger — a concurrent high-water
+// mark (e.g. the worst per-reader lag observed on a shared scan).
+func (c *Counter) Max(n int64) {
+	for {
+		cur := c.v.Load()
+		if n <= cur || c.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // CounterSet is a concurrent map of named counters.
 type CounterSet struct {
 	mu sync.Mutex

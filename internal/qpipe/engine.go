@@ -48,6 +48,14 @@ type Config struct {
 	FIFOCap     int
 	// PageRows sets rows per exchanged page (default ~32 KB worth).
 	PageRows int
+	// StragglerLagPages enables straggler detachment on shared circular
+	// scans: a query falling this many pages behind its scan's fastest
+	// reader is force-detached and migrated to a private continuation
+	// delivering exactly its unseen pages — results are identical, and
+	// one slow consumer never convoys the sharing group. The scan's
+	// exchange buffer absorbs up to this many extra pages before the
+	// detach triggers. 0 disables (detach-free, the paper's behavior).
+	StragglerLagPages int
 }
 
 // Engine is a staged QPipe execution engine over a shared environment.
@@ -173,7 +181,17 @@ func New(env *exec.Env, cfg Config) *Engine {
 	if e.pc.PageRows <= 0 {
 		e.pc.PageRows = comm.DefaultPageRows
 	}
-	e.scan = NewScanStage(env, e.pc, cfg.ShareScan, e.stats)
+	// Only the scan stage gets the straggler policy: its detached
+	// readers have a private continuation to migrate to. Join ports
+	// keep plain blocking backpressure.
+	spc := e.pc
+	if cfg.StragglerLagPages > 0 {
+		spc.MaxLag = cfg.StragglerLagPages
+		if env.Guard != nil {
+			spc.Robust = env.Guard.Counters
+		}
+	}
+	e.scan = NewScanStage(env, spc, cfg.ShareScan, e.stats)
 	return e
 }
 

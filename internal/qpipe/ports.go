@@ -81,6 +81,54 @@ type PortConfig struct {
 	// Pool recycles the push-copy clones the FIFO fan-out makes per
 	// consumer; nil disables recycling (the clones become garbage).
 	Pool *vec.Pool
+	// MaxLag enables the straggler policy on ports built from this
+	// config: a reader falling MaxLag+ pages behind the fastest reader
+	// is force-detached — its InPort ends and reports Straggled — so one
+	// slow consumer never convoys the sharing group. The port absorbs
+	// bounded overflow (up to MaxLag extra pages) while any reader keeps
+	// pace. 0 disables (the default); only circular-scan ports should
+	// set it, since detached readers need a private continuation.
+	MaxLag int
+	// Robust receives the straggler counters (straggler_detached,
+	// reader_max_lag_pages); nil drops them.
+	Robust *metrics.CounterSet
+}
+
+// onStraggle returns the per-detach observer for ports of this config,
+// or nil without a Robust set.
+func (pc PortConfig) onStraggle() func() {
+	if pc.Robust == nil {
+		return nil
+	}
+	ctr := pc.Robust.Get("straggler_detached")
+	return func() { ctr.Inc() }
+}
+
+// onLag returns the per-emit lag observer (high-water mark of the
+// fastest-to-slowest reader spread), or nil without a Robust set.
+func (pc PortConfig) onLag() func(int) {
+	if pc.Robust == nil {
+		return nil
+	}
+	ctr := pc.Robust.Get("reader_max_lag_pages")
+	return func(lag int) { ctr.Max(int64(lag)) }
+}
+
+// straggler is the optional InPort capability of ports with a
+// straggler policy: after Next returns ok=false, Straggled reports
+// whether the reader was force-detached rather than finished, and
+// where a private continuation must resume ([resume, entry) mod N).
+type straggler interface {
+	Straggled() (resume, entry int, ok bool)
+}
+
+// ElasticOut is the optional OutPort capability the CJOIN distributor
+// uses: EmitGrow delivers like Emit but, instead of blocking on a
+// reader that cannot absorb the page within extra pages of overflow,
+// refuses it and returns false with ownership retained by the caller —
+// who then detaches that reader and re-derives the page privately.
+type ElasticOut interface {
+	EmitGrow(p *comm.Page, extra int) bool
 }
 
 // portConfig is the internal alias used throughout the engine.
@@ -89,9 +137,19 @@ type portConfig = PortConfig
 // NewOutPort builds an output port for the configured model.
 func (pc PortConfig) NewOutPort() OutPort {
 	if pc.Model == CommSPL {
-		return &splPort{spl: comm.NewSPL(pc.SPLMax)}
+		spl := comm.NewSPL(pc.SPLMax)
+		if pc.MaxLag > 0 {
+			spl.SetStragglerLag(pc.MaxLag, pc.onStraggle(), pc.onLag())
+		}
+		return &splPort{spl: spl}
 	}
-	return &fanout{cap: pc.FIFOCap, col: pc.Col, pool: pc.Pool}
+	fo := &fanout{cap: pc.FIFOCap, col: pc.Col, pool: pc.Pool}
+	if pc.MaxLag > 0 {
+		fo.maxLag = pc.MaxLag
+		fo.straggled = pc.onStraggle()
+		fo.lagged = pc.onLag()
+	}
+	return fo
 }
 
 // newOutPort is the internal spelling.
@@ -107,6 +165,10 @@ func (p *splPort) Emit(pg *comm.Page) { p.spl.Append(pg) }
 func (p *splPort) Close()             { p.spl.Close() }
 func (p *splPort) ActiveReaders() int { return p.spl.ActiveConsumers() }
 
+func (p *splPort) EmitGrow(pg *comm.Page, extra int) bool {
+	return p.spl.AppendGrow(pg, extra)
+}
+
 func (p *splPort) AddReader(fromStart bool) InPort {
 	return &splIn{c: p.spl.AddConsumer(fromStart, comm.EntryAuto)}
 }
@@ -118,6 +180,8 @@ type splIn struct {
 func (in *splIn) Next() (*comm.Page, bool) { return in.c.Next() }
 func (in *splIn) Cancel()                  { in.c.Close() }
 func (in *splIn) Abort()                   { in.c.Abort() }
+
+func (in *splIn) Straggled() (resume, entry int, ok bool) { return in.c.Straggled() }
 
 // --- FIFO-backed ports (push model) ---
 
@@ -131,6 +195,14 @@ type fanout struct {
 	col    *metrics.Collector
 	pool   *vec.Pool
 	closed bool
+
+	// Straggler policy (PortConfig.MaxLag): readers lagging maxLag+
+	// pages behind the fastest are force-detached via CloseStraggled
+	// during Emit's bookkeeping pass, and delivery grows a reader's FIFO
+	// up to cap+maxLag before blocking.
+	maxLag    int
+	straggled func()    // observer, per force-detach
+	lagged    func(int) // observer, per-emit reader spread
 }
 
 type fanSub struct {
@@ -214,6 +286,9 @@ func (fo *fanout) Emit(p *comm.Page) {
 		s.appended++
 		dests = append(dests, s)
 	}
+	if fo.maxLag > 0 && p.Index >= 0 {
+		dests = fo.detachStragglersLocked(dests, p.Index)
+	}
 	fo.mu.Unlock()
 	if len(dests) == 0 {
 		p.Release() // no reader takes the page
@@ -228,10 +303,125 @@ func (fo *fanout) Emit(p *comm.Page) {
 		fo.col.AddSince(metrics.Misc, t0)
 	}
 	for i, s := range dests {
-		if !s.f.Put(pages[i]) {
+		ok := false
+		if fo.maxLag > 0 {
+			// Absorb laggard overflow up to cap+maxLag before applying
+			// blocking backpressure, mirroring the SPL's elastic growth.
+			ok = s.f.PutGrow(pages[i], fo.maxLag)
+		}
+		if !ok {
+			ok = s.f.Put(pages[i])
+		}
+		if !ok {
 			pages[i].Release() // consumer went away mid-emit
 		}
 	}
+}
+
+// detachStragglersLocked applies the straggler policy to this emit's
+// destinations: any reader lagging maxLag+ buffered pages behind the
+// fastest is force-detached — its FIFO is closed with the straggle
+// record (resume at the page being emitted, which it does not receive)
+// and it is dropped from the destination list. The least-lagged reader
+// is never detached, so a uniformly slow convoy backpressures instead
+// of dissolving. Returns the surviving destinations. Caller holds
+// fo.mu.
+func (fo *fanout) detachStragglersLocked(dests []*fanSub, nextIdx int) []*fanSub {
+	if len(dests) < 2 {
+		return dests
+	}
+	min, max := -1, 0
+	for _, s := range dests {
+		n := s.f.Len()
+		if min < 0 || n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if fo.lagged != nil {
+		fo.lagged(max - min)
+	}
+	if max-min < fo.maxLag {
+		return dests
+	}
+	kept := dests[:0]
+	for _, s := range dests {
+		if s.entry >= 0 && s.f.Len()-min >= fo.maxLag {
+			s.done = true
+			s.f.CloseStraggled(nextIdx, s.entry)
+			if fo.straggled != nil {
+				fo.straggled()
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	return kept
+}
+
+// EmitGrow delivers p like Emit but never blocks: a single reader that
+// cannot absorb the page within extra pages of FIFO overflow refuses
+// it, and EmitGrow returns false with ownership retained by the
+// caller. With multiple readers (or none) the page is always consumed.
+// Wrap-around finishing still applies on the refusal path — a reader
+// whose entry page is re-emitted has seen a full pass whether or not
+// this copy of the page lands anywhere.
+func (fo *fanout) EmitGrow(p *comm.Page, extra int) bool {
+	fo.mu.Lock()
+	if fo.closed {
+		fo.mu.Unlock()
+		p.Release()
+		return true
+	}
+	var destsArr [8]*fanSub
+	dests := destsArr[:0]
+	for _, s := range fo.subs {
+		if s.done || s.f.Closed() {
+			continue
+		}
+		if p.Index >= 0 && s.entry == p.Index && s.appended > 0 {
+			s.done = true
+			s.f.Close()
+			continue
+		}
+		if s.entry == comm.EntryAuto && p.Index >= 0 {
+			s.entry = p.Index
+		}
+		dests = append(dests, s)
+	}
+	if len(dests) == 1 {
+		s := dests[0]
+		if !s.f.PutGrow(p, extra) {
+			fo.mu.Unlock()
+			return false
+		}
+		s.appended++
+		fo.mu.Unlock()
+		return true
+	}
+	for _, s := range dests {
+		s.appended++
+	}
+	fo.mu.Unlock()
+	if len(dests) == 0 {
+		p.Release()
+		return true
+	}
+	var pagesArr [8]*comm.Page
+	pages := append(pagesArr[:0], p)
+	for i := 1; i < len(dests); i++ {
+		t0 := time.Now()
+		pages = append(pages, p.ClonePooled(fo.pool))
+		fo.col.AddSince(metrics.Misc, t0)
+	}
+	for i, s := range dests {
+		if !s.f.PutGrow(pages[i], extra) && !s.f.Put(pages[i]) {
+			pages[i].Release()
+		}
+	}
+	return true
 }
 
 func (fo *fanout) Close() {
@@ -285,6 +475,13 @@ func (in *fifoIn) Cancel() {
 	in.prev = nil
 	in.f.Close()
 	in.drain()
+}
+
+func (in *fifoIn) Straggled() (resume, entry int, ok bool) {
+	if in.aborted.Load() {
+		return 0, 0, false // cancellation outranks straggle: no continuation
+	}
+	return in.f.Straggled()
 }
 
 func (in *fifoIn) Abort() {

@@ -48,10 +48,15 @@ func NewScanStage(env *exec.Env, pc portConfig, share bool, stats *metrics.Count
 // queries attached to that scan: a read error (or recovered panic)
 // fails them and nobody else — the engine-wide error of the earlier
 // design poisoned every in-flight query on the first bad page of any
-// table. First error wins.
+// table. First error wins. A slot may chain to a fallback (a detachable
+// reader's per-query slot falls back to the shared scan's): the
+// fallback applies while the query still depends on that scan and is
+// dropped when a straggler detach migrates the query to its own
+// continuation, whose failures are recorded directly.
 type scanErr struct {
-	mu  sync.Mutex
-	err error
+	mu       sync.Mutex
+	err      error
+	fallback *scanErr
 }
 
 func (s *scanErr) fail(err error) {
@@ -62,14 +67,26 @@ func (s *scanErr) fail(err error) {
 	s.mu.Unlock()
 }
 
+// dropFallback detaches the slot from the shared scan's slot: errors on
+// pages the query will never be sent no longer apply to it.
+func (s *scanErr) dropFallback() {
+	s.mu.Lock()
+	s.fallback = nil
+	s.mu.Unlock()
+}
+
 // Err returns the scan's error, if any. Nil receivers report nil.
 func (s *scanErr) Err() error {
 	if s == nil {
 		return nil
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.err
+	err, fb := s.err, s.fallback
+	s.mu.Unlock()
+	if err == nil && fb != nil {
+		return fb.Err()
+	}
+	return err
 }
 
 type scanner struct {
@@ -85,13 +102,13 @@ type scanner struct {
 // failure, the slot carries the error to every attached query.
 func (st *ScanStage) Attach(t *catalog.Table) (InPort, *scanErr) {
 	if t.NumPages == 0 {
-		out := st.pc.newOutPort()
+		out := st.privatePort()
 		in := out.AddReader(false)
 		out.Close()
 		return in, &scanErr{}
 	}
 	if !st.share {
-		out := st.pc.newOutPort()
+		out := st.privatePort()
 		in := out.AddReader(false)
 		se := &scanErr{}
 		st.wg.Add(1)
@@ -102,15 +119,147 @@ func (st *ScanStage) Attach(t *catalog.Table) (InPort, *scanErr) {
 	defer st.mu.Unlock()
 	if sc, ok := st.scanners[t.Name]; ok {
 		st.stats.Get("scan_shared").Inc()
-		return sc.out.AddReader(false), sc.se
+		return st.sharedReader(sc)
 	}
 	sc := &scanner{table: t, out: st.pc.newOutPort(), se: &scanErr{}}
-	in := sc.out.AddReader(false)
 	st.scanners[t.Name] = sc
 	st.stats.Get("scan_started").Inc()
+	in, se := st.sharedReader(sc)
 	st.wg.Add(1)
 	go st.circularScan(sc)
-	return in, sc.se
+	return in, se
+}
+
+// privatePort builds an output port without the straggler policy:
+// private scans and continuations have a single reader, which plain
+// blocking backpressure handles — there is no convoy to protect.
+func (st *ScanStage) privatePort() OutPort {
+	pc := st.pc
+	pc.MaxLag = 0
+	return pc.newOutPort()
+}
+
+// sharedReader attaches one query to a circular scan. With a straggler
+// policy configured, the reader is wrapped so a force-detach migrates
+// it transparently to a private continuation, and its error slot falls
+// back to the shared scan's only while the query still depends on that
+// scan. Caller holds st.mu.
+func (st *ScanStage) sharedReader(sc *scanner) (InPort, *scanErr) {
+	in := sc.out.AddReader(false)
+	if st.pc.MaxLag <= 0 {
+		return in, sc.se
+	}
+	qse := &scanErr{fallback: sc.se}
+	return &detachIn{st: st, t: sc.table, se: qse, in: in}, qse
+}
+
+// detachIn adapts a shared-scan reader so straggler detachment is
+// invisible to the consumer: when the shared port force-detaches the
+// reader mid-pass, the wrapper migrates to a private continuation scan
+// delivering exactly the pages the reader had not yet received, in the
+// order the circular scan would have sent them — the consumer observes
+// one complete, bit-identical pass either way.
+type detachIn struct {
+	st *ScanStage
+	t  *catalog.Table
+	se *scanErr
+
+	mu      sync.Mutex // guards the source swap against Abort
+	in      InPort
+	aborted bool
+}
+
+func (d *detachIn) src() InPort {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.in
+}
+
+func (d *detachIn) Next() (*comm.Page, bool) {
+	for {
+		in := d.src()
+		p, ok := in.Next()
+		if ok {
+			return p, true
+		}
+		s, isStraggler := in.(straggler)
+		if !isStraggler {
+			return nil, false
+		}
+		resume, entry, straggled := s.Straggled()
+		if !straggled || resume < 0 || entry < 0 {
+			return nil, false // finished normally (or cancelled)
+		}
+		if !d.migrate(resume, entry) {
+			return nil, false // aborted while migrating
+		}
+	}
+}
+
+// migrate swaps the source to a freshly started private continuation
+// covering [resume, entry) mod N. Reports false when the query was
+// aborted instead.
+func (d *detachIn) migrate(resume, entry int) bool {
+	out := d.st.privatePort()
+	in := out.AddReader(false)
+	d.mu.Lock()
+	if d.aborted {
+		d.mu.Unlock()
+		out.Close()
+		in.Cancel()
+		return false
+	}
+	d.in = in
+	d.mu.Unlock()
+	// From here on only the continuation feeds this query; errors on
+	// pages the shared scan will never send it no longer apply.
+	d.se.dropFallback()
+	d.st.wg.Add(1)
+	go d.st.continueScan(d.t, resume, entry, out, d.se)
+	return true
+}
+
+func (d *detachIn) Cancel() { d.src().Cancel() }
+
+func (d *detachIn) Abort() {
+	d.mu.Lock()
+	d.aborted = true
+	in := d.in
+	d.mu.Unlock()
+	in.Abort()
+}
+
+// continueScan delivers the tail of a force-detached reader's pass:
+// pages [resume, entry) wrapping mod N, the exact unseen remainder in
+// circular-scan order. The decoded-batch cache makes most of these
+// reads cheap — the convoy touched the same pages moments ago.
+func (st *ScanStage) continueScan(t *catalog.Table, resume, entry int, out OutPort, se *scanErr) {
+	defer st.wg.Done()
+	defer out.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			se.fail(exec.RecoverPanic(st.env, r))
+		}
+	}()
+	// A detached reader has received 0..N-1 pages of its pass, so
+	// resume == entry means it received nothing and the continuation is
+	// the full table — never an empty range.
+	n := (entry - resume + t.NumPages) % t.NumPages
+	if n == 0 {
+		n = t.NumPages
+	}
+	i := resume
+	for ; n > 0; n, i = n-1, (i+1)%t.NumPages {
+		b, err := st.readPage(t, i)
+		if err != nil {
+			se.fail(err)
+			return
+		}
+		out.Emit(&comm.Page{Batch: b, Index: i})
+		if out.ActiveReaders() == 0 {
+			return
+		}
+	}
 }
 
 // Close waits for every scanner goroutine to unwind. Scanners stop on

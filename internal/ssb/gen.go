@@ -2,7 +2,9 @@ package ssb
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 
 	"sharedq/internal/catalog"
 	"sharedq/internal/disk"
@@ -11,10 +13,17 @@ import (
 )
 
 // Gen generates SSB data deterministically for a given scale factor and
-// seed: the same (SF, Seed) always produces byte-identical tables.
+// seed: the same (SF, Seed, Skew) always produces byte-identical tables.
 type Gen struct {
 	SF   float64 // scale factor; 1.0 = nominal SSB sizes
 	Seed int64
+	// Skew is the Zipfian exponent (theta) for lineorder's dimension
+	// foreign keys (custkey, partkey, suppkey). 0 keeps the SSB spec's
+	// uniform references; theta >= 1 concentrates most fact rows on a
+	// few hot dimension rows — heavy join keys, hot group keys and
+	// heavy scan partitions for the skew experiments. Key popularity
+	// follows rank: dimension key 1 is the hottest.
+	Skew float64
 }
 
 // Row counts at the given scale factor. Date is SF-independent (as in
@@ -200,9 +209,56 @@ func (g Gen) genPart(emit func(pages.Row) error) error {
 	return nil
 }
 
+// zipf samples 1-based ranks from a Zipfian distribution with exponent
+// theta over 1..n by inverting a precomputed CDF. Unlike rand.Zipf it
+// accepts any theta > 0 (the classic benchmark settings are 0.5..2,
+// including exactly 1). Determinism comes from the caller's rng; the
+// CDF itself is a pure function of (theta, n), so generators stay
+// restartable — every pass replays identical rows.
+type zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+func newZipf(rng *rand.Rand, theta float64, n int) *zipf {
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+		cdf[i-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &zipf{cdf: cdf, rng: rng}
+}
+
+// next draws the next rank in 1..n.
+func (z *zipf) next() int {
+	i := sort.SearchFloat64s(z.cdf, z.rng.Float64())
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	return i + 1
+}
+
+// fkDraw returns a foreign-key generator over 1..n: uniform at Skew 0,
+// Zipfian otherwise. All generators share the table rng, so the draw
+// sequence (and the rest of the row stream) stays deterministic.
+func (g Gen) fkDraw(rng *rand.Rand, n int) func() int64 {
+	if g.Skew <= 0 {
+		return func() int64 { return int64(rng.Intn(n) + 1) }
+	}
+	z := newZipf(rng, g.Skew, n)
+	return func() int64 { return int64(z.next()) }
+}
+
 func (g Gen) genLineorder(emit func(pages.Row) error) error {
 	rng := g.rng(TableLineorder)
 	nc, ns, np := g.rowsCustomer(), g.rowsSupplier(), g.rowsPart()
+	custKey := g.fkDraw(rng, nc)
+	partKey := g.fkDraw(rng, np)
+	suppKey := g.fkDraw(rng, ns)
 	n := g.rowsLineorder()
 	for i := 1; i <= n; i++ {
 		qty := int64(rng.Intn(50) + 1)
@@ -212,9 +268,9 @@ func (g Gen) genLineorder(emit func(pages.Row) error) error {
 		r := pages.Row{
 			pages.Int(int64((i-1)/4 + 1)), // orderkey: ~4 lines per order
 			pages.Int(int64((i-1)%4 + 1)), // linenumber
-			pages.Int(int64(rng.Intn(nc) + 1)),
-			pages.Int(int64(rng.Intn(np) + 1)),
-			pages.Int(int64(rng.Intn(ns) + 1)),
+			pages.Int(custKey()),
+			pages.Int(partKey()),
+			pages.Int(suppKey()),
 			pages.Int(DateKey(FirstYear+rng.Intn(NumYears), rng.Intn(365)+1)),
 			pages.Int(qty),
 			pages.Int(price),

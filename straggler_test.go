@@ -1,0 +1,192 @@
+package sharedq_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"sharedq"
+	"sharedq/internal/exec"
+	"sharedq/internal/pages"
+	"sharedq/internal/plan"
+	"sharedq/internal/vec"
+)
+
+// The straggler-detach parity suite: one streamed projection whose
+// consumer stalls mid-result (the tab nobody is reading) runs alongside
+// a convoy of flight queries, in every mode, under both communication
+// models and at parallelism 1 and 4, with release-poisoning on. The
+// detach machinery may migrate the stalled reader from the shared
+// circular scan (or the CJOIN pipeline) to a private continuation at
+// any point — the suite pins down that doing so is invisible in the
+// results: the straggler receives exactly the reference rows (multiset-
+// wise; a circular scan rotates order by entry point), the convoy's
+// results stay bit-identical to the row-at-a-time reference, sharing
+// modes actually detach, and no pooled batch leaks.
+
+// stragglerSlowSQL routes the stalled consumer through the mode's
+// sharing substrate: the circular scan for the QPipe modes, the GQP
+// pipeline for the CJOIN modes.
+func stragglerSlowSQL(mode sharedq.Mode) string {
+	if mode == sharedq.CJOIN || mode == sharedq.CJOINSP {
+		return "SELECT lo_revenue, d_year FROM lineorder, date WHERE lo_orderdate = d_datekey"
+	}
+	return "SELECT lo_orderkey, lo_revenue FROM lineorder"
+}
+
+// stragglerSharingMode reports whether the mode couples concurrent
+// queries through a shared producer — the modes where the detach
+// counter must move for the convoy to have survived the stall.
+func stragglerSharingMode(mode sharedq.Mode) bool {
+	switch mode {
+	case sharedq.QPipeCS, sharedq.QPipeSP, sharedq.CJOIN, sharedq.CJOINSP:
+		return true
+	}
+	return false
+}
+
+// rowMultiset reduces rows to a sorted key list for order-insensitive
+// comparison.
+func rowMultiset(rows []pages.Row) []string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = fmt.Sprint(r)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// streamStalled streams q and sleeps stall after the first row, then
+// drains the rest; started is closed as soon as the first row is held,
+// so the caller can launch the convoy provably inside the stall window.
+func streamStalled(eng *sharedq.Engine, q *plan.Query, stall time.Duration, started chan<- struct{}) ([]pages.Row, error) {
+	rs, err := eng.StreamSubmit(context.Background(), q)
+	if err != nil {
+		close(started)
+		return nil, err
+	}
+	var rows []pages.Row
+	first := true
+	for rs.Next() {
+		rows = append(rows, rs.Row())
+		if first {
+			first = false
+			close(started)
+			time.Sleep(stall)
+		}
+	}
+	if first {
+		close(started)
+	}
+	err = rs.Err()
+	if cerr := rs.Close(); err == nil {
+		err = cerr
+	}
+	return rows, err
+}
+
+func TestStragglerDetachParity(t *testing.T) {
+	vec.SetPoison(true)
+	defer vec.SetPoison(false)
+
+	const stall = 60 * time.Millisecond
+	sys := paritySystem(t)
+	all := flightPlans(t, sys)
+	convoy := []*plan.Query{all[2], all[6], all[10]}
+	wants := make([][]pages.Row, len(convoy))
+	for i, q := range convoy {
+		w, err := exec.ExecuteRows(sys.Env, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+
+	for _, mode := range sharedq.Modes() {
+		slow, err := plan.Build(sys.Cat, stragglerSlowSQL(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Unthrottled reference for the streamed projection, per mode.
+		refEng := sharedq.NewEngine(sys, sharedq.Options{Mode: mode})
+		refStarted := make(chan struct{})
+		slowRef, err := streamStalled(refEng, slow, 0, refStarted)
+		refEng.Close()
+		if err != nil {
+			t.Fatalf("%s: reference straggler run: %v", mode, err)
+		}
+		refKeys := rowMultiset(slowRef)
+
+		for _, comm := range []sharedq.Comm{sharedq.CommFIFO, sharedq.CommSPL} {
+			for _, par := range []int{1, 4} {
+				name := fmt.Sprintf("%s/%v/parallelism=%d", mode, comm, par)
+				t.Run(name, func(t *testing.T) {
+					det0 := sys.Robust.Get("straggler_detached").Load()
+					eng := sharedq.NewEngine(sys, sharedq.Options{
+						Mode: mode, Comm: comm, Parallelism: par,
+						StragglerLagPages: 2, MorselPages: 2,
+					})
+					started := make(chan struct{})
+					var slowRows []pages.Row
+					var slowErr error
+					var slowWG sync.WaitGroup
+					slowWG.Add(1)
+					go func() {
+						defer slowWG.Done()
+						slowRows, slowErr = streamStalled(eng, slow, stall, started)
+					}()
+					<-started
+
+					results := make([][]pages.Row, len(convoy))
+					errs := make([]error, len(convoy))
+					var wg sync.WaitGroup
+					for i := range convoy {
+						wg.Add(1)
+						go func(i int) {
+							defer wg.Done()
+							results[i], errs[i] = eng.Submit(convoy[i])
+						}(i)
+					}
+					wg.Wait()
+					slowWG.Wait()
+					eng.Close()
+
+					if slowErr != nil {
+						t.Fatalf("straggler query: %v", slowErr)
+					}
+					if got := rowMultiset(slowRows); !reflect.DeepEqual(got, refKeys) {
+						t.Errorf("straggler rows diverged after detach: %d rows, reference %d",
+							len(slowRows), len(slowRef))
+					}
+					for i := range convoy {
+						if errs[i] != nil {
+							t.Fatalf("convoy query %d: %v", i, errs[i])
+						}
+						for _, r := range results[i] {
+							for _, v := range r {
+								if v.Kind == pages.KindString && v.S == vec.PoisonString {
+									t.Fatalf("convoy query %d leaked a poisoned (released) value", i)
+								}
+							}
+						}
+						if !reflect.DeepEqual(results[i], wants[i]) {
+							t.Errorf("convoy query %d diverged alongside a straggler (%d vs %d rows); first diff %s",
+								i, len(results[i]), len(wants[i]), firstDiff(results[i], wants[i]))
+						}
+					}
+					detached := sys.Robust.Get("straggler_detached").Load() - det0
+					if stragglerSharingMode(mode) && detached == 0 {
+						t.Errorf("straggler_detached did not move in sharing mode %s", mode)
+					}
+					if n := sys.Env.Recycle.Outstanding(); n != 0 {
+						t.Errorf("%d pool batches leaked after straggler run", n)
+					}
+				})
+			}
+		}
+	}
+}
