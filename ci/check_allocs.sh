@@ -34,6 +34,28 @@ depth_of() {
     awk -v s="$1" 'BEGIN{ print gsub(/\//, "/", s) }' </dev/null
 }
 
+# Preflight: every gated top-level benchmark function must still
+# exist before any benchmark time is spent. `go test -list` only sees
+# top-level functions (sub-benchmarks are discovered at run time), so
+# renamed sub-benchmarks are caught by the per-row output check below;
+# this catches the removed/renamed function case in ~a second with a
+# message that names the missing benchmark.
+tops=$(for row in "${rows[@]}"; do
+    split_row "$row"
+    echo "${bench%%/*}"
+done | sort -u)
+listed=$(go test -run '^$' -list "^($(paste -sd'|' - <<<"$tops"))\$" . | grep '^Benchmark' || true)
+missing=0
+for top in $tops; do
+    if ! grep -qx "$top" <<<"$listed"; then
+        echo "check_allocs: gated benchmark ${top} not found in package — removed or renamed? Update ci/allocs_threshold.txt to match." >&2
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    exit 1
+fi
+
 # -bench patterns are matched per slash-separated level, and a
 # benchmark shallower than the pattern only runs in sub-discovery mode
 # (no measurement), so gated names are grouped by depth (and cpu) and
@@ -78,7 +100,7 @@ for row in "${rows[@]}"; do
             if ($1 == n) for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
         }' <<<"$out" | head -n1)
     if [ -z "$allocs" ]; then
-        echo "check_allocs: no benchmark output row for ${name}" >&2
+        echo "check_allocs: no benchmark output row for ${name} — sub-benchmark removed or renamed? Update ci/allocs_threshold.txt to match." >&2
         fail=1
         continue
     fi

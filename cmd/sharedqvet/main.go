@@ -1,0 +1,82 @@
+// Command sharedqvet runs the project's custom static analyzers:
+//
+//	releasecheck  pooled batch checkouts reach Release or a hand-off
+//	lockorder     the static mutex-acquisition graph stays acyclic
+//	ctxflow       no context-less blocking where a caller ctx is in scope
+//	countercheck  referenced counters are exported, exported counters written
+//
+// It speaks the go vet -vettool protocol, so the canonical invocation
+// is:
+//
+//	go vet -vettool=$(which sharedqvet) ./...
+//
+// For convenience it also accepts package patterns directly —
+//
+//	sharedqvet ./...
+//
+// — in which case it re-executes the go tool with itself as the
+// vettool, giving the standalone spelling the exact same semantics
+// (and the go build cache) as the vet-driven one.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"sharedq/internal/analysis/countercheck"
+	"sharedq/internal/analysis/ctxflow"
+	"sharedq/internal/analysis/lockorder"
+	"sharedq/internal/analysis/releasecheck"
+)
+
+func main() {
+	if patterns, ok := packageMode(os.Args[1:]); ok {
+		os.Exit(runViaGoVet(patterns))
+	}
+	unitchecker.Main(
+		releasecheck.Analyzer,
+		lockorder.Analyzer,
+		ctxflow.Analyzer,
+		countercheck.Analyzer,
+	)
+}
+
+// packageMode reports whether the arguments are package patterns (the
+// standalone spelling) rather than a unitchecker protocol exchange
+// (flags, or a single *.cfg path).
+func packageMode(args []string) ([]string, bool) {
+	if len(args) == 0 {
+		return nil, false
+	}
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
+			return nil, false
+		}
+	}
+	return args, true
+}
+
+func runViaGoVet(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sharedqvet: cannot locate own binary: %v\n", err)
+		return 2
+	}
+	args := append([]string{"vet", "-vettool=" + self}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "sharedqvet: %v\n", err)
+		return 2
+	}
+	return 0
+}

@@ -1,3 +1,8 @@
 module sharedq
 
 go 1.24
+
+// Pinned to the exact revision the Go 1.24 toolchain itself vendors
+// (see $GOROOT/src/cmd/go.mod); the vendor/ tree carries the analysis
+// framework subset so hermetic builds need no module proxy.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

@@ -1,0 +1,397 @@
+// Package atest is a minimal analysistest stand-in for the sharedqvet
+// analyzers.
+//
+// The upstream golang.org/x/tools/go/analysis/analysistest package
+// depends on go/packages, which needs the full module loader; this
+// harness instead typechecks GOPATH-style fixture trees directly with
+// go/parser and go/types, which keeps analyzer tests hermetic — no
+// module resolution, no network, no build cache.
+//
+// Layout: each analyzer keeps fixtures under
+//
+//	testdata/src/<importpath>/*.go
+//
+// Imports inside fixtures resolve against testdata/src first, so
+// fixtures provide small stub packages for the real import paths the
+// analyzers recognize (sharedq/internal/vec, sync, context, ...).
+// Expectations are analysistest-style magic comments on the line the
+// diagnostic lands on:
+//
+//	b := pool.Get(kinds, n) // want `not released on every path`
+//
+// Each `want` clause holds one or more quoted or backquoted regular
+// expressions; every diagnostic must match exactly one pending clause
+// on its line and every clause must be matched.
+//
+// Facts flow between fixture packages through an in-memory store, and
+// every exported fact is round-tripped through encoding/gob first, so a
+// fact type that would break the real unitchecker driver fails here
+// too.
+package atest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads the fixture packages named by pkgpaths (plus their fixture
+// dependencies), applies the analyzer to every loaded fixture package
+// in dependency order, and checks the diagnostics of the named packages
+// against their // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	var targets []*fixturePkg
+	for _, p := range pkgpaths {
+		pkg, err := l.load(p)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", p, err)
+		}
+		targets = append(targets, pkg)
+	}
+
+	store := newFactStore()
+	diags := map[string][]analysis.Diagnostic{} // pkgpath -> diagnostics
+	for _, pkg := range l.order {               // dependency order
+		ds, err := analyze(a, pkg, store, l.fset)
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", pkg.path, err)
+		}
+		diags[pkg.path] = ds
+	}
+
+	for _, pkg := range targets {
+		checkWants(t, l.fset, pkg, diags[pkg.path])
+	}
+}
+
+// --- fixture loading ---
+
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	cache   map[string]*fixturePkg
+	loading map[string]bool
+	order   []*fixturePkg
+	std     types.Importer
+}
+
+func newLoader(srcRoot string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		srcRoot: srcRoot,
+		fset:    fset,
+		cache:   map[string]*fixturePkg{},
+		loading: map[string]bool{},
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer over the fixture tree, falling back
+// to the source importer for paths with no fixture directory.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.srcRoot, filepath.FromSlash(path)); dirExists(dir) {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.types, nil
+	}
+	return l.std.Import(path)
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("fixture import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &fixturePkg{path: path, files: files, types: tpkg, info: info}
+	l.cache[path] = pkg
+	l.order = append(l.order, pkg)
+	return pkg, nil
+}
+
+// --- fact store ---
+
+type factStore struct {
+	obj map[types.Object][]analysis.Fact
+	pkg map[*types.Package][]analysis.Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		obj: map[types.Object][]analysis.Fact{},
+		pkg: map[*types.Package][]analysis.Fact{},
+	}
+}
+
+// gobRoundTrip clones a fact through gob, the way the unitchecker
+// serializes it between compilation units.
+func gobRoundTrip(f analysis.Fact) (analysis.Fact, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, fmt.Errorf("fact %T not gob-encodable: %v", f, err)
+	}
+	out := reflect.New(reflect.TypeOf(f).Elem()).Interface().(analysis.Fact)
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		return nil, fmt.Errorf("fact %T not gob-decodable: %v", f, err)
+	}
+	return out, nil
+}
+
+func copyFact(src, dst analysis.Fact) bool {
+	sv, dv := reflect.ValueOf(src), reflect.ValueOf(dst)
+	if sv.Type() != dv.Type() {
+		return false
+	}
+	dv.Elem().Set(sv.Elem())
+	return true
+}
+
+// --- running one package ---
+
+func analyze(a *analysis.Analyzer, pkg *fixturePkg, store *factStore, fset *token.FileSet) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	var factErr error
+	exportFact := func(key interface{}, f analysis.Fact) {
+		rt, err := gobRoundTrip(f)
+		if err != nil {
+			factErr = err
+			return
+		}
+		switch k := key.(type) {
+		case types.Object:
+			store.obj[k] = append(store.obj[k], rt)
+		case *types.Package:
+			store.pkg[k] = append(store.pkg[k], rt)
+		}
+	}
+
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      pkg.files,
+		Pkg:        pkg.types,
+		TypesInfo:  pkg.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   map[*analysis.Analyzer]interface{}{},
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ImportObjectFact: func(obj types.Object, f analysis.Fact) bool {
+			for _, have := range store.obj[obj] {
+				if copyFact(have, f) {
+					return true
+				}
+			}
+			return false
+		},
+		ExportObjectFact: func(obj types.Object, f analysis.Fact) { exportFact(obj, f) },
+		ImportPackageFact: func(p *types.Package, f analysis.Fact) bool {
+			for _, have := range store.pkg[p] {
+				if copyFact(have, f) {
+					return true
+				}
+			}
+			return false
+		},
+		ExportPackageFact: func(f analysis.Fact) { exportFact(pkg.types, f) },
+		AllObjectFacts: func() []analysis.ObjectFact {
+			var out []analysis.ObjectFact
+			for obj, fs := range store.obj {
+				for _, f := range fs {
+					out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+				}
+			}
+			return out
+		},
+		AllPackageFacts: func() []analysis.PackageFact {
+			var out []analysis.PackageFact
+			for p, fs := range store.pkg {
+				for _, f := range fs {
+					out = append(out, analysis.PackageFact{Package: p, Fact: f})
+				}
+			}
+			return out
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	if factErr != nil {
+		return nil, factErr
+	}
+	return diags, nil
+}
+
+// --- want-comment checking ---
+
+type want struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, pkg *fixturePkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[string]map[int][]*want{} // file -> line -> clauses
+	for _, f := range pkg.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				p := fset.Position(c.Slash)
+				for _, raw := range splitWant(c.Text[idx+len("// want "):]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", p.Filename, p.Line, raw, err)
+						continue
+					}
+					if wants[p.Filename] == nil {
+						wants[p.Filename] = map[int][]*want{}
+					}
+					wants[p.Filename][p.Line] = append(wants[p.Filename][p.Line], &want{re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		var hit *want
+		for _, w := range wants[p.Filename][p.Line] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				hit = w
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", p.Filename, p.Line, d.Message)
+			continue
+		}
+		hit.matched = true
+	}
+
+	var missed []string
+	for file, lines := range wants {
+		for line, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					missed = append(missed, fmt.Sprintf("%s:%d: no diagnostic matching %q", file, line, w.raw))
+				}
+			}
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}
+
+// splitWant parses the tail of a want comment into its quoted clauses.
+func splitWant(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return out
+		}
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return out
+			}
+			if unq, err := strconv.Unquote(s[:end+1]); err == nil {
+				out = append(out, unq)
+			}
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[1:1+end])
+			s = s[2+end:]
+		default:
+			return out
+		}
+	}
+}

@@ -1,0 +1,431 @@
+// Package countercheck defines an analyzer keeping the robustness
+// counters and the list that exports them in sync.
+//
+// The fault-tolerance counters (page_retry, query_panic_recovered, ...)
+// exist so operators can see that the engine's self-healing machinery
+// actually fired. metrics.CounterSet.Get auto-creates on first touch,
+// which is ergonomic in the hot path but means a typo'd or unexported
+// counter increments into the void: the PR 6 harness surfaces only the
+// names in its robustCounters allowlist, so a counter missing from that
+// list is invisible in every report — it has "gone dark".
+//
+// Wiring is declared with directives:
+//
+//	//sharedq:counters <registry>     on a *metrics.CounterSet field or
+//	                                  variable: names referenced through
+//	                                  this set belong to <registry>.
+//	//sharedq:counterfn <registry>    on a function whose string
+//	                                  parameter is forwarded to Get on a
+//	                                  <registry> set (an increment
+//	                                  wrapper such as robustInc).
+//	//sharedq:counterlist <registry>  on a []string composite-literal
+//	                                  variable: the definitive exported
+//	                                  name list of <registry>.
+//
+// Each package exports its counter references as facts. The package
+// declaring the counterlist — which, importing the engine it reports
+// on, sees every reference — checks both directions: a referenced name
+// absent from the list ("incremented but never exported") and a listed
+// name never written ("exported but never incremented"). Non-literal
+// names passed to Get on a marked set defeat the analysis and are
+// flagged unless the call is inside a counterfn wrapper or annotated
+// "//sharedq:allow countercheck <reason>".
+package countercheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"sharedq/internal/analysis/directive"
+)
+
+// Name is the analyzer's name, as used in //sharedq:allow directives.
+const Name = "countercheck"
+
+// Analyzer is the countercheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name:      Name,
+	Doc:       "check that every referenced metrics counter is exported and every exported counter is written",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(RegistryFact), new(CounterFnFact), new(Refs)},
+}
+
+// RegistryFact marks a CounterSet field or variable as belonging to a
+// named registry (object fact, from //sharedq:counters).
+type RegistryFact struct{ Registry string }
+
+// AFact marks RegistryFact as an analysis fact.
+func (*RegistryFact) AFact() {}
+
+// CounterFnFact marks a function as an increment wrapper forwarding its
+// literal string argument to a registry (object fact, from
+// //sharedq:counterfn).
+type CounterFnFact struct{ Registry string }
+
+// AFact marks CounterFnFact as an analysis fact.
+func (*CounterFnFact) AFact() {}
+
+// CounterRef is one static reference to a named counter.
+type CounterRef struct {
+	Registry string
+	Name     string
+	Write    bool
+	Pos      string // "file:line", for the registry package's report
+}
+
+// Refs is the package fact carrying a package's counter references.
+type Refs struct {
+	List []CounterRef
+}
+
+// AFact marks Refs as an analysis fact.
+func (*Refs) AFact() {}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.ParseFiles(pass.Fset, pass.Files)
+
+	markObjects(pass, dirs)
+
+	refs := collectRefs(pass, dirs)
+	// The vet driver hands a package only its direct imports' package
+	// facts — imported package facts are not re-exported. Counter writes
+	// must reach the registry package across any number of import hops,
+	// so each package re-publishes its imports' refs merged with its
+	// own, making the fact cumulative over the transitive closure.
+	seen := map[CounterRef]bool{}
+	for _, r := range refs.List {
+		seen[r] = true
+	}
+	for _, pf := range pass.AllPackageFacts() {
+		if rr, ok := pf.Fact.(*Refs); ok {
+			for _, r := range rr.List {
+				if !seen[r] {
+					seen[r] = true
+					refs.List = append(refs.List, r)
+				}
+			}
+		}
+	}
+	sort.Slice(refs.List, func(i, j int) bool {
+		a, b := refs.List[i], refs.List[j]
+		if a.Registry != b.Registry {
+			return a.Registry < b.Registry
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Pos < b.Pos
+	})
+	if len(refs.List) > 0 {
+		pass.ExportPackageFact(refs)
+	}
+
+	checkRegistries(pass, dirs, refs)
+	return nil, nil
+}
+
+// markObjects exports RegistryFact/CounterFnFact for every declaration
+// annotated with //sharedq:counters or //sharedq:counterfn.
+func markObjects(pass *analysis.Pass, dirs *directive.Map) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.Field:
+				for _, name := range v.Names {
+					exportMark(pass, dirs, name)
+				}
+			case *ast.ValueSpec:
+				for _, name := range v.Names {
+					exportMark(pass, dirs, name)
+				}
+			case *ast.FuncDecl:
+				if ds := dirs.At(v.Name.Pos(), directive.CounterFn); len(ds) > 0 && len(ds[0].Args) > 0 {
+					if obj := pass.TypesInfo.Defs[v.Name]; obj != nil {
+						pass.ExportObjectFact(obj, &CounterFnFact{Registry: ds[0].Args[0]})
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func exportMark(pass *analysis.Pass, dirs *directive.Map, name *ast.Ident) {
+	ds := dirs.At(name.Pos(), directive.Counters)
+	if len(ds) == 0 || len(ds[0].Args) == 0 {
+		return
+	}
+	if obj := pass.TypesInfo.Defs[name]; obj != nil {
+		pass.ExportObjectFact(obj, &RegistryFact{Registry: ds[0].Args[0]})
+	}
+}
+
+// registryOf resolves the receiver expression of a Get call to a marked
+// counter set, local or imported.
+func registryOf(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var obj types.Object
+	switch v := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[v]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = pass.TypesInfo.Uses[v.Sel]
+		}
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[v]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[v]
+		}
+	case *ast.ParenExpr:
+		return registryOf(pass, v.X)
+	}
+	if obj == nil {
+		return "", false
+	}
+	var fact RegistryFact
+	if pass.ImportObjectFact(obj, &fact) {
+		return fact.Registry, true
+	}
+	return "", false
+}
+
+// writerMethods are the *metrics.Counter methods that count as writing
+// the counter; every other use (Load, comparison, Snapshot plumbing) is
+// a read.
+var writerMethods = map[string]bool{"Inc": true, "Add": true, "Store": true, "Max": true}
+
+func collectRefs(pass *analysis.Pass, dirs *directive.Map) *Refs {
+	refs := &Refs{}
+	posStr := func(p token.Pos) string {
+		pos := pass.Fset.Position(p)
+		return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+	}
+	// Get calls consumed as the receiver of an outer method call, so the
+	// bare-ref pass doesn't double count them.
+	consumed := map[*ast.CallExpr]bool{}
+
+	// inCounterFn reports whether pos is inside a function marked
+	// //sharedq:counterfn (those forward non-literal names by design).
+	var counterFnRanges []struct {
+		from, to token.Pos
+		registry string
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				var fact CounterFnFact
+				if pass.ImportObjectFact(obj, &fact) {
+					counterFnRanges = append(counterFnRanges, struct {
+						from, to token.Pos
+						registry string
+					}{fd.Pos(), fd.End(), fact.Registry})
+				}
+			}
+		}
+	}
+	inCounterFn := func(p token.Pos) bool {
+		for _, r := range counterFnRanges {
+			if r.from <= p && p <= r.to {
+				return true
+			}
+		}
+		return false
+	}
+
+	// getCall decomposes e as <marked set>.Get(arg), returning the
+	// registry and the call.
+	getCall := func(e ast.Expr) (string, *ast.CallExpr, bool) {
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return "", nil, false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Get" {
+			return "", nil, false
+		}
+		reg, ok := registryOf(pass, sel.X)
+		if !ok {
+			return "", nil, false
+		}
+		return reg, call, true
+	}
+
+	record := func(reg string, call *ast.CallExpr, write bool) {
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			if inCounterFn(call.Pos()) {
+				return
+			}
+			if d, ok := dirs.Allowed(call.Pos(), Name); ok {
+				if d.Reason() == "" {
+					pass.Reportf(call.Pos(), "sharedq:allow directive requires a reason")
+				}
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"non-literal counter name on %s registry defeats static export checking; use a literal, a //sharedq:counterfn wrapper, or //sharedq:allow countercheck <reason>", reg)
+			return
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return
+		}
+		refs.List = append(refs.List, CounterRef{Registry: reg, Name: name, Write: write, Pos: posStr(call.Pos())})
+	}
+
+	for _, f := range pass.Files {
+		// First the chained form set.Get("x").Inc(): classify by method.
+		ast.Inspect(f, func(n ast.Node) bool {
+			outer, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := outer.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if reg, inner, ok := getCall(sel.X); ok {
+				consumed[inner] = true
+				record(reg, inner, writerMethods[sel.Sel.Name])
+			}
+			return true
+		})
+		// Then every remaining Get: a handle kept around — the common form
+		// is binding once and incrementing later, so treat it as a write.
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if reg, inner, ok := getCall(e); ok && !consumed[inner] {
+				consumed[inner] = true
+				record(reg, inner, true)
+			}
+			return true
+		})
+		// Calls to counterfn wrappers with a literal argument are writes.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+			if !ok {
+				return true
+			}
+			var fact CounterFnFact
+			if !pass.ImportObjectFact(fn, &fact) {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				// The wrapper's own body already reported or was excused.
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			refs.List = append(refs.List, CounterRef{Registry: fact.Registry, Name: name, Write: true, Pos: posStr(call.Pos())})
+			return true
+		})
+	}
+	return refs
+}
+
+// checkRegistries runs the two-way comparison in every package that
+// declares a //sharedq:counterlist variable.
+func checkRegistries(pass *analysis.Pass, dirs *directive.Map, local *Refs) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			spec, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, name := range spec.Names {
+				ds := dirs.At(name.Pos(), directive.CounterList)
+				if len(ds) == 0 || len(ds[0].Args) == 0 {
+					continue
+				}
+				registry := ds[0].Args[0]
+				if i >= len(spec.Values) {
+					pass.Reportf(name.Pos(), "sharedq:counterlist variable must be initialized with a []string composite literal")
+					continue
+				}
+				lit, ok := spec.Values[i].(*ast.CompositeLit)
+				if !ok {
+					pass.Reportf(name.Pos(), "sharedq:counterlist variable must be initialized with a []string composite literal")
+					continue
+				}
+				checkOne(pass, registry, name, lit, local)
+			}
+			return true
+		})
+	}
+}
+
+func checkOne(pass *analysis.Pass, registry string, name *ast.Ident, lit *ast.CompositeLit, local *Refs) {
+	listed := map[string]token.Pos{}
+	for _, el := range lit.Elts {
+		bl, ok := el.(*ast.BasicLit)
+		if !ok || bl.Kind != token.STRING {
+			pass.Reportf(el.Pos(), "sharedq:counterlist entries must be string literals")
+			continue
+		}
+		s, err := strconv.Unquote(bl.Value)
+		if err != nil {
+			continue
+		}
+		listed[s] = bl.Pos()
+	}
+
+	// Every reference this package can see: its own plus all transitive
+	// dependencies' exported facts.
+	var all []CounterRef
+	all = append(all, local.List...)
+	for _, pf := range pass.AllPackageFacts() {
+		if r, ok := pf.Fact.(*Refs); ok {
+			all = append(all, r.List...)
+		}
+	}
+
+	written := map[string]bool{}
+	reportedMissing := map[string]bool{}
+	for _, r := range all {
+		if r.Registry != registry {
+			continue
+		}
+		if r.Write {
+			written[r.Name] = true
+		}
+		if _, ok := listed[r.Name]; !ok && !reportedMissing[r.Name] {
+			reportedMissing[r.Name] = true
+			pass.Reportf(name.Pos(),
+				"counter %q is referenced (%s) but missing from %s registry list %s; it will never be exported",
+				r.Name, r.Pos, registry, name.Name)
+		}
+	}
+	var dark []string
+	for s := range listed {
+		if !written[s] {
+			dark = append(dark, s)
+		}
+	}
+	sort.Strings(dark)
+	for _, s := range dark {
+		pass.Reportf(listed[s],
+			"counter %q is exported in %s registry list %s but never written anywhere; it has gone dark",
+			s, registry, name.Name)
+	}
+}

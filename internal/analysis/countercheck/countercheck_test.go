@@ -1,0 +1,15 @@
+package countercheck_test
+
+import (
+	"testing"
+
+	"sharedq/internal/analysis/atest"
+	"sharedq/internal/analysis/countercheck"
+)
+
+// TestCounterCheck runs the writer package and the registry package
+// together: references flow from engine to report as package facts,
+// where the two-way list comparison happens.
+func TestCounterCheck(t *testing.T) {
+	atest.Run(t, "testdata", countercheck.Analyzer, "engine", "report")
+}

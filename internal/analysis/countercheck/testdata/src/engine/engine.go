@@ -1,0 +1,41 @@
+// Fixture for countercheck, writer side: a marked counter set, an
+// increment wrapper, and a non-literal name outside any wrapper.
+package engine
+
+import "sharedq/internal/metrics"
+
+// Guard carries the robustness counters.
+type Guard struct {
+	Counters *metrics.CounterSet //sharedq:counters robust
+}
+
+// Work writes two counters; "stray_write" is not in the registry list
+// and is reported there.
+func (g *Guard) Work() {
+	g.Counters.Get("page_retry").Inc()
+	g.Counters.Get("stray_write").Inc()
+}
+
+// robustInc forwards literal names from call sites into the set.
+//
+//sharedq:counterfn robust
+func (g *Guard) robustInc(name string) {
+	g.Counters.Get(name).Inc()
+}
+
+// Split writes through the wrapper.
+func (g *Guard) Split() {
+	g.robustInc("partition_splits")
+}
+
+// Bad defeats the static check with a computed name and no wrapper
+// marking.
+func (g *Guard) Bad(name string) {
+	g.Counters.Get(name).Inc() // want `non-literal counter name`
+}
+
+// Peek only reads; reads alone do not keep a counter out of the dark
+// list.
+func (g *Guard) Peek() int64 {
+	return g.Counters.Get("reader_lag").Load()
+}

@@ -1,0 +1,26 @@
+// Fixture for countercheck, registry side: the exported-name list is
+// checked both ways against every reference visible from here.
+package report
+
+import "engine"
+
+// robustCounters is the definitive exported-name list; the fixture
+// plants one referenced-but-unlisted counter (stray_write, written in
+// package engine) and two listed-but-never-written ones.
+//
+//sharedq:counterlist robust
+var robustCounters = []string{ // want `counter "stray_write" is referenced`
+	"page_retry",
+	"partition_splits",
+	"reader_lag",    // want `counter "reader_lag" is exported .* but never written`
+	"never_written", // want `counter "never_written" is exported .* but never written`
+}
+
+// Export snapshots the listed counters.
+func Export(g *engine.Guard) map[string]int64 {
+	out := make(map[string]int64, len(robustCounters))
+	for range robustCounters {
+		g.Work()
+	}
+	return out
+}

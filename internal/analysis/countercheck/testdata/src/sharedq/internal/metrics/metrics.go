@@ -1,0 +1,21 @@
+// Fixture stub of sharedq/internal/metrics: the auto-creating counter
+// set the analyzer tracks references through.
+package metrics
+
+// Counter mirrors the atomic counter.
+type Counter struct{}
+
+// Inc adds one.
+func (c *Counter) Inc() {}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {}
+
+// Load reads the value.
+func (c *Counter) Load() int64 { return 0 }
+
+// CounterSet mirrors the concurrent named-counter map.
+type CounterSet struct{}
+
+// Get returns the named counter, creating it on first use.
+func (s *CounterSet) Get(name string) *Counter { return nil }

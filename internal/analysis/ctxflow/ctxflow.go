@@ -1,0 +1,210 @@
+// Package ctxflow defines an analyzer protecting the cancellation
+// plumbing of the library packages.
+//
+// PR 5 established the lifecycle contract: every blocking operation in
+// a library package must observe the caller's context, because a
+// producer stuck in an uncancellable Put outlives the query that owned
+// it and wedges every query sharing its operator. The tree encodes the
+// contract as paired entry points — Put/PutCtx, Submit/SubmitCtx,
+// Next/NextCtx — where the bare form exists only for contexts-free
+// compatibility shims and tests.
+//
+// Inside any function that has a context.Context parameter in scope
+// (including closures nested in one), the analyzer flags:
+//
+//   - calls to context.Background() or context.TODO() — the caller's
+//     context is right there; minting a fresh root detaches the work
+//     from its query's lifetime;
+//   - calls to a module-internal function or method M when a sibling
+//     MCtx exists whose first parameter is a context.Context — the
+//     bare form blocks without observing cancellation;
+//   - time.Sleep — unconditionally uncancellable; a timer/select
+//     observes the context.
+//
+// Deliberate exceptions (detach-on-purpose, lifetimes longer than the
+// request) are annotated "//sharedq:allow ctxflow <reason>".
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"sharedq/internal/analysis/directive"
+)
+
+// Name is the analyzer's name, as used in //sharedq:allow directives.
+const Name = "ctxflow"
+
+// Analyzer is the ctxflow analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc:  "flag context-less blocking calls where a caller context is in scope",
+	Run:  run,
+}
+
+// modulePrefix limits the Ctx-sibling rule to this module's own
+// packages: stdlib and third-party APIs don't follow the pairing
+// convention.
+const modulePrefix = "sharedq/"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.ParseFiles(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		// Walk with a stack of "does the enclosing function chain have a
+		// ctx parameter" states; closures inherit the enclosing state.
+		var visit func(n ast.Node, hasCtx bool)
+		visit = func(n ast.Node, hasCtx bool) {
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				if v.Body != nil {
+					visit(v.Body, hasCtxParam(pass, v.Type))
+				}
+				return
+			case *ast.FuncLit:
+				visit(v.Body, hasCtx || hasCtxParam(pass, v.Type))
+				return
+			case *ast.CallExpr:
+				if hasCtx {
+					check(pass, dirs, v)
+				}
+			case nil:
+				return
+			}
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m == n {
+					return true
+				}
+				if m == nil {
+					return false
+				}
+				visit(m, hasCtx)
+				return false
+			})
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				visit(fd, false)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func check(pass *analysis.Pass, dirs *directive.Map, call *ast.CallExpr) {
+	fn := typeutil.Callee(pass.TypesInfo, call)
+	f, ok := fn.(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return
+	}
+	allowed := func() bool {
+		d, ok := dirs.Allowed(call.Pos(), Name)
+		if ok && d.Reason() == "" {
+			pass.Reportf(call.Pos(), "sharedq:allow directive requires a reason")
+		}
+		return ok
+	}
+	pkg := f.Pkg().Path()
+	switch {
+	case pkg == "context" && (f.Name() == "Background" || f.Name() == "TODO"):
+		if !allowed() {
+			pass.Reportf(call.Pos(),
+				"context.%s() in a function that already has a caller context; thread the caller's ctx (or annotate //sharedq:allow ctxflow <reason>)",
+				f.Name())
+		}
+	case pkg == "time" && f.Name() == "Sleep":
+		if !allowed() {
+			pass.Reportf(call.Pos(),
+				"time.Sleep is uncancellable; select on ctx.Done() and a timer instead (or annotate //sharedq:allow ctxflow <reason>)")
+		}
+	case len(pkg) > len(modulePrefix) && pkg[:len(modulePrefix)] == modulePrefix:
+		if sib := ctxSibling(f); sib != "" && !hasCtxArg(pass, call) {
+			if !allowed() {
+				pass.Reportf(call.Pos(),
+					"%s blocks without observing cancellation; call %s with the caller's ctx (or annotate //sharedq:allow ctxflow <reason>)",
+					f.Name(), sib)
+			}
+		}
+	}
+}
+
+// hasCtxArg reports whether any argument of the call is itself a
+// context (a bare-form call that actually forwards a ctx some other way
+// is not the bug this analyzer hunts).
+func hasCtxArg(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if isContextType(pass.TypesInfo.TypeOf(a)) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxSibling returns the name of f's context-taking sibling (f's name
+// + "Ctx", first parameter context.Context) if one exists in the same
+// scope — the same named type's method set, or the same package's
+// top-level scope.
+func ctxSibling(f *types.Func) string {
+	want := f.Name() + "Ctx"
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	var cand types.Object
+	if recv := sig.Recv(); recv != nil {
+		named := namedOf(recv.Type())
+		if named == nil {
+			return ""
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == want {
+				cand = m
+				break
+			}
+		}
+	} else if f.Pkg() != nil {
+		cand = f.Pkg().Scope().Lookup(want)
+	}
+	cf, ok := cand.(*types.Func)
+	if !ok {
+		return ""
+	}
+	csig, ok := cf.Type().(*types.Signature)
+	if !ok || csig.Params().Len() == 0 {
+		return ""
+	}
+	if !isContextType(csig.Params().At(0).Type()) {
+		return ""
+	}
+	return want
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"sharedq/internal/analysis/atest"
+	"sharedq/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	atest.Run(t, "testdata", ctxflow.Analyzer, "a")
+}

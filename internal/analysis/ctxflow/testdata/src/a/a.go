@@ -1,0 +1,48 @@
+// Fixture for ctxflow: context-less blocking calls in functions that
+// have a caller context in scope.
+package a
+
+import (
+	"context"
+	"time"
+
+	"sharedq/internal/comm"
+)
+
+// hasCtx has a caller context, so every context-defeating form is
+// flagged.
+func hasCtx(ctx context.Context, q *comm.FIFO) {
+	q.Put(1)                 // want `call PutCtx`
+	comm.Drain(q)            // want `call DrainCtx`
+	_ = context.Background() // want `context.Background`
+	_ = context.TODO()       // want `context.TODO`
+	time.Sleep(5)            // want `time.Sleep is uncancellable`
+	q.Close()                // no Ctx sibling: fine
+	_ = q.PutCtx(ctx, 1)     // the Ctx form: fine
+}
+
+// noCtx is a context-free compat shim; bare forms are its whole point.
+func noCtx(q *comm.FIFO) {
+	q.Put(1)
+	_ = context.Background()
+	time.Sleep(5)
+}
+
+// closureInherits: a closure nested inside a ctx-bearing function is
+// still on the hook for the caller's context.
+func closureInherits(ctx context.Context, q *comm.FIFO) func() {
+	return func() {
+		q.Put(1) // want `call PutCtx`
+	}
+}
+
+// allowed carries a reviewed exception.
+func allowed(ctx context.Context, q *comm.FIFO) {
+	q.Put(1) //sharedq:allow ctxflow shutdown flush must finish even after cancellation
+}
+
+// allowedNoReason: exceptions demand a justification.
+func allowedNoReason(ctx context.Context, q *comm.FIFO) {
+	//sharedq:allow ctxflow
+	q.Put(1) // want `requires a reason`
+}

@@ -1,0 +1,12 @@
+// Fixture stub of context: the analyzer keys on the package path and
+// the Context/Background/TODO names.
+package context
+
+// Context mirrors the stdlib interface.
+type Context interface{ Done() <-chan struct{} }
+
+// Background returns a root context.
+func Background() Context { return nil }
+
+// TODO returns a placeholder root context.
+func TODO() Context { return nil }

@@ -1,0 +1,24 @@
+// Fixture stub of sharedq/internal/comm: the bare/Ctx entry-point
+// pairs the analyzer pairs up, on both a method set and the package
+// scope.
+package comm
+
+import "context"
+
+// FIFO mirrors the bounded inter-stage queue.
+type FIFO struct{}
+
+// Put blocks until space is available.
+func (f *FIFO) Put(v int) {}
+
+// PutCtx blocks until space is available or ctx is cancelled.
+func (f *FIFO) PutCtx(ctx context.Context, v int) error { return nil }
+
+// Close has no Ctx sibling; closing is instantaneous.
+func (f *FIFO) Close() {}
+
+// Drain empties the queue, blocking on consumers.
+func Drain(f *FIFO) {}
+
+// DrainCtx empties the queue, observing cancellation.
+func DrainCtx(ctx context.Context, f *FIFO) error { return nil }

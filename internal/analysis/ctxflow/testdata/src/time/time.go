@@ -1,0 +1,8 @@
+// Fixture stub of time: just the uncancellable sleep.
+package time
+
+// Duration mirrors time.Duration.
+type Duration int64
+
+// Sleep blocks uncancellably.
+func Sleep(d Duration) {}

@@ -1,0 +1,170 @@
+// Package directive parses the //sharedq: source annotations that the
+// sharedqvet analyzers consume. Annotations declare the facts the
+// analyzers cannot infer — an intentional batch-ownership transfer, a
+// deliberate exception to a rule, or the wiring between a counter set
+// and the list that exports its names.
+//
+// Grammar (one directive per comment, either at the end of the line it
+// annotates or alone on the line directly above it):
+//
+//	//sharedq:owns <reason>                releasecheck: this checkout's
+//	                                       ownership is transferred by a
+//	                                       mechanism the analyzer cannot
+//	                                       see; reason required.
+//	//sharedq:allow <analyzer> <reason>    suppress the named analyzer's
+//	                                       diagnostic on this line;
+//	                                       reason required.
+//	//sharedq:counters <registry>          on a *metrics.CounterSet field
+//	                                       or variable declaration: names
+//	                                       referenced through this set
+//	                                       must appear in <registry>.
+//	//sharedq:counterfn <registry>         on a function declaration: the
+//	                                       function forwards its literal
+//	                                       string argument to a counter
+//	                                       of <registry> (an increment
+//	                                       wrapper such as robustInc).
+//	//sharedq:counterlist <registry>       on a []string variable: the
+//	                                       definitive exported-name list
+//	                                       of <registry>.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Kind names a directive verb.
+type Kind string
+
+// The directive verbs; see the package comment for semantics.
+const (
+	Owns        Kind = "owns"
+	Allow       Kind = "allow"
+	Counters    Kind = "counters"
+	CounterFn   Kind = "counterfn"
+	CounterList Kind = "counterlist"
+)
+
+// Directive is one parsed //sharedq: annotation.
+type Directive struct {
+	Kind Kind
+	// Args holds the whitespace-separated words after the verb. For
+	// Owns the whole tail is the reason; for Allow, Args[0] is the
+	// analyzer name and the tail is the reason.
+	Args []string
+	Pos  token.Pos
+}
+
+// Reason returns the free-text justification of the directive: all of
+// Args for Owns, everything after the analyzer name for Allow, and
+// empty otherwise.
+func (d *Directive) Reason() string {
+	switch d.Kind {
+	case Owns:
+		return strings.Join(d.Args, " ")
+	case Allow:
+		if len(d.Args) > 1 {
+			return strings.Join(d.Args[1:], " ")
+		}
+		return ""
+	}
+	return ""
+}
+
+// Map indexes a set of files' directives by the source line they
+// annotate.
+type Map struct {
+	fset *token.FileSet
+	// byLine is keyed by filename and annotated line number.
+	byLine map[string]map[int][]*Directive
+}
+
+const prefix = "//sharedq:"
+
+// ParseFiles extracts every //sharedq: directive from files. A
+// directive that shares its line with code annotates that line; a
+// directive alone on its line annotates the following line.
+func ParseFiles(fset *token.FileSet, files []*ast.File) *Map {
+	m := &Map{fset: fset, byLine: make(map[string]map[int][]*Directive)}
+	for _, f := range files {
+		// Lines that contain a code token before a given offset: used to
+		// distinguish end-of-line directives from own-line directives.
+		codeStart := map[int]token.Pos{} // line -> earliest code position
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || n == f {
+				return true
+			}
+			switch n.(type) {
+			case *ast.Comment, *ast.CommentGroup:
+				// Doc comments are AST nodes but not code: a directive in
+				// a doc block must still annotate the declaration below it.
+				return false
+			}
+			pos := n.Pos()
+			line := fset.Position(pos).Line
+			if p, ok := codeStart[line]; !ok || pos < p {
+				codeStart[line] = pos
+			}
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d := parse(c)
+				if d == nil {
+					continue
+				}
+				p := fset.Position(c.Slash)
+				line := p.Line
+				if start, ok := codeStart[line]; !ok || start > c.Slash {
+					// Own-line directive: annotates the next line.
+					line++
+				}
+				byLine := m.byLine[p.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]*Directive)
+					m.byLine[p.Filename] = byLine
+				}
+				byLine[line] = append(byLine[line], d)
+			}
+		}
+	}
+	return m
+}
+
+func parse(c *ast.Comment) *Directive {
+	text, ok := strings.CutPrefix(c.Text, prefix)
+	if !ok {
+		return nil
+	}
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return nil
+	}
+	return &Directive{Kind: Kind(fields[0]), Args: fields[1:], Pos: c.Slash}
+}
+
+// At returns the directives of the given kind annotating the line
+// containing pos.
+func (m *Map) At(pos token.Pos, kind Kind) []*Directive {
+	p := m.fset.Position(pos)
+	var out []*Directive
+	for _, d := range m.byLine[p.Filename][p.Line] {
+		if d.Kind == kind {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Allowed reports whether an //sharedq:allow directive for the named
+// analyzer annotates the line containing pos, along with the directive
+// itself (so callers can validate its reason).
+func (m *Map) Allowed(pos token.Pos, analyzer string) (*Directive, bool) {
+	for _, d := range m.At(pos, Allow) {
+		if len(d.Args) > 0 && d.Args[0] == analyzer {
+			return d, true
+		}
+	}
+	return nil, false
+}

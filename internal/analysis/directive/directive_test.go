@@ -1,0 +1,65 @@
+package directive
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const src = `package p
+
+// doc text.
+//
+//sharedq:counterfn robust
+func wrapped(name string) {}
+
+func f() {
+	x := 1 //sharedq:owns handed to the sweeper
+	//sharedq:allow lockorder startup only
+	y := 2
+	z := 3 //sharedq:allow ctxflow
+	_, _, _ = x, y, z
+}
+`
+
+func parseSrc(t *testing.T) (*token.FileSet, *Map, *token.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, ParseFiles(fset, []*ast.File{f}), fset.File(f.Pos())
+}
+
+func TestAttachment(t *testing.T) {
+	_, m, tf := parseSrc(t)
+
+	// Doc-comment directive annotates the declaration line below it.
+	if ds := m.At(tf.LineStart(6), CounterFn); len(ds) != 1 || ds[0].Args[0] != "robust" {
+		t.Errorf("counterfn on func line: got %v", ds)
+	}
+	// End-of-line directive annotates its own line.
+	if ds := m.At(tf.LineStart(9), Owns); len(ds) != 1 {
+		t.Errorf("owns on assignment line: got %v", ds)
+	} else if ds[0].Reason() != "handed to the sweeper" {
+		t.Errorf("owns reason = %q", ds[0].Reason())
+	}
+	// Own-line directive annotates the next line.
+	if d, ok := m.Allowed(tf.LineStart(11), "lockorder"); !ok {
+		t.Error("allow lockorder not found on following line")
+	} else if d.Reason() != "startup only" {
+		t.Errorf("allow reason = %q", d.Reason())
+	}
+	// Allow for one analyzer does not excuse another.
+	if _, ok := m.Allowed(tf.LineStart(11), "ctxflow"); ok {
+		t.Error("allow lockorder leaked to ctxflow")
+	}
+	// Reason-less allow parses with an empty reason.
+	if d, ok := m.Allowed(tf.LineStart(12), "ctxflow"); !ok {
+		t.Error("allow ctxflow not found")
+	} else if d.Reason() != "" {
+		t.Errorf("want empty reason, got %q", d.Reason())
+	}
+}

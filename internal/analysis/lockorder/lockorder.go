@@ -1,0 +1,682 @@
+// Package lockorder defines an analyzer that builds the static
+// mutex-acquisition graph of the module and fails on cycles.
+//
+// Every sharing substrate in this tree nests locks across package
+// boundaries: the qpipe scan stage calls port methods under its stage
+// lock, the CJOIN distributor delivers under partition state, SPL
+// producers run straggler callbacks under the list lock. Two of the
+// hardest historical bugs were lock-order deadlocks the compiler could
+// not see — the PR 5 fanout shape (the scan stage calling into the
+// fan-out under the stage lock while the fan-out blocked holding its
+// own) and the PR 7 delivery-retraction shape in cjoin (panic
+// retraction taking the stage lock an admission pause held while
+// spinning). This analyzer encodes the rule those fixes established:
+// the static acquired-while-held relation over named mutexes must stay
+// acyclic.
+//
+// A lock is identified by its declaration site, not its instance:
+// "pkg.Type.field" for a sync.Mutex/RWMutex struct field,
+// "pkg.var" for a package-level mutex. Function-local mutexes are
+// ignored. For each function the analyzer records, in source order,
+// which locks are held at each Lock call (direct nesting) and at each
+// static call (so acquisitions made inside callees, transitively,
+// become edges from the held lock). Summaries are exported as package
+// facts, so the graph accumulates across packages: a cycle whose edges
+// span comm and qpipe is reported when the second package's analysis
+// closes it.
+//
+// Approximations, chosen to keep the check quiet on correct code:
+// branch arms are walked with independent copies of the held set (an
+// arm that terminates does not leak its state past the branch); calls
+// through interfaces are not devirtualized; goroutine bodies start with
+// an empty held set. A self-edge — a lock acquired while already held —
+// is reported unless both acquisitions are read locks. Deliberate
+// exceptions are annotated "//sharedq:allow lockorder <reason>" on the
+// line of the edge-creating call.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"sharedq/internal/analysis/directive"
+)
+
+// Name is the analyzer's name, as used in //sharedq:allow directives.
+const Name = "lockorder"
+
+// Analyzer is the lockorder analysis.
+var Analyzer = &analysis.Analyzer{
+	Name:      Name,
+	Doc:       "detect cycles in the static mutex-acquisition graph",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(Summary)},
+}
+
+// Acq is one direct lock acquisition inside a function.
+type Acq struct {
+	Lock string // lock key ("pkg.Type.field" or "pkg.var")
+	Read bool   // RLock rather than Lock
+	Pos  string // "file:line" of the acquisition
+}
+
+// Under is a static call made while holding a lock.
+type Under struct {
+	Held   string
+	Callee string // callee function key
+	Pos    string
+}
+
+// Nested is a direct acquisition made while holding another lock.
+type Nested struct {
+	Held    string
+	Acq     string
+	AcqRead bool
+	Pos     string
+}
+
+// FuncSum summarizes one function's locking behavior.
+type FuncSum struct {
+	Acquires []Acq    // direct acquisitions anywhere in the body
+	Calls    []string // static callees (for transitive acquisition)
+	Under    []Under  // calls made while holding a lock
+	Nested   []Nested // direct acquisitions made while holding a lock
+}
+
+// Summary is the package fact carrying every function's lock summary.
+type Summary struct {
+	Funcs map[string]*FuncSum
+}
+
+// AFact marks Summary as an analysis fact.
+func (*Summary) AFact() {}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.ParseFiles(pass.Fset, pass.Files)
+	w := &walker{
+		pass:      pass,
+		dirs:      dirs,
+		sum:       &Summary{Funcs: map[string]*FuncSum{}},
+		nestedPos: map[*FuncSum][]token.Pos{},
+		underPos:  map[*FuncSum][]token.Pos{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			w.cur = w.sum.fn(funcKey(fn))
+			w.stmts(fd.Body.List, nil)
+		}
+	}
+	// The vet driver hands a package only its direct imports' package
+	// facts, so a cycle closing across more than one import hop would be
+	// invisible unless summaries accumulate: merge the imported tables
+	// into the exported one, keeping note of which functions are truly
+	// local (only their edges are reported here).
+	localFuncs := map[string]bool{}
+	for k := range w.sum.Funcs {
+		localFuncs[k] = true
+	}
+	for _, pf := range pass.AllPackageFacts() {
+		if s, ok := pf.Fact.(*Summary); ok {
+			for k, f := range s.Funcs {
+				if _, exists := w.sum.Funcs[k]; !exists {
+					w.sum.Funcs[k] = f
+				}
+			}
+		}
+	}
+	pass.ExportPackageFact(w.sum)
+	report(pass, w, localFuncs)
+	return nil, nil
+}
+
+func (s *Summary) fn(key string) *FuncSum {
+	f := s.Funcs[key]
+	if f == nil {
+		f = &FuncSum{}
+		s.Funcs[key] = f
+	}
+	return f
+}
+
+// funcKey names a function uniquely across packages, e.g.
+// "(*sharedq/internal/qpipe.fanout).Emit".
+func funcKey(fn *types.Func) string { return fn.FullName() }
+
+// --- per-function walk ---
+
+type heldLock struct {
+	key  string
+	read bool
+	pos  token.Pos
+}
+
+type walker struct {
+	pass *analysis.Pass
+	dirs *directive.Map
+	sum  *Summary
+	cur  *FuncSum
+	// nestedPos and underPos give, for each local FuncSum, the token
+	// positions of its Nested and Under records, index-aligned with the
+	// fact slices (facts themselves carry only strings so they can cross
+	// package boundaries).
+	nestedPos map[*FuncSum][]token.Pos
+	underPos  map[*FuncSum][]token.Pos
+}
+
+func (w *walker) posStr(p token.Pos) string {
+	pos := w.pass.Fset.Position(p)
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}
+
+// stmts walks a statement list in source order, threading the held set.
+func (w *walker) stmts(list []ast.Stmt, held []heldLock) []heldLock {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+// terminates reports whether a block certainly transfers control out
+// (return, panic-style call, goto/break/continue), so its held-set
+// changes cannot leak past the enclosing branch.
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func copyHeld(held []heldLock) []heldLock {
+	return append([]heldLock(nil), held...)
+}
+
+// intersect keeps the locks present in both resulting held sets (the
+// conservative join after a branch whose arms disagree).
+func intersect(a, b []heldLock) []heldLock {
+	var out []heldLock
+	for _, h := range a {
+		for _, g := range b {
+			if h.key == g.key {
+				out = append(out, h)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (w *walker) stmt(s ast.Stmt, held []heldLock) []heldLock {
+	switch v := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(v.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(v.Stmt, held)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			held = w.stmt(v.Init, held)
+		}
+		w.calls(v.Cond, held)
+		h1 := w.stmts(v.Body.List, copyHeld(held))
+		h2 := copyHeld(held)
+		if v.Else != nil {
+			h2 = w.stmt(v.Else, h2)
+		}
+		switch {
+		case terminates(v.Body):
+			return h2
+		case v.Else != nil && blockOf(v.Else) != nil && terminates(blockOf(v.Else)):
+			return h1
+		default:
+			return intersect(h1, h2)
+		}
+	case *ast.ForStmt:
+		if v.Init != nil {
+			held = w.stmt(v.Init, held)
+		}
+		w.calls(v.Cond, held)
+		w.stmts(v.Body.List, copyHeld(held))
+		if v.Post != nil {
+			w.stmt(v.Post, copyHeld(held))
+		}
+		return held
+	case *ast.RangeStmt:
+		w.calls(v.X, held)
+		w.stmts(v.Body.List, copyHeld(held))
+		return held
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			held = w.stmt(v.Init, held)
+		}
+		w.calls(v.Tag, held)
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.calls(e, held)
+				}
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			held = w.stmt(v.Init, held)
+		}
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+		return held
+	case *ast.SelectStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.stmt(cc.Comm, copyHeld(held))
+				}
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+		return held
+	case *ast.DeferStmt:
+		if key, _, ok := w.unlockCall(v.Call); ok {
+			// defer mu.Unlock(): the lock stays held for the remainder of
+			// the source walk; the matching acquisition simply never pops.
+			_ = key
+			return held
+		}
+		if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+			// The deferred closure runs at exit; approximate its lock
+			// context with the held set at registration.
+			w.stmts(lit.Body.List, copyHeld(held))
+			return held
+		}
+		return w.callExprs(v.Call, held)
+	case *ast.GoStmt:
+		// A spawned goroutine holds nothing of ours, and its acquisitions
+		// are its own, not the launcher's: a function that starts a
+		// goroutine must not inherit the goroutine's locks into its
+		// transitive acquisition set. Literal bodies are summarized under
+		// a synthetic name nobody calls; named callees already have their
+		// own summaries. Arguments still evaluate here, under our locks.
+		for _, a := range v.Call.Args {
+			w.calls(a, held)
+		}
+		if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+			saved := w.cur
+			w.cur = w.sum.fn("go$" + w.posStr(v.Pos()))
+			w.stmts(lit.Body.List, nil)
+			w.cur = saved
+		}
+		return held
+	default:
+		// Simple statement: process every call expression it contains, in
+		// source order, updating the held set on Lock/Unlock.
+		return w.calls(s, held)
+	}
+}
+
+func blockOf(s ast.Stmt) *ast.BlockStmt {
+	switch v := s.(type) {
+	case *ast.BlockStmt:
+		return v
+	case *ast.IfStmt:
+		return v.Body
+	}
+	return nil
+}
+
+// calls finds every CallExpr under n (excluding nested FuncLit bodies,
+// which are walked as independent empty-held contexts) and threads them
+// through the held set.
+func (w *walker) calls(n ast.Node, held []heldLock) []heldLock {
+	if n == nil {
+		return held
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch v := m.(type) {
+		case *ast.FuncLit:
+			w.stmts(v.Body.List, nil)
+			return false
+		case *ast.CallExpr:
+			// Arguments first (they evaluate before the call), then the
+			// call itself.
+			for _, a := range v.Args {
+				held = w.calls(a, held)
+			}
+			held = w.oneCall(v, held)
+			return false
+		}
+		return true
+	})
+	return held
+}
+
+// callExprs is calls for an expression already known to be a CallExpr.
+func (w *walker) callExprs(call *ast.CallExpr, held []heldLock) []heldLock {
+	for _, a := range call.Args {
+		held = w.calls(a, held)
+	}
+	return w.oneCall(call, held)
+}
+
+func (w *walker) oneCall(call *ast.CallExpr, held []heldLock) []heldLock {
+	if key, read, ok := w.lockCall(call); ok {
+		if key == "" {
+			return held // unidentifiable (local or interface) mutex
+		}
+		w.cur.Acquires = append(w.cur.Acquires, Acq{Lock: key, Read: read, Pos: w.posStr(call.Pos())})
+		if _, allowed := w.dirs.Allowed(call.Pos(), Name); !allowed {
+			for _, h := range held {
+				w.cur.Nested = append(w.cur.Nested, Nested{Held: h.key, Acq: key, AcqRead: read && h.read, Pos: w.posStr(call.Pos())})
+				w.nestedPos[w.cur] = append(w.nestedPos[w.cur], call.Pos())
+			}
+		}
+		return append(held, heldLock{key: key, read: read, pos: call.Pos()})
+	}
+	if key, _, ok := w.unlockCall(call); ok {
+		if key == "" {
+			return held
+		}
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].key == key {
+				return append(copyHeld(held[:i]), held[i+1:]...)
+			}
+		}
+		return held
+	}
+	// Ordinary call: record the static callee, and the held set it runs
+	// under.
+	fn := typeutil.Callee(w.pass.TypesInfo, call)
+	f, ok := fn.(*types.Func)
+	if !ok {
+		return held
+	}
+	key := funcKey(f)
+	w.cur.Calls = append(w.cur.Calls, key)
+	if _, allowed := w.dirs.Allowed(call.Pos(), Name); !allowed {
+		for _, h := range held {
+			w.cur.Under = append(w.cur.Under, Under{Held: h.key, Callee: key, Pos: w.posStr(call.Pos())})
+			w.underPos[w.cur] = append(w.underPos[w.cur], call.Pos())
+		}
+	}
+	return held
+}
+
+// lockCall reports whether call acquires a sync mutex, with the lock's
+// declaration key ("" if unidentifiable) and whether it is a read lock.
+func (w *walker) lockCall(call *ast.CallExpr) (key string, read bool, ok bool) {
+	name, recv := w.syncMethod(call)
+	switch name {
+	case "Lock":
+		key, _ := w.lockKey(call, recv)
+		return key, false, true
+	case "RLock":
+		key, _ := w.lockKey(call, recv)
+		return key, true, true
+	}
+	return "", false, false
+}
+
+func (w *walker) unlockCall(call *ast.CallExpr) (key string, read bool, ok bool) {
+	name, recv := w.syncMethod(call)
+	switch name {
+	case "Unlock":
+		key, _ := w.lockKey(call, recv)
+		return key, false, true
+	case "RUnlock":
+		key, _ := w.lockKey(call, recv)
+		return key, true, true
+	}
+	return "", false, false
+}
+
+// syncMethod returns the method name and receiver expression if call is
+// a method call on sync.Mutex or sync.RWMutex (directly or through an
+// embedded field).
+func (w *walker) syncMethod(call *ast.CallExpr) (string, ast.Expr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	fn := typeutil.Callee(w.pass.TypesInfo, call)
+	f, ok := fn.(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", nil
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", nil
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil {
+		return "", nil
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return f.Name(), sel.X
+	}
+	return "", nil
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// lockKey derives the declaration-site identity of the mutex receiver
+// expression: "pkg.Type.field" for struct fields, "pkg.var" for
+// package-level variables, "pkg.Type.Mutex" for an embedded mutex, ""
+// for locals and anything else.
+func (w *walker) lockKey(call *ast.CallExpr, recv ast.Expr) (string, bool) {
+	info := w.pass.TypesInfo
+	// Embedded mutex: the receiver expression's type is a named struct
+	// (not sync.Mutex itself).
+	if named := namedOf(info.TypeOf(recv)); named != nil && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + ".Mutex", true
+	}
+	switch v := recv.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+			field := sel.Obj()
+			owner := namedOf(sel.Recv())
+			if owner != nil && owner.Obj().Pkg() != nil {
+				return owner.Obj().Pkg().Path() + "." + owner.Obj().Name() + "." + field.Name(), true
+			}
+			return "", false
+		}
+		// Package-qualified var: pkg.mu.
+		if id, ok := v.X.(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				if vr, ok := info.Uses[v.Sel].(*types.Var); ok && vr.Pkg() != nil {
+					return vr.Pkg().Path() + "." + vr.Name(), true
+				}
+			}
+		}
+	case *ast.Ident:
+		vr, ok := info.Uses[v].(*types.Var)
+		if ok && vr.Pkg() != nil && vr.Parent() == vr.Pkg().Scope() {
+			return vr.Pkg().Path() + "." + vr.Name(), true
+		}
+	}
+	return "", false
+}
+
+// --- graph assembly and reporting ---
+
+type edge struct {
+	from, to string
+	toRead   bool // both endpoints acquired as read locks
+	posStr   string
+	pos      token.Pos // valid only for edges created in this package
+	via      string    // callee chain description, "" for direct nesting
+	local    bool
+}
+
+func report(pass *analysis.Pass, w *walker, local map[string]bool) {
+	// w.sum.Funcs already holds the merged table: local summaries plus
+	// everything inherited from imports.
+	table := w.sum.Funcs
+
+	// Transitive acquisitions per function (fixpoint over the call
+	// graph).
+	acq := map[string]map[string]Acq{}
+	var keys []string
+	for k := range table {
+		keys = append(keys, k)
+		acq[k] = map[string]Acq{}
+		for _, a := range table[k].Acquires {
+			acq[k][a.Lock] = a
+		}
+	}
+	sort.Strings(keys)
+	for changed := true; changed; {
+		changed = false
+		for _, k := range keys {
+			f := table[k]
+			for _, callee := range f.Calls {
+				for lk, a := range acq[callee] {
+					if _, ok := acq[k][lk]; !ok {
+						acq[k][lk] = a
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Edge set: direct nesting plus held-at-call × callee acquisitions.
+	var edges []edge
+	seenEdge := map[string]bool{}
+	addEdge := func(e edge) {
+		id := e.from + "\x00" + e.to + "\x00" + e.posStr + "\x00" + e.via
+		if seenEdge[id] {
+			return
+		}
+		seenEdge[id] = true
+		edges = append(edges, e)
+	}
+	for _, k := range keys {
+		f := table[k]
+		isLocal := local[k]
+		for i, n := range f.Nested {
+			e := edge{from: n.Held, to: n.Acq, toRead: n.AcqRead, posStr: n.Pos, local: isLocal}
+			if ps := w.nestedPos[f]; isLocal && i < len(ps) {
+				e.pos = ps[i]
+			}
+			addEdge(e)
+		}
+		for i, u := range f.Under {
+			for lk, a := range acq[u.Callee] {
+				e := edge{from: u.Held, to: lk, posStr: u.Pos, local: isLocal,
+					via: fmt.Sprintf("via %s (acquires %s at %s)", u.Callee, lk, a.Pos)}
+				if ps := w.underPos[f]; isLocal && i < len(ps) {
+					e.pos = ps[i]
+				}
+				addEdge(e)
+			}
+		}
+	}
+
+	reportCycles(pass, edges)
+}
+
+func reportCycles(pass *analysis.Pass, edges []edge) {
+	adj := map[string][]edge{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e)
+	}
+
+	// Self-edges: a lock re-acquired while held (skip pure read-read).
+	for _, e := range edges {
+		if e.from == e.to && !e.toRead && e.local && e.pos.IsValid() {
+			pass.Reportf(e.pos, "lock %s may be acquired while already held (%s); self-deadlock", e.to, describe(e))
+		}
+	}
+
+	// Cycles: find, for every local edge, a path back from e.to to
+	// e.from; report at the local edge completing the cycle. Each cycle
+	// is reported once, in the package contributing its latest edge.
+	reported := map[string]bool{}
+	for _, e := range edges {
+		if !e.local || !e.pos.IsValid() || e.from == e.to {
+			continue
+		}
+		if path := findPath(adj, e.to, e.from, nil, map[string]bool{}); path != nil {
+			cycle := append([]edge{e}, path...)
+			id := cycleID(cycle)
+			if reported[id] {
+				continue
+			}
+			reported[id] = true
+			var parts []string
+			for _, c := range cycle {
+				parts = append(parts, fmt.Sprintf("%s -> %s (%s)", c.from, c.to, describe(c)))
+			}
+			pass.Reportf(e.pos, "lock-order cycle: %s; acquire these locks in a consistent order", strings.Join(parts, "; "))
+		}
+	}
+}
+
+func describe(e edge) string {
+	if e.via != "" {
+		return fmt.Sprintf("%s %s", e.posStr, e.via)
+	}
+	return fmt.Sprintf("%s direct", e.posStr)
+}
+
+func findPath(adj map[string][]edge, from, to string, path []edge, seen map[string]bool) []edge {
+	if from == to {
+		return path
+	}
+	if seen[from] {
+		return nil
+	}
+	seen[from] = true
+	for _, e := range adj[from] {
+		if e.from == e.to {
+			continue
+		}
+		if p := findPath(adj, e.to, to, append(path, e), seen); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+func cycleID(cycle []edge) string {
+	var locks []string
+	for _, e := range cycle {
+		locks = append(locks, e.from)
+	}
+	sort.Strings(locks)
+	return strings.Join(locks, "|")
+}

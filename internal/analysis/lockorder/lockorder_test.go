@@ -1,0 +1,28 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"sharedq/internal/analysis/atest"
+	"sharedq/internal/analysis/lockorder"
+)
+
+// TestPR5FanoutShape reconstructs the PR 5 fanout deadlock: stage lock
+// held across the fan-out call, fan-out lock held across the
+// call back into the stage.
+func TestPR5FanoutShape(t *testing.T) {
+	atest.Run(t, "testdata", lockorder.Analyzer, "a")
+}
+
+// TestPR7RetractionShape reconstructs the PR 7 delivery-retraction
+// deadlock: stage and admission locks taken in opposite orders by the
+// retraction and pause paths.
+func TestPR7RetractionShape(t *testing.T) {
+	atest.Run(t, "testdata", lockorder.Analyzer, "b")
+}
+
+// TestSuppressionAndSelfEdges covers the allow directive, the
+// self-deadlock report, read-lock nesting, and goroutine isolation.
+func TestSuppressionAndSelfEdges(t *testing.T) {
+	atest.Run(t, "testdata", lockorder.Analyzer, "c")
+}

@@ -1,0 +1,44 @@
+// Fixture for lockorder: the PR 5 fanout deadlock shape. The scan
+// stage calls into the fan-out while holding the stage lock, and the
+// fan-out's drain path calls back into the stage while holding its own
+// lock — a two-lock cycle through call edges.
+package a
+
+import "sync"
+
+type fanout struct {
+	mu sync.Mutex
+}
+
+// Emit blocks holding the fan-out lock (in the real bug, on a full
+// FIFO).
+func (fo *fanout) Emit() {
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+}
+
+type ScanStage struct {
+	mu sync.Mutex
+	fo *fanout
+}
+
+// deliver holds the stage lock across the fan-out call: the first half
+// of the PR 5 deadlock.
+func (st *ScanStage) deliver() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.fo.Emit() // want `lock-order cycle`
+}
+
+// drain is the second half: the fan-out, holding its own lock, calls
+// back into the stage.
+func (fo *fanout) drain(st *ScanStage) {
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+	st.note()
+}
+
+func (st *ScanStage) note() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+}

@@ -1,0 +1,32 @@
+// Fixture for lockorder: the PR 7 delivery-retraction deadlock shape.
+// Panic retraction takes the admission lock while holding the stage
+// lock; the admission pause path takes them in the opposite order —
+// a direct-nesting two-lock cycle.
+package b
+
+import "sync"
+
+type Stage struct {
+	mu sync.Mutex
+}
+
+type admission struct {
+	mu sync.Mutex
+}
+
+// retract is the delivery-retraction path: stage lock, then admission
+// lock.
+func (st *Stage) retract(ad *admission) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ad.mu.Lock() // want `lock-order cycle`
+	defer ad.mu.Unlock()
+}
+
+// pause is the admission pause path: admission lock, then stage lock.
+func (ad *admission) pause(st *Stage) {
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+}

@@ -1,0 +1,62 @@
+// Fixture for lockorder: suppression and self-edge behavior.
+package c
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+}
+
+type U struct {
+	mu sync.Mutex
+}
+
+// lockBoth takes c.T.mu then c.U.mu: legal on its own.
+func lockBoth(t *T, u *U) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	u.mu.Lock()
+	defer u.mu.Unlock()
+}
+
+// lockBothInverted takes the opposite order — a would-be cycle with
+// lockBoth — but carries a reviewed exception on the edge-creating
+// acquisition, so no edge and no report.
+func lockBothInverted(t *T, u *U) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	t.mu.Lock() //sharedq:allow lockorder startup rebalance runs before any worker starts
+	defer t.mu.Unlock()
+}
+
+// reacquire deadlocks on its own lock.
+func (t *T) reacquire() {
+	t.mu.Lock()
+	t.mu.Lock() // want `self-deadlock`
+	t.mu.Unlock()
+	t.mu.Unlock()
+}
+
+type R struct {
+	mu sync.RWMutex
+}
+
+// nestedRead: read locks may nest on the same RWMutex.
+func (r *R) nestedRead() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return 0
+}
+
+// spawned goroutines hold none of the parent's locks: the inverted
+// order inside the goroutine body makes no edge from t.mu.
+func spawn(t *T, u *U) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	go func() {
+		u.mu.Lock()
+		defer u.mu.Unlock()
+	}()
+}

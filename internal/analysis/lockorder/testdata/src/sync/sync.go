@@ -1,0 +1,28 @@
+// Fixture stub of sync: the analyzer keys on the package path and the
+// Mutex/RWMutex method sets, so this stub stands in for the real thing
+// without dragging the runtime into the typecheck.
+package sync
+
+// Mutex mirrors sync.Mutex.
+type Mutex struct{}
+
+// Lock acquires the mutex.
+func (m *Mutex) Lock() {}
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() {}
+
+// RWMutex mirrors sync.RWMutex.
+type RWMutex struct{}
+
+// Lock acquires the write lock.
+func (m *RWMutex) Lock() {}
+
+// Unlock releases the write lock.
+func (m *RWMutex) Unlock() {}
+
+// RLock acquires a read lock.
+func (m *RWMutex) RLock() {}
+
+// RUnlock releases a read lock.
+func (m *RWMutex) RUnlock() {}

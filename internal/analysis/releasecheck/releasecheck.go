@@ -1,0 +1,378 @@
+// Package releasecheck defines an analyzer proving that every pooled
+// batch checkout reaches a Release or an ownership hand-off on every
+// control-flow path.
+//
+// The batch pool's checkout→Retain→Release protocol (internal/vec) is
+// the invariant behind every "zero Outstanding at quiescence" test in
+// the tree: a checkout dropped on an error return stays charged to the
+// pool forever, and under shared execution one leaked batch throttles
+// every query sharing the operator. The historical bug class this
+// analyzer encodes is the PR 5 audit (TestExecuteReadFaultReleasesBatches):
+// mid-pipeline error returns that forgot to release the batch they held.
+//
+// The analysis is intraprocedural over the control-flow graph, in the
+// style of the standard lostcancel vet check. A tracked obligation is a
+// local variable bound directly to a checkout call:
+//
+//	(*vec.Pool).Get, (*vec.Pool).Clone, (*vec.Local).Get,
+//	(*comm.Page).ClonePooled
+//
+// An obligation is discharged on a path by any of:
+//
+//   - a Release call on the variable (directly or deferred);
+//   - an ownership hand-off: the variable passed as a call argument
+//     (FIFO Put, port Emit, pool-recycling helpers, ...), returned,
+//     sent on a channel, captured by a closure, stored into any
+//     location (a field, slice, map, or another variable), or its
+//     address taken — in all of these the batch has a new holder whose
+//     own path is checked where it runs.
+//
+// A path from a checkout to a function exit that discharges nothing is
+// reported. Intentional transfers the analyzer cannot see are annotated
+// at the checkout with "//sharedq:owns <reason>"; the reason string is
+// mandatory.
+package releasecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/cfg"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"sharedq/internal/analysis/directive"
+)
+
+// Name is the analyzer's name, as used in //sharedq:allow directives.
+const Name = "releasecheck"
+
+// Analyzer is the releasecheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc:  "check that pooled batch checkouts are released or handed off on every path",
+	Run:  run,
+}
+
+// checkoutMethods lists the pool checkout entry points: receiver type
+// (package path + type name) to the method names that return a batch
+// (or page) with reference count 1 owned by the caller.
+var checkoutMethods = map[[2]string][]string{
+	{"sharedq/internal/vec", "Pool"}:  {"Get", "Clone"},
+	{"sharedq/internal/vec", "Local"}: {"Get"},
+	{"sharedq/internal/comm", "Page"}: {"ClonePooled"},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.ParseFiles(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, dirs, body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// mayReturn treats panic and os.Exit as terminating so the CFG gives
+// panicking branches their own exits: a checkout that can die on a
+// panic path without a deferred Release is exactly the recovered-panic
+// leak the morsel workers' containment would otherwise accumulate.
+func mayReturn(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name != "panic"
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok && id.Name == "os" && fun.Sel.Name == "Exit" {
+			return false
+		}
+	}
+	return true
+}
+
+func checkFunc(pass *analysis.Pass, dirs *directive.Map, body *ast.BlockStmt) {
+	g := cfg.New(body, mayReturn)
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		for i, node := range b.Nodes {
+			obj, call := checkoutIn(pass, node)
+			if obj == nil {
+				continue
+			}
+			if ds := dirs.At(call.Pos(), directive.Owns); len(ds) > 0 {
+				if ds[0].Reason() == "" {
+					pass.Reportf(call.Pos(), "sharedq:owns directive requires a reason")
+				}
+				continue
+			}
+			if d, ok := dirs.Allowed(call.Pos(), Name); ok {
+				if d.Reason() == "" {
+					pass.Reportf(call.Pos(), "sharedq:allow directive requires a reason")
+				}
+				continue
+			}
+			seen := make(map[*cfg.Block]bool)
+			if bad := leakPath(pass, obj, b, i+1, seen); bad != nil {
+				pass.Reportf(call.Pos(),
+					"batch checked out here is not released on every path (leaks at %s); release it, hand it off, or annotate //sharedq:owns <reason>",
+					pass.Fset.Position(bad.Pos()))
+			}
+		}
+	}
+}
+
+// checkoutIn reports the local variable bound to a checkout call in
+// node, if any.
+func checkoutIn(pass *analysis.Pass, node ast.Node) (types.Object, *ast.CallExpr) {
+	var lhs ast.Expr
+	var rhs ast.Expr
+	switch v := node.(type) {
+	case *ast.AssignStmt:
+		if len(v.Rhs) != 1 || len(v.Lhs) != 1 {
+			return nil, nil
+		}
+		lhs, rhs = v.Lhs[0], v.Rhs[0]
+	case *ast.ValueSpec:
+		if len(v.Names) != 1 || len(v.Values) != 1 {
+			return nil, nil
+		}
+		lhs, rhs = v.Names[0], v.Values[0]
+	default:
+		return nil, nil
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || !isCheckout(pass, call) {
+		return nil, nil
+	}
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, nil
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	return obj, call
+}
+
+func isCheckout(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := typeutil.Callee(pass.TypesInfo, call)
+	f, ok := fn.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	key := [2]string{named.Obj().Pkg().Path(), named.Obj().Name()}
+	for _, m := range checkoutMethods[key] {
+		if m == f.Name() {
+			return true
+		}
+	}
+	return false
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// leakPath walks the CFG from block b (starting at node index start)
+// looking for a path to a function exit on which the obligation obj is
+// never discharged. It returns a node near the exit of the first such
+// path, or nil if every path discharges the obligation. Back-edges are
+// cut by the seen set — a loop either discharges on its forward path or
+// leaks at the loop exit, both of which the acyclic walk observes.
+func leakPath(pass *analysis.Pass, obj types.Object, b *cfg.Block, start int, seen map[*cfg.Block]bool) ast.Node {
+	var last ast.Node
+	for i := start; i < len(b.Nodes); i++ {
+		if discharges(pass, b.Nodes[i], obj) {
+			return nil
+		}
+		last = b.Nodes[i]
+	}
+	if len(b.Succs) == 0 {
+		if last != nil {
+			return last
+		}
+		return b.Stmt
+	}
+	for _, succ := range b.Succs {
+		if seen[succ] {
+			continue
+		}
+		seen[succ] = true
+		if bad := leakPath(pass, obj, succ, 0, seen); bad != nil {
+			return bad
+		}
+	}
+	return nil
+}
+
+type useScan struct {
+	pass     *analysis.Pass
+	obj      types.Object
+	released bool
+	escaped  bool
+}
+
+func (s *useScan) found() bool { return s.released || s.escaped }
+
+// discharges reports whether executing node discharges the obligation:
+// a Release on obj, or any use through which ownership of obj can leave
+// the current function (hand-off, store, escape).
+func discharges(pass *analysis.Pass, node ast.Node, obj types.Object) bool {
+	s := &useScan{pass: pass, obj: obj}
+	s.node(node)
+	return s.found()
+}
+
+func (s *useScan) isObj(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return s.pass.TypesInfo.Uses[id] == s.obj
+}
+
+// node classifies one CFG node (a statement or decomposed expression).
+func (s *useScan) node(n ast.Node) {
+	if s.found() || n == nil {
+		return
+	}
+	switch v := n.(type) {
+	case *ast.AssignStmt:
+		for _, r := range v.Rhs {
+			s.expr(r, true)
+		}
+		for _, l := range v.Lhs {
+			// Targets: obj itself being rebound is neutral; obj appearing
+			// inside an index or selector target is a read.
+			if !s.isObj(l) {
+				s.expr(l, false)
+			}
+		}
+	case *ast.ValueSpec:
+		for _, val := range v.Values {
+			s.expr(val, true)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range v.Results {
+			s.expr(r, true)
+		}
+	case *ast.ExprStmt:
+		s.expr(v.X, false)
+	case *ast.SendStmt:
+		s.expr(v.Chan, false)
+		s.expr(v.Value, true)
+	case *ast.DeferStmt:
+		s.expr(v.Call, false)
+	case *ast.GoStmt:
+		s.expr(v.Call, false)
+	case *ast.IncDecStmt:
+		s.expr(v.X, false)
+	case ast.Expr:
+		// Decomposed condition or range expression.
+		s.expr(v, false)
+	default:
+		// Unmodelled statement kind: if it mentions the variable at all,
+		// assume conservatively that it discharges the obligation rather
+		// than report a false leak.
+		ast.Inspect(n, func(m ast.Node) bool {
+			if e, ok := m.(ast.Expr); ok && s.isObj(e) {
+				s.escaped = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// expr scans an expression. escapes states whether a raw occurrence of
+// the tracked variable in this position hands its ownership elsewhere.
+func (s *useScan) expr(e ast.Expr, escapes bool) {
+	if s.found() || e == nil {
+		return
+	}
+	switch v := e.(type) {
+	case *ast.Ident:
+		if escapes && s.isObj(v) {
+			s.escaped = true
+		}
+	case *ast.SelectorExpr:
+		// obj.Field / obj.Method read: receiver use, not an escape.
+		s.expr(v.X, false)
+	case *ast.CallExpr:
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok && s.isObj(sel.X) {
+			// Method call on the tracked batch itself.
+			if sel.Sel.Name == "Release" {
+				s.released = true
+				return
+			}
+			// Retain, AppendRange, Len, ...: receiver uses keep ownership
+			// here; arguments may still escape.
+			for _, a := range v.Args {
+				s.expr(a, true)
+			}
+			return
+		}
+		s.expr(v.Fun, false)
+		for _, a := range v.Args {
+			s.expr(a, true)
+		}
+	case *ast.UnaryExpr:
+		s.expr(v.X, escapes || v.Op.String() == "&")
+	case *ast.StarExpr:
+		s.expr(v.X, false)
+	case *ast.ParenExpr:
+		s.expr(v.X, escapes)
+	case *ast.BinaryExpr:
+		s.expr(v.X, false)
+		s.expr(v.Y, false)
+	case *ast.IndexExpr:
+		s.expr(v.X, false)
+		s.expr(v.Index, false)
+	case *ast.SliceExpr:
+		s.expr(v.X, false)
+	case *ast.TypeAssertExpr:
+		s.expr(v.X, escapes)
+	case *ast.CompositeLit:
+		for _, el := range v.Elts {
+			s.expr(el, true)
+		}
+	case *ast.KeyValueExpr:
+		s.expr(v.Value, true)
+	case *ast.FuncLit:
+		// Closure capture: the closure becomes a co-owner; its own body
+		// is checked wherever it runs.
+		ast.Inspect(v.Body, func(m ast.Node) bool {
+			if e, ok := m.(ast.Expr); ok && s.isObj(e) {
+				s.escaped = true
+				return false
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package releasecheck_test
+
+import (
+	"testing"
+
+	"sharedq/internal/analysis/atest"
+	"sharedq/internal/analysis/releasecheck"
+)
+
+func TestReleaseCheck(t *testing.T) {
+	atest.Run(t, "testdata", releasecheck.Analyzer, "a")
+}

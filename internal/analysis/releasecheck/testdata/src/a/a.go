@@ -1,0 +1,133 @@
+// Fixture for releasecheck: PR 5-class error-path batch leaks and the
+// discharge forms the analyzer must accept.
+package a
+
+import (
+	"errors"
+
+	"sharedq/internal/comm"
+	"sharedq/internal/vec"
+)
+
+var errBoom = errors.New("boom")
+
+// leakOnErrorReturn is the reconstructed PR 5 bug shape: the mid-
+// pipeline error return path forgets the batch it checked out.
+func leakOnErrorReturn(p *vec.Pool, kinds []vec.Kind, fail bool) error {
+	b := p.Get(kinds, 64) // want `not released on every path`
+	if fail {
+		return errBoom // leaks b
+	}
+	b.Release()
+	return nil
+}
+
+// leakOnPanicPath: a panic between checkout and release escapes the
+// release with no defer in place.
+func leakOnPanicPath(p *vec.Pool, kinds []vec.Kind, fail bool) {
+	b := p.Get(kinds, 64) // want `not released on every path`
+	if fail {
+		panic("die") // leaks b
+	}
+	b.Release()
+}
+
+// releasedEverywhere releases on both paths: no diagnostic.
+func releasedEverywhere(p *vec.Pool, kinds []vec.Kind, fail bool) error {
+	b := p.Get(kinds, 64)
+	if fail {
+		b.Release()
+		return errBoom
+	}
+	b.Release()
+	return nil
+}
+
+// deferredRelease is the canonical fix for the panic shape.
+func deferredRelease(p *vec.Pool, kinds []vec.Kind, fail bool) {
+	b := p.Get(kinds, 64)
+	defer b.Release()
+	if fail {
+		panic("die")
+	}
+}
+
+// handoffPut transfers ownership into the FIFO.
+func handoffPut(p *vec.Pool, kinds []vec.Kind, q *comm.FIFO) {
+	b := p.Get(kinds, 64)
+	q.Put(b)
+}
+
+// handoffReturn transfers ownership to the caller.
+func handoffReturn(p *vec.Pool, kinds []vec.Kind) *vec.Batch {
+	b := p.Get(kinds, 64)
+	return b
+}
+
+// handoffClone: Clone is a checkout too, and storing into a field
+// hands the clone to the struct's owner.
+type holder struct{ b *vec.Batch }
+
+func (h *holder) handoffStore(p *vec.Pool, src *vec.Batch) {
+	c := p.Clone(src)
+	h.b = c
+}
+
+// handoffClosure: capture by a closure makes the closure a co-owner.
+func handoffClosure(p *vec.Pool, kinds []vec.Kind) func() {
+	b := p.Get(kinds, 64)
+	return func() { b.Release() }
+}
+
+// localGetLeak: the worker-local list is a checkout source too.
+func localGetLeak(l *vec.Local, kinds []vec.Kind, fail bool) error {
+	b := l.Get(kinds, 8) // want `not released on every path`
+	if fail {
+		return errBoom
+	}
+	b.Release()
+	return nil
+}
+
+// pageCloneLeak: pooled page clones carry the same obligation.
+func pageCloneLeak(pg *comm.Page, p *vec.Pool, fail bool) error {
+	c := pg.ClonePooled(p) // want `not released on every path`
+	if fail {
+		return errBoom
+	}
+	c.Release()
+	return nil
+}
+
+// annotatedTransfer is the leak shape again, but annotated: the owns
+// directive (with its mandatory reason) suppresses the diagnostic.
+func annotatedTransfer(p *vec.Pool, kinds []vec.Kind, fail bool) error {
+	b := p.Get(kinds, 64) //sharedq:owns the quiescence sweeper reclaims test batches
+	if fail {
+		return errBoom
+	}
+	b.Release()
+	return nil
+}
+
+// annotatedWithoutReason: the owns directive demands a justification.
+func annotatedWithoutReason(p *vec.Pool, kinds []vec.Kind, fail bool) error {
+	//sharedq:owns
+	b := p.Get(kinds, 64) // want `requires a reason`
+	if fail {
+		return errBoom
+	}
+	b.Release()
+	return nil
+}
+
+// retainIsNotRelease: Retain alone does not discharge the obligation.
+func retainIsNotRelease(p *vec.Pool, kinds []vec.Kind, fail bool) error {
+	b := p.Get(kinds, 64) // want `not released on every path`
+	b.Retain()
+	if fail {
+		return errBoom
+	}
+	b.Release()
+	return nil
+}

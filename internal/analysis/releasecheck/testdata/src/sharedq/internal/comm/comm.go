@@ -1,0 +1,20 @@
+// Fixture stub of sharedq/internal/comm: the page clone checkout and
+// the FIFO hand-off target.
+package comm
+
+import "sharedq/internal/vec"
+
+// Page mirrors the pooled network page.
+type Page struct{}
+
+// ClonePooled checks a pooled copy of the page out of pool.
+func (p *Page) ClonePooled(pool *vec.Pool) *Page { return &Page{} }
+
+// Release returns the page to its pool.
+func (p *Page) Release() {}
+
+// FIFO mirrors the bounded inter-stage queue.
+type FIFO struct{}
+
+// Put hands a batch to the queue (ownership transfer).
+func (f *FIFO) Put(b *vec.Batch) {}

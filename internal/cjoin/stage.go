@@ -184,7 +184,8 @@ type Stage struct {
 	admitDone []*query // completed at admission (no pages to show)
 	closed    bool
 
-	maxLag int                 // Config.StragglerLagPages
+	maxLag int // Config.StragglerLagPages
+	//sharedq:counters robust
 	robust *metrics.CounterSet // straggler/split counters (may be nil)
 
 	inflight atomic.Int64 // batches emitted but not yet fully distributed
@@ -810,6 +811,8 @@ func (st *Stage) splitBusiestLocked() bool {
 
 // robustInc bumps a fault-tolerance counter when the stage has a
 // robust counter set wired (it shares the engine-wide set).
+//
+//sharedq:counterfn robust
 func (st *Stage) robustInc(name string) {
 	if st.robust != nil {
 		st.robust.Get(name).Inc()

@@ -92,7 +92,7 @@ type System struct {
 	// Robust collects the fault-tolerance counters — page_retry,
 	// page_quarantined, query_panic_recovered, admission_shed — shared
 	// by the guard and every engine built on this system.
-	Robust *metrics.CounterSet
+	Robust *metrics.CounterSet //sharedq:counters robust
 }
 
 // NewSystem builds the substrate and loads the SSB database (including

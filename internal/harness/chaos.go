@@ -226,7 +226,7 @@ func runChaosMode(sys *core.System, cfg ChaosConfig, mode core.Mode, survivors [
 	}
 	res.Counters = make(map[string]int64, len(robust0))
 	for name, v0 := range robust0 {
-		res.Counters[name] = sys.Robust.Get(name).Load() - v0
+		res.Counters[name] = sys.Robust.Get(name).Load() - v0 //sharedq:allow countercheck name ranges over the robustCounters list
 	}
 	for _, name := range []string{"page_retry", "page_quarantined", "query_panic_recovered"} {
 		if res.Counters[name] == 0 {

@@ -131,7 +131,7 @@ func RunBatch(sys *core.System, opts core.Options, sqls []string, cold bool) (Re
 	// quarantined, panics contained, queries shed at admission. All zero
 	// on a healthy, uncontended run.
 	for name, v0 := range robust0 {
-		res.Stats[name] = sys.Robust.Get(name).Load() - v0
+		res.Stats[name] = sys.Robust.Get(name).Load() - v0 //sharedq:allow countercheck name ranges over the robustCounters list
 	}
 	res.Admission = time.Duration(eng.CJOINAdmissionTime())
 	if res.Errors > 0 {
@@ -142,6 +142,8 @@ func RunBatch(sys *core.System, opts core.Options, sqls []string, cold bool) (Re
 
 // robustCounters are the fault-tolerance counters surfaced as deltas
 // in every RunBatch result (and rendered by the chaos experiment).
+//
+//sharedq:counterlist robust
 var robustCounters = []string{
 	"page_retry", "page_quarantined", "query_panic_recovered", "admission_shed",
 	"straggler_detached", "morsel_steals", "partition_splits", "reader_max_lag_pages",
@@ -152,7 +154,7 @@ var robustCounters = []string{
 func robustSnapshot(sys *core.System) map[string]int64 {
 	out := make(map[string]int64, len(robustCounters))
 	for _, name := range robustCounters {
-		out[name] = sys.Robust.Get(name).Load()
+		out[name] = sys.Robust.Get(name).Load() //sharedq:allow countercheck name ranges over the robustCounters list
 	}
 	return out
 }

@@ -45,7 +45,7 @@ type Guard struct {
 	Backoff time.Duration
 	// Counters, when non-nil, receives "page_retry" and
 	// "page_quarantined" increments.
-	Counters *metrics.CounterSet
+	Counters *metrics.CounterSet //sharedq:counters robust
 
 	mu     sync.Mutex
 	quar   map[buffer.PageID]struct{}

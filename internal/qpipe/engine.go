@@ -580,7 +580,7 @@ func (e *Engine) runJoin(d plan.DimJoin, factPred expr.Expr, probe, dimIn InPort
 				if pendKinds == nil {
 					pendKinds = joined.Kinds()
 				}
-				pend = e.env.Recycle.Get(pendKinds, pageRows)
+				pend = e.env.Recycle.Get(pendKinds, pageRows) //sharedq:owns flushed via emitJoin when full or at loop exit; empty remainder released below
 			}
 			take := pageRows - pend.Len()
 			if rest := joined.Len() - off; rest < take {
@@ -595,8 +595,15 @@ func (e *Engine) runJoin(d plan.DimJoin, factPred expr.Expr, probe, dimIn InPort
 		}
 		joined.Release()
 	}
-	if pend != nil && pend.Len() > 0 {
-		e.emitJoin(h, comm.NewBatchPage(pend))
+	if pend != nil {
+		if pend.Len() > 0 {
+			e.emitJoin(h, comm.NewBatchPage(pend))
+		} else {
+			// A pending batch never receives zero rows today, but if the
+			// append logic ever changes, dropping it here would leak a
+			// pool checkout; return it instead.
+			pend.Release()
+		}
 	}
 }
 

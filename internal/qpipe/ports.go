@@ -91,7 +91,7 @@ type PortConfig struct {
 	MaxLag int
 	// Robust receives the straggler counters (straggler_detached,
 	// reader_max_lag_pages); nil drops them.
-	Robust *metrics.CounterSet
+	Robust *metrics.CounterSet //sharedq:counters robust
 }
 
 // onStraggle returns the per-detach observer for ports of this config,

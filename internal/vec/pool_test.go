@@ -145,7 +145,7 @@ func TestPoolCloneCopies(t *testing.T) {
 
 	// Nil pool degrades to a plain clone.
 	var np *Pool
-	u := np.Clone(src)
+	u := np.Clone(src) //sharedq:owns nil-pool clone is unpooled and never charged to a pool
 	if u.Pooled() || u.Len() != 2 {
 		t.Errorf("nil-pool clone pooled=%v len=%d", u.Pooled(), u.Len())
 	}
